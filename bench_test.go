@@ -1,0 +1,171 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation. Run with:
+//
+//	go test -bench=. -benchmem -timeout 0
+//
+// Each benchmark regenerates its table/figure in quick mode and reports
+// the headline quantity as a custom metric (so `-bench` output doubles as
+// a summary of the reproduction). Benchmarks share one experiment context:
+// traces and trained models are cached across benchmarks, exactly like a
+// single `branchnet-bench -all` run.
+package main
+
+import (
+	"sync"
+	"testing"
+
+	"branchnet/internal/experiments"
+)
+
+var (
+	benchCtx  *experiments.Context
+	benchOnce sync.Once
+)
+
+func ctx() *experiments.Context {
+	benchOnce.Do(func() {
+		m := experiments.Quick()
+		benchCtx = experiments.NewContext(m)
+	})
+	return benchCtx
+}
+
+// BenchmarkFig1 regenerates Fig. 1: avoidable MPKI when CNNs predict the
+// top-k hard-to-predict branches, per benchmark.
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, table := experiments.Fig1(ctx())
+		b.Log("\n" + table.String())
+		var base, avoided float64
+		for _, r := range results {
+			base += r.BaseMPKI
+			avoided += r.AvoidedMPKI[len(r.AvoidedMPKI)-1]
+		}
+		b.ReportMetric(100*avoided/base, "%avoidable-mpki")
+	}
+}
+
+// BenchmarkFig3 regenerates the Section IV / Fig. 3 predictor comparison
+// on the noisy-history microbenchmark.
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		table := experiments.Fig3(ctx())
+		b.Log("\n" + table.String())
+	}
+}
+
+// BenchmarkFig4 regenerates Fig. 4: generalization across unseen alphas
+// for CNNs trained on the three training sets.
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, table := experiments.Fig4(ctx())
+		b.Log("\n" + table.String())
+		// Headline: set 3's mean accuracy across alphas.
+		set3 := results[len(results)-1]
+		var sum float64
+		for _, a := range set3.Accuracies {
+			sum += a
+		}
+		b.ReportMetric(100*sum/float64(len(set3.Accuracies)), "%set3-accuracy")
+	}
+}
+
+// BenchmarkFig9 regenerates Fig. 9: MPKI of MTAGE-SC (and ablations) with
+// and without Big-BranchNet.
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, table := experiments.Fig9(ctx())
+		b.Log("\n" + table.String())
+		var base, withBig float64
+		for _, r := range results {
+			base += r.MTAGESC
+			withBig += r.WithBig
+		}
+		b.ReportMetric(100*(base-withBig)/base, "%mpki-reduction")
+	}
+}
+
+// BenchmarkFig10 regenerates Fig. 10: per-branch accuracy of the most
+// improved leela/mcf branches.
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, table := experiments.Fig10(ctx())
+		b.Log("\n" + table.String())
+		if n := len(rows["leela"]); n > 0 {
+			b.ReportMetric(100*rows["leela"][0].Improvement, "%top-branch-gain")
+		}
+	}
+}
+
+// BenchmarkFig11 regenerates Fig. 11: MPKI and IPC improvement of the
+// practical configurations over 64KB TAGE-SC-L.
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, table := experiments.Fig11(ctx())
+		b.Log("\n" + table.String())
+		var red, ipc float64
+		for _, r := range rows {
+			red += r.MPKIReduction[experiments.IsoLatency]
+			ipc += r.IPCGain[experiments.IsoLatency]
+		}
+		n := float64(len(rows))
+		b.ReportMetric(100*red/n, "%isolat-mpki-reduction")
+		b.ReportMetric(100*ipc/n, "%isolat-ipc-gain")
+	}
+}
+
+// BenchmarkFig12 regenerates Fig. 12: training-set size sensitivity.
+func BenchmarkFig12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, table := experiments.Fig12(ctx())
+		b.Log("\n" + table.String())
+		b.ReportMetric(100*points[len(points)-1].MPKIReduction, "%mpki-reduction-full-data")
+	}
+}
+
+// BenchmarkFig13 regenerates Fig. 13: storage-budget sensitivity.
+func BenchmarkFig13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, table := experiments.Fig13(ctx())
+		b.Log("\n" + table.String())
+		if len(points) > 0 {
+			b.ReportMetric(100*points[len(points)-1].MPKIReduction, "%mpki-reduction-largest")
+		}
+	}
+}
+
+// BenchmarkAblations runs the design-choice ablation study (geometric
+// slices, pooling width, hidden depth, convolution width) on the Fig. 3
+// branch.
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, table := experiments.Ablations(ctx())
+		b.Log("\n" + table.String())
+		b.ReportMetric(100*results[0].Accuracy, "%full-model-accuracy")
+	}
+}
+
+// BenchmarkTableII regenerates Table II: the per-branch storage breakdown
+// of the inference engine (pure arithmetic; also a useful micro-benchmark
+// of the storage calculator).
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		table := experiments.TableII()
+		if i == 0 {
+			b.Log("\n" + table.String())
+		}
+	}
+}
+
+// BenchmarkTableIV regenerates Table IV: leela's MPKI-reduction progression
+// from Big-BranchNet to fully-quantized Mini-BranchNet.
+func BenchmarkTableIV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, table := experiments.TableIV(ctx())
+		b.Log("\n" + table.String())
+		if len(rows) == 5 {
+			b.ReportMetric(100*rows[0].MPKIReduction, "%big")
+			b.ReportMetric(100*rows[4].MPKIReduction, "%fully-quantized")
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// Command branchnet-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	branchnet-bench [-mode quick|full] [-fig 1|3|4|9|10|11|12|13] [-table 1|2|3|4]
+//	branchnet-bench -all
+//
+// Without -fig/-table/-all it prints the static tables (I, II, III), which
+// need no training. Figure experiments train BranchNet models and can take
+// minutes (quick) to tens of minutes (full).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"branchnet/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("branchnet-bench: ")
+
+	mode := flag.String("mode", "quick", "experiment scale: quick or full")
+	fig := flag.Int("fig", 0, "figure to regenerate (1,3,4,9,10,11,12,13)")
+	table := flag.Int("table", 0, "table to regenerate (1,2,3,4)")
+	all := flag.Bool("all", false, "regenerate every table and figure")
+	ablations := flag.Bool("ablations", false, "run the design-choice ablation study")
+	benchmarks := flag.String("benchmarks", "", "comma-separated benchmark subset (default: all)")
+	flag.Parse()
+
+	var m experiments.Mode
+	switch *mode {
+	case "quick":
+		m = experiments.Quick()
+	case "full":
+		m = experiments.Full()
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+	if *benchmarks != "" {
+		m.Benchmarks = splitComma(*benchmarks)
+	}
+	ctx := experiments.NewContext(m)
+
+	run := func(name string, f func() experiments.Table) {
+		start := time.Now()
+		t := f()
+		fmt.Println(t.String())
+		log.Printf("%s done in %s", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	figs := map[int]func() experiments.Table{
+		1:  func() experiments.Table { _, t := experiments.Fig1(ctx); return t },
+		3:  func() experiments.Table { return experiments.Fig3(ctx) },
+		4:  func() experiments.Table { _, t := experiments.Fig4(ctx); return t },
+		9:  func() experiments.Table { _, t := experiments.Fig9(ctx); return t },
+		10: func() experiments.Table { _, t := experiments.Fig10(ctx); return t },
+		11: func() experiments.Table { _, t := experiments.Fig11(ctx); return t },
+		12: func() experiments.Table { _, t := experiments.Fig12(ctx); return t },
+		13: func() experiments.Table { _, t := experiments.Fig13(ctx); return t },
+	}
+	tables := map[int]func() experiments.Table{
+		1: func() experiments.Table { return experiments.TableI() },
+		2: func() experiments.Table { return experiments.TableII() },
+		3: func() experiments.Table { return experiments.TableIII() },
+		4: func() experiments.Table { _, t := experiments.TableIV(ctx); return t },
+	}
+
+	switch {
+	case *ablations:
+		run("ablations", func() experiments.Table { _, t := experiments.Ablations(ctx); return t })
+	case *all:
+		for _, i := range []int{1, 2, 3} {
+			run(fmt.Sprintf("table %d", i), tables[i])
+		}
+		for _, i := range []int{1, 3, 4, 9, 10, 11, 12, 13} {
+			run(fmt.Sprintf("fig %d", i), figs[i])
+		}
+		run("table 4", tables[4])
+		run("ablations", func() experiments.Table { _, t := experiments.Ablations(ctx); return t })
+	case *fig != 0:
+		f, ok := figs[*fig]
+		if !ok {
+			log.Fatalf("no figure %d (the paper's evaluation figures are 1,3,4,9,10,11,12,13)", *fig)
+		}
+		run(fmt.Sprintf("fig %d", *fig), f)
+	case *table != 0:
+		f, ok := tables[*table]
+		if !ok {
+			log.Fatalf("no table %d", *table)
+		}
+		run(fmt.Sprintf("table %d", *table), f)
+	default:
+		for _, i := range []int{1, 2, 3} {
+			run(fmt.Sprintf("table %d", i), tables[i])
+		}
+		fmt.Fprintln(os.Stderr, "hint: use -fig N, -table 4 or -all to run the training experiments")
+	}
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

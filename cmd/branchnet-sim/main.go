@@ -1,0 +1,114 @@
+// Command branchnet-sim replays a branch trace through a predictor and
+// reports MPKI, accuracy, and the top mispredicting branches; with -ipc it
+// also runs the two-tier pipeline model.
+//
+// Usage:
+//
+//	branchnet-sim -trace leela-test.bnt -predictor tage64
+//	branchnet-sim -trace leela-test.bnt -predictor mtage -top 10 -ipc
+//
+// Predictors: tage64, tage56, mtage, mtage-nolocal, gtage, gshare,
+// perceptron, static.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"branchnet/internal/branchnet"
+	"branchnet/internal/engine"
+	"branchnet/internal/gshare"
+	"branchnet/internal/hybrid"
+	"branchnet/internal/perceptron"
+	"branchnet/internal/pipeline"
+	"branchnet/internal/predictor"
+	"branchnet/internal/tage"
+	"branchnet/internal/trace"
+)
+
+func newPredictor(name string, tr *trace.Trace) predictor.Predictor {
+	switch name {
+	case "tage64":
+		return tage.New(tage.TAGESCL64KB(), 1)
+	case "tage56":
+		return tage.New(tage.TAGESCL56KB(), 1)
+	case "mtage":
+		return tage.New(tage.MTAGESC(), 1)
+	case "mtage-nolocal":
+		return tage.New(tage.MTAGESCNoLocal(), 1)
+	case "gtage":
+		return tage.New(tage.GTAGE(), 1)
+	case "gshare":
+		return gshare.Default4KB()
+	case "perceptron":
+		return perceptron.New(perceptron.DefaultConfig())
+	case "static":
+		return predictor.NewStaticBias(tr)
+	default:
+		log.Fatalf("unknown predictor %q", name)
+		return nil
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("branchnet-sim: ")
+
+	tracePath := flag.String("trace", "", "trace file (BNT1, from tracegen)")
+	predName := flag.String("predictor", "tage64", "predictor to evaluate")
+	top := flag.Int("top", 5, "print the top-N mispredicting branches")
+	ipc := flag.Bool("ipc", false, "also run the two-tier pipeline IPC model")
+	modelsPath := flag.String("models", "", "attach quantized BranchNet models (.bnm from branchnet-train) as a hybrid")
+	flag.Parse()
+
+	if *tracePath == "" {
+		log.Fatal("-trace is required (generate one with tracegen)")
+	}
+	tr, err := trace.ReadFile(*tracePath)
+	if err != nil {
+		log.Fatalf("reading trace: %v", err)
+	}
+
+	p := newPredictor(*predName, tr)
+	if *modelsPath != "" {
+		f, err := os.Open(*modelsPath)
+		if err != nil {
+			log.Fatalf("opening models: %v", err)
+		}
+		ems, err := engine.ReadModels(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("reading models: %v", err)
+		}
+		p = hybrid.New(p, branchnet.FromEngine(ems), fmt.Sprintf("hybrid(%s+%d models)", *predName, len(ems)))
+		log.Printf("attached %d quantized models from %s", len(ems), *modelsPath)
+	}
+	res := predictor.Evaluate(p, tr)
+	fmt.Printf("predictor:    %s (%.1f KB)\n", p.Name(), float64(p.Bits())/8192)
+	fmt.Printf("branches:     %d dynamic, %d static\n", res.Branches, len(res.ExecPerBranch))
+	fmt.Printf("instructions: %d\n", tr.Instructions())
+	fmt.Printf("accuracy:     %.4f\n", res.Accuracy())
+	fmt.Printf("MPKI:         %.3f\n", res.MPKI(tr))
+
+	if *top > 0 {
+		prof := trace.NewProfile(tr)
+		for pc, m := range res.PerBranch {
+			prof.Branches[pc].Mispredicts = float64(m)
+		}
+		fmt.Printf("top %d mispredicting branches:\n", *top)
+		for _, bs := range prof.TopByMispredicts(*top) {
+			fmt.Printf("  pc=%#06x execs=%-8d mispredicts=%-8.0f accuracy=%.4f bias=%.3f\n",
+				bs.PC, bs.Count, bs.Mispredicts,
+				1-bs.Mispredicts/float64(bs.Count), bs.Bias())
+		}
+	}
+
+	if *ipc {
+		r := pipeline.Simulate(pipeline.DefaultConfig(),
+			gshare.Default4KB(), newPredictor(*predName, tr), tr)
+		fmt.Printf("pipeline:     IPC %.3f (%d redirects, %d flushes)\n",
+			r.IPC(), r.Redirects, r.Mispredicts)
+	}
+}

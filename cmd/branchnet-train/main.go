@@ -1,0 +1,153 @@
+// Command branchnet-train runs the Section V-E offline training pipeline
+// for one benchmark: select hard-to-predict branches on the validation
+// inputs, train a BranchNet model per branch on the training inputs,
+// attach the most-improved models, and report test-set results.
+//
+// Usage:
+//
+//	branchnet-train -bench leela -model mini-1kb
+//	branchnet-train -bench mcf -model big -models 8 -baseline mtage
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"branchnet/internal/bench"
+	"branchnet/internal/branchnet"
+	"branchnet/internal/engine"
+	"branchnet/internal/hybrid"
+	"branchnet/internal/predictor"
+	"branchnet/internal/tage"
+	"branchnet/internal/trace"
+)
+
+func knobsFor(model string) branchnet.Knobs {
+	switch model {
+	case "big":
+		return branchnet.BigKnobsScaled()
+	case "big-paper":
+		return branchnet.BigKnobs()
+	case "mini-2kb":
+		return branchnet.MiniQuick(2048)
+	case "mini-1kb":
+		return branchnet.MiniQuick(1024)
+	case "mini-0.5kb":
+		return branchnet.MiniQuick(512)
+	case "mini-0.25kb":
+		return branchnet.MiniQuick(256)
+	case "tarsa":
+		return branchnet.TarsaKnobsQuick()
+	default:
+		log.Fatalf("unknown model %q", model)
+		return branchnet.Knobs{}
+	}
+}
+
+func baselineFor(name string) func() predictor.Predictor {
+	cfgs := map[string]func() tage.Config{
+		"tage64": tage.TAGESCL64KB, "tage56": tage.TAGESCL56KB,
+		"mtage": tage.MTAGESC, "gtage": tage.GTAGE,
+	}
+	cfg, ok := cfgs[name]
+	if !ok {
+		log.Fatalf("unknown baseline %q", name)
+	}
+	return func() predictor.Predictor { return tage.New(cfg(), 1) }
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("branchnet-train: ")
+
+	benchName := flag.String("bench", "leela", "benchmark to train for")
+	model := flag.String("model", "mini-1kb", "model preset: big, big-paper, mini-{2kb,1kb,0.5kb,0.25kb}, tarsa")
+	baseline := flag.String("baseline", "tage64", "runtime baseline: tage64, tage56, mtage, gtage")
+	topBranches := flag.Int("top", 16, "candidate branch pool size")
+	maxModels := flag.Int("models", 10, "maximum models to attach")
+	epochs := flag.Int("epochs", 4, "training epochs per model")
+	examples := flag.Int("examples", 6000, "max training examples per branch")
+	trainLen := flag.Int("trainlen", 300000, "branches per training input trace")
+	evalLen := flag.Int("evallen", 150000, "branches per validation/test trace")
+	out := flag.String("out", "", "write the attached quantized models to this .bnm file")
+	flag.Parse()
+
+	p := bench.ByName(*benchName)
+	if p == nil {
+		log.Fatalf("unknown benchmark %q", *benchName)
+	}
+	knobs := knobsFor(*model)
+	newBase := baselineFor(*baseline)
+
+	start := time.Now()
+	var trainTraces []*trace.Trace
+	for _, in := range p.Inputs(bench.Train) {
+		trainTraces = append(trainTraces, p.Generate(in, *trainLen/len(p.Inputs(bench.Train))))
+	}
+	validTrace := &trace.Trace{}
+	for _, in := range p.Inputs(bench.Validation) {
+		part := p.Generate(in, *evalLen/len(p.Inputs(bench.Validation)))
+		validTrace.Records = append(validTrace.Records, part.Records...)
+	}
+	log.Printf("traces generated in %s", time.Since(start).Round(time.Millisecond))
+
+	cfg := branchnet.DefaultOfflineConfig(knobs)
+	cfg.TopBranches = *topBranches
+	cfg.MaxModels = *maxModels
+	cfg.Train.Epochs = *epochs
+	cfg.Train.MaxExamples = *examples
+
+	start = time.Now()
+	models := branchnet.TrainOffline(cfg, trainTraces, validTrace, newBase)
+	log.Printf("offline training done in %s: %d models attached", time.Since(start).Round(time.Millisecond), len(models))
+	for _, m := range models {
+		form := "float"
+		if m.Engine != nil {
+			form = fmt.Sprintf("engine %.0fB", m.Engine.Storage().TotalBytes())
+		}
+		fmt.Printf("  pc=%#06x validation %.4f -> %.4f (improvement %.0f) [%s]\n",
+			m.PC, m.BaseAccuracy, m.ValidAccuracy, m.Improvement, form)
+	}
+	if len(models) == 0 {
+		log.Printf("no branch cleared the improvement threshold (this is the expected outcome for gcc/omnetpp-like profiles)")
+		return
+	}
+
+	if *out != "" {
+		var ems []*engine.Model
+		for _, m := range models {
+			if m.Engine != nil {
+				ems = append(ems, m.Engine)
+			}
+		}
+		if len(ems) == 0 {
+			log.Printf("-out: no quantized models to write (big/tarsa models are float-only)")
+		} else {
+			f, err := os.Create(*out)
+			if err != nil {
+				log.Fatalf("creating %s: %v", *out, err)
+			}
+			if err := engine.WriteModels(f, ems); err != nil {
+				log.Fatalf("writing models: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("wrote %d quantized models to %s", len(ems), *out)
+		}
+	}
+
+	// Test-set evaluation per ref input.
+	for _, in := range p.Inputs(bench.Test) {
+		tr := p.Generate(in, *evalLen)
+		baseRes := predictor.Evaluate(newBase(), tr)
+		hybRes := predictor.Evaluate(hybrid.New(newBase(), models, ""), tr)
+		baseMPKI := baseRes.MPKI(tr)
+		hybMPKI := hybRes.MPKI(tr)
+		fmt.Printf("test %-12s baseline MPKI %.3f -> hybrid %.3f (%.1f%% reduction)\n",
+			in.Name, baseMPKI, hybMPKI, 100*(baseMPKI-hybMPKI)/baseMPKI)
+	}
+}

@@ -1,0 +1,100 @@
+// Command tracegen generates synthetic benchmark branch traces (BNT1
+// format), optionally restricted to SimPoint-selected representative
+// regions.
+//
+// Usage:
+//
+//	tracegen -bench leela -split test -branches 1000000 -out leela-test.bnt
+//	tracegen -bench mcf -split train -simpoints 5 -out mcf-train.bnt
+//	tracegen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"branchnet/internal/bench"
+	"branchnet/internal/simpoint"
+	"branchnet/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+
+	name := flag.String("bench", "leela", "benchmark name (see -list)")
+	split := flag.String("split", "test", "input split: train, validation, test")
+	input := flag.Int("input", 0, "input index within the split")
+	branches := flag.Int("branches", 500000, "branch records to generate")
+	out := flag.String("out", "", "output trace file (default <bench>-<split>.bnt)")
+	simpoints := flag.Int("simpoints", 0, "select up to K SimPoint regions instead of the full trace")
+	list := flag.Bool("list", false, "list benchmarks and inputs")
+	flag.Parse()
+
+	if *list {
+		for _, p := range append(bench.All(), bench.NoisyHistory()) {
+			fmt.Printf("%s:\n", p.Name)
+			for _, s := range []bench.Split{bench.Train, bench.Validation, bench.Test} {
+				fmt.Printf("  %-11s:", s)
+				for i, in := range p.Inputs(s) {
+					fmt.Printf(" [%d]%s", i, in.Name)
+				}
+				fmt.Println()
+			}
+		}
+		return
+	}
+
+	p := bench.ByName(*name)
+	if p == nil {
+		log.Fatalf("unknown benchmark %q (use -list)", *name)
+	}
+	var sp bench.Split
+	switch *split {
+	case "train":
+		sp = bench.Train
+	case "validation", "valid":
+		sp = bench.Validation
+	case "test", "ref":
+		sp = bench.Test
+	default:
+		log.Fatalf("unknown split %q", *split)
+	}
+	ins := p.Inputs(sp)
+	if *input < 0 || *input >= len(ins) {
+		log.Fatalf("input index %d out of range (split has %d inputs)", *input, len(ins))
+	}
+	in := ins[*input]
+
+	tr := p.Generate(in, *branches)
+	log.Printf("generated %s/%s: %d branches, %d instructions, %d static branches",
+		p.Name, in.Name, tr.Branches(), tr.Instructions(), trace.NewProfile(tr).StaticBranches())
+
+	if *simpoints > 0 {
+		cfg := simpoint.DefaultConfig()
+		cfg.K = *simpoints
+		regions := simpoint.Select(tr, cfg)
+		log.Printf("selected %d SimPoint regions:", len(regions))
+		merged := &trace.Trace{}
+		for _, r := range regions {
+			log.Printf("  records [%d,%d) weight %.3f", r.Start, r.End, r.Weight)
+			merged.Records = append(merged.Records, tr.Records[r.Start:r.End]...)
+		}
+		tr = merged
+	}
+
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("%s-%s.bnt", p.Name, *split)
+	}
+	if err := tr.WriteFile(path); err != nil {
+		log.Fatalf("writing %s: %v", path, err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s (%d records, %.1f KB)", path, tr.Branches(), float64(fi.Size())/1024)
+}

@@ -1,0 +1,71 @@
+// The full deployment pipeline on a SPEC-like workload: offline-train
+// Mini-BranchNet models for the leela-like benchmark's hardest branches,
+// pack them into the paper's iso-latency engine plan, and compare the
+// hybrid against plain TAGE-SC-L on unseen inputs — MPKI and estimated
+// IPC.
+//
+//	go run ./examples/hybrid
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"branchnet/internal/bench"
+	"branchnet/internal/branchnet"
+	"branchnet/internal/gshare"
+	"branchnet/internal/hybrid"
+	"branchnet/internal/pipeline"
+	"branchnet/internal/predictor"
+	"branchnet/internal/tage"
+	"branchnet/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	prog := bench.ByName("leela")
+	newBase := func() predictor.Predictor { return tage.New(tage.TAGESCL64KB(), 1) }
+
+	// Traces per Table III: disjoint train / validation / test inputs.
+	var trainTraces []*trace.Trace
+	for _, in := range prog.Inputs(bench.Train) {
+		trainTraces = append(trainTraces, prog.Generate(in, 120000))
+	}
+	validTrace := prog.Generate(prog.Inputs(bench.Validation)[0], 120000)
+
+	// Train Mini-BranchNet candidates at two storage budgets and pack
+	// them into a (scaled) iso-latency engine plan.
+	start := time.Now()
+	perBudget := make(map[int][]*branchnet.Attached)
+	for _, budget := range []int{1024, 256} {
+		cfg := branchnet.DefaultOfflineConfig(branchnet.MiniQuick(budget))
+		cfg.TopBranches = 10
+		cfg.Train.Epochs = 4
+		perBudget[budget] = branchnet.TrainOffline(cfg, trainTraces, validTrace, newBase)
+		log.Printf("budget %4dB: %d candidate models", budget, len(perBudget[budget]))
+	}
+	plan := hybrid.IsoLatency32KB().Scale(1, 4)
+	models := hybrid.Pack(perBudget, plan)
+	log.Printf("packed %d models into %d slots (%.1f KB engine) in %s",
+		len(models), plan.TotalSlots(), float64(plan.TotalBytes())/1024,
+		time.Since(start).Round(time.Second))
+	for _, m := range models {
+		fmt.Printf("  pc=%#06x %-22s validation %.3f -> %.3f\n",
+			m.PC, m.Knobs.Name, m.BaseAccuracy, m.ValidAccuracy)
+	}
+
+	// Evaluate on the unseen ref inputs: MPKI and pipeline IPC.
+	cfg := pipeline.DefaultConfig()
+	for _, in := range prog.Inputs(bench.Test) {
+		tr := prog.Generate(in, 120000)
+		base := pipeline.Simulate(cfg, gshare.Default4KB(), newBase(), tr)
+		hyb := pipeline.Simulate(cfg, gshare.Default4KB(),
+			hybrid.New(newBase(), models, ""), tr)
+		fmt.Printf("test %-8s MPKI %6.2f -> %6.2f (-%.1f%%)   IPC %.3f -> %.3f (+%.1f%%)\n",
+			in.Name, base.MPKI(), hyb.MPKI(),
+			100*(base.MPKI()-hyb.MPKI())/base.MPKI(),
+			base.IPC(), hyb.IPC(), 100*(hyb.IPC()/base.IPC()-1))
+	}
+	fmt.Println("(paper: iso-latency Mini-BranchNet averages -9.6% MPKI, +1.3% IPC)")
+}

@@ -1,0 +1,77 @@
+// Quickstart: train one BranchNet model for one hard-to-predict branch and
+// predict with it — the smallest end-to-end use of the library.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"branchnet/internal/bench"
+	"branchnet/internal/branchnet"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. A workload. The noisy-history microbenchmark (Fig. 3 of the
+	//    paper) has one famously hard branch: Branch B, the exit of a
+	//    loop whose trip count was decided by earlier branches.
+	prog := bench.NoisyHistory()
+
+	// 2. Collect a training trace from a *training* input and a test
+	//    trace from a different, unseen input (different seed, different
+	//    parameters — offline training must generalize).
+	trainInput := bench.NoisyInput("train", 1, 1, 4, 0.5)
+	testInput := bench.NoisyInput("test", 2, 5, 10, 0.7)
+	trainTrace := prog.Generate(trainInput, 400000)
+	testTrace := prog.Generate(testInput, 50000)
+
+	// 3. Pick a model architecture (Table I knobs) and extract per-branch
+	//    datasets: each example is the global history right before one
+	//    execution of the branch, plus its direction.
+	knobs := branchnet.MiniQuick(1024)
+	window := knobs.WindowTokens()
+	trainDS := branchnet.ExtractCapped(trainTrace, []uint64{bench.NoisyPCB},
+		window, knobs.PCBits, 10000)[bench.NoisyPCB]
+	testDS := branchnet.ExtractCapped(testTrace, []uint64{bench.NoisyPCB},
+		window, knobs.PCBits, 4000)[bench.NoisyPCB]
+	fmt.Printf("training examples: %d (taken rate %.2f)\n",
+		len(trainDS.Examples), trainDS.TakenRate())
+
+	// 4. Train.
+	model := branchnet.New(knobs, bench.NoisyPCB, 1)
+	opts := branchnet.DefaultTrainOpts()
+	opts.Epochs = 6
+	loss := model.Train(trainDS, opts)
+	fmt.Printf("final training loss: %.4f\n", loss)
+
+	// 5. Evaluate on the unseen input, then quantize to the integer-only
+	//    inference-engine form and evaluate that too.
+	fmt.Printf("float model accuracy on unseen input: %.4f\n", model.Accuracy(testDS))
+
+	engineModel, err := model.Quantize(trainDS.Subsample(3500, 7))
+	if err != nil {
+		log.Fatalf("quantize: %v", err)
+	}
+	correct := 0
+	for i, e := range testDS.Examples {
+		if engineModel.Predict(e.History, uint64(i)) == e.Taken {
+			correct++
+		}
+	}
+	fmt.Printf("quantized engine accuracy:             %.4f\n",
+		float64(correct)/float64(len(testDS.Examples)))
+	fmt.Printf("engine storage: %s\n", engineModel.Storage())
+	fmt.Println("(the *-quick knobs trade budget fidelity for CPU training speed;")
+	fmt.Println(" branchnet.Mini(1024) is the budget-exact preset)")
+
+	// For reference: the branch's static bias — what a profile-guided
+	// static predictor would score.
+	bias := testDS.TakenRate()
+	if bias < 0.5 {
+		bias = 1 - bias
+	}
+	fmt.Printf("static-bias accuracy (for contrast):   %.4f\n", bias)
+}

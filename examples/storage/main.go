@@ -1,0 +1,56 @@
+// Walk through the Mini-BranchNet inference-engine storage model
+// (Table II) and latency estimates (Section V-C): what exactly fits in a
+// 0.25KB-2KB per-branch budget, and why the engine matches TAGE-SC-L's
+// 4-cycle prediction latency.
+//
+//	go run ./examples/storage
+package main
+
+import (
+	"fmt"
+
+	"branchnet/internal/branchnet"
+	"branchnet/internal/engine"
+	"branchnet/internal/hybrid"
+	"branchnet/internal/tage"
+	"branchnet/internal/tarsa"
+)
+
+func main() {
+	fmt.Println("Per-branch storage of the Mini-BranchNet inference engine (Table II):")
+	for _, budget := range []int{2048, 1024, 512, 256} {
+		k := branchnet.Mini(budget)
+		b := k.Storage()
+		fmt.Printf("  %-22s %s\n", k.Name, b)
+	}
+
+	fmt.Println("\nEngine deployments (Fig. 11):")
+	for _, plan := range []struct {
+		name string
+		p    hybrid.SlotPlan
+	}{
+		{"iso-latency", hybrid.IsoLatency32KB()},
+		{"iso-storage", hybrid.IsoStorage8KB()},
+	} {
+		fmt.Printf("  %-12s %2d model slots, %5.1f KB total\n",
+			plan.name, plan.p.TotalSlots(), float64(plan.p.TotalBytes())/1024)
+	}
+	fmt.Printf("  %-12s %2d model slots, %5.1f KB total (no sum-pooling: history-length buffers)\n",
+		"tarsa", tarsa.MaxBranches, float64(tarsa.StorageBits(tarsa.MaxBranches))/8192)
+
+	fmt.Println("\nLatency model (Section V-C, in 64-bit Kogge-Stone adder units):")
+	g, cyc := engine.UpdateLatency()
+	fmt.Printf("  convolutional-history update: %2d gate delays -> %d cycle\n", g, cyc)
+	for _, feats := range []int{56, 110, 187} {
+		g, cyc = engine.PredictionLatency(feats)
+		fmt.Printf("  prediction with %3d features:  %2d gate delays -> %d cycles\n", feats, g, cyc)
+	}
+	fmt.Printf("  TAGE-SC-L 64KB estimate:       %d cycles (paper: both are 4-cycle predictors)\n",
+		engine.TageLatencyCycles())
+
+	fmt.Println("\nRuntime predictor budgets for scale:")
+	for _, cfg := range []tage.Config{tage.TAGESCL64KB(), tage.TAGESCL56KB(), tage.MTAGESC()} {
+		p := tage.New(cfg, 1)
+		fmt.Printf("  %-18s %8.1f KB\n", p.Name(), float64(p.Bits())/8192)
+	}
+}

@@ -1,0 +1,3 @@
+module branchnet
+
+go 1.22

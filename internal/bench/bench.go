@@ -1,0 +1,207 @@
+// Package bench provides the workload substrate of the reproduction: ten
+// synthetic benchmark programs named after the SPEC2017 Integer Speed suite,
+// plus the noisy-history microbenchmark from Fig. 3 of the paper.
+//
+// The paper evaluates BranchNet on branch traces collected from SPEC2017
+// runs with SPEC train/ref and Alberta inputs. Those traces are proprietary
+// and machine-specific, so this package substitutes *programs*: each
+// benchmark is an executable branch-behaviour model that runs with seeded
+// inputs and emits a branch/instruction stream. Each program is constructed
+// to exhibit the branch population the paper attributes to its namesake:
+//
+//   - leela: many static branches whose outcome is a function of *counts* of
+//     other branches' outcomes buried in a noisy global history — the class
+//     BranchNet predicts and TAGE cannot (Section IV, VI-C).
+//   - mcf: qsort comparison branches (data-dependent, unpredictable) plus
+//     branches in the partition body derived from the comparison outcomes
+//     (count-correlated, BranchNet-predictable) (Section VI-C).
+//   - deepsjeng, xz: count-correlated pruning/match branches under noise.
+//   - gcc: mispredictions spread over many phase-local static branches with
+//     no input-independent correlation — BranchNet cannot help (VI-B, VI-F).
+//   - omnetpp: data-dependent branches whose source values were stored long
+//     before the branch executes — invisible in recent branch history.
+//   - x264, exchange2, perlbench, xalancbmk: mostly-predictable control flow
+//     with low MPKI and little headroom.
+//
+// Inputs are split into disjoint training / validation / test distributions
+// (Table III): the split varies both the seed and the high-level input
+// parameters, so offline training is genuinely tested on unseen inputs.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"branchnet/internal/trace"
+)
+
+// Input identifies one workload input: a seed plus high-level parameters
+// (analogous to a SPEC input set: board size, compression level, ...).
+type Input struct {
+	Name   string
+	Seed   int64
+	Params map[string]float64
+}
+
+// Param returns the named parameter or def if it is absent.
+func (in Input) Param(name string, def float64) float64 {
+	if v, ok := in.Params[name]; ok {
+		return v
+	}
+	return def
+}
+
+// Split names the three mutually exclusive input sets of Table III.
+type Split int
+
+const (
+	Train Split = iota
+	Validation
+	Test
+)
+
+func (s Split) String() string {
+	switch s {
+	case Train:
+		return "train"
+	case Validation:
+		return "validation"
+	case Test:
+		return "test"
+	default:
+		return fmt.Sprintf("Split(%d)", int(s))
+	}
+}
+
+// Program is one synthetic benchmark.
+type Program struct {
+	Name string
+	// Base is the PC base of the program's static branches.
+	Base uint64
+	// run executes one outer unit of work (one move, one sort, one event,
+	// ...). The framework calls it repeatedly until the requested branch
+	// budget is met.
+	run func(c *Ctx, in Input)
+	// inputs returns the input set for a split.
+	inputs func(s Split) []Input
+}
+
+// Generate runs the program with the given input until roughly branches
+// branch records have been emitted, and returns the trace.
+func (p *Program) Generate(in Input, branches int) *trace.Trace {
+	col := trace.NewCollector(branches)
+	c := &Ctx{E: col, Rng: rand.New(rand.NewSource(mix(in.Seed, int64(len(p.Name)))))}
+	for !col.Full() {
+		p.run(c, in)
+	}
+	return col.Trace()
+}
+
+// Run executes one unit of the program against an arbitrary emitter (used by
+// the pipeline model to drive cycle simulation without materializing a
+// trace).
+func (p *Program) Run(e trace.Emitter, rng *rand.Rand, in Input) {
+	p.run(&Ctx{E: e, Rng: rng}, in)
+}
+
+// Inputs returns the inputs belonging to a split. Splits are disjoint in
+// both seed and parameter space.
+func (p *Program) Inputs(s Split) []Input { return p.inputs(s) }
+
+// mix combines two seeds (splitmix64 finalizer).
+func mix(a, b int64) int64 {
+	z := uint64(a) + 0x9e3779b97f4a7c15*uint64(b+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// Ctx is the execution context handed to benchmark bodies: an event sink
+// plus a deterministic RNG. Helper methods keep benchmark code close to the
+// pseudo-code in the paper.
+type Ctx struct {
+	E   trace.Emitter
+	Rng *rand.Rand
+}
+
+// Branch emits a conditional branch and returns its direction, so benchmark
+// code reads like `if c.Branch(pcFoo, cond) { ... }`.
+func (c *Ctx) Branch(pc uint64, taken bool) bool {
+	c.E.Branch(pc, taken)
+	return taken
+}
+
+// Work advances the instruction counter by n non-branch instructions.
+func (c *Ctx) Work(n int) { c.E.Instr(n) }
+
+// Bernoulli returns true with probability p.
+func (c *Ctx) Bernoulli(p float64) bool { return c.Rng.Float64() < p }
+
+// Loop models a counted loop with a backward conditional branch at pc: the
+// branch is taken once per continued iteration and not taken at loop exit.
+// body runs before each backward branch; work instructions are charged per
+// iteration.
+func (c *Ctx) Loop(pc uint64, n, work int, body func(i int)) {
+	for i := 0; i < n; i++ {
+		if body != nil {
+			body(i)
+		}
+		c.Work(work)
+		c.Branch(pc, i+1 < n)
+	}
+	if n == 0 {
+		// A zero-trip loop still executes (and falls through) its branch.
+		c.Branch(pc, false)
+	}
+}
+
+// Noise emits n uncorrelated branches, each from its own static PC in
+// [base, base+4*distinct), taken with probability p. This is the "noisy
+// history" ingredient: outcomes are independent coin flips, so no predictor
+// can do better than the bias, and their presence dilutes and shifts the
+// positions of correlated branches in the global history.
+func (c *Ctx) Noise(base uint64, distinct, n int, p float64) {
+	for i := 0; i < n; i++ {
+		pc := base + 4*uint64(c.Rng.Intn(distinct))
+		c.Work(3)
+		c.Branch(pc, c.Bernoulli(p))
+	}
+}
+
+// All returns every SPEC2017-Int-like program in a fixed order.
+func All() []*Program {
+	ps := []*Program{
+		Leela(), MCF(), Deepsjeng(), XZ(), GCC(),
+		Omnetpp(), X264(), Xalancbmk(), Perlbench(), Exchange2(),
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Name < ps[j].Name })
+	return ps
+}
+
+// ByName returns the named program, or nil.
+func ByName(name string) *Program {
+	for _, p := range All() {
+		if p.Name == name {
+			return p
+		}
+	}
+	if name == "noisyhistory" {
+		return NoisyHistory()
+	}
+	return nil
+}
+
+// seedRange builds n inputs with consecutive seeds starting at base, all
+// sharing params. Used by the per-program input tables.
+func seedRange(prefix string, base int64, n int, params map[string]float64) []Input {
+	ins := make([]Input, n)
+	for i := range ins {
+		ins[i] = Input{
+			Name:   fmt.Sprintf("%s-%d", prefix, i),
+			Seed:   base + int64(i),
+			Params: params,
+		}
+	}
+	return ins
+}

@@ -1,0 +1,256 @@
+package bench
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"branchnet/internal/trace"
+)
+
+func TestAllProgramsGenerate(t *testing.T) {
+	for _, p := range All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			in := p.Inputs(Test)[0]
+			tr := p.Generate(in, 20000)
+			if got := tr.Branches(); got < 20000 {
+				t.Fatalf("Branches() = %d, want >= 20000", got)
+			}
+			if tr.Instructions() <= uint64(tr.Branches()) {
+				t.Fatalf("Instructions() = %d, should exceed branch count %d",
+					tr.Instructions(), tr.Branches())
+			}
+			// Branch density should be plausible for integer code:
+			// between 1/20 and 1/2 of instructions.
+			density := float64(tr.Branches()) / float64(tr.Instructions())
+			if density < 0.05 || density > 0.5 {
+				t.Errorf("branch density = %.3f, want within [0.05, 0.5]", density)
+			}
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Leela()
+	in := p.Inputs(Train)[0]
+	a := p.Generate(in, 5000)
+	b := p.Generate(in, 5000)
+	if !reflect.DeepEqual(a.Records, b.Records) {
+		t.Fatal("same input must generate identical traces")
+	}
+	// A different seed must generate a different trace.
+	in2 := in
+	in2.Seed++
+	c := p.Generate(in2, 5000)
+	if reflect.DeepEqual(a.Records, c.Records) {
+		t.Fatal("different seeds should generate different traces")
+	}
+}
+
+func TestSplitsAreDisjoint(t *testing.T) {
+	for _, p := range All() {
+		seen := map[int64]string{}
+		for _, s := range []Split{Train, Validation, Test} {
+			ins := p.Inputs(s)
+			if len(ins) == 0 {
+				t.Errorf("%s: split %v has no inputs", p.Name, s)
+			}
+			for _, in := range ins {
+				if prev, dup := seen[in.Seed]; dup {
+					t.Errorf("%s: seed %d appears in %s and %v", p.Name, in.Seed, prev, s)
+				}
+				seen[in.Seed] = s.String()
+			}
+		}
+	}
+}
+
+func TestNoisyHistoryStructure(t *testing.T) {
+	p := NoisyHistory()
+	in := NoisyInput("t", 1, 5, 10, 0.5)
+	tr := p.Generate(in, 50000)
+	prof := trace.NewProfile(tr)
+
+	// Branch B must exist and be strongly not-taken biased: for N in
+	// [5,10] and alpha=0.5, x averages ~3.75, so B executes x+1 times per
+	// unit with exactly one taken — bias ~= 1/(1+E[x]).
+	b := prof.Branches[NoisyPCB]
+	if b == nil {
+		t.Fatal("Branch B missing from trace")
+	}
+	if bias := b.Bias(); bias < 0.1 || bias > 0.4 {
+		t.Errorf("Branch B taken bias = %.3f, want ~0.21", bias)
+	}
+
+	// Invariant: within each unit, #taken(B) == 1 and #not-taken(B) ==
+	// #not-taken(A) of the same unit. Check globally: not-taken(A) ==
+	// not-taken(B) when scanning unit boundaries (each B-taken ends a
+	// unit). Verify on the record stream, skipping the trailing
+	// (possibly truncated) unit.
+	var aNT, bNT int
+	complete := true
+	for _, r := range tr.Records {
+		switch r.PC {
+		case NoisyPCA:
+			if !r.Taken {
+				aNT++
+			}
+		case NoisyPCB:
+			if r.Taken {
+				if complete && aNT != bNT {
+					t.Fatalf("unit invariant violated: x=%d but B not-taken %d times", aNT, bNT)
+				}
+				aNT, bNT = 0, 0
+			} else {
+				bNT++
+			}
+		}
+	}
+}
+
+func TestNoisyHistoryAlphaControlsX(t *testing.T) {
+	// With alpha=1, Branch A is always taken, so x==0 and Branch B is
+	// always taken on first execution.
+	p := NoisyHistory()
+	tr := p.Generate(NoisyInput("t", 2, 5, 10, 1.0), 20000)
+	prof := trace.NewProfile(tr)
+	b := prof.Branches[NoisyPCB]
+	if b == nil {
+		t.Fatal("Branch B missing")
+	}
+	if b.Bias() != 1.0 {
+		t.Fatalf("alpha=1 should make Branch B always taken, bias = %.3f", b.Bias())
+	}
+	a := prof.Branches[NoisyPCA]
+	if a.Bias() != 1.0 {
+		t.Fatalf("alpha=1 should make Branch A always taken, bias = %.3f", a.Bias())
+	}
+}
+
+func TestLeelaDecisionBranchesAreCountDerived(t *testing.T) {
+	// Replays a leela trace and checks that every threshold-decision
+	// outcome matches recomputing the counts from the property branches
+	// of the same move — i.e. the trace really encodes the invariant
+	// relationship the CNN is supposed to learn.
+	p := Leela()
+	tr := p.Generate(p.Inputs(Test)[0], 30000)
+	var count [leelaProps]int
+	checked := 0
+	for _, r := range tr.Records {
+		switch {
+		case r.PC >= leelaPCProp && r.PC < leelaPCProp+4*leelaProps:
+			if r.Taken {
+				count[(r.PC-leelaPCProp)/4]++
+			}
+		case r.PC >= leelaPCThresh && r.PC < leelaPCThresh+4*leelaThreshBr:
+			tIdx := int((r.PC - leelaPCThresh) / 4)
+			pIdx := tIdx % leelaProps
+			thr := 1 + (tIdx/leelaProps)%6
+			if want := count[pIdx] >= thr; r.Taken != want {
+				t.Fatalf("threshold branch %d: taken=%v, want %v (count=%d thr=%d)",
+					tIdx, r.Taken, want, count[pIdx], thr)
+			}
+			checked++
+		case r.PC == leelaPCMove && !r.Taken:
+			count = [leelaProps]int{}
+		case r.PC == leelaPCMove && r.Taken:
+			count = [leelaProps]int{}
+		}
+	}
+	if checked < 100 {
+		t.Fatalf("only %d threshold decisions checked; trace too short?", checked)
+	}
+}
+
+func TestMCFPartitionBranchesConsistent(t *testing.T) {
+	// The all-less and none-less branches cannot both be taken for the
+	// same partition, and balance(>=n/2) implies skew(>=n/4) for n >= 4.
+	p := MCF()
+	tr := p.Generate(p.Inputs(Test)[0], 30000)
+	var balance, skew, all, none *trace.Record
+	for i := range tr.Records {
+		r := &tr.Records[i]
+		switch r.PC {
+		case mcfPCBalanceL:
+			balance = r
+		case mcfPCSkew:
+			skew = r
+		case mcfPCAllLess:
+			all = r
+		case mcfPCNoneLess:
+			none = r
+			if all != nil && all.Taken && none.Taken {
+				t.Fatal("all-less and none-less both taken")
+			}
+			if balance != nil && skew != nil && balance.Taken && !skew.Taken {
+				t.Fatal("balance taken but skew not taken")
+			}
+			balance, skew, all, none = nil, nil, nil, nil
+		}
+	}
+}
+
+func TestGCCHasFlatProfile(t *testing.T) {
+	p := GCC()
+	tr := p.Generate(p.Inputs(Test)[0], 60000)
+	prof := trace.NewProfile(tr)
+	if got := prof.StaticBranches(); got < 300 {
+		t.Fatalf("gcc static branches = %d, want >= 300 (large code footprint)", got)
+	}
+	// No single branch should dominate the dynamic count.
+	var maxCount uint64
+	for _, bs := range prof.Branches {
+		if bs.Count > maxCount {
+			maxCount = bs.Count
+		}
+	}
+	if frac := float64(maxCount) / float64(tr.Branches()); frac > 0.2 {
+		t.Errorf("hottest gcc branch holds %.1f%% of executions, want flat profile", 100*frac)
+	}
+}
+
+func TestGCCBiasIsStatic(t *testing.T) {
+	// gccBias must be input-independent (pure function of identity).
+	for ph := 0; ph < 3; ph++ {
+		for b := 0; b < 3; b++ {
+			x, y := gccBias(ph, b, 0.12), gccBias(ph, b, 0.12)
+			if x != y {
+				t.Fatal("gccBias not deterministic")
+			}
+			if x < 0.85 || x > 0.99 {
+				t.Fatalf("gccBias(%d,%d) = %.3f out of range", ph, b, x)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if p := ByName("leela"); p == nil || p.Name != "leela" {
+		t.Fatal("ByName(leela) failed")
+	}
+	if p := ByName("noisyhistory"); p == nil {
+		t.Fatal("ByName(noisyhistory) failed")
+	}
+	if p := ByName("nonesuch"); p != nil {
+		t.Fatal("ByName(nonesuch) should be nil")
+	}
+}
+
+func TestProgramBiasSanity(t *testing.T) {
+	// All programs should have a mix of taken and not-taken branches,
+	// and overall taken rate in a plausible range.
+	for _, p := range All() {
+		tr := p.Generate(p.Inputs(Test)[0], 20000)
+		taken := 0
+		for _, r := range tr.Records {
+			if r.Taken {
+				taken++
+			}
+		}
+		rate := float64(taken) / float64(len(tr.Records))
+		if math.IsNaN(rate) || rate < 0.2 || rate > 0.95 {
+			t.Errorf("%s: overall taken rate %.3f outside [0.2, 0.95]", p.Name, rate)
+		}
+	}
+}

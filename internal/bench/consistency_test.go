@@ -1,0 +1,184 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"branchnet/internal/trace"
+)
+
+// TestXZModeBranchesAreCountDerived replays an xz trace and verifies the
+// mode-selection branches really are deterministic functions of the block's
+// match/literal counts — the invariant BranchNet is supposed to learn.
+func TestXZModeBranchesAreCountDerived(t *testing.T) {
+	p := XZ()
+	in := p.Inputs(Test)[0]
+	tr := p.Generate(in, 40000)
+	level := int(in.Param("level", 6))
+	thrLong := 4 + level/3
+	thrLit := xzBlock - 2*thrLong
+
+	matches, literals := 0, 0
+	checked := 0
+	for _, r := range tr.Records {
+		switch r.PC {
+		case xzPCMatch:
+			if r.Taken {
+				matches++
+			} else {
+				literals++
+			}
+		case xzPCLongMode:
+			if want := matches >= thrLong; r.Taken != want {
+				t.Fatalf("long-mode branch: taken=%v want %v (matches=%d)", r.Taken, want, matches)
+			}
+			checked++
+		case xzPCLitMode:
+			if want := literals >= thrLit; r.Taken != want {
+				t.Fatalf("lit-mode branch: taken=%v want %v (literals=%d)", r.Taken, want, literals)
+			}
+		case xzPCRepDist:
+			if want := matches > literals/2; r.Taken != want {
+				t.Fatalf("repdist branch: taken=%v want %v", r.Taken, want)
+			}
+		case xzPCFlush:
+			// Block boundary: reset counts for the next block.
+			matches, literals = 0, 0
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("only %d mode decisions checked", checked)
+	}
+}
+
+// TestDeepsjengPruningIsCountDerived replays a deepsjeng trace and checks
+// the pruning branches against recomputed per-node counts.
+func TestDeepsjengPruningIsCountDerived(t *testing.T) {
+	p := Deepsjeng()
+	tr := p.Generate(p.Inputs(Test)[0], 40000)
+	good, captures := 0, 0
+	checked := 0
+	for _, r := range tr.Records {
+		switch r.PC {
+		case djPCScore:
+			if r.Taken {
+				good++
+			}
+		case djPCCapture:
+			if r.Taken {
+				captures++
+			}
+		case djPCCutoff:
+			if want := good >= 3; r.Taken != want {
+				t.Fatalf("cutoff: taken=%v want %v (good=%d)", r.Taken, want, good)
+			}
+			checked++
+		case djPCNullOk:
+			if want := good >= 1; r.Taken != want {
+				t.Fatalf("null-ok: taken=%v want %v", r.Taken, want)
+			}
+		case djPCExtend:
+			if want := captures > good; r.Taken != want {
+				t.Fatalf("extend: taken=%v want %v", r.Taken, want)
+			}
+		case djPCFutile:
+			if want := good <= 1; r.Taken != want {
+				t.Fatalf("futile: taken=%v want %v", r.Taken, want)
+			}
+			// Node ends after the pruning block (djPCDeepen follows, but
+			// counters reset at the next node's first score branch).
+		case djPCDeepen:
+			good, captures = 0, 0
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("only %d pruning decisions checked", checked)
+	}
+}
+
+// TestExchange2NearDeterministic: exchange2's branch stream should be
+// dominated by regular loop control — taken rates per static branch either
+// strongly biased or exactly the (n-1)/n pattern of a counted loop.
+func TestExchange2NearDeterministic(t *testing.T) {
+	p := Exchange2()
+	tr := p.Generate(p.Inputs(Test)[0], 30000)
+	prof := trace.NewProfile(tr)
+	// The only irregular branch is the rare backtrack path; everything
+	// else is loop control or a >=95%-biased check.
+	for pc, bs := range prof.Branches {
+		if pc == ex2PCBacktrk {
+			continue
+		}
+		bias := bs.Bias()
+		loopLike := bias > 0.85 || bias < 0.15 || // biased or loop-exit pattern
+			(bias > 0.55 && bias < 0.95) // counted-loop (n-1)/n rates
+		if !loopLike {
+			t.Errorf("branch %#x bias %.3f; exchange2 should be regular", pc, bias)
+		}
+	}
+}
+
+// TestNoiseProperties: noise branches use distinct PCs within the region
+// and respect the bias parameter.
+func TestNoiseProperties(t *testing.T) {
+	f := func(seed int64, kindsRaw, nRaw uint8) bool {
+		kinds := int(kindsRaw%10) + 1
+		n := int(nRaw%50) + 1
+		col := trace.NewCollector(0)
+		c := &Ctx{E: col, Rng: newTestRng(seed)}
+		c.Noise(0x9000, kinds, n, 0.8)
+		tr := col.Trace()
+		if tr.Branches() != n {
+			return false
+		}
+		for _, r := range tr.Records {
+			if r.PC < 0x9000 || r.PC >= 0x9000+4*uint64(kinds) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoopHelperEmitsExitBranch: the Loop helper must emit exactly n
+// backward branches for n iterations (taken n-1 times, one exit), and one
+// not-taken branch for a zero-trip loop.
+func TestLoopHelperEmitsExitBranch(t *testing.T) {
+	for _, n := range []int{0, 1, 5} {
+		col := trace.NewCollector(0)
+		c := &Ctx{E: col, Rng: newTestRng(1)}
+		body := 0
+		c.Loop(0x42, n, 2, func(int) { body++ })
+		tr := col.Trace()
+		wantBranches := n
+		if n == 0 {
+			wantBranches = 1
+		}
+		if tr.Branches() != wantBranches {
+			t.Fatalf("n=%d: %d branches, want %d", n, tr.Branches(), wantBranches)
+		}
+		if body != n {
+			t.Fatalf("n=%d: body ran %d times", n, body)
+		}
+		taken := 0
+		for _, r := range tr.Records {
+			if r.Taken {
+				taken++
+			}
+		}
+		wantTaken := n - 1
+		if n == 0 {
+			wantTaken = 0
+		}
+		if taken != wantTaken {
+			t.Fatalf("n=%d: %d taken, want %d", n, taken, wantTaken)
+		}
+	}
+}
+
+// newTestRng builds the deterministic RNG used by helper tests.
+func newTestRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,112 @@
+package bench
+
+// deepsjeng-like workload: a game-tree search. Move scoring produces
+// data-dependent branches; the pruning decisions that follow are functions
+// of how many promising moves were seen at the node (count-correlated and
+// BranchNet-predictable), interleaved with hash-probe and bookkeeping noise.
+
+const (
+	djBase       uint64 = 0x4000
+	djPCMoveLoop        = djBase + 0x00 // move-generation loop
+	djPCScore           = djBase + 0x04 // score > alpha (data-dependent)
+	djPCCapture         = djBase + 0x08 // move is a capture (data-dependent)
+	djPCCutoff          = djBase + 0x0c // good >= cut (count-derived)
+	djPCNullOk          = djBase + 0x10 // good >= 1 (count-derived)
+	djPCExtend          = djBase + 0x14 // captures > good (two-count compare)
+	djPCFutile          = djBase + 0x18 // good <= 1 (count-derived)
+	djPCDeepen          = djBase + 0x1c // recursion-depth branch
+	djPCHashHit         = djBase + 0x20 // transposition probe (biased random)
+	djPCNoise           = djBase + 0x80
+)
+
+const (
+	djNoiseKinds = 20
+	djNodesPerTu = 24
+)
+
+// Deepsjeng returns the deepsjeng-like program.
+//
+// Parameters: "moves" — moves generated per node; "good" — probability a
+// move scores above alpha; "capt" — probability a move is a capture.
+func Deepsjeng() *Program {
+	return &Program{
+		Name: "deepsjeng",
+		Base: djBase,
+		run:  runDeepsjeng,
+		inputs: func(s Split) []Input {
+			mk := func(name string, seed int64, moves, good, capt float64) Input {
+				return Input{Name: name, Seed: seed, Params: map[string]float64{
+					"moves": moves, "good": good, "capt": capt,
+				}}
+			}
+			switch s {
+			case Train:
+				return []Input{
+					mk("train-open", 71, 14, 0.14, 0.10),
+					mk("train-mid", 72, 18, 0.26, 0.08),
+					mk("train-end", 73, 10, 0.34, 0.16),
+				}
+			case Validation:
+				return []Input{
+					mk("valid-a", 81, 16, 0.22, 0.12),
+					mk("valid-b", 82, 12, 0.30, 0.14),
+				}
+			default:
+				return []Input{
+					mk("ref-a", 91, 15, 0.20, 0.11),
+					mk("ref-b", 92, 17, 0.28, 0.09),
+				}
+			}
+		},
+	}
+}
+
+func runDeepsjeng(c *Ctx, in Input) {
+	movesMean := int(in.Param("moves", 16))
+	pGood := in.Param("good", 0.35)
+	pCapt := in.Param("capt", 0.25)
+
+	for node := 0; node < djNodesPerTu; node++ {
+		// Transposition-table probe: biased random (hash behaviour).
+		c.Work(6)
+		if c.Branch(djPCHashHit, c.Bernoulli(0.12)) {
+			c.Work(8)
+			continue
+		}
+
+		moves := movesMean - 2 + c.Rng.Intn(5)
+		good, captures := 0, 0
+		for m := 0; m < moves; m++ {
+			c.Work(16)
+			if c.Branch(djPCScore, c.Bernoulli(pGood)) {
+				good++
+				c.Work(3)
+			}
+			if c.Branch(djPCCapture, c.Bernoulli(pCapt)) {
+				captures++
+				c.Work(2)
+			}
+			if m%4 == 3 {
+				c.Noise(djPCNoise, djNoiseKinds, 2, 0.93)
+			}
+			c.Branch(djPCMoveLoop, m+1 < moves)
+		}
+
+		// Pruning decisions: deterministic functions of the counts of
+		// djPCScore/djPCCapture taken-instances in the node's history.
+		c.Work(4)
+		c.Branch(djPCCutoff, good >= 3)
+		c.Work(2)
+		c.Branch(djPCNullOk, good >= 1)
+		c.Work(2)
+		c.Branch(djPCExtend, captures > good)
+		c.Work(2)
+		c.Branch(djPCFutile, good <= 1)
+		c.Work(4)
+		// Depth decision has a count component plus a random term
+		// (search extensions are partially data-dependent).
+		c.Branch(djPCDeepen, good >= 2 && c.Bernoulli(0.8))
+		// Board make/unmake bookkeeping: predictable bulk.
+		c.Work(90)
+	}
+}

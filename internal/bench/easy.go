@@ -1,0 +1,235 @@
+package bench
+
+// The four low-MPKI programs of the suite. Per Fig. 1 and §VI-B,
+// "exchange2, x264, perlbench, and xalancbmk do not have many
+// hard-to-predict branches, so there is little opportunity for BranchNet."
+// Their models here are dominated by regular, predictable control flow,
+// with a small residue of data-dependent branches; x264 additionally
+// carries one modest count-correlated branch so the pipeline has a small
+// but nonzero opportunity there.
+
+// --- x264 -----------------------------------------------------------------
+
+const (
+	x264Base      uint64 = 0x8000
+	x264PCMBLoop         = x264Base + 0x00 // macroblock loop
+	x264PCSubLoop        = x264Base + 0x04 // sub-block loop
+	x264PCSkip           = x264Base + 0x08 // skip decision (biased random)
+	x264PCIntra          = x264Base + 0x0c // intra/inter (biased random)
+	x264PCSAD            = x264Base + 0x10 // SAD early-exit (data-dependent)
+	x264PCModeSel        = x264Base + 0x14 // zeros >= thr (count-derived)
+	x264PCNoise          = x264Base + 0x80
+)
+
+// X264 returns the x264-like program. Parameter: "motion" — fraction of
+// moving blocks (raises the data-dependent branch entropy slightly).
+func X264() *Program {
+	return &Program{
+		Name: "x264",
+		Base: x264Base,
+		run:  runX264,
+		inputs: func(s Split) []Input {
+			switch s {
+			case Train:
+				return []Input{
+					{Name: "train-slow", Seed: 201, Params: map[string]float64{"motion": 0.15}},
+					{Name: "train-fast", Seed: 202, Params: map[string]float64{"motion": 0.35}},
+					{Name: "train-mid", Seed: 203, Params: map[string]float64{"motion": 0.25}},
+				}
+			case Validation:
+				return []Input{
+					{Name: "valid-a", Seed: 211, Params: map[string]float64{"motion": 0.20}},
+					{Name: "valid-b", Seed: 212, Params: map[string]float64{"motion": 0.30}},
+				}
+			default:
+				return []Input{
+					{Name: "ref-a", Seed: 221, Params: map[string]float64{"motion": 0.22}},
+					{Name: "ref-b", Seed: 222, Params: map[string]float64{"motion": 0.28}},
+				}
+			}
+		},
+	}
+}
+
+func runX264(c *Ctx, in Input) {
+	motion := in.Param("motion", 0.25)
+	for mb := 0; mb < 16; mb++ {
+		c.Work(30)
+		if c.Branch(x264PCSkip, c.Bernoulli(1-motion)) {
+			// Skipped block: cheap path.
+			c.Work(25)
+			c.Branch(x264PCMBLoop, mb+1 < 16)
+			continue
+		}
+		c.Branch(x264PCIntra, c.Bernoulli(0.06))
+		zeros := 0
+		c.Loop(x264PCSubLoop, 8, 14, func(int) {
+			if c.Branch(x264PCSAD, c.Bernoulli(0.88)) {
+				zeros++
+				c.Work(3)
+			}
+		})
+		c.Noise(x264PCNoise, 8, 2, 0.96)
+		c.Work(6)
+		// The one count-correlated branch: mode selection by zero-count.
+		c.Branch(x264PCModeSel, zeros >= 5)
+		c.Work(20)
+		c.Branch(x264PCMBLoop, mb+1 < 16)
+	}
+}
+
+// --- exchange2 --------------------------------------------------------------
+
+const (
+	ex2Base      uint64 = 0x9000
+	ex2PCRowLoop        = ex2Base + 0x00
+	ex2PCColLoop        = ex2Base + 0x04
+	ex2PCDigitOk        = ex2Base + 0x08 // highly regular constraint check
+	ex2PCBacktrk        = ex2Base + 0x0c // rare backtrack
+)
+
+// Exchange2 returns the exchange2-like program: near-deterministic nested
+// loops with a rare backtracking branch, yielding very low MPKI.
+// Parameter: "fail" — backtrack probability.
+func Exchange2() *Program {
+	return &Program{
+		Name: "exchange2",
+		Base: ex2Base,
+		run: func(c *Ctx, in Input) {
+			fail := in.Param("fail", 0.03)
+			for r := 0; r < 9; r++ {
+				c.Loop(ex2PCColLoop, 9, 8, func(col int) {
+					// Constraint check follows a fixed pattern with rare
+					// data-dependent violations.
+					ok := col%3 != 2 || c.Bernoulli(1-fail)
+					c.Branch(ex2PCDigitOk, ok)
+					if !ok {
+						c.Branch(ex2PCBacktrk, true)
+						c.Work(12)
+					}
+				})
+				c.Work(10)
+				c.Branch(ex2PCRowLoop, r+1 < 9)
+			}
+		},
+		inputs: easyInputs(231, "fail", 0.02, 0.04, 0.03),
+	}
+}
+
+// --- perlbench --------------------------------------------------------------
+
+const (
+	perlBase       uint64 = 0xa000
+	perlPCDispatch        = perlBase + 0x000 // opcode-class checks: +4 each
+	perlPCLoop            = perlBase + 0x040
+	perlPCStackOk         = perlBase + 0x044
+	perlPCMagic           = perlBase + 0x048 // rare slow path
+)
+
+// Perlbench returns the perlbench-like program: an interpreter loop with a
+// skewed opcode distribution. Short-history correlation (opcode sequences
+// repeat) makes TAGE accurate; there is no deep-history headroom.
+// Parameter: "hot" — probability mass of the hottest opcode class.
+func Perlbench() *Program {
+	return &Program{
+		Name: "perlbench",
+		Base: perlBase,
+		run: func(c *Ctx, in Input) {
+			hot := in.Param("hot", 0.94)
+			// A short repeating opcode pattern with occasional substitutions:
+			// mostly predictable from recent history.
+			pattern := []int{0, 1, 0, 2, 0, 1, 3, 0}
+			for i := 0; i < 64; i++ {
+				op := pattern[i%len(pattern)]
+				if !c.Bernoulli(hot) {
+					op = c.Rng.Intn(6)
+				}
+				// Linear dispatch: one check branch per opcode class.
+				for k := 0; k < 6; k++ {
+					c.Work(2)
+					if c.Branch(perlPCDispatch+4*uint64(k), k == op) {
+						break
+					}
+				}
+				c.Work(42)
+				c.Branch(perlPCStackOk, c.Bernoulli(0.995))
+				if c.Branch(perlPCMagic, c.Bernoulli(0.01)) {
+					c.Work(60)
+				}
+				c.Branch(perlPCLoop, i+1 < 64)
+			}
+		},
+		inputs: easyInputs(241, "hot", 0.95, 0.97, 0.96),
+	}
+}
+
+// --- xalancbmk --------------------------------------------------------------
+
+const (
+	xalanBase    uint64 = 0xb000
+	xalanPCChild        = xalanBase + 0x00 // node-has-children (biased)
+	xalanPCElem         = xalanBase + 0x04 // element vs text (biased random)
+	xalanPCAttr         = xalanBase + 0x08 // attribute loop
+	xalanPCMatch        = xalanBase + 0x0c // template match (data-dependent)
+	xalanPCStack        = xalanBase + 0x10 // traversal stack loop
+)
+
+// Xalancbmk returns the xalancbmk-like program: a DOM-tree walk with biased
+// type checks. Parameter: "depth" — mean tree depth.
+func Xalancbmk() *Program {
+	return &Program{
+		Name: "xalancbmk",
+		Base: xalanBase,
+		run: func(c *Ctx, in Input) {
+			depth := int(in.Param("depth", 6))
+			// Walk a random tree via an explicit stack of remaining depths.
+			stack := []int{depth}
+			steps := 0
+			for len(stack) > 0 && steps < 200 {
+				steps++
+				c.Branch(xalanPCStack, true)
+				d := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				c.Work(22)
+				if c.Branch(xalanPCElem, c.Bernoulli(0.93)) {
+					c.Loop(xalanPCAttr, 2, 9, nil)
+					c.Branch(xalanPCMatch, c.Bernoulli(0.04))
+					c.Work(26)
+				}
+				if c.Branch(xalanPCChild, d > 0 && c.Bernoulli(0.97)) {
+					stack = append(stack, d-1, d-1)
+				}
+			}
+			c.Branch(xalanPCStack, false)
+			c.Work(15)
+		},
+		inputs: easyInputs(251, "depth", 5, 7, 6),
+	}
+}
+
+// easyInputs builds the standard 3/2/2 split varying a single parameter.
+func easyInputs(seedBase int64, param string, lo, hi, mid float64) func(Split) []Input {
+	return func(s Split) []Input {
+		mk := func(name string, seed int64, v float64) Input {
+			return Input{Name: name, Seed: seed, Params: map[string]float64{param: v}}
+		}
+		switch s {
+		case Train:
+			return []Input{
+				mk("train-lo", seedBase, lo),
+				mk("train-hi", seedBase+1, hi),
+				mk("train-mid", seedBase+2, mid),
+			}
+		case Validation:
+			return []Input{
+				mk("valid-a", seedBase+10, (lo+mid)/2),
+				mk("valid-b", seedBase+11, (hi+mid)/2),
+			}
+		default:
+			return []Input{
+				mk("ref-a", seedBase+20, mid*0.95),
+				mk("ref-b", seedBase+21, mid*1.05),
+			}
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package bench
+
+// gcc-like workload. Per the paper (§VI-B, VI-F): "gcc contains many static
+// branches that equally contribute to the total MPKI because of its large
+// code footprint and many execution phases. Our current methodology cannot
+// improve such benchmarks significantly."
+//
+// The model runs many compilation "phases", each with its own population of
+// static branches whose outcomes are independent coin flips at a per-branch
+// bias (data-dependent decisions over ever-changing IR). There is no
+// input-independent correlation to learn, and no single branch dominates the
+// misprediction count — so the offline training pipeline correctly attaches
+// (almost) no models.
+
+const (
+	gccBase     uint64 = 0x6000
+	gccPCPhase         = gccBase + 0x000 // phase loop
+	gccPCUnit          = gccBase + 0x004 // per-function loop
+	gccPCBranch        = gccBase + 0x100 // phase-local branches
+)
+
+const (
+	gccPhases         = 24
+	gccBranchPerPhase = 20
+	gccFuncsPerPhase  = 3
+)
+
+// GCC returns the gcc-like program.
+//
+// Parameters: "spread" — widens the per-branch bias range (more entropy).
+// Like xz, gcc's high-level optimization flags are held fixed across splits.
+func GCC() *Program {
+	return &Program{
+		Name: "gcc",
+		Base: gccBase,
+		run:  runGCC,
+		inputs: func(s Split) []Input {
+			switch s {
+			case Train:
+				return seedRange("train", 131, 3, map[string]float64{"spread": 0.12})
+			case Validation:
+				return seedRange("valid", 141, 2, map[string]float64{"spread": 0.12})
+			default:
+				return seedRange("ref", 151, 2, map[string]float64{"spread": 0.12})
+			}
+		},
+	}
+}
+
+// gccBias returns the static bias of branch b in phase ph: a fixed hash of
+// the branch identity, invariant across runs and inputs, in
+// [0.98-spread, 0.98].
+func gccBias(ph, b int, spread float64) float64 {
+	h := uint64(ph)*1000003 + uint64(b)*7919
+	h = (h ^ (h >> 13)) * 0x9e3779b97f4a7c15
+	u := float64(h>>40) / float64(1<<24)
+	return 0.985 - spread*u
+}
+
+func runGCC(c *Ctx, in Input) {
+	spread := in.Param("spread", 0.25)
+	for ph := 0; ph < gccPhases; ph++ {
+		for f := 0; f < gccFuncsPerPhase; f++ {
+			for b := 0; b < gccBranchPerPhase; b++ {
+				pc := gccPCBranch + 4*uint64(ph*gccBranchPerPhase+b)
+				c.Work(11)
+				if c.Branch(pc, c.Bernoulli(gccBias(ph, b, spread))) {
+					c.Work(6)
+				}
+			}
+			c.Work(10)
+			c.Branch(gccPCUnit, f+1 < gccFuncsPerPhase)
+		}
+		c.Work(20)
+		c.Branch(gccPCPhase, ph+1 < gccPhases)
+	}
+}

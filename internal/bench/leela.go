@@ -1,0 +1,149 @@
+package bench
+
+// leela-like workload. The paper (§VI-C) describes leela's mispredicting
+// branches as functions of Go-board *properties*: "there are often other
+// branches in the global history that depend on a shared property", but
+// "many uncorrelated branches ... make the history too noisy".
+//
+// The model: each move evaluates nProps properties by looping over board
+// cells, emitting one data-dependent branch per cell per property (taken
+// with an input-dependent density). The per-property taken counts are then
+// consumed by a large population of *decision branches*:
+//
+//   - threshold decisions: taken iff count(prop) >= thr, where thr is a
+//     fixed attribute of the static branch (input-independent), and
+//   - comparison decisions: taken iff count(propA) >= count(propB) — the
+//     nonlinear two-count pattern of Fig. 3.
+//
+// Decision branch outcomes are fully determined by counts of identified
+// property-branch instances in the global history, so a sum-pooling CNN can
+// predict them; a table-based predictor faces an exponential pattern space
+// because noisy branches separate the correlated instances. The property
+// branches themselves are data-dependent coin flips no predictor can beat.
+
+const (
+	leelaBase      uint64 = 0x2000
+	leelaPCMove           = leelaBase + 0x000 // outer move loop
+	leelaPCCells          = leelaBase + 0x004 // cell loop (per property)
+	leelaPCProp           = leelaBase + 0x020 // property branches: +4 per property
+	leelaPCThresh         = leelaBase + 0x100 // threshold decisions: +4 each
+	leelaPCCompare        = leelaBase + 0x300 // comparison decisions: +4 each
+	leelaPCNoise          = leelaBase + 0x600 // noise region
+)
+
+const (
+	leelaProps      = 4  // properties evaluated per move
+	leelaCells      = 10 // board cells scanned per property
+	leelaThreshBr   = 48 // static threshold decision branches
+	leelaCompareBr  = 24 // static comparison decision branches
+	leelaNoiseKinds = 24 // distinct noise branch PCs
+	leelaMovesPerTu = 8  // moves per run() unit
+	leelaPCFiller   = leelaBase + 0x700
+)
+
+// Leela returns the leela-like program.
+//
+// Parameters: "density" — probability a cell satisfies a property (varies
+// across inputs; the count→decision relationships are input-independent);
+// "noise" — noisy branches interleaved per property scan.
+func Leela() *Program {
+	return &Program{
+		Name: "leela",
+		Base: leelaBase,
+		run:  runLeela,
+		inputs: func(s Split) []Input {
+			mk := func(name string, seed int64, density, noise float64) Input {
+				return Input{Name: name, Seed: seed, Params: map[string]float64{
+					"density": density, "noise": noise,
+				}}
+			}
+			switch s {
+			case Train:
+				return []Input{
+					mk("train-sparse", 11, 0.12, 4),
+					mk("train-mid", 12, 0.22, 4),
+					mk("train-dense", 13, 0.35, 4),
+				}
+			case Validation:
+				return []Input{
+					mk("valid-a", 21, 0.18, 4),
+					mk("valid-b", 22, 0.28, 4),
+				}
+			default:
+				return []Input{
+					mk("ref-a", 31, 0.20, 4),
+					mk("ref-b", 32, 0.26, 4),
+				}
+			}
+		},
+	}
+}
+
+func runLeela(c *Ctx, in Input) {
+	density := in.Param("density", 0.5)
+	noise := int(in.Param("noise", 6))
+
+	for move := 0; move < leelaMovesPerTu; move++ {
+		// Evaluate properties: one counting loop per property, separated
+		// by noise so the correlated instances sit at nondeterministic
+		// positions in the history.
+		var count [leelaProps]int
+		for p := 0; p < leelaProps; p++ {
+			// Per-property densities drift around the input density so
+			// the two counts of a comparison decision are not trivially
+			// equal.
+			d := density + 0.03*float64(p%3-1)
+			c.Loop(leelaPCCells, leelaCells, 9, func(int) {
+				if c.Branch(leelaPCProp+4*uint64(p), c.Bernoulli(d)) {
+					count[p]++
+					c.Work(4)
+				}
+			})
+			c.Noise(leelaPCNoise, leelaNoiseKinds, noise, 0.92)
+			c.Work(14)
+		}
+
+		// Threshold decisions: branch t consumes property t%leelaProps
+		// with a threshold fixed per static branch. Thresholds span the
+		// binomial range (counts concentrate around density*cells, so
+		// low thresholds are hard and high ones are easy/biased — the
+		// realistic mix). The first 12 decisions are hot (every move);
+		// the rest run on a quarter of the moves, so a handful of static
+		// branches dominates the avoidable MPKI, as in real leela.
+		for t := 0; t < leelaThreshBr; t++ {
+			if t >= 12 && (move+t)%4 != 0 {
+				continue
+			}
+			p := t % leelaProps
+			thr := 1 + (t/leelaProps)%6 // 1..6 of leelaCells
+			c.Work(9)
+			c.Branch(leelaPCThresh+4*uint64(t), count[p] >= thr)
+			if t%5 == 4 {
+				c.Noise(leelaPCNoise, leelaNoiseKinds, 1, 0.92)
+			}
+		}
+
+		// Comparison decisions: count(a) >= count(b) + bias, the Fig. 3
+		// two-count pattern.
+		for t := 0; t < leelaCompareBr; t++ {
+			if t >= 6 && (move+t)%4 != 0 {
+				continue
+			}
+			a := t % leelaProps
+			b := (t + 1 + t/leelaProps) % leelaProps
+			if a == b {
+				b = (b + 1) % leelaProps
+			}
+			c.Work(9)
+			c.Branch(leelaPCCompare+4*uint64(t), count[a] >= count[b]+t%3-1)
+			if t%4 == 3 {
+				c.Noise(leelaPCNoise, leelaNoiseKinds, 1, 0.92)
+			}
+		}
+
+		// Board update bookkeeping: the predictable bulk of real code.
+		c.Loop(leelaPCFiller, 24, 10, nil)
+		c.Work(40)
+		c.Branch(leelaPCMove, move+1 < leelaMovesPerTu)
+	}
+}

@@ -1,0 +1,180 @@
+package bench
+
+// mcf-like workload. Per §VI-C of the paper, "most mispredicting branches of
+// mcf appear in the qsort function. Branches in the comparison function are
+// naturally hard-to-predict as they depend on data in an unsorted array.
+// BranchNet does not improve these data-dependent branches. However, there
+// are many branches in the body of qsort that depend on the results of these
+// comparisons."
+//
+// The model runs an actual quicksort (median-of-three, explicit stack) over
+// random arrays. The element-vs-pivot comparison branch is data-dependent
+// and unpredictable; the partition-body and post-partition branches are
+// deterministic functions of how many comparisons were taken — exactly the
+// count-in-noisy-history class BranchNet targets.
+
+const (
+	mcfBase       uint64 = 0x3000
+	mcfPCScan            = mcfBase + 0x00 // partition scan loop
+	mcfPCCmp             = mcfBase + 0x04 // arr[i] < pivot (data-dependent)
+	mcfPCSwapSelf        = mcfBase + 0x08 // i != store (count-derived)
+	mcfPCMed1            = mcfBase + 0x0c // median-of-three comparisons
+	mcfPCMed2            = mcfBase + 0x10
+	mcfPCBalanceL        = mcfBase + 0x14 // store >= L/2 (count-derived)
+	mcfPCAllLess         = mcfBase + 0x18 // store == L   (count-derived)
+	mcfPCNoneLess        = mcfBase + 0x1c // store == 0   (count-derived)
+	mcfPCSkew            = mcfBase + 0x20 // store >= L/4 (count-derived)
+	mcfPCRecurseL        = mcfBase + 0x24 // left segment large enough
+	mcfPCRecurseR        = mcfBase + 0x28 // right segment large enough
+	mcfPCStack           = mcfBase + 0x2c // work-stack non-empty loop
+	mcfPCNoise           = mcfBase + 0x80
+)
+
+const (
+	mcfCutoff     = 4  // segments below this are "insertion sorted" (no branches modeled)
+	mcfNoiseKinds = 16 // distinct noise branch PCs
+)
+
+// MCF returns the mcf-like program.
+//
+// Parameters: "size" — array length per sort; "dup" — probability of
+// duplicate-heavy data (changes comparison statistics across inputs).
+func MCF() *Program {
+	return &Program{
+		Name: "mcf",
+		Base: mcfBase,
+		run:  runMCF,
+		inputs: func(s Split) []Input {
+			mk := func(name string, seed int64, size, dup float64) Input {
+				return Input{Name: name, Seed: seed, Params: map[string]float64{
+					"size": size, "dup": dup,
+				}}
+			}
+			switch s {
+			case Train:
+				return []Input{
+					mk("train-small", 41, 24, 0.0),
+					mk("train-dup", 42, 32, 0.5),
+					mk("train-large", 43, 48, 0.2),
+				}
+			case Validation:
+				return []Input{
+					mk("valid-a", 51, 28, 0.1),
+					mk("valid-b", 52, 40, 0.3),
+				}
+			default:
+				return []Input{
+					mk("ref-a", 61, 36, 0.15),
+					mk("ref-b", 62, 44, 0.25),
+				}
+			}
+		},
+	}
+}
+
+func runMCF(c *Ctx, in Input) {
+	size := int(in.Param("size", 32))
+	dup := in.Param("dup", 0.2)
+
+	// Build a random array; with probability dup an element duplicates an
+	// earlier one, producing the duplicate-heavy comparison behaviour of
+	// mcf's arc arrays.
+	arr := make([]int, size)
+	for i := range arr {
+		if i > 0 && c.Bernoulli(dup) {
+			arr[i] = arr[c.Rng.Intn(i)]
+		} else {
+			arr[i] = c.Rng.Intn(1 << 20)
+		}
+	}
+	c.Work(2 * size)
+
+	// Iterative quicksort with an explicit segment stack.
+	type seg struct{ lo, hi int }
+	stack := []seg{{0, size - 1}}
+	for {
+		if !c.Branch(mcfPCStack, len(stack) > 0) {
+			break
+		}
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		lo, hi := s.lo, s.hi
+		n := hi - lo + 1
+		if n < mcfCutoff {
+			c.Work(4 * n)
+			continue
+		}
+
+		// Median-of-three pivot selection: two data-dependent branches.
+		mid := (lo + hi) / 2
+		c.Work(4)
+		if c.Branch(mcfPCMed1, arr[lo] > arr[mid]) {
+			arr[lo], arr[mid] = arr[mid], arr[lo]
+		}
+		c.Work(2)
+		if c.Branch(mcfPCMed2, arr[mid] > arr[hi]) {
+			arr[mid], arr[hi] = arr[hi], arr[mid]
+		}
+		// Stash the pivot at hi so the partition point always excludes
+		// it and segments strictly shrink.
+		arr[mid], arr[hi] = arr[hi], arr[mid]
+		pivot := arr[hi]
+
+		// Partition scan. mcfPCCmp is the unpredictable comparison; the
+		// rest of the loop body is determined by its outcome history.
+		store := lo
+		for i := lo; i < hi; i++ {
+			// The comparison "function call": real mcf burns tens of
+			// instructions per compare around the one unpredictable
+			// branch.
+			c.Work(18)
+			if c.Branch(mcfPCCmp, arr[i] < pivot) {
+				// Swap needed unless the prefix was all-less (store
+				// trails i only after some not-less outcome): this
+				// branch is "has any not-less occurred in this scan".
+				c.Work(2)
+				if c.Branch(mcfPCSwapSelf, i != store) {
+					arr[i], arr[store] = arr[store], arr[i]
+					c.Work(5)
+				}
+				store++
+			}
+			// Occasional pointer-chasing noise inside the scan.
+			if i%5 == 4 {
+				c.Noise(mcfPCNoise, mcfNoiseKinds, 1, 0.92)
+			}
+			c.Branch(mcfPCScan, i+1 < hi)
+		}
+		arr[store], arr[hi] = arr[hi], arr[store]
+
+		// Post-partition branches: pure functions of the taken-count of
+		// mcfPCCmp within this scan, buried under the scan's noise.
+		less := store - lo // taken-count of mcfPCCmp in this scan
+		c.Work(4)
+		c.Branch(mcfPCBalanceL, less >= n/2)
+		c.Work(2)
+		c.Branch(mcfPCSkew, less >= n/4)
+		c.Work(2)
+		if c.Branch(mcfPCAllLess, less == n-1) {
+			c.Work(4)
+		}
+		c.Work(2)
+		if c.Branch(mcfPCNoneLess, less == 0) {
+			c.Work(4)
+		}
+
+		// Recurse into the subsegments on either side of the pivot at
+		// store (segment sizes are count-derived too, but the branches
+		// are mostly biased).
+		if c.Branch(mcfPCRecurseL, store-lo >= mcfCutoff) {
+			stack = append(stack, seg{lo, store - 1})
+		}
+		c.Work(2)
+		if c.Branch(mcfPCRecurseR, hi-store >= mcfCutoff) {
+			stack = append(stack, seg{store + 1, hi})
+		}
+		// Node bookkeeping between partitions (arc updates in real mcf).
+		c.Work(70)
+	}
+	c.Work(60)
+}

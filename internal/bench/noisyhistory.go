@@ -1,0 +1,151 @@
+package bench
+
+// The Fig. 3 microbenchmark: the canonical hard-to-predict branch the paper
+// uses to motivate CNN branch prediction.
+//
+//	int x = 0;
+//	for (int i = 0; i < N; ++i) {            // loop branch L1
+//	    if (random_condition(alpha)) { ... } // Branch A; x++ when NOT taken
+//	    uncorrelated_function();             // 20 noisy conditional branches
+//	}
+//	for (int j = 0; j < x; ++j) { ... }      // Branch B; exits when taken
+//
+// Branch B is taken exactly when j == x. The only way to predict it from
+// global history is to *count* the not-taken instances of Branch A (= x) and
+// of Branch B itself (= j) — which a sum-pooling CNN does trivially and a
+// table-based predictor cannot, because the 20-branch noise makes the number
+// of distinct history patterns exponential.
+
+// PCs of the microbenchmark's static branches.
+const (
+	NoisyPCL1     uint64 = 0x1000 // first loop backward branch
+	NoisyPCA      uint64 = 0x1004 // Branch A
+	NoisyPCB      uint64 = 0x1008 // Branch B (the hard-to-predict branch)
+	noisyPCSpacer uint64 = 0x100c // surrounding-program loop between units
+	noisyPCNoise  uint64 = 0x1100 // 20 noise branches at 0x1100 + 4k
+)
+
+// noisySpacer is the trip count of the predictable surrounding-program
+// loop executed between units (the Fig. 3 fragment is a hot segment inside
+// a larger program; the spacer models the rest of that program). It is
+// long enough that one history window sees at most one loop-pair unit.
+const noisySpacer = 200
+
+// NoisyHistoryParams mirror the knobs of Section IV: N is drawn uniformly
+// from [NMin, NMax], Branch A is taken with probability Alpha, and Noise
+// conditional branches execute per first-loop iteration.
+const (
+	noisyDefaultNoise = 20
+)
+
+// NoisyHistory returns the Fig. 3 microbenchmark program.
+//
+// Parameters: "nmin", "nmax" (bounds of N, inclusive), "alpha" (P[Branch A
+// taken]), "noise" (uncorrelated branches per iteration, default 20).
+//
+// The input splits reproduce the three training sets of Fig. 4:
+//
+//	train set 1: N = 10,         alpha = 1
+//	train set 2: N ~ rand(5,10), alpha = 1
+//	train set 3: N ~ rand(1,4),  alpha = 0.5
+//
+// and the evaluation runs use N ~ rand(5,10) with alpha in [0.2, 1]. Use
+// NoisyInput to build an input with explicit parameters.
+func NoisyHistory() *Program {
+	return &Program{
+		Name: "noisyhistory",
+		Base: NoisyPCL1,
+		run:  runNoisyHistory,
+		inputs: func(s Split) []Input {
+			switch s {
+			case Train:
+				return []Input{
+					NoisyInput("set1", 100, 10, 10, 1.0),
+					NoisyInput("set2", 200, 5, 10, 1.0),
+					NoisyInput("set3", 300, 1, 4, 0.5),
+				}
+			case Validation:
+				return []Input{
+					NoisyInput("valid-lo", 400, 5, 10, 0.35),
+					NoisyInput("valid-hi", 401, 5, 10, 0.7),
+				}
+			default:
+				return []Input{
+					NoisyInput("test-a0.2", 500, 5, 10, 0.2),
+					NoisyInput("test-a0.4", 501, 5, 10, 0.4),
+					NoisyInput("test-a0.6", 502, 5, 10, 0.6),
+					NoisyInput("test-a0.8", 503, 5, 10, 0.8),
+					NoisyInput("test-a1.0", 504, 5, 10, 1.0),
+				}
+			}
+		},
+	}
+}
+
+// NoisyInput builds a microbenchmark input with explicit N bounds and alpha.
+func NoisyInput(name string, seed int64, nmin, nmax int, alpha float64) Input {
+	return Input{
+		Name: name,
+		Seed: seed,
+		Params: map[string]float64{
+			"nmin":  float64(nmin),
+			"nmax":  float64(nmax),
+			"alpha": alpha,
+			"noise": noisyDefaultNoise,
+		},
+	}
+}
+
+func runNoisyHistory(c *Ctx, in Input) {
+	nmin := int(in.Param("nmin", 5))
+	nmax := int(in.Param("nmax", 10))
+	alpha := in.Param("alpha", 0.5)
+	noise := int(in.Param("noise", noisyDefaultNoise))
+
+	n := nmin
+	if nmax > nmin {
+		n += c.Rng.Intn(nmax - nmin + 1)
+	}
+
+	// First loop: Branch A and the uncorrelated function. The
+	// uncorrelated function has `noise` static conditional branches of
+	// which a random subset executes each call, so the positions of
+	// Branch A instances in the global history are nondeterministic —
+	// the noisy-history property of §II-A.
+	x := 0
+	for i := 0; i < n; i++ {
+		c.Work(2)
+		if !c.Branch(NoisyPCA, c.Bernoulli(alpha)) {
+			x++ // x increments when Branch A is not taken
+			c.Work(1)
+		}
+		// The number of executed noise branches per call is bursty
+		// (data-dependent inner loops), so correlated branches appear at
+		// wildly varying history depths. This burstiness is what gives a
+		// small-N training set *coverage* of the depths that larger-N
+		// runs occupy — the paper's coverage-not-representativeness
+		// requirement in action.
+		burst := c.Rng.Intn(4)
+		if c.Bernoulli(0.15) {
+			burst += c.Rng.Intn(noise + 4)
+		}
+		c.Noise(noisyPCNoise, noise, burst, 0.5)
+		c.Work(2)
+		c.Branch(NoisyPCL1, i+1 < n)
+	}
+
+	// Second loop: Branch B is not taken while j < x and taken at exit.
+	for j := 0; ; j++ {
+		exit := j >= x
+		c.Work(3)
+		c.Branch(NoisyPCB, exit)
+		if exit {
+			break
+		}
+	}
+
+	// The rest of the surrounding program: a long, predictable loop
+	// separating consecutive executions of the hot segment.
+	c.Loop(noisyPCSpacer, noisySpacer, 4, nil)
+	c.Work(5)
+}

@@ -1,0 +1,109 @@
+package bench
+
+// omnetpp-like workload. Per the paper (§VI-B): "the main hard-to-predict
+// branches in omnetpp are data-dependent branches, which BranchNet cannot
+// improve" — branches that "depend on data that was stored in memory long
+// before the branch executes", leaving nothing correlated in recent branch
+// history (§IV).
+//
+// The model keeps a large "message memory" written far in the past; event
+// handlers branch on randomly indexed entries. Recent branch history carries
+// no information about these outcomes, so neither TAGE nor BranchNet can
+// beat the bias — which is the behaviour the paper reports.
+
+const (
+	omBase         uint64 = 0x7000
+	omPCEventLoop         = omBase + 0x00
+	omPCMsgKind           = omBase + 0x04 // memory-dependent (unpredictable)
+	omPCPriority          = omBase + 0x08 // memory-dependent (unpredictable)
+	omPCQueueEmpty        = omBase + 0x0c // mostly-biased queue check
+	omPCSchedule          = omBase + 0x10 // biased scheduling branch
+	omPCHeapFix           = omBase + 0x14 // heap sift loop
+	omPCNoise             = omBase + 0x80
+)
+
+const (
+	omMemory      = 4096
+	omEventsPerTu = 32
+	omNoiseKinds  = 10
+)
+
+// Omnetpp returns the omnetpp-like program.
+//
+// Parameters: "kindbias" — fraction of messages of the common kind;
+// "prio" — fraction of high-priority messages.
+func Omnetpp() *Program {
+	return &Program{
+		Name: "omnetpp",
+		Base: omBase,
+		run:  runOmnetpp,
+		inputs: func(s Split) []Input {
+			mk := func(name string, seed int64, kb, pr float64) Input {
+				return Input{Name: name, Seed: seed, Params: map[string]float64{
+					"kindbias": kb, "prio": pr,
+				}}
+			}
+			switch s {
+			case Train:
+				return []Input{
+					mk("train-a", 161, 0.84, 0.10),
+					mk("train-b", 162, 0.90, 0.16),
+					mk("train-c", 163, 0.80, 0.08),
+				}
+			case Validation:
+				return []Input{
+					mk("valid-a", 171, 0.86, 0.12),
+					mk("valid-b", 172, 0.82, 0.09),
+				}
+			default:
+				return []Input{
+					mk("ref-a", 181, 0.85, 0.11),
+					mk("ref-b", 182, 0.88, 0.13),
+				}
+			}
+		},
+	}
+}
+
+func runOmnetpp(c *Ctx, in Input) {
+	kindBias := in.Param("kindbias", 0.6)
+	prio := in.Param("prio", 0.3)
+
+	// Message memory written "long before" the branches execute: an entire
+	// batch of writes happens up front, so by the time the event loop
+	// branches on an entry, the write is far outside any history window.
+	mem := make([]byte, omMemory)
+	for i := range mem {
+		v := byte(0)
+		if c.Bernoulli(kindBias) {
+			v |= 1
+		}
+		if c.Bernoulli(prio) {
+			v |= 2
+		}
+		mem[i] = v
+	}
+	// Only a fraction of the writing phase lies on the traced path (the
+	// paper's point is that the stores happen long before the branches).
+	c.Work(omMemory / 8)
+
+	for ev := 0; ev < omEventsPerTu; ev++ {
+		idx := c.Rng.Intn(omMemory)
+		c.Work(30)
+		// The two data-dependent branches: outcomes live in mem, not in
+		// branch history.
+		if c.Branch(omPCMsgKind, mem[idx]&1 == 1) {
+			c.Work(6)
+		}
+		c.Branch(omPCPriority, mem[idx]&2 == 2)
+		c.Work(4)
+
+		// Queue maintenance: predictable, biased control flow.
+		c.Branch(omPCQueueEmpty, c.Bernoulli(0.05))
+		c.Branch(omPCSchedule, c.Bernoulli(0.9))
+		c.Loop(omPCHeapFix, 2, 8, nil)
+		c.Noise(omPCNoise, omNoiseKinds, 2, 0.95)
+		c.Work(35)
+		c.Branch(omPCEventLoop, ev+1 < omEventsPerTu)
+	}
+}

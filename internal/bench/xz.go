@@ -1,0 +1,112 @@
+package bench
+
+// xz-like workload: an LZ-style match loop. Whether a match is found and how
+// far it extends are data-dependent; the mode-selection branches that follow
+// depend on *how many* matches/literals occurred in the current block —
+// count-correlated under noise. The compression "level" is a high-level
+// control flag: per §VI-A of the paper, such flags "likely do not change
+// frequently in deployment", so — exactly as the paper does for xz and gcc —
+// the flag is held fixed across the training/validation/test splits while
+// the data inputs differ.
+
+const (
+	xzBase        uint64 = 0x5000
+	xzPCByteLoop         = xzBase + 0x00 // per-position loop
+	xzPCMatch            = xzBase + 0x04 // match found (data-dependent)
+	xzPCExtend           = xzBase + 0x08 // match extends (data-dependent)
+	xzPCLongMode         = xzBase + 0x0c // matches >= thr (count-derived)
+	xzPCLitMode          = xzBase + 0x10 // literals >= thr (count-derived)
+	xzPCRepDist          = xzBase + 0x14 // matches > literals/2 (two-count)
+	xzPCFlush            = xzBase + 0x18 // block flush decision (count-derived)
+	xzPCHashProbe        = xzBase + 0x1c // hash-chain probe (biased random)
+	xzPCNoise            = xzBase + 0x80
+)
+
+const (
+	xzBlock      = 28 // positions per block
+	xzNoiseKinds = 12
+)
+
+// XZ returns the xz-like program.
+//
+// Parameters: "pmatch" — probability a position starts a match; "pextend" —
+// probability a match extends one more position; "level" — compression level
+// flag (sets the mode-selection thresholds; fixed across splits).
+func XZ() *Program {
+	return &Program{
+		Name: "xz",
+		Base: xzBase,
+		run:  runXZ,
+		inputs: func(s Split) []Input {
+			mk := func(name string, seed int64, pm, pe float64) Input {
+				return Input{Name: name, Seed: seed, Params: map[string]float64{
+					"pmatch": pm, "pextend": pe, "level": 6,
+				}}
+			}
+			switch s {
+			case Train:
+				return []Input{
+					mk("train-text", 101, 0.18, 0.80),
+					mk("train-bin", 102, 0.32, 0.70),
+					mk("train-rand", 103, 0.10, 0.60),
+				}
+			case Validation:
+				return []Input{
+					mk("valid-a", 111, 0.22, 0.75),
+					mk("valid-b", 112, 0.28, 0.68),
+				}
+			default:
+				return []Input{
+					mk("ref-a", 121, 0.24, 0.74),
+					mk("ref-b", 122, 0.16, 0.70),
+				}
+			}
+		},
+	}
+}
+
+func runXZ(c *Ctx, in Input) {
+	pMatch := in.Param("pmatch", 0.4)
+	pExtend := in.Param("pextend", 0.6)
+	level := int(in.Param("level", 6))
+	thrLong := 4 + level/3 // count thresholds derive from the level flag
+	thrLit := xzBlock - 2*thrLong
+
+	matches, literals := 0, 0
+	for pos := 0; pos < xzBlock; pos++ {
+		c.Work(13)
+		// Hash-chain probe before the match decision: biased noise.
+		c.Branch(xzPCHashProbe, c.Bernoulli(0.93))
+		if c.Branch(xzPCMatch, c.Bernoulli(pMatch)) {
+			matches++
+			// Extend loop: geometric length, capped.
+			for l := 0; l < 12; l++ {
+				c.Work(2)
+				if !c.Branch(xzPCExtend, c.Bernoulli(pExtend)) {
+					break
+				}
+			}
+			c.Work(12)
+		} else {
+			literals++
+			c.Work(8)
+		}
+		if pos%6 == 5 {
+			c.Noise(xzPCNoise, xzNoiseKinds, 2, 0.93)
+		}
+		c.Branch(xzPCByteLoop, pos+1 < xzBlock)
+	}
+
+	// Mode selection for the block: deterministic functions of the match
+	// and literal counts accumulated under noise.
+	c.Work(6)
+	c.Branch(xzPCLongMode, matches >= thrLong)
+	c.Work(3)
+	c.Branch(xzPCLitMode, literals >= thrLit)
+	c.Work(3)
+	c.Branch(xzPCRepDist, matches > literals/2)
+	c.Work(3)
+	c.Branch(xzPCFlush, matches >= thrLong/2 && literals >= 2)
+	// Range-coder output: predictable bulk.
+	c.Work(160)
+}

@@ -1,0 +1,156 @@
+package branchnet
+
+import (
+	"math/rand"
+
+	"branchnet/internal/trace"
+)
+
+// Example is one training/evaluation example for a single static branch:
+// the global history immediately before the branch (most recent first,
+// encoded as tokens) and the branch's resolved direction.
+type Example struct {
+	History []uint32
+	Taken   bool
+}
+
+// Dataset is a set of examples for one static branch.
+type Dataset struct {
+	PC       uint64
+	Window   int // tokens per example
+	Examples []Example
+}
+
+// TakenRate returns the fraction of taken labels.
+func (d *Dataset) TakenRate() float64 {
+	if len(d.Examples) == 0 {
+		return 0
+	}
+	taken := 0
+	for _, e := range d.Examples {
+		if e.Taken {
+			taken++
+		}
+	}
+	return float64(taken) / float64(len(d.Examples))
+}
+
+// Extract builds datasets for the requested branch PCs from a trace. Each
+// example carries window tokens of history (padded with zero tokens at the
+// start of the trace); tokens are (pc & mask)<<1 | dir with pcBits of PC.
+//
+// A single pass maintains a ring buffer of recent tokens, so extraction is
+// O(records + examples*window).
+func Extract(tr *trace.Trace, pcs []uint64, window int, pcBits uint) map[uint64]*Dataset {
+	return ExtractCapped(tr, pcs, window, pcBits, 0)
+}
+
+// ExtractCapped is Extract with an optional per-branch example cap
+// (maxPerPC <= 0 means unlimited). When a branch executes more often than
+// the cap, its dynamic instances are sampled at a deterministic stride so
+// the kept examples still span the whole trace. Capping bounds both memory
+// (window tokens per example) and downstream training cost.
+func ExtractCapped(tr *trace.Trace, pcs []uint64, window int, pcBits uint, maxPerPC int) map[uint64]*Dataset {
+	want := make(map[uint64]*Dataset, len(pcs))
+	stride := make(map[uint64]int, len(pcs))
+	seen := make(map[uint64]int, len(pcs))
+	if maxPerPC > 0 {
+		// Pre-count executions to derive per-branch sampling strides.
+		counts := make(map[uint64]uint64, len(pcs))
+		for _, pc := range pcs {
+			counts[pc] = 0
+		}
+		for i := range tr.Records {
+			if _, ok := counts[tr.Records[i].PC]; ok {
+				counts[tr.Records[i].PC]++
+			}
+		}
+		for pc, n := range counts {
+			s := int(n) / maxPerPC
+			if s < 1 {
+				s = 1
+			}
+			stride[pc] = s
+		}
+	}
+	for _, pc := range pcs {
+		want[pc] = &Dataset{PC: pc, Window: window}
+		if maxPerPC <= 0 {
+			stride[pc] = 1
+		}
+	}
+	ring := make([]uint32, window)
+	pos := 0 // next write slot; ring[pos-1] is the most recent token
+	for i := range tr.Records {
+		r := &tr.Records[i]
+		if ds, ok := want[r.PC]; ok {
+			seen[r.PC]++
+			if (seen[r.PC]-1)%stride[r.PC] == 0 &&
+				(maxPerPC <= 0 || len(ds.Examples) < maxPerPC) {
+				hist := make([]uint32, window)
+				for j := 0; j < window; j++ {
+					idx := pos - 1 - j
+					if idx < 0 {
+						idx += window
+					}
+					hist[j] = ring[idx]
+				}
+				ds.Examples = append(ds.Examples, Example{History: hist, Taken: r.Taken})
+			}
+		}
+		ring[pos] = trace.Token(r.PC, r.Taken, pcBits)
+		pos++
+		if pos == window {
+			pos = 0
+		}
+	}
+	return want
+}
+
+// Merge concatenates datasets for the same branch (e.g. across the traces
+// of several training inputs).
+func Merge(sets ...*Dataset) *Dataset {
+	if len(sets) == 0 {
+		return &Dataset{}
+	}
+	out := &Dataset{PC: sets[0].PC, Window: sets[0].Window}
+	for _, s := range sets {
+		if s.PC != out.PC || s.Window != out.Window {
+			panic("branchnet: merging incompatible datasets")
+		}
+		out.Examples = append(out.Examples, s.Examples...)
+	}
+	return out
+}
+
+// Subsample returns a dataset with at most n examples, sampled uniformly
+// without replacement (deterministically from seed). The original order is
+// preserved for the kept examples.
+func (d *Dataset) Subsample(n int, seed int64) *Dataset {
+	if len(d.Examples) <= n {
+		return d
+	}
+	rng := rand.New(rand.NewSource(seed))
+	keep := rng.Perm(len(d.Examples))[:n]
+	mask := make([]bool, len(d.Examples))
+	for _, i := range keep {
+		mask[i] = true
+	}
+	out := &Dataset{PC: d.PC, Window: d.Window, Examples: make([]Example, 0, n)}
+	for i, e := range d.Examples {
+		if mask[i] {
+			out.Examples = append(out.Examples, e)
+		}
+	}
+	return out
+}
+
+// Split partitions the dataset into two parts with the first receiving
+// frac of the examples (chronological split, mirroring how traces precede
+// their evaluation).
+func (d *Dataset) Split(frac float64) (a, b *Dataset) {
+	cut := int(frac * float64(len(d.Examples)))
+	a = &Dataset{PC: d.PC, Window: d.Window, Examples: d.Examples[:cut]}
+	b = &Dataset{PC: d.PC, Window: d.Window, Examples: d.Examples[cut:]}
+	return a, b
+}

@@ -1,0 +1,295 @@
+// Package branchnet implements the paper's contribution: the BranchNet
+// convolutional neural network for hard-to-predict branches, in both its
+// Big-BranchNet (unconstrained, floating-point) and Mini-BranchNet
+// (practical, quantized, engine-backed) variants, together with the
+// offline training pipeline of Section V-E and the quantization flow of
+// Section V-B.
+//
+// A BranchNet model is trained offline — from branch traces collected over
+// multiple program inputs — to predict a single static branch from the
+// global branch/path history. At runtime the model's integer tables are
+// attached to the program and evaluated by the inference engine
+// (internal/engine); everything here up to Quantize is the compile-time
+// half of that story.
+package branchnet
+
+import (
+	"fmt"
+
+	"branchnet/internal/engine"
+)
+
+// Knobs are the architecture knobs of Table I. A model has one feature
+// slice per entry of History; slice i sees the most recent History[i]
+// branches.
+type Knobs struct {
+	Name string
+
+	// History sizes per slice (geometric, like TAGE's history lengths).
+	History []int
+	// Channels is the number of convolution channels per slice.
+	Channels []int
+	// PoolWidths are the sum-pooling widths per slice (stride == width),
+	// proportional to the slice's history length.
+	PoolWidths []int
+	// PrecisePool selects, per slice, the precise-pooling engine buffer
+	// (true) or the cheaper sliding-pooling buffer (false). Training
+	// randomizes window boundaries for sliding slices (Optimization 3).
+	PrecisePool []bool
+
+	// PCBits is the number of program-counter bits in each history token
+	// (knob p). Tokens are (pc & (2^p-1))<<1 | dir.
+	PCBits uint
+	// ConvHashBits (knob h) selects the Mini-BranchNet convolution
+	// style: when non-zero, each K-wide window of history tokens is
+	// hashed to h bits and the "convolution" is a 2^h-entry table per
+	// channel (the paper's approximation of wide convolution filters).
+	// Zero selects a true embedding+convolution (Big-BranchNet, Tarsa).
+	ConvHashBits uint
+	// EmbeddingDim (knob E) is the embedding width for true-convolution
+	// models.
+	EmbeddingDim int
+	// ConvWidth (knob K) is the convolution filter width.
+	ConvWidth int
+	// Hidden (knob N) lists the hidden fully-connected layer sizes; the
+	// final 1-neuron sigmoid layer is implicit. Empty means a single
+	// fully-connected layer straight to the prediction (Tarsa).
+	Hidden []int
+	// QuantBits (knob q) is the fixed-point precision used when the
+	// model is quantized; 0 marks a float-only model (Big, Tarsa-Float).
+	QuantBits uint
+	// Tanh selects Tanh activations (Mini-BranchNet replaces ReLU with
+	// Tanh to bound activations for quantization).
+	Tanh bool
+}
+
+// MaxHistory returns the longest slice history.
+func (k Knobs) MaxHistory() int {
+	max := 0
+	for _, h := range k.History {
+		if h > max {
+			max = h
+		}
+	}
+	return max
+}
+
+// MaxPool returns the widest pooling window.
+func (k Knobs) MaxPool() int {
+	max := 1
+	for _, p := range k.PoolWidths {
+		if p > max {
+			max = p
+		}
+	}
+	return max
+}
+
+// WindowTokens is the number of history tokens an example must carry:
+// the longest history plus slack for sliding-pooling randomization.
+func (k Knobs) WindowTokens() int { return k.MaxHistory() + k.MaxPool() }
+
+// Slices returns the slice count.
+func (k Knobs) Slices() int { return len(k.History) }
+
+// Features returns the flattened feature width feeding the first
+// fully-connected layer: sum over slices of ceil(H/P) * C.
+func (k Knobs) Features() int {
+	total := 0
+	for i, h := range k.History {
+		pooled := (h + k.PoolWidths[i] - 1) / k.PoolWidths[i]
+		total += pooled * k.Channels[i]
+	}
+	return total
+}
+
+// Validate panics on inconsistent knob vectors; it is called by model
+// constructors.
+func (k Knobs) Validate() {
+	n := len(k.History)
+	if n == 0 || len(k.Channels) != n || len(k.PoolWidths) != n || len(k.PrecisePool) != n {
+		panic(fmt.Sprintf("branchnet: inconsistent knob vectors in %q", k.Name))
+	}
+	for i := range k.History {
+		if k.History[i] <= 0 || k.Channels[i] <= 0 || k.PoolWidths[i] <= 0 {
+			panic(fmt.Sprintf("branchnet: non-positive knob in %q", k.Name))
+		}
+	}
+	if k.ConvHashBits == 0 && (k.EmbeddingDim <= 0 || k.ConvWidth <= 0) {
+		panic(fmt.Sprintf("branchnet: %q needs embedding/conv knobs", k.Name))
+	}
+}
+
+// EngineSpecs converts the knobs to engine slice specifications. The
+// effective history of sliding slices rounds down to whole pooling
+// windows, matching the engine and the float model.
+func (k Knobs) EngineSpecs() []engine.SliceSpec {
+	specs := make([]engine.SliceSpec, len(k.History))
+	for i := range k.History {
+		h := k.History[i]
+		if !k.PrecisePool[i] {
+			h = h / k.PoolWidths[i] * k.PoolWidths[i]
+		}
+		specs[i] = engine.SliceSpec{
+			Hist:      h,
+			Channels:  k.Channels[i],
+			PoolWidth: k.PoolWidths[i],
+			ConvWidth: k.ConvWidth,
+			Precise:   k.PrecisePool[i],
+			HashBits:  k.ConvHashBits,
+		}
+	}
+	return specs
+}
+
+// Storage returns the Table II storage breakdown of the knobs' inference
+// engine (only meaningful for hashed-convolution models).
+func (k Knobs) Storage() engine.StorageBreakdown {
+	hidden := 0
+	if len(k.Hidden) > 0 {
+		hidden = k.Hidden[0]
+	}
+	q := k.QuantBits
+	if q == 0 {
+		q = 4
+	}
+	return engine.SpecStorage(k.EngineSpecs(), hidden, q)
+}
+
+// BigKnobs returns the paper's Big-BranchNet (Table I, first column).
+// This is the full-size research model; CPU-scale experiments use
+// BigKnobsScaled instead.
+func BigKnobs() Knobs {
+	return Knobs{
+		Name:         "big-branchnet",
+		History:      []int{42, 78, 150, 294, 582},
+		Channels:     []int{32, 32, 32, 32, 32},
+		PoolWidths:   []int{3, 6, 12, 24, 48},
+		PrecisePool:  []bool{true, true, true, true, true},
+		PCBits:       12,
+		EmbeddingDim: 32,
+		ConvWidth:    7,
+		Hidden:       []int{128, 128},
+		Tanh:         false,
+	}
+}
+
+// BigKnobsScaled is the CPU-budget stand-in for Big-BranchNet used by the
+// quick experiment mode: same shape (5 geometric slices, two hidden
+// layers), smaller dimensions. Pooling on the long slices widens up to the
+// full slice ("as wide as the history", the Fig. 3 configuration): the
+// resulting features are counts over nested windows anchored at the
+// present, which generalize to correlated-branch positions never seen
+// during training — fine position-proportional pooling (Table I) needs
+// the positional coverage that only the authors' GPU-scale training sets
+// provide.
+func BigKnobsScaled() Knobs {
+	return Knobs{
+		Name:         "big-branchnet-scaled",
+		History:      []int{32, 64, 128, 256, 512},
+		Channels:     []int{8, 8, 8, 8, 8},
+		PoolWidths:   []int{4, 8, 32, 128, 512},
+		PrecisePool:  []bool{true, true, true, true, true},
+		PCBits:       12,
+		EmbeddingDim: 8,
+		ConvWidth:    3,
+		Hidden:       []int{32, 32},
+		Tanh:         false,
+	}
+}
+
+// Mini returns the Mini-BranchNet knob presets by storage budget. Valid
+// budgets are 2048, 1024, 512 and 256 bytes (the paper's 2KB/1KB/0.5KB/
+// 0.25KB configurations); Mini panics on anything else.
+func Mini(budgetBytes int) Knobs {
+	k := Knobs{
+		PCBits:    12,
+		ConvWidth: 7,
+		Tanh:      true,
+	}
+	switch budgetBytes {
+	case 2048:
+		k.Name = "mini-branchnet-2kb"
+		k.History = []int{37, 71, 139, 275, 547}
+		k.Channels = []int{4, 3, 3, 2, 2}
+		k.PoolWidths = []int{3, 6, 12, 24, 48}
+		k.PrecisePool = []bool{true, true, false, false, false}
+		k.ConvHashBits = 8
+		k.Hidden = []int{10}
+		k.QuantBits = 4
+	case 1024:
+		k.Name = "mini-branchnet-1kb"
+		k.History = []int{37, 71, 139, 275, 547}
+		k.Channels = []int{2, 2, 2, 2, 1}
+		k.PoolWidths = []int{3, 6, 12, 24, 48}
+		k.PrecisePool = []bool{true, true, false, false, false}
+		k.ConvHashBits = 8
+		k.Hidden = []int{8}
+		k.QuantBits = 4
+	case 512:
+		k.Name = "mini-branchnet-0.5kb"
+		k.History = []int{37, 71, 139, 275, 547}
+		k.Channels = []int{2, 2, 1, 1, 1}
+		k.PoolWidths = []int{3, 6, 12, 24, 48}
+		k.PrecisePool = []bool{true, true, false, false, false}
+		k.ConvHashBits = 7
+		k.Hidden = []int{6}
+		k.QuantBits = 3
+	case 256:
+		k.Name = "mini-branchnet-0.25kb"
+		k.History = []int{37, 71, 139, 275, 547}
+		k.Channels = []int{1, 1, 1, 1, 1}
+		k.PoolWidths = []int{3, 6, 12, 24, 48}
+		k.PrecisePool = []bool{false, false, false, false, false}
+		k.ConvHashBits = 6
+		k.Hidden = []int{4}
+		k.QuantBits = 3
+	default:
+		panic(fmt.Sprintf("branchnet: no Mini preset for %d bytes", budgetBytes))
+	}
+	return k
+}
+
+// MiniQuick shrinks a Mini preset's histories for CPU-budget test runs
+// while preserving the geometric shape and budget ordering. As with
+// BigKnobsScaled, long-slice pooling widens to the full slice for
+// position-robustness at CPU training scale.
+func MiniQuick(budgetBytes int) Knobs {
+	k := Mini(budgetBytes)
+	k.Name += "-quick"
+	k.History = []int{24, 48, 96, 192, 384}
+	k.PoolWidths = []int{3, 6, 24, 96, 384}
+	k.ConvWidth = 1
+	k.ConvHashBits += 2 // fewer hash collisions compensate the narrower filters
+	return k
+}
+
+// TarsaKnobs expresses the CNN of Tarsa et al. in BranchNet knobs
+// (Table I, last column): a single long history, one true-convolution
+// layer of width 3 over 7-bit PCs, no pooling, and a single
+// fully-connected output layer.
+func TarsaKnobs() Knobs {
+	return Knobs{
+		Name:         "tarsa-cnn",
+		History:      []int{200},
+		Channels:     []int{32},
+		PoolWidths:   []int{1},
+		PrecisePool:  []bool{true},
+		PCBits:       7,
+		EmbeddingDim: 32,
+		ConvWidth:    3,
+		Hidden:       nil,
+		QuantBits:    2, // ternary when quantized
+		Tanh:         true,
+	}
+}
+
+// TarsaKnobsQuick is the CPU-budget Tarsa configuration.
+func TarsaKnobsQuick() Knobs {
+	k := TarsaKnobs()
+	k.Name += "-quick"
+	k.History = []int{160}
+	k.Channels = []int{12}
+	k.EmbeddingDim = 8
+	return k
+}

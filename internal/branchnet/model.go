@@ -1,0 +1,298 @@
+package branchnet
+
+import (
+	"math/rand"
+
+	"branchnet/internal/engine"
+	"branchnet/internal/nn"
+)
+
+// Model is a floating-point BranchNet model for one static branch: five
+// (or fewer) feature-extraction slices over geometric history lengths,
+// followed by fully-connected layers (Fig. 5 of the paper).
+//
+// Big-BranchNet and Tarsa use true embedding+convolution slices;
+// Mini-BranchNet uses hashed-convolution slices (a 2^h-entry table per
+// channel indexed by a hash of K consecutive history tokens — the paper's
+// approximation of wide convolution filters, which is what makes the
+// runtime engine table-driven).
+type Model struct {
+	Knobs Knobs
+	PC    uint64
+
+	slices []*sliceNet
+	fc     []*fcBlock
+	out    *nn.Linear
+
+	// lastSliceOuts caches per-slice pooled tensors between Forward and
+	// Backward.
+	lastSliceOuts []*nn.Tensor
+
+	rng *rand.Rand
+}
+
+// sliceNet is one feature-extraction slice.
+type sliceNet struct {
+	hist     int
+	channels int
+	poolW    int
+	precise  bool
+	hashBits uint
+	convK    int
+	pcBits   uint
+
+	// True-convolution path (Big, Tarsa).
+	emb  *nn.Embedding
+	conv *nn.Conv1D
+	// Hashed-convolution path (Mini): a table over hashed K-grams.
+	table *nn.Embedding
+
+	bn1  *nn.BatchNorm
+	act1 nn.Layer
+	pool *nn.SumPool
+	// Mini only: normalization+tanh after pooling to stabilize the
+	// fully-connected inputs for quantization.
+	bn2  *nn.BatchNorm
+	act2 *nn.Tanh
+}
+
+// fcBlock is Linear -> BatchNorm -> activation.
+type fcBlock struct {
+	lin *nn.Linear
+	bn  *nn.BatchNorm
+	act nn.Layer
+}
+
+// effLen returns the number of history positions the slice consumes:
+// sliding-pooling slices round down to whole windows (the most recent
+// partial window is discarded by the engine), precise slices use ceil.
+func (s *sliceNet) effLen() int {
+	if s.precise {
+		return s.hist
+	}
+	return s.hist / s.poolW * s.poolW
+}
+
+// pooledLen returns the slice's pooled feature length.
+func (s *sliceNet) pooledLen() int {
+	if s.precise {
+		return (s.hist + s.poolW - 1) / s.poolW
+	}
+	return s.hist / s.poolW
+}
+
+// featureLen returns the flattened feature width of the slice.
+func (s *sliceNet) featureLen() int { return s.pooledLen() * s.channels }
+
+// New builds an untrained model for the branch at pc.
+func New(k Knobs, pc uint64, seed int64) *Model {
+	k.Validate()
+	rng := rand.New(rand.NewSource(seed))
+	m := &Model{Knobs: k, PC: pc, rng: rng}
+
+	for i := range k.History {
+		s := &sliceNet{
+			hist:     k.History[i],
+			channels: k.Channels[i],
+			poolW:    k.PoolWidths[i],
+			precise:  k.PrecisePool[i],
+			hashBits: k.ConvHashBits,
+			convK:    k.ConvWidth,
+			pcBits:   k.PCBits,
+			pool:     nn.NewSumPool(k.PoolWidths[i]),
+			bn1:      nn.NewBatchNorm(k.Channels[i]),
+		}
+		if k.ConvHashBits > 0 {
+			s.table = nn.NewEmbedding(rng, 1<<k.ConvHashBits, s.channels)
+			s.bn2 = nn.NewBatchNorm(s.channels)
+			s.act2 = &nn.Tanh{}
+		} else {
+			s.emb = nn.NewEmbedding(rng, 1<<(k.PCBits+1), k.EmbeddingDim)
+			s.conv = nn.NewConv1D(rng, k.EmbeddingDim, s.channels, k.ConvWidth)
+		}
+		if k.Tanh {
+			s.act1 = &nn.Tanh{}
+		} else {
+			s.act1 = &nn.ReLU{}
+		}
+		m.slices = append(m.slices, s)
+	}
+
+	in := m.featureLen()
+	for _, n := range k.Hidden {
+		blk := &fcBlock{lin: nn.NewLinear(rng, in, n), bn: nn.NewBatchNorm(n)}
+		if k.Tanh {
+			blk.act = &nn.Tanh{}
+		} else {
+			blk.act = &nn.ReLU{}
+		}
+		m.fc = append(m.fc, blk)
+		in = n
+	}
+	m.out = nn.NewLinear(rng, in, 1)
+	return m
+}
+
+// featureLen is the total flattened feature width across slices.
+func (m *Model) featureLen() int {
+	total := 0
+	for _, s := range m.slices {
+		total += s.featureLen()
+	}
+	return total
+}
+
+// Params returns every trainable parameter.
+func (m *Model) Params() []*nn.Param {
+	var ps []*nn.Param
+	for _, s := range m.slices {
+		if s.table != nil {
+			ps = append(ps, s.table.Params()...)
+			ps = append(ps, s.bn2.Params()...)
+		} else {
+			ps = append(ps, s.emb.Params()...)
+			ps = append(ps, s.conv.Params()...)
+		}
+		ps = append(ps, s.bn1.Params()...)
+	}
+	for _, blk := range m.fc {
+		ps = append(ps, blk.lin.Params()...)
+		ps = append(ps, blk.bn.Params()...)
+	}
+	ps = append(ps, m.out.Params()...)
+	return ps
+}
+
+// gramHash hashes K consecutive history tokens (window[t..t+K-1], t being
+// the newer end) to hashBits bits. It delegates to engine.GramHash so the
+// training-time hash and the hardware-model hash can never diverge.
+func gramHash(window []uint32, t, k int, bits uint) int32 {
+	return int32(engine.GramHash(window, t, k, bits))
+}
+
+// sliceTokens materializes the slice's input token/gram sequence for one
+// example. shift discards the `shift` most recent history entries
+// (sliding-pooling randomization; always 0 for precise slices and at
+// evaluation time when the engine alignment is modeled explicitly).
+func (s *sliceNet) sliceTokens(hist []uint32, shift int) []int32 {
+	n := s.effLen()
+	out := make([]int32, n)
+	if s.table != nil {
+		for t := 0; t < n; t++ {
+			out[t] = gramHash(hist, shift+t, s.convK, s.hashBits)
+		}
+		return out
+	}
+	for t := 0; t < n; t++ {
+		idx := shift + t
+		if idx < len(hist) {
+			out[t] = int32(hist[idx])
+		}
+	}
+	return out
+}
+
+// forwardSlice runs one slice over a batch of examples and returns the
+// pooled activation tensor [B, pooledLen, C]. shifts has one entry per
+// example (zero for precise slices).
+func (s *sliceNet) forward(batch []Example, shifts []int, train bool) *nn.Tensor {
+	tokens := make([][]int32, len(batch))
+	for i := range batch {
+		shift := 0
+		if !s.precise && shifts != nil {
+			shift = shifts[i] % s.poolW
+		}
+		tokens[i] = s.sliceTokens(batch[i].History, shift)
+	}
+	var x *nn.Tensor
+	if s.table != nil {
+		x = s.table.Forward(tokens)
+	} else {
+		x = s.emb.Forward(tokens)
+		x = s.conv.Forward(x, train)
+	}
+	x = s.bn1.Forward(x, train)
+	x = s.act1.Forward(x, train)
+	x = s.pool.Forward(x, train)
+	if s.bn2 != nil {
+		x = s.bn2.Forward(x, train)
+		x = s.act2.Forward(x, train)
+	}
+	return x
+}
+
+// backward propagates the slice gradient.
+func (s *sliceNet) backward(dy *nn.Tensor) {
+	if s.bn2 != nil {
+		dy = s.bn2.Backward(s.act2.Backward(dy))
+	}
+	dy = s.pool.Backward(dy)
+	dy = s.act1.Backward(dy)
+	dy = s.bn1.Backward(dy)
+	if s.table != nil {
+		s.table.Backward(dy)
+		return
+	}
+	dy = s.conv.Backward(dy)
+	s.emb.Backward(dy)
+}
+
+// Forward computes logits for a batch. shifts supplies per-example
+// sliding-pooling offsets (nil means zero). The per-slice pooled outputs
+// are cached for Backward.
+func (m *Model) Forward(batch []Example, shifts []int, train bool) *nn.Tensor {
+	b := len(batch)
+	feats := nn.NewTensor(b, 1, m.featureLen())
+	m.lastSliceOuts = m.lastSliceOuts[:0]
+	off := 0
+	for _, s := range m.slices {
+		out := s.forward(batch, shifts, train)
+		m.lastSliceOuts = append(m.lastSliceOuts, out)
+		fl := s.featureLen()
+		for bi := 0; bi < b; bi++ {
+			dst := feats.Row(bi, 0)[off : off+fl]
+			copy(dst, out.Data[bi*fl:(bi+1)*fl])
+		}
+		off += fl
+	}
+	x := feats
+	for _, blk := range m.fc {
+		x = blk.act.Forward(blk.bn.Forward(blk.lin.Forward(x, train), train), train)
+	}
+	return m.out.Forward(x, train)
+}
+
+// Backward propagates dLogits through the whole model, accumulating
+// parameter gradients.
+func (m *Model) Backward(dLogits *nn.Tensor) {
+	dy := m.out.Backward(dLogits)
+	for i := len(m.fc) - 1; i >= 0; i-- {
+		blk := m.fc[i]
+		dy = blk.lin.Backward(blk.bn.Backward(blk.act.Backward(dy)))
+	}
+	// Split the feature gradient back into slices.
+	b := dy.B
+	off := 0
+	for si, s := range m.slices {
+		fl := s.featureLen()
+		out := m.lastSliceOuts[si]
+		ds := nn.NewTensor(b, out.L, out.C)
+		for bi := 0; bi < b; bi++ {
+			copy(ds.Data[bi*fl:(bi+1)*fl], dy.Row(bi, 0)[off:off+fl])
+		}
+		s.backward(ds)
+		off += fl
+	}
+}
+
+// Predict returns the model's direction prediction for a single history
+// window (most recent token first), using inference-mode statistics.
+func (m *Model) Predict(hist []uint32) bool {
+	return m.Logit(hist) >= 0
+}
+
+// Logit returns the raw output logit for one history window.
+func (m *Model) Logit(hist []uint32) float32 {
+	out := m.Forward([]Example{{History: hist}}, nil, false)
+	return out.Data[0]
+}

@@ -1,0 +1,158 @@
+package branchnet
+
+import (
+	"testing"
+
+	"branchnet/internal/bench"
+	"branchnet/internal/trace"
+)
+
+func TestKnobPresetsValidate(t *testing.T) {
+	presets := []Knobs{
+		BigKnobs(), BigKnobsScaled(),
+		Mini(2048), Mini(1024), Mini(512), Mini(256),
+		MiniQuick(1024), TarsaKnobs(), TarsaKnobsQuick(),
+	}
+	for _, k := range presets {
+		k.Validate() // must not panic
+		if k.MaxHistory() <= 0 || k.Features() <= 0 {
+			t.Errorf("%s: degenerate knobs", k.Name)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Mini(999) should panic")
+		}
+	}()
+	Mini(999)
+}
+
+func TestDatasetExtract(t *testing.T) {
+	tr := &trace.Trace{Records: []trace.Record{
+		{PC: 0x10, Taken: true},
+		{PC: 0x20, Taken: false},
+		{PC: 0x99, Taken: true}, // target
+		{PC: 0x30, Taken: true},
+		{PC: 0x99, Taken: false}, // target
+	}}
+	sets := Extract(tr, []uint64{0x99}, 4, 12)
+	ds := sets[0x99]
+	if len(ds.Examples) != 2 {
+		t.Fatalf("examples = %d, want 2", len(ds.Examples))
+	}
+	// First example: history before record 2 is [0x20/NT, 0x10/T, pad, pad].
+	e := ds.Examples[0]
+	if !e.Taken {
+		t.Fatal("label wrong")
+	}
+	want := []uint32{
+		trace.Token(0x20, false, 12),
+		trace.Token(0x10, true, 12),
+		0, 0,
+	}
+	for i, w := range want {
+		if e.History[i] != w {
+			t.Fatalf("history[%d] = %#x, want %#x", i, e.History[i], w)
+		}
+	}
+	// Second example: history before record 4 is [0x30/T, 0x99/T, 0x20/NT, 0x10/T].
+	e = ds.Examples[1]
+	want = []uint32{
+		trace.Token(0x30, true, 12),
+		trace.Token(0x99, true, 12),
+		trace.Token(0x20, false, 12),
+		trace.Token(0x10, true, 12),
+	}
+	for i, w := range want {
+		if e.History[i] != w {
+			t.Fatalf("history[%d] = %#x, want %#x", i, e.History[i], w)
+		}
+	}
+}
+
+func TestSubsampleAndMerge(t *testing.T) {
+	ds := &Dataset{PC: 1, Window: 2}
+	for i := 0; i < 100; i++ {
+		ds.Examples = append(ds.Examples, Example{History: []uint32{uint32(i)}, Taken: i%3 == 0})
+	}
+	sub := ds.Subsample(10, 42)
+	if len(sub.Examples) != 10 {
+		t.Fatalf("subsample kept %d", len(sub.Examples))
+	}
+	// Order must be preserved.
+	for i := 1; i < len(sub.Examples); i++ {
+		if sub.Examples[i].History[0] <= sub.Examples[i-1].History[0] {
+			t.Fatal("subsample did not preserve order")
+		}
+	}
+	m := Merge(sub, sub)
+	if len(m.Examples) != 20 {
+		t.Fatalf("merge kept %d", len(m.Examples))
+	}
+}
+
+// trainOnNoisyHistory trains knobs on the Fig. 3 microbenchmark's Branch B
+// with the diverse training set (set 3) and evaluates on an unseen alpha.
+func trainOnNoisyHistory(t *testing.T, k Knobs) (trainAcc, testAcc float64) {
+	t.Helper()
+	prog := bench.NoisyHistory()
+	window := k.WindowTokens()
+
+	trainTrace := prog.Generate(bench.NoisyInput("train3", 300, 1, 4, 0.5), 500000)
+	testTrace := prog.Generate(bench.NoisyInput("test", 555, 5, 10, 0.6), 30000)
+
+	trainDS := Extract(trainTrace, []uint64{bench.NoisyPCB}, window, k.PCBits)[bench.NoisyPCB]
+	testDS := Extract(testTrace, []uint64{bench.NoisyPCB}, window, k.PCBits)[bench.NoisyPCB]
+
+	m := New(k, bench.NoisyPCB, 1)
+	opts := DefaultTrainOpts()
+	opts.Epochs = 8
+	opts.MaxExamples = 12000
+	m.Train(trainDS, opts)
+	return m.Accuracy(trainDS), m.Accuracy(testDS)
+}
+
+func TestBigBranchNetLearnsNoisyHistory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	// The headline claim: a CNN with sum-pooling predicts Branch B nearly
+	// perfectly on inputs (N range, alpha) it never saw, while TAGE-SC-L
+	// sits near the not-taken bias (see tage's companion test).
+	_, testAcc := trainOnNoisyHistory(t, BigKnobsScaled())
+	if testAcc < 0.94 {
+		t.Fatalf("Big-BranchNet test accuracy on Branch B = %.4f, want >= 0.94", testAcc)
+	}
+}
+
+func TestMiniBranchNetLearnsNoisyHistory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	_, testAcc := trainOnNoisyHistory(t, MiniQuick(1024))
+	if testAcc < 0.84 {
+		t.Fatalf("Mini-BranchNet test accuracy on Branch B = %.4f, want >= 0.84", testAcc)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	prog := bench.NoisyHistory()
+	k := MiniQuick(256)
+	tr := prog.Generate(bench.NoisyInput("t", 1, 1, 4, 0.5), 20000)
+	ds := Extract(tr, []uint64{bench.NoisyPCB}, k.WindowTokens(), k.PCBits)[bench.NoisyPCB]
+	opts := DefaultTrainOpts()
+	opts.Epochs = 1
+	a := New(k, bench.NoisyPCB, 9)
+	b := New(k, bench.NoisyPCB, 9)
+	la := a.Train(ds, opts)
+	lb := b.Train(ds, opts)
+	if la != lb {
+		t.Fatalf("nondeterministic training: loss %v vs %v", la, lb)
+	}
+	if a.Accuracy(ds) != b.Accuracy(ds) {
+		t.Fatal("nondeterministic accuracy")
+	}
+}

@@ -1,0 +1,235 @@
+package branchnet
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"branchnet/internal/engine"
+	"branchnet/internal/predictor"
+	"branchnet/internal/trace"
+)
+
+// OfflineConfig drives the 3-step offline training process of Section V-E:
+//
+//  1. select the highest-misprediction branches on the validation set,
+//  2. train one CNN model per branch on the training set,
+//  3. measure each model's improvement on the validation set and attach
+//     the most improved branches to the "binary".
+type OfflineConfig struct {
+	Knobs Knobs
+	// TopBranches is the candidate pool size (the paper selects the 100
+	// highest-MPKI branches).
+	TopBranches int
+	// MaxModels bounds how many models are attached (up to 41 in the
+	// paper's iso-latency configuration).
+	MaxModels int
+	// MinExecutions skips branches too rare to train or matter.
+	MinExecutions uint64
+	// MinImprovement is the minimum avoided mispredictions on the
+	// validation set for a model to be attached.
+	MinImprovement float64
+	// MinAccuracyGain is the minimum per-branch accuracy gain over the
+	// baseline; it filters noise-level "improvements" on branches whose
+	// mispredictions are irreducible (gcc-like profiles).
+	MinAccuracyGain float64
+	// Quantize produces engine models (Mini-BranchNet); otherwise the
+	// attached models stay floating-point (Big-BranchNet).
+	Quantize bool
+	// Parallel is the number of branch models trained concurrently
+	// (0 = GOMAXPROCS). The paper notes models train in parallel on GPUs.
+	Parallel int
+	Train    TrainOpts
+}
+
+// DefaultOfflineConfig returns CPU-budget defaults for the given knobs.
+func DefaultOfflineConfig(k Knobs) OfflineConfig {
+	return OfflineConfig{
+		Knobs:           k,
+		TopBranches:     16,
+		MaxModels:       10,
+		MinExecutions:   100,
+		MinImprovement:  1,
+		MinAccuracyGain: 0.03,
+		Quantize:        k.ConvHashBits > 0,
+		Train:           DefaultTrainOpts(),
+	}
+}
+
+// Attached is one trained model selected for attachment, with its
+// measured validation improvement.
+type Attached struct {
+	PC     uint64
+	Knobs  Knobs
+	Float  *Model
+	Engine *engine.Model // nil for float-only models
+	// ValidAccuracy is the (possibly quantized) model's accuracy on the
+	// validation set; BaseAccuracy is the runtime baseline's accuracy on
+	// the same branch; Improvement is the avoided mispredictions.
+	ValidAccuracy float64
+	BaseAccuracy  float64
+	Improvement   float64
+}
+
+// Predict evaluates the attached model on a history window.
+func (a *Attached) Predict(hist []uint32, branchCount uint64) bool {
+	if a.Engine != nil {
+		return a.Engine.Predict(hist, branchCount)
+	}
+	return a.Float.Predict(hist)
+}
+
+// Window returns the history tokens the model consumes, derived from the
+// engine tables when only those are present (models loaded from disk).
+func (a *Attached) Window() int {
+	if a.Engine != nil {
+		return a.Engine.Window()
+	}
+	return a.Knobs.WindowTokens()
+}
+
+// PCBitsUsed returns the history-token PC width.
+func (a *Attached) PCBitsUsed() uint {
+	if a.Engine != nil && a.Engine.PCBits != 0 {
+		return a.Engine.PCBits
+	}
+	return a.Knobs.PCBits
+}
+
+// FromEngine wraps deserialized engine models as attachable models.
+func FromEngine(models []*engine.Model) []*Attached {
+	out := make([]*Attached, len(models))
+	for i, m := range models {
+		out[i] = &Attached{PC: m.PC, Engine: m}
+	}
+	return out
+}
+
+// TrainOffline runs the full pipeline. trainTraces are the training-input
+// traces (Table III's training set), validTrace the validation-input
+// trace, and newBaseline constructs a fresh runtime baseline predictor
+// (fresh so its warm-up matches deployment). The returned models are
+// sorted by descending validation improvement and capped at MaxModels.
+func TrainOffline(cfg OfflineConfig, trainTraces []*trace.Trace, validTrace *trace.Trace, newBaseline func() predictor.Predictor) []*Attached {
+	// Step 1: find the hard-to-predict branches on the validation set.
+	baseRes := predictor.Evaluate(newBaseline(), validTrace)
+	type cand struct {
+		pc          uint64
+		mispredicts uint64
+		execs       uint64
+	}
+	var cands []cand
+	for pc, m := range baseRes.PerBranch {
+		if baseRes.ExecPerBranch[pc] >= cfg.MinExecutions {
+			cands = append(cands, cand{pc, m, baseRes.ExecPerBranch[pc]})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].mispredicts != cands[j].mispredicts {
+			return cands[i].mispredicts > cands[j].mispredicts
+		}
+		return cands[i].pc < cands[j].pc
+	})
+	if cfg.TopBranches > 0 && len(cands) > cfg.TopBranches {
+		cands = cands[:cfg.TopBranches]
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+
+	// Extract datasets for every candidate in one pass per trace.
+	pcs := make([]uint64, len(cands))
+	for i, c := range cands {
+		pcs[i] = c.pc
+	}
+	window := cfg.Knobs.WindowTokens()
+	trainCap := 0
+	if cfg.Train.MaxExamples > 0 {
+		// Cap per trace so the merged set still carries ~2x the training
+		// subsample (diversity margin) without unbounded memory.
+		trainCap = 2 * cfg.Train.MaxExamples / len(trainTraces)
+		if trainCap < 1000 {
+			trainCap = 1000
+		}
+	}
+	trainSets := make(map[uint64]*Dataset, len(pcs))
+	for _, tr := range trainTraces {
+		for pc, ds := range ExtractCapped(tr, pcs, window, cfg.Knobs.PCBits, trainCap) {
+			if prev, ok := trainSets[pc]; ok {
+				trainSets[pc] = Merge(prev, ds)
+			} else {
+				trainSets[pc] = ds
+			}
+		}
+	}
+	const validCap = 4000
+	validSets := ExtractCapped(validTrace, pcs, window, cfg.Knobs.PCBits, validCap)
+
+	// Steps 2 and 3: train and evaluate per-branch models in parallel.
+	par := cfg.Parallel
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	results := make([]*Attached, len(cands))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, par)
+	for i, c := range cands {
+		ds := trainSets[c.pc]
+		vds := validSets[c.pc]
+		if ds == nil || len(ds.Examples) < int(cfg.MinExecutions) || vds == nil || len(vds.Examples) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, c cand, ds, vds *Dataset) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+
+			opts := cfg.Train
+			opts.Seed = cfg.Train.Seed + int64(c.pc) // decorrelate per branch
+			m := New(cfg.Knobs, c.pc, opts.Seed)
+			m.Train(ds, opts)
+
+			a := &Attached{PC: c.pc, Knobs: cfg.Knobs, Float: m}
+			if cfg.Quantize {
+				em, err := m.Quantize(ds.Subsample(3500, opts.Seed))
+				if err != nil {
+					return
+				}
+				a.Engine = em
+			}
+			// Validation accuracy of the deployable form.
+			correct := 0
+			for ei, e := range vds.Examples {
+				if a.Predict(e.History, uint64(ei)) == e.Taken {
+					correct++
+				}
+			}
+			a.ValidAccuracy = float64(correct) / float64(len(vds.Examples))
+			a.BaseAccuracy = baseRes.BranchAccuracy(c.pc)
+			// Improvement scales to the branch's full validation
+			// execution count (the extracted set may be capped).
+			a.Improvement = (a.ValidAccuracy - a.BaseAccuracy) * float64(c.execs)
+			results[i] = a
+		}(i, c, ds, vds)
+	}
+	wg.Wait()
+
+	var attached []*Attached
+	for _, a := range results {
+		if a != nil && a.Improvement >= cfg.MinImprovement &&
+			a.ValidAccuracy-a.BaseAccuracy >= cfg.MinAccuracyGain {
+			attached = append(attached, a)
+		}
+	}
+	sort.Slice(attached, func(i, j int) bool {
+		if attached[i].Improvement != attached[j].Improvement {
+			return attached[i].Improvement > attached[j].Improvement
+		}
+		return attached[i].PC < attached[j].PC
+	})
+	if cfg.MaxModels > 0 && len(attached) > cfg.MaxModels {
+		attached = attached[:cfg.MaxModels]
+	}
+	return attached
+}

@@ -1,0 +1,310 @@
+package branchnet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"branchnet/internal/engine"
+	"branchnet/internal/nn"
+)
+
+// Quantize converts a trained Mini-BranchNet float model into the
+// integer-only engine representation, following the paper's flow
+// (Section V-B, Table IV's ablation steps):
+//
+//  1. Quantized convolution (Optimization 2): the embedding table, batch
+//     norm, and tanh of each slice fold into a binary (+-1) lookup table
+//     over hashed K-grams — "the role of the convolution layer is to
+//     simply identify correlated branch patterns, so a binary output
+//     should be sufficient."
+//  2. Pool-code tables: the post-pooling batch norm + tanh + q-bit
+//     quantizer become a per-channel table over the window's integer sum.
+//     Batch-norm statistics are re-calibrated against the binarized
+//     convolution outputs on calib examples (post-training calibration).
+//  3. Quantized fully-connected layer (Optimization 4): q-bit weights;
+//     the folded batch norm becomes a per-neuron integer threshold; the
+//     hidden outputs binarize; the final layer becomes a 2^N-bit LUT.
+//
+// calib supplies the calibration examples (typically a subsample of the
+// training set). Quantize returns an error for models that are not
+// engine-compatible (no hashed convolution, more than one hidden layer, or
+// a hidden layer too wide for a final LUT).
+func (m *Model) Quantize(calib *Dataset) (*engine.Model, error) {
+	k := m.Knobs
+	if k.ConvHashBits == 0 {
+		return nil, fmt.Errorf("branchnet: %s has true convolutions; only hashed-convolution (Mini) models quantize", k.Name)
+	}
+	if len(m.fc) != 1 {
+		return nil, fmt.Errorf("branchnet: engine supports exactly one hidden layer, model has %d", len(m.fc))
+	}
+	hidden := m.fc[0].lin.Out
+	if hidden > 20 {
+		return nil, fmt.Errorf("branchnet: hidden width %d too large for a 2^N final LUT", hidden)
+	}
+	if len(calib.Examples) == 0 {
+		return nil, fmt.Errorf("branchnet: quantization requires calibration examples")
+	}
+	q := k.QuantBits
+	if q == 0 {
+		q = 4
+	}
+
+	em := &engine.Model{PC: m.PC, QuantBits: q, PCBits: k.PCBits}
+
+	// Step 1: binarized convolution tables.
+	for _, s := range m.slices {
+		spec := engine.SliceSpec{
+			Hist:      s.effLen(),
+			Channels:  s.channels,
+			PoolWidth: s.poolW,
+			ConvWidth: s.convK,
+			Precise:   s.precise,
+			HashBits:  s.hashBits,
+		}
+		scale1, shift1 := s.bn1.FoldInto()
+		lut := make([][]int8, 1<<s.hashBits)
+		for g := range lut {
+			row := make([]int8, s.channels)
+			src := s.table.Table.W[g*s.channels : (g+1)*s.channels]
+			for c := 0; c < s.channels; c++ {
+				// tanh preserves sign, so the binarized output is the
+				// sign of the folded batch-norm pre-activation.
+				if scale1[c]*src[c]+shift1[c] >= 0 {
+					row[c] = 1
+				} else {
+					row[c] = -1
+				}
+			}
+			lut[g] = row
+		}
+		em.Slices = append(em.Slices, engine.Slice{Spec: spec, ConvLUT: lut})
+	}
+
+	// Step 2: calibrate per-channel statistics of the binarized window
+	// sums, then build the pool-code tables.
+	type chStat struct{ n, sum, sq float64 }
+	stats := make([][]chStat, len(em.Slices))
+	for si := range stats {
+		stats[si] = make([]chStat, em.Slices[si].Spec.Channels)
+	}
+	for ei := range calib.Examples {
+		hist := calib.Examples[ei].History
+		for si := range em.Slices {
+			s := &em.Slices[si]
+			spec := s.Spec
+			for w := 0; w < spec.Windows(); w++ {
+				start := w * spec.PoolWidth
+				end := start + spec.PoolWidth
+				if end > spec.Hist {
+					end = spec.Hist
+				}
+				sums := make([]int, spec.Channels)
+				for t := start; t < end; t++ {
+					lut := s.ConvLUT[engine.GramHash(hist, t, spec.ConvWidth, spec.HashBits)]
+					for c := range sums {
+						sums[c] += int(lut[c])
+					}
+				}
+				for c := range sums {
+					st := &stats[si][c]
+					st.n++
+					st.sum += float64(sums[c])
+					st.sq += float64(sums[c]) * float64(sums[c])
+				}
+			}
+		}
+	}
+	levels := float64(int(1)<<q) - 1
+	for si := range em.Slices {
+		s := &em.Slices[si]
+		fs := m.slices[si]
+		gamma := fs.bn2.Gamma.W
+		beta := fs.bn2.Beta.W
+		s.PoolCode = make([][]uint8, s.Spec.Channels)
+		for c := 0; c < s.Spec.Channels; c++ {
+			st := stats[si][c]
+			mean := st.sum / st.n
+			variance := st.sq/st.n - mean*mean
+			if variance < 1e-6 {
+				variance = 1e-6
+			}
+			inv := 1 / math.Sqrt(variance)
+			table := make([]uint8, 2*s.Spec.PoolWidth+1)
+			for idx := range table {
+				sum := float64(idx - s.Spec.PoolWidth)
+				v := math.Tanh(float64(gamma[c])*(sum-mean)*inv + float64(beta[c]))
+				code := math.Round((v + 1) / 2 * levels)
+				if code < 0 {
+					code = 0
+				}
+				if code > levels {
+					code = levels
+				}
+				table[idx] = uint8(code)
+			}
+			s.PoolCode[c] = table
+		}
+	}
+
+	// Step 3: quantization-aware retraining of the fully-connected head.
+	// The convolution and pool-code tables are frozen; a fresh classifier
+	// (Linear -> BatchNorm -> Tanh -> Linear) trains directly on the
+	// quantized feature codes, so the thresholds and final LUT are
+	// derived from parameters that have already adapted to the
+	// quantization noise. This stands in for the paper's full
+	// quantization-aware training at a fraction of the cost.
+	features := em.Features()
+	if m.fc[0].lin.In != features {
+		return nil, fmt.Errorf("branchnet: feature mismatch: fc expects %d, engine computes %d", m.fc[0].lin.In, features)
+	}
+	a := 2 / levels // dequantization scale: f = a*u - 1
+
+	rng := rand.New(rand.NewSource(int64(m.PC)*31 + 5))
+	lin1 := nn.NewLinear(rng, features, hidden)
+	bn := nn.NewBatchNorm(hidden)
+	act := &nn.Tanh{}
+	lin2 := nn.NewLinear(rng, hidden, 1)
+	var params []*nn.Param
+	params = append(params, lin1.Params()...)
+	params = append(params, bn.Params()...)
+	params = append(params, lin2.Params()...)
+	opt := nn.NewAdam(params, 0.01)
+
+	// Precompute dequantized feature vectors with randomized sliding
+	// alignment (robustness to the engine's free-running phase).
+	deq := make([][]float32, len(calib.Examples))
+	for ei := range calib.Examples {
+		codes := em.ExtractFeatures(calib.Examples[ei].History, uint64(rng.Intn(1024)))
+		f := make([]float32, features)
+		for i, u := range codes {
+			f[i] = float32(a)*float32(u) - 1
+		}
+		deq[ei] = f
+	}
+	const (
+		qatEpochs = 14
+		qatBatch  = 32
+	)
+	order := rng.Perm(len(deq))
+	for epoch := 0; epoch < qatEpochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < len(order); start += qatBatch {
+			end := start + qatBatch
+			if end > len(order) {
+				end = len(order)
+			}
+			idx := order[start:end]
+			x := nn.NewTensor(len(idx), 1, features)
+			for bi, ei := range idx {
+				copy(x.Row(bi, 0), deq[ei])
+			}
+			logits := lin2.Forward(act.Forward(bn.Forward(lin1.Forward(x, true), true), true), true)
+			dy := nn.NewTensor(len(idx), 1, 1)
+			for bi, ei := range idx {
+				_, d := nn.SigmoidBCE(logits.Row(bi, 0)[0], calib.Examples[ei].Taken)
+				dy.Row(bi, 0)[0] = d
+			}
+			lin1.Backward(bn.Backward(act.Backward(lin2.Backward(dy))))
+			opt.Step(len(idx))
+		}
+	}
+
+	// Fold the trained head into integer weights, thresholds, and the
+	// final LUT.
+	wMaxInt := float64(int(1)<<(q-1)) - 1
+	em.W1 = make([][]int16, hidden)
+	em.Thresh = make([]int64, hidden)
+	em.Flip = make([]bool, hidden)
+	for nIdx := 0; nIdx < hidden; nIdx++ {
+		var wMax float64
+		for i := 0; i < features; i++ {
+			if v := math.Abs(float64(lin1.W.W[i*hidden+nIdx])); v > wMax {
+				wMax = v
+			}
+		}
+		if wMax == 0 {
+			wMax = 1
+		}
+		sw := wMax / wMaxInt
+		row := make([]int16, features)
+		var sumW float64
+		for i := 0; i < features; i++ {
+			w := float64(lin1.W.W[i*hidden+nIdx])
+			row[i] = int16(math.Round(w / sw))
+			sumW += w
+		}
+		em.W1[nIdx] = row
+
+		mean := float64(bn.RunMean[nIdx])
+		variance := float64(bn.RunVar[nIdx])
+		if variance < 1e-6 {
+			variance = 1e-6
+		}
+		std := math.Sqrt(variance)
+		gamma := float64(bn.Gamma.W[nIdx])
+		if gamma == 0 {
+			gamma = 1e-6
+		}
+		// hidden bit: gamma*(z-mean)/std + beta >= 0
+		//   <=> (z >= mean - beta*std/gamma) xor (gamma < 0)
+		t := mean - float64(bn.Beta.W[nIdx])*std/gamma
+		em.Flip[nIdx] = gamma < 0
+		// z = a*sum(w*u) + (bias - sum(w)); integer sum uses quantized
+		// weights: sum(W*u) >= (t - bias + sumW) / (a*sw).
+		tInt := (t - float64(lin1.B.W[nIdx]) + sumW) / (a * sw)
+		em.Thresh[nIdx] = int64(math.Ceil(tInt))
+	}
+
+	// Final layer LUT over binarized hidden patterns.
+	em.FinalLUT = make([]bool, 1<<hidden)
+	for p := range em.FinalLUT {
+		var z float32 = lin2.B.W[0]
+		for j := 0; j < hidden; j++ {
+			h := float32(-1)
+			if p&(1<<j) != 0 {
+				h = 1
+			}
+			z += lin2.W.W[j] * h
+		}
+		em.FinalLUT[p] = z >= 0
+	}
+	return em, nil
+}
+
+// QuantizeConvOnly applies only the convolution binarization (Table IV's
+// "Quantized convolution" ablation step): the returned model still runs in
+// floating point, but its slice tables are replaced by their binarized
+// values, so the accuracy cost of Optimization 2 can be measured in
+// isolation.
+func (m *Model) QuantizeConvOnly() {
+	for _, s := range m.slices {
+		if s.table == nil {
+			continue
+		}
+		scale1, shift1 := s.bn1.FoldInto()
+		for g := 0; g < s.table.Vocab; g++ {
+			row := s.table.Table.W[g*s.channels : (g+1)*s.channels]
+			for c := range row {
+				// Replace each table entry with the pre-image of +-1:
+				// after folded BN+tanh the output is exactly +-1-ish.
+				v := scale1[c]*row[c] + shift1[c]
+				bin := float32(-1)
+				if v >= 0 {
+					bin = 1
+				}
+				// Invert the (affine) BN so that bn1(tanh==bin*large)
+				// forward-evaluates to the binarized activation: store
+				// a value whose folded pre-activation saturates tanh.
+				row[c] = (bin*4 - shift1[c]) / nonZero(scale1[c])
+			}
+		}
+	}
+}
+
+func nonZero(v float32) float32 {
+	if v == 0 {
+		return 1e-6
+	}
+	return v
+}

@@ -1,0 +1,118 @@
+package branchnet
+
+import (
+	"testing"
+
+	"branchnet/internal/bench"
+)
+
+func TestMiniPresetsFitBudgets(t *testing.T) {
+	for _, budget := range []int{2048, 1024, 512, 256} {
+		k := Mini(budget)
+		b := k.Storage()
+		if got := b.TotalBytes(); got > float64(budget) {
+			t.Errorf("%s: %.1fB exceeds its %dB budget (%s)", k.Name, got, budget, b)
+		}
+		// The budget should also be reasonably utilized, not 10x over-
+		// provisioned.
+		if got := b.TotalBytes(); got < float64(budget)/4 {
+			t.Errorf("%s: only %.1fB of %dB used; preset mis-sized", k.Name, got, budget)
+		}
+	}
+	// Budgets must be strictly ordered in cost.
+	prev := 0.0
+	for _, budget := range []int{256, 512, 1024, 2048} {
+		got := Mini(budget).Storage().TotalBytes()
+		if got <= prev {
+			t.Errorf("storage not increasing at %dB: %.1f <= %.1f", budget, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestQuantizeRejectsIncompatibleModels(t *testing.T) {
+	big := New(BigKnobsScaled(), 1, 1)
+	if _, err := big.Quantize(&Dataset{Examples: []Example{{}}}); err == nil {
+		t.Error("true-convolution model must not quantize")
+	}
+	mini := New(MiniQuick(1024), 1, 1)
+	if _, err := mini.Quantize(&Dataset{}); err == nil {
+		t.Error("quantization without calibration examples must fail")
+	}
+}
+
+func TestQuantizedModelTracksFloat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	// Table IV's progression in miniature: float Mini >= fully-quantized
+	// Mini, and the quantized engine model still predicts the
+	// hard-to-predict branch far better than its static bias.
+	k := MiniQuick(1024)
+	prog := bench.NoisyHistory()
+	window := k.WindowTokens()
+	trainTrace := prog.Generate(bench.NoisyInput("train3", 300, 1, 4, 0.5), 400000)
+	testTrace := prog.Generate(bench.NoisyInput("test", 555, 5, 10, 0.6), 30000)
+	trainDS := Extract(trainTrace, []uint64{bench.NoisyPCB}, window, k.PCBits)[bench.NoisyPCB]
+	testDS := Extract(testTrace, []uint64{bench.NoisyPCB}, window, k.PCBits)[bench.NoisyPCB]
+
+	m := New(k, bench.NoisyPCB, 1)
+	opts := DefaultTrainOpts()
+	opts.Epochs = 6
+	opts.MaxExamples = 10000
+	m.Train(trainDS, opts)
+	floatAcc := m.Accuracy(testDS)
+
+	em, err := m.Quantize(trainDS.Subsample(2000, 3))
+	if err != nil {
+		t.Fatalf("Quantize: %v", err)
+	}
+	correct := 0
+	for i, e := range testDS.Examples {
+		if em.Predict(e.History, uint64(i)) == e.Taken {
+			correct++
+		}
+	}
+	quantAcc := float64(correct) / float64(len(testDS.Examples))
+
+	bias := testDS.TakenRate()
+	if bias > 0.5 {
+		bias = 1 - bias
+	}
+	baseline := 1 - bias // accuracy of always predicting the majority
+
+	t.Logf("float=%.4f quantized=%.4f static-bias=%.4f", floatAcc, quantAcc, baseline)
+	if quantAcc > floatAcc+0.02 {
+		t.Errorf("quantized (%.4f) should not beat float (%.4f)", quantAcc, floatAcc)
+	}
+	if quantAcc < baseline+0.05 {
+		t.Errorf("quantized accuracy %.4f barely beats static bias %.4f", quantAcc, baseline)
+	}
+	if floatAcc-quantAcc > 0.15 {
+		t.Errorf("quantization lost %.3f accuracy; pipeline damaged", floatAcc-quantAcc)
+	}
+}
+
+func TestQuantizedStorageMatchesKnobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	k := MiniQuick(256)
+	prog := bench.NoisyHistory()
+	tr := prog.Generate(bench.NoisyInput("t", 1, 1, 4, 0.5), 60000)
+	ds := Extract(tr, []uint64{bench.NoisyPCB}, k.WindowTokens(), k.PCBits)[bench.NoisyPCB]
+	m := New(k, bench.NoisyPCB, 1)
+	opts := DefaultTrainOpts()
+	opts.Epochs = 1
+	m.Train(ds, opts)
+	em, err := m.Quantize(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if em.Storage().Total() != k.Storage().Total() {
+		t.Fatalf("model storage %d != knob storage %d", em.Storage().Total(), k.Storage().Total())
+	}
+	if em.Features() != m.featureLen() {
+		t.Fatalf("engine features %d != float model features %d", em.Features(), m.featureLen())
+	}
+}

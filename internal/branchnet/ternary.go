@@ -1,0 +1,63 @@
+package branchnet
+
+import "math"
+
+// Ternarize quantizes the model's weights in place to {-s, 0, +s} per
+// layer, the scheme of Tarsa et al.'s deployable CNN ("Tarsa-Ternary"):
+// weights below a dead-zone threshold become zero, the rest snap to the
+// layer's mean magnitude. Batch-norm parameters are left floating (they
+// fold into thresholds in hardware). The model remains evaluable through
+// the normal float path; only its weight precision has degraded.
+func (m *Model) Ternarize() {
+	for _, s := range m.slices {
+		if s.emb != nil {
+			ternarize(s.emb.Table.W)
+		}
+		if s.conv != nil {
+			ternarize(s.conv.W.W)
+		}
+		if s.table != nil {
+			ternarize(s.table.Table.W)
+		}
+	}
+	for _, blk := range m.fc {
+		ternarize(blk.lin.W.W)
+	}
+	ternarize(m.out.W.W)
+}
+
+// ternarize maps w to {-s, 0, +s} with the standard 0.7*mean|w| dead zone
+// (Li & Liu's ternary weight networks), s = mean magnitude of the kept
+// weights.
+func ternarize(w []float32) {
+	var sum float64
+	for _, v := range w {
+		sum += math.Abs(float64(v))
+	}
+	if len(w) == 0 || sum == 0 {
+		return
+	}
+	delta := 0.7 * sum / float64(len(w))
+	var keptSum float64
+	kept := 0
+	for _, v := range w {
+		if math.Abs(float64(v)) > delta {
+			keptSum += math.Abs(float64(v))
+			kept++
+		}
+	}
+	if kept == 0 {
+		return
+	}
+	s := float32(keptSum / float64(kept))
+	for i, v := range w {
+		switch {
+		case float64(v) > delta:
+			w[i] = s
+		case float64(v) < -delta:
+			w[i] = -s
+		default:
+			w[i] = 0
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package branchnet
+
+import (
+	"math/rand"
+
+	"branchnet/internal/nn"
+)
+
+// TrainOpts configure model training for one branch.
+type TrainOpts struct {
+	Epochs      int
+	BatchSize   int
+	LR          float32
+	MaxExamples int   // subsample cap on the training set (0 = all)
+	Seed        int64 // shuffling + sliding-pooling randomization
+}
+
+// DefaultTrainOpts are the CPU-budget defaults used by the quick
+// experiment mode.
+func DefaultTrainOpts() TrainOpts {
+	return TrainOpts{Epochs: 4, BatchSize: 32, LR: 0.01, MaxExamples: 6000, Seed: 1}
+}
+
+// Train fits the model to the dataset with Adam + sigmoid BCE, applying
+// the paper's sliding-pooling randomization (Optimization 3): for sliding
+// slices, each example randomly discards 0..P-1 of its most recent history
+// entries so the trained weights tolerate the engine's nondeterministic
+// pooling boundaries. Returns the final average training loss.
+func (m *Model) Train(ds *Dataset, opts TrainOpts) float32 {
+	if len(ds.Examples) == 0 {
+		return 0
+	}
+	if opts.MaxExamples > 0 {
+		ds = ds.Subsample(opts.MaxExamples, opts.Seed)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed + 17))
+	opt := nn.NewAdam(m.Params(), opts.LR)
+
+	n := len(ds.Examples)
+	order := rng.Perm(n)
+	batch := make([]Example, 0, opts.BatchSize)
+	shifts := make([]int, 0, opts.BatchSize)
+	maxPool := m.Knobs.MaxPool()
+
+	var lastLoss float32
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		// Reshuffle each epoch.
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var epochLoss float64
+		batches := 0
+		for start := 0; start < n; start += opts.BatchSize {
+			end := start + opts.BatchSize
+			if end > n {
+				end = n
+			}
+			batch = batch[:0]
+			shifts = shifts[:0]
+			for _, idx := range order[start:end] {
+				batch = append(batch, ds.Examples[idx])
+				shifts = append(shifts, rng.Intn(maxPool))
+			}
+			logits := m.Forward(batch, shifts, true)
+			dLogits := nn.NewTensor(len(batch), 1, 1)
+			var batchLoss float32
+			for i := range batch {
+				loss, d := nn.SigmoidBCE(logits.Row(i, 0)[0], batch[i].Taken)
+				batchLoss += loss
+				dLogits.Row(i, 0)[0] = d
+			}
+			m.Backward(dLogits)
+			opt.Step(len(batch))
+			epochLoss += float64(batchLoss) / float64(len(batch))
+			batches++
+		}
+		if batches > 0 {
+			lastLoss = float32(epochLoss / float64(batches))
+		}
+	}
+	return lastLoss
+}
+
+// Accuracy evaluates the model on a dataset (inference mode, precise
+// windows) and returns the fraction of correct predictions.
+func (m *Model) Accuracy(ds *Dataset) float64 {
+	if len(ds.Examples) == 0 {
+		return 0
+	}
+	const batchSize = 64
+	correct := 0
+	for start := 0; start < len(ds.Examples); start += batchSize {
+		end := start + batchSize
+		if end > len(ds.Examples) {
+			end = len(ds.Examples)
+		}
+		batch := ds.Examples[start:end]
+		logits := m.Forward(batch, nil, false)
+		for i := range batch {
+			if (logits.Row(i, 0)[0] >= 0) == batch[i].Taken {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(len(ds.Examples))
+}

@@ -1,0 +1,180 @@
+// Package engine models the Mini-BranchNet on-chip inference engine of
+// Section V-B: an integer-only, table-driven evaluator for quantized
+// BranchNet models, together with the storage accounting of Table II and
+// the gate-delay latency estimates of Section V-C.
+//
+// A quantized model consists of nothing but small integer tables:
+//
+//   - per-slice convolution tables (Optimization 2): 2^h entries of
+//     binarized convolution output, indexed by a hash of the K most recent
+//     history tokens;
+//   - pooled-code tables: the folded batch-norm + tanh + q-bit quantizer
+//     applied to a sum-pooling window's integer running sum;
+//   - q-bit first-layer weights with per-neuron integer thresholds (batch
+//     norm folded in, Optimization 4);
+//   - a 2^N-bit final lookup table over the binarized hidden layer.
+//
+// The hardware maintains convolutional histories incrementally
+// (Optimization 1); this software model computes the same values from the
+// token history at prediction time, including the nondeterministic
+// sliding-pooling window alignment (Optimization 3), which is derived from
+// the global branch counter exactly as a free-running hardware pointer
+// would be.
+package engine
+
+// SliceSpec describes one feature slice of a quantized model.
+type SliceSpec struct {
+	Hist      int  // history length H
+	Channels  int  // convolution channels C
+	PoolWidth int  // sum-pooling width P
+	ConvWidth int  // convolution width K
+	Precise   bool // precise vs sliding pooling buffer
+	HashBits  uint // convolution hash width h
+}
+
+// Windows returns the number of pooled windows the slice contributes:
+// ceil(H/P) for precise pooling, floor(H/P) for sliding pooling (the
+// newest partial window is discarded).
+func (s SliceSpec) Windows() int {
+	if s.Precise {
+		return (s.Hist + s.PoolWidth - 1) / s.PoolWidth
+	}
+	return s.Hist / s.PoolWidth
+}
+
+// Slice holds one slice's tables.
+type Slice struct {
+	Spec SliceSpec
+	// ConvLUT[gram][c] in {-1,+1}: binarized convolution output.
+	ConvLUT [][]int8
+	// PoolCode[c][sum+Spec.PoolWidth] is the q-bit code of a window's
+	// integer running sum (sum ranges over [-P, +P]).
+	PoolCode [][]uint8
+}
+
+// Model is a fully quantized Mini-BranchNet for one static branch.
+type Model struct {
+	PC        uint64
+	QuantBits uint
+	// PCBits is the history-token PC width the model was trained with.
+	PCBits uint
+	Slices []Slice
+
+	// W1[n][f]: first fully-connected layer, q-bit signed weights over
+	// the pooled-code features. Thresh[n] is the folded batch-norm
+	// threshold; Flip[n] inverts the comparison when the folded batch
+	// norm scale is negative.
+	W1     [][]int16
+	Thresh []int64
+	Flip   []bool
+
+	// FinalLUT[pattern] is the prediction for each binarized hidden
+	// pattern (bit n of pattern = hidden neuron n's output).
+	FinalLUT []bool
+}
+
+// Window returns the number of history tokens the model consumes: the
+// longest slice history plus slack for the sliding-pooling alignment.
+func (m *Model) Window() int {
+	maxH, maxP := 0, 1
+	for i := range m.Slices {
+		if h := m.Slices[i].Spec.Hist; h > maxH {
+			maxH = h
+		}
+		if p := m.Slices[i].Spec.PoolWidth; p > maxP {
+			maxP = p
+		}
+	}
+	return maxH + maxP
+}
+
+// Features returns the total pooled-feature count (the FC input width).
+func (m *Model) Features() int {
+	total := 0
+	for _, s := range m.Slices {
+		total += s.Spec.Windows() * s.Spec.Channels
+	}
+	return total
+}
+
+// GramHash must match branchnet.gramHash: it hashes the K tokens
+// window[t..t+K-1] to HashBits bits.
+func GramHash(window []uint32, t, k int, bits uint) int {
+	var h uint64 = 0x9e3779b97f4a7c15
+	for j := 0; j < k; j++ {
+		idx := t + j
+		var tok uint64
+		if idx < len(window) {
+			tok = uint64(window[idx])
+		}
+		h ^= tok + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+	}
+	h ^= h >> 29
+	return int(h & ((1 << bits) - 1))
+}
+
+// Predict evaluates the model on a token history (most recent first).
+// branchCount is the global branch counter, which determines the sliding
+// pooling windows' alignment (the hardware's free-running buffer phase).
+// hist must hold at least MaxHistory+MaxPool tokens; shorter histories are
+// zero-padded.
+func (m *Model) Predict(hist []uint32, branchCount uint64) bool {
+	features := m.ExtractFeatures(hist, branchCount)
+	pattern := 0
+	for n := range m.W1 {
+		var acc int64
+		for i, w := range m.W1[n] {
+			acc += int64(w) * int64(features[i])
+		}
+		bit := acc >= m.Thresh[n]
+		if m.Flip[n] {
+			bit = !bit
+		}
+		if bit {
+			pattern |= 1 << n
+		}
+	}
+	return m.FinalLUT[pattern]
+}
+
+// ExtractFeatures computes the pooled q-bit feature codes for a history —
+// the inputs of the first fully-connected layer. Exposed for the
+// calibration passes of the quantization pipeline.
+func (m *Model) ExtractFeatures(hist []uint32, branchCount uint64) []uint8 {
+	f := 0
+	features := make([]uint8, m.Features())
+	sums := make([]int, 0, 16)
+	for si := range m.Slices {
+		s := &m.Slices[si]
+		spec := s.Spec
+		offset := 0
+		if !spec.Precise {
+			offset = int(branchCount % uint64(spec.PoolWidth))
+		}
+		windows := spec.Windows()
+		for w := 0; w < windows; w++ {
+			sums = sums[:0]
+			for c := 0; c < spec.Channels; c++ {
+				sums = append(sums, 0)
+			}
+			start := offset + w*spec.PoolWidth
+			end := start + spec.PoolWidth
+			if spec.Precise && end > spec.Hist {
+				end = spec.Hist // partial last precise window
+			}
+			for t := start; t < end; t++ {
+				lut := s.ConvLUT[GramHash(hist, t, spec.ConvWidth, spec.HashBits)]
+				for c := range sums {
+					sums[c] += int(lut[c])
+				}
+			}
+			// Feature order matches the float model's flatten: windows
+			// outer, channels inner.
+			for c := range sums {
+				features[f] = s.PoolCode[c][sums[c]+spec.PoolWidth]
+				f++
+			}
+		}
+	}
+	return features
+}

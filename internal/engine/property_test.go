@@ -1,0 +1,138 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randModel builds a random but structurally valid quantized model.
+func randModel(rng *rand.Rand) *Model {
+	nSlices := 1 + rng.Intn(3)
+	m := &Model{QuantBits: 3, PCBits: 12}
+	for s := 0; s < nSlices; s++ {
+		spec := SliceSpec{
+			Hist:      4 + rng.Intn(40),
+			Channels:  1 + rng.Intn(3),
+			PoolWidth: 1 + rng.Intn(8),
+			ConvWidth: 1 + rng.Intn(3),
+			Precise:   rng.Intn(2) == 0,
+			HashBits:  4 + uint(rng.Intn(4)),
+		}
+		if !spec.Precise {
+			spec.Hist = spec.Hist / spec.PoolWidth * spec.PoolWidth
+			if spec.Hist == 0 {
+				spec.Hist = spec.PoolWidth
+			}
+		}
+		lut := make([][]int8, 1<<spec.HashBits)
+		for g := range lut {
+			row := make([]int8, spec.Channels)
+			for c := range row {
+				row[c] = int8(rng.Intn(2)*2 - 1)
+			}
+			lut[g] = row
+		}
+		codes := make([][]uint8, spec.Channels)
+		for c := range codes {
+			tbl := make([]uint8, 2*spec.PoolWidth+1)
+			for i := range tbl {
+				tbl[i] = uint8(rng.Intn(8))
+			}
+			codes[c] = tbl
+		}
+		m.Slices = append(m.Slices, Slice{Spec: spec, ConvLUT: lut, PoolCode: codes})
+	}
+	hidden := 1 + rng.Intn(6)
+	f := m.Features()
+	for n := 0; n < hidden; n++ {
+		row := make([]int16, f)
+		for i := range row {
+			row[i] = int16(rng.Intn(15) - 7)
+		}
+		m.W1 = append(m.W1, row)
+		m.Thresh = append(m.Thresh, int64(rng.Intn(100)-50))
+		m.Flip = append(m.Flip, rng.Intn(2) == 0)
+	}
+	m.FinalLUT = make([]bool, 1<<hidden)
+	for i := range m.FinalLUT {
+		m.FinalLUT[i] = rng.Intn(2) == 0
+	}
+	return m
+}
+
+func TestPredictNeverPanics(t *testing.T) {
+	f := func(seed int64, histLenRaw uint8, bc uint64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randModel(rng)
+		// Histories shorter and longer than the model needs.
+		histLen := int(histLenRaw)
+		hist := make([]uint32, histLen)
+		for i := range hist {
+			hist[i] = rng.Uint32() & 0x1fff
+		}
+		_ = m.Predict(hist, bc)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictDeterministicGivenAlignment(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	m := randModel(rng)
+	hist := make([]uint32, 128)
+	for i := range hist {
+		hist[i] = rng.Uint32() & 0x1fff
+	}
+	for bc := uint64(0); bc < 8; bc++ {
+		a := m.Predict(hist, bc)
+		b := m.Predict(hist, bc)
+		if a != b {
+			t.Fatal("prediction nondeterministic for fixed alignment")
+		}
+	}
+}
+
+func TestPreciseSlicesIgnoreBranchCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := randModel(rng)
+	for i := range m.Slices {
+		m.Slices[i].Spec.Precise = true
+	}
+	hist := make([]uint32, 256)
+	for i := range hist {
+		hist[i] = rng.Uint32() & 0x1fff
+	}
+	want := m.Predict(hist, 0)
+	for bc := uint64(1); bc < 20; bc++ {
+		if m.Predict(hist, bc) != want {
+			t.Fatal("precise pooling must not depend on the branch counter")
+		}
+	}
+}
+
+func TestStorageMonotonicInQuantBits(t *testing.T) {
+	specs := []SliceSpec{{Hist: 64, Channels: 2, PoolWidth: 8, ConvWidth: 3, Precise: false, HashBits: 7}}
+	prev := 0
+	for q := uint(1); q <= 6; q++ {
+		total := SpecStorage(specs, 6, q).Total()
+		if total <= prev {
+			t.Fatalf("storage not increasing at q=%d", q)
+		}
+		prev = total
+	}
+}
+
+func TestFeaturesMatchesExtracted(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randModel(rng)
+		hist := make([]uint32, 64)
+		return len(m.ExtractFeatures(hist, 3)) == m.Features()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

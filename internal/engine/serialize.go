@@ -1,0 +1,228 @@
+package engine
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary model format ("BNM1"): the on-disk representation of quantized
+// models, standing in for the paper's "attach the trained models to the
+// program binary" (§V-F). A file holds one or more models; the OS loader
+// would hand these tables to the on-chip engine at load time.
+
+var modelMagic = [4]byte{'B', 'N', 'M', '1'}
+
+// WriteModels encodes models to w.
+func WriteModels(w io.Writer, models []*Model) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(modelMagic[:]); err != nil {
+		return err
+	}
+	writeUvarint(bw, uint64(len(models)))
+	for _, m := range models {
+		if err := writeModel(bw, m); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadModels decodes models written by WriteModels.
+func ReadModels(r io.Reader) ([]*Model, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("engine: reading magic: %w", err)
+	}
+	if magic != modelMagic {
+		return nil, errors.New("engine: bad magic, not a BNM1 model file")
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if count > 1<<16 {
+		return nil, fmt.Errorf("engine: implausible model count %d", count)
+	}
+	models := make([]*Model, 0, count)
+	for i := uint64(0); i < count; i++ {
+		m, err := readModel(br)
+		if err != nil {
+			return nil, fmt.Errorf("engine: model %d: %w", i, err)
+		}
+		models = append(models, m)
+	}
+	return models, nil
+}
+
+func writeModel(w *bufio.Writer, m *Model) error {
+	writeUvarint(w, m.PC)
+	writeUvarint(w, uint64(m.QuantBits))
+	writeUvarint(w, uint64(m.PCBits))
+	writeUvarint(w, uint64(len(m.Slices)))
+	for i := range m.Slices {
+		s := &m.Slices[i]
+		for _, v := range []uint64{
+			uint64(s.Spec.Hist), uint64(s.Spec.Channels), uint64(s.Spec.PoolWidth),
+			uint64(s.Spec.ConvWidth), uint64(s.Spec.HashBits), boolBit(s.Spec.Precise),
+		} {
+			writeUvarint(w, v)
+		}
+		for _, row := range s.ConvLUT {
+			for _, v := range row {
+				// +-1 encoded as a bit.
+				if err := w.WriteByte(byte((v + 1) / 2)); err != nil {
+					return err
+				}
+			}
+		}
+		for _, tbl := range s.PoolCode {
+			if _, err := w.Write(tbl); err != nil {
+				return err
+			}
+		}
+	}
+	writeUvarint(w, uint64(len(m.W1)))
+	for n := range m.W1 {
+		for _, v := range m.W1[n] {
+			writeVarint(w, int64(v))
+		}
+		writeVarint(w, m.Thresh[n])
+		writeUvarint(w, boolBit(m.Flip[n]))
+	}
+	for _, b := range m.FinalLUT {
+		if err := w.WriteByte(byte(boolBit(b))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readModel(r *bufio.Reader) (*Model, error) {
+	m := &Model{}
+	pc, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	m.PC = pc
+	q, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if q == 0 || q > 8 {
+		return nil, fmt.Errorf("bad quant bits %d", q)
+	}
+	m.QuantBits = uint(q)
+	pb, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if pb == 0 || pb > 32 {
+		return nil, fmt.Errorf("bad pc bits %d", pb)
+	}
+	m.PCBits = uint(pb)
+	nSlices, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if nSlices == 0 || nSlices > 16 {
+		return nil, fmt.Errorf("bad slice count %d", nSlices)
+	}
+	for i := uint64(0); i < nSlices; i++ {
+		vals := make([]uint64, 6)
+		for j := range vals {
+			if vals[j], err = binary.ReadUvarint(r); err != nil {
+				return nil, err
+			}
+		}
+		spec := SliceSpec{
+			Hist: int(vals[0]), Channels: int(vals[1]), PoolWidth: int(vals[2]),
+			ConvWidth: int(vals[3]), HashBits: uint(vals[4]), Precise: vals[5] == 1,
+		}
+		if spec.Hist <= 0 || spec.Hist > 1<<16 || spec.Channels <= 0 || spec.Channels > 64 ||
+			spec.PoolWidth <= 0 || spec.HashBits > 16 || spec.ConvWidth <= 0 || spec.ConvWidth > 16 {
+			return nil, fmt.Errorf("implausible slice spec %+v", spec)
+		}
+		lut := make([][]int8, 1<<spec.HashBits)
+		for g := range lut {
+			row := make([]int8, spec.Channels)
+			for c := range row {
+				b, err := r.ReadByte()
+				if err != nil {
+					return nil, err
+				}
+				row[c] = int8(b)*2 - 1
+			}
+			lut[g] = row
+		}
+		codes := make([][]uint8, spec.Channels)
+		for c := range codes {
+			tbl := make([]uint8, 2*spec.PoolWidth+1)
+			if _, err := io.ReadFull(r, tbl); err != nil {
+				return nil, err
+			}
+			codes[c] = tbl
+		}
+		m.Slices = append(m.Slices, Slice{Spec: spec, ConvLUT: lut, PoolCode: codes})
+	}
+	hidden, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if hidden == 0 || hidden > 20 {
+		return nil, fmt.Errorf("bad hidden width %d", hidden)
+	}
+	features := m.Features()
+	for n := uint64(0); n < hidden; n++ {
+		row := make([]int16, features)
+		for i := range row {
+			v, err := binary.ReadVarint(r)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = int16(v)
+		}
+		m.W1 = append(m.W1, row)
+		th, err := binary.ReadVarint(r)
+		if err != nil {
+			return nil, err
+		}
+		m.Thresh = append(m.Thresh, th)
+		fl, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		m.Flip = append(m.Flip, fl == 1)
+	}
+	m.FinalLUT = make([]bool, 1<<hidden)
+	for i := range m.FinalLUT {
+		b, err := r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		m.FinalLUT[i] = b == 1
+	}
+	return m, nil
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n]) //nolint:errcheck // surfaced by the final Flush
+}
+
+func writeVarint(w *bufio.Writer, v int64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	w.Write(buf[:n]) //nolint:errcheck // surfaced by the final Flush
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,66 @@
+package engine
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestModelRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	var models []*Model
+	for i := 0; i < 3; i++ {
+		m := randModel(rng)
+		m.PC = uint64(0x1000 + i*4)
+		models = append(models, m)
+	}
+	var buf bytes.Buffer
+	if err := WriteModels(&buf, models); err != nil {
+		t.Fatalf("WriteModels: %v", err)
+	}
+	got, err := ReadModels(&buf)
+	if err != nil {
+		t.Fatalf("ReadModels: %v", err)
+	}
+	if len(got) != len(models) {
+		t.Fatalf("got %d models, want %d", len(got), len(models))
+	}
+	for i := range models {
+		if !reflect.DeepEqual(models[i], got[i]) {
+			t.Fatalf("model %d round-trip mismatch", i)
+		}
+	}
+
+	// Behavioral equivalence on random histories.
+	hist := make([]uint32, 256)
+	for i := range hist {
+		hist[i] = rng.Uint32() & 0x1fff
+	}
+	for i := range models {
+		for bc := uint64(0); bc < 5; bc++ {
+			if models[i].Predict(hist, bc) != got[i].Predict(hist, bc) {
+				t.Fatalf("model %d predictions diverge after round trip", i)
+			}
+		}
+	}
+}
+
+func TestReadModelsRejectsGarbage(t *testing.T) {
+	if _, err := ReadModels(bytes.NewReader([]byte("definitely not a model"))); err == nil {
+		t.Fatal("expected error for bad magic")
+	}
+	if _, err := ReadModels(bytes.NewReader(nil)); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+	// Truncated stream after a valid header.
+	var buf bytes.Buffer
+	m := randModel(rand.New(rand.NewSource(3)))
+	if err := WriteModels(&buf, []*Model{m}); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadModels(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("expected error for truncated stream")
+	}
+}

@@ -1,0 +1,82 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+)
+
+// StorageBreakdown itemizes the per-branch storage of a Mini-BranchNet
+// inference engine, following Table II of the paper. All quantities are in
+// bits.
+type StorageBreakdown struct {
+	ConvTables     int // binarized convolution lookup tables
+	PreciseBuffers int // precise pooling buffers (raw window + running sum + pooled codes)
+	SlidingBuffers int // sliding pooling buffers (phase + running sum + pooled codes)
+	PoolCodeTables int // folded BN+tanh+quantize tables on window sums
+	FCWeights      int // q-bit first-layer weights + thresholds + final LUT
+}
+
+// Total returns the total bits.
+func (b StorageBreakdown) Total() int {
+	return b.ConvTables + b.PreciseBuffers + b.SlidingBuffers + b.PoolCodeTables + b.FCWeights
+}
+
+// TotalBytes returns the total in bytes.
+func (b StorageBreakdown) TotalBytes() float64 { return float64(b.Total()) / 8 }
+
+func (b StorageBreakdown) String() string {
+	return fmt.Sprintf(
+		"conv=%dB precise=%dB sliding=%dB poolcode=%dB fc=%dB total=%.1fB",
+		b.ConvTables/8, b.PreciseBuffers/8, b.SlidingBuffers/8,
+		b.PoolCodeTables/8, b.FCWeights/8, b.TotalBytes())
+}
+
+// SpecStorage computes the Table II storage breakdown from architecture
+// parameters alone (no trained weights needed): slices, hidden width n,
+// and quantization q. The running-sum registers are 7 bits, as in the
+// paper's latency analysis.
+func SpecStorage(slices []SliceSpec, hidden int, q uint) StorageBreakdown {
+	const runSumBits = 7
+	var b StorageBreakdown
+	features := 0
+	for _, s := range slices {
+		// Convolution table: 2^h entries x C channels x 1 bit.
+		b.ConvTables += (1 << s.HashBits) * s.Channels
+
+		// Pool-code table: per channel, 2P+1 sums -> q-bit codes.
+		b.PoolCodeTables += s.Channels * (2*s.PoolWidth + 1) * int(q)
+
+		w := s.Windows()
+		features += w * s.Channels
+		if s.Precise {
+			// Per channel: the raw window bits (to subtract outgoing
+			// values), a running sum, and the buffered pooled codes.
+			b.PreciseBuffers += s.Channels * (s.PoolWidth + runSumBits + int(q)*w)
+		} else {
+			// Per channel: a running sum and the pooled codes; one
+			// shared phase counter per slice.
+			b.SlidingBuffers += s.Channels*(runSumBits+int(q)*w) +
+				bitsFor(s.PoolWidth)
+		}
+	}
+	// First layer: q-bit weights per (feature, neuron), a folded-BN
+	// threshold per neuron (12-bit), and the 2^N-bit final LUT.
+	b.FCWeights = int(q)*hidden*features + 12*hidden + (1 << hidden)
+	return b
+}
+
+// Storage computes the breakdown for a quantized model.
+func (m *Model) Storage() StorageBreakdown {
+	specs := make([]SliceSpec, len(m.Slices))
+	for i := range m.Slices {
+		specs[i] = m.Slices[i].Spec
+	}
+	return SpecStorage(specs, len(m.W1), m.QuantBits)
+}
+
+func bitsFor(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return int(math.Ceil(math.Log2(float64(n))))
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+
+	"branchnet/internal/bench"
+	"branchnet/internal/branchnet"
+)
+
+// AblationResult is one architecture variant's accuracy on the
+// noisy-history branch.
+type AblationResult struct {
+	Variant  string
+	Accuracy float64
+}
+
+// Ablations isolates the BranchNet design choices the paper motivates
+// (geometric multi-slice histories, sum-pooling width, hidden layers,
+// convolution width) by training variants of the scaled Big-BranchNet on
+// the Fig. 3 microbenchmark's diverse training set and measuring accuracy
+// on an unseen input. Expected shape:
+//
+//   - the full model is the strongest or tied;
+//   - fine position-proportional pooling loses accuracy at CPU training
+//     scale (position coverage; see DESIGN.md);
+//   - a single slice loses the short-history precision that nested
+//     geometric windows provide;
+//   - removing all hidden layers keeps the (linear) count comparison
+//     learnable but gives up margin on harder compositions.
+func Ablations(c *Context) ([]AblationResult, Table) {
+	base := branchnet.BigKnobsScaled()
+
+	variants := []struct {
+		name string
+		mod  func(branchnet.Knobs) branchnet.Knobs
+	}{
+		{"full (scaled Big-BranchNet)", func(k branchnet.Knobs) branchnet.Knobs { return k }},
+		{"single slice (longest only)", func(k branchnet.Knobs) branchnet.Knobs {
+			n := len(k.History) - 1
+			k.History = k.History[n:]
+			k.Channels = k.Channels[n:]
+			k.PoolWidths = k.PoolWidths[n:]
+			k.PrecisePool = k.PrecisePool[n:]
+			return k
+		}},
+		{"fine pooling (P ∝ H/8)", func(k branchnet.Knobs) branchnet.Knobs {
+			pw := make([]int, len(k.PoolWidths))
+			for i, h := range k.History {
+				pw[i] = h / 8
+				if pw[i] < 1 {
+					pw[i] = 1
+				}
+			}
+			k.PoolWidths = pw
+			return k
+		}},
+		{"one hidden layer", func(k branchnet.Knobs) branchnet.Knobs {
+			k.Hidden = k.Hidden[:1]
+			return k
+		}},
+		{"no hidden layer (linear)", func(k branchnet.Knobs) branchnet.Knobs {
+			k.Hidden = nil
+			return k
+		}},
+		{"width-1 convolution", func(k branchnet.Knobs) branchnet.Knobs {
+			k.ConvWidth = 1
+			return k
+		}},
+	}
+
+	prog := bench.NoisyHistory()
+	trainTrace := prog.Generate(bench.NoisyInput("abl-train", 300, 1, 4, 0.5), c.Mode.TrainLen*2)
+	testTrace := prog.Generate(bench.NoisyInput("abl-test", 901, 5, 10, 0.6), c.Mode.TestLen/2)
+
+	opts := c.Mode.BigTrain
+	opts.Epochs += 3
+	opts.MaxExamples = 8000
+
+	var results []AblationResult
+	for _, v := range variants {
+		k := v.mod(base)
+		k.Name = "ablation"
+		window := k.WindowTokens()
+		trainDS := branchnet.ExtractCapped(trainTrace, []uint64{bench.NoisyPCB},
+			window, k.PCBits, opts.MaxExamples)[bench.NoisyPCB]
+		testDS := branchnet.ExtractCapped(testTrace, []uint64{bench.NoisyPCB},
+			window, k.PCBits, 4000)[bench.NoisyPCB]
+		m := branchnet.New(k, bench.NoisyPCB, 5)
+		m.Train(trainDS, opts)
+		results = append(results, AblationResult{Variant: v.name, Accuracy: m.Accuracy(testDS)})
+	}
+
+	t := Table{
+		Title:  fmt.Sprintf("Ablations — BranchNet design choices on the Fig. 3 branch (%s mode)", c.Mode.Name),
+		Header: []string{"variant", "branch B accuracy (unseen input)"},
+		Notes: []string{
+			"trains on set 3 (N=1..4, alpha=0.5), tests on N=5..10, alpha=0.6",
+		},
+	}
+	for _, r := range results {
+		t.AddRow(r.Variant, pct(r.Accuracy))
+	}
+	return results, t
+}

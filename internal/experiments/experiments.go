@@ -1,0 +1,270 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index). Each Fig*/Table*
+// function runs one experiment end-to-end — workload generation, offline
+// training, evaluation — and returns a renderable Table plus structured
+// results.
+//
+// Experiments run in a Context, which caches generated traces and trained
+// models so that figures sharing work (e.g. Fig. 9's Big-BranchNet models
+// and Fig. 10's per-branch accuracies) pay for it once per process.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"branchnet/internal/bench"
+	"branchnet/internal/branchnet"
+	"branchnet/internal/predictor"
+	"branchnet/internal/tage"
+	"branchnet/internal/trace"
+)
+
+// Mode scales the experiments. Quick fits a CPU test run; Full uses larger
+// traces and more models (closer to the paper's scale, still far below its
+// GPU budget).
+type Mode struct {
+	Name string
+	// Trace lengths in branch records.
+	TestLen  int
+	ValidLen int
+	TrainLen int
+	// Offline training scale.
+	TopBranches int
+	MaxModels   int
+	BigTrain    branchnet.TrainOpts
+	MiniTrain   branchnet.TrainOpts
+	// Fig. 1 CNN-branch counts (paper: 8, 25, 50).
+	Fig1Counts []int
+	// Benchmarks to include (nil = the whole suite).
+	Benchmarks []string
+	// Slot-plan scaling for Fig. 11/13 (numerator/denominator).
+	SlotScaleNum, SlotScaleDen int
+	// Mini budgets trained for packing (bytes).
+	MiniBudgets []int
+	// Fig. 12 training-set fractions.
+	Fig12Fracs []float64
+}
+
+// Quick returns the CPU-budget mode used by tests and benchmarks.
+func Quick() Mode {
+	bigTrain := branchnet.DefaultTrainOpts()
+	bigTrain.Epochs = 3
+	bigTrain.MaxExamples = 2500
+	miniTrain := branchnet.DefaultTrainOpts()
+	miniTrain.Epochs = 3
+	miniTrain.MaxExamples = 3500
+	return Mode{
+		Name:         "quick",
+		TestLen:      80000,
+		ValidLen:     80000,
+		TrainLen:     150000,
+		TopBranches:  7,
+		MaxModels:    6,
+		BigTrain:     bigTrain,
+		MiniTrain:    miniTrain,
+		Fig1Counts:   []int{2, 4, 7},
+		SlotScaleNum: 1, SlotScaleDen: 4,
+		MiniBudgets: []int{1024, 256},
+		Fig12Fracs:  []float64{0.25, 1},
+	}
+}
+
+// Full returns the larger evaluation mode used by cmd/branchnet-bench
+// -mode full.
+func Full() Mode {
+	m := Quick()
+	m.Name = "full"
+	m.TestLen = 400000
+	m.ValidLen = 300000
+	m.TrainLen = 700000
+	m.TopBranches = 24
+	m.MaxModels = 20
+	m.BigTrain.Epochs = 5
+	m.BigTrain.MaxExamples = 8000
+	m.MiniTrain.Epochs = 6
+	m.MiniTrain.MaxExamples = 8000
+	m.Fig1Counts = []int{8, 25, 50}
+	m.SlotScaleNum = 1
+	m.SlotScaleDen = 2
+	m.MiniBudgets = []int{2048, 1024, 512, 256}
+	return m
+}
+
+// Context carries the mode plus per-process caches.
+type Context struct {
+	Mode Mode
+
+	mu        sync.Mutex
+	traces    map[string]*trace.Trace
+	bigCache  map[string][]*branchnet.Attached
+	miniCache map[string][]*branchnet.Attached
+}
+
+// NewContext builds a fresh experiment context.
+func NewContext(mode Mode) *Context {
+	return &Context{
+		Mode:      mode,
+		traces:    make(map[string]*trace.Trace),
+		bigCache:  make(map[string][]*branchnet.Attached),
+		miniCache: make(map[string][]*branchnet.Attached),
+	}
+}
+
+// Programs returns the benchmark set selected by the mode.
+func (c *Context) Programs() []*bench.Program {
+	if c.Mode.Benchmarks == nil {
+		return bench.All()
+	}
+	var out []*bench.Program
+	for _, name := range c.Mode.Benchmarks {
+		if p := bench.ByName(name); p != nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// traceFor returns (and caches) the trace of one input.
+func (c *Context) traceFor(p *bench.Program, in bench.Input, branches int) *trace.Trace {
+	key := fmt.Sprintf("%s/%s/%d/%d", p.Name, in.Name, in.Seed, branches)
+	c.mu.Lock()
+	tr, ok := c.traces[key]
+	c.mu.Unlock()
+	if ok {
+		return tr
+	}
+	tr = p.Generate(in, branches)
+	c.mu.Lock()
+	c.traces[key] = tr
+	c.mu.Unlock()
+	return tr
+}
+
+// TrainTraces returns one trace per training input (Table III).
+func (c *Context) TrainTraces(p *bench.Program) []*trace.Trace {
+	ins := p.Inputs(bench.Train)
+	out := make([]*trace.Trace, len(ins))
+	for i, in := range ins {
+		out[i] = c.traceFor(p, in, c.Mode.TrainLen/len(ins))
+	}
+	return out
+}
+
+// ValidTrace returns the concatenation of all validation-input traces
+// (region boundaries behave like SimPoint region joins).
+func (c *Context) ValidTrace(p *bench.Program) *trace.Trace {
+	ins := p.Inputs(bench.Validation)
+	key := fmt.Sprintf("%s/valid-all/%d", p.Name, c.Mode.ValidLen)
+	c.mu.Lock()
+	tr, ok := c.traces[key]
+	c.mu.Unlock()
+	if ok {
+		return tr
+	}
+	merged := &trace.Trace{}
+	for _, in := range ins {
+		part := c.traceFor(p, in, c.Mode.ValidLen/len(ins))
+		merged.Records = append(merged.Records, part.Records...)
+	}
+	c.mu.Lock()
+	c.traces[key] = merged
+	c.mu.Unlock()
+	return merged
+}
+
+// TestTraces returns one trace per test ("ref") input.
+func (c *Context) TestTraces(p *bench.Program) []*trace.Trace {
+	ins := p.Inputs(bench.Test)
+	out := make([]*trace.Trace, len(ins))
+	for i, in := range ins {
+		out[i] = c.traceFor(p, in, c.Mode.TestLen/len(ins))
+	}
+	return out
+}
+
+// Baseline factories by name.
+func newBaseline(name string) predictor.Predictor {
+	switch name {
+	case "tage64":
+		return tage.New(tage.TAGESCL64KB(), 1)
+	case "tage56":
+		return tage.New(tage.TAGESCL56KB(), 1)
+	case "mtage":
+		return tage.New(tage.MTAGESC(), 1)
+	case "mtage-nolocal":
+		return tage.New(tage.MTAGESCNoLocal(), 1)
+	case "gtage":
+		return tage.New(tage.GTAGE(), 1)
+	default:
+		panic("experiments: unknown baseline " + name)
+	}
+}
+
+// evalOn evaluates a fresh predictor per test trace and returns the
+// aggregate MPKI plus merged per-branch statistics.
+func evalOn(newPred func() predictor.Predictor, traces []*trace.Trace) (float64, predictor.Result) {
+	var merged predictor.Result
+	merged.PerBranch = make(map[uint64]uint64)
+	merged.ExecPerBranch = make(map[uint64]uint64)
+	var instrs uint64
+	for _, tr := range traces {
+		res := predictor.Evaluate(newPred(), tr)
+		merged.Branches += res.Branches
+		merged.Mispredicts += res.Mispredicts
+		for pc, v := range res.PerBranch {
+			merged.PerBranch[pc] += v
+		}
+		for pc, v := range res.ExecPerBranch {
+			merged.ExecPerBranch[pc] += v
+		}
+		instrs += tr.Instructions()
+	}
+	return trace.MPKI(float64(merged.Mispredicts), instrs), merged
+}
+
+// BigModels trains (and caches) Big-BranchNet models for a benchmark
+// against the named baseline, following Section V-E.
+func (c *Context) BigModels(p *bench.Program, baseline string, maxModels int) []*branchnet.Attached {
+	key := p.Name + "/" + baseline + "/big"
+	c.mu.Lock()
+	cached, ok := c.bigCache[key]
+	c.mu.Unlock()
+	if !ok {
+		cfg := branchnet.DefaultOfflineConfig(branchnet.BigKnobsScaled())
+		cfg.TopBranches = c.Mode.TopBranches
+		cfg.MaxModels = c.Mode.TopBranches // keep the full ranked pool; callers cut
+		cfg.Train = c.Mode.BigTrain
+		cached = branchnet.TrainOffline(cfg, c.TrainTraces(p), c.ValidTrace(p),
+			func() predictor.Predictor { return newBaseline(baseline) })
+		c.mu.Lock()
+		c.bigCache[key] = cached
+		c.mu.Unlock()
+	}
+	if maxModels > 0 && len(cached) > maxModels {
+		return cached[:maxModels]
+	}
+	return cached
+}
+
+// MiniModels trains (and caches) quantized Mini-BranchNet models at the
+// given budget against the named baseline.
+func (c *Context) MiniModels(p *bench.Program, baseline string, budget int) []*branchnet.Attached {
+	key := fmt.Sprintf("%s/%s/mini%d", p.Name, baseline, budget)
+	c.mu.Lock()
+	cached, ok := c.miniCache[key]
+	c.mu.Unlock()
+	if ok {
+		return cached
+	}
+	cfg := branchnet.DefaultOfflineConfig(branchnet.MiniQuick(budget))
+	cfg.TopBranches = c.Mode.TopBranches
+	cfg.MaxModels = c.Mode.TopBranches
+	cfg.Train = c.Mode.MiniTrain
+	cached = branchnet.TrainOffline(cfg, c.TrainTraces(p), c.ValidTrace(p),
+		func() predictor.Predictor { return newBaseline(baseline) })
+	c.mu.Lock()
+	c.miniCache[key] = cached
+	c.mu.Unlock()
+	return cached
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"branchnet/internal/bench"
+	"branchnet/internal/hybrid"
+	"branchnet/internal/predictor"
+)
+
+// Fig10Branch is one bar pair of Fig. 10.
+type Fig10Branch struct {
+	PC          uint64
+	MTAGEAcc    float64
+	BranchNet   float64
+	Improvement float64
+}
+
+// Fig10 reproduces Fig. 10: per-branch accuracy of the most improved
+// branches of leela and mcf, Big-BranchNet vs unlimited MTAGE-SC.
+// Expected shape: many improved branches reach ~98-100% under BranchNet
+// while MTAGE-SC stays far lower on the same branches.
+func Fig10(c *Context) (map[string][]Fig10Branch, Table) {
+	out := make(map[string][]Fig10Branch)
+	t := Table{
+		Title:  fmt.Sprintf("Fig. 10 — most-improved branches, MTAGE-SC vs Big-BranchNet (%s mode)", c.Mode.Name),
+		Header: []string{"benchmark", "branch pc", "mtage-sc acc", "big-branchnet acc", "improvement"},
+		Notes: []string{
+			"paper: e.g. leela branch #4 79.1%->99.98%, mcf top two 73.9%->98.4%, 67.4%->98.6%",
+		},
+	}
+	for _, name := range []string{"leela", "mcf"} {
+		p := bench.ByName(name)
+		tests := c.TestTraces(p)
+		models := c.BigModels(p, "mtage", 16)
+		if len(models) == 0 {
+			continue
+		}
+		_, baseRes := evalOn(func() predictor.Predictor { return newBaseline("mtage") }, tests)
+		_, hybRes := evalOn(func() predictor.Predictor {
+			return hybrid.New(newBaseline("mtage"), models, "")
+		}, tests)
+
+		var rows []Fig10Branch
+		for _, m := range models {
+			if baseRes.ExecPerBranch[m.PC] == 0 {
+				continue
+			}
+			b := Fig10Branch{
+				PC:        m.PC,
+				MTAGEAcc:  baseRes.BranchAccuracy(m.PC),
+				BranchNet: hybRes.BranchAccuracy(m.PC),
+			}
+			b.Improvement = b.BranchNet - b.MTAGEAcc
+			rows = append(rows, b)
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].Improvement > rows[j].Improvement })
+		if len(rows) > 16 {
+			rows = rows[:16]
+		}
+		out[name] = rows
+		for _, b := range rows {
+			t.AddRow(name, fmt.Sprintf("%#x", b.PC), pct(b.MTAGEAcc), pct(b.BranchNet), pct(b.Improvement))
+		}
+	}
+	return out, t
+}

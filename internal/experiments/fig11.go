@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+
+	"branchnet/internal/branchnet"
+	"branchnet/internal/gshare"
+	"branchnet/internal/hybrid"
+	"branchnet/internal/pipeline"
+	"branchnet/internal/predictor"
+	"branchnet/internal/tarsa"
+	"branchnet/internal/trace"
+)
+
+// Fig11Setting identifies one evaluated configuration of Fig. 11.
+type Fig11Setting string
+
+// The five settings of Fig. 11.
+const (
+	IsoStorage   Fig11Setting = "iso-storage (8KB mini + 56KB tage)"
+	IsoLatency   Fig11Setting = "iso-latency (32KB mini + 64KB tage)"
+	BigSetting   Fig11Setting = "big-branchnet (oracular)"
+	TarsaFloat   Fig11Setting = "tarsa-float (oracular)"
+	TarsaTernary Fig11Setting = "tarsa-ternary"
+)
+
+// Fig11Row is one benchmark's measurements.
+type Fig11Row struct {
+	Benchmark string
+	BaseMPKI  float64
+	BaseIPC   float64
+	// MPKIReduction and IPCGain are fractions (0.05 = 5%) per setting.
+	MPKIReduction map[Fig11Setting]float64
+	IPCGain       map[Fig11Setting]float64
+}
+
+// simOn runs the two-tier pipeline model over the test traces with fresh
+// predictors per trace and returns aggregate MPKI and IPC.
+func simOn(newLate func() predictor.Predictor, traces []*trace.Trace) (mpki, ipc float64) {
+	cfg := pipeline.DefaultConfig()
+	var instrs uint64
+	var cycles float64
+	var misp uint64
+	for _, tr := range traces {
+		r := pipeline.Simulate(cfg, gshare.Default4KB(), newLate(), tr)
+		instrs += r.Instructions
+		cycles += r.Cycles
+		misp += r.Mispredicts
+	}
+	return float64(misp) * 1000 / float64(instrs), float64(instrs) / cycles
+}
+
+// Fig11 reproduces Fig. 11: MPKI and IPC improvement of BranchNet and the
+// Tarsa CNNs over a 64KB TAGE-SC-L baseline (local SC disabled, as in the
+// paper). Expected shape: Big > iso-latency Mini > iso-storage Mini >
+// Tarsa-Ternary; IPC gains small on average, largest on high-MPKI
+// benchmarks. Paper averages: iso-storage -5.5% MPKI/+0.6% IPC;
+// iso-latency -9.6% MPKI/+1.3% IPC.
+func Fig11(c *Context) ([]Fig11Row, Table) {
+	scaleN, scaleD := c.Mode.SlotScaleNum, c.Mode.SlotScaleDen
+	isoLat := hybrid.IsoLatency32KB().Scale(scaleN, scaleD)
+	isoSto := hybrid.IsoStorage8KB().Scale(scaleN, scaleD)
+
+	var rows []Fig11Row
+	for _, p := range c.Programs() {
+		tests := c.TestTraces(p)
+		row := Fig11Row{
+			Benchmark:     p.Name,
+			MPKIReduction: make(map[Fig11Setting]float64),
+			IPCGain:       make(map[Fig11Setting]float64),
+		}
+		row.BaseMPKI, row.BaseIPC = simOn(func() predictor.Predictor { return newBaseline("tage64") }, tests)
+
+		record := func(s Fig11Setting, newLate func() predictor.Predictor) {
+			mpki, ipc := simOn(newLate, tests)
+			red := (row.BaseMPKI - mpki) / row.BaseMPKI
+			if red < 0 {
+				red = 0 // a harmful model set would not ship
+			}
+			gain := ipc/row.BaseIPC - 1
+			if gain < 0 {
+				gain = 0
+			}
+			row.MPKIReduction[s] = red
+			row.IPCGain[s] = gain
+		}
+
+		// Mini-BranchNet candidates per budget, packed into the plans.
+		perBudget := make(map[int][]*branchnet.Attached)
+		for _, b := range c.Mode.MiniBudgets {
+			perBudget[b] = c.MiniModels(p, "tage64", b)
+		}
+		latModels := hybrid.Pack(perBudget, isoLat)
+		stoModels := hybrid.Pack(perBudget, isoSto)
+		record(IsoLatency, func() predictor.Predictor {
+			return hybrid.New(newBaseline("tage64"), latModels, "")
+		})
+		record(IsoStorage, func() predictor.Predictor {
+			return hybrid.New(newBaseline("tage56"), stoModels, "")
+		})
+
+		// Big-BranchNet (oracular float models, 4-cycle assumption).
+		bigModels := c.BigModels(p, "tage64", c.Mode.MaxModels)
+		record(BigSetting, func() predictor.Predictor {
+			return hybrid.New(newBaseline("tage64"), bigModels, "")
+		})
+
+		// Tarsa CNNs: float first, then ternarize the same models in
+		// place (Fig. 11 evaluates both forms of the same training).
+		tarsaCfg := tarsa.Float(true)
+		tarsaCfg.TopBranches = c.Mode.TopBranches
+		tarsaCfg.Train = c.Mode.BigTrain
+		tarsaModels := branchnet.TrainOffline(tarsaCfg, c.TrainTraces(p), c.ValidTrace(p),
+			func() predictor.Predictor { return newBaseline("tage64") })
+		record(TarsaFloat, func() predictor.Predictor {
+			return hybrid.New(newBaseline("tage64"), tarsaModels, "")
+		})
+		if len(tarsaModels) > tarsa.MaxBranches {
+			tarsaModels = tarsaModels[:tarsa.MaxBranches]
+		}
+		for _, m := range tarsaModels {
+			m.Float.Ternarize()
+		}
+		record(TarsaTernary, func() predictor.Predictor {
+			return hybrid.New(newBaseline("tage64"), tarsaModels, "")
+		})
+
+		rows = append(rows, row)
+	}
+
+	settings := []Fig11Setting{IsoStorage, IsoLatency, BigSetting, TarsaFloat, TarsaTernary}
+	t := Table{
+		Title: fmt.Sprintf("Fig. 11 — MPKI reduction / IPC gain over 64KB TAGE-SC-L (%s mode; plans scaled %d/%d)",
+			c.Mode.Name, scaleN, scaleD),
+		Header: []string{"benchmark", "base mpki", "base ipc"},
+		Notes: []string{
+			"paper averages: iso-storage -5.5% MPKI/+0.6% IPC; iso-latency -9.6%/+1.3% (max -17.7%/+7.9%)",
+			"expected ordering: big >= iso-latency >= iso-storage >= tarsa-ternary",
+		},
+	}
+	for _, s := range settings {
+		t.Header = append(t.Header, string(s))
+	}
+	avg := make(map[Fig11Setting][2]float64)
+	for _, r := range rows {
+		cells := []string{r.Benchmark, f2(r.BaseMPKI), f2(r.BaseIPC)}
+		for _, s := range settings {
+			cells = append(cells, fmt.Sprintf("%s/%s", pct(r.MPKIReduction[s]), pct(r.IPCGain[s])))
+			a := avg[s]
+			a[0] += r.MPKIReduction[s]
+			a[1] += r.IPCGain[s]
+			avg[s] = a
+		}
+		t.AddRow(cells...)
+	}
+	if len(rows) > 0 {
+		cells := []string{"AVERAGE", "", ""}
+		n := float64(len(rows))
+		for _, s := range settings {
+			cells = append(cells, fmt.Sprintf("%s/%s", pct(avg[s][0]/n), pct(avg[s][1]/n)))
+		}
+		t.AddRow(cells...)
+	}
+	return rows, t
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+
+	"branchnet/internal/bench"
+	"branchnet/internal/branchnet"
+	"branchnet/internal/hybrid"
+	"branchnet/internal/predictor"
+)
+
+// Fig12Point is one point of the training-set-size sensitivity curve.
+type Fig12Point struct {
+	Fraction      float64
+	MPKIReduction float64
+}
+
+// Fig12 reproduces Fig. 12: sensitivity of Big-BranchNet to the training
+// set size, on the benchmark with the most improvable branches
+// (leela-like). Expected shape: MPKI reduction grows with training data and
+// saturates.
+func Fig12(c *Context) ([]Fig12Point, Table) {
+	p := bench.ByName("leela")
+	tests := c.TestTraces(p)
+	baseMPKI, _ := evalOn(func() predictor.Predictor { return newBaseline("tage64") }, tests)
+
+	var points []Fig12Point
+	for _, frac := range c.Mode.Fig12Fracs {
+		cfg := branchnet.DefaultOfflineConfig(branchnet.BigKnobsScaled())
+		cfg.TopBranches = c.Mode.TopBranches
+		cfg.MaxModels = c.Mode.MaxModels
+		cfg.Train = c.Mode.BigTrain
+		cfg.Train.MaxExamples = int(float64(cfg.Train.MaxExamples) * frac)
+		if cfg.Train.MaxExamples < 50 {
+			cfg.Train.MaxExamples = 50
+		}
+		models := branchnet.TrainOffline(cfg, c.TrainTraces(p), c.ValidTrace(p),
+			func() predictor.Predictor { return newBaseline("tage64") })
+		mpki, _ := evalOn(func() predictor.Predictor {
+			return hybrid.New(newBaseline("tage64"), models, "")
+		}, tests)
+		red := (baseMPKI - mpki) / baseMPKI
+		if red < 0 {
+			red = 0
+		}
+		points = append(points, Fig12Point{Fraction: frac, MPKIReduction: red})
+	}
+
+	t := Table{
+		Title:  fmt.Sprintf("Fig. 12 — Big-BranchNet sensitivity to training set size, leela (%s mode)", c.Mode.Name),
+		Header: []string{"training-set fraction", "mpki reduction"},
+		Notes:  []string{"paper shape: reduction grows with data and saturates"},
+	}
+	for _, pt := range points {
+		t.AddRow(fmt.Sprintf("%.3f", pt.Fraction), pct(pt.MPKIReduction))
+	}
+	return points, t
+}
+
+// Fig13Point is one benchmark/budget cell of the storage sensitivity study.
+type Fig13Point struct {
+	Benchmark     string
+	BudgetBytes   int
+	MPKIReduction float64
+}
+
+// Fig13 reproduces Fig. 13: sensitivity of iso-latency Mini-BranchNet to
+// its per-model storage budget — every slot of the (scaled) 41-slot engine
+// uses the same budget. Expected shape: monotone improvement with budget,
+// diminishing returns.
+func Fig13(c *Context) ([]Fig13Point, Table) {
+	slots := hybrid.IsoLatency32KB().Scale(c.Mode.SlotScaleNum, c.Mode.SlotScaleDen).TotalSlots()
+	var points []Fig13Point
+	t := Table{
+		Title:  fmt.Sprintf("Fig. 13 — iso-latency Mini-BranchNet vs storage budget (%s mode, %d slots)", c.Mode.Name, slots),
+		Header: []string{"benchmark"},
+		Notes:  []string{"paper shape: monotone MPKI-reduction growth with budget, diminishing returns"},
+	}
+	for _, b := range c.Mode.MiniBudgets {
+		t.Header = append(t.Header, fmt.Sprintf("%db/model", b))
+	}
+
+	for _, p := range c.Programs() {
+		tests := c.TestTraces(p)
+		baseMPKI, _ := evalOn(func() predictor.Predictor { return newBaseline("tage64") }, tests)
+		row := []string{p.Name}
+		for _, budget := range c.Mode.MiniBudgets {
+			models := c.MiniModels(p, "tage64", budget)
+			if len(models) > slots {
+				models = models[:slots]
+			}
+			mpki, _ := evalOn(func() predictor.Predictor {
+				return hybrid.New(newBaseline("tage64"), models, "")
+			}, tests)
+			red := (baseMPKI - mpki) / baseMPKI
+			if red < 0 {
+				red = 0
+			}
+			points = append(points, Fig13Point{Benchmark: p.Name, BudgetBytes: budget, MPKIReduction: red})
+			row = append(row, pct(red))
+		}
+		t.AddRow(row...)
+	}
+	return points, t
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"testing"
+
+	"branchnet/internal/bench"
+	"branchnet/internal/predictor"
+	"branchnet/internal/tage"
+)
+
+// TestWorkloadMPKIOrdering anchors the synthetic suite's misprediction
+// profile under 64KB TAGE-SC-L: the paper's high-MPKI benchmarks (leela,
+// mcf, deepsjeng, xz) must sit clearly above the low-MPKI ones (x264,
+// xalancbmk, perlbench, exchange2), with gcc and omnetpp in between.
+func TestWorkloadMPKIOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("evaluates all ten workloads")
+	}
+	mpki := map[string]float64{}
+	for _, p := range bench.All() {
+		tr := p.Generate(p.Inputs(bench.Test)[0], 100000)
+		res := predictor.Evaluate(tage.New(tage.TAGESCL64KB(), 1), tr)
+		mpki[p.Name] = res.MPKI(tr)
+	}
+	t.Logf("MPKI profile: %v", mpki)
+
+	hard := []string{"leela", "mcf", "deepsjeng", "xz"}
+	easy := []string{"x264", "xalancbmk", "perlbench", "exchange2"}
+	minHard, maxEasy := 1e9, 0.0
+	for _, n := range hard {
+		if mpki[n] < minHard {
+			minHard = mpki[n]
+		}
+	}
+	for _, n := range easy {
+		if mpki[n] > maxEasy {
+			maxEasy = mpki[n]
+		}
+	}
+	if minHard <= maxEasy {
+		t.Errorf("hard benchmarks (min %.2f) should exceed easy ones (max %.2f)", minHard, maxEasy)
+	}
+	if mpki["exchange2"] > 2 {
+		t.Errorf("exchange2 MPKI %.2f; should be near-zero", mpki["exchange2"])
+	}
+	for _, n := range hard {
+		if mpki[n] < 5 || mpki[n] > 40 {
+			t.Errorf("%s MPKI %.2f outside plausible hard range [5,40]", n, mpki[n])
+		}
+	}
+}

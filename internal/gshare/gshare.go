@@ -1,0 +1,65 @@
+// Package gshare implements the classic gshare predictor of McFarling. The
+// paper uses a 4KB gshare as the single-cycle lightweight predictor in the
+// two-tier frontend (§VI-A); it also serves as a simple table-based baseline
+// in tests.
+package gshare
+
+import (
+	"fmt"
+
+	"branchnet/internal/predictor"
+)
+
+// Gshare XORs the global history into the PC to index a table of 2-bit
+// counters.
+type Gshare struct {
+	table    []predictor.Counter
+	hist     *predictor.History
+	histLen  int
+	logSize  uint
+	sizeName string
+}
+
+// New returns a gshare with 2^logSize 2-bit counters and histLen bits of
+// global history. logSize=14 with histLen=14 is the paper's 4KB
+// configuration (2^14 counters x 2 bits = 4KB).
+func New(logSize uint, histLen int) *Gshare {
+	if histLen > int(logSize) {
+		histLen = int(logSize)
+	}
+	g := &Gshare{
+		table:    make([]predictor.Counter, 1<<logSize),
+		hist:     predictor.NewHistory(histLen + 1),
+		histLen:  histLen,
+		logSize:  logSize,
+		sizeName: fmt.Sprintf("gshare-%dKB", (1<<logSize)*2/8/1024),
+	}
+	for i := range g.table {
+		g.table[i] = predictor.NewCounter(2, false)
+	}
+	return g
+}
+
+// Default4KB returns the paper's early-predictor configuration.
+func Default4KB() *Gshare { return New(14, 14) }
+
+func (g *Gshare) index(pc uint64) uint64 {
+	return (pc>>2 ^ g.hist.Hash(g.histLen)) & ((1 << g.logSize) - 1)
+}
+
+// Predict implements predictor.Predictor.
+func (g *Gshare) Predict(pc uint64) bool {
+	return g.table[g.index(pc)].Taken()
+}
+
+// Update implements predictor.Predictor.
+func (g *Gshare) Update(pc uint64, taken bool) {
+	g.table[g.index(pc)].Update(taken)
+	g.hist.Push(taken)
+}
+
+// Name implements predictor.Predictor.
+func (g *Gshare) Name() string { return g.sizeName }
+
+// Bits implements predictor.Predictor.
+func (g *Gshare) Bits() int { return len(g.table) * 2 }

@@ -1,0 +1,50 @@
+package gshare
+
+import (
+	"testing"
+
+	"branchnet/internal/predictor"
+	"branchnet/internal/trace"
+)
+
+func TestBudget(t *testing.T) {
+	g := Default4KB()
+	if got := g.Bits(); got != 4*1024*8 {
+		t.Fatalf("Bits() = %d, want exactly 4KB", got)
+	}
+}
+
+func TestLearnsBias(t *testing.T) {
+	g := New(12, 10)
+	tr := &trace.Trace{}
+	for i := 0; i < 2000; i++ {
+		tr.Records = append(tr.Records, trace.Record{PC: 0x44, Taken: true, Gap: 4})
+	}
+	predictor.Evaluate(g, tr)
+	res := predictor.Evaluate(g, tr)
+	if acc := res.Accuracy(); acc != 1.0 {
+		t.Fatalf("accuracy on constant branch = %.4f, want 1.0", acc)
+	}
+}
+
+func TestLearnsShortPattern(t *testing.T) {
+	g := New(12, 10)
+	tr := &trace.Trace{}
+	pattern := []bool{true, false, false, true}
+	for i := 0; i < 4000; i++ {
+		tr.Records = append(tr.Records, trace.Record{PC: 0x44, Taken: pattern[i%4], Gap: 4})
+	}
+	predictor.Evaluate(g, tr)
+	res := predictor.Evaluate(g, tr)
+	if acc := res.Accuracy(); acc < 0.99 {
+		t.Fatalf("accuracy on 4-periodic pattern = %.4f, want >= 0.99", acc)
+	}
+}
+
+func TestHistoryClamp(t *testing.T) {
+	// Requesting more history than index bits must clamp, not wrap.
+	g := New(10, 64)
+	if g.histLen != 10 {
+		t.Fatalf("histLen = %d, want clamped to 10", g.histLen)
+	}
+}

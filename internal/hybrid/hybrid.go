@@ -1,0 +1,116 @@
+// Package hybrid composes the paper's deployment configuration: BranchNet
+// models predict the few attached hard-to-predict static branches, while a
+// runtime TAGE-SC-L (or any predictor.Predictor) predicts everything else
+// and keeps training on every branch. This mirrors Fig. 6: the update
+// pipeline feeds all models' convolutional histories; prediction selects
+// the per-PC BranchNet table when one is attached.
+package hybrid
+
+import (
+	"fmt"
+
+	"branchnet/internal/branchnet"
+	"branchnet/internal/predictor"
+	"branchnet/internal/trace"
+)
+
+// Predictor is the hybrid BranchNet + runtime-baseline predictor.
+type Predictor struct {
+	base   predictor.Predictor
+	models map[uint64]*branchnet.Attached
+
+	// Token history ring, most recent last; views are materialized
+	// most-recent-first for model prediction.
+	ring   []uint32
+	pos    int
+	window int
+	pcBits uint
+	count  uint64 // global branch counter (sliding pooling phase)
+
+	histView []uint32
+	name     string
+}
+
+var _ predictor.Predictor = (*Predictor)(nil)
+
+// New wraps base with the attached models. All models must share PC bits;
+// the history window sizes may differ (the ring keeps the largest).
+func New(base predictor.Predictor, models []*branchnet.Attached, name string) *Predictor {
+	h := &Predictor{
+		base:   base,
+		models: make(map[uint64]*branchnet.Attached, len(models)),
+		window: 1,
+		pcBits: 12,
+		name:   name,
+	}
+	for _, m := range models {
+		h.models[m.PC] = m
+		if w := m.Window(); w > h.window {
+			h.window = w
+		}
+		h.pcBits = m.PCBitsUsed()
+	}
+	h.ring = make([]uint32, h.window)
+	h.histView = make([]uint32, h.window)
+	return h
+}
+
+// Predict implements predictor.Predictor: the attached model's prediction
+// for attached PCs, the baseline's otherwise. The baseline is always
+// consulted so that its internal prediction-time state stays coherent with
+// the Update that follows.
+func (h *Predictor) Predict(pc uint64) bool {
+	basePred := h.base.Predict(pc)
+	m, ok := h.models[pc]
+	if !ok {
+		return basePred
+	}
+	// Materialize the most-recent-first history view.
+	for i := 0; i < h.window; i++ {
+		idx := h.pos - 1 - i
+		if idx < 0 {
+			idx += h.window
+		}
+		h.histView[i] = h.ring[idx]
+	}
+	return m.Predict(h.histView, h.count)
+}
+
+// Update implements predictor.Predictor.
+func (h *Predictor) Update(pc uint64, taken bool) {
+	h.base.Update(pc, taken)
+	h.ring[h.pos] = trace.Token(pc, taken, h.pcBits)
+	h.pos++
+	if h.pos == h.window {
+		h.pos = 0
+	}
+	h.count++
+}
+
+// Name implements predictor.Predictor.
+func (h *Predictor) Name() string {
+	if h.name != "" {
+		return h.name
+	}
+	return fmt.Sprintf("hybrid(%s+%d models)", h.base.Name(), len(h.models))
+}
+
+// Bits implements predictor.Predictor: the baseline plus the engine
+// storage of every attached model. Float (Big-BranchNet) models report
+// 32 bits per parameter — deliberately "impractical", as in the paper.
+func (h *Predictor) Bits() int {
+	bits := h.base.Bits()
+	for _, m := range h.models {
+		if m.Engine != nil {
+			bits += m.Engine.Storage().Total()
+			continue
+		}
+		for _, p := range m.Float.Params() {
+			bits += 32 * len(p.W)
+		}
+	}
+	return bits
+}
+
+// ModelCount returns the number of attached models.
+func (h *Predictor) ModelCount() int { return len(h.models) }

@@ -1,0 +1,132 @@
+package hybrid
+
+import (
+	"testing"
+
+	"branchnet/internal/bench"
+	"branchnet/internal/branchnet"
+	"branchnet/internal/predictor"
+	"branchnet/internal/tage"
+	"branchnet/internal/trace"
+)
+
+func TestSlotPlans(t *testing.T) {
+	iso := IsoLatency32KB()
+	if got := iso.TotalBytes(); got != 32*1024 {
+		t.Fatalf("iso-latency plan = %d bytes, want 32KB", got)
+	}
+	if got := iso.TotalSlots(); got != 41 {
+		t.Fatalf("iso-latency slots = %d, want 41 (paper: up to 41 branches)", got)
+	}
+	storage := IsoStorage8KB()
+	if got := storage.TotalBytes(); got != 8*1024 {
+		t.Fatalf("iso-storage plan = %d bytes, want 8KB", got)
+	}
+	half := iso.Scale(1, 4)
+	if half.TotalSlots() >= iso.TotalSlots() || half.TotalSlots() == 0 {
+		t.Fatalf("scaled plan slots = %d", half.TotalSlots())
+	}
+}
+
+func TestPackPrefersImprovement(t *testing.T) {
+	mk := func(pc uint64, imp float64) *branchnet.Attached {
+		return &branchnet.Attached{PC: pc, Improvement: imp}
+	}
+	perBudget := map[int][]*branchnet.Attached{
+		1024: {mk(1, 10), mk(2, 50), mk(3, 0)},
+		256:  {mk(1, 8), mk(2, 40), mk(4, 5)},
+	}
+	plan := SlotPlan{Budgets: []int{1024, 256}, Counts: []int{1, 2}}
+	out := Pack(perBudget, plan)
+	if len(out) != 3 {
+		t.Fatalf("packed %d models, want 3", len(out))
+	}
+	// Branch 2 takes the 1KB slot; 1 and 4 fill the 0.25KB slots; branch
+	// 3 (zero improvement) is dropped.
+	if out[0].PC != 2 || out[0].Knobs.Name != "" && false {
+		t.Fatalf("out[0] = %+v", out[0])
+	}
+	got := map[uint64]bool{}
+	for _, a := range out {
+		if got[a.PC] {
+			t.Fatalf("branch %d assigned twice", a.PC)
+		}
+		got[a.PC] = true
+	}
+	if !got[1] || !got[2] || !got[4] || got[3] {
+		t.Fatalf("assignment = %v", got)
+	}
+}
+
+func TestHybridEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	// Full Section V-E pipeline on the microbenchmark: train offline on
+	// the training inputs, validate, attach, then verify the hybrid beats
+	// the plain TAGE-SC-L on the unseen test input.
+	prog := bench.NoisyHistory()
+	var trainTraces []*trace.Trace
+	// Use the diverse training input (set 3) as the paper's Fig. 4 does.
+	trainTraces = append(trainTraces, prog.Generate(bench.NoisyInput("t3", 300, 1, 4, 0.5), 400000))
+	validTrace := prog.Generate(prog.Inputs(bench.Validation)[0], 60000)
+	testTrace := prog.Generate(bench.NoisyInput("test", 999, 5, 10, 0.5), 60000)
+
+	cfg := branchnet.DefaultOfflineConfig(branchnet.MiniQuick(1024))
+	cfg.TopBranches = 4
+	cfg.MaxModels = 2
+	cfg.Train.Epochs = 6
+	cfg.Train.MaxExamples = 8000
+	newBase := func() predictor.Predictor { return tage.New(tage.TAGESCL64KB(), 1) }
+
+	models := branchnet.TrainOffline(cfg, trainTraces, validTrace, newBase)
+	if len(models) == 0 {
+		t.Fatal("offline training attached no models; Branch B should qualify")
+	}
+	foundB := false
+	for _, m := range models {
+		if m.PC == bench.NoisyPCB {
+			foundB = true
+			if m.Engine == nil {
+				t.Error("Mini pipeline should attach a quantized engine model")
+			}
+		}
+	}
+	if !foundB {
+		t.Fatal("Branch B not among attached models")
+	}
+
+	baseRes := predictor.Evaluate(newBase(), testTrace)
+	hyb := New(tage.New(tage.TAGESCL64KB(), 1), models, "")
+	hybRes := predictor.Evaluate(hyb, testTrace)
+	if hybRes.Mispredicts >= baseRes.Mispredicts {
+		t.Fatalf("hybrid (%d) should beat TAGE-SC-L (%d) on the test input",
+			hybRes.Mispredicts, baseRes.Mispredicts)
+	}
+	accB := hybRes.BranchAccuracy(bench.NoisyPCB)
+	accBase := baseRes.BranchAccuracy(bench.NoisyPCB)
+	t.Logf("Branch B: hybrid=%.4f tage=%.4f", accB, accBase)
+	if accB < accBase+0.03 {
+		t.Fatalf("hybrid Branch B accuracy %.4f not clearly above TAGE %.4f", accB, accBase)
+	}
+
+	// Storage honesty: hybrid bits = TAGE + engine models.
+	if hyb.Bits() <= tage.New(tage.TAGESCL64KB(), 1).Bits() {
+		t.Fatal("hybrid bits should exceed the baseline's")
+	}
+	if hyb.ModelCount() != len(models) {
+		t.Fatal("model count mismatch")
+	}
+}
+
+func TestHybridFallsBackToBase(t *testing.T) {
+	base := tage.New(tage.TAGESCL64KB(), 1)
+	h := New(base, nil, "")
+	prog := bench.Leela()
+	tr := prog.Generate(prog.Inputs(bench.Test)[0], 20000)
+	hr := predictor.Evaluate(h, tr)
+	br := predictor.Evaluate(tage.New(tage.TAGESCL64KB(), 1), tr)
+	if hr.Mispredicts != br.Mispredicts {
+		t.Fatalf("model-free hybrid (%d) must match baseline (%d)", hr.Mispredicts, br.Mispredicts)
+	}
+}

@@ -1,0 +1,99 @@
+package hybrid
+
+import (
+	"sort"
+
+	"branchnet/internal/branchnet"
+)
+
+// SlotPlan describes a Mini-BranchNet engine's model slots: how many
+// models of each storage budget fit. The paper's two deployments:
+//
+//   - iso-latency 32KB: eight 2KB, seven 1KB, ten 0.5KB, sixteen 0.25KB
+//     models (41 branches), paired with the 64KB TAGE-SC-L;
+//   - iso-storage 8KB: one 2KB, one 1KB, seven 0.5KB, six 0.25KB models,
+//     paired with a 56KB TAGE-SC-L.
+type SlotPlan struct {
+	// Budgets in bytes, descending; Counts[i] slots of Budgets[i].
+	Budgets []int
+	Counts  []int
+}
+
+// IsoLatency32KB is the paper's 32KB engine plan.
+func IsoLatency32KB() SlotPlan {
+	return SlotPlan{Budgets: []int{2048, 1024, 512, 256}, Counts: []int{8, 7, 10, 16}}
+}
+
+// IsoStorage8KB is the paper's 8KB engine plan.
+func IsoStorage8KB() SlotPlan {
+	return SlotPlan{Budgets: []int{2048, 1024, 512, 256}, Counts: []int{1, 1, 7, 6}}
+}
+
+// Scale returns a plan with every slot count multiplied by num/den
+// (rounding up, minimum preserved at >=1 when the original count was
+// positive). Quick experiment modes shrink the paper's plans this way.
+func (p SlotPlan) Scale(num, den int) SlotPlan {
+	out := SlotPlan{Budgets: append([]int(nil), p.Budgets...), Counts: make([]int, len(p.Counts))}
+	for i, c := range p.Counts {
+		s := (c*num + den - 1) / den
+		if c > 0 && s == 0 {
+			s = 1
+		}
+		out.Counts[i] = s
+	}
+	return out
+}
+
+// TotalSlots returns the number of model slots.
+func (p SlotPlan) TotalSlots() int {
+	n := 0
+	for _, c := range p.Counts {
+		n += c
+	}
+	return n
+}
+
+// TotalBytes returns the plan's storage budget.
+func (p SlotPlan) TotalBytes() int {
+	n := 0
+	for i, c := range p.Counts {
+		n += c * p.Budgets[i]
+	}
+	return n
+}
+
+// Pack assigns candidate models to the plan's slots, maximizing total
+// validation improvement. perBudget maps a storage budget to the trained
+// candidates at that budget (as returned by branchnet.TrainOffline; the
+// same static branch may appear under several budgets). Each static
+// branch is assigned at most one slot. This implements the paper's "we
+// try all possible assignments of top hard-to-predict branches to
+// configurations and use the best combination" with a descending-budget
+// greedy, which is exact when improvements are monotone in budget (they
+// are, by construction of the knob presets).
+func Pack(perBudget map[int][]*branchnet.Attached, plan SlotPlan) []*branchnet.Attached {
+	assigned := make(map[uint64]bool)
+	var out []*branchnet.Attached
+	for bi, budget := range plan.Budgets {
+		cands := append([]*branchnet.Attached(nil), perBudget[budget]...)
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].Improvement != cands[j].Improvement {
+				return cands[i].Improvement > cands[j].Improvement
+			}
+			return cands[i].PC < cands[j].PC
+		})
+		slots := plan.Counts[bi]
+		for _, c := range cands {
+			if slots == 0 {
+				break
+			}
+			if assigned[c.PC] || c.Improvement <= 0 {
+				continue
+			}
+			assigned[c.PC] = true
+			out = append(out, c)
+			slots--
+		}
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package hybrid
+
+import (
+	"testing"
+
+	"branchnet/internal/branchnet"
+	"branchnet/internal/predictor"
+	"branchnet/internal/trace"
+)
+
+// constBase is a trivial baseline for ring tests.
+type constBase struct{}
+
+func (constBase) Predict(uint64) bool { return false }
+func (constBase) Update(uint64, bool) {}
+func (constBase) Name() string        { return "const" }
+func (constBase) Bits() int           { return 0 }
+
+// TestHistoryViewMatchesTrace drives the hybrid over a trace and checks
+// that the history view handed to the attached model is exactly the
+// most-recent-first token suffix of the records seen so far.
+func TestHistoryViewMatchesTrace(t *testing.T) {
+	const target = uint64(0xa0)
+	knobs := branchnet.MiniQuick(256)
+	window := knobs.WindowTokens()
+
+	// A float "model" that records the history views it receives: we use
+	// the Attached.Float == nil path... instead install an Engine-less
+	// Attached with a recording Float model is complex; drive the
+	// internals directly through Predict/Update and reconstruct the view
+	// by re-deriving it from a shadow copy.
+	h := New(constBase{}, []*branchnet.Attached{{
+		PC:    target,
+		Knobs: knobs,
+		Float: branchnet.New(knobs, target, 1), // predictions ignored
+	}}, "")
+
+	var shadow []uint32 // most recent first
+	push := func(pc uint64, taken bool) {
+		shadow = append([]uint32{trace.Token(pc, taken, knobs.PCBits)}, shadow...)
+		if len(shadow) > window {
+			shadow = shadow[:window]
+		}
+	}
+
+	rngPCs := []uint64{0x10, 0x14, 0x18, target, 0x1c}
+	step := 0
+	for i := 0; i < 3000; i++ {
+		pc := rngPCs[i%len(rngPCs)]
+		taken := i%3 == 0
+		h.Predict(pc)
+		if pc == target {
+			// The view materialized inside Predict must match shadow.
+			for j := 0; j < len(shadow); j++ {
+				if h.histView[j] != shadow[j] {
+					t.Fatalf("step %d: histView[%d] = %#x, want %#x", step, j, h.histView[j], shadow[j])
+				}
+			}
+			// Remaining entries (before warm-up) must be zero padding.
+			for j := len(shadow); j < window; j++ {
+				if h.histView[j] != 0 {
+					t.Fatalf("padding at %d is %#x", j, h.histView[j])
+				}
+			}
+			step++
+		}
+		h.Update(pc, taken)
+		push(pc, taken)
+	}
+	if step == 0 {
+		t.Fatal("target branch never predicted")
+	}
+}
+
+// TestHybridBitsAccounting verifies the storage report composes baseline
+// plus models.
+func TestHybridBitsAccounting(t *testing.T) {
+	em := &branchnet.Attached{PC: 1, Knobs: branchnet.MiniQuick(256),
+		Float: branchnet.New(branchnet.MiniQuick(256), 1, 1)}
+	h := New(constBase{}, []*branchnet.Attached{em}, "")
+	if h.Bits() <= 0 {
+		t.Fatal("float model should contribute bits")
+	}
+	var _ predictor.Predictor = h
+}

@@ -1,0 +1,154 @@
+package hybrid
+
+import (
+	"fmt"
+
+	"branchnet/internal/branchnet"
+	"branchnet/internal/predictor"
+	"branchnet/internal/trace"
+)
+
+// Virtualized implements the Predictor Virtualization direction the paper
+// sketches for gcc-like profiles (§VI-F): "maintain all the models in the
+// main memory and use either a runtime mechanism or explicit BranchNet
+// instructions to load the BranchNet models into the inference engine as
+// needed."
+//
+// The engine keeps only Slots loaded models; the full model set lives "in
+// memory". A prediction for an unloaded model's branch falls back to the
+// runtime baseline and triggers an asynchronous load: the model becomes
+// usable after LoadLatency further branches have retired (DRAM fetch
+// overlap), evicting the least-recently-used loaded model.
+type Virtualized struct {
+	base   predictor.Predictor
+	models map[uint64]*branchnet.Attached
+
+	slots       int
+	loadLatency uint64
+
+	loaded  map[uint64]uint64 // pc -> last-use branch count
+	pending map[uint64]uint64 // pc -> branch count when load completes
+
+	ring   []uint32
+	pos    int
+	window int
+	pcBits uint
+	count  uint64
+
+	histView []uint32
+
+	// Faults counts engine misses (prediction served by the baseline
+	// because the model was not resident).
+	Faults uint64
+	// Loads counts completed model loads.
+	Loads uint64
+}
+
+var _ predictor.Predictor = (*Virtualized)(nil)
+
+// NewVirtualized builds a virtualized hybrid with the given engine slot
+// count and load latency (in retired branches).
+func NewVirtualized(base predictor.Predictor, models []*branchnet.Attached, slots int, loadLatency uint64) *Virtualized {
+	v := &Virtualized{
+		base:        base,
+		models:      make(map[uint64]*branchnet.Attached, len(models)),
+		slots:       slots,
+		loadLatency: loadLatency,
+		loaded:      make(map[uint64]uint64, slots),
+		pending:     make(map[uint64]uint64),
+		window:      1,
+		pcBits:      12,
+	}
+	for _, m := range models {
+		v.models[m.PC] = m
+		if w := m.Window(); w > v.window {
+			v.window = w
+		}
+		v.pcBits = m.PCBitsUsed()
+	}
+	v.ring = make([]uint32, v.window)
+	v.histView = make([]uint32, v.window)
+	return v
+}
+
+// Predict implements predictor.Predictor.
+func (v *Virtualized) Predict(pc uint64) bool {
+	basePred := v.base.Predict(pc)
+	m, ok := v.models[pc]
+	if !ok {
+		return basePred
+	}
+
+	// Retire any pending load that has completed.
+	if doneAt, isPending := v.pending[pc]; isPending && v.count >= doneAt {
+		delete(v.pending, pc)
+		v.admit(pc)
+		v.Loads++
+	}
+
+	if _, resident := v.loaded[pc]; !resident {
+		v.Faults++
+		if _, already := v.pending[pc]; !already {
+			v.pending[pc] = v.count + v.loadLatency
+		}
+		return basePred
+	}
+	v.loaded[pc] = v.count // LRU touch
+
+	for i := 0; i < v.window; i++ {
+		idx := v.pos - 1 - i
+		if idx < 0 {
+			idx += v.window
+		}
+		v.histView[i] = v.ring[idx]
+	}
+	return m.Predict(v.histView, v.count)
+}
+
+// admit loads pc, evicting the LRU resident if the engine is full.
+func (v *Virtualized) admit(pc uint64) {
+	if len(v.loaded) >= v.slots {
+		var victim uint64
+		oldest := ^uint64(0)
+		for p, last := range v.loaded {
+			if last < oldest {
+				oldest, victim = last, p
+			}
+		}
+		delete(v.loaded, victim)
+	}
+	v.loaded[pc] = v.count
+}
+
+// Update implements predictor.Predictor.
+func (v *Virtualized) Update(pc uint64, taken bool) {
+	v.base.Update(pc, taken)
+	v.ring[v.pos] = trace.Token(pc, taken, v.pcBits)
+	v.pos++
+	if v.pos == v.window {
+		v.pos = 0
+	}
+	v.count++
+}
+
+// Name implements predictor.Predictor.
+func (v *Virtualized) Name() string {
+	return fmt.Sprintf("virtualized(%s, %d/%d models resident)", v.base.Name(), v.slots, len(v.models))
+}
+
+// Bits implements predictor.Predictor: only the resident slots cost
+// on-chip storage (the point of virtualization); the slot cost is the
+// largest model's engine size.
+func (v *Virtualized) Bits() int {
+	bits := v.base.Bits()
+	maxModel := 0
+	for _, m := range v.models {
+		if m.Engine == nil {
+			continue
+		}
+		if s := m.Engine.Storage().Total(); s > maxModel {
+			maxModel = s
+		}
+	}
+	return bits + v.slots*maxModel
+}

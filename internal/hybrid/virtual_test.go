@@ -1,0 +1,138 @@
+package hybrid
+
+import (
+	"testing"
+
+	"branchnet/internal/bench"
+	"branchnet/internal/branchnet"
+	"branchnet/internal/predictor"
+	"branchnet/internal/tage"
+)
+
+// perfectModel builds an Attached whose float model is untrained (random);
+// for virtualization-mechanics tests only residency matters, not accuracy.
+func perfectModel(pc uint64) *branchnet.Attached {
+	k := branchnet.MiniQuick(256)
+	return &branchnet.Attached{PC: pc, Knobs: k, Float: branchnet.New(k, pc, int64(pc))}
+}
+
+func TestVirtualizedFaultsAndLoads(t *testing.T) {
+	models := []*branchnet.Attached{perfectModel(0x10), perfectModel(0x20), perfectModel(0x30)}
+	v := NewVirtualized(constBase{}, models, 1, 5) // one slot, 5-branch load latency
+
+	// First access to 0x10: fault, load starts.
+	v.Predict(0x10)
+	v.Update(0x10, true)
+	if v.Faults != 1 {
+		t.Fatalf("faults = %d, want 1", v.Faults)
+	}
+	// Within the load latency, still faulting.
+	for i := 0; i < 3; i++ {
+		v.Predict(0x10)
+		v.Update(0x10, true)
+	}
+	if v.Loads != 0 {
+		t.Fatalf("load completed too early")
+	}
+	// After the latency, the model is resident: no more faults on 0x10.
+	for i := 0; i < 5; i++ {
+		v.Predict(0x10)
+		v.Update(0x10, true)
+	}
+	if v.Loads != 1 {
+		t.Fatalf("loads = %d, want 1", v.Loads)
+	}
+	faultsBefore := v.Faults
+	v.Predict(0x10)
+	v.Update(0x10, true)
+	if v.Faults != faultsBefore {
+		t.Fatal("resident model should not fault")
+	}
+
+	// Accessing 0x20 evicts 0x10 (single slot).
+	for i := 0; i < 10; i++ {
+		v.Predict(0x20)
+		v.Update(0x20, true)
+	}
+	if v.Loads != 2 {
+		t.Fatalf("loads = %d, want 2", v.Loads)
+	}
+	faultsBefore = v.Faults
+	v.Predict(0x10)
+	v.Update(0x10, true)
+	if v.Faults == faultsBefore {
+		t.Fatal("evicted model should fault again")
+	}
+}
+
+func TestVirtualizedLRUEviction(t *testing.T) {
+	models := []*branchnet.Attached{perfectModel(0x10), perfectModel(0x20), perfectModel(0x30)}
+	v := NewVirtualized(constBase{}, models, 2, 0) // two slots, instant loads
+
+	touch := func(pc uint64, n int) {
+		for i := 0; i < n; i++ {
+			v.Predict(pc)
+			v.Update(pc, true)
+		}
+	}
+	touch(0x10, 3)
+	touch(0x20, 3)
+	// Both resident now. Touch 0x10 (so 0x20 is LRU), then load 0x30.
+	touch(0x10, 1)
+	touch(0x30, 3)
+	if _, ok := v.loaded[0x20]; ok {
+		t.Fatal("0x20 should have been evicted (LRU)")
+	}
+	if _, ok := v.loaded[0x10]; !ok {
+		t.Fatal("0x10 should have survived (recently used)")
+	}
+}
+
+func TestVirtualizedFallsBackToBase(t *testing.T) {
+	// With zero slots, every attached-branch prediction is the baseline's.
+	models := []*branchnet.Attached{perfectModel(0x10)}
+	v := NewVirtualized(constBase{}, models, 0, 1000)
+	for i := 0; i < 100; i++ {
+		if v.Predict(0x10) != false { // constBase predicts false
+			t.Fatal("should fall back to baseline while faulting")
+		}
+		v.Update(0x10, true)
+	}
+	if v.Faults != 100 {
+		t.Fatalf("faults = %d, want 100", v.Faults)
+	}
+}
+
+func TestVirtualizedMatchesHybridWhenFullyResident(t *testing.T) {
+	// With one slot per model and near-instant loads, the virtualized
+	// engine must behave like the plain hybrid except for cold-start
+	// faults (bounded by the fault counter).
+	prog := bench.Leela()
+	tr := prog.Generate(prog.Inputs(bench.Test)[0], 30000)
+
+	k := branchnet.MiniQuick(256)
+	var models []*branchnet.Attached
+	for i := 0; i < 3; i++ {
+		pc := tr.Records[100+i*37].PC
+		models = append(models, &branchnet.Attached{
+			PC: pc, Knobs: k, Float: branchnet.New(k, pc, int64(i)),
+		})
+	}
+
+	newBase := func() predictor.Predictor { return tage.New(tage.TAGESCL64KB(), 3) }
+	h := New(newBase(), models, "")
+	v := NewVirtualized(newBase(), models, len(models), 0)
+	hr := predictor.Evaluate(h, tr)
+	vr := predictor.Evaluate(v, tr)
+
+	diff := int64(vr.Mispredicts) - int64(hr.Mispredicts)
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > int64(v.Faults) {
+		t.Fatalf("virtualized deviates by %d mispredicts with only %d faults", diff, v.Faults)
+	}
+	if v.Loads == 0 {
+		t.Fatal("models never loaded")
+	}
+}

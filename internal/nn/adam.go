@@ -1,0 +1,70 @@
+package nn
+
+import "math"
+
+// Adam is the Adam optimizer (Kingma & Ba) over a set of parameters.
+type Adam struct {
+	LR      float32
+	Beta1   float32
+	Beta2   float32
+	Eps     float32
+	WeightD float32 // L2 weight decay
+	t       int
+	params  []*Param
+}
+
+// NewAdam builds an optimizer with standard hyperparameters over params.
+func NewAdam(params []*Param, lr float32) *Adam {
+	return &Adam{
+		LR:     lr,
+		Beta1:  0.9,
+		Beta2:  0.999,
+		Eps:    1e-8,
+		params: params,
+	}
+}
+
+// Step applies one update from the accumulated gradients (scaled by
+// 1/batchSize) and clears them.
+func (a *Adam) Step(batchSize int) {
+	a.t++
+	inv := float32(1)
+	if batchSize > 0 {
+		inv = 1 / float32(batchSize)
+	}
+	bc1 := 1 - float32(math.Pow(float64(a.Beta1), float64(a.t)))
+	bc2 := 1 - float32(math.Pow(float64(a.Beta2), float64(a.t)))
+	for _, p := range a.params {
+		for i := range p.W {
+			g := p.G[i]*inv + a.WeightD*p.W[i]
+			p.m[i] = a.Beta1*p.m[i] + (1-a.Beta1)*g
+			p.v[i] = a.Beta2*p.v[i] + (1-a.Beta2)*g*g
+			mHat := p.m[i] / bc1
+			vHat := p.v[i] / bc2
+			p.W[i] -= a.LR * mHat / (float32(math.Sqrt(float64(vHat))) + a.Eps)
+		}
+		p.ZeroGrad()
+	}
+}
+
+// SigmoidBCE computes the binary cross-entropy loss of logits against
+// labels (1 = taken) and returns the loss and dLoss/dLogit, both averaged
+// per-example downstream by the optimizer's 1/batch scaling. The sigmoid
+// is folded in for numerical stability.
+func SigmoidBCE(logit float32, taken bool) (loss, dLogit float32) {
+	y := float32(0)
+	if taken {
+		y = 1
+	}
+	// loss = max(z,0) - z*y + log(1+exp(-|z|))
+	z := float64(logit)
+	loss = float32(math.Max(z, 0) - z*float64(y) + math.Log1p(math.Exp(-math.Abs(z))))
+	p := float32(1 / (1 + math.Exp(-z)))
+	dLogit = p - y
+	return loss, dLogit
+}
+
+// Sigmoid is the logistic function.
+func Sigmoid(x float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(x))))
+}

@@ -1,0 +1,132 @@
+package nn
+
+import "math"
+
+// BatchNorm normalizes each channel to zero mean and unit variance over
+// the batch (and sequence positions), then applies a learned scale/shift.
+// The paper inserts batch normalization after convolutions, after
+// sum-pooling (Mini), and after the first fully-connected layer.
+type BatchNorm struct {
+	C     int
+	Gamma *Param
+	Beta  *Param
+
+	// Running statistics for inference.
+	RunMean []float32
+	RunVar  []float32
+	Moment  float32
+	Eps     float32
+
+	// Caches for backward.
+	lastX    *Tensor
+	lastNorm *Tensor
+	mean     []float32
+	invStd   []float32
+}
+
+// NewBatchNorm builds a batch-norm layer over c channels.
+func NewBatchNorm(c int) *BatchNorm {
+	bn := &BatchNorm{
+		C:       c,
+		Gamma:   NewParam(c),
+		Beta:    NewParam(c),
+		RunMean: make([]float32, c),
+		RunVar:  make([]float32, c),
+		Moment:  0.9,
+		Eps:     1e-5,
+		mean:    make([]float32, c),
+		invStd:  make([]float32, c),
+	}
+	for i := range bn.Gamma.W {
+		bn.Gamma.W[i] = 1
+		bn.RunVar[i] = 1
+	}
+	return bn
+}
+
+// Forward implements Layer.
+func (bn *BatchNorm) Forward(x *Tensor, train bool) *Tensor {
+	if x.C != bn.C {
+		panic("nn: batchnorm channel mismatch")
+	}
+	bn.lastX = x
+	out := NewTensor(x.B, x.L, x.C)
+	n := x.B * x.L
+	if train {
+		for c := 0; c < bn.C; c++ {
+			var sum, sq float64
+			for i := c; i < len(x.Data); i += bn.C {
+				v := float64(x.Data[i])
+				sum += v
+				sq += v * v
+			}
+			mean := sum / float64(n)
+			variance := sq/float64(n) - mean*mean
+			if variance < 0 {
+				variance = 0
+			}
+			bn.mean[c] = float32(mean)
+			bn.invStd[c] = float32(1 / math.Sqrt(variance+float64(bn.Eps)))
+			bn.RunMean[c] = bn.Moment*bn.RunMean[c] + (1-bn.Moment)*float32(mean)
+			bn.RunVar[c] = bn.Moment*bn.RunVar[c] + (1-bn.Moment)*float32(variance)
+		}
+	} else {
+		for c := 0; c < bn.C; c++ {
+			bn.mean[c] = bn.RunMean[c]
+			bn.invStd[c] = float32(1 / math.Sqrt(float64(bn.RunVar[c])+float64(bn.Eps)))
+		}
+	}
+	norm := NewTensor(x.B, x.L, x.C)
+	for i := 0; i < len(x.Data); i++ {
+		c := i % bn.C
+		nv := (x.Data[i] - bn.mean[c]) * bn.invStd[c]
+		norm.Data[i] = nv
+		out.Data[i] = bn.Gamma.W[c]*nv + bn.Beta.W[c]
+	}
+	bn.lastNorm = norm
+	return out
+}
+
+// Backward implements Layer (training-mode batch statistics).
+func (bn *BatchNorm) Backward(dy *Tensor) *Tensor {
+	x := bn.lastX
+	n := float32(x.B * x.L)
+	dx := NewTensor(x.B, x.L, x.C)
+
+	// Per-channel sums of dy and dy*norm.
+	sumDy := make([]float32, bn.C)
+	sumDyNorm := make([]float32, bn.C)
+	for i, g := range dy.Data {
+		c := i % bn.C
+		sumDy[c] += g
+		sumDyNorm[c] += g * bn.lastNorm.Data[i]
+	}
+	for c := 0; c < bn.C; c++ {
+		bn.Beta.G[c] += sumDy[c]
+		bn.Gamma.G[c] += sumDyNorm[c]
+	}
+	for i, g := range dy.Data {
+		c := i % bn.C
+		t := n*g - sumDy[c] - bn.lastNorm.Data[i]*sumDyNorm[c]
+		dx.Data[i] = bn.Gamma.W[c] * bn.invStd[c] / n * t
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (bn *BatchNorm) Params() []*Param { return []*Param{bn.Gamma, bn.Beta} }
+
+// FoldInto returns the affine form (scale, shift) of the trained layer
+// using running statistics: y = scale*x + shift. Quantization folds this
+// into neighbouring linear operations, exactly as the paper fuses batch
+// norm into the fully-connected dot products after training.
+func (bn *BatchNorm) FoldInto() (scale, shift []float32) {
+	scale = make([]float32, bn.C)
+	shift = make([]float32, bn.C)
+	for c := 0; c < bn.C; c++ {
+		inv := float32(1 / math.Sqrt(float64(bn.RunVar[c])+float64(bn.Eps)))
+		scale[c] = bn.Gamma.W[c] * inv
+		shift[c] = bn.Beta.W[c] - bn.Gamma.W[c]*bn.RunMean[c]*inv
+	}
+	return scale, shift
+}

@@ -1,0 +1,316 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// initUniform fills w with Glorot-style uniform noise scaled by fan-in.
+func initUniform(rng *rand.Rand, w []float32, fanIn int) {
+	bound := float32(1.0 / math.Sqrt(float64(fanIn)))
+	for i := range w {
+		w[i] = (rng.Float32()*2 - 1) * bound
+	}
+}
+
+// Embedding maps integer tokens to dense vectors: weight table
+// [Vocab][Dim]. Its Forward takes token sequences rather than a Tensor, so
+// it sits outside the Layer interface.
+type Embedding struct {
+	Vocab, Dim int
+	Table      *Param
+	lastTokens [][]int32
+}
+
+// NewEmbedding builds a Vocab x Dim embedding.
+func NewEmbedding(rng *rand.Rand, vocab, dim int) *Embedding {
+	e := &Embedding{Vocab: vocab, Dim: dim, Table: NewParam(vocab * dim)}
+	initUniform(rng, e.Table.W, dim)
+	return e
+}
+
+// Forward embeds a batch of token sequences (all the same length).
+func (e *Embedding) Forward(tokens [][]int32) *Tensor {
+	e.lastTokens = tokens
+	b := len(tokens)
+	l := len(tokens[0])
+	out := NewTensor(b, l, e.Dim)
+	for bi, seq := range tokens {
+		for li, tok := range seq {
+			copy(out.Row(bi, li), e.Table.W[int(tok)*e.Dim:int(tok)*e.Dim+e.Dim])
+		}
+	}
+	return out
+}
+
+// Backward scatters gradients into the embedding table.
+func (e *Embedding) Backward(dy *Tensor) {
+	for bi, seq := range e.lastTokens {
+		for li, tok := range seq {
+			g := e.Table.G[int(tok)*e.Dim : int(tok)*e.Dim+e.Dim]
+			row := dy.Row(bi, li)
+			for i := range g {
+				g[i] += row[i]
+			}
+		}
+	}
+}
+
+// Params returns the embedding table.
+func (e *Embedding) Params() []*Param { return []*Param{e.Table} }
+
+// Conv1D is a same-padded 1-D convolution with stride 1: weights laid out
+// [K][In][Out] (contiguous over output channels for the hot loop), bias
+// [Out]. Position t of the output sees input positions t-K/2 .. t+K/2
+// (zero-padded at the edges).
+type Conv1D struct {
+	In, Out, K int
+	W, B       *Param
+	lastX      *Tensor
+}
+
+// NewConv1D builds a convolution layer.
+func NewConv1D(rng *rand.Rand, in, out, k int) *Conv1D {
+	c := &Conv1D{In: in, Out: out, K: k, W: NewParam(out * k * in), B: NewParam(out)}
+	initUniform(rng, c.W.W, in*k)
+	return c
+}
+
+// Forward implements Layer.
+func (c *Conv1D) Forward(x *Tensor, _ bool) *Tensor {
+	c.lastX = x
+	out := NewTensor(x.B, x.L, c.Out)
+	half := c.K / 2
+	for b := 0; b < x.B; b++ {
+		for t := 0; t < x.L; t++ {
+			dst := out.Row(b, t)
+			for k := 0; k < c.K; k++ {
+				src := t + k - half
+				if src < 0 || src >= x.L {
+					continue
+				}
+				row := x.Row(b, src)
+				w := c.W.W[k*c.In*c.Out:]
+				// Weight layout: [k][in][out] for a contiguous inner
+				// loop over output channels.
+				for in := 0; in < c.In; in++ {
+					xv := row[in]
+					if xv == 0 {
+						continue
+					}
+					ws := w[in*c.Out : in*c.Out+c.Out]
+					for o := range dst {
+						dst[o] += xv * ws[o]
+					}
+				}
+			}
+			bias := c.B.W
+			for o := range dst {
+				dst[o] += bias[o]
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv1D) Backward(dy *Tensor) *Tensor {
+	x := c.lastX
+	dx := NewTensor(x.B, x.L, x.C)
+	half := c.K / 2
+	for b := 0; b < x.B; b++ {
+		for t := 0; t < x.L; t++ {
+			g := dy.Row(b, t)
+			for o, gv := range g {
+				c.B.G[o] += gv
+			}
+			for k := 0; k < c.K; k++ {
+				src := t + k - half
+				if src < 0 || src >= x.L {
+					continue
+				}
+				xrow := x.Row(b, src)
+				dxrow := dx.Row(b, src)
+				wOff := k * c.In * c.Out
+				for in := 0; in < c.In; in++ {
+					ws := c.W.W[wOff+in*c.Out : wOff+in*c.Out+c.Out]
+					gs := c.W.G[wOff+in*c.Out : wOff+in*c.Out+c.Out]
+					xv := xrow[in]
+					var acc float32
+					for o, gv := range g {
+						gs[o] += gv * xv
+						acc += gv * ws[o]
+					}
+					dxrow[in] += acc
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (c *Conv1D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// SumPool sums non-overlapping windows of Width positions (stride ==
+// width), the paper's aggressive history compressor. A trailing partial
+// window is summed as-is (ceil division).
+type SumPool struct {
+	Width int
+	lastL int
+}
+
+// NewSumPool builds a sum-pooling layer.
+func NewSumPool(width int) *SumPool { return &SumPool{Width: width} }
+
+// OutLen returns the pooled length for an input of length l.
+func (s *SumPool) OutLen(l int) int { return (l + s.Width - 1) / s.Width }
+
+// Forward implements Layer.
+func (s *SumPool) Forward(x *Tensor, _ bool) *Tensor {
+	s.lastL = x.L
+	out := NewTensor(x.B, s.OutLen(x.L), x.C)
+	for b := 0; b < x.B; b++ {
+		for t := 0; t < x.L; t++ {
+			dst := out.Row(b, t/s.Width)
+			src := x.Row(b, t)
+			for c := range dst {
+				dst[c] += src[c]
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (s *SumPool) Backward(dy *Tensor) *Tensor {
+	dx := NewTensor(dy.B, s.lastL, dy.C)
+	for b := 0; b < dy.B; b++ {
+		for t := 0; t < s.lastL; t++ {
+			src := dy.Row(b, t/s.Width)
+			copy(dx.Row(b, t), src)
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (s *SumPool) Params() []*Param { return nil }
+
+// Linear is a fully-connected layer on [B,1,In] tensors.
+type Linear struct {
+	In, Out int
+	W, B    *Param
+	lastX   *Tensor
+}
+
+// NewLinear builds a fully-connected layer.
+func NewLinear(rng *rand.Rand, in, out int) *Linear {
+	l := &Linear{In: in, Out: out, W: NewParam(in * out), B: NewParam(out)}
+	initUniform(rng, l.W.W, in)
+	return l
+}
+
+// Forward implements Layer.
+func (l *Linear) Forward(x *Tensor, _ bool) *Tensor {
+	l.lastX = x
+	out := NewTensor(x.B, 1, l.Out)
+	for b := 0; b < x.B; b++ {
+		src := x.Row(b, 0)
+		dst := out.Row(b, 0)
+		copy(dst, l.B.W)
+		for in, xv := range src {
+			if xv == 0 {
+				continue
+			}
+			ws := l.W.W[in*l.Out : in*l.Out+l.Out]
+			for o := range dst {
+				dst[o] += xv * ws[o]
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *Linear) Backward(dy *Tensor) *Tensor {
+	x := l.lastX
+	dx := NewTensor(x.B, 1, l.In)
+	for b := 0; b < x.B; b++ {
+		g := dy.Row(b, 0)
+		src := x.Row(b, 0)
+		dst := dx.Row(b, 0)
+		for o, gv := range g {
+			l.B.G[o] += gv
+		}
+		for in, xv := range src {
+			ws := l.W.W[in*l.Out : in*l.Out+l.Out]
+			gs := l.W.G[in*l.Out : in*l.Out+l.Out]
+			var acc float32
+			for o, gv := range g {
+				gs[o] += gv * xv
+				acc += gv * ws[o]
+			}
+			dst[in] = acc
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
+
+// ReLU is the rectified linear activation.
+type ReLU struct{ lastX *Tensor }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *Tensor, _ bool) *Tensor {
+	r.lastX = x
+	out := NewTensor(x.B, x.L, x.C)
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(dy *Tensor) *Tensor {
+	dx := NewTensor(dy.B, dy.L, dy.C)
+	for i, v := range r.lastX.Data {
+		if v > 0 {
+			dx.Data[i] = dy.Data[i]
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Tanh is the hyperbolic-tangent activation, used by Mini-BranchNet to
+// bound activations for quantization.
+type Tanh struct{ lastY *Tensor }
+
+// Forward implements Layer.
+func (t *Tanh) Forward(x *Tensor, _ bool) *Tensor {
+	out := NewTensor(x.B, x.L, x.C)
+	for i, v := range x.Data {
+		out.Data[i] = float32(math.Tanh(float64(v)))
+	}
+	t.lastY = out
+	return out
+}
+
+// Backward implements Layer.
+func (t *Tanh) Backward(dy *Tensor) *Tensor {
+	dx := NewTensor(dy.B, dy.L, dy.C)
+	for i, y := range t.lastY.Data {
+		dx.Data[i] = dy.Data[i] * (1 - y*y)
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (t *Tanh) Params() []*Param { return nil }

@@ -1,0 +1,307 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// lossOf projects a tensor to a scalar with fixed coefficients, giving a
+// deterministic scalar function for numeric gradient checks.
+func lossOf(t *Tensor, coef []float32) float32 {
+	var s float32
+	for i, v := range t.Data {
+		s += v * coef[i%len(coef)]
+	}
+	return s
+}
+
+// lossGrad is dLoss/dOutput for lossOf.
+func lossGrad(t *Tensor, coef []float32) *Tensor {
+	g := NewTensor(t.B, t.L, t.C)
+	for i := range g.Data {
+		g.Data[i] = coef[i%len(coef)]
+	}
+	return g
+}
+
+// checkParamGradients numerically verifies the analytic gradients of every
+// parameter of a layer for the given input.
+func checkParamGradients(t *testing.T, layer Layer, x *Tensor, train bool) {
+	t.Helper()
+	coef := []float32{0.7, -1.3, 0.4, 1.1, -0.6}
+	out := layer.Forward(x, train)
+	for _, p := range layer.Params() {
+		p.ZeroGrad()
+	}
+	layer.Backward(lossGrad(out, coef))
+
+	const eps = 1e-2
+	for pi, p := range layer.Params() {
+		for i := 0; i < len(p.W); i += 1 + len(p.W)/40 { // sample weights
+			orig := p.W[i]
+			p.W[i] = orig + eps
+			up := lossOf(layer.Forward(x, train), coef)
+			p.W[i] = orig - eps
+			dn := lossOf(layer.Forward(x, train), coef)
+			p.W[i] = orig
+			numeric := (up - dn) / (2 * eps)
+			analytic := p.G[i]
+			if diff := math.Abs(float64(numeric - analytic)); diff > 2e-2*(1+math.Abs(float64(numeric))) {
+				t.Fatalf("param %d weight %d: analytic %v vs numeric %v", pi, i, analytic, numeric)
+			}
+		}
+	}
+}
+
+// checkInputGradient numerically verifies dLoss/dInput.
+func checkInputGradient(t *testing.T, layer Layer, x *Tensor, train bool) {
+	t.Helper()
+	coef := []float32{0.7, -1.3, 0.4, 1.1, -0.6}
+	out := layer.Forward(x, train)
+	for _, p := range layer.Params() {
+		p.ZeroGrad()
+	}
+	dx := layer.Backward(lossGrad(out, coef))
+
+	const eps = 1e-2
+	for i := 0; i < len(x.Data); i += 1 + len(x.Data)/40 {
+		orig := x.Data[i]
+		x.Data[i] = orig + eps
+		up := lossOf(layer.Forward(x, train), coef)
+		x.Data[i] = orig - eps
+		dn := lossOf(layer.Forward(x, train), coef)
+		x.Data[i] = orig
+		numeric := (up - dn) / (2 * eps)
+		if diff := math.Abs(float64(numeric - dx.Data[i])); diff > 2e-2*(1+math.Abs(float64(numeric))) {
+			t.Fatalf("input %d: analytic %v vs numeric %v", i, dx.Data[i], numeric)
+		}
+	}
+}
+
+func randTensor(rng *rand.Rand, b, l, c int) *Tensor {
+	t := NewTensor(b, l, c)
+	for i := range t.Data {
+		t.Data[i] = rng.Float32()*2 - 1
+	}
+	return t
+}
+
+func TestConvGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	conv := NewConv1D(rng, 3, 4, 3)
+	x := randTensor(rng, 2, 7, 3)
+	checkParamGradients(t, conv, x, true)
+	checkInputGradient(t, conv, x, true)
+}
+
+func TestLinearGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	lin := NewLinear(rng, 6, 4)
+	x := randTensor(rng, 3, 1, 6)
+	checkParamGradients(t, lin, x, true)
+	checkInputGradient(t, lin, x, true)
+}
+
+func TestBatchNormGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	bn := NewBatchNorm(4)
+	// Non-trivial gamma/beta.
+	for i := range bn.Gamma.W {
+		bn.Gamma.W[i] = 0.5 + float32(i)*0.3
+		bn.Beta.W[i] = float32(i) * 0.1
+	}
+	x := randTensor(rng, 4, 3, 4)
+	checkParamGradients(t, bn, x, true)
+	checkInputGradient(t, bn, x, true)
+}
+
+func TestTanhReLUGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	checkInputGradient(t, &Tanh{}, randTensor(rng, 2, 3, 4), true)
+	// ReLU's kink breaks numeric checks near zero; shift inputs away.
+	x := randTensor(rng, 2, 3, 4)
+	for i := range x.Data {
+		if x.Data[i] > -0.1 && x.Data[i] < 0.1 {
+			x.Data[i] += 0.3
+		}
+	}
+	checkInputGradient(t, &ReLU{}, x, true)
+}
+
+func TestSumPoolExact(t *testing.T) {
+	x := NewTensor(1, 5, 2)
+	for i := range x.Data {
+		x.Data[i] = float32(i)
+	}
+	p := NewSumPool(2)
+	out := p.Forward(x, true)
+	if out.L != 3 {
+		t.Fatalf("OutLen = %d, want 3 (ceil(5/2))", out.L)
+	}
+	// Window sums: positions {0,1}, {2,3}, {4}.
+	want := []float32{0 + 2, 1 + 3, 4 + 6, 5 + 7, 8, 9}
+	for i, w := range want {
+		if out.Data[i] != w {
+			t.Fatalf("pool[%d] = %v, want %v", i, out.Data[i], w)
+		}
+	}
+	// Backward broadcasts each output grad to its window.
+	dy := NewTensor(1, 3, 2)
+	for i := range dy.Data {
+		dy.Data[i] = float32(i + 1)
+	}
+	dx := p.Backward(dy)
+	wantDx := []float32{1, 2, 1, 2, 3, 4, 3, 4, 5, 6}
+	for i, w := range wantDx {
+		if dx.Data[i] != w {
+			t.Fatalf("dx[%d] = %v, want %v", i, dx.Data[i], w)
+		}
+	}
+}
+
+func TestEmbeddingScatter(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	e := NewEmbedding(rng, 8, 3)
+	tokens := [][]int32{{1, 1, 2}}
+	out := e.Forward(tokens)
+	for d := 0; d < 3; d++ {
+		if out.At(0, 0, d) != e.Table.W[1*3+d] {
+			t.Fatal("embedding lookup wrong")
+		}
+	}
+	dy := NewTensor(1, 3, 3)
+	for i := range dy.Data {
+		dy.Data[i] = 1
+	}
+	e.Backward(dy)
+	// Token 1 appears twice: gradient 2 per dim; token 2 once.
+	for d := 0; d < 3; d++ {
+		if e.Table.G[1*3+d] != 2 {
+			t.Fatalf("token 1 grad = %v, want 2", e.Table.G[1*3+d])
+		}
+		if e.Table.G[2*3+d] != 1 {
+			t.Fatalf("token 2 grad = %v, want 1", e.Table.G[2*3+d])
+		}
+		if e.Table.G[0*3+d] != 0 {
+			t.Fatal("untouched token has gradient")
+		}
+	}
+}
+
+func TestSigmoidBCE(t *testing.T) {
+	// Loss must be near zero for confident-correct, large for
+	// confident-wrong, and the gradient must be p - y.
+	loss, g := SigmoidBCE(10, true)
+	if loss > 0.01 || math.Abs(float64(g)) > 0.01 {
+		t.Fatalf("confident correct: loss=%v grad=%v", loss, g)
+	}
+	loss, g = SigmoidBCE(-10, true)
+	if loss < 5 || g > -0.9 {
+		t.Fatalf("confident wrong: loss=%v grad=%v", loss, g)
+	}
+	// Symmetry.
+	l1, _ := SigmoidBCE(3, true)
+	l2, _ := SigmoidBCE(-3, false)
+	if math.Abs(float64(l1-l2)) > 1e-5 {
+		t.Fatalf("asymmetric BCE: %v vs %v", l1, l2)
+	}
+}
+
+func TestAdamLearnsXOR(t *testing.T) {
+	// A 2-4-1 MLP with Tanh must learn XOR — validates that the stack can
+	// express the non-linear functions single-layer perceptrons cannot
+	// (the paper's §II-A argument for multi-layer networks).
+	rng := rand.New(rand.NewSource(6))
+	l1 := NewLinear(rng, 2, 8)
+	act := &Tanh{}
+	l2 := NewLinear(rng, 8, 1)
+	params := append(l1.Params(), l2.Params()...)
+	opt := NewAdam(params, 0.05)
+
+	inputs := [][]float32{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	labels := []bool{false, true, true, false}
+	for epoch := 0; epoch < 400; epoch++ {
+		for i, in := range inputs {
+			x := NewTensor(1, 1, 2)
+			copy(x.Data, in)
+			h := act.Forward(l1.Forward(x, true), true)
+			out := l2.Forward(h, true)
+			_, dLogit := SigmoidBCE(out.Data[0], labels[i])
+			dy := NewTensor(1, 1, 1)
+			dy.Data[0] = dLogit
+			l1.Backward(act.Backward(l2.Backward(dy)))
+			opt.Step(1)
+		}
+	}
+	for i, in := range inputs {
+		x := NewTensor(1, 1, 2)
+		copy(x.Data, in)
+		out := l2.Forward(act.Forward(l1.Forward(x, false), false), false)
+		if (out.Data[0] >= 0) != labels[i] {
+			t.Fatalf("XOR case %v misclassified (logit %v)", in, out.Data[0])
+		}
+	}
+}
+
+func TestCountingTask(t *testing.T) {
+	// The BranchNet hypothesis in miniature: embedding -> conv(K=1) ->
+	// sum-pool(full) -> linear must learn "token 3 occurs at least twice
+	// in the sequence", regardless of position — exactly the counting
+	// relationship of Fig. 3.
+	rng := rand.New(rand.NewSource(7))
+	const vocab, dim, ch, seqLen = 8, 4, 2, 12
+	emb := NewEmbedding(rng, vocab, dim)
+	conv := NewConv1D(rng, dim, ch, 1)
+	pool := NewSumPool(seqLen)
+	out := NewLinear(rng, ch, 1)
+	var params []*Param
+	params = append(params, emb.Params()...)
+	params = append(params, conv.Params()...)
+	params = append(params, out.Params()...)
+	opt := NewAdam(params, 0.02)
+
+	gen := func() ([]int32, bool) {
+		seq := make([]int32, seqLen)
+		count := 0
+		for i := range seq {
+			seq[i] = int32(rng.Intn(vocab))
+			if seq[i] == 3 {
+				count++
+			}
+		}
+		return seq, count >= 2
+	}
+
+	const batch = 16
+	for step := 0; step < 500; step++ {
+		tokens := make([][]int32, batch)
+		labels := make([]bool, batch)
+		for i := range tokens {
+			tokens[i], labels[i] = gen()
+		}
+		h := pool.Forward(conv.Forward(emb.Forward(tokens), true), true)
+		logits := out.Forward(h, true)
+		dy := NewTensor(batch, 1, 1)
+		for i := range labels {
+			_, dLogit := SigmoidBCE(logits.Row(i, 0)[0], labels[i])
+			dy.Row(i, 0)[0] = dLogit
+		}
+		emb.Backward(conv.Backward(pool.Backward(out.Backward(dy))))
+		opt.Step(batch)
+	}
+
+	correct, total := 0, 0
+	for i := 0; i < 500; i++ {
+		seq, label := gen()
+		h := pool.Forward(conv.Forward(emb.Forward([][]int32{seq}), false), false)
+		logit := out.Forward(h, false).Data[0]
+		if (logit >= 0) == label {
+			correct++
+		}
+		total++
+	}
+	if acc := float64(correct) / float64(total); acc < 0.95 {
+		t.Fatalf("counting-task accuracy = %.3f, want >= 0.95", acc)
+	}
+}

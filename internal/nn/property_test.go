@@ -1,0 +1,200 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSumPoolGradientConservation(t *testing.T) {
+	// Sum-pooling's backward broadcasts: the total input gradient must
+	// equal the per-window output gradient times the window population.
+	f := func(seed int64, widthRaw, lenRaw uint8) bool {
+		width := int(widthRaw%7) + 1
+		length := int(lenRaw%20) + 1
+		rng := rand.New(rand.NewSource(seed))
+		p := NewSumPool(width)
+		x := randTensor(rng, 1, length, 2)
+		out := p.Forward(x, true)
+		dy := NewTensor(1, out.L, out.C)
+		for i := range dy.Data {
+			dy.Data[i] = rng.Float32()
+		}
+		dx := p.Backward(dy)
+		var sumDx, expect float64
+		for i, v := range dx.Data {
+			sumDx += float64(v)
+			_ = i
+		}
+		for w := 0; w < out.L; w++ {
+			pop := width
+			if (w+1)*width > length {
+				pop = length - w*width
+			}
+			for c := 0; c < out.C; c++ {
+				expect += float64(dy.At(0, w, c)) * float64(pop)
+			}
+		}
+		return math.Abs(sumDx-expect) < 1e-3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTanhBounded(t *testing.T) {
+	f := func(vals []float32) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		x := NewTensor(1, 1, len(vals))
+		copy(x.Data, vals)
+		out := (&Tanh{}).Forward(x, true)
+		for _, v := range out.Data {
+			if v < -1 || v > 1 || math.IsNaN(float64(v)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchNormNormalizesTrainingBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	bn := NewBatchNorm(3)
+	x := randTensor(rng, 8, 4, 3)
+	// Scale the input far from standard normal.
+	for i := range x.Data {
+		x.Data[i] = x.Data[i]*10 + 5
+	}
+	out := bn.Forward(x, true)
+	// Per channel: mean ~0, variance ~1 (gamma=1, beta=0 at init).
+	for c := 0; c < 3; c++ {
+		var sum, sq float64
+		n := 0
+		for i := c; i < len(out.Data); i += 3 {
+			sum += float64(out.Data[i])
+			sq += float64(out.Data[i]) * float64(out.Data[i])
+			n++
+		}
+		mean := sum / float64(n)
+		variance := sq/float64(n) - mean*mean
+		if math.Abs(mean) > 1e-3 || math.Abs(variance-1) > 1e-2 {
+			t.Fatalf("channel %d: mean=%v var=%v", c, mean, variance)
+		}
+	}
+}
+
+func TestBatchNormInferenceUsesRunningStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	bn := NewBatchNorm(2)
+	// Train on many batches to settle running stats.
+	for i := 0; i < 200; i++ {
+		x := randTensor(rng, 16, 1, 2)
+		for j := range x.Data {
+			x.Data[j] = x.Data[j]*2 + 3
+		}
+		bn.Forward(x, true)
+	}
+	// Inference on a single extreme example must not renormalize it away.
+	x := NewTensor(1, 1, 2)
+	x.Data[0], x.Data[1] = 100, 100
+	out := bn.Forward(x, false)
+	if out.Data[0] < 10 {
+		t.Fatalf("inference output %v; running stats ignored?", out.Data[0])
+	}
+}
+
+func TestFoldIntoMatchesInference(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	bn := NewBatchNorm(2)
+	bn.Gamma.W[0], bn.Gamma.W[1] = 1.5, -0.5
+	bn.Beta.W[0], bn.Beta.W[1] = 0.2, -0.3
+	for i := 0; i < 50; i++ {
+		bn.Forward(randTensor(rng, 8, 1, 2), true)
+	}
+	scale, shift := bn.FoldInto()
+	x := randTensor(rng, 4, 1, 2)
+	out := bn.Forward(x, false)
+	for i, v := range x.Data {
+		c := i % 2
+		want := scale[c]*v + shift[c]
+		if math.Abs(float64(out.Data[i]-want)) > 1e-4 {
+			t.Fatalf("folded affine mismatch at %d: %v vs %v", i, out.Data[i], want)
+		}
+	}
+}
+
+func TestAdamMinimizesQuadratic(t *testing.T) {
+	// Single parameter, loss = (w-3)^2: Adam must converge to 3.
+	p := NewParam(1)
+	opt := NewAdam([]*Param{p}, 0.1)
+	for i := 0; i < 500; i++ {
+		p.G[0] = 2 * (p.W[0] - 3)
+		opt.Step(1)
+	}
+	if math.Abs(float64(p.W[0]-3)) > 0.01 {
+		t.Fatalf("Adam converged to %v, want 3", p.W[0])
+	}
+}
+
+func TestAdamWeightDecayShrinksUnusedWeights(t *testing.T) {
+	p := NewParam(1)
+	p.W[0] = 5
+	opt := NewAdam([]*Param{p}, 0.05)
+	opt.WeightD = 0.1
+	for i := 0; i < 400; i++ {
+		// No data gradient at all: decay alone must shrink the weight.
+		opt.Step(1)
+	}
+	if math.Abs(float64(p.W[0])) > 0.5 {
+		t.Fatalf("weight decay left w=%v", p.W[0])
+	}
+}
+
+func TestLinearZeroInputGradients(t *testing.T) {
+	// With a zero input, weight gradients must be zero but bias
+	// gradients must not.
+	rng := rand.New(rand.NewSource(14))
+	l := NewLinear(rng, 3, 2)
+	x := NewTensor(1, 1, 3)
+	l.Forward(x, true)
+	dy := NewTensor(1, 1, 2)
+	dy.Data[0], dy.Data[1] = 1, 1
+	l.Backward(dy)
+	for _, g := range l.W.G {
+		if g != 0 {
+			t.Fatal("weight gradient nonzero for zero input")
+		}
+	}
+	if l.B.G[0] != 1 || l.B.G[1] != 1 {
+		t.Fatalf("bias gradient = %v", l.B.G)
+	}
+}
+
+func TestConvEdgePadding(t *testing.T) {
+	// A width-3 convolution at position 0 must only see positions 0 and
+	// 1 (zero padding on the left): verify against a hand computation.
+	rng := rand.New(rand.NewSource(15))
+	conv := NewConv1D(rng, 1, 1, 3)
+	x := NewTensor(1, 4, 1)
+	for i := range x.Data {
+		x.Data[i] = float32(i + 1)
+	}
+	out := conv.Forward(x, true)
+	// Weight layout [K][In][Out]: w[k] applies to x[t+k-1].
+	w := conv.W.W
+	b := conv.B.W[0]
+	want0 := w[1]*1 + w[2]*2 + b // k=0 reads x[-1]=0
+	if math.Abs(float64(out.At(0, 0, 0)-want0)) > 1e-5 {
+		t.Fatalf("padded conv at 0: %v, want %v", out.At(0, 0, 0), want0)
+	}
+	want3 := w[0]*3 + w[1]*4 + b // k=2 reads x[4]=0
+	if math.Abs(float64(out.At(0, 3, 0)-want3)) > 1e-5 {
+		t.Fatalf("padded conv at 3: %v, want %v", out.At(0, 3, 0), want3)
+	}
+}

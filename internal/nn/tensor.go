@@ -1,0 +1,85 @@
+// Package nn is the minimal deep-learning stack used to train BranchNet
+// models: embedding, 1-D convolution, batch normalization, sum-pooling,
+// fully-connected layers, ReLU/Tanh/Sigmoid activations, binary
+// cross-entropy loss, and an Adam optimizer — all with hand-written
+// forward/backward passes over float32 tensors.
+//
+// The paper trains its CNNs in a GPU framework; this package substitutes a
+// special-purpose CPU implementation (the architecture is fixed and small,
+// so general autodiff is unnecessary). Everything is deterministic given
+// the seeds supplied at initialization.
+package nn
+
+import "fmt"
+
+// Tensor is a dense row-major 3-D array [B, L, C]: batch, sequence length,
+// channels. Fully-connected activations use L == 1.
+type Tensor struct {
+	Data []float32
+	B    int // batch
+	L    int // sequence length
+	C    int // channels / features
+}
+
+// NewTensor allocates a zeroed tensor.
+func NewTensor(b, l, c int) *Tensor {
+	return &Tensor{Data: make([]float32, b*l*c), B: b, L: l, C: c}
+}
+
+// At returns the element at (b, l, c).
+func (t *Tensor) At(b, l, c int) float32 { return t.Data[(b*t.L+l)*t.C+c] }
+
+// Set writes the element at (b, l, c).
+func (t *Tensor) Set(b, l, c int, v float32) { t.Data[(b*t.L+l)*t.C+c] = v }
+
+// Row returns the length-C slice at (b, l).
+func (t *Tensor) Row(b, l int) []float32 {
+	off := (b*t.L + l) * t.C
+	return t.Data[off : off+t.C]
+}
+
+// Zero clears the tensor in place.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// ShapeEq reports whether two tensors have identical shapes.
+func (t *Tensor) ShapeEq(o *Tensor) bool { return t.B == o.B && t.L == o.L && t.C == o.C }
+
+func (t *Tensor) String() string { return fmt.Sprintf("Tensor[%d,%d,%d]", t.B, t.L, t.C) }
+
+// Param is a trainable parameter: weights plus accumulated gradients and
+// Adam moments.
+type Param struct {
+	W, G []float32
+	m, v []float32 // Adam first/second moments
+}
+
+// NewParam allocates a parameter of n weights.
+func NewParam(n int) *Param {
+	return &Param{
+		W: make([]float32, n),
+		G: make([]float32, n),
+		m: make([]float32, n),
+		v: make([]float32, n),
+	}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() {
+	for i := range p.G {
+		p.G[i] = 0
+	}
+}
+
+// Layer is a differentiable module. Forward consumes the previous
+// activation; Backward consumes dLoss/dOutput, accumulates parameter
+// gradients, and returns dLoss/dInput. train toggles batch-norm statistics
+// and any training-only behaviour.
+type Layer interface {
+	Forward(x *Tensor, train bool) *Tensor
+	Backward(dy *Tensor) *Tensor
+	Params() []*Param
+}

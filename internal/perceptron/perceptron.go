@@ -1,0 +1,148 @@
+// Package perceptron implements a hashed-perceptron branch predictor in the
+// style of Tarjan & Skadron's hashed perceptron and Jiménez's
+// Multiperspective Perceptron: several weight tables, each indexed by a
+// hash of the PC with a different slice of global/path history, summed and
+// thresholded.
+//
+// The paper (§II-A) uses perceptron-family predictors as the second
+// state-of-the-art runtime baseline and notes two limitations this
+// implementation makes visible: aliasing among hashed history patterns
+// under noisy histories, and the inability of a single-layer model to learn
+// non-linear branch relationships.
+package perceptron
+
+import (
+	"fmt"
+
+	"branchnet/internal/predictor"
+)
+
+// Config sizes the predictor.
+type Config struct {
+	// HistLens are the history lengths of the feature tables. A length
+	// of zero makes a bias table indexed by PC only.
+	HistLens []int
+	// LogSize is the log2 number of weights per table.
+	LogSize uint
+	// WeightBits is the width of each signed weight.
+	WeightBits uint
+	// Theta is the training threshold; 0 derives the classic
+	// 1.93*h + 14 value from the total feature count.
+	Theta int
+}
+
+// DefaultConfig returns an ~8KB hashed perceptron with geometric history
+// lengths, the configuration used in the motivation experiments.
+func DefaultConfig() Config {
+	return Config{
+		HistLens:   []int{0, 3, 8, 16, 32, 64, 128, 256},
+		LogSize:    12,
+		WeightBits: 8,
+	}
+}
+
+// Perceptron is the predictor state.
+type Perceptron struct {
+	cfg    Config
+	tables [][]int16
+	hist   *predictor.History
+	path   *predictor.PathHistory
+	theta  int
+
+	// Prediction-time state carried into Update.
+	lastSum     int
+	lastIndices []uint64
+}
+
+// New builds a hashed perceptron.
+func New(cfg Config) *Perceptron {
+	if len(cfg.HistLens) == 0 {
+		panic("perceptron: no feature tables")
+	}
+	maxLen := 0
+	for _, l := range cfg.HistLens {
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	theta := cfg.Theta
+	if theta == 0 {
+		theta = int(1.93*float64(len(cfg.HistLens))*8) + 14
+	}
+	p := &Perceptron{
+		cfg:         cfg,
+		tables:      make([][]int16, len(cfg.HistLens)),
+		hist:        predictor.NewHistory(maxLen + 2),
+		path:        predictor.NewPathHistory(16),
+		theta:       theta,
+		lastIndices: make([]uint64, len(cfg.HistLens)),
+	}
+	for i := range p.tables {
+		p.tables[i] = make([]int16, 1<<cfg.LogSize)
+	}
+	return p
+}
+
+// hashFeature combines pc with a history slice of length l.
+func (p *Perceptron) hashFeature(pc uint64, l int) uint64 {
+	h := pc >> 2
+	if l > 0 {
+		// Fold l history bits and the path register into the hash.
+		h ^= p.hist.Hash(l) * 0x9e3779b97f4a7c15
+		h ^= p.path.Value() >> uint(l%7)
+		h ^= h >> 29
+	}
+	return h & ((1 << p.cfg.LogSize) - 1)
+}
+
+// Predict implements predictor.Predictor.
+func (p *Perceptron) Predict(pc uint64) bool {
+	sum := 0
+	for i, l := range p.cfg.HistLens {
+		idx := p.hashFeature(pc, l)
+		p.lastIndices[i] = idx
+		sum += int(p.tables[i][idx])
+	}
+	p.lastSum = sum
+	return sum >= 0
+}
+
+// Update implements predictor.Predictor: perceptron training with dynamic
+// threshold (train on mispredict or when the sum's magnitude is below
+// theta).
+func (p *Perceptron) Update(pc uint64, taken bool) {
+	pred := p.lastSum >= 0
+	if pred != taken || abs(p.lastSum) <= p.theta {
+		max := int16(1<<(p.cfg.WeightBits-1) - 1)
+		min := -max - 1
+		for i := range p.tables {
+			w := &p.tables[i][p.lastIndices[i]]
+			if taken {
+				if *w < max {
+					*w++
+				}
+			} else if *w > min {
+				*w--
+			}
+		}
+	}
+	p.hist.Push(taken)
+	p.path.Push(pc)
+}
+
+// Name implements predictor.Predictor.
+func (p *Perceptron) Name() string {
+	return fmt.Sprintf("hashed-perceptron-%dKB", p.Bits()/8/1024)
+}
+
+// Bits implements predictor.Predictor.
+func (p *Perceptron) Bits() int {
+	return len(p.tables) * (1 << p.cfg.LogSize) * int(p.cfg.WeightBits)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,91 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+
+	"branchnet/internal/bench"
+	"branchnet/internal/gshare"
+	"branchnet/internal/predictor"
+	"branchnet/internal/tage"
+	"branchnet/internal/trace"
+)
+
+// fixed is a predictor that always answers the same direction.
+type fixed bool
+
+func (f fixed) Predict(uint64) bool { return bool(f) }
+func (fixed) Update(uint64, bool)   {}
+func (fixed) Name() string          { return "fixed" }
+func (fixed) Bits() int             { return 0 }
+
+func twoBranchTrace(n int) *trace.Trace {
+	tr := &trace.Trace{}
+	for i := 0; i < n; i++ {
+		tr.Records = append(tr.Records, trace.Record{PC: 0x10, Taken: true, Gap: 11})
+	}
+	return tr
+}
+
+func TestCycleAccounting(t *testing.T) {
+	cfg := Config{FetchWidth: 4, FrontendDepth: 10, LateLatency: 4, ResolveCycles: 10, MemoryCPI: 0}
+	tr := twoBranchTrace(100) // 1200 instructions, all taken
+
+	// Perfect late, perfect early: base cycles only.
+	r := Simulate(cfg, fixed(true), fixed(true), tr)
+	if want := float64(r.Instructions) / 4; r.Cycles != want {
+		t.Fatalf("cycles = %v, want %v", r.Cycles, want)
+	}
+	if r.Mispredicts != 0 || r.Redirects != 0 {
+		t.Fatalf("unexpected events: %+v", r)
+	}
+
+	// Early always wrong, late right: one redirect per branch.
+	r = Simulate(cfg, fixed(false), fixed(true), tr)
+	if r.Redirects != 100 || r.Mispredicts != 0 {
+		t.Fatalf("redirects = %d, mispredicts = %d", r.Redirects, r.Mispredicts)
+	}
+	if want := float64(r.Instructions)/4 + 100*4; r.Cycles != want {
+		t.Fatalf("cycles = %v, want %v", r.Cycles, want)
+	}
+
+	// Late always wrong: full flush per branch, regardless of early.
+	r = Simulate(cfg, fixed(true), fixed(false), tr)
+	if r.Mispredicts != 100 || r.Redirects != 0 {
+		t.Fatalf("mispredicts = %d, redirects = %d", r.Mispredicts, r.Redirects)
+	}
+	if want := float64(r.Instructions)/4 + 100*20; r.Cycles != want {
+		t.Fatalf("cycles = %v, want %v", r.Cycles, want)
+	}
+}
+
+func TestIPCImprovesWithBetterPredictor(t *testing.T) {
+	cfg := DefaultConfig()
+	prog := bench.Leela()
+	tr := prog.Generate(prog.Inputs(bench.Test)[0], 60000)
+
+	worse := Simulate(cfg, gshare.Default4KB(), gshare.New(12, 10), tr)
+	better := Simulate(cfg, gshare.Default4KB(), tage.New(tage.TAGESCL64KB(), 1), tr)
+	if better.IPC() <= worse.IPC() {
+		t.Fatalf("TAGE IPC (%.3f) should beat small-gshare IPC (%.3f)",
+			better.IPC(), worse.IPC())
+	}
+	if better.MPKI() >= worse.MPKI() {
+		t.Fatal("MPKI ordering inverted")
+	}
+}
+
+func TestIPCPlausible(t *testing.T) {
+	cfg := DefaultConfig()
+	prog := bench.Exchange2()
+	tr := prog.Generate(prog.Inputs(bench.Test)[0], 40000)
+	r := Simulate(cfg, gshare.Default4KB(), tage.New(tage.TAGESCL64KB(), 1), tr)
+	if ipc := r.IPC(); ipc < 0.5 || ipc > 6 {
+		t.Fatalf("IPC = %.3f implausible", ipc)
+	}
+	// Sanity: MPKI from the pipeline must match a plain evaluation.
+	plain := predictor.Evaluate(tage.New(tage.TAGESCL64KB(), 1), tr)
+	if math.Abs(r.MPKI()-plain.MPKI(tr)) > 1e-9 {
+		t.Fatalf("pipeline MPKI %.4f != evaluation MPKI %.4f", r.MPKI(), plain.MPKI(tr))
+	}
+}

@@ -1,0 +1,92 @@
+package predictor
+
+// Counter is an n-bit signed saturating counter centered at zero, the basic
+// storage cell of table-based predictors. An n-bit counter ranges over
+// [-2^(n-1), 2^(n-1)-1]; its prediction is "taken" when non-negative.
+type Counter struct {
+	v    int16
+	bits uint
+}
+
+// NewCounter returns a counter with the given width, initialized to weakly
+// not-taken (-1) or weakly taken (0).
+func NewCounter(bits uint, taken bool) Counter {
+	c := Counter{bits: bits}
+	if !taken {
+		c.v = -1
+	}
+	return c
+}
+
+// Min and Max return the saturation bounds.
+func (c Counter) Min() int16 { return -(1 << (c.bits - 1)) }
+
+// Max returns the upper saturation bound.
+func (c Counter) Max() int16 { return 1<<(c.bits-1) - 1 }
+
+// Taken reports the counter's predicted direction.
+func (c Counter) Taken() bool { return c.v >= 0 }
+
+// Value returns the raw counter value.
+func (c Counter) Value() int16 { return c.v }
+
+// Weak reports whether the counter is in one of its two weakest states.
+func (c Counter) Weak() bool { return c.v == 0 || c.v == -1 }
+
+// Update shifts the counter toward the outcome, saturating.
+func (c *Counter) Update(taken bool) {
+	if taken {
+		if c.v < c.Max() {
+			c.v++
+		}
+	} else if c.v > c.Min() {
+		c.v--
+	}
+}
+
+// Set forces the counter to a saturation-clamped value.
+func (c *Counter) Set(v int16) {
+	switch {
+	case v > c.Max():
+		c.v = c.Max()
+	case v < c.Min():
+		c.v = c.Min()
+	default:
+		c.v = v
+	}
+}
+
+// UCounter is an n-bit unsigned useful/confidence counter.
+type UCounter struct {
+	v    uint8
+	bits uint
+}
+
+// NewUCounter returns an unsigned saturating counter of the given width.
+func NewUCounter(bits uint) UCounter { return UCounter{bits: bits} }
+
+// Value returns the raw value.
+func (u UCounter) Value() uint8 { return u.v }
+
+// Max returns the saturation bound.
+func (u UCounter) Max() uint8 { return 1<<u.bits - 1 }
+
+// Inc increments, saturating.
+func (u *UCounter) Inc() {
+	if u.v < u.Max() {
+		u.v++
+	}
+}
+
+// Dec decrements, saturating at zero.
+func (u *UCounter) Dec() {
+	if u.v > 0 {
+		u.v--
+	}
+}
+
+// Halve ages the counter (used by TAGE's periodic useful-bit reset).
+func (u *UCounter) Halve() { u.v >>= 1 }
+
+// Reset clears the counter.
+func (u *UCounter) Reset() { u.v = 0 }

@@ -1,0 +1,110 @@
+package predictor
+
+// History is a global branch history register of bounded length, stored as
+// a circular bit buffer so that very long histories (MTAGE uses thousands
+// of bits) stay cheap to shift.
+type History struct {
+	bits []uint8 // one bit per byte for simplicity; lengths are small
+	head int     // position of the most recent bit
+	n    int     // capacity
+}
+
+// NewHistory returns a history register holding n bits, initialized to all
+// zeros (not taken).
+func NewHistory(n int) *History {
+	return &History{bits: make([]uint8, n), n: n}
+}
+
+// Push shifts in the newest bit.
+func (h *History) Push(taken bool) {
+	h.head = (h.head + 1) % h.n
+	if taken {
+		h.bits[h.head] = 1
+	} else {
+		h.bits[h.head] = 0
+	}
+}
+
+// Bit returns history bit i, where 0 is the most recent branch.
+func (h *History) Bit(i int) uint8 {
+	if i >= h.n {
+		return 0
+	}
+	idx := h.head - i
+	if idx < 0 {
+		idx += h.n
+	}
+	return h.bits[idx]
+}
+
+// Len returns the capacity of the register.
+func (h *History) Len() int { return h.n }
+
+// Hash returns the low nbits of history folded into a uint64 by XOR-ing
+// 64-bit chunks (used by simple predictors like gshare; TAGE uses
+// FoldedHistory instead).
+func (h *History) Hash(nbits int) uint64 {
+	var out uint64
+	for i := 0; i < nbits; i++ {
+		out ^= uint64(h.Bit(i)) << (i % 64)
+	}
+	return out
+}
+
+// FoldedHistory incrementally maintains a compLen-bit fold of the most
+// recent origLen history bits, in the style of Seznec's TAGE: pushing one
+// new bit costs O(1) instead of re-hashing the entire history.
+type FoldedHistory struct {
+	comp     uint32
+	compLen  int
+	origLen  int
+	outPoint int
+}
+
+// NewFoldedHistory folds origLen history bits into compLen bits.
+func NewFoldedHistory(origLen, compLen int) *FoldedHistory {
+	if compLen <= 0 || compLen > 30 || origLen <= 0 {
+		panic("predictor: invalid folded history lengths")
+	}
+	return &FoldedHistory{
+		compLen:  compLen,
+		origLen:  origLen,
+		outPoint: origLen % compLen,
+	}
+}
+
+// Update shifts in the newest history bit and shifts out the bit that just
+// aged past origLen. h must already contain the new bit at position 0 and
+// still retain the outgoing bit at position origLen.
+func (f *FoldedHistory) Update(h *History) {
+	f.comp = (f.comp << 1) | uint32(h.Bit(0))
+	f.comp ^= uint32(h.Bit(f.origLen)) << f.outPoint
+	f.comp ^= f.comp >> f.compLen
+	f.comp &= (1 << f.compLen) - 1
+}
+
+// Value returns the current fold.
+func (f *FoldedHistory) Value() uint32 { return f.comp }
+
+// PathHistory tracks low-order PC bits of recent branches (TAGE mixes it
+// into its index hash to disambiguate same-direction histories).
+type PathHistory struct {
+	v uint64
+	n uint
+}
+
+// NewPathHistory keeps the last n bits of path information.
+func NewPathHistory(n uint) *PathHistory {
+	if n == 0 || n > 32 {
+		panic("predictor: invalid path history length")
+	}
+	return &PathHistory{n: n}
+}
+
+// Push records a branch at pc.
+func (p *PathHistory) Push(pc uint64) {
+	p.v = ((p.v << 1) | (pc >> 2 & 1)) & ((1 << p.n) - 1)
+}
+
+// Value returns the path register.
+func (p *PathHistory) Value() uint64 { return p.v }

@@ -1,0 +1,109 @@
+// Package predictor defines the interfaces and shared building blocks of
+// the runtime branch predictors (gshare, hashed perceptron, TAGE-SC-L) and
+// of the hybrid BranchNet predictor: saturating counters, global/path
+// history registers, folded histories, and a trace evaluation harness.
+package predictor
+
+import "branchnet/internal/trace"
+
+// Predictor is a runtime conditional-branch predictor driven record by
+// record. The contract is Predict(pc) immediately followed by
+// Update(pc, taken) for the same dynamic branch; implementations may carry
+// internal state (e.g. TAGE's provider-table choice) from Predict to the
+// matching Update.
+type Predictor interface {
+	// Predict returns the predicted direction for the branch at pc.
+	Predict(pc uint64) bool
+	// Update trains the predictor with the resolved direction and
+	// advances its histories. It must be called exactly once after each
+	// Predict, with the same pc.
+	Update(pc uint64, taken bool)
+	// Name identifies the configuration for reports.
+	Name() string
+	// Bits returns the predictor's storage budget in bits, for honesty
+	// checks against the paper's hardware budgets.
+	Bits() int
+}
+
+// Result summarizes an evaluation run.
+type Result struct {
+	Branches    uint64
+	Mispredicts uint64
+	// PerBranch maps branch PC to its misprediction count.
+	PerBranch map[uint64]uint64
+	// ExecPerBranch maps branch PC to its execution count.
+	ExecPerBranch map[uint64]uint64
+}
+
+// Accuracy returns the overall fraction of correct predictions.
+func (r Result) Accuracy() float64 {
+	if r.Branches == 0 {
+		return 0
+	}
+	return 1 - float64(r.Mispredicts)/float64(r.Branches)
+}
+
+// BranchAccuracy returns the accuracy on a single static branch.
+func (r Result) BranchAccuracy(pc uint64) float64 {
+	n := r.ExecPerBranch[pc]
+	if n == 0 {
+		return 0
+	}
+	return 1 - float64(r.PerBranch[pc])/float64(n)
+}
+
+// MPKI returns the result's mispredictions per kilo-instruction given the
+// evaluated trace.
+func (r Result) MPKI(tr *trace.Trace) float64 {
+	return trace.MPKI(float64(r.Mispredicts), tr.Instructions())
+}
+
+// Evaluate drives p over tr and returns misprediction statistics.
+func Evaluate(p Predictor, tr *trace.Trace) Result {
+	res := Result{
+		PerBranch:     make(map[uint64]uint64),
+		ExecPerBranch: make(map[uint64]uint64),
+	}
+	for i := range tr.Records {
+		r := &tr.Records[i]
+		pred := p.Predict(r.PC)
+		p.Update(r.PC, r.Taken)
+		res.Branches++
+		res.ExecPerBranch[r.PC]++
+		if pred != r.Taken {
+			res.Mispredicts++
+			res.PerBranch[r.PC]++
+		}
+	}
+	return res
+}
+
+// StaticBias is the strongest offline predictor usable without runtime
+// state: always predict the branch's profiled majority direction. The paper
+// (§II-B) uses it to show prior offline techniques barely help; we keep it
+// as the simplest baseline.
+type StaticBias struct {
+	Taken map[uint64]bool
+}
+
+// NewStaticBias profiles tr and returns a static-bias predictor.
+func NewStaticBias(tr *trace.Trace) *StaticBias {
+	prof := trace.NewProfile(tr)
+	m := make(map[uint64]bool, len(prof.Branches))
+	for pc, bs := range prof.Branches {
+		m[pc] = bs.Bias() >= 0.5
+	}
+	return &StaticBias{Taken: m}
+}
+
+// Predict implements Predictor.
+func (s *StaticBias) Predict(pc uint64) bool { return s.Taken[pc] }
+
+// Update implements Predictor (static predictors do not learn online).
+func (s *StaticBias) Update(uint64, bool) {}
+
+// Name implements Predictor.
+func (s *StaticBias) Name() string { return "static-bias" }
+
+// Bits implements Predictor: one direction bit per profiled static branch.
+func (s *StaticBias) Bits() int { return len(s.Taken) }

@@ -1,0 +1,224 @@
+package predictor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"branchnet/internal/trace"
+)
+
+func TestCounterSaturation(t *testing.T) {
+	c := NewCounter(3, false)
+	if c.Taken() {
+		t.Fatal("init not-taken counter predicts taken")
+	}
+	for i := 0; i < 20; i++ {
+		c.Update(true)
+	}
+	if c.Value() != 3 {
+		t.Fatalf("3-bit counter saturated at %d, want 3", c.Value())
+	}
+	for i := 0; i < 20; i++ {
+		c.Update(false)
+	}
+	if c.Value() != -4 {
+		t.Fatalf("3-bit counter saturated at %d, want -4", c.Value())
+	}
+}
+
+func TestCounterHysteresis(t *testing.T) {
+	c := NewCounter(2, true) // value 0, weakly taken
+	if !c.Weak() {
+		t.Fatal("fresh counter should be weak")
+	}
+	c.Update(true) // 1, strongly taken
+	c.Update(false)
+	if !c.Taken() {
+		t.Fatal("one not-taken must not flip a strong counter")
+	}
+	c.Update(false)
+	if c.Taken() {
+		t.Fatal("two not-takens should flip it")
+	}
+}
+
+func TestCounterSetClamps(t *testing.T) {
+	c := NewCounter(3, true)
+	c.Set(100)
+	if c.Value() != 3 {
+		t.Fatalf("Set should clamp to 3, got %d", c.Value())
+	}
+	c.Set(-100)
+	if c.Value() != -4 {
+		t.Fatalf("Set should clamp to -4, got %d", c.Value())
+	}
+}
+
+func TestCounterInvariant(t *testing.T) {
+	f := func(updates []bool) bool {
+		c := NewCounter(3, true)
+		for _, u := range updates {
+			c.Update(u)
+			if c.Value() < c.Min() || c.Value() > c.Max() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUCounter(t *testing.T) {
+	u := NewUCounter(2)
+	for i := 0; i < 10; i++ {
+		u.Inc()
+	}
+	if u.Value() != 3 {
+		t.Fatalf("2-bit ucounter = %d, want 3", u.Value())
+	}
+	u.Halve()
+	if u.Value() != 1 {
+		t.Fatalf("halved = %d, want 1", u.Value())
+	}
+	u.Dec()
+	u.Dec()
+	if u.Value() != 0 {
+		t.Fatalf("dec below zero = %d", u.Value())
+	}
+}
+
+func TestHistoryShift(t *testing.T) {
+	h := NewHistory(8)
+	h.Push(true)
+	h.Push(false)
+	h.Push(true)
+	// Most recent first: 1, 0, 1, then zeros.
+	want := []uint8{1, 0, 1, 0, 0, 0, 0, 0}
+	for i, w := range want {
+		if got := h.Bit(i); got != w {
+			t.Fatalf("Bit(%d) = %d, want %d", i, got, w)
+		}
+	}
+	if h.Bit(100) != 0 {
+		t.Fatal("out-of-range bit should read 0")
+	}
+}
+
+func TestFoldedHistoryMatchesDirectFold(t *testing.T) {
+	// The incremental fold must equal folding the history window
+	// directly: XOR of compLen-bit chunks of the most recent origLen
+	// bits, where bit i of the window lands at position i % compLen...
+	// The incremental scheme instead defines the fold by its own
+	// recurrence; equivalence is checked against a reference
+	// implementation of the same recurrence applied from scratch.
+	const origLen, compLen = 13, 5
+	h := NewHistory(64)
+	f := NewFoldedHistory(origLen, compLen)
+
+	var bits []uint8 // newest first
+	ref := func() uint32 {
+		// Replay the recurrence from an empty history.
+		var comp uint32
+		for i := len(bits) - 1; i >= 0; i-- {
+			comp = (comp << 1) | uint32(bits[i])
+			idx := i + origLen
+			var out uint32
+			if idx < len(bits) {
+				out = uint32(bits[idx])
+			}
+			comp ^= out << (origLen % compLen)
+			comp ^= comp >> compLen
+			comp &= (1 << compLen) - 1
+		}
+		return comp
+	}
+
+	rngBits := []bool{true, false, true, true, false, false, true, false,
+		true, true, true, false, true, false, false, true, true, false,
+		false, false, true, true, false, true}
+	for _, b := range rngBits {
+		h.Push(b)
+		bit := uint8(0)
+		if b {
+			bit = 1
+		}
+		bits = append([]uint8{bit}, bits...)
+		f.Update(h)
+		if f.Value() != ref() {
+			t.Fatalf("incremental fold %#x != reference %#x after %d pushes",
+				f.Value(), ref(), len(bits))
+		}
+		if f.Value() >= 1<<compLen {
+			t.Fatal("fold exceeds compLen bits")
+		}
+	}
+}
+
+func TestPathHistory(t *testing.T) {
+	p := NewPathHistory(4)
+	p.Push(0b100) // bit 2>>2? pc>>2&1 = 1
+	if p.Value() != 1 {
+		t.Fatalf("path = %b, want 1", p.Value())
+	}
+	p.Push(0b000)
+	p.Push(0b100)
+	if p.Value() != 0b101 {
+		t.Fatalf("path = %b, want 101", p.Value())
+	}
+	for i := 0; i < 10; i++ {
+		p.Push(0b100)
+	}
+	if p.Value() != 0b1111 {
+		t.Fatalf("path should truncate to 4 bits, got %b", p.Value())
+	}
+}
+
+func TestStaticBias(t *testing.T) {
+	tr := &trace.Trace{Records: []trace.Record{
+		{PC: 1, Taken: true}, {PC: 1, Taken: true}, {PC: 1, Taken: false},
+		{PC: 2, Taken: false}, {PC: 2, Taken: false},
+	}}
+	s := NewStaticBias(tr)
+	if !s.Predict(1) || s.Predict(2) {
+		t.Fatal("static bias learned wrong directions")
+	}
+	res := Evaluate(s, tr)
+	if res.Mispredicts != 1 {
+		t.Fatalf("mispredicts = %d, want 1", res.Mispredicts)
+	}
+	if got := res.Accuracy(); got != 0.8 {
+		t.Fatalf("accuracy = %v, want 0.8", got)
+	}
+	if got := res.BranchAccuracy(1); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Fatalf("branch 1 accuracy = %v", got)
+	}
+}
+
+// alwaysTaken is a trivial predictor used to test Evaluate's bookkeeping.
+type alwaysTaken struct{}
+
+func (alwaysTaken) Predict(uint64) bool { return true }
+func (alwaysTaken) Update(uint64, bool) {}
+func (alwaysTaken) Name() string        { return "always-taken" }
+func (alwaysTaken) Bits() int           { return 0 }
+
+func TestEvaluateBookkeeping(t *testing.T) {
+	tr := &trace.Trace{Records: []trace.Record{
+		{PC: 7, Taken: false, Gap: 9},
+		{PC: 7, Taken: true, Gap: 9},
+		{PC: 9, Taken: false, Gap: 9},
+	}}
+	res := Evaluate(alwaysTaken{}, tr)
+	if res.Branches != 3 || res.Mispredicts != 2 {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.PerBranch[7] != 1 || res.PerBranch[9] != 1 {
+		t.Fatalf("per-branch = %v", res.PerBranch)
+	}
+	if got := res.MPKI(tr); got != 2*1000.0/30.0 {
+		t.Fatalf("MPKI = %v", got)
+	}
+}

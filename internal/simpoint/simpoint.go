@@ -1,0 +1,256 @@
+// Package simpoint implements SimPoint-style representative-region
+// selection: it partitions a trace into fixed-size intervals, summarizes
+// each interval with a basic-block-vector (BBV) fingerprint, clusters the
+// fingerprints with k-means, and returns one representative interval per
+// cluster weighted by cluster population.
+//
+// The paper collects "up to 10 branch traces from each workload's
+// representative regions using SimPoints" and reports all numbers "adjusted
+// according to SimPoint weights"; this package provides that methodology for
+// the synthetic workloads.
+package simpoint
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"branchnet/internal/trace"
+)
+
+// Config controls region selection.
+type Config struct {
+	// IntervalBranches is the interval size in branch records.
+	IntervalBranches int
+	// K is the maximum number of clusters (regions). Fewer are returned
+	// if the trace has fewer intervals.
+	K int
+	// Dim is the dimensionality of the random projection applied to the
+	// (sparse, high-dimensional) BBV before clustering.
+	Dim int
+	// Iters bounds the number of Lloyd iterations.
+	Iters int
+	// Seed drives projection and k-means++ initialization.
+	Seed int64
+}
+
+// DefaultConfig mirrors common SimPoint practice scaled to our trace sizes.
+func DefaultConfig() Config {
+	return Config{IntervalBranches: 10000, K: 10, Dim: 16, Iters: 50, Seed: 1}
+}
+
+// Region is one selected representative interval, as a record index range
+// [Start, End) with a normalized weight (weights sum to one).
+type Region struct {
+	Start, End int
+	Weight     float64
+}
+
+// Select partitions tr into intervals and returns up to cfg.K weighted
+// representative regions. The final partial interval is dropped (standard
+// SimPoint practice).
+func Select(tr *trace.Trace, cfg Config) []Region {
+	if cfg.IntervalBranches <= 0 || cfg.K <= 0 || cfg.Dim <= 0 {
+		panic("simpoint: invalid config")
+	}
+	n := len(tr.Records) / cfg.IntervalBranches
+	if n == 0 {
+		// Trace shorter than one interval: the whole trace is the region.
+		return []Region{{Start: 0, End: len(tr.Records), Weight: 1}}
+	}
+
+	vecs := fingerprints(tr, cfg, n)
+	k := cfg.K
+	if k > n {
+		k = n
+	}
+	assign, centers := kmeans(vecs, k, cfg.Iters, cfg.Seed)
+
+	// Pick per-cluster representative: the interval closest to the
+	// centroid. Weight = cluster population / n.
+	type best struct {
+		idx  int
+		dist float64
+		size int
+	}
+	bests := make([]best, k)
+	for i := range bests {
+		bests[i] = best{idx: -1, dist: math.Inf(1)}
+	}
+	for i, c := range assign {
+		d := dist2(vecs[i], centers[c])
+		bests[c].size++
+		if d < bests[c].dist || (d == bests[c].dist && i < bests[c].idx) {
+			bests[c].idx, bests[c].dist = i, d
+		}
+	}
+	var regions []Region
+	for _, b := range bests {
+		if b.idx < 0 {
+			continue // empty cluster
+		}
+		regions = append(regions, Region{
+			Start:  b.idx * cfg.IntervalBranches,
+			End:    (b.idx + 1) * cfg.IntervalBranches,
+			Weight: float64(b.size) / float64(n),
+		})
+	}
+	sort.Slice(regions, func(i, j int) bool { return regions[i].Start < regions[j].Start })
+	return regions
+}
+
+// Slice materializes the selected regions of tr as weighted sub-traces.
+func Slice(tr *trace.Trace, regions []Region) []trace.Weighted {
+	out := make([]trace.Weighted, len(regions))
+	for i, r := range regions {
+		out[i] = trace.Weighted{
+			Trace:  &trace.Trace{Records: tr.Records[r.Start:r.End]},
+			Weight: r.Weight,
+		}
+	}
+	return out
+}
+
+// fingerprints computes the randomly projected BBV of each interval.
+// Rather than materializing the sparse per-PC count vector, each PC is
+// hashed (with the seed) onto cfg.Dim signed coordinates — equivalent to a
+// sparse random +-1 projection.
+func fingerprints(tr *trace.Trace, cfg Config, n int) [][]float64 {
+	vecs := make([][]float64, n)
+	for i := range vecs {
+		v := make([]float64, cfg.Dim)
+		recs := tr.Records[i*cfg.IntervalBranches : (i+1)*cfg.IntervalBranches]
+		for j := range recs {
+			h := hash64(recs[j].PC, uint64(cfg.Seed))
+			coord := int(h % uint64(cfg.Dim))
+			sign := 1.0
+			if h&(1<<63) != 0 {
+				sign = -1
+			}
+			v[coord] += sign
+		}
+		// Normalize so clustering sees frequency shape, not length.
+		norm(v)
+		vecs[i] = v
+	}
+	return vecs
+}
+
+func norm(v []float64) {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	if s == 0 {
+		return
+	}
+	s = math.Sqrt(s)
+	for i := range v {
+		v[i] /= s
+	}
+}
+
+func hash64(x, seed uint64) uint64 {
+	x += seed * 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func dist2(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// kmeans runs Lloyd's algorithm with k-means++ initialization and returns
+// the assignment of each vector and the final centers.
+func kmeans(vecs [][]float64, k, iters int, seed int64) ([]int, [][]float64) {
+	rng := rand.New(rand.NewSource(seed))
+	dim := len(vecs[0])
+
+	// k-means++ seeding.
+	centers := make([][]float64, 0, k)
+	centers = append(centers, clone(vecs[rng.Intn(len(vecs))]))
+	d2 := make([]float64, len(vecs))
+	for len(centers) < k {
+		var sum float64
+		for i, v := range vecs {
+			d := dist2(v, centers[0])
+			for _, c := range centers[1:] {
+				if dd := dist2(v, c); dd < d {
+					d = dd
+				}
+			}
+			d2[i] = d
+			sum += d
+		}
+		if sum == 0 {
+			// All points identical to some center; duplicate a point.
+			centers = append(centers, clone(vecs[rng.Intn(len(vecs))]))
+			continue
+		}
+		target := rng.Float64() * sum
+		idx := 0
+		for acc := 0.0; idx < len(vecs)-1; idx++ {
+			acc += d2[idx]
+			if acc >= target {
+				break
+			}
+		}
+		centers = append(centers, clone(vecs[idx]))
+	}
+
+	assign := make([]int, len(vecs))
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i, v := range vecs {
+			best, bd := 0, math.Inf(1)
+			for c := range centers {
+				if d := dist2(v, centers[c]); d < bd {
+					best, bd = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && it > 0 {
+			break
+		}
+		counts := make([]int, k)
+		for c := range centers {
+			for j := 0; j < dim; j++ {
+				centers[c][j] = 0
+			}
+		}
+		for i, v := range vecs {
+			c := assign[i]
+			counts[c]++
+			for j := 0; j < dim; j++ {
+				centers[c][j] += v[j]
+			}
+		}
+		for c := range centers {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at a random point.
+				copy(centers[c], vecs[rng.Intn(len(vecs))])
+				continue
+			}
+			for j := 0; j < dim; j++ {
+				centers[c][j] /= float64(counts[c])
+			}
+		}
+	}
+	return assign, centers
+}
+
+func clone(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}

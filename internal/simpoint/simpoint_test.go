@@ -1,0 +1,117 @@
+package simpoint
+
+import (
+	"math"
+	"testing"
+
+	"branchnet/internal/bench"
+	"branchnet/internal/trace"
+)
+
+// phasedTrace builds a trace alternating between two obviously different
+// phases: phase A executes PCs 0..9, phase B executes PCs 100..109.
+func phasedTrace(intervals, perInterval int) *trace.Trace {
+	tr := &trace.Trace{}
+	for i := 0; i < intervals; i++ {
+		base := uint64(0)
+		if i%2 == 1 {
+			base = 400
+		}
+		for j := 0; j < perInterval; j++ {
+			tr.Records = append(tr.Records, trace.Record{
+				PC:    base + uint64(j%10)*4,
+				Taken: j%3 == 0,
+				Gap:   5,
+			})
+		}
+	}
+	return tr
+}
+
+func TestSelectFindsPhases(t *testing.T) {
+	tr := phasedTrace(20, 1000)
+	regions := Select(tr, Config{IntervalBranches: 1000, K: 2, Dim: 8, Iters: 30, Seed: 3})
+	if len(regions) != 2 {
+		t.Fatalf("got %d regions, want 2", len(regions))
+	}
+	// Weights must sum to 1 and be roughly balanced (10 intervals each).
+	var sum float64
+	for _, r := range regions {
+		sum += r.Weight
+		if r.Weight < 0.3 || r.Weight > 0.7 {
+			t.Errorf("region weight %.2f, want ~0.5", r.Weight)
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("weights sum to %v, want 1", sum)
+	}
+	// The two representatives must come from different phases.
+	p0 := tr.Records[regions[0].Start].PC >= 400
+	p1 := tr.Records[regions[1].Start].PC >= 400
+	if p0 == p1 {
+		t.Fatal("representatives came from the same phase")
+	}
+}
+
+func TestSelectShortTrace(t *testing.T) {
+	tr := phasedTrace(1, 100)
+	regions := Select(tr, Config{IntervalBranches: 1000, K: 5, Dim: 8, Iters: 10, Seed: 1})
+	if len(regions) != 1 || regions[0].Weight != 1 {
+		t.Fatalf("short trace should yield one full-weight region, got %+v", regions)
+	}
+	if regions[0].Start != 0 || regions[0].End != 100 {
+		t.Fatalf("region bounds = %+v, want whole trace", regions[0])
+	}
+}
+
+func TestSelectDeterministic(t *testing.T) {
+	p := bench.Leela()
+	tr := p.Generate(p.Inputs(bench.Test)[0], 50000)
+	cfg := Config{IntervalBranches: 5000, K: 4, Dim: 16, Iters: 30, Seed: 7}
+	a := Select(tr, cfg)
+	b := Select(tr, cfg)
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic region count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("region %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSliceWeightsAndBounds(t *testing.T) {
+	tr := phasedTrace(10, 500)
+	regions := Select(tr, Config{IntervalBranches: 500, K: 3, Dim: 8, Iters: 20, Seed: 2})
+	ws := Slice(tr, regions)
+	var sum float64
+	for i, w := range ws {
+		if got := w.Trace.Branches(); got != 500 {
+			t.Fatalf("slice %d has %d branches, want 500", i, got)
+		}
+		sum += w.Weight
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("slice weights sum to %v", sum)
+	}
+}
+
+func TestKMeansClustersIdenticalPoints(t *testing.T) {
+	// Degenerate input: all identical vectors must not panic or produce
+	// NaN weights.
+	tr := &trace.Trace{}
+	for i := 0; i < 5000; i++ {
+		tr.Records = append(tr.Records, trace.Record{PC: 4, Taken: true, Gap: 1})
+	}
+	regions := Select(tr, Config{IntervalBranches: 1000, K: 3, Dim: 4, Iters: 10, Seed: 1})
+	var sum float64
+	for _, r := range regions {
+		if math.IsNaN(r.Weight) {
+			t.Fatal("NaN weight")
+		}
+		sum += r.Weight
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("weights sum to %v", sum)
+	}
+}

@@ -1,0 +1,119 @@
+package tage
+
+// loopPredictor captures branches with regular trip counts, as in
+// TAGE-SC-L: once a loop branch has exhibited the same iteration count with
+// high confidence, the predictor overrides TAGE at the predicted exit.
+//
+// The conventional encoding is used: a loop branch is taken while the loop
+// continues and not-taken at the exit. pastIter is the learned trip count
+// (number of taken executions before an exit), currentIter counts takens in
+// the current loop instance.
+type loopPredictor struct {
+	entries []loopEntry
+	logSize uint
+	// Prediction-time state.
+	idx   int
+	pred  bool
+	valid bool
+}
+
+type loopEntry struct {
+	tag         uint32
+	pastIter    uint16
+	currentIter uint16
+	conf        uint8
+	age         uint8
+}
+
+const (
+	loopMaxIter = 1023
+	loopConfMax = 7
+	loopAgeMax  = 255
+)
+
+func newLoopPredictor(logSize uint) *loopPredictor {
+	return &loopPredictor{
+		entries: make([]loopEntry, 1<<logSize),
+		logSize: logSize,
+	}
+}
+
+func (l *loopPredictor) index(pc uint64) (int, uint32) {
+	h := pc >> 2
+	idx := int(h & ((1 << l.logSize) - 1))
+	tag := uint32(h>>l.logSize)&0x3fff | 1 // never zero, so tag=0 means empty
+	return idx, tag
+}
+
+// predict returns (prediction, valid). valid is true only at high
+// confidence; the composite predictor then lets the loop prediction
+// override TAGE.
+func (l *loopPredictor) predict(pc uint64) (bool, bool) {
+	idx, tag := l.index(pc)
+	l.idx = idx
+	e := &l.entries[idx]
+	if e.tag != tag || e.age == 0 {
+		l.valid = false
+		l.pred = false
+		return false, false
+	}
+	l.pred = e.currentIter < e.pastIter
+	l.valid = e.conf >= loopConfMax && e.pastIter > 0
+	return l.pred, l.valid
+}
+
+// update trains the loop table. tagePred is the prediction TAGE made, used
+// to gate allocation and to age entries competitively.
+func (l *loopPredictor) update(pc uint64, taken, tagePred bool) {
+	idx, tag := l.index(pc)
+	e := &l.entries[idx]
+
+	if e.tag != tag || e.age == 0 {
+		// Allocate on a TAGE misprediction over a dead or low-value slot.
+		if tagePred != taken && (e.age == 0 || e.conf == 0) {
+			*e = loopEntry{tag: tag, age: loopAgeMax}
+		}
+		return
+	}
+
+	// Competitive aging: reward the entry when it corrects TAGE, punish
+	// it when its confident prediction is wrong.
+	if l.valid {
+		if l.pred == taken && tagePred != taken {
+			if e.age < loopAgeMax {
+				e.age++
+			}
+		}
+		if l.pred != taken {
+			e.conf = 0
+			if e.age > 0 {
+				e.age--
+			}
+		}
+	}
+
+	if taken {
+		e.currentIter++
+		if e.currentIter > loopMaxIter {
+			// Trip count beyond capacity: give up on this entry.
+			*e = loopEntry{}
+		}
+		return
+	}
+	// Loop exit observed.
+	if e.currentIter == e.pastIter {
+		if e.conf < loopConfMax {
+			e.conf++
+		}
+	} else {
+		e.pastIter = e.currentIter
+		e.conf = 0
+	}
+	e.currentIter = 0
+}
+
+// bits returns the loop predictor storage in bits.
+func (l *loopPredictor) bits() int {
+	// tag(14) + past(10) + current(10) + conf(3) + age(8)
+	return len(l.entries) * (14 + 10 + 10 + 3 + 8)
+}

@@ -1,0 +1,204 @@
+package tage
+
+import "branchnet/internal/predictor"
+
+// statisticalCorrector is a GEHL-style corrector: several tables of signed
+// counters indexed by hashes of the PC with global (and optionally local)
+// history slices. Their sum, seeded by the TAGE prediction itself, may
+// override TAGE when it is confidently contrary — TAGE-SC-L's mechanism for
+// statistically biased branches that TAGE tracks poorly.
+type statisticalCorrector struct {
+	cfg    Config
+	global [][]int8 // one table per SCHistLens entry
+	bias   []int8   // bias table indexed by pc ^ tagePred
+
+	// Local component (optional).
+	localHist []uint32 // per-PC local history registers
+	local     [][]int8 // local GEHL tables
+
+	hist *predictor.History
+	// Dynamic update threshold.
+	threshold  int
+	thresholdC predictor.Counter
+
+	// Prediction-time state.
+	sum     int
+	indices []int
+	lidx    []int
+	useSC   bool
+}
+
+const (
+	scCtrMax = 31 // 6-bit signed counters
+	scCtrMin = -32
+)
+
+func newSC(cfg Config) *statisticalCorrector {
+	maxLen := 0
+	for _, l := range cfg.SCHistLens {
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	sc := &statisticalCorrector{
+		cfg:        cfg,
+		global:     make([][]int8, len(cfg.SCHistLens)),
+		bias:       make([]int8, 1<<cfg.SCLogSize),
+		hist:       predictor.NewHistory(maxLen + 2),
+		threshold:  10,
+		thresholdC: predictor.NewCounter(6, true),
+		indices:    make([]int, len(cfg.SCHistLens)),
+	}
+	for i := range sc.global {
+		sc.global[i] = make([]int8, 1<<cfg.SCLogSize)
+	}
+	if cfg.UseLocal {
+		sc.localHist = make([]uint32, 1<<cfg.LocalLogHist)
+		sc.local = make([][]int8, cfg.LocalTables)
+		for i := range sc.local {
+			sc.local[i] = make([]int8, 1<<cfg.LocalLogSize)
+		}
+		sc.lidx = make([]int, cfg.LocalTables)
+	}
+	return sc
+}
+
+func (sc *statisticalCorrector) hashGlobal(pc uint64, l, t int) int {
+	h := pc >> 2
+	if l > 0 {
+		h ^= sc.hist.Hash(l)*0x9e3779b97f4a7c15 + uint64(t)*0x7f4a7c15
+		h ^= h >> 31
+	}
+	return int(h & ((1 << sc.cfg.SCLogSize) - 1))
+}
+
+func (sc *statisticalCorrector) localIndex(pc uint64) int {
+	return int((pc >> 2) & ((1 << sc.cfg.LocalLogHist) - 1))
+}
+
+func (sc *statisticalCorrector) hashLocal(pc uint64, t int) int {
+	lh := uint64(sc.localHist[sc.localIndex(pc)])
+	// Use t+1 quarters of the local history per table.
+	keep := uint((t + 1) * sc.cfg.LocalHistLen / len(sc.local))
+	lh &= (1 << keep) - 1
+	h := (pc >> 2) ^ lh*0x9e3779b97f4a7c15 ^ uint64(t)<<7
+	h ^= h >> 29
+	return int(h & ((1 << sc.cfg.LocalLogSize) - 1))
+}
+
+// predict returns the corrected prediction given TAGE's prediction and
+// whether the TAGE provider was confident (strong counter).
+func (sc *statisticalCorrector) predict(pc uint64, tagePred, tageConf bool) bool {
+	sum := 0
+	// Bias table seeded by the TAGE prediction.
+	bi := int((pc>>2)<<1|boolU64(tagePred)) & ((1 << sc.cfg.SCLogSize) - 1)
+	sum += 2*int(sc.bias[bi]) + 1
+	for i, l := range sc.cfg.SCHistLens {
+		idx := sc.hashGlobal(pc, l, i)
+		sc.indices[i] = idx
+		sum += 2*int(sc.global[i][idx]) + 1
+	}
+	for t := range sc.local {
+		idx := sc.hashLocal(pc, t)
+		sc.lidx[t] = idx
+		sum += 2*int(sc.local[t][idx]) + 1
+	}
+	// Weigh TAGE's own vote; a confident TAGE takes more to override.
+	vote := 8
+	if tageConf {
+		vote = 24
+	}
+	if tagePred {
+		sum += vote
+	} else {
+		sum -= vote
+	}
+	sc.sum = sum
+	scPred := sum >= 0
+	sc.useSC = scPred != tagePred && abs(sum) >= sc.threshold
+	if sc.useSC {
+		return scPred
+	}
+	return tagePred
+}
+
+// update trains the corrector toward the outcome and adapts the override
+// threshold.
+func (sc *statisticalCorrector) update(pc uint64, taken, tagePred bool) {
+	scPred := sc.sum >= 0
+	if scPred != taken || abs(sc.sum) < sc.threshold*4 {
+		bi := int((pc>>2)<<1|boolU64(tagePred)) & ((1 << sc.cfg.SCLogSize) - 1)
+		updateSCCtr(&sc.bias[bi], taken)
+		for i := range sc.global {
+			updateSCCtr(&sc.global[i][sc.indices[i]], taken)
+		}
+		for t := range sc.local {
+			updateSCCtr(&sc.local[t][sc.lidx[t]], taken)
+		}
+	}
+
+	// Threshold adaptation: when SC and TAGE disagree, grow the threshold
+	// if the override was wrong, shrink it if it was right.
+	if scPred != tagePred {
+		if scPred == taken {
+			sc.thresholdC.Update(false)
+		} else {
+			sc.thresholdC.Update(true)
+		}
+		if sc.thresholdC.Value() == sc.thresholdC.Max() {
+			if sc.threshold < 128 {
+				sc.threshold++
+			}
+			sc.thresholdC.Set(0)
+		} else if sc.thresholdC.Value() == sc.thresholdC.Min() {
+			if sc.threshold > 4 {
+				sc.threshold--
+			}
+			sc.thresholdC.Set(0)
+		}
+	}
+
+	sc.hist.Push(taken)
+	if sc.cfg.UseLocal {
+		li := sc.localIndex(pc)
+		sc.localHist[li] = (sc.localHist[li]<<1 | uint32(boolU64(taken))) &
+			((1 << sc.cfg.LocalHistLen) - 1)
+	}
+}
+
+// bits returns the SC storage in bits.
+func (sc *statisticalCorrector) bits() int {
+	bits := len(sc.bias) * int(sc.cfg.SCCtrBits)
+	for i := range sc.global {
+		bits += len(sc.global[i]) * int(sc.cfg.SCCtrBits)
+	}
+	for i := range sc.local {
+		bits += len(sc.local[i]) * int(sc.cfg.SCCtrBits)
+	}
+	bits += len(sc.localHist) * sc.cfg.LocalHistLen
+	return bits
+}
+
+func updateSCCtr(c *int8, taken bool) {
+	if taken {
+		if *c < scCtrMax {
+			*c++
+		}
+	} else if *c > scCtrMin {
+		*c--
+	}
+}
+
+func boolU64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

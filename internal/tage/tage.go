@@ -1,0 +1,240 @@
+package tage
+
+import (
+	"math/rand"
+
+	"branchnet/internal/predictor"
+)
+
+// entry is one tagged-table entry.
+type entry struct {
+	ctr predictor.Counter
+	tag uint32
+	u   predictor.UCounter
+}
+
+// tage is the core TAgged GEometric predictor (no SC, no loop).
+type tage struct {
+	cfg      Config
+	histLens []int
+	tagWidth []uint
+
+	base   []predictor.Counter // bimodal
+	tables [][]entry
+
+	ghr  *predictor.History
+	path *predictor.PathHistory
+
+	foldIdx  []*predictor.FoldedHistory
+	foldTag0 []*predictor.FoldedHistory
+	foldTag1 []*predictor.FoldedHistory
+
+	// useAltOnNA biases toward the alternate prediction when the provider
+	// entry is newly allocated (weak and not yet useful).
+	useAltOnNA predictor.Counter
+
+	updates int
+	rng     *rand.Rand
+
+	// Prediction-time state consumed by update.
+	p lookup
+}
+
+// lookup captures one prediction's table hits.
+type lookup struct {
+	provider  int // table index of the provider, -1 if bimodal
+	alt       int // table index of the alternate, -1 if bimodal
+	idx       []uint64
+	tag       []uint32
+	pred      bool
+	altPred   bool
+	finalPred bool
+	weakEntry bool
+}
+
+func newTAGE(cfg Config, seed int64) *tage {
+	t := &tage{
+		cfg:        cfg,
+		histLens:   cfg.histLengths(),
+		base:       make([]predictor.Counter, 1<<cfg.LogBase),
+		tables:     make([][]entry, cfg.NumTables),
+		ghr:        predictor.NewHistory(cfg.MaxHist + 2),
+		path:       predictor.NewPathHistory(16),
+		useAltOnNA: predictor.NewCounter(4, false),
+		rng:        rand.New(rand.NewSource(seed)),
+	}
+	t.p.idx = make([]uint64, cfg.NumTables)
+	t.p.tag = make([]uint32, cfg.NumTables)
+	for i := range t.base {
+		t.base[i] = predictor.NewCounter(2, false)
+	}
+	t.tagWidth = make([]uint, cfg.NumTables)
+	for i := 0; i < cfg.NumTables; i++ {
+		t.tagWidth[i] = cfg.tagBits(i)
+		t.tables[i] = make([]entry, 1<<cfg.LogTagged)
+		for j := range t.tables[i] {
+			t.tables[i][j] = entry{
+				ctr: predictor.NewCounter(cfg.CtrBits, false),
+				u:   predictor.NewUCounter(cfg.UBits),
+			}
+		}
+		t.foldIdx = append(t.foldIdx, predictor.NewFoldedHistory(t.histLens[i], int(cfg.LogTagged)))
+		w := int(t.tagWidth[i])
+		t.foldTag0 = append(t.foldTag0, predictor.NewFoldedHistory(t.histLens[i], w))
+		t.foldTag1 = append(t.foldTag1, predictor.NewFoldedHistory(t.histLens[i], w-1))
+	}
+	return t
+}
+
+func (t *tage) index(pc uint64, i int) uint64 {
+	h := pc >> 2
+	h ^= h >> (t.cfg.LogTagged - 2)
+	h ^= uint64(t.foldIdx[i].Value())
+	h ^= t.path.Value() >> uint(i&7)
+	return h & ((1 << t.cfg.LogTagged) - 1)
+}
+
+func (t *tage) computeTag(pc uint64, i int) uint32 {
+	h := uint32(pc>>2) ^ t.foldTag0[i].Value() ^ (t.foldTag1[i].Value() << 1)
+	return h & ((1 << t.tagWidth[i]) - 1)
+}
+
+func (t *tage) baseIndex(pc uint64) uint64 {
+	return (pc >> 2) & ((1 << t.cfg.LogBase) - 1)
+}
+
+// predict fills t.p and returns the TAGE prediction.
+func (t *tage) predict(pc uint64) bool {
+	p := &t.p
+	p.provider, p.alt = -1, -1
+	basePred := t.base[t.baseIndex(pc)].Taken()
+	p.pred, p.altPred = basePred, basePred
+
+	for i := 0; i < t.cfg.NumTables; i++ {
+		p.idx[i] = t.index(pc, i)
+		p.tag[i] = t.computeTag(pc, i)
+	}
+	for i := t.cfg.NumTables - 1; i >= 0; i-- {
+		if t.tables[i][p.idx[i]].tag == p.tag[i] {
+			if p.provider < 0 {
+				p.provider = i
+			} else if p.alt < 0 {
+				p.alt = i
+				break
+			}
+		}
+	}
+	if p.provider >= 0 {
+		e := &t.tables[p.provider][p.idx[p.provider]]
+		p.pred = e.ctr.Taken()
+		if p.alt >= 0 {
+			p.altPred = t.tables[p.alt][p.idx[p.alt]].ctr.Taken()
+		}
+		p.weakEntry = e.ctr.Weak() && e.u.Value() == 0
+		if p.weakEntry && t.useAltOnNA.Taken() {
+			p.finalPred = p.altPred
+		} else {
+			p.finalPred = p.pred
+		}
+	} else {
+		p.finalPred = basePred
+	}
+	return p.finalPred
+}
+
+// update trains tables, allocates on mispredictions, and advances
+// histories.
+func (t *tage) update(pc uint64, taken bool) {
+	p := &t.p
+	correct := p.finalPred == taken
+
+	// Track whether the alternate would have been the better choice for
+	// newly allocated entries.
+	if p.provider >= 0 && p.weakEntry && p.pred != p.altPred {
+		t.useAltOnNA.Update(p.altPred == taken)
+	}
+
+	// Allocate on a misprediction if a longer history table might help.
+	if !correct && p.provider < t.cfg.NumTables-1 {
+		t.allocate(pc, taken)
+	}
+
+	// Update the provider (and sometimes the alternate/base).
+	if p.provider >= 0 {
+		e := &t.tables[p.provider][p.idx[p.provider]]
+		e.ctr.Update(taken)
+		// When the provider entry is still weak, also train the
+		// alternate so useful history is not lost.
+		if e.u.Value() == 0 {
+			if p.alt >= 0 {
+				t.tables[p.alt][p.idx[p.alt]].ctr.Update(taken)
+			} else {
+				t.base[t.baseIndex(pc)].Update(taken)
+			}
+		}
+		// Usefulness: provider proved better or worse than alternate.
+		if p.pred != p.altPred {
+			if p.pred == taken {
+				e.u.Inc()
+			} else {
+				e.u.Dec()
+			}
+		}
+	} else {
+		t.base[t.baseIndex(pc)].Update(taken)
+	}
+
+	// Periodic usefulness aging.
+	t.updates++
+	if t.cfg.UResetPeriod > 0 && t.updates%t.cfg.UResetPeriod == 0 {
+		for i := range t.tables {
+			for j := range t.tables[i] {
+				t.tables[i][j].u.Halve()
+			}
+		}
+	}
+
+	// Advance speculative histories.
+	t.ghr.Push(taken)
+	t.path.Push(pc)
+	for i := 0; i < t.cfg.NumTables; i++ {
+		t.foldIdx[i].Update(t.ghr)
+		t.foldTag0[i].Update(t.ghr)
+		t.foldTag1[i].Update(t.ghr)
+	}
+}
+
+// allocate claims up to two entries in tables longer than the provider,
+// starting at a randomized offset (Seznec's anti-ping-pong heuristic).
+func (t *tage) allocate(pc uint64, taken bool) {
+	p := &t.p
+	start := p.provider + 1
+	// Randomly skip up to 2 tables so allocations spread across lengths.
+	start += t.rng.Intn(3)
+	if start >= t.cfg.NumTables {
+		start = t.cfg.NumTables - 1
+	}
+	allocated := 0
+	for i := start; i < t.cfg.NumTables && allocated < 2; i++ {
+		e := &t.tables[i][p.idx[i]]
+		if e.u.Value() == 0 {
+			e.tag = p.tag[i]
+			e.ctr = predictor.NewCounter(t.cfg.CtrBits, taken)
+			e.u.Reset()
+			allocated++
+			i++ // skip the immediately next table after an allocation
+		} else {
+			e.u.Dec()
+		}
+	}
+}
+
+// tageBits returns the storage cost of the TAGE core in bits.
+func (t *tage) tageBits() int {
+	bits := len(t.base) * 2
+	for i := range t.tables {
+		per := int(t.cfg.CtrBits) + int(t.cfg.UBits) + int(t.tagWidth[i])
+		bits += len(t.tables[i]) * per
+	}
+	return bits
+}

@@ -1,0 +1,197 @@
+package tage
+
+import (
+	"testing"
+
+	"branchnet/internal/bench"
+	"branchnet/internal/gshare"
+	"branchnet/internal/predictor"
+	"branchnet/internal/trace"
+)
+
+func TestStorageBudgets(t *testing.T) {
+	p64 := New(TAGESCL64KB(), 1)
+	if bits := p64.Bits(); bits > 64*1024*8 {
+		t.Errorf("64KB config uses %d bits (%.1fKB), over budget", bits, float64(bits)/8192)
+	}
+	if bits := p64.Bits(); bits < 40*1024*8 {
+		t.Errorf("64KB config uses only %.1fKB; suspiciously small", float64(bits)/8192)
+	}
+	p56 := New(TAGESCL56KB(), 1)
+	if bits := p56.Bits(); bits > 56*1024*8 {
+		t.Errorf("56KB config uses %d bits (%.1fKB), over budget", bits, float64(bits)/8192)
+	}
+	if p56.Bits() >= p64.Bits() {
+		t.Error("56KB config should be smaller than 64KB config")
+	}
+	if m := New(MTAGESC(), 1); m.Bits() <= 4*p64.Bits() {
+		t.Error("MTAGE-SC should be much larger than 64KB TAGE-SC-L")
+	}
+}
+
+func TestGeometricHistories(t *testing.T) {
+	cfg := TAGESCL64KB()
+	ls := cfg.histLengths()
+	if len(ls) != cfg.NumTables {
+		t.Fatalf("len = %d, want %d", len(ls), cfg.NumTables)
+	}
+	if ls[0] != cfg.MinHist || ls[len(ls)-1] != cfg.MaxHist {
+		t.Fatalf("endpoints = %d, %d; want %d, %d", ls[0], ls[len(ls)-1], cfg.MinHist, cfg.MaxHist)
+	}
+	for i := 1; i < len(ls); i++ {
+		if ls[i] <= ls[i-1] {
+			t.Fatalf("history lengths not increasing: %v", ls)
+		}
+	}
+	// Roughly geometric: ratio between consecutive in (1, 4).
+	for i := 2; i < len(ls); i++ {
+		r := float64(ls[i]) / float64(ls[i-1])
+		if r > 4 {
+			t.Fatalf("ratio %f too large at %d: %v", r, i, ls)
+		}
+	}
+}
+
+// patternTrace builds a trace where branch 0x40 repeats a fixed
+// direction pattern, padded with a biased branch to exercise history.
+func patternTrace(pattern []bool, reps int) *trace.Trace {
+	tr := &trace.Trace{}
+	for r := 0; r < reps; r++ {
+		for _, d := range pattern {
+			tr.Records = append(tr.Records,
+				trace.Record{PC: 0x80, Taken: true, Gap: 4},
+				trace.Record{PC: 0x40, Taken: d, Gap: 4},
+			)
+		}
+	}
+	return tr
+}
+
+func TestLearnsPeriodicPattern(t *testing.T) {
+	p := New(TAGESCL64KB(), 1)
+	tr := patternTrace([]bool{true, true, false, true, false, false, true}, 600)
+	res := predictor.Evaluate(p, tr)
+	// Evaluate the tail only: re-run the last quarter against the warmed
+	// predictor.
+	tail := &trace.Trace{Records: tr.Records[3*len(tr.Records)/4:]}
+	res = predictor.Evaluate(p, tail)
+	if acc := res.Accuracy(); acc < 0.98 {
+		t.Fatalf("warmed accuracy on periodic pattern = %.3f, want >= 0.98", acc)
+	}
+}
+
+func TestLearnsCorrelation(t *testing.T) {
+	// Branch Y's outcome equals branch X's outcome three branches ago —
+	// a short-history correlation TAGE must capture.
+	p := New(TAGESCL64KB(), 1)
+	tr := &trace.Trace{}
+	rngBit := false
+	hist := []bool{false, false, false}
+	for i := 0; i < 4000; i++ {
+		rngBit = (i*2654435761)%7 < 3 // deterministic pseudo-random
+		tr.Records = append(tr.Records,
+			trace.Record{PC: 0x10, Taken: rngBit, Gap: 3},
+			trace.Record{PC: 0x14, Taken: i%2 == 0, Gap: 3},
+			trace.Record{PC: 0x18, Taken: i%3 == 0, Gap: 3},
+			trace.Record{PC: 0x1c, Taken: hist[0], Gap: 3}, // Y = X three ago
+		)
+		hist = append(hist[1:], rngBit)
+	}
+	predictor.Evaluate(p, tr) // warm
+	res := predictor.Evaluate(p, &trace.Trace{Records: tr.Records[len(tr.Records)/2:]})
+	if acc := res.BranchAccuracy(0x1c); acc < 0.95 {
+		t.Fatalf("correlated branch accuracy = %.3f, want >= 0.95", acc)
+	}
+}
+
+func TestLoopPredictorUnit(t *testing.T) {
+	l := newLoopPredictor(6)
+	const pc = 0x100
+	const trip = 17
+	// Train: loop taken trip-1 times then not-taken, repeatedly. TAGE is
+	// assumed to always predict taken (so the exit is a TAGE miss, which
+	// triggers allocation).
+	miss := 0
+	total := 0
+	for rep := 0; rep < 50; rep++ {
+		for i := 0; i < trip; i++ {
+			taken := i+1 < trip
+			pred, valid := l.predict(pc)
+			if rep > 20 { // after warmup
+				total++
+				if !valid || pred != taken {
+					miss++
+				}
+			}
+			l.update(pc, taken, true)
+		}
+	}
+	if miss > 0 {
+		t.Fatalf("loop predictor missed %d/%d after warmup", miss, total)
+	}
+}
+
+func TestNoisyHistoryIsHardForTAGE(t *testing.T) {
+	// Reproduces the Section IV claim: TAGE-SC-L predicts Branch B only
+	// slightly better than always-not-taken, far from the CNN's ~100%.
+	prog := bench.NoisyHistory()
+	in := bench.NoisyInput("test", 900, 5, 10, 0.5)
+	tr := prog.Generate(in, 120000)
+	p := New(TAGESCL64KB(), 1)
+	predictor.Evaluate(p, &trace.Trace{Records: tr.Records[:len(tr.Records)/2]})
+	res := predictor.Evaluate(p, &trace.Trace{Records: tr.Records[len(tr.Records)/2:]})
+	acc := res.BranchAccuracy(bench.NoisyPCB)
+	if acc > 0.95 {
+		t.Fatalf("TAGE-SC-L accuracy on Branch B = %.3f; the noisy history should defeat it", acc)
+	}
+	if acc < 0.5 {
+		t.Fatalf("TAGE-SC-L accuracy on Branch B = %.3f; should at least beat a coin", acc)
+	}
+}
+
+func TestTAGEBeatsGshareOnLeela(t *testing.T) {
+	prog := bench.Leela()
+	tr := prog.Generate(prog.Inputs(bench.Test)[0], 60000)
+	tage := New(TAGESCL64KB(), 1)
+	gs := gshare.Default4KB()
+	accT := predictor.Evaluate(tage, tr).Accuracy()
+	accG := predictor.Evaluate(gs, tr).Accuracy()
+	if accT <= accG {
+		t.Fatalf("TAGE-SC-L (%.4f) should beat gshare (%.4f)", accT, accG)
+	}
+}
+
+func TestMTAGEBeats64KBOnLeela(t *testing.T) {
+	prog := bench.Leela()
+	tr := prog.Generate(prog.Inputs(bench.Test)[0], 80000)
+	small := New(TAGESCL64KB(), 1)
+	big := New(MTAGESC(), 1)
+	accS := predictor.Evaluate(small, tr).Accuracy()
+	accB := predictor.Evaluate(big, tr).Accuracy()
+	if accB < accS-0.002 {
+		t.Fatalf("MTAGE-SC (%.4f) should not lose to 64KB TAGE-SC-L (%.4f)", accB, accS)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	prog := bench.MCF()
+	tr := prog.Generate(prog.Inputs(bench.Test)[0], 20000)
+	a := predictor.Evaluate(New(TAGESCL64KB(), 7), tr)
+	b := predictor.Evaluate(New(TAGESCL64KB(), 7), tr)
+	if a.Mispredicts != b.Mispredicts {
+		t.Fatalf("nondeterministic: %d vs %d mispredicts", a.Mispredicts, b.Mispredicts)
+	}
+}
+
+func TestAblationOrdering(t *testing.T) {
+	// GTAGE (no SC, no loop) should not beat the full MTAGE-SC on a
+	// workload with statistically biased branches.
+	prog := bench.XZ()
+	tr := prog.Generate(prog.Inputs(bench.Test)[0], 60000)
+	full := predictor.Evaluate(New(MTAGESC(), 1), tr)
+	gt := predictor.Evaluate(New(GTAGE(), 1), tr)
+	if float64(gt.Mispredicts) < float64(full.Mispredicts)*0.95 {
+		t.Fatalf("GTAGE (%d) beats full MTAGE-SC (%d) by >5%%; component study broken",
+			gt.Mispredicts, full.Mispredicts)
+	}
+}

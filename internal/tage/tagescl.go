@@ -1,0 +1,86 @@
+package tage
+
+import "branchnet/internal/predictor"
+
+// Predictor is the composite TAGE-SC-L predictor. It satisfies
+// predictor.Predictor with the Predict-then-Update contract.
+type Predictor struct {
+	cfg  Config
+	tage *tage
+	loop *loopPredictor
+	sc   *statisticalCorrector
+
+	// Prediction-time state.
+	tagePred  bool
+	loopPred  bool
+	loopValid bool
+	finalPred bool
+}
+
+var _ predictor.Predictor = (*Predictor)(nil)
+
+// New builds a predictor from a configuration. The seed drives TAGE's
+// randomized allocation start (hardware uses a small LFSR).
+func New(cfg Config, seed int64) *Predictor {
+	p := &Predictor{cfg: cfg, tage: newTAGE(cfg, seed)}
+	if cfg.UseLoop {
+		p.loop = newLoopPredictor(6)
+	}
+	if cfg.UseSC {
+		p.sc = newSC(cfg)
+	}
+	return p
+}
+
+// Predict implements predictor.Predictor.
+func (p *Predictor) Predict(pc uint64) bool {
+	p.tagePred = p.tage.predict(pc)
+	pred := p.tagePred
+
+	if p.sc != nil {
+		conf := false
+		if p.tage.p.provider >= 0 {
+			e := &p.tage.tables[p.tage.p.provider][p.tage.p.idx[p.tage.p.provider]]
+			conf = !e.ctr.Weak()
+		}
+		pred = p.sc.predict(pc, p.tagePred, conf)
+	}
+
+	if p.loop != nil {
+		p.loopPred, p.loopValid = p.loop.predict(pc)
+		if p.loopValid {
+			pred = p.loopPred
+		}
+	}
+	p.finalPred = pred
+	return pred
+}
+
+// Update implements predictor.Predictor.
+func (p *Predictor) Update(pc uint64, taken bool) {
+	if p.loop != nil {
+		p.loop.update(pc, taken, p.tagePred)
+	}
+	if p.sc != nil {
+		p.sc.update(pc, taken, p.tagePred)
+	}
+	p.tage.update(pc, taken)
+}
+
+// Name implements predictor.Predictor.
+func (p *Predictor) Name() string { return p.cfg.Name }
+
+// Bits implements predictor.Predictor.
+func (p *Predictor) Bits() int {
+	bits := p.tage.tageBits()
+	if p.loop != nil {
+		bits += p.loop.bits()
+	}
+	if p.sc != nil {
+		bits += p.sc.bits()
+	}
+	return bits
+}
+
+// Config returns the predictor's configuration.
+func (p *Predictor) Config() Config { return p.cfg }

@@ -1,0 +1,59 @@
+package tarsa
+
+import (
+	"testing"
+
+	"branchnet/internal/bench"
+	"branchnet/internal/branchnet"
+)
+
+func TestConstants(t *testing.T) {
+	if StorageBits(MaxBranches) != int(5.125*1024*8)*29 {
+		t.Fatal("storage constant drifted from Table I")
+	}
+	cfg := Float(true)
+	if cfg.Quantize {
+		t.Fatal("Tarsa-Float must stay floating point")
+	}
+	if cfg.MaxModels != MaxBranches {
+		t.Fatalf("MaxModels = %d, want %d", cfg.MaxModels, MaxBranches)
+	}
+}
+
+func TestTernarizeDegradesGracefully(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	// Train a Tarsa model on the microbenchmark, ternarize, and check the
+	// Fig. 11 ordering in miniature: float >= ternary, ternary still above
+	// static bias. Tarsa's single 160-deep slice without pooling can
+	// partially capture the counting branch.
+	k := branchnet.TarsaKnobsQuick()
+	prog := bench.NoisyHistory()
+	window := k.WindowTokens()
+	trainTrace := prog.Generate(bench.NoisyInput("train3", 300, 1, 4, 0.5), 300000)
+	testTrace := prog.Generate(bench.NoisyInput("test", 555, 5, 10, 0.6), 30000)
+	trainDS := branchnet.Extract(trainTrace, []uint64{bench.NoisyPCB}, window, k.PCBits)[bench.NoisyPCB]
+	testDS := branchnet.Extract(testTrace, []uint64{bench.NoisyPCB}, window, k.PCBits)[bench.NoisyPCB]
+
+	m := branchnet.New(k, bench.NoisyPCB, 1)
+	opts := branchnet.DefaultTrainOpts()
+	opts.Epochs = 5
+	m.Train(trainDS, opts)
+	floatAcc := m.Accuracy(testDS)
+	m.Ternarize()
+	ternAcc := m.Accuracy(testDS)
+
+	bias := testDS.TakenRate()
+	if bias > 0.5 {
+		bias = 1 - bias
+	}
+	baseline := 1 - bias
+	t.Logf("tarsa float=%.4f ternary=%.4f bias=%.4f", floatAcc, ternAcc, baseline)
+	if ternAcc > floatAcc+0.02 {
+		t.Errorf("ternary (%.4f) should not beat float (%.4f)", ternAcc, floatAcc)
+	}
+	if ternAcc < baseline-0.05 {
+		t.Errorf("ternary accuracy %.4f collapsed below static bias %.4f", ternAcc, baseline)
+	}
+}

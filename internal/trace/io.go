@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Binary trace format ("BNT1"): a small, stream-friendly encoding so traces
+// can be generated once by cmd/tracegen and replayed by cmd/branchnet-sim.
+//
+//	magic   [4]byte  "BNT1"
+//	count   uvarint  number of records
+//	records count times:
+//	    pcDelta  varint   (pc - previous pc, zig-zag encoded by binary.PutVarint)
+//	    meta     uvarint  (gap << 1 | taken)
+//
+// Delta-encoding PCs keeps files compact because consecutive branches tend
+// to be near each other in the synthetic programs, mirroring real code.
+
+var magic = [4]byte{'B', 'N', 'T', '1'}
+
+// WriteTo encodes the trace in the binary format.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	n, err := bw.Write(magic[:])
+	written += int64(n)
+	if err != nil {
+		return written, err
+	}
+	var buf [2 * binary.MaxVarintLen64]byte
+	k := binary.PutUvarint(buf[:], uint64(len(t.Records)))
+	n, err = bw.Write(buf[:k])
+	written += int64(n)
+	if err != nil {
+		return written, err
+	}
+	prevPC := uint64(0)
+	for i := range t.Records {
+		r := &t.Records[i]
+		k = binary.PutVarint(buf[:], int64(r.PC)-int64(prevPC))
+		meta := uint64(r.Gap) << 1
+		if r.Taken {
+			meta |= 1
+		}
+		k += binary.PutUvarint(buf[k:], meta)
+		n, err = bw.Write(buf[:k])
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
+		prevPC = r.PC
+	}
+	return written, bw.Flush()
+}
+
+// ReadTrace decodes a trace written by WriteTo.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, errors.New("trace: bad magic, not a BNT1 trace")
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading count: %w", err)
+	}
+	const maxRecords = 1 << 30
+	if count > maxRecords {
+		return nil, fmt.Errorf("trace: implausible record count %d", count)
+	}
+	t := &Trace{Records: make([]Record, 0, count)}
+	prevPC := uint64(0)
+	for i := uint64(0); i < count; i++ {
+		d, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d pc: %w", i, err)
+		}
+		meta, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d meta: %w", i, err)
+		}
+		pc := uint64(int64(prevPC) + d)
+		t.Records = append(t.Records, Record{
+			PC:    pc,
+			Taken: meta&1 == 1,
+			Gap:   uint32(meta >> 1),
+		})
+		prevPC = pc
+	}
+	return t, nil
+}
+
+// WriteFile writes the trace to path, creating or truncating it.
+func (t *Trace) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := t.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a trace file written by WriteFile.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTrace(f)
+}

@@ -1,0 +1,100 @@
+package trace
+
+import "sort"
+
+// BranchStats summarizes one static branch within a trace or a set of
+// weighted traces.
+type BranchStats struct {
+	PC          uint64
+	Count       uint64  // dynamic executions
+	TakenCount  uint64  // dynamic taken executions
+	Mispredicts float64 // weighted mispredictions (filled by an evaluation)
+}
+
+// Bias returns the taken rate of the branch.
+func (b BranchStats) Bias() float64 {
+	if b.Count == 0 {
+		return 0
+	}
+	return float64(b.TakenCount) / float64(b.Count)
+}
+
+// Profile holds per-static-branch statistics for a trace.
+type Profile struct {
+	Branches map[uint64]*BranchStats
+	Instrs   uint64
+}
+
+// NewProfile computes execution statistics for every static branch in tr.
+func NewProfile(tr *Trace) *Profile {
+	p := &Profile{Branches: make(map[uint64]*BranchStats), Instrs: tr.Instructions()}
+	for i := range tr.Records {
+		r := &tr.Records[i]
+		bs := p.Branches[r.PC]
+		if bs == nil {
+			bs = &BranchStats{PC: r.PC}
+			p.Branches[r.PC] = bs
+		}
+		bs.Count++
+		if r.Taken {
+			bs.TakenCount++
+		}
+	}
+	return p
+}
+
+// StaticBranches returns the number of distinct branch PCs.
+func (p *Profile) StaticBranches() int { return len(p.Branches) }
+
+// TopByMispredicts returns up to n branches sorted by descending weighted
+// misprediction count. Mispredicts must have been filled in by an evaluation
+// pass (see the experiments package); ties break by PC for determinism.
+func (p *Profile) TopByMispredicts(n int) []*BranchStats {
+	out := make([]*BranchStats, 0, len(p.Branches))
+	for _, bs := range p.Branches {
+		out = append(out, bs)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Mispredicts != out[j].Mispredicts {
+			return out[i].Mispredicts > out[j].Mispredicts
+		}
+		return out[i].PC < out[j].PC
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// MPKI converts a misprediction count to mispredictions per kilo-instruction
+// for a run of instrs instructions.
+func MPKI(mispredicts float64, instrs uint64) float64 {
+	if instrs == 0 {
+		return 0
+	}
+	return mispredicts * 1000 / float64(instrs)
+}
+
+// Weighted is a trace with a SimPoint-style weight attached.
+type Weighted struct {
+	Trace  *Trace
+	Weight float64
+}
+
+// WeightedMPKI combines per-region misprediction counts into a single MPKI
+// figure following SimPoint methodology: each region's MPKI is weighted by
+// the region weight, with weights normalized to sum to one.
+func WeightedMPKI(regions []Weighted, mispredicts []float64) float64 {
+	if len(regions) != len(mispredicts) {
+		panic("trace: regions and mispredicts length mismatch")
+	}
+	var sumW, sum float64
+	for i, r := range regions {
+		sumW += r.Weight
+		sum += r.Weight * MPKI(mispredicts[i], r.Trace.Instructions())
+	}
+	if sumW == 0 {
+		return 0
+	}
+	return sum / sumW
+}

@@ -1,0 +1,110 @@
+// Package trace defines the branch/instruction event stream shared by every
+// component in the repository: workload generators produce traces, branch
+// predictors consume them, and the experiment harness aggregates their
+// statistics (MPKI, per-branch accuracy, SimPoint-weighted averages).
+//
+// A trace is a sequence of conditional-branch records. Each record carries
+// the branch PC, its resolved direction, and the number of non-branch
+// instructions retired since the previous record, which is what makes
+// mispredictions-per-kilo-instruction (MPKI) accounting possible.
+package trace
+
+// Record is one dynamic conditional branch in a trace.
+type Record struct {
+	// PC is the address of the branch instruction. Workloads assign a
+	// stable PC to every static branch so that predictors and offline
+	// training can key state by PC.
+	PC uint64
+	// Taken is the resolved direction.
+	Taken bool
+	// Gap is the number of non-branch instructions retired immediately
+	// before this branch. The total instruction count of a trace is
+	// sum(Gap) + len(records): every branch itself counts as one
+	// instruction.
+	Gap uint32
+}
+
+// Trace is an in-memory branch trace.
+type Trace struct {
+	Records []Record
+}
+
+// Instructions returns the total number of retired instructions represented
+// by the trace (branches plus the gaps between them).
+func (t *Trace) Instructions() uint64 {
+	n := uint64(len(t.Records))
+	for i := range t.Records {
+		n += uint64(t.Records[i].Gap)
+	}
+	return n
+}
+
+// Branches returns the number of dynamic conditional branches.
+func (t *Trace) Branches() int { return len(t.Records) }
+
+// Emitter receives workload events as a program executes. Collector is the
+// canonical implementation; the pipeline model implements it too so that
+// workloads can drive cycle simulation directly.
+type Emitter interface {
+	// Branch records the execution of a conditional branch.
+	Branch(pc uint64, taken bool)
+	// Instr advances the retired-instruction count by n non-branch
+	// instructions.
+	Instr(n int)
+}
+
+// Collector accumulates emitted events into a Trace.
+type Collector struct {
+	tr  Trace
+	gap uint32
+	// Limit, when non-zero, stops collection after Limit branch records;
+	// further events are dropped. Workloads poll Full to stop early.
+	Limit int
+}
+
+// NewCollector returns a Collector with an optional branch-count limit
+// (limit <= 0 means unlimited).
+func NewCollector(limit int) *Collector {
+	return &Collector{Limit: limit}
+}
+
+// Branch implements Emitter.
+func (c *Collector) Branch(pc uint64, taken bool) {
+	if c.Full() {
+		return
+	}
+	c.tr.Records = append(c.tr.Records, Record{PC: pc, Taken: taken, Gap: c.gap})
+	c.gap = 0
+}
+
+// Instr implements Emitter.
+func (c *Collector) Instr(n int) {
+	if c.Full() || n <= 0 {
+		return
+	}
+	c.gap += uint32(n)
+}
+
+// Full reports whether the collector reached its branch limit.
+func (c *Collector) Full() bool {
+	return c.Limit > 0 && len(c.tr.Records) >= c.Limit
+}
+
+// Trace returns the collected trace. The collector must not be reused after
+// calling Trace.
+func (c *Collector) Trace() *Trace {
+	tr := c.tr
+	c.tr = Trace{}
+	return &tr
+}
+
+// Token packs a branch into the integer alphabet used by BranchNet inputs:
+// the low pcBits bits of the PC concatenated with the direction bit
+// (pc<<1 | taken). Tokens range over [0, 2^(pcBits+1)).
+func Token(pc uint64, taken bool, pcBits uint) uint32 {
+	tok := uint32(pc&((1<<pcBits)-1)) << 1
+	if taken {
+		tok |= 1
+	}
+	return tok
+}

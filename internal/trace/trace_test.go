@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestCollectorCountsInstructions(t *testing.T) {
+	c := NewCollector(0)
+	c.Instr(5)
+	c.Branch(0x100, true)
+	c.Instr(3)
+	c.Branch(0x104, false)
+	tr := c.Trace()
+	if got, want := tr.Branches(), 2; got != want {
+		t.Fatalf("Branches() = %d, want %d", got, want)
+	}
+	if got, want := tr.Instructions(), uint64(5+3+2); got != want {
+		t.Fatalf("Instructions() = %d, want %d", got, want)
+	}
+	if tr.Records[0].Gap != 5 || tr.Records[1].Gap != 3 {
+		t.Fatalf("gaps = %d,%d, want 5,3", tr.Records[0].Gap, tr.Records[1].Gap)
+	}
+}
+
+func TestCollectorLimit(t *testing.T) {
+	c := NewCollector(3)
+	for i := 0; i < 10; i++ {
+		c.Branch(uint64(i), i%2 == 0)
+	}
+	if !c.Full() {
+		t.Fatal("collector should be full")
+	}
+	if got := c.Trace().Branches(); got != 3 {
+		t.Fatalf("Branches() = %d, want 3", got)
+	}
+}
+
+func TestTokenPacking(t *testing.T) {
+	tests := []struct {
+		pc     uint64
+		taken  bool
+		pcBits uint
+		want   uint32
+	}{
+		{0, false, 12, 0},
+		{0, true, 12, 1},
+		{0xabc, false, 12, 0xabc << 1},
+		{0xfabc, true, 12, 0xabc<<1 | 1}, // high bits masked off
+		{0x7f, true, 7, 0x7f<<1 | 1},
+		{0xff, true, 7, 0x7f<<1 | 1},
+	}
+	for _, tt := range tests {
+		if got := Token(tt.pc, tt.taken, tt.pcBits); got != tt.want {
+			t.Errorf("Token(%#x,%v,%d) = %#x, want %#x", tt.pc, tt.taken, tt.pcBits, got, tt.want)
+		}
+	}
+}
+
+func TestTokenRange(t *testing.T) {
+	f := func(pc uint64, taken bool) bool {
+		tok := Token(pc, taken, 12)
+		return tok < 1<<13
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripIO(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := &Trace{}
+	pc := uint64(0x400000)
+	for i := 0; i < 5000; i++ {
+		pc += uint64(rng.Intn(64)) - 16
+		tr.Records = append(tr.Records, Record{
+			PC:    pc,
+			Taken: rng.Intn(2) == 0,
+			Gap:   uint32(rng.Intn(30)),
+		})
+	}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if !reflect.DeepEqual(tr.Records, got.Records) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewReader([]byte("not a trace file"))); err == nil {
+		t.Fatal("expected error for bad magic")
+	}
+	if _, err := ReadTrace(bytes.NewReader(nil)); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+}
+
+func TestProfile(t *testing.T) {
+	tr := &Trace{Records: []Record{
+		{PC: 1, Taken: true, Gap: 10},
+		{PC: 1, Taken: false, Gap: 10},
+		{PC: 2, Taken: true, Gap: 10},
+		{PC: 1, Taken: true, Gap: 10},
+	}}
+	p := NewProfile(tr)
+	if got := p.StaticBranches(); got != 2 {
+		t.Fatalf("StaticBranches = %d, want 2", got)
+	}
+	b1 := p.Branches[1]
+	if b1.Count != 3 || b1.TakenCount != 2 {
+		t.Fatalf("branch 1 stats = %+v", b1)
+	}
+	if got, want := b1.Bias(), 2.0/3.0; got != want {
+		t.Fatalf("Bias = %v, want %v", got, want)
+	}
+	if got, want := p.Instrs, uint64(44); got != want {
+		t.Fatalf("Instrs = %d, want %d", got, want)
+	}
+}
+
+func TestTopByMispredicts(t *testing.T) {
+	p := &Profile{Branches: map[uint64]*BranchStats{
+		1: {PC: 1, Mispredicts: 5},
+		2: {PC: 2, Mispredicts: 50},
+		3: {PC: 3, Mispredicts: 5},
+		4: {PC: 4, Mispredicts: 0},
+	}}
+	top := p.TopByMispredicts(3)
+	if len(top) != 3 {
+		t.Fatalf("len = %d, want 3", len(top))
+	}
+	if top[0].PC != 2 {
+		t.Fatalf("top[0].PC = %d, want 2", top[0].PC)
+	}
+	// Ties break by ascending PC for determinism.
+	if top[1].PC != 1 || top[2].PC != 3 {
+		t.Fatalf("tie order = %d,%d, want 1,3", top[1].PC, top[2].PC)
+	}
+}
+
+func TestMPKI(t *testing.T) {
+	if got := MPKI(50, 10000); got != 5 {
+		t.Fatalf("MPKI = %v, want 5", got)
+	}
+	if got := MPKI(50, 0); got != 0 {
+		t.Fatalf("MPKI with zero instrs = %v, want 0", got)
+	}
+}
+
+func TestWeightedMPKI(t *testing.T) {
+	mk := func(n int) *Trace {
+		tr := &Trace{}
+		for i := 0; i < n; i++ {
+			tr.Records = append(tr.Records, Record{PC: 1, Gap: 9}) // 10 instrs per record
+		}
+		return tr
+	}
+	regions := []Weighted{
+		{Trace: mk(100), Weight: 0.25}, // 1000 instrs
+		{Trace: mk(100), Weight: 0.75},
+	}
+	// Region MPKIs: 10 and 20 -> weighted 0.25*10 + 0.75*20 = 17.5.
+	got := WeightedMPKI(regions, []float64{10, 20})
+	if got != 17.5 {
+		t.Fatalf("WeightedMPKI = %v, want 17.5", got)
+	}
+}
