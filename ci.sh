@@ -1,0 +1,11 @@
+#!/bin/sh
+# CI gate: vet, build, then the short test suite under the race detector.
+# The experiment runner fans work out across goroutines (worker pools +
+# single-flight caches), so -race is mandatory on every PR; -short skips
+# the long training experiments while still covering the cache, extraction,
+# and attach-filter logic they rely on.
+set -eux
+
+go vet ./...
+go build ./...
+go test -short -race ./...

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	branchnet-bench [-mode quick|full] [-fig 1|3|4|9|10|11|12|13] [-table 1|2|3|4]
+//	branchnet-bench [-mode quick|full] [-parallel N] [-fig 1|3|4|9|10|11|12|13] [-table 1|2|3|4]
 //	branchnet-bench -all
 //
 // Without -fig/-table/-all it prints the static tables (I, II, III), which
@@ -15,10 +15,23 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	"branchnet/internal/experiments"
 )
+
+// namedJob is one table/figure regeneration of the -all suite.
+type namedJob struct {
+	name string
+	f    func() experiments.Table
+}
+
+// result is a finished job's rendered table and wall-clock cost.
+type result struct {
+	table   experiments.Table
+	elapsed time.Duration
+}
 
 func main() {
 	log.SetFlags(0)
@@ -30,6 +43,7 @@ func main() {
 	all := flag.Bool("all", false, "regenerate every table and figure")
 	ablations := flag.Bool("ablations", false, "run the design-choice ablation study")
 	benchmarks := flag.String("benchmarks", "", "comma-separated benchmark subset (default: all)")
+	parallel := flag.Int("parallel", 0, "worker-pool width for per-benchmark fan-out and the -all figure suite (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	var m experiments.Mode
@@ -45,12 +59,43 @@ func main() {
 		m.Benchmarks = splitComma(*benchmarks)
 	}
 	ctx := experiments.NewContext(m)
+	ctx.Parallel = *parallel
+	width := *parallel
+	if width <= 0 {
+		width = runtime.GOMAXPROCS(0)
+	}
 
 	run := func(name string, f func() experiments.Table) {
 		start := time.Now()
 		t := f()
 		fmt.Println(t.String())
 		log.Printf("%s done in %s", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	// runAll fans the whole suite out across the worker pool; the shared
+	// single-flight caches in the context keep concurrent experiments from
+	// duplicating trace generation, training, or baseline evaluation.
+	// Output stays in suite order: each job's table is printed as soon as
+	// it and every job before it have finished.
+	runAll := func(jobs []namedJob) {
+		done := make([]chan result, len(jobs))
+		for i := range done {
+			done[i] = make(chan result, 1)
+		}
+		sem := make(chan struct{}, width)
+		for i, j := range jobs {
+			go func(i int, j namedJob) {
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				start := time.Now()
+				done[i] <- result{table: j.f(), elapsed: time.Since(start)}
+			}(i, j)
+		}
+		for i, j := range jobs {
+			r := <-done[i]
+			fmt.Println(r.table.String())
+			log.Printf("%s done in %s", j.name, r.elapsed.Round(time.Millisecond))
+		}
 	}
 
 	figs := map[int]func() experiments.Table{
@@ -74,14 +119,16 @@ func main() {
 	case *ablations:
 		run("ablations", func() experiments.Table { _, t := experiments.Ablations(ctx); return t })
 	case *all:
+		var jobs []namedJob
 		for _, i := range []int{1, 2, 3} {
-			run(fmt.Sprintf("table %d", i), tables[i])
+			jobs = append(jobs, namedJob{fmt.Sprintf("table %d", i), tables[i]})
 		}
 		for _, i := range []int{1, 3, 4, 9, 10, 11, 12, 13} {
-			run(fmt.Sprintf("fig %d", i), figs[i])
+			jobs = append(jobs, namedJob{fmt.Sprintf("fig %d", i), figs[i]})
 		}
-		run("table 4", tables[4])
-		run("ablations", func() experiments.Table { _, t := experiments.Ablations(ctx); return t })
+		jobs = append(jobs, namedJob{"table 4", tables[4]})
+		jobs = append(jobs, namedJob{"ablations", func() experiments.Table { _, t := experiments.Ablations(ctx); return t }})
+		runAll(jobs)
 	case *fig != 0:
 		f, ok := figs[*fig]
 		if !ok {

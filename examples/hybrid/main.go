@@ -35,14 +35,17 @@ func main() {
 	validTrace := prog.Generate(prog.Inputs(bench.Validation)[0], 120000)
 
 	// Train Mini-BranchNet candidates at two storage budgets and pack
-	// them into a (scaled) iso-latency engine plan.
+	// them into a (scaled) iso-latency engine plan. Both budgets train
+	// against the same baseline, so the step-1 validation pass is
+	// evaluated once and shared.
 	start := time.Now()
+	valid := branchnet.EvalValidation(newBase, validTrace)
 	perBudget := make(map[int][]*branchnet.Attached)
 	for _, budget := range []int{1024, 256} {
 		cfg := branchnet.DefaultOfflineConfig(branchnet.MiniQuick(budget))
 		cfg.TopBranches = 10
 		cfg.Train.Epochs = 4
-		perBudget[budget] = branchnet.TrainOffline(cfg, trainTraces, validTrace, newBase)
+		perBudget[budget] = branchnet.TrainOfflineWith(cfg, trainTraces, validTrace, newBase, valid)
 		log.Printf("budget %4dB: %d candidate models", budget, len(perBudget[budget]))
 	}
 	plan := hybrid.IsoLatency32KB().Scale(1, 4)

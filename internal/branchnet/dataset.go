@@ -12,6 +12,15 @@ import (
 type Example struct {
 	History []uint32
 	Taken   bool
+	// Count is the global branch counter at prediction time (the record
+	// index within the source trace). The engine's sliding pooling windows
+	// align to this free-running counter, so attach-time validation must
+	// replay the same phase the deployed hybrid would see.
+	Count uint64
+	// Occurrence is this branch's 0-based dynamic occurrence index in the
+	// source trace, used to match the example against a baseline
+	// correctness log over the same trace.
+	Occurrence uint64
 }
 
 // Dataset is a set of examples for one static branch.
@@ -95,7 +104,12 @@ func ExtractCapped(tr *trace.Trace, pcs []uint64, window int, pcBits uint, maxPe
 					}
 					hist[j] = ring[idx]
 				}
-				ds.Examples = append(ds.Examples, Example{History: hist, Taken: r.Taken})
+				ds.Examples = append(ds.Examples, Example{
+					History:    hist,
+					Taken:      r.Taken,
+					Count:      uint64(i),
+					Occurrence: uint64(seen[r.PC] - 1),
+				})
 			}
 		}
 		ring[pos] = trace.Token(r.PC, r.Taken, pcBits)
@@ -108,7 +122,9 @@ func ExtractCapped(tr *trace.Trace, pcs []uint64, window int, pcBits uint, maxPe
 }
 
 // Merge concatenates datasets for the same branch (e.g. across the traces
-// of several training inputs).
+// of several training inputs). Count/Occurrence stay relative to each
+// example's source trace, so merged sets are suitable for training but not
+// for occurrence-matched validation against a single-trace baseline log.
 func Merge(sets ...*Dataset) *Dataset {
 	if len(sets) == 0 {
 		return &Dataset{}

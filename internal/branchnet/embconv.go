@@ -1,0 +1,157 @@
+package branchnet
+
+import "branchnet/internal/nn"
+
+// embConv runs the Embedding -> Conv1D pair of a true-convolution slice as
+// one fused operation over token sequences. It reuses the two layers'
+// parameters (so initialization, Adam state, serialization and
+// quantization are untouched) but exploits that a batch contains few
+// distinct tokens — synthetic traces have a handful of static branches —
+// while the layered path pays the full K*In*Out multiply at every
+// position:
+//
+//	forward:  P[v][k][o] = sum_in E[v][in] * W[k][in][o]   (per distinct v)
+//	          y[t][o]    = B[o] + sum_k P[token[t+k-K/2]][k][o]
+//	backward: Gsum[v][k][o] = sum over positions with token v of dy
+//	          dW[k][in][o] += sum_v E[v][in] * Gsum[v][k][o]
+//	          dE[v][in]    += sum_k,o W[k][in][o] * Gsum[v][k][o]
+//
+// Both directions are exact regroupings of the layered computation (the
+// sums are re-associated, so float32 rounding differs in the last bits).
+type embConv struct {
+	emb  *nn.Embedding
+	conv *nn.Conv1D
+
+	lastTokens [][]int32
+	// Distinct-token index of the last forward: idx[v] is the dense index
+	// of token v (-1 when absent), distinct the reverse mapping.
+	idx      []int32
+	distinct []int32
+}
+
+func newEmbConv(emb *nn.Embedding, conv *nn.Conv1D) *embConv {
+	return &embConv{emb: emb, conv: conv}
+}
+
+// index builds the distinct-token table for a batch.
+func (ec *embConv) index(tokens [][]int32) {
+	if ec.idx == nil {
+		ec.idx = make([]int32, ec.emb.Vocab)
+	}
+	for i := range ec.idx {
+		ec.idx[i] = -1
+	}
+	ec.distinct = ec.distinct[:0]
+	for _, seq := range tokens {
+		for _, tok := range seq {
+			if ec.idx[tok] < 0 {
+				ec.idx[tok] = int32(len(ec.distinct))
+				ec.distinct = append(ec.distinct, tok)
+			}
+		}
+	}
+}
+
+// Forward computes conv(embed(tokens)) for a batch of equal-length token
+// sequences.
+func (ec *embConv) Forward(tokens [][]int32) *nn.Tensor {
+	ec.lastTokens = tokens
+	ec.index(tokens)
+	in, out, k := ec.conv.In, ec.conv.Out, ec.conv.K
+	half := k / 2
+
+	// Per-batch token table: contributions of every distinct token at
+	// every filter tap.
+	p := make([]float32, len(ec.distinct)*k*out)
+	for di, v := range ec.distinct {
+		e := ec.emb.Table.W[int(v)*in : int(v)*in+in]
+		for ki := 0; ki < k; ki++ {
+			w := ec.conv.W.W[ki*in*out:]
+			dst := p[(di*k+ki)*out : (di*k+ki)*out+out]
+			for i := 0; i < in; i++ {
+				ev := e[i]
+				if ev == 0 {
+					continue
+				}
+				ws := w[i*out : i*out+out]
+				for o := 0; o < out; o++ {
+					dst[o] += ev * ws[o]
+				}
+			}
+		}
+	}
+
+	b := len(tokens)
+	l := len(tokens[0])
+	y := nn.NewTensor(b, l, out)
+	bias := ec.conv.B.W
+	for bi, seq := range tokens {
+		for t := 0; t < l; t++ {
+			dst := y.Row(bi, t)
+			copy(dst, bias)
+			for ki := 0; ki < k; ki++ {
+				src := t + ki - half
+				if src < 0 || src >= l {
+					continue
+				}
+				di := ec.idx[seq[src]]
+				tt := p[(int(di)*k+ki)*out : (int(di)*k+ki)*out+out]
+				for o := 0; o < out; o++ {
+					dst[o] += tt[o]
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Backward accumulates embedding and convolution gradients from dy.
+func (ec *embConv) Backward(dy *nn.Tensor) {
+	in, out, k := ec.conv.In, ec.conv.Out, ec.conv.K
+	half := k / 2
+	l := dy.L
+
+	// Group output gradients by (distinct token, tap).
+	gsum := make([]float32, len(ec.distinct)*k*out)
+	bg := ec.conv.B.G
+	for bi, seq := range ec.lastTokens {
+		for t := 0; t < l; t++ {
+			g := dy.Row(bi, t)
+			for o := 0; o < out; o++ {
+				bg[o] += g[o]
+			}
+			for ki := 0; ki < k; ki++ {
+				src := t + ki - half
+				if src < 0 || src >= l {
+					continue
+				}
+				di := ec.idx[seq[src]]
+				gs := gsum[(int(di)*k+ki)*out : (int(di)*k+ki)*out+out]
+				for o := 0; o < out; o++ {
+					gs[o] += g[o]
+				}
+			}
+		}
+	}
+
+	// Expand the grouped sums into weight and embedding gradients.
+	for di, v := range ec.distinct {
+		e := ec.emb.Table.W[int(v)*in : int(v)*in+in]
+		eg := ec.emb.Table.G[int(v)*in : int(v)*in+in]
+		for ki := 0; ki < k; ki++ {
+			gs := gsum[(di*k+ki)*out : (di*k+ki)*out+out]
+			wOff := ki * in * out
+			for i := 0; i < in; i++ {
+				ws := ec.conv.W.W[wOff+i*out : wOff+i*out+out]
+				gws := ec.conv.W.G[wOff+i*out : wOff+i*out+out]
+				ev := e[i]
+				var acc float32
+				for o := 0; o < out; o++ {
+					gws[o] += ev * gs[o]
+					acc += ws[o] * gs[o]
+				}
+				eg[i] += acc
+			}
+		}
+	}
+}

@@ -1,0 +1,287 @@
+package branchnet
+
+import (
+	"math"
+	"sync"
+
+	"branchnet/internal/nn"
+)
+
+// This file implements a fused inference path for Model.Predict/Logit.
+// Training goes through the layered nn forward/backward passes, but
+// deployment-time prediction (the hybrid predictor calls Predict once per
+// dynamic occurrence of every attached branch) dominated the experiment
+// suite's profile: batch-1 tensor allocation plus the unfolded
+// embedding -> convolution -> batch-norm chain.
+//
+// At inference the weights are frozen, so per slice the embedding,
+// convolution tap and batch-norm affine (running statistics) fold into a
+// single per-token lookup table:
+//
+//	tok[v][k][c] = bnScale[c] * sum_in E[v][in] * W[k][in][c]
+//
+// and position t of the activated conv output is
+//	act(bias[c] + sum_k tok[token[t+k-K/2]][k][c]),
+// pooled straight into the feature vector. Fully-connected batch norms
+// fold into the weights the same way. The fused path computes bit-for-bit
+// the same function as the layered one up to float32 rounding
+// (re-associated sums), which is well below the decision margins the
+// attach filter keeps.
+//
+// The fold is built lazily under a mutex and invalidated by every
+// weight-mutating method (Train, Ternarize, QuantizeConvOnly), so stale
+// tables can never be read. The tables are read-only once built; scratch
+// buffers are per-call, keeping concurrent Predicts safe.
+
+// sliceInfer is the folded inference form of one sliceNet.
+type sliceInfer struct {
+	effLen    int
+	pooledLen int
+	poolW     int
+	channels  int
+	convK     int
+	hashBits  uint
+	hashed    bool
+	tanh1     bool
+
+	// Conv path: tok is [vocab][K][C] folded token contributions and bias
+	// the BN-folded convolution bias. Hashed path: tok is [vocab][C] (the
+	// BN-folded table) and bias is the BN shift.
+	tok  []float32
+	bias []float32
+
+	// Post-pooling affine + tanh (Mini only; nil otherwise).
+	bn2Scale, bn2Shift []float32
+}
+
+// modelInfer is the folded inference form of a whole Model.
+type modelInfer struct {
+	slices  []*sliceInfer
+	featLen int
+	// Per fc block: BN-folded weights [in*out] / bias [out], widths, and
+	// the activation.
+	fcW    [][]float32
+	fcB    [][]float32
+	fcTanh bool
+	outW   []float32
+	outB   float32
+}
+
+func foldBN(bn *nn.BatchNorm) (scale, shift []float32) { return bn.FoldInto() }
+
+func (s *sliceNet) buildInfer(tanh bool) *sliceInfer {
+	si := &sliceInfer{
+		effLen:    s.effLen(),
+		pooledLen: s.pooledLen(),
+		poolW:     s.poolW,
+		channels:  s.channels,
+		convK:     s.convK,
+		hashBits:  s.hashBits,
+		hashed:    s.table != nil,
+		tanh1:     tanh,
+	}
+	scale1, shift1 := foldBN(s.bn1)
+	c := s.channels
+	if si.hashed {
+		vocab := s.table.Vocab
+		si.tok = make([]float32, vocab*c)
+		for v := 0; v < vocab; v++ {
+			src := s.table.Table.W[v*c : (v+1)*c]
+			dst := si.tok[v*c : (v+1)*c]
+			for ch := 0; ch < c; ch++ {
+				dst[ch] = scale1[ch] * src[ch]
+			}
+		}
+		si.bias = shift1
+		si.bn2Scale, si.bn2Shift = foldBN(s.bn2)
+		return si
+	}
+	vocab := s.emb.Vocab
+	in := s.emb.Dim
+	k := s.convK
+	si.tok = make([]float32, vocab*k*c)
+	for v := 0; v < vocab; v++ {
+		e := s.emb.Table.W[v*in : (v+1)*in]
+		for ki := 0; ki < k; ki++ {
+			w := s.conv.W.W[ki*in*c:]
+			dst := si.tok[(v*k+ki)*c : (v*k+ki)*c+c]
+			for i := 0; i < in; i++ {
+				ev := e[i]
+				if ev == 0 {
+					continue
+				}
+				ws := w[i*c : i*c+c]
+				for ch := 0; ch < c; ch++ {
+					dst[ch] += ev * ws[ch]
+				}
+			}
+			for ch := 0; ch < c; ch++ {
+				dst[ch] *= scale1[ch]
+			}
+		}
+	}
+	si.bias = make([]float32, c)
+	for ch := 0; ch < c; ch++ {
+		si.bias[ch] = scale1[ch]*s.conv.B.W[ch] + shift1[ch]
+	}
+	return si
+}
+
+// inferInto computes the slice's pooled activated features for one history
+// window (shift 0, inference statistics) into dst[pooledLen*channels].
+func (si *sliceInfer) inferInto(dst []float32, hist []uint32, row []float32) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	c := si.channels
+	n := si.effLen
+	half := si.convK / 2
+	for t := 0; t < n; t++ {
+		copy(row, si.bias)
+		if si.hashed {
+			g := int(gramHash(hist, t, si.convK, si.hashBits))
+			tt := si.tok[g*c : g*c+c]
+			for ch := 0; ch < c; ch++ {
+				row[ch] += tt[ch]
+			}
+		} else {
+			for ki := 0; ki < si.convK; ki++ {
+				src := t + ki - half
+				if src < 0 || src >= n {
+					continue
+				}
+				var tok int32
+				if src < len(hist) {
+					tok = int32(hist[src])
+				}
+				tt := si.tok[(int(tok)*si.convK+ki)*c : (int(tok)*si.convK+ki)*c+c]
+				for ch := 0; ch < c; ch++ {
+					row[ch] += tt[ch]
+				}
+			}
+		}
+		if si.tanh1 {
+			for ch := 0; ch < c; ch++ {
+				row[ch] = float32(math.Tanh(float64(row[ch])))
+			}
+		} else {
+			for ch := 0; ch < c; ch++ {
+				if row[ch] < 0 {
+					row[ch] = 0
+				}
+			}
+		}
+		out := dst[(t/si.poolW)*c : (t/si.poolW)*c+c]
+		for ch := 0; ch < c; ch++ {
+			out[ch] += row[ch]
+		}
+	}
+	if si.bn2Scale != nil {
+		for i := range dst {
+			ch := i % c
+			dst[i] = float32(math.Tanh(float64(si.bn2Scale[ch]*dst[i] + si.bn2Shift[ch])))
+		}
+	}
+}
+
+// buildInfer folds the trained model for inference.
+func (m *Model) buildInfer() *modelInfer {
+	mi := &modelInfer{featLen: m.featureLen(), fcTanh: m.Knobs.Tanh}
+	for _, s := range m.slices {
+		mi.slices = append(mi.slices, s.buildInfer(m.Knobs.Tanh))
+	}
+	for _, blk := range m.fc {
+		in, out := blk.lin.In, blk.lin.Out
+		scale, shift := foldBN(blk.bn)
+		w := make([]float32, in*out)
+		for i := 0; i < in; i++ {
+			src := blk.lin.W.W[i*out : i*out+out]
+			dst := w[i*out : i*out+out]
+			for o := 0; o < out; o++ {
+				dst[o] = src[o] * scale[o]
+			}
+		}
+		b := make([]float32, out)
+		for o := 0; o < out; o++ {
+			b[o] = blk.lin.B.W[o]*scale[o] + shift[o]
+		}
+		mi.fcW = append(mi.fcW, w)
+		mi.fcB = append(mi.fcB, b)
+	}
+	mi.outW = m.out.W.W
+	mi.outB = m.out.B.W[0]
+	return mi
+}
+
+var inferMu sync.Mutex
+
+// inferState returns the folded inference form, building it on first use.
+func (m *Model) inferState() *modelInfer {
+	inferMu.Lock()
+	defer inferMu.Unlock()
+	if m.infer == nil {
+		m.infer = m.buildInfer()
+	}
+	return m.infer
+}
+
+// invalidateInfer drops the folded form; weight-mutating methods call it.
+func (m *Model) invalidateInfer() {
+	inferMu.Lock()
+	m.infer = nil
+	inferMu.Unlock()
+}
+
+// inferLogit is the allocation-light fused equivalent of
+// Forward(batch-of-1, nil, false).
+func (m *Model) inferLogit(hist []uint32) float32 {
+	mi := m.inferState()
+	feats := make([]float32, mi.featLen)
+	maxC := 0
+	for _, si := range mi.slices {
+		if si.channels > maxC {
+			maxC = si.channels
+		}
+	}
+	row := make([]float32, maxC)
+	off := 0
+	for _, si := range mi.slices {
+		fl := si.pooledLen * si.channels
+		si.inferInto(feats[off:off+fl], hist, row[:si.channels])
+		off += fl
+	}
+	x := feats
+	var buf []float32
+	for bi := range mi.fcW {
+		out := len(mi.fcB[bi])
+		buf = make([]float32, out)
+		copy(buf, mi.fcB[bi])
+		w := mi.fcW[bi]
+		for i, xv := range x {
+			if xv == 0 {
+				continue
+			}
+			ws := w[i*out : i*out+out]
+			for o := 0; o < out; o++ {
+				buf[o] += xv * ws[o]
+			}
+		}
+		if mi.fcTanh {
+			for o := range buf {
+				buf[o] = float32(math.Tanh(float64(buf[o])))
+			}
+		} else {
+			for o := range buf {
+				if buf[o] < 0 {
+					buf[o] = 0
+				}
+			}
+		}
+		x = buf
+	}
+	logit := mi.outB
+	for i, xv := range x {
+		logit += xv * mi.outW[i]
+	}
+	return logit
+}

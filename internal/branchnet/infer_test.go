@@ -1,0 +1,60 @@
+package branchnet
+
+import (
+	"math"
+	"testing"
+
+	"branchnet/internal/bench"
+)
+
+// TestFusedInferenceMatchesLayered pins the fused inference path
+// (infer.go) to the layered nn forward pass: same predictions, logits
+// equal up to float32 re-association, for both the true-convolution (Big)
+// and hashed-convolution (Mini) slice forms — and again after a
+// weight-mutating call, which must invalidate the folded tables.
+func TestFusedInferenceMatchesLayered(t *testing.T) {
+	prog := bench.NoisyHistory()
+	for _, k := range []Knobs{BigKnobsScaled(), MiniQuick(1024), TarsaKnobsQuick()} {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			window := k.WindowTokens()
+			tr := prog.Generate(bench.NoisyInput("train3", 300, 1, 4, 0.5), 40000)
+			ds := Extract(tr, []uint64{bench.NoisyPCB}, window, k.PCBits)[bench.NoisyPCB]
+			if ds == nil || len(ds.Examples) < 100 {
+				t.Fatal("no examples extracted")
+			}
+			m := New(k, bench.NoisyPCB, 7)
+			opts := DefaultTrainOpts()
+			opts.Epochs = 1
+			opts.MaxExamples = 800
+			m.Train(ds, opts)
+
+			check := func(stage string) {
+				t.Helper()
+				mismatches := 0
+				for _, e := range ds.Examples[:100] {
+					fused := m.Logit(e.History)
+					layered := m.Forward([]Example{{History: e.History}}, nil, false).Data[0]
+					if d := math.Abs(float64(fused - layered)); d > 1e-3 {
+						t.Fatalf("%s: fused logit %v vs layered %v (diff %g)", stage, fused, layered, d)
+					}
+					if (fused >= 0) != (layered >= 0) {
+						mismatches++
+					}
+				}
+				if mismatches > 0 {
+					t.Fatalf("%s: %d/100 prediction mismatches", stage, mismatches)
+				}
+			}
+			check("after train")
+
+			// Mutating the weights must rebuild the folded tables.
+			if k.ConvHashBits > 0 {
+				m.QuantizeConvOnly()
+			} else {
+				m.Ternarize()
+			}
+			check("after mutation")
+		})
+	}
+}

@@ -28,6 +28,10 @@ type Model struct {
 	// Backward.
 	lastSliceOuts []*nn.Tensor
 
+	// infer is the folded inference form (see infer.go); nil until built,
+	// reset by weight-mutating methods.
+	infer *modelInfer
+
 	rng *rand.Rand
 }
 
@@ -41,9 +45,11 @@ type sliceNet struct {
 	convK    int
 	pcBits   uint
 
-	// True-convolution path (Big, Tarsa).
-	emb  *nn.Embedding
-	conv *nn.Conv1D
+	// True-convolution path (Big, Tarsa); embconv runs the pair fused
+	// (see embconv.go).
+	emb     *nn.Embedding
+	conv    *nn.Conv1D
+	embconv *embConv
 	// Hashed-convolution path (Mini): a table over hashed K-grams.
 	table *nn.Embedding
 
@@ -109,6 +115,7 @@ func New(k Knobs, pc uint64, seed int64) *Model {
 		} else {
 			s.emb = nn.NewEmbedding(rng, 1<<(k.PCBits+1), k.EmbeddingDim)
 			s.conv = nn.NewConv1D(rng, k.EmbeddingDim, s.channels, k.ConvWidth)
+			s.embconv = newEmbConv(s.emb, s.conv)
 		}
 		if k.Tanh {
 			s.act1 = &nn.Tanh{}
@@ -208,8 +215,7 @@ func (s *sliceNet) forward(batch []Example, shifts []int, train bool) *nn.Tensor
 	if s.table != nil {
 		x = s.table.Forward(tokens)
 	} else {
-		x = s.emb.Forward(tokens)
-		x = s.conv.Forward(x, train)
+		x = s.embconv.Forward(tokens)
 	}
 	x = s.bn1.Forward(x, train)
 	x = s.act1.Forward(x, train)
@@ -233,8 +239,7 @@ func (s *sliceNet) backward(dy *nn.Tensor) {
 		s.table.Backward(dy)
 		return
 	}
-	dy = s.conv.Backward(dy)
-	s.emb.Backward(dy)
+	s.embconv.Backward(dy)
 }
 
 // Forward computes logits for a batch. shifts supplies per-example
@@ -291,8 +296,10 @@ func (m *Model) Predict(hist []uint32) bool {
 	return m.Logit(hist) >= 0
 }
 
-// Logit returns the raw output logit for one history window.
+// Logit returns the raw output logit for one history window. It runs the
+// fused inference path (infer.go), which folds the frozen weights and
+// batch-norm statistics into lookup tables instead of building batch-1
+// tensors.
 func (m *Model) Logit(hist []uint32) float32 {
-	out := m.Forward([]Example{{History: hist}}, nil, false)
-	return out.Data[0]
+	return m.inferLogit(hist)
 }

@@ -1,6 +1,7 @@
 package branchnet
 
 import (
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -30,9 +31,17 @@ type OfflineConfig struct {
 	// validation set for a model to be attached.
 	MinImprovement float64
 	// MinAccuracyGain is the minimum per-branch accuracy gain over the
-	// baseline; it filters noise-level "improvements" on branches whose
-	// mispredictions are irreducible (gcc-like profiles).
+	// baseline, measured on the same validation examples; it filters
+	// models whose edge is too small to matter.
 	MinAccuracyGain float64
+	// MinGainZ is the minimum McNemar-style z-score of the paired
+	// model-vs-baseline comparison ((wins-losses)/sqrt(wins+losses) over
+	// the disagreeing examples). It rejects noise-level "improvements" on
+	// branches whose mispredictions are irreducible (gcc-like profiles):
+	// a coin-flip branch yields z ~ N(0,1) no matter how many examples
+	// are sampled, while a real improvement grows with the sample.
+	// <= 0 disables the gate.
+	MinGainZ float64
 	// Quantize produces engine models (Mini-BranchNet); otherwise the
 	// attached models stay floating-point (Big-BranchNet).
 	Quantize bool
@@ -50,7 +59,8 @@ func DefaultOfflineConfig(k Knobs) OfflineConfig {
 		MaxModels:       10,
 		MinExecutions:   100,
 		MinImprovement:  1,
-		MinAccuracyGain: 0.03,
+		MinAccuracyGain: 0.005,
+		MinGainZ:        3,
 		Quantize:        k.ConvHashBits > 0,
 		Train:           DefaultTrainOpts(),
 	}
@@ -64,11 +74,16 @@ type Attached struct {
 	Float  *Model
 	Engine *engine.Model // nil for float-only models
 	// ValidAccuracy is the (possibly quantized) model's accuracy on the
-	// validation set; BaseAccuracy is the runtime baseline's accuracy on
-	// the same branch; Improvement is the avoided mispredictions.
+	// extracted validation examples; BaseAccuracy is the runtime
+	// baseline's accuracy on the same dynamic instances; Improvement is
+	// the avoided mispredictions scaled to the branch's full validation
+	// execution count.
 	ValidAccuracy float64
 	BaseAccuracy  float64
 	Improvement   float64
+	// GainZ is the McNemar-style z-score of the paired comparison (see
+	// OfflineConfig.MinGainZ); 0 when the comparison was unpaired.
+	GainZ float64
 }
 
 // Predict evaluates the attached model on a history window.
@@ -105,14 +120,43 @@ func FromEngine(models []*engine.Model) []*Attached {
 	return out
 }
 
+// ValidEval is a baseline evaluation of the validation trace: the
+// aggregate result plus the per-branch, per-occurrence correctness log
+// that the attach filter compares candidate models against. Computing it
+// once and sharing it across offline runs with the same (baseline,
+// validation-trace) pair avoids repeated full validation passes.
+type ValidEval struct {
+	Res predictor.Result
+	Log predictor.CorrectLog
+}
+
+// EvalValidation runs the baseline over the validation trace, recording
+// the correctness log TrainOfflineWith needs.
+func EvalValidation(newBaseline func() predictor.Predictor, validTrace *trace.Trace) *ValidEval {
+	res, log := predictor.EvaluateWithLog(newBaseline(), validTrace)
+	return &ValidEval{Res: res, Log: log}
+}
+
 // TrainOffline runs the full pipeline. trainTraces are the training-input
 // traces (Table III's training set), validTrace the validation-input
 // trace, and newBaseline constructs a fresh runtime baseline predictor
 // (fresh so its warm-up matches deployment). The returned models are
 // sorted by descending validation improvement and capped at MaxModels.
 func TrainOffline(cfg OfflineConfig, trainTraces []*trace.Trace, validTrace *trace.Trace, newBaseline func() predictor.Predictor) []*Attached {
+	return TrainOfflineWith(cfg, trainTraces, validTrace, newBaseline, nil)
+}
+
+// TrainOfflineWith is TrainOffline with an optional precomputed baseline
+// validation evaluation (nil = compute internally). Callers that train
+// several model families against the same baseline (the experiment
+// context) pass a shared ValidEval so step 1's full validation pass runs
+// once per (baseline, trace) pair instead of once per training run.
+func TrainOfflineWith(cfg OfflineConfig, trainTraces []*trace.Trace, validTrace *trace.Trace, newBaseline func() predictor.Predictor, valid *ValidEval) []*Attached {
 	// Step 1: find the hard-to-predict branches on the validation set.
-	baseRes := predictor.Evaluate(newBaseline(), validTrace)
+	if valid == nil {
+		valid = EvalValidation(newBaseline, validTrace)
+	}
+	baseRes := valid.Res
 	type cand struct {
 		pc          uint64
 		mispredicts uint64
@@ -198,15 +242,42 @@ func TrainOffline(cfg OfflineConfig, trainTraces []*trace.Trace, validTrace *tra
 				}
 				a.Engine = em
 			}
-			// Validation accuracy of the deployable form.
-			correct := 0
-			for ei, e := range vds.Examples {
-				if a.Predict(e.History, uint64(ei)) == e.Taken {
+			// Validation accuracy of the deployable form, measured against
+			// the baseline on exactly the same extracted examples. The
+			// baseline's full-run accuracy and the model's subsample
+			// accuracy are not comparable — the gap between them is warm-up
+			// and sampling noise, which MinAccuracyGain cannot filter. Each
+			// example replays the global branch counter it was extracted
+			// at, so sliding-pooling phase matches deployment instead of
+			// following the unrelated example index.
+			correct, baseCorrect := 0, 0
+			wins, losses := 0, 0 // model right/base wrong, model wrong/base right
+			for _, e := range vds.Examples {
+				modelOK := a.Predict(e.History, e.Count) == e.Taken
+				baseOK := valid.Log.Correct(c.pc, e.Occurrence)
+				if modelOK {
 					correct++
+				}
+				if baseOK {
+					baseCorrect++
+				}
+				if modelOK && !baseOK {
+					wins++
+				} else if !modelOK && baseOK {
+					losses++
 				}
 			}
 			a.ValidAccuracy = float64(correct) / float64(len(vds.Examples))
-			a.BaseAccuracy = baseRes.BranchAccuracy(c.pc)
+			a.BaseAccuracy = float64(baseCorrect) / float64(len(vds.Examples))
+			if wins+losses > 0 {
+				a.GainZ = float64(wins-losses) / math.Sqrt(float64(wins+losses))
+			}
+			if valid.Log == nil {
+				// A caller-supplied ValidEval without a log falls back to
+				// the full-run aggregate (legacy unpaired comparison).
+				a.BaseAccuracy = baseRes.BranchAccuracy(c.pc)
+				a.GainZ = 0
+			}
 			// Improvement scales to the branch's full validation
 			// execution count (the extracted set may be capped).
 			a.Improvement = (a.ValidAccuracy - a.BaseAccuracy) * float64(c.execs)
@@ -218,7 +289,8 @@ func TrainOffline(cfg OfflineConfig, trainTraces []*trace.Trace, validTrace *tra
 	var attached []*Attached
 	for _, a := range results {
 		if a != nil && a.Improvement >= cfg.MinImprovement &&
-			a.ValidAccuracy-a.BaseAccuracy >= cfg.MinAccuracyGain {
+			a.ValidAccuracy-a.BaseAccuracy >= cfg.MinAccuracyGain &&
+			(cfg.MinGainZ <= 0 || valid.Log == nil || a.GainZ >= cfg.MinGainZ) {
 			attached = append(attached, a)
 		}
 	}

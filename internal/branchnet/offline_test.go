@@ -1,0 +1,101 @@
+package branchnet
+
+import (
+	"math/rand"
+	"testing"
+
+	"branchnet/internal/gshare"
+	"branchnet/internal/predictor"
+	"branchnet/internal/trace"
+)
+
+// noiseTrace builds a synthetic trace dominated by one irreducible branch:
+// the target PC's outcomes are a fair coin, independent of all history,
+// interleaved with a few strongly biased filler branches.
+func noiseTrace(seed int64, records int) *trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	tr := &trace.Trace{}
+	for len(tr.Records) < records {
+		for f := 0; f < 4; f++ {
+			pc := uint64(0x100 + f*0x10)
+			tr.Records = append(tr.Records, trace.Record{PC: pc, Taken: rng.Float64() < 0.95})
+		}
+		tr.Records = append(tr.Records, trace.Record{PC: noisePC, Taken: rng.Float64() < 0.5})
+	}
+	return tr
+}
+
+const noisePC = 0x9000
+
+// TestOfflineRejectsIrreducibleNoise pins the Fig. 9 accounting fix: a
+// branch whose outcomes are pure coin flips offers no learnable signal, so
+// the attach filter — now comparing model and baseline on the same
+// extracted validation examples — must attach nothing. Before the fix, the
+// baseline's full-run accuracy was compared against the model's subsample
+// accuracy, and the gap between those two measurements let noise-level
+// models pass MinAccuracyGain on gcc-like irreducible branches.
+func TestOfflineRejectsIrreducibleNoise(t *testing.T) {
+	knobs := MiniQuick(256)
+	cfg := DefaultOfflineConfig(knobs)
+	cfg.TopBranches = 1 // the coin branch out-mispredicts every filler
+	cfg.MaxModels = 1
+	cfg.Quantize = false
+	cfg.Train.Epochs = 2
+	cfg.Train.MaxExamples = 500
+
+	train := []*trace.Trace{noiseTrace(11, 12000)}
+	valid := noiseTrace(22, 12000)
+	newBase := func() predictor.Predictor { return gshare.Default4KB() }
+
+	attached := TrainOffline(cfg, train, valid, newBase)
+	for _, a := range attached {
+		t.Errorf("attached model for %#x: valid %.3f vs base %.3f (gain %.3f) — irreducible noise must not attach",
+			a.PC, a.ValidAccuracy, a.BaseAccuracy, a.ValidAccuracy-a.BaseAccuracy)
+	}
+}
+
+// TestExtractThreadsCountAndOccurrence verifies the extraction metadata
+// the attach-time validation replays: Count is the global branch counter
+// (trace record index) at prediction time and Occurrence is the branch's
+// own dynamic instance index — not the extracted example index.
+func TestExtractThreadsCountAndOccurrence(t *testing.T) {
+	tr := &trace.Trace{Records: []trace.Record{
+		{PC: 0x10, Taken: true},
+		{PC: 0x99, Taken: true},  // occurrence 0, count 1
+		{PC: 0x20, Taken: false},
+		{PC: 0x99, Taken: false}, // occurrence 1, count 3
+		{PC: 0x99, Taken: true},  // occurrence 2, count 4
+	}}
+	ds := Extract(tr, []uint64{0x99}, 2, 12)[0x99]
+	if len(ds.Examples) != 3 {
+		t.Fatalf("extracted %d examples, want 3", len(ds.Examples))
+	}
+	wantCounts := []uint64{1, 3, 4}
+	for i, e := range ds.Examples {
+		if e.Count != wantCounts[i] {
+			t.Errorf("example %d: Count = %d, want %d", i, e.Count, wantCounts[i])
+		}
+		if e.Occurrence != uint64(i) {
+			t.Errorf("example %d: Occurrence = %d, want %d", i, e.Occurrence, i)
+		}
+	}
+
+	// Under a sampling stride, Occurrence must track the branch's true
+	// dynamic index, not the kept-example index.
+	big := &trace.Trace{}
+	for i := 0; i < 100; i++ {
+		big.Records = append(big.Records, trace.Record{PC: 0x99, Taken: i%2 == 0})
+	}
+	capped := ExtractCapped(big, []uint64{0x99}, 2, 12, 10)[0x99]
+	if len(capped.Examples) != 10 {
+		t.Fatalf("capped extraction kept %d examples, want 10", len(capped.Examples))
+	}
+	for i, e := range capped.Examples {
+		if e.Occurrence != uint64(10*i) {
+			t.Errorf("capped example %d: Occurrence = %d, want %d", i, e.Occurrence, 10*i)
+		}
+		if e.Count != uint64(10*i) {
+			t.Errorf("capped example %d: Count = %d, want %d", i, e.Count, 10*i)
+		}
+	}
+}

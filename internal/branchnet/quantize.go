@@ -278,6 +278,7 @@ func (m *Model) Quantize(calib *Dataset) (*engine.Model, error) {
 // values, so the accuracy cost of Optimization 2 can be measured in
 // isolation.
 func (m *Model) QuantizeConvOnly() {
+	m.invalidateInfer()
 	for _, s := range m.slices {
 		if s.table == nil {
 			continue

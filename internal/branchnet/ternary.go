@@ -9,6 +9,7 @@ import "math"
 // fold into thresholds in hardware). The model remains evaluable through
 // the normal float path; only its weight precision has degraded.
 func (m *Model) Ternarize() {
+	m.invalidateInfer()
 	for _, s := range m.slices {
 		if s.emb != nil {
 			ternarize(s.emb.Table.W)

@@ -27,6 +27,7 @@ func DefaultTrainOpts() TrainOpts {
 // entries so the trained weights tolerate the engine's nondeterministic
 // pooling boundaries. Returns the final average training loss.
 func (m *Model) Train(ds *Dataset, opts TrainOpts) float32 {
+	m.invalidateInfer()
 	if len(ds.Examples) == 0 {
 		return 0
 	}
@@ -85,19 +86,10 @@ func (m *Model) Accuracy(ds *Dataset) float64 {
 	if len(ds.Examples) == 0 {
 		return 0
 	}
-	const batchSize = 64
 	correct := 0
-	for start := 0; start < len(ds.Examples); start += batchSize {
-		end := start + batchSize
-		if end > len(ds.Examples) {
-			end = len(ds.Examples)
-		}
-		batch := ds.Examples[start:end]
-		logits := m.Forward(batch, nil, false)
-		for i := range batch {
-			if (logits.Row(i, 0)[0] >= 0) == batch[i].Taken {
-				correct++
-			}
+	for i := range ds.Examples {
+		if m.Predict(ds.Examples[i].History) == ds.Examples[i].Taken {
+			correct++
 		}
 	}
 	return float64(correct) / float64(len(ds.Examples))

@@ -76,8 +76,9 @@ func Ablations(c *Context) ([]AblationResult, Table) {
 	opts.Epochs += 3
 	opts.MaxExamples = 8000
 
-	var results []AblationResult
-	for _, v := range variants {
+	results := make([]AblationResult, len(variants))
+	c.runIndexed(len(variants), func(vi int) {
+		v := variants[vi]
 		k := v.mod(base)
 		k.Name = "ablation"
 		window := k.WindowTokens()
@@ -87,8 +88,8 @@ func Ablations(c *Context) ([]AblationResult, Table) {
 			window, k.PCBits, 4000)[bench.NoisyPCB]
 		m := branchnet.New(k, bench.NoisyPCB, 5)
 		m.Train(trainDS, opts)
-		results = append(results, AblationResult{Variant: v.name, Accuracy: m.Accuracy(testDS)})
-	}
+		results[vi] = AblationResult{Variant: v.name, Accuracy: m.Accuracy(testDS)}
+	})
 
 	t := Table{
 		Title:  fmt.Sprintf("Ablations — BranchNet design choices on the Fig. 3 branch (%s mode)", c.Mode.Name),

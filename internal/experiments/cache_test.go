@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"branchnet/internal/predictor"
+)
+
+// cacheMode is a tiny, training-free configuration: the tests below only
+// evaluate runtime baselines, so they stay -short safe.
+func cacheMode() Mode {
+	m := Quick()
+	m.Name = "cache-test"
+	m.TestLen = 6000
+	m.ValidLen = 6000
+	m.Benchmarks = []string{"leela"}
+	return m
+}
+
+func TestEvalBaselineMatchesFreshEval(t *testing.T) {
+	c := NewContext(cacheMode())
+	p := c.Programs()[0]
+
+	gotMPKI, gotRes := c.EvalBaseline(p, "gtage")
+	wantMPKI, wantRes := evalOn(func() predictor.Predictor { return newBaseline("gtage") }, c.TestTraces(p))
+
+	if math.Abs(gotMPKI-wantMPKI) > 1e-12 {
+		t.Fatalf("cached MPKI %.6f != fresh %.6f", gotMPKI, wantMPKI)
+	}
+	if gotRes.Branches != wantRes.Branches || gotRes.Mispredicts != wantRes.Mispredicts {
+		t.Fatalf("cached result %+v != fresh %+v", gotRes, wantRes)
+	}
+	for pc, v := range wantRes.PerBranch {
+		if gotRes.PerBranch[pc] != v {
+			t.Fatalf("per-branch mismatch at %#x: %d != %d", pc, gotRes.PerBranch[pc], v)
+		}
+	}
+}
+
+func TestEvalBaselineSingleFlight(t *testing.T) {
+	c := NewContext(cacheMode())
+	p := c.Programs()[0]
+	c.TestTraces(p) // warm the trace cache so misses count evaluations only
+
+	const callers = 16
+	var wg sync.WaitGroup
+	mpkis := make([]float64, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mpkis[i], _ = c.EvalBaseline(p, "gtage")
+		}(i)
+	}
+	wg.Wait()
+
+	if n := c.evalMisses.Load(); n != 1 {
+		t.Fatalf("evaluated %d times under concurrent callers, want 1 (single-flight)", n)
+	}
+	for i := 1; i < callers; i++ {
+		if mpkis[i] != mpkis[0] {
+			t.Fatalf("caller %d saw MPKI %.6f, caller 0 saw %.6f", i, mpkis[i], mpkis[0])
+		}
+	}
+	// A second baseline is a distinct key: exactly one more evaluation.
+	c.EvalBaseline(p, "tage64")
+	c.EvalBaseline(p, "tage64")
+	if n := c.evalMisses.Load(); n != 2 {
+		t.Fatalf("evalMisses = %d after second baseline, want 2", n)
+	}
+}
+
+func TestBaselineValidSingleFlight(t *testing.T) {
+	c := NewContext(cacheMode())
+	p := c.Programs()[0]
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.BaselineValid(p, "gtage")
+		}()
+	}
+	wg.Wait()
+	if n := c.evalMisses.Load(); n != 1 {
+		t.Fatalf("validation evaluated %d times, want 1", n)
+	}
+	ve := c.BaselineValid(p, "gtage")
+	if ve == nil || ve.Log == nil || ve.Res.Branches == 0 {
+		t.Fatal("BaselineValid returned an empty evaluation")
+	}
+	// The correctness log must agree with the aggregate result.
+	var correct uint64
+	for _, v := range ve.Log {
+		for _, ok := range v {
+			if ok {
+				correct++
+			}
+		}
+	}
+	if correct != ve.Res.Branches-ve.Res.Mispredicts {
+		t.Fatalf("log counts %d correct, result says %d", correct, ve.Res.Branches-ve.Res.Mispredicts)
+	}
+}
+
+func TestRunIndexedDeterministicOrder(t *testing.T) {
+	for _, par := range []int{1, 3, 16} {
+		c := NewContext(cacheMode())
+		c.Parallel = par
+		const n = 50
+		got := make([]string, n)
+		var calls sync.Map
+		c.runIndexed(n, func(i int) {
+			if _, dup := calls.LoadOrStore(i, true); dup {
+				t.Errorf("parallel=%d: slot %d ran twice", par, i)
+			}
+			got[i] = fmt.Sprintf("row-%02d", i)
+		})
+		for i := 0; i < n; i++ {
+			if got[i] != fmt.Sprintf("row-%02d", i) {
+				t.Fatalf("parallel=%d: slot %d holds %q — rows must stay index-ordered", par, i, got[i])
+			}
+		}
+	}
+}

@@ -4,17 +4,23 @@
 // training, evaluation — and returns a renderable Table plus structured
 // results.
 //
-// Experiments run in a Context, which caches generated traces and trained
-// models so that figures sharing work (e.g. Fig. 9's Big-BranchNet models
-// and Fig. 10's per-branch accuracies) pay for it once per process.
+// Experiments run in a Context, which caches generated traces, trained
+// models, and baseline evaluations so that figures sharing work (e.g.
+// Fig. 9's Big-BranchNet models and Fig. 10's per-branch accuracies) pay
+// for it once per process. All caches are single-flight, and the
+// per-benchmark loops fan out across a bounded worker pool
+// (Context.Parallel, default GOMAXPROCS) with deterministic output order.
 package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"branchnet/internal/bench"
 	"branchnet/internal/branchnet"
+	"branchnet/internal/hybrid"
 	"branchnet/internal/predictor"
 	"branchnet/internal/tage"
 	"branchnet/internal/trace"
@@ -91,24 +97,112 @@ func Full() Mode {
 	return m
 }
 
-// Context carries the mode plus per-process caches.
+// Context carries the mode plus per-process caches. Every cache is
+// single-flight: concurrent callers asking for the same key block on one
+// computation instead of duplicating it, so figures may fan out across a
+// worker pool while still sharing traces, trained models, and baseline
+// evaluations.
 type Context struct {
 	Mode Mode
+	// Parallel bounds the per-benchmark worker pool used by the Fig*/
+	// Table* functions (0 = GOMAXPROCS).
+	Parallel int
 
-	mu        sync.Mutex
-	traces    map[string]*trace.Trace
-	bigCache  map[string][]*branchnet.Attached
-	miniCache map[string][]*branchnet.Attached
+	mu         sync.Mutex
+	traces     map[string]*flight[*trace.Trace]
+	bigCache   map[string]*flight[[]*branchnet.Attached]
+	miniCache  map[string]*flight[[]*branchnet.Attached]
+	evalCache  map[string]*flight[evalResult]
+	validCache map[string]*flight[*branchnet.ValidEval]
+	evalMisses atomic.Int64 // cache misses, observable by tests
+}
+
+// flight is a single-flight cache cell: the first caller computes, every
+// concurrent or later caller waits on the same sync.Once and reads the
+// shared value.
+type flight[T any] struct {
+	once sync.Once
+	val  T
+}
+
+// flightDo returns the cached value for key, computing it at most once
+// per process even under concurrent callers.
+func flightDo[T any](mu *sync.Mutex, m map[string]*flight[T], key string, fn func() T) T {
+	mu.Lock()
+	f, ok := m[key]
+	if !ok {
+		f = &flight[T]{}
+		m[key] = f
+	}
+	mu.Unlock()
+	f.once.Do(func() { f.val = fn() })
+	return f.val
+}
+
+// evalResult is one memoized baseline evaluation over a trace set.
+type evalResult struct {
+	mpki float64
+	res  predictor.Result
 }
 
 // NewContext builds a fresh experiment context.
 func NewContext(mode Mode) *Context {
 	return &Context{
-		Mode:      mode,
-		traces:    make(map[string]*trace.Trace),
-		bigCache:  make(map[string][]*branchnet.Attached),
-		miniCache: make(map[string][]*branchnet.Attached),
+		Mode:       mode,
+		traces:     make(map[string]*flight[*trace.Trace]),
+		bigCache:   make(map[string]*flight[[]*branchnet.Attached]),
+		miniCache:  make(map[string]*flight[[]*branchnet.Attached]),
+		evalCache:  make(map[string]*flight[evalResult]),
+		validCache: make(map[string]*flight[*branchnet.ValidEval]),
 	}
+}
+
+// parallelism returns the worker-pool width.
+func (c *Context) parallelism() int {
+	if c.Parallel > 0 {
+		return c.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runIndexed runs fn(0..n-1) across the context's worker pool and returns
+// once all slots finish. Callers write results into index-addressed slots,
+// which keeps table rows deterministically ordered regardless of
+// completion order.
+func (c *Context) runIndexed(n int, fn func(i int)) {
+	width := c.parallelism()
+	if width > n {
+		width = n
+	}
+	if width <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(width)
+	for w := 0; w < width; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// forEachProgram fans fn out over the mode's benchmark set.
+func (c *Context) forEachProgram(fn func(i int, p *bench.Program)) []*bench.Program {
+	progs := c.Programs()
+	c.runIndexed(len(progs), func(i int) { fn(i, progs[i]) })
+	return progs
 }
 
 // Programs returns the benchmark set selected by the mode.
@@ -128,17 +222,9 @@ func (c *Context) Programs() []*bench.Program {
 // traceFor returns (and caches) the trace of one input.
 func (c *Context) traceFor(p *bench.Program, in bench.Input, branches int) *trace.Trace {
 	key := fmt.Sprintf("%s/%s/%d/%d", p.Name, in.Name, in.Seed, branches)
-	c.mu.Lock()
-	tr, ok := c.traces[key]
-	c.mu.Unlock()
-	if ok {
-		return tr
-	}
-	tr = p.Generate(in, branches)
-	c.mu.Lock()
-	c.traces[key] = tr
-	c.mu.Unlock()
-	return tr
+	return flightDo(&c.mu, c.traces, key, func() *trace.Trace {
+		return p.Generate(in, branches)
+	})
 }
 
 // TrainTraces returns one trace per training input (Table III).
@@ -154,23 +240,16 @@ func (c *Context) TrainTraces(p *bench.Program) []*trace.Trace {
 // ValidTrace returns the concatenation of all validation-input traces
 // (region boundaries behave like SimPoint region joins).
 func (c *Context) ValidTrace(p *bench.Program) *trace.Trace {
-	ins := p.Inputs(bench.Validation)
 	key := fmt.Sprintf("%s/valid-all/%d", p.Name, c.Mode.ValidLen)
-	c.mu.Lock()
-	tr, ok := c.traces[key]
-	c.mu.Unlock()
-	if ok {
-		return tr
-	}
-	merged := &trace.Trace{}
-	for _, in := range ins {
-		part := c.traceFor(p, in, c.Mode.ValidLen/len(ins))
-		merged.Records = append(merged.Records, part.Records...)
-	}
-	c.mu.Lock()
-	c.traces[key] = merged
-	c.mu.Unlock()
-	return merged
+	return flightDo(&c.mu, c.traces, key, func() *trace.Trace {
+		ins := p.Inputs(bench.Validation)
+		merged := &trace.Trace{}
+		for _, in := range ins {
+			part := c.traceFor(p, in, c.Mode.ValidLen/len(ins))
+			merged.Records = append(merged.Records, part.Records...)
+		}
+		return merged
+	})
 }
 
 // TestTraces returns one trace per test ("ref") input.
@@ -223,24 +302,82 @@ func evalOn(newPred func() predictor.Predictor, traces []*trace.Trace) (float64,
 	return trace.MPKI(float64(merged.Mispredicts), instrs), merged
 }
 
+// EvalBaseline evaluates (and caches, single-flight) the named baseline
+// over the benchmark's test traces. Every figure that reports a baseline
+// MPKI shares one evaluation per (baseline, benchmark, trace-set) instead
+// of re-running the predictor. The returned Result is shared — callers
+// must not mutate its maps.
+func (c *Context) EvalBaseline(p *bench.Program, baseline string) (float64, predictor.Result) {
+	key := fmt.Sprintf("%s/%s/test%d", p.Name, baseline, c.Mode.TestLen)
+	r := flightDo(&c.mu, c.evalCache, key, func() evalResult {
+		c.evalMisses.Add(1)
+		mpki, res := evalOn(func() predictor.Predictor { return newBaseline(baseline) }, c.TestTraces(p))
+		return evalResult{mpki: mpki, res: res}
+	})
+	return r.mpki, r.res
+}
+
+// EvalHybrid evaluates (and caches, single-flight) a hybrid of the named
+// baseline and an attached model set over the benchmark's test traces.
+// The cache key uses the models' identity, so hits only happen for the
+// same trained instances (e.g. overlapping prefixes of a cached BigModels
+// pool, or the empty set — which is exactly the baseline and dedupes into
+// EvalBaseline; with the fixed attach filter, non-improvable gcc-like
+// benchmarks hit that path in every figure). Callers must not pass model
+// sets that are mutated in place between calls (Table IV's quantization
+// progression): identity keying would return stale results.
+func (c *Context) EvalHybrid(p *bench.Program, baseline string, models []*branchnet.Attached) (float64, predictor.Result) {
+	if len(models) == 0 {
+		return c.EvalBaseline(p, baseline)
+	}
+	key := fmt.Sprintf("%s/%s/test%d/hybrid", p.Name, baseline, c.Mode.TestLen)
+	for _, m := range models {
+		key += fmt.Sprintf("/%p", m)
+	}
+	r := flightDo(&c.mu, c.evalCache, key, func() evalResult {
+		c.evalMisses.Add(1)
+		mpki, res := evalOn(func() predictor.Predictor {
+			return hybrid.New(newBaseline(baseline), models, "")
+		}, c.TestTraces(p))
+		return evalResult{mpki: mpki, res: res}
+	})
+	return r.mpki, r.res
+}
+
+// BaselineValid returns (and caches, single-flight) the named baseline's
+// evaluation of the benchmark's validation trace, including the
+// per-occurrence correctness log the offline attach filter compares
+// against. Sharing it means TrainOffline's step-1 validation pass runs
+// once per (baseline, benchmark) no matter how many model families train
+// against it.
+func (c *Context) BaselineValid(p *bench.Program, baseline string) *branchnet.ValidEval {
+	key := fmt.Sprintf("%s/%s/valid%d", p.Name, baseline, c.Mode.ValidLen)
+	return flightDo(&c.mu, c.validCache, key, func() *branchnet.ValidEval {
+		c.evalMisses.Add(1)
+		return branchnet.EvalValidation(
+			func() predictor.Predictor { return newBaseline(baseline) }, c.ValidTrace(p))
+	})
+}
+
+// TrainOffline runs the offline pipeline against the named baseline with
+// the context's cached traces and shared validation evaluation.
+func (c *Context) TrainOffline(cfg branchnet.OfflineConfig, p *bench.Program, baseline string) []*branchnet.Attached {
+	return branchnet.TrainOfflineWith(cfg, c.TrainTraces(p), c.ValidTrace(p),
+		func() predictor.Predictor { return newBaseline(baseline) },
+		c.BaselineValid(p, baseline))
+}
+
 // BigModels trains (and caches) Big-BranchNet models for a benchmark
 // against the named baseline, following Section V-E.
 func (c *Context) BigModels(p *bench.Program, baseline string, maxModels int) []*branchnet.Attached {
 	key := p.Name + "/" + baseline + "/big"
-	c.mu.Lock()
-	cached, ok := c.bigCache[key]
-	c.mu.Unlock()
-	if !ok {
+	cached := flightDo(&c.mu, c.bigCache, key, func() []*branchnet.Attached {
 		cfg := branchnet.DefaultOfflineConfig(branchnet.BigKnobsScaled())
 		cfg.TopBranches = c.Mode.TopBranches
 		cfg.MaxModels = c.Mode.TopBranches // keep the full ranked pool; callers cut
 		cfg.Train = c.Mode.BigTrain
-		cached = branchnet.TrainOffline(cfg, c.TrainTraces(p), c.ValidTrace(p),
-			func() predictor.Predictor { return newBaseline(baseline) })
-		c.mu.Lock()
-		c.bigCache[key] = cached
-		c.mu.Unlock()
-	}
+		return c.TrainOffline(cfg, p, baseline)
+	})
 	if maxModels > 0 && len(cached) > maxModels {
 		return cached[:maxModels]
 	}
@@ -251,20 +388,11 @@ func (c *Context) BigModels(p *bench.Program, baseline string, maxModels int) []
 // given budget against the named baseline.
 func (c *Context) MiniModels(p *bench.Program, baseline string, budget int) []*branchnet.Attached {
 	key := fmt.Sprintf("%s/%s/mini%d", p.Name, baseline, budget)
-	c.mu.Lock()
-	cached, ok := c.miniCache[key]
-	c.mu.Unlock()
-	if ok {
-		return cached
-	}
-	cfg := branchnet.DefaultOfflineConfig(branchnet.MiniQuick(budget))
-	cfg.TopBranches = c.Mode.TopBranches
-	cfg.MaxModels = c.Mode.TopBranches
-	cfg.Train = c.Mode.MiniTrain
-	cached = branchnet.TrainOffline(cfg, c.TrainTraces(p), c.ValidTrace(p),
-		func() predictor.Predictor { return newBaseline(baseline) })
-	c.mu.Lock()
-	c.miniCache[key] = cached
-	c.mu.Unlock()
-	return cached
+	return flightDo(&c.mu, c.miniCache, key, func() []*branchnet.Attached {
+		cfg := branchnet.DefaultOfflineConfig(branchnet.MiniQuick(budget))
+		cfg.TopBranches = c.Mode.TopBranches
+		cfg.MaxModels = c.Mode.TopBranches
+		cfg.Train = c.Mode.MiniTrain
+		return c.TrainOffline(cfg, p, baseline)
+	})
 }

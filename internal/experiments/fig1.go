@@ -1,11 +1,6 @@
 package experiments
 
-import (
-	"fmt"
-
-	"branchnet/internal/hybrid"
-	"branchnet/internal/predictor"
-)
+import "fmt"
 
 // Fig1Result is one benchmark's bar in Fig. 1: the 64KB TAGE-SC-L MPKI and
 // the MPKI avoided when CNNs predict the top-k hard-to-predict branches,
@@ -24,10 +19,11 @@ type Fig1Result struct {
 // MPKI at any count.
 func Fig1(c *Context) ([]Fig1Result, Table) {
 	counts := c.Mode.Fig1Counts
-	var results []Fig1Result
-	for _, p := range c.Programs() {
-		tests := c.TestTraces(p)
-		baseMPKI, _ := evalOn(func() predictor.Predictor { return newBaseline("tage64") }, tests)
+	progs := c.Programs()
+	results := make([]Fig1Result, len(progs))
+	c.runIndexed(len(progs), func(i int) {
+		p := progs[i]
+		baseMPKI, _ := c.EvalBaseline(p, "tage64")
 
 		models := c.BigModels(p, "tage64", counts[len(counts)-1])
 		res := Fig1Result{Benchmark: p.Name, BaseMPKI: baseMPKI}
@@ -36,17 +32,18 @@ func Fig1(c *Context) ([]Fig1Result, Table) {
 			if kk > len(models) {
 				kk = len(models)
 			}
-			mpki, _ := evalOn(func() predictor.Predictor {
-				return hybrid.New(newBaseline("tage64"), models[:kk], "")
-			}, tests)
+			// Identity-keyed cache: ks that clamp to the same prefix (all
+			// of them, for benchmarks that attach no models) share one
+			// evaluation.
+			mpki, _ := c.EvalHybrid(p, "tage64", models[:kk])
 			avoided := baseMPKI - mpki
 			if avoided < 0 {
 				avoided = 0
 			}
 			res.AvoidedMPKI = append(res.AvoidedMPKI, avoided)
 		}
-		results = append(results, res)
-	}
+		results[i] = res
+	})
 
 	t := Table{
 		Title:  fmt.Sprintf("Fig. 1 — avoidable MPKI with CNNs for top-k branches (%s mode)", c.Mode.Name),

@@ -5,8 +5,6 @@ import (
 	"sort"
 
 	"branchnet/internal/bench"
-	"branchnet/internal/hybrid"
-	"branchnet/internal/predictor"
 )
 
 // Fig10Branch is one bar pair of Fig. 10.
@@ -30,17 +28,16 @@ func Fig10(c *Context) (map[string][]Fig10Branch, Table) {
 			"paper: e.g. leela branch #4 79.1%->99.98%, mcf top two 73.9%->98.4%, 67.4%->98.6%",
 		},
 	}
-	for _, name := range []string{"leela", "mcf"} {
-		p := bench.ByName(name)
-		tests := c.TestTraces(p)
+	names := []string{"leela", "mcf"}
+	perName := make([][]Fig10Branch, len(names))
+	c.runIndexed(len(names), func(ni int) {
+		p := bench.ByName(names[ni])
 		models := c.BigModels(p, "mtage", 16)
 		if len(models) == 0 {
-			continue
+			return
 		}
-		_, baseRes := evalOn(func() predictor.Predictor { return newBaseline("mtage") }, tests)
-		_, hybRes := evalOn(func() predictor.Predictor {
-			return hybrid.New(newBaseline("mtage"), models, "")
-		}, tests)
+		_, baseRes := c.EvalBaseline(p, "mtage")
+		_, hybRes := c.EvalHybrid(p, "mtage", models)
 
 		var rows []Fig10Branch
 		for _, m := range models {
@@ -58,6 +55,13 @@ func Fig10(c *Context) (map[string][]Fig10Branch, Table) {
 		sort.Slice(rows, func(i, j int) bool { return rows[i].Improvement > rows[j].Improvement })
 		if len(rows) > 16 {
 			rows = rows[:16]
+		}
+		perName[ni] = rows
+	})
+	for ni, name := range names {
+		rows := perName[ni]
+		if rows == nil {
+			continue
 		}
 		out[name] = rows
 		for _, b := range rows {

@@ -6,7 +6,6 @@ import (
 	"branchnet/internal/bench"
 	"branchnet/internal/branchnet"
 	"branchnet/internal/hybrid"
-	"branchnet/internal/predictor"
 )
 
 // Fig12Point is one point of the training-set-size sensitivity curve.
@@ -21,30 +20,35 @@ type Fig12Point struct {
 // saturates.
 func Fig12(c *Context) ([]Fig12Point, Table) {
 	p := bench.ByName("leela")
-	tests := c.TestTraces(p)
-	baseMPKI, _ := evalOn(func() predictor.Predictor { return newBaseline("tage64") }, tests)
+	baseMPKI, _ := c.EvalBaseline(p, "tage64")
 
-	var points []Fig12Point
-	for _, frac := range c.Mode.Fig12Fracs {
-		cfg := branchnet.DefaultOfflineConfig(branchnet.BigKnobsScaled())
-		cfg.TopBranches = c.Mode.TopBranches
-		cfg.MaxModels = c.Mode.MaxModels
-		cfg.Train = c.Mode.BigTrain
-		cfg.Train.MaxExamples = int(float64(cfg.Train.MaxExamples) * frac)
-		if cfg.Train.MaxExamples < 50 {
-			cfg.Train.MaxExamples = 50
+	fracs := c.Mode.Fig12Fracs
+	points := make([]Fig12Point, len(fracs))
+	c.runIndexed(len(fracs), func(i int) {
+		frac := fracs[i]
+		var models []*branchnet.Attached
+		if frac == 1 {
+			// The full-data point is exactly the Big-BranchNet training of
+			// Figs. 1/9/11 — reuse the cached models instead of retraining.
+			models = c.BigModels(p, "tage64", c.Mode.MaxModels)
+		} else {
+			cfg := branchnet.DefaultOfflineConfig(branchnet.BigKnobsScaled())
+			cfg.TopBranches = c.Mode.TopBranches
+			cfg.MaxModels = c.Mode.MaxModels
+			cfg.Train = c.Mode.BigTrain
+			cfg.Train.MaxExamples = int(float64(cfg.Train.MaxExamples) * frac)
+			if cfg.Train.MaxExamples < 50 {
+				cfg.Train.MaxExamples = 50
+			}
+			models = c.TrainOffline(cfg, p, "tage64")
 		}
-		models := branchnet.TrainOffline(cfg, c.TrainTraces(p), c.ValidTrace(p),
-			func() predictor.Predictor { return newBaseline("tage64") })
-		mpki, _ := evalOn(func() predictor.Predictor {
-			return hybrid.New(newBaseline("tage64"), models, "")
-		}, tests)
+		mpki, _ := c.EvalHybrid(p, "tage64", models)
 		red := (baseMPKI - mpki) / baseMPKI
 		if red < 0 {
 			red = 0
 		}
-		points = append(points, Fig12Point{Fraction: frac, MPKIReduction: red})
-	}
+		points[i] = Fig12Point{Fraction: frac, MPKIReduction: red}
+	})
 
 	t := Table{
 		Title:  fmt.Sprintf("Fig. 12 — Big-BranchNet sensitivity to training set size, leela (%s mode)", c.Mode.Name),
@@ -80,24 +84,29 @@ func Fig13(c *Context) ([]Fig13Point, Table) {
 		t.Header = append(t.Header, fmt.Sprintf("%db/model", b))
 	}
 
-	for _, p := range c.Programs() {
-		tests := c.TestTraces(p)
-		baseMPKI, _ := evalOn(func() predictor.Predictor { return newBaseline("tage64") }, tests)
-		row := []string{p.Name}
+	progs := c.Programs()
+	perProg := make([][]Fig13Point, len(progs))
+	c.runIndexed(len(progs), func(pi int) {
+		p := progs[pi]
+		baseMPKI, _ := c.EvalBaseline(p, "tage64")
 		for _, budget := range c.Mode.MiniBudgets {
 			models := c.MiniModels(p, "tage64", budget)
 			if len(models) > slots {
 				models = models[:slots]
 			}
-			mpki, _ := evalOn(func() predictor.Predictor {
-				return hybrid.New(newBaseline("tage64"), models, "")
-			}, tests)
+			mpki, _ := c.EvalHybrid(p, "tage64", models)
 			red := (baseMPKI - mpki) / baseMPKI
 			if red < 0 {
 				red = 0
 			}
-			points = append(points, Fig13Point{Benchmark: p.Name, BudgetBytes: budget, MPKIReduction: red})
-			row = append(row, pct(red))
+			perProg[pi] = append(perProg[pi], Fig13Point{Benchmark: p.Name, BudgetBytes: budget, MPKIReduction: red})
+		}
+	})
+	for pi, p := range progs {
+		row := []string{p.Name}
+		for _, pt := range perProg[pi] {
+			points = append(points, pt)
+			row = append(row, pct(pt.MPKIReduction))
 		}
 		t.AddRow(row...)
 	}

@@ -139,11 +139,13 @@ func Fig4(c *Context) ([]Fig4Result, Table) {
 	}
 	results = append(results, tageCurve)
 
-	// One CNN per training set.
+	// One CNN per training set, trained across the worker pool.
 	opts := c.Mode.BigTrain
 	opts.Epochs += 3 // the microbenchmark needs the depth coverage
 	opts.MaxExamples = 9000
-	for _, ts := range trainSets {
+	curves := make([]Fig4Result, len(trainSets))
+	c.runIndexed(len(trainSets), func(si int) {
+		ts := trainSets[si]
 		trainTrace := prog.Generate(ts.in, c.Mode.TrainLen*2)
 		ds := branchnet.ExtractCapped(trainTrace, []uint64{bench.NoisyPCB},
 			window, knobs.PCBits, opts.MaxExamples)[bench.NoisyPCB]
@@ -153,8 +155,9 @@ func Fig4(c *Context) ([]Fig4Result, Table) {
 		for i := range alphas {
 			cur.Accuracies = append(cur.Accuracies, m.Accuracy(testDS[i]))
 		}
-		results = append(results, cur)
-	}
+		curves[si] = cur
+	})
+	results = append(results, curves...)
 
 	t := Table{
 		Title:  fmt.Sprintf("Fig. 4 — Branch B accuracy vs alpha (%s mode)", c.Mode.Name),

@@ -1,11 +1,6 @@
 package experiments
 
-import (
-	"fmt"
-
-	"branchnet/internal/hybrid"
-	"branchnet/internal/predictor"
-)
+import "fmt"
 
 // Fig9Result is one benchmark row of Fig. 9.
 type Fig9Result struct {
@@ -14,7 +9,7 @@ type Fig9Result struct {
 	MTAGENoLocal    float64 // MPKI: MTAGE-SC without local history
 	MTAGESC         float64 // MPKI: full MTAGE-SC
 	WithBig         float64 // MPKI: MTAGE-SC + Big-BranchNet hybrid
-	ImprovedBranchs int     // static branches BranchNet improved
+	ImprovedBranchs int     // static branches BranchNet improved on validation
 }
 
 // Fig9 reproduces Fig. 9: "MPKI of MTAGE-SC and Big-BranchNet on SPEC2017
@@ -24,26 +19,28 @@ type Fig9Result struct {
 // xalancbmk and exchange2 barely move; ablations show most of MTAGE-SC's
 // edge comes from its global components.
 func Fig9(c *Context) ([]Fig9Result, Table) {
-	var results []Fig9Result
-	for _, p := range c.Programs() {
-		tests := c.TestTraces(p)
+	progs := c.Programs()
+	results := make([]Fig9Result, len(progs))
+	c.runIndexed(len(progs), func(i int) {
+		p := progs[i]
 		r := Fig9Result{Benchmark: p.Name}
-		r.GTAGE, _ = evalOn(func() predictor.Predictor { return newBaseline("gtage") }, tests)
-		r.MTAGENoLocal, _ = evalOn(func() predictor.Predictor { return newBaseline("mtage-nolocal") }, tests)
-		r.MTAGESC, _ = evalOn(func() predictor.Predictor { return newBaseline("mtage") }, tests)
+		r.GTAGE, _ = c.EvalBaseline(p, "gtage")
+		r.MTAGENoLocal, _ = c.EvalBaseline(p, "mtage-nolocal")
+		r.MTAGESC, _ = c.EvalBaseline(p, "mtage")
 
 		models := c.BigModels(p, "mtage", c.Mode.MaxModels)
-		r.ImprovedBranchs = len(models)
-		r.WithBig, _ = evalOn(func() predictor.Predictor {
-			return hybrid.New(newBaseline("mtage"), models, "mtage-sc+big-branchnet")
-		}, tests)
-		if r.WithBig > r.MTAGESC {
-			// A model set that hurts on the test input would not ship;
-			// the offline process would attach nothing.
-			r.WithBig = r.MTAGESC
+		// Count only models that actually improved their branch on the
+		// validation set — with the attach filter measuring model and
+		// baseline on the same examples, this is the paper's "improved
+		// static branches" statistic (71 for leela, 0 for gcc).
+		for _, m := range models {
+			if m.ValidAccuracy > m.BaseAccuracy {
+				r.ImprovedBranchs++
+			}
 		}
-		results = append(results, r)
-	}
+		r.WithBig, _ = c.EvalHybrid(p, "mtage", models)
+		results[i] = r
+	})
 
 	t := Table{
 		Title: fmt.Sprintf("Fig. 9 — MPKI of MTAGE-SC components and Big-BranchNet (%s mode)", c.Mode.Name),
@@ -59,6 +56,12 @@ func Fig9(c *Context) ([]Fig9Result, Table) {
 			f2(r.WithBig), fmt.Sprintf("%d", r.ImprovedBranchs))
 		sumBase += r.MTAGESC
 		sumBig += r.WithBig
+		// A hybrid that regresses on the test input is reported, not
+		// erased: silently clamping it would hide attach-filter failures.
+		if r.WithBig > r.MTAGESC {
+			t.Notes = append(t.Notes, fmt.Sprintf(
+				"REGRESSION: %s hybrid MPKI %.3f exceeds MTAGE-SC %.3f", r.Benchmark, r.WithBig, r.MTAGESC))
+		}
 	}
 	if len(results) > 0 {
 		n := float64(len(results))

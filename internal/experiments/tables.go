@@ -125,7 +125,7 @@ type TableIVRow struct {
 func TableIV(c *Context) ([]TableIVRow, Table) {
 	p := bench.ByName("leela")
 	tests := c.TestTraces(p)
-	baseMPKI, _ := evalOn(func() predictor.Predictor { return newBaseline("tage64") }, tests)
+	baseMPKI, _ := c.EvalBaseline(p, "tage64")
 	reduction := func(models []*branchnet.Attached) float64 {
 		mpki, _ := evalOn(func() predictor.Predictor {
 			return hybrid.New(newBaseline("tage64"), models, "")
@@ -152,8 +152,7 @@ func TableIV(c *Context) ([]TableIVRow, Table) {
 	cfg.MaxModels = c.Mode.MaxModels
 	cfg.Train = c.Mode.MiniTrain
 	cfg.Quantize = false // keep float models; quantize manually below
-	miniModels := branchnet.TrainOffline(cfg, c.TrainTraces(p), c.ValidTrace(p),
-		func() predictor.Predictor { return newBaseline("tage64") })
+	miniModels := c.TrainOffline(cfg, p, "tage64")
 
 	// Step 2: Big restricted to the same branches Mini predicts.
 	miniPCs := make(map[uint64]bool, len(miniModels))

@@ -60,9 +60,38 @@ func (r Result) MPKI(tr *trace.Trace) float64 {
 
 // Evaluate drives p over tr and returns misprediction statistics.
 func Evaluate(p Predictor, tr *trace.Trace) Result {
+	res, _ := evaluate(p, tr, false)
+	return res
+}
+
+// CorrectLog records, per static branch, whether each dynamic occurrence
+// (in trace order) was predicted correctly. It lets offline training
+// compare a candidate model against the baseline on exactly the same
+// dynamic instances, instead of comparing a subsample against a full-run
+// aggregate.
+type CorrectLog map[uint64][]bool
+
+// Correct reports whether occurrence i of the branch at pc was predicted
+// correctly (false when the occurrence was not logged).
+func (l CorrectLog) Correct(pc, i uint64) bool {
+	v := l[pc]
+	return i < uint64(len(v)) && v[i]
+}
+
+// EvaluateWithLog is Evaluate plus a per-branch, per-occurrence
+// correctness log. Memory is one bool per trace record.
+func EvaluateWithLog(p Predictor, tr *trace.Trace) (Result, CorrectLog) {
+	return evaluate(p, tr, true)
+}
+
+func evaluate(p Predictor, tr *trace.Trace, logCorrect bool) (Result, CorrectLog) {
 	res := Result{
 		PerBranch:     make(map[uint64]uint64),
 		ExecPerBranch: make(map[uint64]uint64),
+	}
+	var log CorrectLog
+	if logCorrect {
+		log = make(CorrectLog)
 	}
 	for i := range tr.Records {
 		r := &tr.Records[i]
@@ -74,8 +103,11 @@ func Evaluate(p Predictor, tr *trace.Trace) Result {
 			res.Mispredicts++
 			res.PerBranch[r.PC]++
 		}
+		if logCorrect {
+			log[r.PC] = append(log[r.PC], pred == r.Taken)
+		}
 	}
-	return res
+	return res, log
 }
 
 // StaticBias is the strongest offline predictor usable without runtime
