@@ -1,11 +1,39 @@
 #!/bin/sh
-# CI gate: vet, build, then the short test suite under the race detector.
-# The experiment runner fans work out across goroutines (worker pools +
-# single-flight caches), so -race is mandatory on every PR; -short skips
-# the long training experiments while still covering the cache, extraction,
-# and attach-filter logic they rely on.
+# CI gate: formatting, vet, build, the short test suite under the race
+# detector, and an end-to-end smoke test of the serving stack.
+# The experiment runner and the serving daemon both fan work out across
+# goroutines (worker pools, single-flight caches, the micro-batcher), so
+# -race is mandatory on every PR; -short skips the long training
+# experiments while still covering the cache, extraction, and attach-filter
+# logic they rely on.
 set -eux
+
+# gofmt gate: -l lists non-conforming files; any output fails the build.
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" "$unformatted" >&2
+    exit 1
+fi
 
 go vet ./...
 go build ./...
 go test -short -race ./...
+
+# Serving smoke test: build deterministic synthetic models from a trace,
+# serve them, replay the trace through HTTP for ~2s from several sessions,
+# and require non-zero predictions, bit-exact parity with the in-process
+# hybrid evaluation (loadgen exits non-zero otherwise), and a clean
+# SIGTERM drain of the daemon.
+smoke=$(mktemp -d)
+trap 'rm -rf "$smoke"' EXIT
+go build -o "$smoke" ./cmd/branchnet-serve ./cmd/branchnet-loadgen
+"$smoke/branchnet-loadgen" -bench mcf -branches 6000 -synth 3 \
+    -write-synth "$smoke/models.bnm"
+"$smoke/branchnet-serve" -addr 127.0.0.1:0 -addr-file "$smoke/addr" \
+    -models "$smoke/models.bnm" &
+serve_pid=$!
+"$smoke/branchnet-loadgen" -addr-file "$smoke/addr" -wait 10s \
+    -bench mcf -branches 6000 -models "$smoke/models.bnm" \
+    -sessions 6 -duration 2s -json "$smoke/BENCH_serve.json"
+kill -TERM "$serve_pid"
+wait "$serve_pid"

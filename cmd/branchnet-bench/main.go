@@ -16,8 +16,10 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
+	"branchnet/internal/bench"
 	"branchnet/internal/experiments"
 )
 
@@ -46,6 +48,9 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker-pool width for per-benchmark fan-out and the -all figure suite (0 = GOMAXPROCS)")
 	flag.Parse()
 
+	if *parallel < 0 {
+		log.Fatalf("-parallel must be >= 0, got %d", *parallel)
+	}
 	var m experiments.Mode
 	switch *mode {
 	case "quick":
@@ -56,7 +61,13 @@ func main() {
 		log.Fatalf("unknown mode %q", *mode)
 	}
 	if *benchmarks != "" {
-		m.Benchmarks = splitComma(*benchmarks)
+		names := splitComma(*benchmarks)
+		for _, n := range names {
+			if bench.ByName(n) == nil {
+				log.Fatalf("unknown benchmark %q (known: %s)", n, strings.Join(knownBenchmarks(), ", "))
+			}
+		}
+		m.Benchmarks = names
 	}
 	ctx := experiments.NewContext(m)
 	ctx.Parallel = *parallel
@@ -147,6 +158,16 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr, "hint: use -fig N, -table 4 or -all to run the training experiments")
 	}
+}
+
+// knownBenchmarks lists every name -benchmarks accepts: the SPEC-like
+// suite plus the Fig. 3 microbenchmark.
+func knownBenchmarks() []string {
+	var names []string
+	for _, p := range bench.All() {
+		names = append(names, p.Name)
+	}
+	return append(names, "noisyhistory")
 }
 
 func splitComma(s string) []string {

@@ -1,0 +1,189 @@
+// Command branchnet-loadgen replays synthetic benchmark traces against a
+// running branchnet-serve daemon and reports throughput, latency, and —
+// its real purpose — prediction parity: every served prediction is checked
+// bit-for-bit against an in-process hybrid evaluation of the same trace,
+// baseline, and models.
+//
+// Usage:
+//
+//	branchnet-loadgen -addr 127.0.0.1:8080 -bench mcf -branches 20000 \
+//	    -models models.bnm -sessions 8 -json BENCH_serve.json
+//
+// With -write-synth the tool instead profiles the trace, builds -synth
+// deterministic synthetic models for its hottest branches, writes them as
+// a BNM1 file, and exits — the file a smoke test then hands to both the
+// server (-models) and a second loadgen run (-models, for the parity
+// reference).
+//
+// Exit status is non-zero on any parity mismatch, client error, or a run
+// that produced no predictions.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"branchnet/internal/bench"
+	"branchnet/internal/branchnet"
+	"branchnet/internal/engine"
+	"branchnet/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("branchnet-loadgen: ")
+
+	addr := flag.String("addr", "127.0.0.1:8080", "server address")
+	addrFile := flag.String("addr-file", "", "read the server address from this file (written by branchnet-serve -addr-file)")
+	wait := flag.Duration("wait", 5*time.Second, "how long to wait for the server to become ready")
+	benchName := flag.String("bench", "mcf", "benchmark program to replay")
+	split := flag.String("split", "test", "input split: train, validation, or test")
+	branches := flag.Int("branches", 20000, "trace length in branch records")
+	models := flag.String("models", "", "comma-separated BNM1 files for the parity reference (must match the server's)")
+	baseline := flag.String("baseline", "tage64", "baseline preset (must match the server's): "+strings.Join(serve.BaselineNames(), ", "))
+	sessions := flag.Int("sessions", 4, "concurrent client sessions")
+	chunk := flag.Int("chunk", 64, "records per request")
+	qps := flag.Float64("qps", 0, "target total request rate (0 = unpaced)")
+	duration := flag.Duration("duration", 0, "run length (0 = one trace pass per session)")
+	deadlineMS := flag.Int64("deadline-ms", 0, "per-request deadline forwarded to the server (0 = server default)")
+	jsonOut := flag.String("json", "", "write the load report as JSON to this file")
+	synth := flag.Int("synth", 0, "with -write-synth: number of synthetic models to build")
+	writeSynth := flag.String("write-synth", "", "profile the trace, write synthetic models as BNM1 to this file, and exit")
+	noParity := flag.Bool("no-parity", false, "skip the parity check (throughput measurement only)")
+	flag.Parse()
+
+	p := bench.ByName(*benchName)
+	if p == nil {
+		log.Fatalf("unknown benchmark %q", *benchName)
+	}
+	var sp bench.Split
+	switch *split {
+	case "train":
+		sp = bench.Train
+	case "validation":
+		sp = bench.Validation
+	case "test":
+		sp = bench.Test
+	default:
+		log.Fatalf("unknown split %q (train, validation, test)", *split)
+	}
+	tr := p.Generate(p.Inputs(sp)[0], *branches)
+	log.Printf("trace: %s/%s, %d branches", *benchName, *split, tr.Branches())
+
+	if *writeSynth != "" {
+		if *synth <= 0 {
+			log.Fatalf("-write-synth needs -synth > 0")
+		}
+		ms := serve.SyntheticModels(tr, *synth, 1)
+		f, err := os.Create(*writeSynth)
+		if err != nil {
+			log.Fatalf("creating %s: %v", *writeSynth, err)
+		}
+		if err := engine.WriteModels(f, ms); err != nil {
+			log.Fatalf("writing models: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("closing %s: %v", *writeSynth, err)
+		}
+		log.Printf("wrote %d synthetic models to %s", len(ms), *writeSynth)
+		return
+	}
+
+	newBase, ok := serve.Baselines[*baseline]
+	if !ok {
+		log.Fatalf("unknown baseline %q (known: %s)", *baseline, strings.Join(serve.BaselineNames(), ", "))
+	}
+
+	var attached []*branchnet.Attached
+	for _, path := range strings.Split(*models, ",") {
+		if path = strings.TrimSpace(path); path == "" {
+			continue
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatalf("opening %s: %v", path, err)
+		}
+		ms, err := engine.ReadModels(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("reading %s: %v", path, err)
+		}
+		attached = append(attached, branchnet.FromEngine(ms)...)
+	}
+
+	var expected []bool
+	if !*noParity {
+		expected = serve.ExpectedPredictions(newBase, attached, tr)
+	}
+
+	target := *addr
+	if *addrFile != "" {
+		// The daemon writes the file after binding; when both start
+		// together (the CI smoke test), poll for it within -wait.
+		deadline := time.Now().Add(*wait)
+		for {
+			b, err := os.ReadFile(*addrFile)
+			if err == nil && len(strings.TrimSpace(string(b))) > 0 {
+				target = strings.TrimSpace(string(b))
+				break
+			}
+			if !time.Now().Before(deadline) {
+				log.Fatalf("reading -addr-file: %v", err)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	baseURL := "http://" + target
+	if err := serve.WaitReady(baseURL, *wait); err != nil {
+		log.Fatal(err)
+	}
+
+	rep, err := serve.RunLoad(serve.LoadConfig{
+		BaseURL:    baseURL,
+		Trace:      tr,
+		Expected:   expected,
+		Sessions:   *sessions,
+		Chunk:      *chunk,
+		QPS:        *qps,
+		Duration:   *duration,
+		DeadlineMS: *deadlineMS,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	log.Printf("%d requests, %d predictions (%d from models) in %.2fs: %.0f req/s, %.0f pred/s",
+		rep.Requests, rep.Predictions, rep.ModelPredictions, rep.DurationSeconds, rep.QPS, rep.PredictionsPerSec)
+	log.Printf("latency: mean %.3fms p50 %.3fms p99 %.3fms; 429 retries %d, errors %d",
+		rep.LatencyMean*1e3, rep.LatencyP50*1e3, rep.LatencyP99*1e3, rep.Retries429, rep.Errors)
+	log.Printf("server: batch-size mean %.2f over %d fused calls, %d rejected",
+		rep.Server.BatchSizes.Mean, rep.Server.BatchSizes.Count, rep.Server.Rejected)
+	if expected != nil {
+		log.Printf("parity: %d mismatches of %d predictions", rep.Mismatches, rep.Predictions)
+	}
+
+	if *jsonOut != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatalf("encoding report: %v", err)
+		}
+		if err := os.WriteFile(*jsonOut, append(b, '\n'), 0o644); err != nil {
+			log.Fatalf("writing %s: %v", *jsonOut, err)
+		}
+		log.Printf("report written to %s", *jsonOut)
+	}
+
+	switch {
+	case rep.Predictions == 0:
+		log.Fatal("FAIL: no predictions served")
+	case rep.Mismatches != 0:
+		log.Fatalf("FAIL: %d parity mismatches", rep.Mismatches)
+	case rep.Errors != 0:
+		log.Fatalf("FAIL: %d client errors", rep.Errors)
+	}
+	log.Print("OK")
+}

@@ -1,0 +1,131 @@
+// Command branchnet-serve is the BranchNet inference daemon: it loads BNM1
+// model files into a versioned registry and serves hybrid (baseline +
+// BranchNet) predictions over HTTP with per-client sessions, dynamic
+// micro-batching, bounded admission, and hot model reload.
+//
+// Usage:
+//
+//	branchnet-serve -models models.bnm [-addr :8080] [-baseline tage64]
+//
+// Endpoints: POST /v1/predict, POST /v1/reload, GET /healthz, GET /metrics,
+// GET /v1/stats. SIGHUP re-reads the -models files in place (old versions
+// drain before their tables are dropped); SIGINT/SIGTERM shut down
+// gracefully, draining in-flight batches.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"branchnet/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("branchnet-serve: ")
+
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening (for scripted startups)")
+	models := flag.String("models", "", "comma-separated BNM1 model files to load (empty: baseline only)")
+	baseline := flag.String("baseline", "tage64", "per-session runtime baseline: "+strings.Join(serve.BaselineNames(), ", "))
+	maxBatch := flag.Int("max-batch", 32, "micro-batcher flush size")
+	maxDelay := flag.Duration("max-delay", 200*time.Microsecond, "micro-batcher straggler wait")
+	inflight := flag.Int("inflight", 512, "admitted-request limit before 429")
+	queue := flag.Int("queue", 0, "batch queue length (0 or < inflight: clamped to inflight)")
+	maxSessions := flag.Int("max-sessions", 4096, "live-session limit before 429")
+	sessionTTL := flag.Duration("session-ttl", 5*time.Minute, "idle-session eviction age")
+	deadline := flag.Duration("deadline", 2*time.Second, "default per-request deadline")
+	flag.Parse()
+
+	newBase, ok := serve.Baselines[*baseline]
+	if !ok {
+		log.Fatalf("unknown baseline %q (known: %s)", *baseline, strings.Join(serve.BaselineNames(), ", "))
+	}
+	var paths []string
+	for _, p := range strings.Split(*models, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			paths = append(paths, p)
+		}
+	}
+
+	s := serve.New(serve.Config{
+		NewBaseline:     newBase,
+		MaxBatch:        *maxBatch,
+		MaxDelay:        *maxDelay,
+		QueueLen:        *queue,
+		MaxInflight:     *inflight,
+		MaxSessions:     *maxSessions,
+		SessionTTL:      *sessionTTL,
+		DefaultDeadline: *deadline,
+		ModelPaths:      paths,
+	})
+	if len(paths) > 0 {
+		set, err := s.Registry().LoadFiles(paths)
+		if err != nil {
+			log.Fatalf("loading models: %v", err)
+		}
+		log.Printf("loaded %d models (version %d) from %s", set.Len(), set.Version, set.Source)
+	} else {
+		log.Printf("no models given; serving %s baseline predictions only", *baseline)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			log.Fatalf("writing -addr-file: %v", err)
+		}
+	}
+	log.Printf("serving on http://%s", ln.Addr())
+
+	httpSrv := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	reload := make(chan os.Signal, 1)
+	signal.Notify(reload, syscall.SIGHUP)
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, os.Interrupt, syscall.SIGTERM)
+
+	for {
+		select {
+		case <-reload:
+			if len(paths) == 0 {
+				log.Printf("SIGHUP ignored: no -models configured")
+				continue
+			}
+			set, err := s.Registry().LoadFiles(paths)
+			if err != nil {
+				log.Printf("reload failed, keeping current models: %v", err)
+				continue
+			}
+			log.Printf("reloaded %d models (version %d)", set.Len(), set.Version)
+		case sig := <-quit:
+			log.Printf("%s: shutting down", sig)
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			if err := httpSrv.Shutdown(ctx); err != nil {
+				log.Printf("http shutdown: %v", err)
+			}
+			cancel()
+			s.Drain()
+			log.Printf("drained; bye")
+			return
+		case err := <-serveErr:
+			if err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Fatalf("serve: %v", err)
+			}
+			return
+		}
+	}
+}

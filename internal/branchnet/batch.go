@@ -1,0 +1,18 @@
+package branchnet
+
+// PredictBatch evaluates the attached model on a batch of independent
+// history windows, writing the prediction for (hists[i], branchCounts[i])
+// into out[i]. It is the coalesced form the serving micro-batcher flushes
+// through: engine models share one feature scratch across the batch,
+// float models one folded-state fetch and fused-path scratch. Either way
+// every item computes exactly what Predict would, so served batches are
+// bit-identical to per-call prediction (and therefore to hybrid
+// evaluation). Models are read-only after training, so PredictBatch is
+// safe to call concurrently with itself and with Predict.
+func (a *Attached) PredictBatch(hists [][]uint32, branchCounts []uint64, out []bool) {
+	if a.Engine != nil {
+		a.Engine.PredictBatch(hists, branchCounts, out)
+		return
+	}
+	a.Float.PredictBatch(hists, out)
+}

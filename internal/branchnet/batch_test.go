@@ -1,0 +1,156 @@
+package branchnet
+
+import (
+	"sync"
+	"testing"
+
+	"branchnet/internal/engine"
+)
+
+// testHistories builds a deterministic battery of history windows.
+func testHistories(n, window int, pcBits uint) [][]uint32 {
+	hists := make([][]uint32, n)
+	for i := range hists {
+		h := make([]uint32, window)
+		for j := range h {
+			h[j] = uint32((i*131+j)*2654435761) & ((1 << (pcBits + 1)) - 1)
+		}
+		hists[i] = h
+	}
+	return hists
+}
+
+// smallTestModel returns an untrained (randomly initialized, deterministic)
+// float model that is cheap to build but runs the full fused path.
+func smallTestModel(t *testing.T) *Model {
+	t.Helper()
+	k := Knobs{
+		Name:         "batch-test",
+		History:      []int{16, 32},
+		Channels:     []int{4, 4},
+		PoolWidths:   []int{4, 8},
+		PrecisePool:  []bool{true, false},
+		PCBits:       10,
+		EmbeddingDim: 4,
+		ConvWidth:    3,
+		Hidden:       []int{8},
+	}
+	return New(k, 0x400000, 42)
+}
+
+// TestPredictBatchMatchesPredict pins the batched fused path to the
+// single-call path, for both model forms the serving batcher dispatches to.
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	fm := smallTestModel(t)
+	hists := testHistories(64, fm.Knobs.WindowTokens(), fm.Knobs.PCBits)
+
+	out := make([]bool, len(hists))
+	fm.PredictBatch(hists, out)
+	for i, h := range hists {
+		if want := fm.Predict(h); out[i] != want {
+			t.Fatalf("float batch item %d: got %v, want %v", i, out[i], want)
+		}
+	}
+
+	em := engine.Synthetic(0x400000, 7)
+	a := &Attached{PC: em.PC, Engine: em}
+	counts := make([]uint64, len(hists))
+	for i := range counts {
+		counts[i] = uint64(i * 3)
+	}
+	aout := make([]bool, len(hists))
+	a.PredictBatch(hists, counts, aout)
+	for i, h := range hists {
+		if want := em.Predict(h, counts[i]); aout[i] != want {
+			t.Fatalf("engine batch item %d: got %v, want %v", i, aout[i], want)
+		}
+	}
+}
+
+// TestConcurrentFusedInference hammers one loaded model from many
+// goroutines — mixing single predictions and batched calls — and asserts
+// every output matches the single-threaded result. This is the batcher's
+// core assumption: a model shared by every in-flight request must be safe
+// for concurrent read-only inference (the folded tables are built lazily
+// under a lock and never mutated afterwards). Run under -race by ci.sh.
+func TestConcurrentFusedInference(t *testing.T) {
+	fm := smallTestModel(t)
+	em := engine.Synthetic(0x400040, 11)
+	attached := []*Attached{
+		{PC: fm.PC, Knobs: fm.Knobs, Float: fm},
+		{PC: em.PC, Engine: em},
+	}
+	window := fm.Knobs.WindowTokens()
+	if w := em.Window(); w > window {
+		window = w
+	}
+	// Token width follows the float model's vocabulary (the engine model
+	// hashes tokens, so a narrower alphabet is fine for it too).
+	hists := testHistories(128, window, fm.Knobs.PCBits)
+	counts := make([]uint64, len(hists))
+	for i := range counts {
+		counts[i] = uint64(i)
+	}
+
+	// Single-threaded oracle. Computed before spawning workers so the lazy
+	// fold is exercised concurrently too on a second, fresh model below.
+	want := make([][]bool, len(attached))
+	for ai, a := range attached {
+		want[ai] = make([]bool, len(hists))
+		for i, h := range hists {
+			want[ai][i] = a.Predict(h, counts[i])
+		}
+	}
+
+	// A model whose folded state has never been built: the first workers
+	// race to build it under inferMu.
+	coldModel := smallTestModel(t)
+	cold := &Attached{PC: coldModel.PC, Knobs: coldModel.Knobs, Float: coldModel}
+	coldWant := make([]bool, len(hists))
+
+	var once sync.Once
+	var wg sync.WaitGroup
+	const workers = 16
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for ai, a := range attached {
+				if w%2 == 0 {
+					for i, h := range hists {
+						if got := a.Predict(h, counts[i]); got != want[ai][i] {
+							errs <- "concurrent Predict diverged from single-threaded result"
+							return
+						}
+					}
+				} else {
+					out := make([]bool, len(hists))
+					a.PredictBatch(hists, counts, out)
+					for i := range out {
+						if out[i] != want[ai][i] {
+							errs <- "concurrent PredictBatch diverged from single-threaded result"
+							return
+						}
+					}
+				}
+			}
+			// Race on the lazy fold: all workers hit the cold model; the
+			// first computes the oracle exactly once.
+			out := make([]bool, len(hists))
+			cold.PredictBatch(hists, counts, out)
+			once.Do(func() { copy(coldWant, out) })
+			for i := range out {
+				if out[i] != coldWant[i] {
+					errs <- "lazily folded model diverged across goroutines"
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}

@@ -232,18 +232,54 @@ func (m *Model) invalidateInfer() {
 	inferMu.Unlock()
 }
 
-// inferLogit is the allocation-light fused equivalent of
-// Forward(batch-of-1, nil, false).
-func (m *Model) inferLogit(hist []uint32) float32 {
-	mi := m.inferState()
-	feats := make([]float32, mi.featLen)
+// inferScratch holds the per-call buffers of the fused path. A scratch may
+// be reused across sequential logit calls (the batched path shares one per
+// batch) but never concurrently.
+type inferScratch struct {
+	feats []float32
+	row   []float32
+}
+
+func (mi *modelInfer) newScratch() *inferScratch {
 	maxC := 0
 	for _, si := range mi.slices {
 		if si.channels > maxC {
 			maxC = si.channels
 		}
 	}
-	row := make([]float32, maxC)
+	return &inferScratch{
+		feats: make([]float32, mi.featLen),
+		row:   make([]float32, maxC),
+	}
+}
+
+// inferLogit is the allocation-light fused equivalent of
+// Forward(batch-of-1, nil, false).
+func (m *Model) inferLogit(hist []uint32) float32 {
+	mi := m.inferState()
+	return mi.logit(hist, mi.newScratch())
+}
+
+// PredictBatch evaluates the fused inference path over a batch of history
+// windows, writing Predict(hists[i]) into out[i]. The folded state is
+// fetched once and one scratch buffer set serves the whole batch, so a
+// coalesced batch (the serving micro-batcher's flush) pays the fold lookup
+// and allocations once instead of per request. Each item runs the exact
+// operation sequence of Predict, so results are bit-identical to per-call
+// prediction.
+func (m *Model) PredictBatch(hists [][]uint32, out []bool) {
+	mi := m.inferState()
+	sc := mi.newScratch()
+	for i, h := range hists {
+		out[i] = mi.logit(h, sc) >= 0
+	}
+}
+
+// logit computes the fused forward pass for one history window using the
+// caller's scratch buffers.
+func (mi *modelInfer) logit(hist []uint32, sc *inferScratch) float32 {
+	feats := sc.feats
+	row := sc.row
 	off := 0
 	for _, si := range mi.slices {
 		fl := si.pooledLen * si.channels

@@ -61,7 +61,7 @@ func TestOfflineRejectsIrreducibleNoise(t *testing.T) {
 func TestExtractThreadsCountAndOccurrence(t *testing.T) {
 	tr := &trace.Trace{Records: []trace.Record{
 		{PC: 0x10, Taken: true},
-		{PC: 0x99, Taken: true},  // occurrence 0, count 1
+		{PC: 0x99, Taken: true}, // occurrence 0, count 1
 		{PC: 0x20, Taken: false},
 		{PC: 0x99, Taken: false}, // occurrence 1, count 3
 		{PC: 0x99, Taken: true},  // occurrence 2, count 4

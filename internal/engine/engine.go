@@ -120,6 +120,28 @@ func GramHash(window []uint32, t, k int, bits uint) int {
 // zero-padded.
 func (m *Model) Predict(hist []uint32, branchCount uint64) bool {
 	features := m.ExtractFeatures(hist, branchCount)
+	return m.classify(features)
+}
+
+// PredictBatch evaluates the model on a batch of independent history
+// windows, writing the prediction for (hists[i], branchCounts[i]) into
+// out[i]. The engine is integer-only and per-item evaluation is exactly
+// Predict, so the batch form is bit-identical to len(hists) Predict calls;
+// it exists so the serving micro-batcher can coalesce concurrent requests
+// into one call that shares the feature scratch buffer across the batch.
+// The model's tables are read-only, so PredictBatch is safe to call
+// concurrently.
+func (m *Model) PredictBatch(hists [][]uint32, branchCounts []uint64, out []bool) {
+	features := make([]uint8, m.Features())
+	for i := range hists {
+		m.extractFeaturesInto(features, hists[i], branchCounts[i])
+		out[i] = m.classify(features)
+	}
+}
+
+// classify runs the fully-connected layer and the final lookup table over
+// an extracted feature vector.
+func (m *Model) classify(features []uint8) bool {
 	pattern := 0
 	for n := range m.W1 {
 		var acc int64
@@ -141,8 +163,15 @@ func (m *Model) Predict(hist []uint32, branchCount uint64) bool {
 // the inputs of the first fully-connected layer. Exposed for the
 // calibration passes of the quantization pipeline.
 func (m *Model) ExtractFeatures(hist []uint32, branchCount uint64) []uint8 {
-	f := 0
 	features := make([]uint8, m.Features())
+	m.extractFeaturesInto(features, hist, branchCount)
+	return features
+}
+
+// extractFeaturesInto is ExtractFeatures writing into a caller-owned
+// buffer of length m.Features().
+func (m *Model) extractFeaturesInto(features []uint8, hist []uint32, branchCount uint64) {
+	f := 0
 	sums := make([]int, 0, 16)
 	for si := range m.Slices {
 		s := &m.Slices[si]
@@ -176,5 +205,4 @@ func (m *Model) ExtractFeatures(hist []uint32, branchCount uint64) []uint8 {
 			}
 		}
 	}
-	return features
 }

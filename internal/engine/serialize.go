@@ -31,6 +31,11 @@ func WriteModels(w io.Writer, models []*Model) error {
 }
 
 // ReadModels decodes models written by WriteModels.
+//
+// The input is treated as untrusted (the serving daemon loads model files
+// over a reload endpoint): every decode error is returned wrapped — never a
+// panic — and all table sizes are bounds-checked before allocation, so
+// truncated or corrupt bytes cost at most a small, size-capped read.
 func ReadModels(r io.Reader) ([]*Model, error) {
 	br := bufio.NewReader(r)
 	var magic [4]byte
@@ -42,7 +47,7 @@ func ReadModels(r io.Reader) ([]*Model, error) {
 	}
 	count, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("engine: reading model count: %w", err)
 	}
 	if count > 1<<16 {
 		return nil, fmt.Errorf("engine: implausible model count %d", count)
@@ -101,16 +106,21 @@ func writeModel(w *bufio.Writer, m *Model) error {
 	return nil
 }
 
+// maxFeatures bounds the decoded FC input width. Real models stay in the
+// hundreds; the cap keeps a corrupt header from forcing a multi-hundred-MB
+// W1 allocation before the truncated body is even read.
+const maxFeatures = 1 << 18
+
 func readModel(r *bufio.Reader) (*Model, error) {
 	m := &Model{}
 	pc, err := binary.ReadUvarint(r)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("reading pc: %w", err)
 	}
 	m.PC = pc
 	q, err := binary.ReadUvarint(r)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("reading quant bits: %w", err)
 	}
 	if q == 0 || q > 8 {
 		return nil, fmt.Errorf("bad quant bits %d", q)
@@ -118,7 +128,7 @@ func readModel(r *bufio.Reader) (*Model, error) {
 	m.QuantBits = uint(q)
 	pb, err := binary.ReadUvarint(r)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("reading pc bits: %w", err)
 	}
 	if pb == 0 || pb > 32 {
 		return nil, fmt.Errorf("bad pc bits %d", pb)
@@ -126,7 +136,7 @@ func readModel(r *bufio.Reader) (*Model, error) {
 	m.PCBits = uint(pb)
 	nSlices, err := binary.ReadUvarint(r)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("reading slice count: %w", err)
 	}
 	if nSlices == 0 || nSlices > 16 {
 		return nil, fmt.Errorf("bad slice count %d", nSlices)
@@ -135,7 +145,7 @@ func readModel(r *bufio.Reader) (*Model, error) {
 		vals := make([]uint64, 6)
 		for j := range vals {
 			if vals[j], err = binary.ReadUvarint(r); err != nil {
-				return nil, err
+				return nil, fmt.Errorf("slice %d: reading spec: %w", i, err)
 			}
 		}
 		spec := SliceSpec{
@@ -143,8 +153,9 @@ func readModel(r *bufio.Reader) (*Model, error) {
 			ConvWidth: int(vals[3]), HashBits: uint(vals[4]), Precise: vals[5] == 1,
 		}
 		if spec.Hist <= 0 || spec.Hist > 1<<16 || spec.Channels <= 0 || spec.Channels > 64 ||
-			spec.PoolWidth <= 0 || spec.HashBits > 16 || spec.ConvWidth <= 0 || spec.ConvWidth > 16 {
-			return nil, fmt.Errorf("implausible slice spec %+v", spec)
+			spec.PoolWidth <= 0 || spec.PoolWidth > 1<<16 ||
+			spec.HashBits > 16 || spec.ConvWidth <= 0 || spec.ConvWidth > 16 {
+			return nil, fmt.Errorf("slice %d: implausible spec %+v", i, spec)
 		}
 		lut := make([][]int8, 1<<spec.HashBits)
 		for g := range lut {
@@ -152,7 +163,12 @@ func readModel(r *bufio.Reader) (*Model, error) {
 			for c := range row {
 				b, err := r.ReadByte()
 				if err != nil {
-					return nil, err
+					return nil, fmt.Errorf("slice %d: reading conv LUT: %w", i, err)
+				}
+				// Anything but the two legal encodings of ±1 would break
+				// the pooling-sum bound |sum| <= P that sizes PoolCode.
+				if b > 1 {
+					return nil, fmt.Errorf("slice %d: conv LUT byte %#x is not a sign bit", i, b)
 				}
 				row[c] = int8(b)*2 - 1
 			}
@@ -162,7 +178,7 @@ func readModel(r *bufio.Reader) (*Model, error) {
 		for c := range codes {
 			tbl := make([]uint8, 2*spec.PoolWidth+1)
 			if _, err := io.ReadFull(r, tbl); err != nil {
-				return nil, err
+				return nil, fmt.Errorf("slice %d: reading pool codes: %w", i, err)
 			}
 			codes[c] = tbl
 		}
@@ -170,30 +186,33 @@ func readModel(r *bufio.Reader) (*Model, error) {
 	}
 	hidden, err := binary.ReadUvarint(r)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("reading hidden width: %w", err)
 	}
 	if hidden == 0 || hidden > 20 {
 		return nil, fmt.Errorf("bad hidden width %d", hidden)
 	}
 	features := m.Features()
+	if features > maxFeatures {
+		return nil, fmt.Errorf("implausible feature width %d", features)
+	}
 	for n := uint64(0); n < hidden; n++ {
 		row := make([]int16, features)
 		for i := range row {
 			v, err := binary.ReadVarint(r)
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("neuron %d: reading weights: %w", n, err)
 			}
 			row[i] = int16(v)
 		}
 		m.W1 = append(m.W1, row)
 		th, err := binary.ReadVarint(r)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("neuron %d: reading threshold: %w", n, err)
 		}
 		m.Thresh = append(m.Thresh, th)
 		fl, err := binary.ReadUvarint(r)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("neuron %d: reading flip bit: %w", n, err)
 		}
 		m.Flip = append(m.Flip, fl == 1)
 	}
@@ -201,7 +220,7 @@ func readModel(r *bufio.Reader) (*Model, error) {
 	for i := range m.FinalLUT {
 		b, err := r.ReadByte()
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("reading final LUT: %w", err)
 		}
 		m.FinalLUT[i] = b == 1
 	}

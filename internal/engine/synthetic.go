@@ -1,0 +1,72 @@
+package engine
+
+// Synthetic returns a small, structurally valid quantized model for one
+// branch PC, filled deterministically from seed. It is not trained — its
+// predictions are an arbitrary (but fixed) function of the history — so it
+// stands in for real Mini-BranchNet models wherever offline training is too
+// slow: the serialization fuzz corpus, the serving tests, and the ci.sh
+// serve smoke test. Two calls with equal (pc, seed) build bit-identical
+// models, which is what lets a load generator and a server reconstruct the
+// same parity oracle independently.
+func Synthetic(pc uint64, seed uint64) *Model {
+	rng := seed*0x9e3779b97f4a7c15 + pc | 1
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	const quantBits = 2
+	m := &Model{PC: pc, QuantBits: quantBits, PCBits: 12}
+	specs := []SliceSpec{
+		{Hist: 12, Channels: 2, PoolWidth: 3, ConvWidth: 3, HashBits: 5, Precise: true},
+		{Hist: 24, Channels: 2, PoolWidth: 6, ConvWidth: 3, HashBits: 5, Precise: false},
+	}
+	for _, spec := range specs {
+		s := Slice{Spec: spec}
+		s.ConvLUT = make([][]int8, 1<<spec.HashBits)
+		for g := range s.ConvLUT {
+			row := make([]int8, spec.Channels)
+			for c := range row {
+				if next()&1 == 1 {
+					row[c] = 1
+				} else {
+					row[c] = -1
+				}
+			}
+			s.ConvLUT[g] = row
+		}
+		s.PoolCode = make([][]uint8, spec.Channels)
+		for c := range s.PoolCode {
+			// Monotone code of the window's running sum, like the real
+			// folded quantizer, jittered per channel so channels differ.
+			tbl := make([]uint8, 2*spec.PoolWidth+1)
+			off := int(next() % uint64(len(tbl)))
+			for i := range tbl {
+				v := (i + off) * ((1 << quantBits) - 1) / (len(tbl) - 1)
+				if v > (1<<quantBits)-1 {
+					v = (1 << quantBits) - 1
+				}
+				tbl[i] = uint8(v)
+			}
+			s.PoolCode[c] = tbl
+		}
+		m.Slices = append(m.Slices, s)
+	}
+	const hidden = 4
+	features := m.Features()
+	for n := 0; n < hidden; n++ {
+		row := make([]int16, features)
+		for i := range row {
+			row[i] = int16(next()%7) - 3
+		}
+		m.W1 = append(m.W1, row)
+		m.Thresh = append(m.Thresh, int64(next()%31)-15)
+		m.Flip = append(m.Flip, next()&1 == 1)
+	}
+	m.FinalLUT = make([]bool, 1<<hidden)
+	for i := range m.FinalLUT {
+		m.FinalLUT[i] = next()&1 == 1
+	}
+	return m
+}

@@ -1,0 +1,65 @@
+package hybrid
+
+import (
+	"testing"
+
+	"branchnet/internal/trace"
+)
+
+// TestHistoryResizePreservesRecency verifies that re-shaping the ring (a
+// serving model-set reload) keeps the most recent tokens in view order and
+// zero-pads growth like a freshly warming ring.
+func TestHistoryResizePreservesRecency(t *testing.T) {
+	h := NewHistory(4, 12)
+	for i := 0; i < 10; i++ {
+		h.Push(uint64(i), i%2 == 0)
+	}
+	before := h.View(nil)
+	count := h.Count()
+
+	// Grow: the 4 known tokens stay most-recent-first, the rest read zero.
+	h.Resize(7, 12)
+	if h.Window() != 7 {
+		t.Fatalf("window after grow = %d, want 7", h.Window())
+	}
+	if h.Count() != count {
+		t.Fatalf("grow reset the branch counter: %d != %d", h.Count(), count)
+	}
+	after := h.View(nil)
+	for i := 0; i < 4; i++ {
+		if after[i] != before[i] {
+			t.Fatalf("token %d changed across grow: %#x != %#x", i, after[i], before[i])
+		}
+	}
+	for i := 4; i < 7; i++ {
+		if after[i] != 0 {
+			t.Fatalf("grown slot %d = %#x, want zero padding", i, after[i])
+		}
+	}
+
+	// Pushes after the grow land in front of the preserved tokens.
+	h.Push(99, true)
+	v := h.View(nil)
+	if want := trace.Token(99, true, 12); v[0] != want {
+		t.Fatalf("newest token after grow = %#x, want %#x", v[0], want)
+	}
+	if v[1] != before[0] {
+		t.Fatalf("second-newest after push = %#x, want %#x", v[1], before[0])
+	}
+
+	// Shrink keeps the newest tokens only.
+	h.Resize(2, 12)
+	v = h.View(nil)
+	if v[0] != trace.Token(99, true, 12) || v[1] != before[0] {
+		t.Fatalf("shrink lost recency order: %#x %#x", v[0], v[1])
+	}
+}
+
+// TestGeometryMatchesNew pins Geometry's no-model defaults to the ring
+// New builds for a bare hybrid.
+func TestGeometryMatchesNew(t *testing.T) {
+	w, pb := Geometry(nil)
+	if w != 1 || pb != 12 {
+		t.Fatalf("Geometry(nil) = (%d, %d), want (1, 12)", w, pb)
+	}
+}

@@ -4,6 +4,11 @@
 // and keeps training on every branch. This mirrors Fig. 6: the update
 // pipeline feeds all models' convolutional histories; prediction selects
 // the per-PC BranchNet table when one is attached.
+//
+// The token-history state lives in History, which is shared with the
+// serving daemon (internal/serve): a serving session is exactly this state
+// plus a baseline instance, so served predictions are bit-identical to an
+// in-process hybrid evaluation by construction.
 package hybrid
 
 import (
@@ -14,19 +19,114 @@ import (
 	"branchnet/internal/trace"
 )
 
+// History is the global branch-token history a hybrid deployment maintains:
+// a ring of packed (pc, direction) tokens, most recent last, plus the
+// free-running global branch counter that phases the engine's sliding
+// pooling windows. Methods are not safe for concurrent use; callers that
+// share a History across goroutines (serving sessions) serialize access.
+type History struct {
+	ring   []uint32
+	pos    int
+	window int
+	pcBits uint
+	count  uint64
+}
+
+// NewHistory returns an empty history ring of the given window (minimum 1)
+// and token PC width.
+func NewHistory(window int, pcBits uint) *History {
+	if window < 1 {
+		window = 1
+	}
+	return &History{ring: make([]uint32, window), window: window, pcBits: pcBits}
+}
+
+// Push appends one resolved branch to the history and advances the global
+// branch counter.
+func (h *History) Push(pc uint64, taken bool) {
+	h.ring[h.pos] = trace.Token(pc, taken, h.pcBits)
+	h.pos++
+	if h.pos == h.window {
+		h.pos = 0
+	}
+	h.count++
+}
+
+// View materializes the most-recent-first token view models consume. The
+// view is written into dst when it has the capacity, else freshly
+// allocated; either way the returned slice has length Window.
+func (h *History) View(dst []uint32) []uint32 {
+	if cap(dst) < h.window {
+		dst = make([]uint32, h.window)
+	}
+	dst = dst[:h.window]
+	for i := 0; i < h.window; i++ {
+		idx := h.pos - 1 - i
+		if idx < 0 {
+			idx += h.window
+		}
+		dst[i] = h.ring[idx]
+	}
+	return dst
+}
+
+// Count returns the global branch counter (the sliding-pooling phase).
+func (h *History) Count() uint64 { return h.count }
+
+// Window returns the ring capacity in tokens.
+func (h *History) Window() int { return h.window }
+
+// PCBits returns the token PC width.
+func (h *History) PCBits() uint { return h.pcBits }
+
+// Resize re-shapes the ring for a new model-set geometry, preserving the
+// most recent min(old, new) tokens; on growth the older slots read as
+// zeros, exactly like a freshly warming ring. Future pushes use the new
+// token PC width (already-recorded tokens keep their old packing — a
+// transient that lasts one window after a serving reload). The global
+// branch counter is never reset: it models hardware's free-running pointer.
+func (h *History) Resize(window int, pcBits uint) {
+	if window < 1 {
+		window = 1
+	}
+	h.pcBits = pcBits
+	if window == h.window {
+		return
+	}
+	view := h.View(nil)
+	keep := h.window
+	if keep > window {
+		keep = window
+	}
+	ring := make([]uint32, window)
+	for i := 0; i < keep; i++ {
+		ring[window-1-i] = view[i]
+	}
+	h.ring, h.pos, h.window = ring, 0, window
+}
+
+// Geometry derives the history window and token PC width a deployment
+// needs for a model set, exactly as New sizes its ring: the largest model
+// window (minimum 1), and the models' shared PC width (12 when no model is
+// attached). The serving registry uses it so sessions and in-process
+// hybrids agree bit-for-bit.
+func Geometry(models []*branchnet.Attached) (window int, pcBits uint) {
+	window, pcBits = 1, 12
+	for _, m := range models {
+		if w := m.Window(); w > window {
+			window = w
+		}
+		pcBits = m.PCBitsUsed()
+	}
+	return window, pcBits
+}
+
 // Predictor is the hybrid BranchNet + runtime-baseline predictor.
 type Predictor struct {
 	base   predictor.Predictor
 	models map[uint64]*branchnet.Attached
 
-	// Token history ring, most recent last; views are materialized
-	// most-recent-first for model prediction.
-	ring   []uint32
-	pos    int
-	window int
-	pcBits uint
-	count  uint64 // global branch counter (sliding pooling phase)
-
+	hist     *History
 	histView []uint32
 	name     string
 }
@@ -36,22 +136,17 @@ var _ predictor.Predictor = (*Predictor)(nil)
 // New wraps base with the attached models. All models must share PC bits;
 // the history window sizes may differ (the ring keeps the largest).
 func New(base predictor.Predictor, models []*branchnet.Attached, name string) *Predictor {
+	window, pcBits := Geometry(models)
 	h := &Predictor{
-		base:   base,
-		models: make(map[uint64]*branchnet.Attached, len(models)),
-		window: 1,
-		pcBits: 12,
-		name:   name,
+		base:     base,
+		models:   make(map[uint64]*branchnet.Attached, len(models)),
+		hist:     NewHistory(window, pcBits),
+		histView: make([]uint32, window),
+		name:     name,
 	}
 	for _, m := range models {
 		h.models[m.PC] = m
-		if w := m.Window(); w > h.window {
-			h.window = w
-		}
-		h.pcBits = m.PCBitsUsed()
 	}
-	h.ring = make([]uint32, h.window)
-	h.histView = make([]uint32, h.window)
 	return h
 }
 
@@ -65,26 +160,13 @@ func (h *Predictor) Predict(pc uint64) bool {
 	if !ok {
 		return basePred
 	}
-	// Materialize the most-recent-first history view.
-	for i := 0; i < h.window; i++ {
-		idx := h.pos - 1 - i
-		if idx < 0 {
-			idx += h.window
-		}
-		h.histView[i] = h.ring[idx]
-	}
-	return m.Predict(h.histView, h.count)
+	return m.Predict(h.hist.View(h.histView), h.hist.Count())
 }
 
 // Update implements predictor.Predictor.
 func (h *Predictor) Update(pc uint64, taken bool) {
 	h.base.Update(pc, taken)
-	h.ring[h.pos] = trace.Token(pc, taken, h.pcBits)
-	h.pos++
-	if h.pos == h.window {
-		h.pos = 0
-	}
-	h.count++
+	h.hist.Push(pc, taken)
 }
 
 // Name implements predictor.Predictor.

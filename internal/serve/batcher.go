@@ -1,0 +1,219 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"branchnet/internal/branchnet"
+	"branchnet/internal/serve/stats"
+)
+
+// Batcher errors surfaced to the admission layer.
+var (
+	// ErrQueueFull reports that the bounded admission queue is at
+	// capacity; the server maps it to HTTP 429.
+	ErrQueueFull = errors.New("serve: inference queue full")
+	// ErrClosed reports a submission after shutdown began.
+	ErrClosed = errors.New("serve: batcher closed")
+)
+
+// BatchItem is one model inference wanted by a request: a history view, the
+// global branch counter it was captured at, and the slot the prediction
+// lands in. The hist slice must be owned by the item (the session keeps
+// mutating its ring after submission).
+type BatchItem struct {
+	Model *branchnet.Attached
+	Hist  []uint32
+	Count uint64
+	Out   *bool
+}
+
+// job is one request's batch submission: all items complete before done
+// closes.
+type job struct {
+	ctx   context.Context
+	items []BatchItem
+	done  chan struct{}
+}
+
+// Batcher is the dynamic micro-batcher between request handlers and model
+// inference. Submissions queue on a bounded channel (explicit backpressure
+// instead of hidden goroutine pileups); a single collector goroutine
+// gathers submissions until either MaxBatch items have accumulated or
+// MaxDelay has passed since the first, then flushes: items are grouped by
+// model and each group runs as one fused PredictBatch call. Group sizes
+// feed the batch-size histogram — the observable proof that coalescing
+// engages under concurrency.
+type Batcher struct {
+	queue    chan *job
+	maxBatch int
+	maxDelay time.Duration
+
+	batchSizes *stats.Histogram
+	queueDepth *stats.Gauge
+	expired    *stats.Counter
+	flushes    *stats.Counter
+
+	closed   atomic.Bool
+	stop     chan struct{}
+	loopDone chan struct{}
+}
+
+// NewBatcher starts a batcher. maxBatch bounds the items per flush,
+// maxDelay the wait for stragglers after the first item arrives, and
+// queueLen the number of queued submissions admitted before ErrQueueFull.
+func NewBatcher(maxBatch int, maxDelay time.Duration, queueLen int, st *Stats) *Batcher {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	if queueLen < 1 {
+		queueLen = 1
+	}
+	b := &Batcher{
+		queue:      make(chan *job, queueLen),
+		maxBatch:   maxBatch,
+		maxDelay:   maxDelay,
+		batchSizes: st.BatchSizes,
+		queueDepth: &st.QueueDepth,
+		expired:    &st.Expired,
+		flushes:    &st.Flushes,
+		stop:       make(chan struct{}),
+		loopDone:   make(chan struct{}),
+	}
+	go b.loop()
+	return b
+}
+
+// Submit enqueues a request's items and blocks until every Out slot is
+// filled, the context expires, or the batcher shuts down. A full queue
+// fails immediately with ErrQueueFull — the caller turns that into 429
+// backpressure rather than letting work pile up unboundedly.
+func (b *Batcher) Submit(ctx context.Context, items []BatchItem) error {
+	if len(items) == 0 {
+		return nil
+	}
+	if b.closed.Load() {
+		return ErrClosed
+	}
+	j := &job{ctx: ctx, items: items, done: make(chan struct{})}
+	select {
+	case b.queue <- j:
+		b.queueDepth.Add(1)
+	default:
+		return ErrQueueFull
+	}
+	select {
+	case <-j.done:
+		return nil
+	case <-ctx.Done():
+		// The collector will notice the expired context and skip the
+		// items; the caller's deadline turns into a 504, not a hang.
+		return ctx.Err()
+	}
+}
+
+// Close stops accepting submissions, drains everything already queued
+// (in-flight batches complete; this is the graceful-shutdown half the
+// HTTP layer relies on), and waits for the collector to exit.
+func (b *Batcher) Close() {
+	if b.closed.Swap(true) {
+		<-b.loopDone
+		return
+	}
+	close(b.stop)
+	<-b.loopDone
+}
+
+func (b *Batcher) loop() {
+	defer close(b.loopDone)
+	for {
+		var first *job
+		select {
+		case first = <-b.queue:
+		case <-b.stop:
+			b.drain()
+			return
+		}
+		batch := []*job{first}
+		n := len(first.items)
+		if n < b.maxBatch {
+			timer := time.NewTimer(b.maxDelay)
+		collect:
+			for n < b.maxBatch {
+				select {
+				case j := <-b.queue:
+					batch = append(batch, j)
+					n += len(j.items)
+				case <-timer.C:
+					break collect
+				case <-b.stop:
+					break collect
+				}
+			}
+			timer.Stop()
+		}
+		b.flush(batch)
+	}
+}
+
+// drain flushes whatever is still queued at shutdown in one final pass.
+func (b *Batcher) drain() {
+	var batch []*job
+	for {
+		select {
+		case j := <-b.queue:
+			batch = append(batch, j)
+		default:
+			if len(batch) > 0 {
+				b.flush(batch)
+			}
+			return
+		}
+	}
+}
+
+// group accumulates the per-model coalesced batch of one flush.
+type group struct {
+	hists  [][]uint32
+	counts []uint64
+	outs   []*bool
+}
+
+func (b *Batcher) flush(jobs []*job) {
+	b.queueDepth.Add(-int64(len(jobs)))
+	groups := make(map[*branchnet.Attached]*group)
+	live := jobs[:0]
+	for _, j := range jobs {
+		if j.ctx != nil && j.ctx.Err() != nil {
+			// The submitter already gave up; don't spend inference on it.
+			b.expired.Inc()
+			close(j.done)
+			continue
+		}
+		live = append(live, j)
+		for _, it := range j.items {
+			g := groups[it.Model]
+			if g == nil {
+				g = &group{}
+				groups[it.Model] = g
+			}
+			g.hists = append(g.hists, it.Hist)
+			g.counts = append(g.counts, it.Count)
+			g.outs = append(g.outs, it.Out)
+		}
+	}
+	for m, g := range groups {
+		out := make([]bool, len(g.hists))
+		m.PredictBatch(g.hists, g.counts, out)
+		for i, dst := range g.outs {
+			*dst = out[i]
+		}
+		b.batchSizes.Observe(float64(len(g.hists)))
+	}
+	b.flushes.Inc()
+	for _, j := range live {
+		close(j.done)
+	}
+}

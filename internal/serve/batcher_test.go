@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"branchnet/internal/branchnet"
+	"branchnet/internal/engine"
+)
+
+func batcherModel(pc uint64) *branchnet.Attached {
+	return branchnet.FromEngine([]*engine.Model{engine.Synthetic(pc, 1)})[0]
+}
+
+func batchItems(m *branchnet.Attached, n int) ([]BatchItem, []bool) {
+	out := make([]bool, n)
+	items := make([]BatchItem, n)
+	hist := make([]uint32, m.Engine.Window())
+	for i := range items {
+		items[i] = BatchItem{Model: m, Hist: hist, Count: uint64(i + 100), Out: &out[i]}
+	}
+	return items, out
+}
+
+func TestBatcherClosedRejects(t *testing.T) {
+	b := NewBatcher(8, time.Millisecond, 8, newStats())
+	b.Close()
+	items, _ := batchItems(batcherModel(0x10), 1)
+	if err := b.Submit(context.Background(), items); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestBatcherQueueFull(t *testing.T) {
+	// Build the batcher without its collector goroutine so the queue
+	// deterministically stays full — the live collector drains too fast
+	// to pin the queue in a test.
+	st := newStats()
+	b := &Batcher{
+		queue:      make(chan *job, 1),
+		maxBatch:   8,
+		maxDelay:   time.Millisecond,
+		batchSizes: st.BatchSizes,
+		queueDepth: &st.QueueDepth,
+		expired:    &st.Expired,
+		flushes:    &st.Flushes,
+		stop:       make(chan struct{}),
+		loopDone:   make(chan struct{}),
+	}
+	m := batcherModel(0x20)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	itemsA, _ := batchItems(m, 1)
+	parked := make(chan error, 1)
+	go func() { parked <- b.Submit(ctx, itemsA) }()
+	deadline := time.Now().Add(2 * time.Second)
+	for b.queueDepth.Value() != 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	itemsC, _ := batchItems(m, 1)
+	if err := b.Submit(context.Background(), itemsC); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("Submit with full queue = %v, want ErrQueueFull", err)
+	}
+
+	cancel() // release the parked submission
+	if err := <-parked; !errors.Is(err, context.Canceled) {
+		t.Fatalf("parked Submit = %v, want context.Canceled", err)
+	}
+}
+
+func TestBatcherExpiredJobSkipped(t *testing.T) {
+	st := newStats()
+	b := NewBatcher(1<<20, 50*time.Millisecond, 8, st)
+	defer b.Close()
+	m := batcherModel(0x30)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already expired at submission
+	items, _ := batchItems(m, 3)
+	if err := b.Submit(ctx, items); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Submit with dead context = %v, want context.Canceled", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for st.Expired.Value() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if st.Expired.Value() != 1 {
+		t.Fatalf("expired counter = %d, want 1", st.Expired.Value())
+	}
+}
+
+func TestBatcherFusesAcrossSubmissions(t *testing.T) {
+	st := newStats()
+	// A generous straggler window so both submissions land in one flush.
+	b := NewBatcher(1<<20, 200*time.Millisecond, 8, st)
+	m := batcherModel(0x40)
+
+	itemsA, outA := batchItems(m, 2)
+	itemsB, outB := batchItems(m, 3)
+	done := make(chan error, 2)
+	go func() { done <- b.Submit(context.Background(), itemsA) }()
+	go func() { done <- b.Submit(context.Background(), itemsB) }()
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Close()
+
+	snap := st.BatchSizes.Snapshot()
+	if snap.Count != 1 || snap.Sum != 5 {
+		t.Fatalf("batch histogram = %+v, want one fused call of 5 items", snap)
+	}
+	// The outputs must match per-call inference exactly.
+	hist := itemsA[0].Hist
+	for i := range outA {
+		if want := m.Predict(hist, uint64(i+100)); outA[i] != want {
+			t.Fatalf("fused item A[%d] = %v, want %v", i, outA[i], want)
+		}
+	}
+	for i := range outB {
+		if want := m.Predict(hist, uint64(i+100)); outB[i] != want {
+			t.Fatalf("fused item B[%d] = %v, want %v", i, outB[i], want)
+		}
+	}
+}

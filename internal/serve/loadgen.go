@@ -1,0 +1,328 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"branchnet/internal/branchnet"
+	"branchnet/internal/engine"
+	"branchnet/internal/hybrid"
+	"branchnet/internal/predictor"
+	"branchnet/internal/serve/stats"
+	"branchnet/internal/trace"
+)
+
+// ExpectedPredictions replays tr through an in-process hybrid predictor —
+// the exact predictor predictor.Evaluate would drive — and returns its
+// prediction for every record. This is the parity reference: a server
+// session replaying the same records with the same baseline and models
+// must produce these bits exactly.
+func ExpectedPredictions(newBase func() predictor.Predictor, models []*branchnet.Attached, tr *trace.Trace) []bool {
+	h := hybrid.New(newBase(), models, "ref")
+	out := make([]bool, len(tr.Records))
+	for i := range tr.Records {
+		r := &tr.Records[i]
+		out[i] = h.Predict(r.PC)
+		h.Update(r.PC, r.Taken)
+	}
+	return out
+}
+
+// SyntheticModels builds deterministic synthetic models for the n hottest
+// branch PCs of tr (ties broken by PC). Both a load generator and the
+// server it drives can reconstruct identical models from the same trace
+// and seed, which makes end-to-end smoke tests possible without a slow
+// training run.
+func SyntheticModels(tr *trace.Trace, n int, seed uint64) []*engine.Model {
+	counts := make(map[uint64]int)
+	for i := range tr.Records {
+		counts[tr.Records[i].PC]++
+	}
+	pcs := make([]uint64, 0, len(counts))
+	for pc := range counts {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool {
+		if counts[pcs[i]] != counts[pcs[j]] {
+			return counts[pcs[i]] > counts[pcs[j]]
+		}
+		return pcs[i] < pcs[j]
+	})
+	if n > len(pcs) {
+		n = len(pcs)
+	}
+	models := make([]*engine.Model, 0, n)
+	for _, pc := range pcs[:n] {
+		models = append(models, engine.Synthetic(pc, seed))
+	}
+	return models
+}
+
+// WaitReady polls baseURL's /healthz until it answers 200 or the timeout
+// expires.
+func WaitReady(baseURL string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	client := &http.Client{Timeout: time.Second}
+	var lastErr error
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(baseURL + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			lastErr = fmt.Errorf("healthz: %s", resp.Status)
+		} else {
+			lastErr = err
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return fmt.Errorf("serve: server not ready after %v: %w", timeout, lastErr)
+}
+
+// LoadConfig drives RunLoad.
+type LoadConfig struct {
+	// BaseURL of the server, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Trace every session replays.
+	Trace *trace.Trace
+	// Expected is the parity reference from ExpectedPredictions; nil
+	// skips parity checking.
+	Expected []bool
+	// Sessions is the number of concurrent client sessions (default 1).
+	Sessions int
+	// Chunk is the records sent per request (default 64).
+	Chunk int
+	// QPS is the target total request rate across sessions (0 = unpaced).
+	QPS float64
+	// Duration stops the run after this long; 0 means exactly one trace
+	// pass per session.
+	Duration time.Duration
+	// DeadlineMS forwards a per-request deadline to the server.
+	DeadlineMS int64
+	// Client overrides the HTTP client (default: 10s timeout).
+	Client *http.Client
+}
+
+// LoadReport summarizes a RunLoad.
+type LoadReport struct {
+	Requests          uint64  `json:"requests"`
+	Predictions       uint64  `json:"predictions"`
+	ModelPredictions  uint64  `json:"model_predictions"`
+	Mismatches        uint64  `json:"mismatches"`
+	Retries429        uint64  `json:"retries_429"`
+	Errors            uint64  `json:"errors"`
+	Passes            uint64  `json:"passes"`
+	DurationSeconds   float64 `json:"duration_seconds"`
+	QPS               float64 `json:"qps"`
+	PredictionsPerSec float64 `json:"predictions_per_sec"`
+	LatencyMean       float64 `json:"latency_mean_seconds"`
+	LatencyP50        float64 `json:"latency_p50_seconds"`
+	LatencyP99        float64 `json:"latency_p99_seconds"`
+	// Server is the server's own /v1/stats snapshot at the end of the run.
+	Server StatsSnapshot `json:"server"`
+}
+
+// loadWorker is the per-session accumulator of one RunLoad goroutine.
+type loadWorker struct {
+	requests, predictions, modelPreds uint64
+	mismatches, retries, errors       uint64
+	passes                            uint64
+}
+
+// RunLoad replays cfg.Trace against a running server from cfg.Sessions
+// concurrent client sessions, verifying prediction parity against
+// cfg.Expected as it goes. Each trace pass uses a fresh session id so the
+// server-side state starts where the reference does. 429 responses are
+// retried with backoff (the server rejects before touching session state,
+// so a retry is exact); any other failure abandons the current pass and
+// starts a new session.
+func RunLoad(cfg LoadConfig) (*LoadReport, error) {
+	if cfg.Trace == nil || len(cfg.Trace.Records) == 0 {
+		return nil, fmt.Errorf("serve: load config needs a non-empty trace")
+	}
+	if cfg.Expected != nil && len(cfg.Expected) != len(cfg.Trace.Records) {
+		return nil, fmt.Errorf("serve: expected has %d entries for %d records",
+			len(cfg.Expected), len(cfg.Trace.Records))
+	}
+	if cfg.Sessions <= 0 {
+		cfg.Sessions = 1
+	}
+	if cfg.Chunk <= 0 {
+		cfg.Chunk = 64
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+
+	latency := stats.NewHistogram(stats.ExpBounds(50e-6, 1.5, 32)...)
+	workers := make([]loadWorker, cfg.Sessions)
+	start := time.Now()
+	stopAt := time.Time{}
+	if cfg.Duration > 0 {
+		stopAt = start.Add(cfg.Duration)
+	}
+	var interval time.Duration
+	if cfg.QPS > 0 {
+		interval = time.Duration(float64(time.Second) * float64(cfg.Sessions) / cfg.QPS)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Sessions; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lw := &workers[w]
+			next := time.Now()
+			for pass := 0; ; pass++ {
+				if !stopAt.IsZero() && !time.Now().Before(stopAt) {
+					return
+				}
+				sessID := fmt.Sprintf("lg-%d-%d", w, pass)
+				completed := runPass(client, cfg, sessID, lw, latency, stopAt, &next, interval)
+				if completed {
+					lw.passes++
+				}
+				if stopAt.IsZero() {
+					return // single-pass mode
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	elapsed := time.Since(start)
+	rep := &LoadReport{DurationSeconds: elapsed.Seconds()}
+	for i := range workers {
+		lw := &workers[i]
+		rep.Requests += lw.requests
+		rep.Predictions += lw.predictions
+		rep.ModelPredictions += lw.modelPreds
+		rep.Mismatches += lw.mismatches
+		rep.Retries429 += lw.retries
+		rep.Errors += lw.errors
+		rep.Passes += lw.passes
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		rep.QPS = float64(rep.Requests) / s
+		rep.PredictionsPerSec = float64(rep.Predictions) / s
+	}
+	rep.LatencyMean = latency.Mean()
+	rep.LatencyP50 = latency.Quantile(0.50)
+	rep.LatencyP99 = latency.Quantile(0.99)
+
+	if err := fetchJSON(client, cfg.BaseURL+"/v1/stats", &rep.Server); err != nil {
+		return rep, fmt.Errorf("serve: fetching server stats: %w", err)
+	}
+	return rep, nil
+}
+
+// runPass replays one full trace pass on a fresh session. It returns true
+// if the pass ran to completion (false on timeout cutoff or on a
+// non-retryable server error, which abandons the session).
+func runPass(client *http.Client, cfg LoadConfig, sessID string, lw *loadWorker,
+	latency *stats.Histogram, stopAt time.Time, next *time.Time, interval time.Duration) bool {
+	recs := cfg.Trace.Records
+	for off := 0; off < len(recs); off += cfg.Chunk {
+		if !stopAt.IsZero() && !time.Now().Before(stopAt) {
+			return false
+		}
+		if interval > 0 {
+			if d := time.Until(*next); d > 0 {
+				time.Sleep(d)
+			}
+			*next = next.Add(interval)
+		}
+		end := off + cfg.Chunk
+		if end > len(recs) {
+			end = len(recs)
+		}
+		chunk := recs[off:end]
+		req := PredictRequest{
+			Session:    sessID,
+			Records:    make([]RecordJSON, len(chunk)),
+			DeadlineMS: cfg.DeadlineMS,
+		}
+		for i, r := range chunk {
+			req.Records[i] = RecordJSON{PC: r.PC, Taken: r.Taken}
+		}
+		body, _ := json.Marshal(req) //nolint:errcheck // plain structs
+
+		var resp PredictResponse
+		ok := false
+		for attempt := 0; attempt < 50; attempt++ {
+			t0 := time.Now()
+			code, err := postJSON(client, cfg.BaseURL+"/v1/predict", body, &resp)
+			latency.Observe(time.Since(t0).Seconds())
+			lw.requests++
+			if err == nil && code == http.StatusOK {
+				ok = true
+				break
+			}
+			if code == http.StatusTooManyRequests {
+				// Admission rejected the request before any session state
+				// changed; retrying the same chunk is exact.
+				lw.retries++
+				time.Sleep(time.Duration(attempt+1) * time.Millisecond)
+				continue
+			}
+			lw.errors++
+			return false // session state unknown; abandon this pass
+		}
+		if !ok {
+			lw.errors++
+			return false
+		}
+		if len(resp.Predictions) != len(chunk) {
+			lw.errors++
+			return false
+		}
+		lw.predictions += uint64(len(chunk))
+		for _, fromModel := range resp.BranchNet {
+			if fromModel {
+				lw.modelPreds++
+			}
+		}
+		if cfg.Expected != nil {
+			for i := range chunk {
+				if resp.Predictions[i] != cfg.Expected[off+i] {
+					lw.mismatches++
+				}
+			}
+		}
+	}
+	return true
+}
+
+func postJSON(client *http.Client, url string, body []byte, out any) (int, error) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		return resp.StatusCode, nil
+	}
+	return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
+}
+
+func fetchJSON(client *http.Client, url string, out any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

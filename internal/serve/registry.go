@@ -1,0 +1,186 @@
+// Package serve is the long-lived BranchNet inference service: it loads
+// BNM1 model files (the paper's "models attached to the binary", §V-F)
+// into a versioned registry, keeps one branch-history session per client,
+// and answers prediction requests through a dynamic micro-batcher that
+// coalesces concurrent requests for the same model into one fused
+// inference call. Around that core it provides bounded admission with
+// explicit 429 backpressure, per-request deadlines, hot model reload with
+// drain-then-release semantics, graceful shutdown, and lock-free metrics.
+//
+// Served predictions are bit-identical to an in-process hybrid evaluation
+// (predictor.Evaluate over hybrid.New) of the same trace and model set:
+// sessions reuse hybrid.History for token state, and the batcher reuses
+// the models' own fused inference paths. The load harness (loadgen.go,
+// cmd/branchnet-loadgen) proves that parity under load.
+package serve
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"branchnet/internal/branchnet"
+	"branchnet/internal/engine"
+	"branchnet/internal/hybrid"
+)
+
+// ModelSet is one immutable, versioned set of attached models. Requests
+// acquire the current set for their lifetime; a set swapped out by a
+// reload is drained (its reference count falls to zero) and then released
+// (tables dropped). The zero-th version is the empty set, so a server with
+// no models loaded still serves baseline predictions.
+type ModelSet struct {
+	Version int64
+	Source  string
+	Loaded  time.Time
+	// PCs lists the model PCs in file order (the order hybrid geometry
+	// derivation sees).
+	PCs []uint64
+
+	models map[uint64]*branchnet.Attached
+	window int
+	pcBits uint
+
+	// refs counts the registry's own reference (1) plus one per in-flight
+	// acquisition. When a retired set's count reaches zero, drained closes.
+	refs    atomic.Int64
+	drained chan struct{}
+}
+
+func newModelSet(version int64, models []*branchnet.Attached, source string) *ModelSet {
+	window, pcBits := hybrid.Geometry(models)
+	s := &ModelSet{
+		Version: version,
+		Source:  source,
+		Loaded:  time.Now(),
+		models:  make(map[uint64]*branchnet.Attached, len(models)),
+		window:  window,
+		pcBits:  pcBits,
+		drained: make(chan struct{}),
+	}
+	for _, m := range models {
+		s.PCs = append(s.PCs, m.PC)
+		s.models[m.PC] = m
+	}
+	s.refs.Store(1)
+	return s
+}
+
+// Lookup returns the attached model for a branch PC, if any.
+func (s *ModelSet) Lookup(pc uint64) (*branchnet.Attached, bool) {
+	m, ok := s.models[pc]
+	return m, ok
+}
+
+// Len returns the number of attached models.
+func (s *ModelSet) Len() int { return len(s.PCs) }
+
+// Window returns the history window the set's sessions need.
+func (s *ModelSet) Window() int { return s.window }
+
+// PCBits returns the token PC width shared by the set's models.
+func (s *ModelSet) PCBits() uint { return s.pcBits }
+
+// acquire takes a reference unless the set has already fully drained.
+func (s *ModelSet) acquire() bool {
+	for {
+		n := s.refs.Load()
+		if n <= 0 {
+			return false
+		}
+		if s.refs.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// Release drops one reference. The final release of a retired set marks it
+// drained.
+func (s *ModelSet) Release() {
+	if s.refs.Add(-1) == 0 {
+		close(s.drained)
+	}
+}
+
+// Registry is the versioned model registry. The current set is swapped
+// atomically; readers never block on a reload, and a reload never
+// invalidates a request mid-flight.
+type Registry struct {
+	cur         atomic.Pointer[ModelSet]
+	nextVersion atomic.Int64
+	// OnRelease, when set before serving starts, is invoked (on its own
+	// goroutine) after a retired version has drained and its tables have
+	// been dropped. Tests use it to observe drain-then-release ordering.
+	OnRelease func(*ModelSet)
+}
+
+// NewRegistry returns a registry serving the empty model set (version 0).
+func NewRegistry() *Registry {
+	r := &Registry{}
+	r.cur.Store(newModelSet(0, nil, "empty"))
+	return r
+}
+
+// Acquire returns the current model set with a reference held. Callers
+// must Release it when their request completes. A caller that loses the
+// race with a swap that already drained simply retries on the new set.
+func (r *Registry) Acquire() *ModelSet {
+	for {
+		s := r.cur.Load()
+		if s.acquire() {
+			return s
+		}
+	}
+}
+
+// Current returns the current set without taking a reference — for
+// health/metadata endpoints only; prediction paths must use Acquire.
+func (r *Registry) Current() *ModelSet { return r.cur.Load() }
+
+// Swap atomically installs models as the new current version and retires
+// the previous one: new requests see the new set immediately, while the
+// old set is released — its tables dropped for the collector — only after
+// the last in-flight request using it finishes.
+func (r *Registry) Swap(models []*branchnet.Attached, source string) *ModelSet {
+	s := newModelSet(r.nextVersion.Add(1), models, source)
+	old := r.cur.Swap(s)
+	go r.retire(old)
+	return s
+}
+
+func (r *Registry) retire(old *ModelSet) {
+	old.Release() // drop the registry's own reference
+	<-old.drained
+	old.models = nil // release the tables; no request can hold the set now
+	if r.OnRelease != nil {
+		r.OnRelease(old)
+	}
+}
+
+// LoadFiles reads one or more BNM1 model files and installs their
+// concatenated models (file order preserved) as the new current version.
+// On any error nothing is swapped and the previous version keeps serving.
+func (r *Registry) LoadFiles(paths []string) (*ModelSet, error) {
+	var models []*branchnet.Attached
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("serve: opening model file: %w", err)
+		}
+		ms, err := engine.ReadModels(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("serve: %s: %w", path, err)
+		}
+		models = append(models, branchnet.FromEngine(ms)...)
+	}
+	source := ""
+	for i, p := range paths {
+		if i > 0 {
+			source += ","
+		}
+		source += p
+	}
+	return r.Swap(models, source), nil
+}

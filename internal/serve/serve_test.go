@@ -1,0 +1,345 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"branchnet/internal/bench"
+	"branchnet/internal/branchnet"
+	"branchnet/internal/gshare"
+	"branchnet/internal/predictor"
+	"branchnet/internal/trace"
+)
+
+// testBaseline is light enough to construct per session in tests.
+func testBaseline() predictor.Predictor { return gshare.New(12, 12) }
+
+func testTrace(branches int) *trace.Trace {
+	p := bench.ByName("mcf")
+	return p.Generate(p.Inputs(bench.Test)[0], branches)
+}
+
+func testModels(tr *trace.Trace, n int) []*branchnet.Attached {
+	return branchnet.FromEngine(SyntheticModels(tr, n, 7))
+}
+
+// newTestServer spins up a Server behind httptest with models installed.
+func newTestServer(t *testing.T, cfg Config, models []*branchnet.Attached) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.NewBaseline == nil {
+		cfg.NewBaseline = testBaseline
+	}
+	s := New(cfg)
+	if models != nil {
+		s.Registry().Swap(models, "test")
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Drain()
+	})
+	return s, ts
+}
+
+func postPredict(t *testing.T, url string, req PredictRequest) (int, PredictResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var pr PredictResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, pr
+}
+
+// TestServeParitySingleSession proves the headline property: one session
+// replaying a trace over HTTP produces bit-identical predictions to the
+// in-process hybrid predictor the offline evaluator drives.
+func TestServeParitySingleSession(t *testing.T) {
+	tr := testTrace(4000)
+	models := testModels(tr, 4)
+	_, ts := newTestServer(t, Config{}, models)
+
+	rep, err := RunLoad(LoadConfig{
+		BaseURL:  ts.URL,
+		Trace:    tr,
+		Expected: ExpectedPredictions(testBaseline, models, tr),
+		Sessions: 1,
+		Chunk:    128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mismatches != 0 {
+		t.Fatalf("parity broken: %d mismatches of %d predictions", rep.Mismatches, rep.Predictions)
+	}
+	if rep.Predictions != uint64(len(tr.Records)) {
+		t.Fatalf("predictions = %d, want %d", rep.Predictions, len(tr.Records))
+	}
+	if rep.ModelPredictions == 0 {
+		t.Fatal("no predictions came from models; parity test is vacuous")
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("unexpected client errors: %d", rep.Errors)
+	}
+}
+
+// TestServeParityConcurrent runs many sessions at once: parity must hold
+// for every session (the sessions only share the micro-batcher), and the
+// batch-size histogram must show real coalescing (mean batch > 1).
+func TestServeParityConcurrent(t *testing.T) {
+	tr := testTrace(3000)
+	models := testModels(tr, 4)
+	s, ts := newTestServer(t, Config{}, models)
+
+	rep, err := RunLoad(LoadConfig{
+		BaseURL:  ts.URL,
+		Trace:    tr,
+		Expected: ExpectedPredictions(testBaseline, models, tr),
+		Sessions: 8,
+		Chunk:    64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mismatches != 0 {
+		t.Fatalf("parity broken under concurrency: %d mismatches of %d predictions",
+			rep.Mismatches, rep.Predictions)
+	}
+	if rep.Predictions != uint64(8*len(tr.Records)) {
+		t.Fatalf("predictions = %d, want %d", rep.Predictions, 8*len(tr.Records))
+	}
+	if mean := s.Stats().BatchSizes.Mean(); mean <= 1 {
+		t.Fatalf("batch-size mean = %g, want > 1 (coalescing never engaged)", mean)
+	}
+}
+
+// TestBackpressure429 checks that load beyond the admission limit gets an
+// explicit 429, not a hang, and that a request admitted while another
+// occupies the server still succeeds after retry.
+func TestBackpressure429(t *testing.T) {
+	tr := testTrace(2000)
+	models := testModels(tr, 2)
+	// A huge MaxDelay with a huge MaxBatch parks the first model-hitting
+	// request inside the batcher, pinning inflight at 1.
+	_, ts := newTestServer(t, Config{
+		MaxInflight: 1,
+		MaxBatch:    1 << 20,
+		MaxDelay:    300 * time.Millisecond,
+	}, models)
+
+	recs := make([]RecordJSON, 0, 64)
+	for i := range tr.Records[:64] {
+		recs = append(recs, RecordJSON{PC: tr.Records[i].PC, Taken: tr.Records[i].Taken})
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		code, _ := postPredict(t, ts.URL, PredictRequest{Session: "slow", Records: recs})
+		if code != http.StatusOK {
+			t.Errorf("parked request finished with %d, want 200", code)
+		}
+	}()
+	time.Sleep(100 * time.Millisecond) // let the first request reach the batcher
+
+	code, _ := postPredict(t, ts.URL, PredictRequest{Session: "rejected", Records: recs})
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("over-limit request got %d, want 429", code)
+	}
+	wg.Wait()
+}
+
+// TestSessionCap429 checks the session-table admission limit.
+func TestSessionCap429(t *testing.T) {
+	tr := testTrace(500)
+	_, ts := newTestServer(t, Config{MaxSessions: 1}, nil)
+	recs := []RecordJSON{{PC: tr.Records[0].PC, Taken: true}}
+
+	if code, _ := postPredict(t, ts.URL, PredictRequest{Session: "a", Records: recs}); code != http.StatusOK {
+		t.Fatalf("first session got %d, want 200", code)
+	}
+	if code, _ := postPredict(t, ts.URL, PredictRequest{Session: "b", Records: recs}); code != http.StatusTooManyRequests {
+		t.Fatalf("second session got %d, want 429", code)
+	}
+	// The existing session keeps working.
+	if code, _ := postPredict(t, ts.URL, PredictRequest{Session: "a", Records: recs}); code != http.StatusOK {
+		t.Fatalf("existing session got %d, want 200", code)
+	}
+}
+
+// TestDeadline504 checks that a request whose deadline expires while its
+// batch is parked gets a 504, not a hang.
+func TestDeadline504(t *testing.T) {
+	tr := testTrace(2000)
+	models := testModels(tr, 2)
+	_, ts := newTestServer(t, Config{
+		MaxBatch: 1 << 20,
+		MaxDelay: 10 * time.Second, // far beyond the request deadline
+	}, models)
+
+	recs := make([]RecordJSON, 0, 64)
+	for i := range tr.Records[:64] {
+		recs = append(recs, RecordJSON{PC: tr.Records[i].PC, Taken: tr.Records[i].Taken})
+	}
+	start := time.Now()
+	code, _ := postPredict(t, ts.URL, PredictRequest{Session: "d", Records: recs, DeadlineMS: 100})
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("expired request got %d, want 504", code)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline took %v to fire; request effectively hung", elapsed)
+	}
+}
+
+// TestHotReloadDrainsOldVersion checks the registry's drain-then-release
+// contract end to end: a swap retires the old set only after the last
+// in-flight reference drops, and new requests see the new version at once.
+func TestHotReloadDrainsOldVersion(t *testing.T) {
+	tr := testTrace(2000)
+	modelsA := testModels(tr, 2)
+	modelsB := testModels(tr, 4)
+
+	released := make(chan int64, 4)
+	s, ts := newTestServer(t, Config{}, nil)
+	s.Registry().OnRelease = func(set *ModelSet) { released <- set.Version }
+	setA := s.Registry().Swap(modelsA, "A")
+
+	// Simulate an in-flight request pinning version A.
+	held := s.Registry().Acquire()
+	if held.Version != setA.Version {
+		t.Fatalf("acquired version %d, want %d", held.Version, setA.Version)
+	}
+
+	setB := s.Registry().Swap(modelsB, "B")
+
+	// Version 0 (the empty boot set) retires immediately; A must not while
+	// the reference is held.
+	select {
+	case v := <-released:
+		if v != 0 {
+			t.Fatalf("version %d released while still referenced", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("empty boot set never released")
+	}
+	select {
+	case v := <-released:
+		t.Fatalf("version %d released while still referenced", v)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// New requests already see B.
+	recs := []RecordJSON{{PC: tr.Records[0].PC, Taken: true}}
+	code, pr := postPredict(t, ts.URL, PredictRequest{Session: "x", Records: recs})
+	if code != http.StatusOK || pr.Version != setB.Version {
+		t.Fatalf("post-swap request: code %d version %d, want 200/%d", code, pr.Version, setB.Version)
+	}
+
+	held.Release()
+	select {
+	case v := <-released:
+		if v != setA.Version {
+			t.Fatalf("released version %d, want %d", v, setA.Version)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("old version never released after drain")
+	}
+	if _, ok := held.Lookup(modelsA[0].PC); ok {
+		t.Fatal("released set still serves lookups; tables were not dropped")
+	}
+}
+
+// TestObservabilityEndpoints smoke-tests /healthz, /metrics, and /v1/stats.
+func TestObservabilityEndpoints(t *testing.T) {
+	tr := testTrace(1000)
+	models := testModels(tr, 2)
+	_, ts := newTestServer(t, Config{}, models)
+
+	rep, err := RunLoad(LoadConfig{BaseURL: ts.URL, Trace: tr, Sessions: 2, Chunk: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Server.Requests == 0 || rep.Server.Predictions == 0 {
+		t.Fatalf("server stats empty after load: %+v", rep.Server)
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hr HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hr.Status != "ok" || hr.Models != len(models) {
+		t.Fatalf("healthz = %+v", hr)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	buf := make([]byte, 1<<16)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	resp.Body.Close()
+	metrics := sb.String()
+	for _, want := range []string{
+		"branchnet_requests_total",
+		"branchnet_batch_size_bucket",
+		"branchnet_request_seconds_count",
+		"branchnet_model_set_version 1",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestGracefulShutdownDrains checks Drain completes promptly with work
+// still queued (the batcher must flush, not abandon, queued jobs).
+func TestGracefulShutdownDrains(t *testing.T) {
+	tr := testTrace(1000)
+	models := testModels(tr, 2)
+	cfg := Config{NewBaseline: testBaseline}
+	s := New(cfg)
+	s.Registry().Swap(models, "test")
+	ts := httptest.NewServer(s.Handler())
+
+	if _, err := RunLoad(LoadConfig{BaseURL: ts.URL, Trace: tr, Sessions: 4, Chunk: 64}); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+
+	done := make(chan struct{})
+	go func() { s.Drain(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Drain did not complete")
+	}
+}

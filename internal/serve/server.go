@@ -1,0 +1,490 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"branchnet/internal/gshare"
+	"branchnet/internal/predictor"
+	"branchnet/internal/serve/stats"
+	"branchnet/internal/tage"
+)
+
+// Baselines names the per-session runtime baseline predictors the daemon
+// can deploy. They must match what the offline pipeline trained against —
+// parity with in-process evaluation depends on both sides constructing the
+// same baseline (same preset, same seed).
+var Baselines = map[string]func() predictor.Predictor{
+	"tage64": func() predictor.Predictor { return tage.New(tage.TAGESCL64KB(), 1) },
+	"tage56": func() predictor.Predictor { return tage.New(tage.TAGESCL56KB(), 1) },
+	"mtage":  func() predictor.Predictor { return tage.New(tage.MTAGESC(), 1) },
+	"gtage":  func() predictor.Predictor { return tage.New(tage.GTAGE(), 1) },
+	"gshare": func() predictor.Predictor { return gshare.New(14, 14) },
+}
+
+// BaselineNames lists the known baseline presets, sorted.
+func BaselineNames() []string {
+	names := make([]string, 0, len(Baselines))
+	for n := range Baselines {
+		names = append(names, n)
+	}
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}
+
+// Config tunes the serving daemon. Zero values select the defaults noted
+// per field.
+type Config struct {
+	// NewBaseline constructs one runtime baseline per session (default
+	// Baselines["tage64"]).
+	NewBaseline func() predictor.Predictor
+	// MaxBatch is the micro-batcher flush size (default 32).
+	MaxBatch int
+	// MaxDelay is how long the batcher waits for stragglers after the
+	// first item of a flush arrives (default 200µs).
+	MaxDelay time.Duration
+	// QueueLen bounds queued batch submissions. It is clamped to at least
+	// MaxInflight: each admitted request submits exactly one batch job, so
+	// with that floor an admitted request can never hit ErrQueueFull —
+	// every 429 happens at admission, before any session state mutates,
+	// which is what makes client retries parity-safe.
+	QueueLen int
+	// MaxInflight bounds concurrently admitted predict requests (default
+	// 512); beyond it requests fail fast with 429.
+	MaxInflight int
+	// MaxSessions caps live sessions (default 4096).
+	MaxSessions int
+	// SessionTTL evicts idle sessions (default 5m; <0 disables).
+	SessionTTL time.Duration
+	// DefaultDeadline bounds each request's time in the service,
+	// including batcher queueing (default 2s).
+	DefaultDeadline time.Duration
+	// ModelPaths are the BNM1 files a bare /v1/reload (and SIGHUP in the
+	// daemon) re-reads.
+	ModelPaths []string
+}
+
+func (c Config) withDefaults() Config {
+	if c.NewBaseline == nil {
+		c.NewBaseline = Baselines["tage64"]
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 32
+	}
+	if c.MaxDelay == 0 {
+		c.MaxDelay = 200 * time.Microsecond
+	}
+	if c.QueueLen == 0 {
+		c.QueueLen = 512
+	}
+	if c.MaxInflight == 0 {
+		c.MaxInflight = 512
+	}
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 4096
+	}
+	if c.SessionTTL == 0 {
+		c.SessionTTL = 5 * time.Minute
+	}
+	if c.DefaultDeadline == 0 {
+		c.DefaultDeadline = 2 * time.Second
+	}
+	if c.QueueLen < c.MaxInflight {
+		c.QueueLen = c.MaxInflight
+	}
+	return c
+}
+
+// Stats aggregates the daemon's lock-free metrics; /metrics renders it as
+// text, /v1/stats as JSON.
+type Stats struct {
+	Requests         stats.Counter
+	Predictions      stats.Counter
+	ModelPredictions stats.Counter
+	Rejected         stats.Counter // 429s (queue, inflight, or session cap)
+	Expired          stats.Counter // deadline hit while queued
+	Errors           stats.Counter // malformed requests, reload failures
+	Reloads          stats.Counter
+	Flushes          stats.Counter
+	SessionsCreated  stats.Counter
+	SessionsEvicted  stats.Counter
+
+	QueueDepth stats.Gauge
+	Inflight   stats.Gauge
+	Sessions   stats.Gauge
+
+	BatchSizes *stats.Histogram // coalesced items per fused model call
+	Latency    *stats.Histogram // per-request service time, seconds
+}
+
+func newStats() *Stats {
+	return &Stats{
+		BatchSizes: stats.NewHistogram(1, 2, 4, 8, 16, 32, 64, 128, 256),
+		Latency:    stats.NewHistogram(stats.ExpBounds(100e-6, 2, 16)...), // 100µs .. ~3.3s
+	}
+}
+
+// StatsSnapshot is the JSON form served by /v1/stats.
+type StatsSnapshot struct {
+	Requests         uint64         `json:"requests"`
+	Predictions      uint64         `json:"predictions"`
+	ModelPredictions uint64         `json:"model_predictions"`
+	Rejected         uint64         `json:"rejected"`
+	Expired          uint64         `json:"expired"`
+	Errors           uint64         `json:"errors"`
+	Reloads          uint64         `json:"reloads"`
+	Flushes          uint64         `json:"flushes"`
+	SessionsCreated  uint64         `json:"sessions_created"`
+	SessionsEvicted  uint64         `json:"sessions_evicted"`
+	QueueDepth       int64          `json:"queue_depth"`
+	Inflight         int64          `json:"inflight"`
+	Sessions         int64          `json:"sessions"`
+	BatchSizes       stats.Snapshot `json:"batch_sizes"`
+	Latency          stats.Snapshot `json:"latency_seconds"`
+}
+
+func (s *Stats) snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Requests:         s.Requests.Value(),
+		Predictions:      s.Predictions.Value(),
+		ModelPredictions: s.ModelPredictions.Value(),
+		Rejected:         s.Rejected.Value(),
+		Expired:          s.Expired.Value(),
+		Errors:           s.Errors.Value(),
+		Reloads:          s.Reloads.Value(),
+		Flushes:          s.Flushes.Value(),
+		SessionsCreated:  s.SessionsCreated.Value(),
+		SessionsEvicted:  s.SessionsEvicted.Value(),
+		QueueDepth:       s.QueueDepth.Value(),
+		Inflight:         s.Inflight.Value(),
+		Sessions:         s.Sessions.Value(),
+		BatchSizes:       s.BatchSizes.Snapshot(),
+		Latency:          s.Latency.Snapshot(),
+	}
+}
+
+// Server is the BranchNet inference service. Create with New, expose via
+// Handler (behind net/http), and stop with Drain after the HTTP listener
+// has shut down.
+type Server struct {
+	cfg      Config
+	registry *Registry
+	batcher  *Batcher
+	sessions *sessionStore
+	stats    *Stats
+	mux      *http.ServeMux
+
+	inflight  atomic.Int64
+	sweepStop chan struct{}
+	sweepDone chan struct{}
+}
+
+// New builds a server from cfg (zero values take defaults) with an empty
+// model registry; load models via Registry().LoadFiles or /v1/reload.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	st := newStats()
+	s := &Server{
+		cfg:       cfg,
+		registry:  NewRegistry(),
+		stats:     st,
+		sessions:  newSessionStore(cfg.MaxSessions, cfg.SessionTTL, cfg.NewBaseline, st),
+		batcher:   NewBatcher(cfg.MaxBatch, cfg.MaxDelay, cfg.QueueLen, st),
+		mux:       http.NewServeMux(),
+		sweepStop: make(chan struct{}),
+		sweepDone: make(chan struct{}),
+	}
+	s.mux.HandleFunc("/v1/predict", s.handlePredict)
+	s.mux.HandleFunc("/v1/reload", s.handleReload)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	go s.sweeper()
+	return s
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry returns the model registry (for initial loads and SIGHUP).
+func (s *Server) Registry() *Registry { return s.registry }
+
+// Stats returns the server's metrics.
+func (s *Server) Stats() *Stats { return s.stats }
+
+// Drain completes graceful shutdown after the HTTP listener has stopped
+// accepting: the micro-batcher drains its in-flight and queued batches,
+// and the session sweeper exits.
+func (s *Server) Drain() {
+	close(s.sweepStop)
+	s.batcher.Close()
+	<-s.sweepDone
+}
+
+func (s *Server) sweeper() {
+	defer close(s.sweepDone)
+	if s.cfg.SessionTTL <= 0 {
+		<-s.sweepStop
+		return
+	}
+	tick := time.NewTicker(s.cfg.SessionTTL / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case now := <-tick.C:
+			s.sessions.sweep(now)
+		case <-s.sweepStop:
+			return
+		}
+	}
+}
+
+// RecordJSON is one dynamic branch in a predict request: the PC to predict
+// and the resolved direction the session state is updated with afterwards
+// (the trace-replay Predict/Update contract).
+type RecordJSON struct {
+	PC    uint64 `json:"pc"`
+	Taken bool   `json:"taken"`
+}
+
+// PredictRequest is the /v1/predict body. Records are applied in order
+// against the named session.
+type PredictRequest struct {
+	Session string       `json:"session"`
+	Records []RecordJSON `json:"records"`
+	// DeadlineMS optionally tightens the server's default deadline.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// PredictResponse is the /v1/predict reply. Predictions[i] answers
+// Records[i]; BranchNet[i] reports whether an attached model (rather than
+// the baseline) produced it. Version is the model-set version used.
+type PredictResponse struct {
+	Version     int64  `json:"version"`
+	Predictions []bool `json:"predictions"`
+	BranchNet   []bool `json:"branchnet"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone is fine
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.stats.Requests.Inc()
+	if r.Method != http.MethodPost {
+		s.stats.Errors.Inc()
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST required"})
+		return
+	}
+	// Admission: a hard cap on concurrently admitted requests. Beyond it
+	// the server answers 429 immediately — callers see backpressure, not
+	// an unbounded queue.
+	if s.inflight.Add(1) > int64(s.cfg.MaxInflight) {
+		s.inflight.Add(-1)
+		s.stats.Rejected.Inc()
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{"server at capacity"})
+		return
+	}
+	defer s.inflight.Add(-1)
+	s.stats.Inflight.Set(s.inflight.Load())
+
+	var req PredictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.stats.Errors.Inc()
+		writeJSON(w, http.StatusBadRequest, errorResponse{"bad request body: " + err.Error()})
+		return
+	}
+	if req.Session == "" || len(req.Records) == 0 {
+		s.stats.Errors.Inc()
+		writeJSON(w, http.StatusBadRequest, errorResponse{"session and records are required"})
+		return
+	}
+
+	deadline := s.cfg.DefaultDeadline
+	if req.DeadlineMS > 0 && time.Duration(req.DeadlineMS)*time.Millisecond < deadline {
+		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+
+	set := s.registry.Acquire()
+	defer set.Release()
+
+	sess, err := s.sessions.get(req.Session, set)
+	if err != nil {
+		s.stats.Rejected.Inc()
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{err.Error()})
+		return
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	sess.adopt(set)
+
+	// Replay the records against the session state. Baseline predictions
+	// happen inline (the baseline must see Predict before Update, as in
+	// hybrid.Predictor); model predictions capture their history view and
+	// branch counter here and resolve through the micro-batcher below —
+	// the view depends only on prior resolved directions, never on prior
+	// predictions, so every model call in the request forms one batch.
+	preds := make([]bool, len(req.Records))
+	fromModel := make([]bool, len(req.Records))
+	var items []BatchItem
+	for i, rec := range req.Records {
+		basePred := sess.base.Predict(rec.PC)
+		preds[i] = basePred
+		if m, ok := set.Lookup(rec.PC); ok {
+			fromModel[i] = true
+			view := sess.hist.View(make([]uint32, sess.hist.Window()))
+			items = append(items, BatchItem{Model: m, Hist: view, Count: sess.hist.Count(), Out: &preds[i]})
+		}
+		sess.base.Update(rec.PC, rec.Taken)
+		sess.hist.Push(rec.PC, rec.Taken)
+	}
+	if len(items) > 0 {
+		if err := s.batcher.Submit(ctx, items); err != nil {
+			switch {
+			case errors.Is(err, ErrQueueFull):
+				s.stats.Rejected.Inc()
+				writeJSON(w, http.StatusTooManyRequests, errorResponse{err.Error()})
+			case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+				writeJSON(w, http.StatusGatewayTimeout, errorResponse{"deadline exceeded in inference queue"})
+			default:
+				s.stats.Errors.Inc()
+				writeJSON(w, http.StatusServiceUnavailable, errorResponse{err.Error()})
+			}
+			return
+		}
+	}
+
+	s.stats.Predictions.Add(uint64(len(preds)))
+	s.stats.ModelPredictions.Add(uint64(len(items)))
+	s.stats.Latency.Observe(time.Since(start).Seconds())
+	writeJSON(w, http.StatusOK, PredictResponse{
+		Version:     set.Version,
+		Predictions: preds,
+		BranchNet:   fromModel,
+	})
+}
+
+// ReloadRequest is the /v1/reload body; empty Paths re-reads the
+// configured model paths.
+type ReloadRequest struct {
+	Paths []string `json:"paths,omitempty"`
+}
+
+// ReloadResponse reports the installed model set.
+type ReloadResponse struct {
+	Version int64  `json:"version"`
+	Models  int    `json:"models"`
+	Source  string `json:"source"`
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST required"})
+		return
+	}
+	// An empty body is allowed and means "re-read the configured paths".
+	var req ReloadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		s.stats.Errors.Inc()
+		writeJSON(w, http.StatusBadRequest, errorResponse{"bad request body: " + err.Error()})
+		return
+	}
+	paths := req.Paths
+	if len(paths) == 0 {
+		paths = s.cfg.ModelPaths
+	}
+	if len(paths) == 0 {
+		s.stats.Errors.Inc()
+		writeJSON(w, http.StatusBadRequest, errorResponse{"no model paths configured or given"})
+		return
+	}
+	set, err := s.registry.LoadFiles(paths)
+	if err != nil {
+		s.stats.Errors.Inc()
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	s.stats.Reloads.Inc()
+	writeJSON(w, http.StatusOK, ReloadResponse{Version: set.Version, Models: set.Len(), Source: set.Source})
+}
+
+// HealthResponse is the /healthz reply.
+type HealthResponse struct {
+	Status   string `json:"status"`
+	Version  int64  `json:"version"`
+	Models   int    `json:"models"`
+	Sessions int    `json:"sessions"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	set := s.registry.Current()
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:   "ok",
+		Version:  set.Version,
+		Models:   set.Len(),
+		Sessions: s.sessions.len(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.stats.snapshot())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.stats
+	var b strings.Builder
+	counters := []struct {
+		name string
+		c    *stats.Counter
+	}{
+		{"branchnet_requests_total", &snap.Requests},
+		{"branchnet_predictions_total", &snap.Predictions},
+		{"branchnet_model_predictions_total", &snap.ModelPredictions},
+		{"branchnet_rejected_total", &snap.Rejected},
+		{"branchnet_expired_total", &snap.Expired},
+		{"branchnet_errors_total", &snap.Errors},
+		{"branchnet_reloads_total", &snap.Reloads},
+		{"branchnet_batch_flushes_total", &snap.Flushes},
+		{"branchnet_sessions_created_total", &snap.SessionsCreated},
+		{"branchnet_sessions_evicted_total", &snap.SessionsEvicted},
+	}
+	for _, c := range counters {
+		fmt.Fprintf(&b, "%s %d\n", c.name, c.c.Value())
+	}
+	gauges := []struct {
+		name string
+		g    *stats.Gauge
+	}{
+		{"branchnet_queue_depth", &snap.QueueDepth},
+		{"branchnet_inflight", &snap.Inflight},
+		{"branchnet_sessions", &snap.Sessions},
+	}
+	for _, g := range gauges {
+		fmt.Fprintf(&b, "%s %d\n", g.name, g.g.Value())
+	}
+	fmt.Fprintf(&b, "branchnet_model_set_version %d\n", s.registry.Current().Version)
+	snap.BatchSizes.WriteMetric(&b, "branchnet_batch_size")
+	snap.Latency.WriteMetric(&b, "branchnet_request_seconds")
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	w.Write([]byte(b.String())) //nolint:errcheck
+}

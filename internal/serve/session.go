@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"branchnet/internal/hybrid"
+	"branchnet/internal/predictor"
+	"branchnet/internal/serve/stats"
+)
+
+// ErrTooManySessions reports that the session table is at capacity; the
+// server maps it to 429 backpressure.
+var ErrTooManySessions = errors.New("serve: session limit reached")
+
+// session is one client's deployment state: a private runtime baseline
+// (TAGE keeps training on every branch, as in Fig. 6) plus the shared
+// token-history ring. The mutex serializes requests for the same session —
+// the Predict/Update contract is sequential per client — while different
+// sessions proceed in parallel and meet only in the micro-batcher.
+type session struct {
+	mu       sync.Mutex
+	base     predictor.Predictor
+	hist     *hybrid.History
+	version  int64 // model-set version whose geometry the ring matches
+	lastUsed time.Time
+}
+
+// adopt re-shapes the session for a new model-set geometry after a hot
+// reload. The baseline and branch counter carry over; the ring keeps its
+// most recent tokens.
+func (s *session) adopt(set *ModelSet) {
+	if s.version == set.Version {
+		return
+	}
+	s.hist.Resize(set.Window(), set.PCBits())
+	s.version = set.Version
+}
+
+// sessionStore tracks live sessions with a hard cap (admission control)
+// and idle-TTL eviction.
+type sessionStore struct {
+	mu      sync.Mutex
+	m       map[string]*session
+	max     int
+	ttl     time.Duration
+	newBase func() predictor.Predictor
+
+	live    *stats.Gauge
+	created *stats.Counter
+	evicted *stats.Counter
+}
+
+func newSessionStore(max int, ttl time.Duration, newBase func() predictor.Predictor, st *Stats) *sessionStore {
+	return &sessionStore{
+		m:       make(map[string]*session),
+		max:     max,
+		ttl:     ttl,
+		newBase: newBase,
+		live:    &st.Sessions,
+		created: &st.SessionsCreated,
+		evicted: &st.SessionsEvicted,
+	}
+}
+
+// get returns the named session, creating it against the given model set's
+// geometry on first use.
+func (st *sessionStore) get(id string, set *ModelSet) (*session, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s := st.m[id]
+	if s == nil {
+		if st.max > 0 && len(st.m) >= st.max {
+			return nil, ErrTooManySessions
+		}
+		s = &session{
+			base:    st.newBase(),
+			hist:    hybrid.NewHistory(set.Window(), set.PCBits()),
+			version: set.Version,
+		}
+		st.m[id] = s
+		st.live.Set(int64(len(st.m)))
+		st.created.Inc()
+	}
+	s.lastUsed = time.Now()
+	return s, nil
+}
+
+// sweep drops sessions idle longer than the TTL. Sessions currently locked
+// by a request have a fresh lastUsed, so only genuinely idle ones go.
+func (st *sessionStore) sweep(now time.Time) {
+	if st.ttl <= 0 {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for id, s := range st.m {
+		if now.Sub(s.lastUsed) > st.ttl {
+			delete(st.m, id)
+			st.evicted.Inc()
+		}
+	}
+	st.live.Set(int64(len(st.m)))
+}
+
+// len returns the live session count.
+func (st *sessionStore) len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.m)
+}

@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(1, 2, 4, 8)
+	for _, v := range []float64{0.5, 1.5, 3, 5, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 110.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+	if got := h.Mean(); math.Abs(got-22) > 1e-9 {
+		t.Fatalf("mean = %g, want 22", got)
+	}
+	// p50 of {0.5, 1.5, 3, 5, 100}: the median observation is 3, which
+	// lands in the (2,4] bucket.
+	if p := h.Quantile(0.5); p <= 2 || p > 4 {
+		t.Fatalf("p50 = %g, want within (2,4]", p)
+	}
+	// p99 lands in the overflow bucket -> reports the top bound.
+	if p := h.Quantile(0.99); p != 8 {
+		t.Fatalf("p99 = %g, want 8 (top bound)", p)
+	}
+	snap := h.Snapshot()
+	if snap.Count != 5 || len(snap.Buckets) != 5 {
+		t.Fatalf("snapshot %+v malformed", snap)
+	}
+	var b strings.Builder
+	h.WriteMetric(&b, "x")
+	out := b.String()
+	for _, want := range []string{`x_bucket{le="1"} 1`, `x_bucket{le="+Inf"} 5`, "x_count 5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metric output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := NewHistogram(ExpBounds(1, 2, 10)...)
+	if p := h.Quantile(0.99); p != 0 {
+		t.Fatalf("empty quantile = %g, want 0", p)
+	}
+}
+
+// TestConcurrentObserve checks the lock-free paths under the race detector:
+// total count and sum must be exact regardless of interleaving.
+func TestConcurrentObserve(t *testing.T) {
+	h := NewHistogram(ExpBounds(1, 2, 12)...)
+	var c Counter
+	var g Gauge
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i % 100))
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+	wantSum := float64(workers) * float64(per/100) * (99 * 100 / 2)
+	if math.Abs(h.Sum()-wantSum) > 1e-6 {
+		t.Fatalf("sum = %g, want %g", h.Sum(), wantSum)
+	}
+	if c.Value() != workers*per {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != 0 {
+		t.Fatalf("gauge = %d, want 0", g.Value())
+	}
+}
