@@ -19,6 +19,16 @@ go vet ./...
 go build ./...
 go test -short -race ./...
 
+# Sharded-trainer determinism under the race detector: parallel training
+# must stay bit-identical to serial, and the fused training paths
+# bit-identical to the layered reference.
+go test -race -run 'TestParallelTrainBitIdentical|TestShardedStep|TestFused|TestEmbConv' ./internal/branchnet
+
+# Benchmark smoke gate: one iteration of every kernel and train-step
+# benchmark, so the perf harness can't silently rot. Throughput numbers
+# from -benchtime=1x are meaningless; this only checks they still run.
+go test -run xxx -bench . -benchtime 1x ./internal/nn ./internal/branchnet
+
 # Serving smoke test: build deterministic synthetic models from a trace,
 # serve them, replay the trace through HTTP for ~2s from several sessions,
 # and require non-zero predictions, bit-exact parity with the in-process

@@ -4,6 +4,12 @@
 //
 //	branchnet-bench [-mode quick|full] [-parallel N] [-fig 1|3|4|9|10|11|12|13] [-table 1|2|3|4]
 //	branchnet-bench -all
+//	branchnet-bench -bench-train [-bench-out BENCH_train.json]
+//
+// -bench-train measures train-step throughput (examples/s, ns/step,
+// allocs/op) for the standard model configurations and writes the numbers
+// — with speedups against the recorded seed trainer — to -bench-out.
+// -cpuprofile/-memprofile capture runtime/pprof profiles of any mode.
 //
 // Without -fig/-table/-all it prints the static tables (I, II, III), which
 // need no training. Figure experiments train BranchNet models and can take
@@ -11,6 +17,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -21,6 +28,7 @@ import (
 
 	"branchnet/internal/bench"
 	"branchnet/internal/experiments"
+	"branchnet/internal/profiles"
 )
 
 // namedJob is one table/figure regeneration of the -all suite.
@@ -46,7 +54,17 @@ func main() {
 	ablations := flag.Bool("ablations", false, "run the design-choice ablation study")
 	benchmarks := flag.String("benchmarks", "", "comma-separated benchmark subset (default: all)")
 	parallel := flag.Int("parallel", 0, "worker-pool width for per-benchmark fan-out and the -all figure suite (0 = GOMAXPROCS)")
+	benchTrain := flag.Bool("bench-train", false, "measure train-step throughput and write -bench-out")
+	benchOut := flag.String("bench-out", "BENCH_train.json", "output file for -bench-train")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProfiles, err := profiles.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProfiles()
 
 	if *parallel < 0 {
 		log.Fatalf("-parallel must be >= 0, got %d", *parallel)
@@ -127,6 +145,18 @@ func main() {
 	}
 
 	switch {
+	case *benchTrain:
+		start := time.Now()
+		report, tbl := experiments.TrainBench()
+		fmt.Println(tbl.String())
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			log.Fatalf("encoding %s: %v", *benchOut, err)
+		}
+		if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
+			log.Fatalf("writing %s: %v", *benchOut, err)
+		}
+		log.Printf("bench-train done in %s: wrote %s", time.Since(start).Round(time.Millisecond), *benchOut)
 	case *ablations:
 		run("ablations", func() experiments.Table { _, t := experiments.Ablations(ctx); return t })
 	case *all:

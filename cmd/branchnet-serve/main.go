@@ -20,6 +20,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -44,6 +45,7 @@ func main() {
 	maxSessions := flag.Int("max-sessions", 4096, "live-session limit before 429")
 	sessionTTL := flag.Duration("session-ttl", 5*time.Minute, "idle-session eviction age")
 	deadline := flag.Duration("deadline", 2*time.Second, "default per-request deadline")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty: disabled)")
 	flag.Parse()
 
 	newBase, ok := serve.Baselines[*baseline]
@@ -76,6 +78,27 @@ func main() {
 		log.Printf("loaded %d models (version %d) from %s", set.Len(), set.Version, set.Source)
 	} else {
 		log.Printf("no models given; serving %s baseline predictions only", *baseline)
+	}
+
+	// The profiling endpoints live on their own mux and listener so they
+	// are never reachable through the prediction port.
+	if *pprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			log.Fatalf("pprof listen: %v", err)
+		}
+		log.Printf("pprof on http://%s/debug/pprof/", pln.Addr())
+		go func() {
+			if err := http.Serve(pln, mux); err != nil {
+				log.Printf("pprof serve: %v", err)
+			}
+		}()
 	}
 
 	ln, err := net.Listen("tcp", *addr)

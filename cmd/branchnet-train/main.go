@@ -21,6 +21,7 @@ import (
 	"branchnet/internal/engine"
 	"branchnet/internal/hybrid"
 	"branchnet/internal/predictor"
+	"branchnet/internal/profiles"
 	"branchnet/internal/tage"
 	"branchnet/internal/trace"
 )
@@ -73,7 +74,15 @@ func main() {
 	trainLen := flag.Int("trainlen", 300000, "branches per training input trace")
 	evalLen := flag.Int("evallen", 150000, "branches per validation/test trace")
 	out := flag.String("out", "", "write the attached quantized models to this .bnm file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProfiles, err := profiles.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProfiles()
 
 	p := bench.ByName(*benchName)
 	if p == nil {

@@ -1,0 +1,44 @@
+package branchnet
+
+import "runtime"
+
+// The training worker budget bounds the total goroutine fan-out of the
+// training stack. Two layers draw from it: TrainOffline's per-branch
+// trainer goroutines (coarse parallelism) and Model.Train's intra-batch
+// shard workers (fine parallelism). Both acquire tokens non-blocking, so
+// nested fan-out degrades to serial execution instead of oversubscribing
+// the machine: when the offline pipeline already runs GOMAXPROCS branch
+// trainers, each inner Train sees an empty budget and runs its shards
+// inline. Worker counts never affect results (the shard structure is
+// fixed), so an opportunistic budget is safe.
+var trainTokens = make(chan struct{}, trainBudgetCap())
+
+func trainBudgetCap() int {
+	n := runtime.GOMAXPROCS(0) - 1
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// acquireTrainTokens takes up to n budget tokens without blocking and
+// returns how many it got.
+func acquireTrainTokens(n int) int {
+	got := 0
+	for got < n {
+		select {
+		case trainTokens <- struct{}{}:
+			got++
+		default:
+			return got
+		}
+	}
+	return got
+}
+
+// releaseTrainTokens returns n tokens to the budget.
+func releaseTrainTokens(n int) {
+	for i := 0; i < n; i++ {
+		<-trainTokens
+	}
+}

@@ -18,6 +18,15 @@ import "branchnet/internal/nn"
 //
 // Both directions are exact regroupings of the layered computation (the
 // sums are re-associated, so float32 rounding differs in the last bits).
+//
+// The hot loops run on per-step repacked weight layouts — [in][k*out] for
+// the forward table build, [k][out][in] for the backward expansion — so
+// the inner kernels stream contiguous memory and the expansion keeps In
+// independent accumulator chains in flight instead of one serial dot per
+// (token, tap, input) triple. The repacking changes no accumulation
+// order: every output element still sums its terms in exactly the
+// sequence the reference loops produce, pinned bit-for-bit by
+// TestEmbConvMatchesReference.
 type embConv struct {
 	emb  *nn.Embedding
 	conv *nn.Conv1D
@@ -27,6 +36,12 @@ type embConv struct {
 	// of token v (-1 when absent), distinct the reverse mapping.
 	idx      []int32
 	distinct []int32
+	// gsum groups output gradients by (distinct token, tap) between
+	// backwardBegin and backwardFinish.
+	gsum []float32
+	// scratch is the owning model's arena; the per-batch distinct-token
+	// table and gradient groupings are drawn from it.
+	scratch *nn.Scratch
 }
 
 func newEmbConv(emb *nn.Embedding, conv *nn.Conv1D) *embConv {
@@ -52,6 +67,23 @@ func (ec *embConv) index(tokens [][]int32) {
 	}
 }
 
+// scratchFloats draws n zeroed floats from the arena (heap fallback for
+// standalone use).
+func (ec *embConv) scratchFloats(n int) []float32 {
+	if ec.scratch == nil {
+		return make([]float32, n)
+	}
+	return ec.scratch.Floats(n)
+}
+
+// scratchTensor draws a zeroed tensor from the arena.
+func (ec *embConv) scratchTensor(b, l, c int) *nn.Tensor {
+	if ec.scratch == nil {
+		return nn.NewTensor(b, l, c)
+	}
+	return ec.scratch.Tensor(b, l, c)
+}
+
 // Forward computes conv(embed(tokens)) for a batch of equal-length token
 // sequences.
 func (ec *embConv) Forward(tokens [][]int32) *nn.Tensor {
@@ -59,32 +91,109 @@ func (ec *embConv) Forward(tokens [][]int32) *nn.Tensor {
 	ec.index(tokens)
 	in, out, k := ec.conv.In, ec.conv.Out, ec.conv.K
 	half := k / 2
+	kout := k * out
+
+	// Repack W[k][in][out] as wp[in][k*out]: each distinct token then
+	// accumulates its whole k*out table row in one pass per input
+	// channel. Per element the sum still runs over input channels in
+	// ascending order with the same zero skips — only the kernel length
+	// changes, never the order.
+	wp := ec.scratchFloats(in * kout)
+	for ki := 0; ki < k; ki++ {
+		for i := 0; i < in; i++ {
+			copy(wp[i*kout+ki*out:i*kout+ki*out+out],
+				ec.conv.W.W[(ki*in+i)*out:(ki*in+i)*out+out])
+		}
+	}
 
 	// Per-batch token table: contributions of every distinct token at
 	// every filter tap.
-	p := make([]float32, len(ec.distinct)*k*out)
-	for di, v := range ec.distinct {
-		e := ec.emb.Table.W[int(v)*in : int(v)*in+in]
-		for ki := 0; ki < k; ki++ {
-			w := ec.conv.W.W[ki*in*out:]
-			dst := p[(di*k+ki)*out : (di*k+ki)*out+out]
-			for i := 0; i < in; i++ {
-				ev := e[i]
+	p := ec.scratchFloats(len(ec.distinct) * kout)
+	if in == 8 && out == 8 {
+		// Register-resident table build for the common 8x8 geometry: each
+		// block of eight table entries accumulates its input-channel chain
+		// in registers and stores once, instead of streaming
+		// read-modify-write Axpy passes through memory. Chain order is
+		// unchanged — input channels ascending, zero entries skipped, sum
+		// started from zero — so the stored values match the Axpy build
+		// bit for bit.
+		for di, v := range ec.distinct {
+			e := (*[8]float32)(ec.emb.Table.W[int(v)*8 : int(v)*8+8])
+			dst := p[di*kout : di*kout+kout]
+			for j := 0; j+8 <= kout; j += 8 {
+				var a0, a1, a2, a3, a4, a5, a6, a7 float32
+				for i := 0; i < 8; i++ {
+					ev := e[i]
+					if ev == 0 {
+						continue
+					}
+					wr := (*[8]float32)(wp[i*kout+j : i*kout+j+8])
+					a0 += ev * wr[0]
+					a1 += ev * wr[1]
+					a2 += ev * wr[2]
+					a3 += ev * wr[3]
+					a4 += ev * wr[4]
+					a5 += ev * wr[5]
+					a6 += ev * wr[6]
+					a7 += ev * wr[7]
+				}
+				db := (*[8]float32)(dst[j : j+8])
+				db[0], db[1], db[2], db[3] = a0, a1, a2, a3
+				db[4], db[5], db[6], db[7] = a4, a5, a6, a7
+			}
+		}
+	} else {
+		for di, v := range ec.distinct {
+			e := ec.emb.Table.W[int(v)*in : int(v)*in+in]
+			dst := p[di*kout : di*kout+kout]
+			for i, ev := range e {
 				if ev == 0 {
 					continue
 				}
-				ws := w[i*out : i*out+out]
-				for o := 0; o < out; o++ {
-					dst[o] += ev * ws[o]
-				}
+				nn.Axpy(ev, wp[i*kout:i*kout+kout], dst)
 			}
 		}
 	}
 
 	b := len(tokens)
 	l := len(tokens[0])
-	y := nn.NewTensor(b, l, out)
+	y := ec.scratchTensor(b, l, out)
 	bias := ec.conv.B.W
+	if out == 8 {
+		// Specialized assembly for the common 8-channel geometry: each
+		// output row accumulates in registers — bias first, then taps in
+		// ascending order, exactly the generic loop's chain — and stores
+		// once, instead of read-modify-writing the row per tap.
+		bias8 := (*[8]float32)(bias)
+		b0, b1, b2, b3 := bias8[0], bias8[1], bias8[2], bias8[3]
+		b4, b5, b6, b7 := bias8[4], bias8[5], bias8[6], bias8[7]
+		for bi, seq := range tokens {
+			base := bi * l * 8
+			for t := 0; t < l; t++ {
+				r0, r1, r2, r3, r4, r5, r6, r7 := b0, b1, b2, b3, b4, b5, b6, b7
+				for ki := 0; ki < k; ki++ {
+					src := t + ki - half
+					if src < 0 || src >= l {
+						continue
+					}
+					di := int(ec.idx[seq[src]])
+					pr := (*[8]float32)(p[di*kout+ki*8 : di*kout+ki*8+8])
+					r0 += pr[0]
+					r1 += pr[1]
+					r2 += pr[2]
+					r3 += pr[3]
+					r4 += pr[4]
+					r5 += pr[5]
+					r6 += pr[6]
+					r7 += pr[7]
+				}
+				dst := (*[8]float32)(y.Data[base+t*8 : base+t*8+8])
+				dst[0], dst[1], dst[2], dst[3] = r0, r1, r2, r3
+				dst[4], dst[5], dst[6], dst[7] = r4, r5, r6, r7
+			}
+		}
+		return y
+	}
 	for bi, seq := range tokens {
 		for t := 0; t < l; t++ {
 			dst := y.Row(bi, t)
@@ -94,64 +203,198 @@ func (ec *embConv) Forward(tokens [][]int32) *nn.Tensor {
 				if src < 0 || src >= l {
 					continue
 				}
-				di := ec.idx[seq[src]]
-				tt := p[(int(di)*k+ki)*out : (int(di)*k+ki)*out+out]
-				for o := 0; o < out; o++ {
-					dst[o] += tt[o]
-				}
+				di := int(ec.idx[seq[src]])
+				nn.Add(p[di*kout+ki*out:di*kout+ki*out+out], dst)
 			}
 		}
 	}
 	return y
 }
 
-// Backward accumulates embedding and convolution gradients from dy.
-func (ec *embConv) Backward(dy *nn.Tensor) {
-	in, out, k := ec.conv.In, ec.conv.Out, ec.conv.K
-	half := k / 2
-	l := dy.L
+// backwardBegin starts a backward pass: it clears the (distinct token,
+// tap) gradient grouping that backwardRow fills and backwardFinish
+// expands. The fused slice path (fusedconv.go) streams positions through
+// backwardRow itself; the plain Backward below drives all three for a
+// materialized gradient tensor.
+func (ec *embConv) backwardBegin() {
+	ec.gsum = ec.scratchFloats(len(ec.distinct) * ec.conv.K * ec.conv.Out)
+}
 
-	// Group output gradients by (distinct token, tap).
-	gsum := make([]float32, len(ec.distinct)*k*out)
-	bg := ec.conv.B.G
-	for bi, seq := range ec.lastTokens {
-		for t := 0; t < l; t++ {
-			g := dy.Row(bi, t)
-			for o := 0; o < out; o++ {
-				bg[o] += g[o]
+// backwardRow folds one position's output gradient g (length Out) into
+// the bias gradient and the per-(token, tap) grouping. seq is the
+// position's token sequence, t its index, l the sequence length.
+func (ec *embConv) backwardRow(seq []int32, t, l int, g []float32) {
+	out, k := ec.conv.Out, ec.conv.K
+	half := k / 2
+	if out == 8 {
+		g8 := (*[8]float32)(g)
+		bg := (*[8]float32)(ec.conv.B.G)
+		for ch := 0; ch < 8; ch++ {
+			bg[ch] += g8[ch]
+		}
+		for ki := 0; ki < k; ki++ {
+			src := t + ki - half
+			if src < 0 || src >= l {
+				continue
 			}
-			for ki := 0; ki < k; ki++ {
-				src := t + ki - half
-				if src < 0 || src >= l {
-					continue
-				}
-				di := ec.idx[seq[src]]
-				gs := gsum[(int(di)*k+ki)*out : (int(di)*k+ki)*out+out]
+			di := int(ec.idx[seq[src]])
+			gs := (*[8]float32)(ec.gsum[(di*k+ki)*8 : (di*k+ki)*8+8])
+			for ch := 0; ch < 8; ch++ {
+				gs[ch] += g8[ch]
+			}
+		}
+		return
+	}
+	nn.Add(g, ec.conv.B.G)
+	for ki := 0; ki < k; ki++ {
+		src := t + ki - half
+		if src < 0 || src >= l {
+			continue
+		}
+		di := int(ec.idx[seq[src]])
+		nn.Add(g, ec.gsum[(di*k+ki)*out:(di*k+ki)*out+out])
+	}
+}
+
+// backwardFinish expands the grouped gradient sums into the convolution
+// weight and embedding table gradients.
+func (ec *embConv) backwardFinish() {
+	in, out, k := ec.conv.In, ec.conv.Out, ec.conv.K
+	kout := k * out
+
+	if in == 8 {
+		// Specialized expansion for 8-wide embeddings: one pass over the
+		// distinct tokens updates both gradients, so each embedding row is
+		// loaded once per token (a split per-stream layout was measured
+		// slower — it re-walks the randomly indexed table once per weight
+		// column). The transposed accumulator wgt keeps the weight
+		// gradient's L1-resident store stream short, and the embedding
+		// chains live in registers. Same products, same chain order as the
+		// reference.
+		wt := ec.scratchFloats(kout * 8)
+		wgt := ec.scratchFloats(kout * 8)
+		for ki := 0; ki < k; ki++ {
+			for i := 0; i < 8; i++ {
 				for o := 0; o < out; o++ {
-					gs[o] += g[o]
+					wt[(ki*out+o)*8+i] = ec.conv.W.W[(ki*8+i)*out+o]
 				}
+			}
+		}
+		for di, v := range ec.distinct {
+			e := (*[8]float32)(ec.emb.Table.W[int(v)*8 : int(v)*8+8])
+			eg := (*[8]float32)(ec.emb.Table.G[int(v)*8 : int(v)*8+8])
+			gs := ec.gsum[di*kout : di*kout+kout]
+			e0, e1, e2, e3 := e[0], e[1], e[2], e[3]
+			e4, e5, e6, e7 := e[4], e[5], e[6], e[7]
+			for ki := 0; ki < k; ki++ {
+				var a0, a1, a2, a3, a4, a5, a6, a7 float32
+				for o := 0; o < out; o++ {
+					gv := gs[ki*out+o]
+					wr := (*[8]float32)(wt[(ki*out+o)*8 : (ki*out+o)*8+8])
+					wgr := (*[8]float32)(wgt[(ki*out+o)*8 : (ki*out+o)*8+8])
+					wgr[0] += e0 * gv
+					wgr[1] += e1 * gv
+					wgr[2] += e2 * gv
+					wgr[3] += e3 * gv
+					wgr[4] += e4 * gv
+					wgr[5] += e5 * gv
+					wgr[6] += e6 * gv
+					wgr[7] += e7 * gv
+					a0 += gv * wr[0]
+					a1 += gv * wr[1]
+					a2 += gv * wr[2]
+					a3 += gv * wr[3]
+					a4 += gv * wr[4]
+					a5 += gv * wr[5]
+					a6 += gv * wr[6]
+					a7 += gv * wr[7]
+				}
+				eg[0] += a0
+				eg[1] += a1
+				eg[2] += a2
+				eg[3] += a3
+				eg[4] += a4
+				eg[5] += a5
+				eg[6] += a6
+				eg[7] += a7
+			}
+		}
+		// Fold the transposed accumulator back into the layer's
+		// [k][in][out] layout; each element receives its full
+		// token-ordered sum in one add.
+		for ki := 0; ki < k; ki++ {
+			for i := 0; i < 8; i++ {
+				for o := 0; o < out; o++ {
+					ec.conv.W.G[(ki*8+i)*out+o] += wgt[(ki*out+o)*8+i]
+				}
+			}
+		}
+		ec.gsum = nil
+		return
+	}
+
+	// Generic path: transposed weight view wt[k][out][in] plus a matching
+	// gradient accumulator. The expansion keeps all In embedding-gradient
+	// chains live per output channel (independent accumulators pipeline,
+	// where per-(tap, input) serial dots cannot) while every chain still
+	// consumes its terms in the reference order — per embedding channel
+	// tokens ascending, taps ascending, outputs ascending; per weight
+	// element tokens ascending.
+	wt := ec.scratchFloats(kout * in)
+	wgt := ec.scratchFloats(kout * in)
+	for ki := 0; ki < k; ki++ {
+		for i := 0; i < in; i++ {
+			for o := 0; o < out; o++ {
+				wt[(ki*out+o)*in+i] = ec.conv.W.W[(ki*in+i)*out+o]
 			}
 		}
 	}
 
-	// Expand the grouped sums into weight and embedding gradients.
+	acc := ec.scratchFloats(in)
 	for di, v := range ec.distinct {
 		e := ec.emb.Table.W[int(v)*in : int(v)*in+in]
 		eg := ec.emb.Table.G[int(v)*in : int(v)*in+in]
+		gs := ec.gsum[di*kout : di*kout+kout]
 		for ki := 0; ki < k; ki++ {
-			gs := gsum[(di*k+ki)*out : (di*k+ki)*out+out]
-			wOff := ki * in * out
-			for i := 0; i < in; i++ {
-				ws := ec.conv.W.W[wOff+i*out : wOff+i*out+out]
-				gws := ec.conv.W.G[wOff+i*out : wOff+i*out+out]
-				ev := e[i]
-				var acc float32
-				for o := 0; o < out; o++ {
-					gws[o] += ev * gs[o]
-					acc += ws[o] * gs[o]
+			for i := range acc {
+				acc[i] = 0
+			}
+			for o := 0; o < out; o++ {
+				gv := gs[ki*out+o]
+				wr := wt[(ki*out+o)*in : (ki*out+o)*in+in]
+				wgr := wgt[(ki*out+o)*in : (ki*out+o)*in+in]
+				for i, ev := range e {
+					wgr[i] += ev * gv
+					acc[i] += gv * wr[i]
 				}
-				eg[i] += acc
+			}
+			for i := range acc {
+				eg[i] += acc[i]
 			}
 		}
 	}
+
+	// Fold the transposed weight-gradient accumulator back into the
+	// layer's [k][in][out] layout. Each element receives its full
+	// token-ordered sum in one add.
+	for ki := 0; ki < k; ki++ {
+		for i := 0; i < in; i++ {
+			for o := 0; o < out; o++ {
+				ec.conv.W.G[(ki*in+i)*out+o] += wgt[(ki*out+o)*in+i]
+			}
+		}
+	}
+	ec.gsum = nil
+}
+
+// Backward accumulates embedding and convolution gradients from dy.
+func (ec *embConv) Backward(dy *nn.Tensor) {
+	l := dy.L
+	ec.backwardBegin()
+	for bi, seq := range ec.lastTokens {
+		for t := 0; t < l; t++ {
+			ec.backwardRow(seq, t, l, dy.Row(bi, t))
+		}
+	}
+	ec.backwardFinish()
 }

@@ -1,0 +1,159 @@
+package branchnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"branchnet/internal/nn"
+)
+
+// refEmbConvForward is the original (pre-repacking) embConv forward: the
+// per-tap token table built with length-Out kernels straight off the
+// [K][In][Out] weight layout. The repacked production path must reproduce
+// it bit for bit.
+func refEmbConvForward(ec *embConv, tokens [][]int32) *nn.Tensor {
+	ec.lastTokens = tokens
+	ec.index(tokens)
+	in, out, k := ec.conv.In, ec.conv.Out, ec.conv.K
+	half := k / 2
+
+	p := make([]float32, len(ec.distinct)*k*out)
+	for di, v := range ec.distinct {
+		e := ec.emb.Table.W[int(v)*in : int(v)*in+in]
+		for ki := 0; ki < k; ki++ {
+			w := ec.conv.W.W[ki*in*out:]
+			dst := p[(di*k+ki)*out : (di*k+ki)*out+out]
+			for i, ev := range e {
+				if ev == 0 {
+					continue
+				}
+				nn.Axpy(ev, w[i*out:i*out+out], dst)
+			}
+		}
+	}
+
+	b := len(tokens)
+	l := len(tokens[0])
+	y := nn.NewTensor(b, l, out)
+	bias := ec.conv.B.W
+	for bi, seq := range tokens {
+		for t := 0; t < l; t++ {
+			dst := y.Row(bi, t)
+			copy(dst, bias)
+			for ki := 0; ki < k; ki++ {
+				src := t + ki - half
+				if src < 0 || src >= l {
+					continue
+				}
+				di := int(ec.idx[seq[src]])
+				nn.Add(p[(di*k+ki)*out:(di*k+ki)*out+out], dst)
+			}
+		}
+	}
+	return y
+}
+
+// refEmbConvBackward is the original embConv backward: grouped sums
+// expanded with one serial AxpyDot per (token, tap, input channel).
+func refEmbConvBackward(ec *embConv, dy *nn.Tensor) {
+	in, out, k := ec.conv.In, ec.conv.Out, ec.conv.K
+	half := k / 2
+	l := dy.L
+
+	gsum := make([]float32, len(ec.distinct)*k*out)
+	bg := ec.conv.B.G
+	for bi, seq := range ec.lastTokens {
+		for t := 0; t < l; t++ {
+			g := dy.Row(bi, t)
+			nn.Add(g, bg)
+			for ki := 0; ki < k; ki++ {
+				src := t + ki - half
+				if src < 0 || src >= l {
+					continue
+				}
+				di := int(ec.idx[seq[src]])
+				nn.Add(g, gsum[(di*k+ki)*out:(di*k+ki)*out+out])
+			}
+		}
+	}
+
+	for di, v := range ec.distinct {
+		e := ec.emb.Table.W[int(v)*in : int(v)*in+in]
+		eg := ec.emb.Table.G[int(v)*in : int(v)*in+in]
+		for ki := 0; ki < k; ki++ {
+			gs := gsum[(di*k+ki)*out : (di*k+ki)*out+out]
+			wOff := ki * in * out
+			for i, ev := range e {
+				off := wOff + i*out
+				eg[i] += nn.AxpyDot(ev, gs, ec.conv.W.W[off:off+out], ec.conv.W.G[off:off+out])
+			}
+		}
+	}
+}
+
+// TestEmbConvMatchesReference pins the repacked embConv loops to the
+// reference implementation bit for bit: the repacking reorders memory,
+// never arithmetic.
+func TestEmbConvMatchesReference(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		in := 1 + rng.Intn(9)
+		out := 1 + rng.Intn(9)
+		k := 1 + 2*rng.Intn(3) // odd widths 1, 3, 5
+		vocab := 16 + rng.Intn(48)
+		b := 1 + rng.Intn(4)
+		l := k + rng.Intn(20)
+
+		build := func() *embConv {
+			r := rand.New(rand.NewSource(int64(trial) + 1000))
+			return newEmbConv(
+				nn.NewEmbedding(r, vocab, in),
+				nn.NewConv1D(r, in, out, k),
+			)
+		}
+		got, want := build(), build()
+
+		tokens := make([][]int32, b)
+		for bi := range tokens {
+			seq := make([]int32, l)
+			for i := range seq {
+				seq[i] = int32(rng.Intn(vocab))
+			}
+			tokens[bi] = seq
+		}
+		dy := nn.NewTensor(b, l, out)
+		for i := range dy.Data {
+			dy.Data[i] = float32(rng.NormFloat64())
+		}
+
+		y := got.Forward(tokens)
+		yRef := refEmbConvForward(want, tokens)
+		for i := range y.Data {
+			if math.Float32bits(y.Data[i]) != math.Float32bits(yRef.Data[i]) {
+				t.Fatalf("trial %d: forward[%d] = %v, reference %v", trial, i, y.Data[i], yRef.Data[i])
+			}
+		}
+
+		// Backward mutates dy's rows in neither path, but both add into
+		// the same gradient buffers — run each on its own layer pair.
+		dyRef := nn.NewTensor(b, l, out)
+		copy(dyRef.Data, dy.Data)
+		got.Backward(dy)
+		refEmbConvBackward(want, dyRef)
+
+		pairs := [][2][]float32{
+			{got.emb.Table.G, want.emb.Table.G},
+			{got.conv.W.G, want.conv.W.G},
+			{got.conv.B.G, want.conv.B.G},
+		}
+		for pi, pr := range pairs {
+			for i := range pr[0] {
+				if math.Float32bits(pr[0][i]) != math.Float32bits(pr[1][i]) {
+					t.Fatalf("trial %d: grad buffer %d element %d = %v, reference %v",
+						trial, pi, i, pr[0][i], pr[1][i])
+				}
+			}
+		}
+	}
+}

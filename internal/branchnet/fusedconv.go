@@ -1,0 +1,402 @@
+package branchnet
+
+import (
+	"math"
+
+	"branchnet/internal/nn"
+)
+
+// fusedConvSlice runs a true-convolution slice's post-conv pipeline —
+// BatchNorm -> activation -> SumPool — fused over the embConv output, and
+// streams the backward pass straight into embConv's gradient grouping.
+// The layered path materializes five [B, L, C] tensors per step around
+// the conv output (norm, activation, and three backward expansions); the
+// fused path materializes none of them: forward pools normalized
+// activations row by row, and backward recomputes the normalization from
+// the saved conv output (two multiply-adds per element — cheaper than
+// writing, clearing, and re-reading the cached tensors). The relu
+// pipeline with 8 channels — the scaled Big configuration — additionally
+// runs on fixed-size array blocks, which removes every bounds check from
+// the per-position loops without touching the arithmetic.
+//
+// Every floating-point expression and accumulation order mirrors the
+// layered BatchNorm/ReLU/Tanh/SumPool implementations exactly, so a model
+// trained through this path is bit-identical to the layered reference
+// (asserted by TestFusedConvSliceTrainingMatchesLayered). When editing
+// either side, keep the other in sync.
+type fusedConvSlice struct {
+	ec    *embConv
+	bn    *nn.BatchNorm
+	tanh  bool // activation: tanh (true) or relu (false)
+	width int  // sum-pooling window width
+
+	// Per-step caches (valid from Forward until the next Forward).
+	lastY   *nn.Tensor // conv output (pre-norm), owned by the arena
+	lastAct *nn.Tensor // tanh activations; relu recomputes its mask
+	sum64   []float64
+	sq64    []float64
+}
+
+func newFusedConvSlice(ec *embConv, bn *nn.BatchNorm, tanh bool, width int) *fusedConvSlice {
+	return &fusedConvSlice{
+		ec:    ec,
+		bn:    bn,
+		tanh:  tanh,
+		width: width,
+		sum64: make([]float64, bn.C),
+		sq64:  make([]float64, bn.C),
+	}
+}
+
+// windowBounds returns the position range [lo, hi) of pooled window w.
+func (f *fusedConvSlice) windowBounds(w, l int) (lo, hi int) {
+	lo = w * f.width
+	hi = lo + f.width
+	if hi > l {
+		hi = l
+	}
+	return lo, hi
+}
+
+// Forward computes pool(act(norm(conv(embed(tokens))))) and returns the
+// pooled [B, ceil(L/Width), C] tensor.
+func (f *fusedConvSlice) Forward(tokens [][]int32, train bool) *nn.Tensor {
+	y := f.ec.Forward(tokens)
+	f.lastY = y
+	bn := f.bn
+	c := bn.C
+	b, l := y.B, y.L
+	n := b * l
+
+	mean, invStd := bn.StepStats()
+	if train {
+		// Batch statistics: per-channel float64 chains visiting rows in
+		// ascending order, exactly BatchNorm.Forward's strided loops.
+		for ch := 0; ch < c; ch++ {
+			f.sum64[ch], f.sq64[ch] = 0, 0
+		}
+		if c == 8 {
+			sum := (*[8]float64)(f.sum64)
+			sq := (*[8]float64)(f.sq64)
+			for off := 0; off+8 <= len(y.Data); off += 8 {
+				row := (*[8]float32)(y.Data[off : off+8])
+				for ch := 0; ch < 8; ch++ {
+					v64 := float64(row[ch])
+					sum[ch] += v64
+					sq[ch] += v64 * v64
+				}
+			}
+		} else {
+			for off := 0; off < len(y.Data); off += c {
+				row := y.Data[off : off+c]
+				for ch, v := range row {
+					v64 := float64(v)
+					f.sum64[ch] += v64
+					f.sq64[ch] += v64 * v64
+				}
+			}
+		}
+		if bn.BatchMean == nil {
+			bn.BatchMean = make([]float32, c)
+			bn.BatchVar = make([]float32, c)
+		}
+		for ch := 0; ch < c; ch++ {
+			m := f.sum64[ch] / float64(n)
+			variance := f.sq64[ch]/float64(n) - m*m
+			if variance < 0 {
+				variance = 0
+			}
+			mean[ch] = float32(m)
+			invStd[ch] = float32(1 / math.Sqrt(variance+float64(bn.Eps)))
+			bn.BatchMean[ch] = float32(m)
+			bn.BatchVar[ch] = float32(variance)
+		}
+		if !bn.DeferStats {
+			bn.ApplyStats(bn.BatchMean, bn.BatchVar)
+		}
+	} else {
+		for ch := 0; ch < c; ch++ {
+			mean[ch] = bn.RunMean[ch]
+			invStd[ch] = float32(1 / math.Sqrt(float64(bn.RunVar[ch])+float64(bn.Eps)))
+		}
+	}
+
+	// Normalize, activate, and pool in one pass. Pooled windows accumulate
+	// activations in position order (SumPool.Forward's adds).
+	gamma, beta := bn.Gamma.W, bn.Beta.W
+	pooled := f.ec.scratchTensor(b, (l+f.width-1)/f.width, c)
+	if !f.tanh && c == 8 {
+		m8 := (*[8]float32)(mean)
+		is8 := (*[8]float32)(invStd)
+		g8 := (*[8]float32)(gamma)
+		b8 := (*[8]float32)(beta)
+		for bi := 0; bi < b; bi++ {
+			rowBase := bi * l * 8
+			poolBase := bi * pooled.L * 8
+			for w := 0; w < pooled.L; w++ {
+				dst := (*[8]float32)(pooled.Data[poolBase+w*8 : poolBase+w*8+8])
+				lo, hi := f.windowBounds(w, l)
+				for t := lo; t < hi; t++ {
+					src := (*[8]float32)(y.Data[rowBase+t*8 : rowBase+t*8+8])
+					for ch := 0; ch < 8; ch++ {
+						nv := (src[ch] - m8[ch]) * is8[ch]
+						pre := g8[ch]*nv + b8[ch]
+						// Branchless relu: the mask flips ~half the time on
+						// real data, so a conditional add mispredicts
+						// constantly. Zeroing the bit pattern instead adds
+						// exactly +0 for masked elements — the same value
+						// whose add the layered path skips, so the pooled
+						// sum is bit-identical (it can never be -0: it only
+						// accumulates positives from a +0 start).
+						pb := math.Float32bits(pre)
+						if pre <= 0 {
+							pb = 0
+						}
+						dst[ch] += math.Float32frombits(pb)
+					}
+				}
+			}
+		}
+		return pooled
+	}
+	var act []float32
+	if f.tanh {
+		f.lastAct = f.ec.scratchTensor(b, l, c)
+		act = f.lastAct.Data
+	}
+	for bi := 0; bi < b; bi++ {
+		rowBase := bi * l * c
+		poolBase := bi * pooled.L * c
+		for w := 0; w < pooled.L; w++ {
+			dst := pooled.Data[poolBase+w*c : poolBase+w*c+c]
+			lo, hi := f.windowBounds(w, l)
+			for t := lo; t < hi; t++ {
+				src := y.Data[rowBase+t*c : rowBase+t*c+c]
+				if f.tanh {
+					ar := act[rowBase+t*c : rowBase+t*c+c]
+					for ch, v := range src {
+						nv := (v - mean[ch]) * invStd[ch]
+						a := float32(math.Tanh(float64(gamma[ch]*nv + beta[ch])))
+						ar[ch] = a
+						dst[ch] += a
+					}
+				} else {
+					for ch, v := range src {
+						nv := (v - mean[ch]) * invStd[ch]
+						pre := gamma[ch]*nv + beta[ch]
+						if pre > 0 {
+							dst[ch] += pre
+						}
+					}
+				}
+			}
+		}
+	}
+	return pooled
+}
+
+// Backward propagates the pooled gradient through pooling, activation,
+// and batch norm, then streams each position's conv gradient into
+// embConv's grouping (no [B, L, C] gradient tensor is ever built). It
+// must run on the same step as the last training-mode Forward.
+func (f *fusedConvSlice) Backward(dpool *nn.Tensor) {
+	bn := f.bn
+	c := bn.C
+	y := f.lastY
+	b, l := y.B, y.L
+	n := float32(b * l)
+	mean, invStd := bn.StepStats()
+	gamma, beta := bn.Gamma.W, bn.Beta.W
+
+	// Pass 1: batch-norm reduction sums over dy = d(activation) in
+	// position order per channel (BatchNorm.Backward's first loop; the
+	// normalized values are recomputed from the conv output with the
+	// forward pass's exact expression, so they match the discarded
+	// lastNorm tensor bit for bit).
+	sumDy := f.ec.scratchFloats(c)
+	sumDyNorm := f.ec.scratchFloats(c)
+	if !f.tanh && c == 8 {
+		m8 := (*[8]float32)(mean)
+		is8 := (*[8]float32)(invStd)
+		g8 := (*[8]float32)(gamma)
+		b8 := (*[8]float32)(beta)
+		// The per-channel reduction sums live in registers for the whole
+		// pass (each is still one position-ordered chain from zero) and
+		// store once at the end.
+		var sd [8]float32
+		var sn [8]float32
+		for bi := 0; bi < b; bi++ {
+			rowBase := bi * l * 8
+			poolBase := bi * dpool.L * 8
+			for w := 0; w < dpool.L; w++ {
+				dp := (*[8]float32)(dpool.Data[poolBase+w*8 : poolBase+w*8+8])
+				lo, hi := f.windowBounds(w, l)
+				for t := lo; t < hi; t++ {
+					src := (*[8]float32)(y.Data[rowBase+t*8 : rowBase+t*8+8])
+					for ch := 0; ch < 8; ch++ {
+						nv := (src[ch] - m8[ch]) * is8[ch]
+						// Branchless relu mask (see Forward): masked
+						// elements contribute exactly +0, the same value
+						// the layered ReLU.Backward writes.
+						gb := math.Float32bits(dp[ch])
+						if g8[ch]*nv+b8[ch] <= 0 {
+							gb = 0
+						}
+						g := math.Float32frombits(gb)
+						sd[ch] += g
+						sn[ch] += g * nv
+					}
+				}
+			}
+		}
+		copy(sumDy, sd[:])
+		copy(sumDyNorm, sn[:])
+	} else {
+		for bi := 0; bi < b; bi++ {
+			rowBase := bi * l * c
+			poolBase := bi * dpool.L * c
+			for w := 0; w < dpool.L; w++ {
+				dp := dpool.Data[poolBase+w*c : poolBase+w*c+c]
+				lo, hi := f.windowBounds(w, l)
+				for t := lo; t < hi; t++ {
+					src := y.Data[rowBase+t*c : rowBase+t*c+c]
+					if f.tanh {
+						ar := f.lastAct.Data[rowBase+t*c : rowBase+t*c+c]
+						for ch, v := range src {
+							a := ar[ch]
+							g := dp[ch] * (1 - a*a)
+							sumDy[ch] += g
+							sumDyNorm[ch] += g * ((v - mean[ch]) * invStd[ch])
+						}
+					} else {
+						for ch, v := range src {
+							nv := (v - mean[ch]) * invStd[ch]
+							var g float32
+							if gamma[ch]*nv+beta[ch] > 0 {
+								g = dp[ch]
+							}
+							sumDy[ch] += g
+							sumDyNorm[ch] += g * nv
+						}
+					}
+				}
+			}
+		}
+	}
+	nn.Add(sumDy, bn.Beta.G)
+	nn.Add(sumDyNorm, bn.Gamma.G)
+
+	// Pass 2: per-position conv gradient, fed straight into embConv's
+	// (token, tap) grouping. coef matches BatchNorm.Backward's
+	// gamma*invStd/n*t evaluation order.
+	coef := f.ec.scratchFloats(c)
+	for ch := 0; ch < c; ch++ {
+		coef[ch] = gamma[ch] * invStd[ch] / n
+	}
+	buf := f.ec.scratchFloats(c)
+	f.ec.backwardBegin()
+	if !f.tanh && c == 8 {
+		m8 := (*[8]float32)(mean)
+		is8 := (*[8]float32)(invStd)
+		g8 := (*[8]float32)(gamma)
+		b8 := (*[8]float32)(beta)
+		sd8 := (*[8]float32)(sumDy)
+		sn8 := (*[8]float32)(sumDyNorm)
+		cf8 := (*[8]float32)(coef)
+		buf8 := (*[8]float32)(buf)
+		// The scatter into embConv's grouping is inlined here (see
+		// backwardRow for the reference shape): the conv bias gradient
+		// accumulates in registers across the whole pass — positions in
+		// order, from the zero the gradient buffer holds pre-backward — and
+		// folds into B.G with a single add per channel.
+		k := f.ec.conv.K
+		half := k / 2
+		var bg0, bg1, bg2, bg3, bg4, bg5, bg6, bg7 float32
+		for bi, seq := range f.ec.lastTokens {
+			rowBase := bi * l * 8
+			poolBase := bi * dpool.L * 8
+			for w := 0; w < dpool.L; w++ {
+				dp := (*[8]float32)(dpool.Data[poolBase+w*8 : poolBase+w*8+8])
+				lo, hi := f.windowBounds(w, l)
+				for t := lo; t < hi; t++ {
+					src := (*[8]float32)(y.Data[rowBase+t*8 : rowBase+t*8+8])
+					for ch := 0; ch < 8; ch++ {
+						nv := (src[ch] - m8[ch]) * is8[ch]
+						// Branchless relu mask, as in pass 1.
+						gb := math.Float32bits(dp[ch])
+						if g8[ch]*nv+b8[ch] <= 0 {
+							gb = 0
+						}
+						g := math.Float32frombits(gb)
+						buf8[ch] = cf8[ch] * (n*g - sd8[ch] - nv*sn8[ch])
+					}
+					bg0 += buf8[0]
+					bg1 += buf8[1]
+					bg2 += buf8[2]
+					bg3 += buf8[3]
+					bg4 += buf8[4]
+					bg5 += buf8[5]
+					bg6 += buf8[6]
+					bg7 += buf8[7]
+					for ki := 0; ki < k; ki++ {
+						sp := t + ki - half
+						if sp < 0 || sp >= l {
+							continue
+						}
+						di := int(f.ec.idx[seq[sp]])
+						gs := (*[8]float32)(f.ec.gsum[(di*k+ki)*8 : (di*k+ki)*8+8])
+						gs[0] += buf8[0]
+						gs[1] += buf8[1]
+						gs[2] += buf8[2]
+						gs[3] += buf8[3]
+						gs[4] += buf8[4]
+						gs[5] += buf8[5]
+						gs[6] += buf8[6]
+						gs[7] += buf8[7]
+					}
+				}
+			}
+		}
+		cbg := (*[8]float32)(f.ec.conv.B.G)
+		cbg[0] += bg0
+		cbg[1] += bg1
+		cbg[2] += bg2
+		cbg[3] += bg3
+		cbg[4] += bg4
+		cbg[5] += bg5
+		cbg[6] += bg6
+		cbg[7] += bg7
+	} else {
+		for bi, seq := range f.ec.lastTokens {
+			rowBase := bi * l * c
+			poolBase := bi * dpool.L * c
+			for w := 0; w < dpool.L; w++ {
+				dp := dpool.Data[poolBase+w*c : poolBase+w*c+c]
+				lo, hi := f.windowBounds(w, l)
+				for t := lo; t < hi; t++ {
+					src := y.Data[rowBase+t*c : rowBase+t*c+c]
+					if f.tanh {
+						ar := f.lastAct.Data[rowBase+t*c : rowBase+t*c+c]
+						for ch, v := range src {
+							a := ar[ch]
+							g := dp[ch] * (1 - a*a)
+							nv := (v - mean[ch]) * invStd[ch]
+							buf[ch] = coef[ch] * (n*g - sumDy[ch] - nv*sumDyNorm[ch])
+						}
+					} else {
+						for ch, v := range src {
+							nv := (v - mean[ch]) * invStd[ch]
+							var g float32
+							if gamma[ch]*nv+beta[ch] > 0 {
+								g = dp[ch]
+							}
+							buf[ch] = coef[ch] * (n*g - sumDy[ch] - nv*sumDyNorm[ch])
+						}
+					}
+					f.ec.backwardRow(seq, t, l, buf)
+				}
+			}
+		}
+	}
+	f.ec.backwardFinish()
+}

@@ -2,7 +2,6 @@ package branchnet
 
 import (
 	"math"
-	"sync"
 
 	"branchnet/internal/nn"
 )
@@ -213,23 +212,27 @@ func (m *Model) buildInfer() *modelInfer {
 	return mi
 }
 
-var inferMu sync.Mutex
-
 // inferState returns the folded inference form, building it on first use.
+// Readers load the per-model atomic pointer without locking, so concurrent
+// serving of different models never contends on a shared lock; the
+// per-model mutex only serializes rebuilds after an invalidation.
 func (m *Model) inferState() *modelInfer {
-	inferMu.Lock()
-	defer inferMu.Unlock()
-	if m.infer == nil {
-		m.infer = m.buildInfer()
+	if mi := m.infer.Load(); mi != nil {
+		return mi
 	}
-	return m.infer
+	m.inferMu.Lock()
+	defer m.inferMu.Unlock()
+	if mi := m.infer.Load(); mi != nil {
+		return mi
+	}
+	mi := m.buildInfer()
+	m.infer.Store(mi)
+	return mi
 }
 
 // invalidateInfer drops the folded form; weight-mutating methods call it.
 func (m *Model) invalidateInfer() {
-	inferMu.Lock()
-	m.infer = nil
-	inferMu.Unlock()
+	m.infer.Store(nil)
 }
 
 // inferScratch holds the per-call buffers of the fused path. A scratch may

@@ -2,6 +2,8 @@ package branchnet
 
 import (
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"branchnet/internal/engine"
 	"branchnet/internal/nn"
@@ -28,9 +30,26 @@ type Model struct {
 	// Backward.
 	lastSliceOuts []*nn.Tensor
 
+	// scratch is the per-model arena all layered-path temporaries come
+	// from; Forward resets it, so activations and gradients live exactly
+	// one training step. The layered path was already single-goroutine
+	// (layers cache activations between Forward and Backward); the arena
+	// formalizes that ownership.
+	scratch *nn.Scratch
+
+	// layeredSlices forces slices through the layer-by-layer reference
+	// path instead of the fused ones. The paths are bit-identical
+	// (asserted by TestFusedSliceTrainingMatchesLayered and
+	// TestFusedConvSliceTrainingMatchesLayered); the flag exists so the
+	// tests can prove it.
+	layeredSlices bool
+
 	// infer is the folded inference form (see infer.go); nil until built,
-	// reset by weight-mutating methods.
-	infer *modelInfer
+	// reset by weight-mutating methods. inferMu serializes rebuilds only:
+	// readers go through the atomic pointer without locking, so concurrent
+	// serving of different models never contends on a shared lock.
+	infer   atomic.Pointer[modelInfer]
+	inferMu sync.Mutex
 
 	rng *rand.Rand
 }
@@ -46,12 +65,18 @@ type sliceNet struct {
 	pcBits   uint
 
 	// True-convolution path (Big, Tarsa); embconv runs the pair fused
-	// (see embconv.go).
+	// (see embconv.go), and fusedc extends the fusion through
+	// bn1+act1+pool (see fusedconv.go). The layered objects remain the
+	// reference implementation.
 	emb     *nn.Embedding
 	conv    *nn.Conv1D
 	embconv *embConv
-	// Hashed-convolution path (Mini): a table over hashed K-grams.
+	fusedc  *fusedConvSlice
+	// Hashed-convolution path (Mini): a table over hashed K-grams. fused
+	// runs table+bn1+act1+pool in one pass (see nn.FusedHashedSlice); the
+	// layered objects remain the reference implementation.
 	table *nn.Embedding
+	fused *nn.FusedHashedSlice
 
 	bn1  *nn.BatchNorm
 	act1 nn.Layer
@@ -60,6 +85,11 @@ type sliceNet struct {
 	// fully-connected inputs for quantization.
 	bn2  *nn.BatchNorm
 	act2 *nn.Tanh
+
+	// Reusable per-batch token buffers (single-goroutine, like the rest
+	// of the layered path).
+	tokBuf  []int32
+	tokSeqs [][]int32
 }
 
 // fcBlock is Linear -> BatchNorm -> activation.
@@ -112,10 +142,12 @@ func New(k Knobs, pc uint64, seed int64) *Model {
 			s.table = nn.NewEmbedding(rng, 1<<k.ConvHashBits, s.channels)
 			s.bn2 = nn.NewBatchNorm(s.channels)
 			s.act2 = &nn.Tanh{}
+			s.fused = nn.NewFusedHashedSlice(s.table, s.bn1, k.Tanh, s.poolW)
 		} else {
 			s.emb = nn.NewEmbedding(rng, 1<<(k.PCBits+1), k.EmbeddingDim)
 			s.conv = nn.NewConv1D(rng, k.EmbeddingDim, s.channels, k.ConvWidth)
 			s.embconv = newEmbConv(s.emb, s.conv)
+			s.fusedc = newFusedConvSlice(s.embconv, s.bn1, k.Tanh, s.poolW)
 		}
 		if k.Tanh {
 			s.act1 = &nn.Tanh{}
@@ -137,7 +169,74 @@ func New(k Knobs, pc uint64, seed int64) *Model {
 		in = n
 	}
 	m.out = nn.NewLinear(rng, in, 1)
+	m.scratch = nn.NewScratch()
+	m.attachScratch()
 	return m
+}
+
+// attachScratch points every layer's temporary allocations at the model's
+// arena.
+func (m *Model) attachScratch() {
+	for _, s := range m.slices {
+		if s.table != nil {
+			s.table.SetScratch(m.scratch)
+			s.fused.SetScratch(m.scratch)
+			s.bn2.SetScratch(m.scratch)
+			s.act2.SetScratch(m.scratch)
+		} else {
+			s.emb.SetScratch(m.scratch)
+			s.conv.SetScratch(m.scratch)
+			s.embconv.scratch = m.scratch
+		}
+		s.bn1.SetScratch(m.scratch)
+		if su, ok := s.act1.(interface{ SetScratch(*nn.Scratch) }); ok {
+			su.SetScratch(m.scratch)
+		}
+		s.pool.SetScratch(m.scratch)
+	}
+	for _, blk := range m.fc {
+		blk.lin.SetScratch(m.scratch)
+		blk.bn.SetScratch(m.scratch)
+		if su, ok := blk.act.(interface{ SetScratch(*nn.Scratch) }); ok {
+			su.SetScratch(m.scratch)
+		}
+	}
+	m.out.SetScratch(m.scratch)
+}
+
+// batchNorms returns every batch-norm layer in a fixed construction
+// order, so a replica's deferred statistics can be applied to the main
+// model's layers pairwise.
+func (m *Model) batchNorms() []*nn.BatchNorm {
+	var bns []*nn.BatchNorm
+	for _, s := range m.slices {
+		bns = append(bns, s.bn1)
+		if s.bn2 != nil {
+			bns = append(bns, s.bn2)
+		}
+	}
+	for _, blk := range m.fc {
+		bns = append(bns, blk.bn)
+	}
+	return bns
+}
+
+// replica builds a training replica for one gradient-accumulation shard:
+// identical architecture, weights aliased to m's (read-only during
+// forward/backward), private gradient buffers, activation caches, scratch
+// arena, and deferred batch-norm statistics. Replicas never run the
+// optimizer or the fused inference path.
+func (m *Model) replica() *Model {
+	r := New(m.Knobs, m.PC, 0)
+	r.layeredSlices = m.layeredSlices
+	mp, rp := m.Params(), r.Params()
+	for i := range mp {
+		rp[i].W = mp[i].W
+	}
+	for _, bn := range r.batchNorms() {
+		bn.DeferStats = true
+	}
+	return r
 }
 
 // featureLen is the total flattened feature width across slices.
@@ -178,43 +277,69 @@ func gramHash(window []uint32, t, k int, bits uint) int32 {
 }
 
 // sliceTokens materializes the slice's input token/gram sequence for one
-// example. shift discards the `shift` most recent history entries
-// (sliding-pooling randomization; always 0 for precise slices and at
-// evaluation time when the engine alignment is modeled explicitly).
-func (s *sliceNet) sliceTokens(hist []uint32, shift int) []int32 {
+// example into out[0:effLen]. shift discards the `shift` most recent
+// history entries (sliding-pooling randomization; always 0 for precise
+// slices and at evaluation time when the engine alignment is modeled
+// explicitly).
+func (s *sliceNet) sliceTokens(hist []uint32, shift int, out []int32) {
 	n := s.effLen()
-	out := make([]int32, n)
 	if s.table != nil {
 		for t := 0; t < n; t++ {
 			out[t] = gramHash(hist, shift+t, s.convK, s.hashBits)
 		}
-		return out
+		return
 	}
 	for t := 0; t < n; t++ {
 		idx := shift + t
 		if idx < len(hist) {
 			out[t] = int32(hist[idx])
+		} else {
+			out[t] = 0
 		}
 	}
-	return out
 }
 
-// forwardSlice runs one slice over a batch of examples and returns the
-// pooled activation tensor [B, pooledLen, C]. shifts has one entry per
-// example (zero for precise slices).
-func (s *sliceNet) forward(batch []Example, shifts []int, train bool) *nn.Tensor {
-	tokens := make([][]int32, len(batch))
+// tokens materializes the batch's token sequences into the slice's
+// reusable buffers (valid until the next call).
+func (s *sliceNet) tokens(batch []Example, shifts []int) [][]int32 {
+	n := s.effLen()
+	if cap(s.tokBuf) < len(batch)*n {
+		s.tokBuf = make([]int32, len(batch)*n)
+	}
+	if cap(s.tokSeqs) < len(batch) {
+		s.tokSeqs = make([][]int32, len(batch))
+	}
+	seqs := s.tokSeqs[:len(batch)]
 	for i := range batch {
 		shift := 0
 		if !s.precise && shifts != nil {
 			shift = shifts[i] % s.poolW
 		}
-		tokens[i] = s.sliceTokens(batch[i].History, shift)
+		seq := s.tokBuf[i*n : (i+1)*n]
+		s.sliceTokens(batch[i].History, shift, seq)
+		seqs[i] = seq
 	}
+	return seqs
+}
+
+// forwardSlice runs one slice over a batch of examples and returns the
+// pooled activation tensor [B, pooledLen, C]. shifts has one entry per
+// example (zero for precise slices). layered forces the layer-by-layer
+// reference path for hashed slices.
+func (s *sliceNet) forward(batch []Example, shifts []int, train, layered bool) *nn.Tensor {
+	tokens := s.tokens(batch, shifts)
 	var x *nn.Tensor
 	if s.table != nil {
+		if !layered {
+			x = s.fused.Forward(tokens, train)
+			x = s.bn2.Forward(x, train)
+			return s.act2.Forward(x, train)
+		}
 		x = s.table.Forward(tokens)
 	} else {
+		if !layered {
+			return s.fusedc.Forward(tokens, train)
+		}
 		x = s.embconv.Forward(tokens)
 	}
 	x = s.bn1.Forward(x, train)
@@ -228,7 +353,15 @@ func (s *sliceNet) forward(batch []Example, shifts []int, train bool) *nn.Tensor
 }
 
 // backward propagates the slice gradient.
-func (s *sliceNet) backward(dy *nn.Tensor) {
+func (s *sliceNet) backward(dy *nn.Tensor, layered bool) {
+	if s.table != nil && !layered {
+		s.fused.Backward(s.bn2.Backward(s.act2.Backward(dy)))
+		return
+	}
+	if s.table == nil && !layered {
+		s.fusedc.Backward(dy)
+		return
+	}
 	if s.bn2 != nil {
 		dy = s.bn2.Backward(s.act2.Backward(dy))
 	}
@@ -245,13 +378,18 @@ func (s *sliceNet) backward(dy *nn.Tensor) {
 // Forward computes logits for a batch. shifts supplies per-example
 // sliding-pooling offsets (nil means zero). The per-slice pooled outputs
 // are cached for Backward.
+//
+// Forward resets the model's scratch arena: every tensor produced by the
+// previous Forward/Backward pair (including the returned logits) is
+// recycled, so callers must consume outputs before the next step.
 func (m *Model) Forward(batch []Example, shifts []int, train bool) *nn.Tensor {
+	m.scratch.Reset()
 	b := len(batch)
-	feats := nn.NewTensor(b, 1, m.featureLen())
+	feats := m.scratch.Tensor(b, 1, m.featureLen())
 	m.lastSliceOuts = m.lastSliceOuts[:0]
 	off := 0
 	for _, s := range m.slices {
-		out := s.forward(batch, shifts, train)
+		out := s.forward(batch, shifts, train, m.layeredSlices)
 		m.lastSliceOuts = append(m.lastSliceOuts, out)
 		fl := s.featureLen()
 		for bi := 0; bi < b; bi++ {
@@ -281,11 +419,11 @@ func (m *Model) Backward(dLogits *nn.Tensor) {
 	for si, s := range m.slices {
 		fl := s.featureLen()
 		out := m.lastSliceOuts[si]
-		ds := nn.NewTensor(b, out.L, out.C)
+		ds := m.scratch.Tensor(b, out.L, out.C)
 		for bi := 0; bi < b; bi++ {
 			copy(ds.Data[bi*fl:(bi+1)*fl], dy.Row(bi, 0)[off:off+fl])
 		}
-		s.backward(ds)
+		s.backward(ds, m.layeredSlices)
 		off += fl
 	}
 }

@@ -228,6 +228,13 @@ func TrainOfflineWith(cfg OfflineConfig, trainTraces []*trace.Trace, validTrace 
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			// Register this branch trainer in the shared training budget
+			// so nested intra-batch shard workers (Model.Train) see the
+			// remaining capacity instead of fanning out on top of the
+			// per-branch parallelism. Non-blocking: an empty budget never
+			// stalls a branch, it just serializes the inner shards.
+			held := acquireTrainTokens(1)
+			defer releaseTrainTokens(held)
 
 			opts := cfg.Train
 			opts.Seed = cfg.Train.Seed + int64(c.pc) // decorrelate per branch

@@ -165,6 +165,13 @@ func (m *Model) Quantize(calib *Dataset) (*engine.Model, error) {
 	bn := nn.NewBatchNorm(hidden)
 	act := &nn.Tanh{}
 	lin2 := nn.NewLinear(rng, hidden, 1)
+	// The retraining loop owns a private arena: all per-batch tensors are
+	// recycled step to step instead of allocated fresh.
+	sc := nn.NewScratch()
+	lin1.SetScratch(sc)
+	bn.SetScratch(sc)
+	act.SetScratch(sc)
+	lin2.SetScratch(sc)
 	var params []*nn.Param
 	params = append(params, lin1.Params()...)
 	params = append(params, bn.Params()...)
@@ -195,12 +202,13 @@ func (m *Model) Quantize(calib *Dataset) (*engine.Model, error) {
 				end = len(order)
 			}
 			idx := order[start:end]
-			x := nn.NewTensor(len(idx), 1, features)
+			sc.Reset()
+			x := sc.Tensor(len(idx), 1, features)
 			for bi, ei := range idx {
 				copy(x.Row(bi, 0), deq[ei])
 			}
 			logits := lin2.Forward(act.Forward(bn.Forward(lin1.Forward(x, true), true), true), true)
-			dy := nn.NewTensor(len(idx), 1, 1)
+			dy := sc.Tensor(len(idx), 1, 1)
 			for bi, ei := range idx {
 				_, d := nn.SigmoidBCE(logits.Row(bi, 0)[0], calib.Examples[ei].Taken)
 				dy.Row(bi, 0)[0] = d

@@ -2,9 +2,24 @@ package branchnet
 
 import (
 	"math/rand"
+	"sync"
 
 	"branchnet/internal/nn"
 )
+
+// DefaultTrainShards is the number of gradient-accumulation shards each
+// mini-batch splits into. The shard structure is part of the arithmetic
+// (per-shard batch-norm statistics, shard-ordered gradient reduction), so
+// it is fixed by TrainOpts — never by the worker count — and results are
+// bit-identical for any number of workers.
+//
+// The default is 1: sharding perturbs the training trajectory (per-shard
+// batch-norm statistics re-associate the batch), and while float accuracy
+// is insensitive to that, the quantization pipeline is not — its
+// binarization thresholds are trajectory-fragile, so the quantized presets
+// keep the exact serial arithmetic. Callers training float models can opt
+// into Shards > 1 for multi-core scaling.
+const DefaultTrainShards = 1
 
 // TrainOpts configure model training for one branch.
 type TrainOpts struct {
@@ -13,6 +28,16 @@ type TrainOpts struct {
 	LR          float32
 	MaxExamples int   // subsample cap on the training set (0 = all)
 	Seed        int64 // shuffling + sliding-pooling randomization
+
+	// Shards is the number of gradient-accumulation shards per mini-batch
+	// (0 = DefaultTrainShards). Changing it changes results in the last
+	// float bits (sums re-associate); changing Workers never does.
+	Shards int
+	// Workers bounds the goroutines evaluating shards concurrently:
+	// 0 draws extra workers from the shared training budget (so nested
+	// fan-out under TrainOffline can't oversubscribe), 1 forces inline
+	// execution, N > 1 uses exactly min(N, Shards) workers.
+	Workers int
 }
 
 // DefaultTrainOpts are the CPU-budget defaults used by the quick
@@ -21,11 +46,243 @@ func DefaultTrainOpts() TrainOpts {
 	return TrainOpts{Epochs: 4, BatchSize: 32, LR: 0.01, MaxExamples: 6000, Seed: 1}
 }
 
+// trainState holds the per-Train sharding machinery: one model replica
+// per shard (aliased weights, private gradients/caches), the pairwise
+// parameter and batch-norm lists used for the ordered reduction, and the
+// worker pool.
+type trainState struct {
+	m      *Model
+	shards int
+	// direct marks the single-shard fast path: shard 0 IS the main model
+	// (no replica, no gradient drain, batch norms apply their own
+	// statistics inline), which is exactly the unsharded serial trainer.
+	direct bool
+
+	reps      []*Model
+	mainPs    []*nn.Param
+	repPs     [][]*nn.Param
+	mainBNs   []*nn.BatchNorm
+	repBNs    [][]*nn.BatchNorm
+	shardLoss []float32
+
+	// Merge buffers for the batch-norm statistics reduction.
+	bnMean []float32
+	bnVar  []float32
+
+	batch  []Example
+	shifts []int
+
+	workers int
+	jobs    chan [3]int // shard, lo, hi
+	done    chan struct{}
+	wg      sync.WaitGroup
+}
+
+func newTrainState(m *Model, shards, workers int) *trainState {
+	ts := &trainState{
+		m:         m,
+		shards:    shards,
+		mainPs:    m.Params(),
+		mainBNs:   m.batchNorms(),
+		shardLoss: make([]float32, shards),
+		workers:   workers,
+	}
+	if shards == 1 {
+		// One shard needs no replica: gradients accumulate straight into
+		// the main model and Drain's 0+g copy disappears (Adam zeroed G).
+		ts.direct = true
+		ts.reps = []*Model{m}
+		ts.repPs = [][]*nn.Param{ts.mainPs}
+		ts.repBNs = [][]*nn.BatchNorm{ts.mainBNs}
+		return ts
+	}
+	for s := 0; s < shards; s++ {
+		r := m.replica()
+		ts.reps = append(ts.reps, r)
+		ts.repPs = append(ts.repPs, r.Params())
+		ts.repBNs = append(ts.repBNs, r.batchNorms())
+	}
+	if workers > 1 {
+		ts.jobs = make(chan [3]int, shards)
+		ts.done = make(chan struct{}, shards)
+		for w := 1; w < workers; w++ {
+			ts.wg.Add(1)
+			go func() {
+				defer ts.wg.Done()
+				for j := range ts.jobs {
+					ts.runShard(j[0], j[1], j[2])
+					ts.done <- struct{}{}
+				}
+			}()
+		}
+	}
+	return ts
+}
+
+// close tears the worker pool down.
+func (ts *trainState) close() {
+	if ts.jobs != nil {
+		close(ts.jobs)
+		ts.wg.Wait()
+	}
+}
+
+// runShard evaluates forward+backward for batch[lo:hi] on the shard's
+// replica, accumulating gradients into the replica's private buffers.
+func (ts *trainState) runShard(s, lo, hi int) {
+	rep := ts.reps[s]
+	sub := ts.batch[lo:hi]
+	logits := rep.Forward(sub, ts.shifts[lo:hi], true)
+	dLogits := rep.scratch.Tensor(len(sub), 1, 1)
+	var loss float32
+	for i := range sub {
+		l, d := nn.SigmoidBCE(logits.Row(i, 0)[0], sub[i].Taken)
+		loss += l
+		dLogits.Row(i, 0)[0] = d
+	}
+	rep.Backward(dLogits)
+	ts.shardLoss[s] = loss
+}
+
+// shardBounds returns the half-open example range of shard s for a batch
+// of b examples: a balanced contiguous split that depends only on (b,
+// shards), never on the worker count.
+func (ts *trainState) shardBounds(s, b int) (lo, hi int) {
+	base, rem := b/ts.shards, b%ts.shards
+	lo = s*base + min(s, rem)
+	hi = lo + base
+	if s < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// step runs one mini-batch: evaluate every shard (concurrently when the
+// pool is up), then reduce losses, gradients, and batch-norm statistics
+// in shard-index order so the arithmetic is schedule-independent.
+func (ts *trainState) step() float32 {
+	b := len(ts.batch)
+	if ts.direct {
+		ts.runShard(0, 0, b)
+		return ts.shardLoss[0]
+	}
+	if ts.workers > 1 {
+		sent := 0
+		for s := 1; s < ts.shards; s++ {
+			lo, hi := ts.shardBounds(s, b)
+			if lo < hi {
+				ts.jobs <- [3]int{s, lo, hi}
+				sent++
+			} else {
+				ts.shardLoss[s] = 0
+			}
+		}
+		if lo, hi := ts.shardBounds(0, b); lo < hi {
+			ts.runShard(0, lo, hi)
+		} else {
+			ts.shardLoss[0] = 0
+		}
+		for i := 0; i < sent; i++ {
+			<-ts.done
+		}
+	} else {
+		for s := 0; s < ts.shards; s++ {
+			lo, hi := ts.shardBounds(s, b)
+			if lo < hi {
+				ts.runShard(s, lo, hi)
+			} else {
+				ts.shardLoss[s] = 0
+			}
+		}
+	}
+
+	var batchLoss float32
+	for s := 0; s < ts.shards; s++ {
+		lo, hi := ts.shardBounds(s, b)
+		if lo >= hi {
+			continue
+		}
+		batchLoss += ts.shardLoss[s]
+		for pi, p := range ts.repPs[s] {
+			nn.Drain(ts.mainPs[pi].G, p.G)
+		}
+	}
+	ts.reduceStats(b)
+	return batchLoss
+}
+
+// reduceStats merges the per-shard batch-norm moments into whole-batch
+// moments (weighted by shard size, combined in shard order) and applies a
+// single running-statistics update per layer. One update per batch keeps
+// the running-statistics stream at the cadence and noise level of an
+// unsharded trainer — quantization folds these statistics into its
+// binarization thresholds, so feeding the EMA per-shard moments would
+// wreck the quantized models.
+func (ts *trainState) reduceStats(b int) {
+	// With one active shard its moments ARE the batch moments; applying
+	// them directly keeps the single-shard path bit-identical to the
+	// unsharded trainer (the merge's (v+m^2)-m^2 round trip would not).
+	active := 0
+	only := -1
+	for s := 0; s < ts.shards; s++ {
+		if lo, hi := ts.shardBounds(s, b); lo < hi {
+			active++
+			only = s
+		}
+	}
+	if active == 1 {
+		for bi, main := range ts.mainBNs {
+			bn := ts.repBNs[only][bi]
+			main.ApplyStats(bn.BatchMean, bn.BatchVar)
+		}
+		return
+	}
+	for bi, main := range ts.mainBNs {
+		c := main.C
+		if len(ts.bnMean) < c {
+			ts.bnMean = make([]float32, c)
+			ts.bnVar = make([]float32, c)
+		}
+		mean := ts.bnMean[:c]
+		vari := ts.bnVar[:c]
+		for ch := 0; ch < c; ch++ {
+			mean[ch], vari[ch] = 0, 0
+		}
+		for s := 0; s < ts.shards; s++ {
+			lo, hi := ts.shardBounds(s, b)
+			if lo >= hi {
+				continue
+			}
+			w := float32(hi-lo) / float32(b)
+			bn := ts.repBNs[s][bi]
+			for ch := 0; ch < c; ch++ {
+				m := bn.BatchMean[ch]
+				mean[ch] += w * m
+				vari[ch] += w * (bn.BatchVar[ch] + m*m)
+			}
+		}
+		for ch := 0; ch < c; ch++ {
+			v := vari[ch] - mean[ch]*mean[ch]
+			if v < 0 {
+				v = 0
+			}
+			vari[ch] = v
+		}
+		main.ApplyStats(mean, vari)
+	}
+}
+
 // Train fits the model to the dataset with Adam + sigmoid BCE, applying
 // the paper's sliding-pooling randomization (Optimization 3): for sliding
 // slices, each example randomly discards 0..P-1 of its most recent history
 // entries so the trained weights tolerate the engine's nondeterministic
 // pooling boundaries. Returns the final average training loss.
+//
+// Each mini-batch is split into opts.Shards contiguous shards evaluated on
+// per-shard model replicas (weights aliased, gradients private, batch-norm
+// statistics per shard) and reduced in fixed shard order before the Adam
+// step, so training with any Workers value — including fully serial — is
+// bit-identical.
 func (m *Model) Train(ds *Dataset, opts TrainOpts) float32 {
 	m.invalidateInfer()
 	if len(ds.Examples) == 0 {
@@ -37,10 +294,32 @@ func (m *Model) Train(ds *Dataset, opts TrainOpts) float32 {
 	rng := rand.New(rand.NewSource(opts.Seed + 17))
 	opt := nn.NewAdam(m.Params(), opts.LR)
 
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = DefaultTrainShards
+	}
+	if shards > opts.BatchSize {
+		shards = opts.BatchSize
+	}
+	workers := opts.Workers
+	extra := 0
+	if workers <= 0 {
+		extra = acquireTrainTokens(shards - 1)
+		workers = 1 + extra
+	}
+	if workers > shards {
+		workers = shards
+	}
+	ts := newTrainState(m, shards, workers)
+	defer ts.close()
+	if extra > 0 {
+		defer releaseTrainTokens(extra)
+	}
+
 	n := len(ds.Examples)
 	order := rng.Perm(n)
-	batch := make([]Example, 0, opts.BatchSize)
-	shifts := make([]int, 0, opts.BatchSize)
+	ts.batch = make([]Example, 0, opts.BatchSize)
+	ts.shifts = make([]int, 0, opts.BatchSize)
 	maxPool := m.Knobs.MaxPool()
 
 	var lastLoss float32
@@ -54,23 +333,15 @@ func (m *Model) Train(ds *Dataset, opts TrainOpts) float32 {
 			if end > n {
 				end = n
 			}
-			batch = batch[:0]
-			shifts = shifts[:0]
+			ts.batch = ts.batch[:0]
+			ts.shifts = ts.shifts[:0]
 			for _, idx := range order[start:end] {
-				batch = append(batch, ds.Examples[idx])
-				shifts = append(shifts, rng.Intn(maxPool))
+				ts.batch = append(ts.batch, ds.Examples[idx])
+				ts.shifts = append(ts.shifts, rng.Intn(maxPool))
 			}
-			logits := m.Forward(batch, shifts, true)
-			dLogits := nn.NewTensor(len(batch), 1, 1)
-			var batchLoss float32
-			for i := range batch {
-				loss, d := nn.SigmoidBCE(logits.Row(i, 0)[0], batch[i].Taken)
-				batchLoss += loss
-				dLogits.Row(i, 0)[0] = d
-			}
-			m.Backward(dLogits)
-			opt.Step(len(batch))
-			epochLoss += float64(batchLoss) / float64(len(batch))
+			batchLoss := ts.step()
+			opt.Step(len(ts.batch))
+			epochLoss += float64(batchLoss) / float64(len(ts.batch))
 			batches++
 		}
 		if batches > 0 {

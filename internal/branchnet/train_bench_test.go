@@ -1,0 +1,60 @@
+package branchnet
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchTrainDataset synthesizes a deterministic labeled dataset whose
+// labels correlate with history content, so training benchmarks exercise
+// realistic (non-degenerate) gradient flow.
+func benchTrainDataset(n, window int, pcBits uint, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := &Dataset{PC: 0x40}
+	mask := uint32(1<<(pcBits+1)) - 1
+	for i := 0; i < n; i++ {
+		h := make([]uint32, window)
+		for j := range h {
+			h[j] = rng.Uint32() & mask
+		}
+		ds.Examples = append(ds.Examples, Example{
+			History:    h,
+			Taken:      (h[0]^h[3])&1 == 1,
+			Count:      uint64(i),
+			Occurrence: uint64(i),
+		})
+	}
+	return ds
+}
+
+// benchTrainStep measures one-epoch training over a fixed dataset: the
+// per-step (per-mini-batch) cost is ns/op divided by the step count, and
+// the examples/s metric is reported directly.
+func benchTrainStep(b *testing.B, k Knobs) {
+	const examples = 512
+	ds := benchTrainDataset(examples, k.WindowTokens(), k.PCBits, 3)
+	opts := DefaultTrainOpts()
+	opts.Epochs = 1
+	opts.MaxExamples = 0
+	m := New(k, 0x40, 7)
+	steps := (examples + opts.BatchSize - 1) / opts.BatchSize
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Train(ds, opts)
+	}
+	b.StopTimer()
+	secs := b.Elapsed().Seconds()
+	if secs > 0 {
+		b.ReportMetric(float64(b.N*examples)/secs, "examples/s")
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*steps), "ns/step")
+}
+
+func BenchmarkTrainStepMini1KB(b *testing.B) {
+	benchTrainStep(b, MiniQuick(1024))
+}
+
+func BenchmarkTrainStepBigScaled(b *testing.B) {
+	benchTrainStep(b, BigKnobsScaled())
+}

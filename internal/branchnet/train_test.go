@@ -1,0 +1,190 @@
+package branchnet
+
+import (
+	"math/rand"
+	"testing"
+
+	"branchnet/internal/nn"
+)
+
+func trainDeterminismDataset(n, window int, pcBits uint, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := &Dataset{}
+	for i := 0; i < n; i++ {
+		h := make([]uint32, window)
+		for j := range h {
+			h[j] = uint32(rng.Intn(1 << (pcBits + 1)))
+		}
+		ds.Examples = append(ds.Examples, Example{
+			History:    h,
+			Taken:      (h[0]^h[3])&1 == 1,
+			Occurrence: uint64(i),
+			Count:      uint64(i),
+		})
+	}
+	return ds
+}
+
+func trainWithWorkers(t *testing.T, workers int) (*Model, float32) {
+	t.Helper()
+	k := MiniQuick(1024)
+	ds := trainDeterminismDataset(512, k.WindowTokens(), k.PCBits, 99)
+	m := New(k, 7, 3)
+	loss := m.Train(ds, TrainOpts{
+		Epochs:    2,
+		BatchSize: 32,
+		LR:        0.01,
+		Seed:      3,
+		Shards:    4,
+		Workers:   workers,
+	})
+	return m, loss
+}
+
+// TestParallelTrainBitIdentical pins the shard structure and checks that
+// the worker count — the only thing concurrency may vary — changes
+// nothing: final weights, running statistics, and the reported loss are
+// bit-for-bit equal between fully serial and fully parallel execution.
+// Under -race this also exercises the shard workers for data races.
+func TestParallelTrainBitIdentical(t *testing.T) {
+	serial, serialLoss := trainWithWorkers(t, 1)
+	parallel, parallelLoss := trainWithWorkers(t, 4)
+
+	if serialLoss != parallelLoss {
+		t.Errorf("loss diverged: serial %v != parallel %v", serialLoss, parallelLoss)
+	}
+	sp, pp := serial.Params(), parallel.Params()
+	if len(sp) != len(pp) {
+		t.Fatalf("param count %d != %d", len(sp), len(pp))
+	}
+	for i := range sp {
+		for j := range sp[i].W {
+			if sp[i].W[j] != pp[i].W[j] {
+				t.Fatalf("param %d weight %d diverged: serial %v != parallel %v",
+					i, j, sp[i].W[j], pp[i].W[j])
+			}
+		}
+	}
+	sb, pb := serial.batchNorms(), parallel.batchNorms()
+	for i := range sb {
+		for c := 0; c < sb[i].C; c++ {
+			if sb[i].RunMean[c] != pb[i].RunMean[c] || sb[i].RunVar[c] != pb[i].RunVar[c] {
+				t.Fatalf("batchnorm %d ch %d running stats diverged", i, c)
+			}
+		}
+	}
+
+	// The two models must also agree at inference.
+	probe := trainDeterminismDataset(32, serial.Knobs.WindowTokens(), serial.Knobs.PCBits, 123)
+	for _, e := range probe.Examples {
+		if serial.Predict(e.History) != parallel.Predict(e.History) {
+			t.Fatal("serial and parallel models predict differently")
+		}
+	}
+}
+
+// TestShardedStepMatchesGradientAccumulation checks the sharded step
+// against manual half-batch gradient accumulation on a plain model: the
+// shard replicas must contribute exactly the same per-shard gradient sums
+// (the only allowed difference is the final re-association when shard
+// totals merge, bounded here to a few ulps).
+func TestShardedStepMatchesGradientAccumulation(t *testing.T) {
+	k := MiniQuick(1024)
+	ds := trainDeterminismDataset(8, k.WindowTokens(), k.PCBits, 7)
+	batch := ds.Examples
+	shifts := make([]int, len(batch))
+
+	ref := New(k, 1, 1)
+	for _, half := range [][2]int{{0, 4}, {4, 8}} {
+		sub := batch[half[0]:half[1]]
+		logits := ref.Forward(sub, shifts[half[0]:half[1]], true)
+		d := nn.NewTensor(len(sub), 1, 1)
+		for i := range sub {
+			_, g := nn.SigmoidBCE(logits.Row(i, 0)[0], sub[i].Taken)
+			d.Row(i, 0)[0] = g
+		}
+		ref.Backward(d)
+	}
+
+	m := New(k, 1, 1)
+	ts := newTrainState(m, 2, 1)
+	defer ts.close()
+	ts.batch = batch
+	ts.shifts = shifts
+	ts.step()
+
+	refPs := ref.Params()
+	for pi, p := range m.Params() {
+		for i := range p.G {
+			got, want := p.G[i], refPs[pi].G[i]
+			diff := got - want
+			if diff < 0 {
+				diff = -diff
+			}
+			scale := float32(1e-5)
+			if want < 0 {
+				scale *= -want
+			} else if want > 0 {
+				scale *= want
+			}
+			if diff > scale && diff > 1e-7 {
+				t.Fatalf("param %d grad %d: sharded %g != accumulated %g", pi, i, got, want)
+			}
+		}
+	}
+}
+
+// compareFusedVsLayered trains two identical models — one through the
+// fused slice paths, one through the layer-by-layer reference — and
+// asserts bit-for-bit equality of the loss, every weight, and every
+// batch-norm running statistic.
+func compareFusedVsLayered(t *testing.T, k Knobs, examples int, opts TrainOpts) {
+	t.Helper()
+	ds := trainDeterminismDataset(examples, k.WindowTokens(), k.PCBits, 41)
+
+	fused := New(k, 7, 3)
+	fusedLoss := fused.Train(ds, opts)
+
+	layered := New(k, 7, 3)
+	layered.layeredSlices = true
+	layeredLoss := layered.Train(ds, opts)
+
+	if fusedLoss != layeredLoss {
+		t.Errorf("loss diverged: fused %v != layered %v", fusedLoss, layeredLoss)
+	}
+	fp, lp := fused.Params(), layered.Params()
+	for i := range fp {
+		for j := range fp[i].W {
+			if fp[i].W[j] != lp[i].W[j] {
+				t.Fatalf("param %d weight %d diverged: fused %v != layered %v",
+					i, j, fp[i].W[j], lp[i].W[j])
+			}
+		}
+	}
+	fb, lb := fused.batchNorms(), layered.batchNorms()
+	for i := range fb {
+		for c := 0; c < fb[i].C; c++ {
+			if fb[i].RunMean[c] != lb[i].RunMean[c] || fb[i].RunVar[c] != lb[i].RunVar[c] {
+				t.Fatalf("batchnorm %d ch %d running stats diverged", i, c)
+			}
+		}
+	}
+}
+
+// TestFusedSliceTrainingMatchesLayered pins the fused hashed-slice path
+// (Mini) to the layered reference: the fusion's contract is that it
+// reorders no floating-point operation.
+func TestFusedSliceTrainingMatchesLayered(t *testing.T) {
+	compareFusedVsLayered(t, MiniQuick(1024), 256,
+		TrainOpts{Epochs: 2, BatchSize: 32, LR: 0.01, Seed: 5})
+}
+
+// TestFusedConvSliceTrainingMatchesLayered pins the fused
+// true-convolution path (Big, relu) and the Tarsa configuration (tanh,
+// width-1 pooling) to the layered reference.
+func TestFusedConvSliceTrainingMatchesLayered(t *testing.T) {
+	compareFusedVsLayered(t, BigKnobsScaled(), 96,
+		TrainOpts{Epochs: 1, BatchSize: 32, LR: 0.01, Seed: 5})
+	compareFusedVsLayered(t, TarsaKnobsQuick(), 128,
+		TrainOpts{Epochs: 2, BatchSize: 32, LR: 0.01, Seed: 5})
+}

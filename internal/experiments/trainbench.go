@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"branchnet/internal/branchnet"
+)
+
+// The training micro-benchmark mirrors the testing.B harness in
+// internal/branchnet/train_bench_test.go: one epoch over a fixed 512
+// example dataset, model construction outside the timed region, so
+// ns/step is the steady-state mini-batch cost. It lives here (rather
+// than only in the _test file) so cmd/branchnet-bench can emit
+// BENCH_train.json and track the training-throughput trajectory across
+// PRs.
+
+// trainBenchExamples is the benchmark dataset size; with the default
+// batch size of 32 one op is 16 optimizer steps.
+const trainBenchExamples = 512
+
+// trainBenchSeed holds the numbers recorded on the pre-optimization
+// trainer (naive per-layer loops, fresh tensors per batch, serial step)
+// with the identical harness. Speedups in TrainBenchReport are relative
+// to these.
+type trainBenchSeed struct {
+	examplesPerSec float64
+	nsPerStep      float64
+	allocsPerOp    int64
+}
+
+// trainBenchCases are the measured configurations: the deployable Mini
+// budget and the scaled-down Big (true convolution) geometry.
+var trainBenchCases = []struct {
+	name  string
+	knobs func() branchnet.Knobs
+	seed  trainBenchSeed
+}{
+	{"mini-1kb", func() branchnet.Knobs { return branchnet.MiniQuick(1024) },
+		trainBenchSeed{examplesPerSec: 13456, nsPerStep: 2378123, allocsPerOp: 5498}},
+	{"big-scaled", func() branchnet.Knobs { return branchnet.BigKnobsScaled() },
+		trainBenchSeed{examplesPerSec: 1495, nsPerStep: 21405811, allocsPerOp: 5041}},
+}
+
+// TrainBenchResult is one measured train-step configuration alongside its
+// recorded seed baseline.
+type TrainBenchResult struct {
+	Name           string  `json:"name"`
+	ExamplesPerSec float64 `json:"examples_per_sec"`
+	NsPerStep      float64 `json:"ns_per_step"`
+	AllocsPerOp    int64   `json:"allocs_per_op"`
+
+	SeedExamplesPerSec float64 `json:"seed_examples_per_sec"`
+	SeedNsPerStep      float64 `json:"seed_ns_per_step"`
+	SeedAllocsPerOp    int64   `json:"seed_allocs_per_op"`
+
+	// Speedup is examples/s over the seed number; AllocReduction is
+	// seed allocs/op over current allocs/op (both >1 mean improvement).
+	Speedup        float64 `json:"speedup_examples_per_sec"`
+	AllocReduction float64 `json:"alloc_reduction"`
+}
+
+// TrainBenchReport is the BENCH_train.json payload.
+type TrainBenchReport struct {
+	GOOS       string             `json:"goos"`
+	GOARCH     string             `json:"goarch"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Cases      []TrainBenchResult `json:"cases"`
+}
+
+// trainBenchDataset synthesizes a deterministic labeled dataset whose
+// labels correlate with history content, so the benchmark exercises
+// realistic (non-degenerate) gradient flow.
+func trainBenchDataset(n, window int, pcBits uint, seed int64) *branchnet.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := &branchnet.Dataset{PC: 0x40}
+	mask := uint32(1<<(pcBits+1)) - 1
+	for i := 0; i < n; i++ {
+		h := make([]uint32, window)
+		for j := range h {
+			h[j] = rng.Uint32() & mask
+		}
+		ds.Examples = append(ds.Examples, branchnet.Example{
+			History:    h,
+			Taken:      (h[0]^h[3])&1 == 1,
+			Count:      uint64(i),
+			Occurrence: uint64(i),
+		})
+	}
+	return ds
+}
+
+// TrainBench measures the train-step throughput of every benchmark
+// configuration and reports it against the recorded seed numbers.
+func TrainBench() (TrainBenchReport, Table) {
+	report := TrainBenchReport{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	tbl := Table{
+		Title:  "Training throughput (one epoch, batch 32, 512 examples)",
+		Header: []string{"model", "examples/s", "ns/step", "allocs/op", "speedup", "allocs vs seed"},
+		Notes: []string{
+			"speedup and alloc ratios are against the seed trainer recorded in internal/experiments/trainbench.go",
+		},
+	}
+	for _, c := range trainBenchCases {
+		k := c.knobs()
+		ds := trainBenchDataset(trainBenchExamples, k.WindowTokens(), k.PCBits, 3)
+		opts := branchnet.DefaultTrainOpts()
+		opts.Epochs = 1
+		opts.MaxExamples = 0
+		steps := (trainBenchExamples + opts.BatchSize - 1) / opts.BatchSize
+		m := branchnet.New(k, 0x40, 7)
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.Train(ds, opts)
+			}
+		})
+		secs := res.T.Seconds()
+		r := TrainBenchResult{
+			Name:               c.name,
+			NsPerStep:          float64(res.T.Nanoseconds()) / float64(res.N*steps),
+			AllocsPerOp:        res.AllocsPerOp(),
+			SeedExamplesPerSec: c.seed.examplesPerSec,
+			SeedNsPerStep:      c.seed.nsPerStep,
+			SeedAllocsPerOp:    c.seed.allocsPerOp,
+		}
+		if secs > 0 {
+			r.ExamplesPerSec = float64(res.N*trainBenchExamples) / secs
+		}
+		if c.seed.examplesPerSec > 0 {
+			r.Speedup = r.ExamplesPerSec / c.seed.examplesPerSec
+		}
+		if r.AllocsPerOp > 0 {
+			r.AllocReduction = float64(c.seed.allocsPerOp) / float64(r.AllocsPerOp)
+		}
+		report.Cases = append(report.Cases, r)
+		tbl.AddRow(c.name,
+			fmt.Sprintf("%.0f", r.ExamplesPerSec),
+			fmt.Sprintf("%.0f", r.NsPerStep),
+			fmt.Sprintf("%d", r.AllocsPerOp),
+			fmt.Sprintf("%.2fx", r.Speedup),
+			fmt.Sprintf("%.0fx fewer", r.AllocReduction),
+		)
+	}
+	return report, tbl
+}

@@ -34,14 +34,25 @@ func (a *Adam) Step(batchSize int) {
 	}
 	bc1 := 1 - float32(math.Pow(float64(a.Beta1), float64(a.t)))
 	bc2 := 1 - float32(math.Pow(float64(a.Beta2), float64(a.t)))
+	b1, c1 := a.Beta1, 1-a.Beta1
+	b2, c2 := a.Beta2, 1-a.Beta2
+	lr, wd, eps := a.LR, a.WeightD, a.Eps
 	for _, p := range a.params {
-		for i := range p.W {
-			g := p.G[i]*inv + a.WeightD*p.W[i]
-			p.m[i] = a.Beta1*p.m[i] + (1-a.Beta1)*g
-			p.v[i] = a.Beta2*p.v[i] + (1-a.Beta2)*g*g
-			mHat := p.m[i] / bc1
-			vHat := p.v[i] / bc2
-			p.W[i] -= a.LR * mHat / (float32(math.Sqrt(float64(vHat))) + a.Eps)
+		// Reslicing to a common length lets the compiler drop the bounds
+		// checks on the three state arrays inside the hot loop.
+		w := p.W
+		gs := p.G[:len(w)]
+		ms := p.m[:len(w)]
+		vs := p.v[:len(w)]
+		for i := range w {
+			g := gs[i]*inv + wd*w[i]
+			m := b1*ms[i] + c1*g
+			v := b2*vs[i] + c2*g*g
+			ms[i] = m
+			vs[i] = v
+			mHat := m / bc1
+			vHat := v / bc2
+			w[i] -= lr * mHat / (float32(math.Sqrt(float64(vHat))) + eps)
 		}
 		p.ZeroGrad()
 	}

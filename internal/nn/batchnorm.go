@@ -17,11 +17,22 @@ type BatchNorm struct {
 	Moment  float32
 	Eps     float32
 
+	// DeferStats makes training-mode Forward record the batch statistics
+	// in BatchMean/BatchVar instead of folding them into RunMean/RunVar.
+	// The sharded trainer sets it on per-shard model replicas and applies
+	// the recorded statistics to the main model in fixed shard order via
+	// ApplyStats, so the running-statistics stream is identical for any
+	// worker count.
+	DeferStats bool
+	BatchMean  []float32
+	BatchVar   []float32
+
 	// Caches for backward.
 	lastX    *Tensor
 	lastNorm *Tensor
 	mean     []float32
 	invStd   []float32
+	scratch  *Scratch
 }
 
 // NewBatchNorm builds a batch-norm layer over c channels.
@@ -44,15 +55,38 @@ func NewBatchNorm(c int) *BatchNorm {
 	return bn
 }
 
+// SetScratch attaches a per-batch temporary arena (nil detaches).
+func (bn *BatchNorm) SetScratch(s *Scratch) { bn.scratch = s }
+
+// ApplyStats folds externally computed batch statistics into the running
+// mean/variance with the layer's momentum, exactly as a training-mode
+// Forward would.
+func (bn *BatchNorm) ApplyStats(mean, variance []float32) {
+	for c := 0; c < bn.C; c++ {
+		bn.RunMean[c] = bn.Moment*bn.RunMean[c] + (1-bn.Moment)*mean[c]
+		bn.RunVar[c] = bn.Moment*bn.RunVar[c] + (1-bn.Moment)*variance[c]
+	}
+}
+
+// StepStats exposes the layer's per-step normalization buffers (channel
+// mean and 1/std). Fused pipelines outside this package fill them in
+// place of running Forward — and read them back in their backward pass —
+// so their arithmetic stays bit-identical to the layered implementation.
+func (bn *BatchNorm) StepStats() (mean, invStd []float32) { return bn.mean, bn.invStd }
+
 // Forward implements Layer.
 func (bn *BatchNorm) Forward(x *Tensor, train bool) *Tensor {
 	if x.C != bn.C {
 		panic("nn: batchnorm channel mismatch")
 	}
 	bn.lastX = x
-	out := NewTensor(x.B, x.L, x.C)
+	out := alloc(bn.scratch, x.B, x.L, x.C)
 	n := x.B * x.L
 	if train {
+		if bn.BatchMean == nil {
+			bn.BatchMean = make([]float32, bn.C)
+			bn.BatchVar = make([]float32, bn.C)
+		}
 		for c := 0; c < bn.C; c++ {
 			var sum, sq float64
 			for i := c; i < len(x.Data); i += bn.C {
@@ -67,8 +101,11 @@ func (bn *BatchNorm) Forward(x *Tensor, train bool) *Tensor {
 			}
 			bn.mean[c] = float32(mean)
 			bn.invStd[c] = float32(1 / math.Sqrt(variance+float64(bn.Eps)))
-			bn.RunMean[c] = bn.Moment*bn.RunMean[c] + (1-bn.Moment)*float32(mean)
-			bn.RunVar[c] = bn.Moment*bn.RunVar[c] + (1-bn.Moment)*float32(variance)
+			bn.BatchMean[c] = float32(mean)
+			bn.BatchVar[c] = float32(variance)
+		}
+		if !bn.DeferStats {
+			bn.ApplyStats(bn.BatchMean, bn.BatchVar)
 		}
 	} else {
 		for c := 0; c < bn.C; c++ {
@@ -76,12 +113,19 @@ func (bn *BatchNorm) Forward(x *Tensor, train bool) *Tensor {
 			bn.invStd[c] = float32(1 / math.Sqrt(float64(bn.RunVar[c])+float64(bn.Eps)))
 		}
 	}
-	norm := NewTensor(x.B, x.L, x.C)
-	for i := 0; i < len(x.Data); i++ {
-		c := i % bn.C
-		nv := (x.Data[i] - bn.mean[c]) * bn.invStd[c]
-		norm.Data[i] = nv
-		out.Data[i] = bn.Gamma.W[c]*nv + bn.Beta.W[c]
+	norm := alloc(bn.scratch, x.B, x.L, x.C)
+	nc := bn.C
+	gamma, beta := bn.Gamma.W, bn.Beta.W
+	for row := 0; row < n; row++ {
+		off := row * nc
+		xr := x.Data[off : off+nc]
+		nr := norm.Data[off : off+nc]
+		or := out.Data[off : off+nc]
+		for c, v := range xr {
+			nv := (v - bn.mean[c]) * bn.invStd[c]
+			nr[c] = nv
+			or[c] = gamma[c]*nv + beta[c]
+		}
 	}
 	bn.lastNorm = norm
 	return out
@@ -90,25 +134,35 @@ func (bn *BatchNorm) Forward(x *Tensor, train bool) *Tensor {
 // Backward implements Layer (training-mode batch statistics).
 func (bn *BatchNorm) Backward(dy *Tensor) *Tensor {
 	x := bn.lastX
-	n := float32(x.B * x.L)
-	dx := NewTensor(x.B, x.L, x.C)
+	rows := x.B * x.L
+	n := float32(rows)
+	dx := alloc(bn.scratch, x.B, x.L, x.C)
 
 	// Per-channel sums of dy and dy*norm.
-	sumDy := make([]float32, bn.C)
-	sumDyNorm := make([]float32, bn.C)
-	for i, g := range dy.Data {
-		c := i % bn.C
-		sumDy[c] += g
-		sumDyNorm[c] += g * bn.lastNorm.Data[i]
+	nc := bn.C
+	sumDy := floats(bn.scratch, nc)
+	sumDyNorm := floats(bn.scratch, nc)
+	for row := 0; row < rows; row++ {
+		off := row * nc
+		gr := dy.Data[off : off+nc]
+		nr := bn.lastNorm.Data[off : off+nc]
+		for c, g := range gr {
+			sumDy[c] += g
+			sumDyNorm[c] += g * nr[c]
+		}
 	}
-	for c := 0; c < bn.C; c++ {
-		bn.Beta.G[c] += sumDy[c]
-		bn.Gamma.G[c] += sumDyNorm[c]
-	}
-	for i, g := range dy.Data {
-		c := i % bn.C
-		t := n*g - sumDy[c] - bn.lastNorm.Data[i]*sumDyNorm[c]
-		dx.Data[i] = bn.Gamma.W[c] * bn.invStd[c] / n * t
+	Add(sumDy, bn.Beta.G)
+	Add(sumDyNorm, bn.Gamma.G)
+	gamma := bn.Gamma.W
+	for row := 0; row < rows; row++ {
+		off := row * nc
+		gr := dy.Data[off : off+nc]
+		nr := bn.lastNorm.Data[off : off+nc]
+		dr := dx.Data[off : off+nc]
+		for c, g := range gr {
+			t := n*g - sumDy[c] - nr[c]*sumDyNorm[c]
+			dr[c] = gamma[c] * bn.invStd[c] / n * t
+		}
 	}
 	return dx
 }

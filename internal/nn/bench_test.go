@@ -1,0 +1,104 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Kernel micro-benchmarks at the sizes that dominate training: channel
+// vectors of ~8-32 floats (per-position conv work) and the fc matmul.
+
+func benchVec(n int) []float32 {
+	rng := rand.New(rand.NewSource(int64(n)))
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	return v
+}
+
+func BenchmarkAxpy256(b *testing.B) {
+	x, y := benchVec(256), benchVec(256)
+	b.SetBytes(256 * 4)
+	for i := 0; i < b.N; i++ {
+		Axpy(1.5, x, y)
+	}
+}
+
+func BenchmarkDot256(b *testing.B) {
+	x, y := benchVec(256), benchVec(256)
+	b.SetBytes(256 * 4)
+	var acc float32
+	for i := 0; i < b.N; i++ {
+		acc += Dot(x, y)
+	}
+	_ = acc
+}
+
+func BenchmarkAxpyDot256(b *testing.B) {
+	g, w, gw := benchVec(256), benchVec(256), benchVec(256)
+	b.SetBytes(256 * 4)
+	var acc float32
+	for i := 0; i < b.N; i++ {
+		acc += AxpyDot(0.5, g, w, gw)
+	}
+	_ = acc
+}
+
+func BenchmarkGemm32x64x32(b *testing.B) {
+	x, w, out := benchVec(32*64), benchVec(64*32), benchVec(32*32)
+	b.SetBytes(32 * 64 * 32 * 4)
+	for i := 0; i < b.N; i++ {
+		Gemm(32, 64, 32, x, w, out)
+	}
+}
+
+func BenchmarkDrain1024(b *testing.B) {
+	dst, src := benchVec(1024), benchVec(1024)
+	b.SetBytes(1024 * 4)
+	for i := 0; i < b.N; i++ {
+		Drain(dst, src)
+	}
+}
+
+// Naive counterparts, so `go test -bench` shows the kernel win directly.
+
+func BenchmarkNaiveAxpy256(b *testing.B) {
+	x, y := benchVec(256), benchVec(256)
+	b.SetBytes(256 * 4)
+	for i := 0; i < b.N; i++ {
+		naiveAxpy(1.5, x, y)
+	}
+}
+
+func BenchmarkNaiveDot256(b *testing.B) {
+	x, y := benchVec(256), benchVec(256)
+	b.SetBytes(256 * 4)
+	var acc float32
+	for i := 0; i < b.N; i++ {
+		acc += naiveDot(x, y)
+	}
+	_ = acc
+}
+
+func BenchmarkNaiveGemm32x64x32(b *testing.B) {
+	x, w, out := benchVec(32*64), benchVec(64*32), benchVec(32*32)
+	b.SetBytes(32 * 64 * 32 * 4)
+	for i := 0; i < b.N; i++ {
+		naiveGemm(32, 64, 32, x, w, out)
+	}
+}
+
+// BenchmarkScratchStep measures the arena's per-step cost: a Reset plus a
+// training step's worth of tensor requests should allocate nothing.
+func BenchmarkScratchStep(b *testing.B) {
+	s := NewScratch()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Reset()
+		for j := 0; j < 16; j++ {
+			s.Tensor(32, 24, 8)
+			s.Floats(64)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package nn
+
+import "math"
+
+// FusedHashedSlice runs the Embedding -> BatchNorm -> activation -> SumPool
+// pipeline of a hashed-convolution slice in fused form. The key observation:
+// the batch-norm + activation input at every history position is one of the
+// table's Vocab rows, so once the batch statistics are known there are only
+// Vocab distinct normalized/activated vectors per step — not B*L. The fused
+// path therefore
+//
+//  1. accumulates the batch statistics straight off the token stream
+//     (never materializing the [B, L, C] embedding tensor),
+//  2. evaluates normalization + tanh once per *touched gram* into lookup
+//     tables (B*L/Vocab-fold fewer tanh calls; tanh dominates the layered
+//     profile), and
+//  3. pools activations by table lookup, producing only the small pooled
+//     tensor.
+//
+// Backward replays the same lookups: the activation and batch-norm
+// gradients are streamed per position from the tables, and the embedding
+// scatter-add folds the whole chain in one pass.
+//
+// Every floating-point expression and accumulation order below mirrors the
+// layered Embedding/BatchNorm/Tanh/ReLU/SumPool implementations exactly, so
+// a model trained through the fused path is bit-identical to one trained
+// through the layers (asserted by the equivalence tests in
+// internal/branchnet). When editing either side, keep the other in sync.
+type FusedHashedSlice struct {
+	Emb  *Embedding
+	BN   *BatchNorm
+	Tanh bool // activation: tanh (true) or relu (false)
+	// Width is the sum-pooling window width.
+	Width int
+
+	scratch *Scratch
+
+	// Per-step caches (valid from Forward until the next Forward).
+	tokens  [][]int32
+	lastL   int
+	normTab []float32 // [Vocab][C] normalized table rows
+	actTab  []float32 // [Vocab][C] activated table rows
+	stamp   []uint32  // lazy per-gram build markers
+	gen     uint32
+	sum64   []float64
+	sq64    []float64
+}
+
+// NewFusedHashedSlice fuses an embedding table, its batch norm, the
+// activation, and sum pooling of the given width.
+func NewFusedHashedSlice(emb *Embedding, bn *BatchNorm, tanh bool, width int) *FusedHashedSlice {
+	return &FusedHashedSlice{
+		Emb:     emb,
+		BN:      bn,
+		Tanh:    tanh,
+		Width:   width,
+		normTab: make([]float32, emb.Vocab*emb.Dim),
+		actTab:  make([]float32, emb.Vocab*emb.Dim),
+		stamp:   make([]uint32, emb.Vocab),
+		sum64:   make([]float64, emb.Dim),
+		sq64:    make([]float64, emb.Dim),
+	}
+}
+
+// SetScratch attaches a per-batch temporary arena (nil detaches).
+func (f *FusedHashedSlice) SetScratch(s *Scratch) { f.scratch = s }
+
+// buildRow fills the normalized and activated table rows for gram g using
+// the statistics currently in BN.mean/BN.invStd. The expressions are the
+// per-element bodies of BatchNorm.Forward and Tanh/ReLU.Forward.
+func (f *FusedHashedSlice) buildRow(g int) {
+	c := f.Emb.Dim
+	bn := f.BN
+	gamma, beta := bn.Gamma.W, bn.Beta.W
+	wr := f.Emb.Table.W[g*c : g*c+c]
+	nr := f.normTab[g*c : g*c+c]
+	ar := f.actTab[g*c : g*c+c]
+	for ch, v := range wr {
+		nv := (v - bn.mean[ch]) * bn.invStd[ch]
+		nr[ch] = nv
+		pre := gamma[ch]*nv + beta[ch]
+		if f.Tanh {
+			ar[ch] = float32(math.Tanh(float64(pre)))
+		} else if pre > 0 {
+			ar[ch] = pre
+		} else {
+			ar[ch] = 0
+		}
+	}
+}
+
+// Forward pools the activated slice for a batch of token sequences (all the
+// same length) and returns the [B, ceil(L/Width), C] tensor.
+func (f *FusedHashedSlice) Forward(tokens [][]int32, train bool) *Tensor {
+	b := len(tokens)
+	l := len(tokens[0])
+	c := f.Emb.Dim
+	bn := f.BN
+	f.tokens = tokens
+	f.lastL = l
+
+	if train {
+		// Batch statistics, accumulated per channel in input-row order —
+		// the same per-channel float64 chains BatchNorm.Forward builds.
+		n := b * l
+		for ch := 0; ch < c; ch++ {
+			f.sum64[ch], f.sq64[ch] = 0, 0
+		}
+		table := f.Emb.Table.W
+		for _, seq := range tokens {
+			for _, tok := range seq {
+				row := table[int(tok)*c : int(tok)*c+c]
+				for ch, v := range row {
+					v64 := float64(v)
+					f.sum64[ch] += v64
+					f.sq64[ch] += v64 * v64
+				}
+			}
+		}
+		if bn.BatchMean == nil {
+			bn.BatchMean = make([]float32, c)
+			bn.BatchVar = make([]float32, c)
+		}
+		for ch := 0; ch < c; ch++ {
+			mean := f.sum64[ch] / float64(n)
+			variance := f.sq64[ch]/float64(n) - mean*mean
+			if variance < 0 {
+				variance = 0
+			}
+			bn.mean[ch] = float32(mean)
+			bn.invStd[ch] = float32(1 / math.Sqrt(variance+float64(bn.Eps)))
+			bn.BatchMean[ch] = float32(mean)
+			bn.BatchVar[ch] = float32(variance)
+		}
+		if !bn.DeferStats {
+			bn.ApplyStats(bn.BatchMean, bn.BatchVar)
+		}
+	} else {
+		for ch := 0; ch < c; ch++ {
+			bn.mean[ch] = bn.RunMean[ch]
+			bn.invStd[ch] = float32(1 / math.Sqrt(float64(bn.RunVar[ch])+float64(bn.Eps)))
+		}
+	}
+
+	// Lazily build the per-gram tables for this step's statistics and pool
+	// the activations. Accumulation into each pooled window walks positions
+	// in order, exactly like SumPool.Forward.
+	f.gen++
+	if f.gen == 0 { // wrapped: invalidate all stamps
+		clear(f.stamp)
+		f.gen = 1
+	}
+	width := f.Width
+	out := alloc(f.scratch, b, (l+width-1)/width, c)
+	for bi, seq := range tokens {
+		base := bi * out.L * c
+		for t, tok := range seq {
+			if f.stamp[tok] != f.gen {
+				f.buildRow(int(tok))
+				f.stamp[tok] = f.gen
+			}
+			dst := out.Data[base+(t/width)*c : base+(t/width)*c+c]
+			Add(f.actTab[int(tok)*c:int(tok)*c+c], dst)
+		}
+	}
+	return out
+}
+
+// Backward propagates the pooled gradient dpool [B, ceil(L/Width), C] back
+// through pooling, activation, batch norm, and the embedding scatter,
+// accumulating into Emb.Table.G, BN.Gamma.G, and BN.Beta.G. It must run on
+// the same step as the last training-mode Forward.
+func (f *FusedHashedSlice) Backward(dpool *Tensor) {
+	c := f.Emb.Dim
+	bn := f.BN
+	width := f.Width
+	rows := len(f.tokens) * f.lastL
+	n := float32(rows)
+
+	// Pass 1: the batch-norm reduction sums over dy = d(activation), in
+	// position order per channel (mirrors BatchNorm.Backward's sums over
+	// the materialized gradient tensor).
+	sumDy := floats(f.scratch, c)
+	sumDyNorm := floats(f.scratch, c)
+	for bi, seq := range f.tokens {
+		base := bi * dpool.L * c
+		for t, tok := range seq {
+			dp := dpool.Data[base+(t/width)*c : base+(t/width)*c+c]
+			ar := f.actTab[int(tok)*c : int(tok)*c+c]
+			nr := f.normTab[int(tok)*c : int(tok)*c+c]
+			for ch, y := range ar {
+				var g float32
+				if f.Tanh {
+					g = dp[ch] * (1 - y*y)
+				} else if y > 0 {
+					g = dp[ch]
+				}
+				sumDy[ch] += g
+				sumDyNorm[ch] += g * nr[ch]
+			}
+		}
+	}
+	Add(sumDy, bn.Beta.G)
+	Add(sumDyNorm, bn.Gamma.G)
+
+	// Pass 2: per-position input gradient, scattered straight into the
+	// embedding table (Embedding.Backward's row-order adds).
+	coef := floats(f.scratch, c)
+	gamma := bn.Gamma.W
+	for ch := 0; ch < c; ch++ {
+		coef[ch] = gamma[ch] * bn.invStd[ch] / n
+	}
+	grad := f.Emb.Table.G
+	for bi, seq := range f.tokens {
+		base := bi * dpool.L * c
+		for t, tok := range seq {
+			dp := dpool.Data[base+(t/width)*c : base+(t/width)*c+c]
+			ar := f.actTab[int(tok)*c : int(tok)*c+c]
+			nr := f.normTab[int(tok)*c : int(tok)*c+c]
+			gr := grad[int(tok)*c : int(tok)*c+c]
+			for ch, y := range ar {
+				var g float32
+				if f.Tanh {
+					g = dp[ch] * (1 - y*y)
+				} else if y > 0 {
+					g = dp[ch]
+				}
+				d := n*g - sumDy[ch] - nr[ch]*sumDyNorm[ch]
+				gr[ch] += coef[ch] * d
+			}
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package nn
+
+// This file holds the scalar compute kernels the layers are built on:
+// blocked, bounds-check-hoisted inner loops for the axpy / dot / matmul /
+// fused accumulate shapes that dominate training time. Every kernel
+// performs exactly the same floating-point operations in exactly the same
+// order as its naive reference (kept below as naive* for the property
+// tests), so switching a call site between the two can never change a
+// trained model: the unrolling only removes bounds checks and loop
+// overhead, it never re-associates sums.
+
+// Axpy computes y[i] += a*x[i] over min(len(x), len(y)) elements.
+func Axpy(a float32, x, y []float32) {
+	if len(x) > len(y) {
+		x = x[:len(y)]
+	}
+	if a == 0 || len(x) == 0 {
+		return
+	}
+	y = y[:len(x)]
+	n := len(x) &^ 3
+	for i := 0; i < n; i += 4 {
+		y[i] += a * x[i]
+		y[i+1] += a * x[i+1]
+		y[i+2] += a * x[i+2]
+		y[i+3] += a * x[i+3]
+	}
+	for i := n; i < len(x); i++ {
+		y[i] += a * x[i]
+	}
+}
+
+// Add computes y[i] += x[i] over min(len(x), len(y)) elements.
+func Add(x, y []float32) {
+	if len(x) > len(y) {
+		x = x[:len(y)]
+	}
+	if len(x) == 0 {
+		return
+	}
+	y = y[:len(x)]
+	n := len(x) &^ 3
+	for i := 0; i < n; i += 4 {
+		y[i] += x[i]
+		y[i+1] += x[i+1]
+		y[i+2] += x[i+2]
+		y[i+3] += x[i+3]
+	}
+	for i := n; i < len(x); i++ {
+		y[i] += x[i]
+	}
+}
+
+// Dot returns sum_i x[i]*y[i] over min(len(x), len(y)) elements,
+// accumulated left-to-right in a single chain (no re-association).
+func Dot(x, y []float32) float32 {
+	if len(x) > len(y) {
+		x = x[:len(y)]
+	}
+	if len(x) == 0 {
+		return 0
+	}
+	y = y[:len(x)]
+	var acc float32
+	n := len(x) &^ 3
+	for i := 0; i < n; i += 4 {
+		acc += x[i] * y[i]
+		acc += x[i+1] * y[i+1]
+		acc += x[i+2] * y[i+2]
+		acc += x[i+3] * y[i+3]
+	}
+	for i := n; i < len(x); i++ {
+		acc += x[i] * y[i]
+	}
+	return acc
+}
+
+// AxpyDot is the fused backward kernel shared by the linear and
+// convolution layers: it accumulates the weight gradient gw[i] += a*g[i]
+// and returns dot(g, w) in the same pass, halving the traffic over g.
+// The dot accumulates left-to-right like Dot.
+func AxpyDot(a float32, g, w, gw []float32) float32 {
+	if len(g) == 0 {
+		return 0
+	}
+	w = w[:len(g)]
+	gw = gw[:len(g)]
+	var acc float32
+	n := len(g) &^ 3
+	for i := 0; i < n; i += 4 {
+		gw[i] += a * g[i]
+		acc += g[i] * w[i]
+		gw[i+1] += a * g[i+1]
+		acc += g[i+1] * w[i+1]
+		gw[i+2] += a * g[i+2]
+		acc += g[i+2] * w[i+2]
+		gw[i+3] += a * g[i+3]
+		acc += g[i+3] * w[i+3]
+	}
+	for i := n; i < len(g); i++ {
+		gw[i] += a * g[i]
+		acc += g[i] * w[i]
+	}
+	return acc
+}
+
+// Gemm accumulates the row-major matrix product out[m][n] += x[m][k] *
+// w[k][n]. It walks each x row once, skipping zero activations (ReLU
+// outputs are ~half zeros) and streaming axpy over contiguous w rows, so
+// the inner loop is the unrolled bounds-free Axpy kernel. Row r of the
+// output accumulates terms in k order, exactly like the naive triple loop.
+func Gemm(m, k, n int, x, w, out []float32) {
+	for r := 0; r < m; r++ {
+		xr := x[r*k : r*k+k]
+		dst := out[r*n : r*n+n]
+		for i, xv := range xr {
+			if xv == 0 {
+				continue
+			}
+			Axpy(xv, w[i*n:i*n+n], dst)
+		}
+	}
+}
+
+// Drain folds src into dst (dst[i] += src[i]) and clears src in the same
+// pass. The sharded trainer uses it to reduce per-shard gradient replicas
+// into the optimizer's accumulators in fixed shard order.
+func Drain(dst, src []float32) {
+	if len(src) > len(dst) {
+		src = src[:len(dst)]
+	}
+	dst = dst[:len(src)]
+	for i, v := range src {
+		dst[i] += v
+		src[i] = 0
+	}
+}
+
+// --- naive reference implementations ------------------------------------
+//
+// These are the pre-kernel loops, kept as the oracle for property tests:
+// each exported kernel must produce bit-identical output.
+
+func naiveAxpy(a float32, x, y []float32) {
+	if len(x) > len(y) {
+		x = x[:len(y)]
+	}
+	if a == 0 {
+		return
+	}
+	for i := range x {
+		y[i] += a * x[i]
+	}
+}
+
+func naiveAdd(x, y []float32) {
+	if len(x) > len(y) {
+		x = x[:len(y)]
+	}
+	for i := range x {
+		y[i] += x[i]
+	}
+}
+
+func naiveDot(x, y []float32) float32 {
+	if len(x) > len(y) {
+		x = x[:len(y)]
+	}
+	var acc float32
+	for i := range x {
+		acc += x[i] * y[i]
+	}
+	return acc
+}
+
+func naiveAxpyDot(a float32, g, w, gw []float32) float32 {
+	var acc float32
+	for i := range g {
+		gw[i] += a * g[i]
+		acc += g[i] * w[i]
+	}
+	return acc
+}
+
+func naiveGemm(m, k, n int, x, w, out []float32) {
+	for r := 0; r < m; r++ {
+		for i := 0; i < k; i++ {
+			xv := x[r*k+i]
+			if xv == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				out[r*n+j] += xv * w[i*n+j]
+			}
+		}
+	}
+}
+
+func naiveDrain(dst, src []float32) {
+	if len(src) > len(dst) {
+		src = src[:len(dst)]
+	}
+	for i := range src {
+		dst[i] += src[i]
+		src[i] = 0
+	}
+}

@@ -1,0 +1,189 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// The kernels' contract is exact: same floating-point operations in the
+// same order as the naive loops, so outputs must match bit for bit (not
+// just within a tolerance). Each property test drives a kernel and its
+// naive reference with identical random inputs and compares raw bits.
+
+func randSlice(rng *rand.Rand, n int) []float32 {
+	s := make([]float32, n)
+	for i := range s {
+		switch rng.Intn(8) {
+		case 0:
+			s[i] = 0 // exercise the zero-skip paths
+		case 1:
+			s[i] = float32(rng.NormFloat64() * 1e6) // large magnitudes
+		default:
+			s[i] = float32(rng.NormFloat64())
+		}
+	}
+	return s
+}
+
+func bitsEqual(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAxpyMatchesNaive(t *testing.T) {
+	f := func(seed int64, nRaw, dRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw % 67)
+		x := randSlice(rng, n)
+		y := randSlice(rng, n)
+		a := float32(rng.NormFloat64())
+		if dRaw%5 == 0 {
+			a = 0
+		}
+		y2 := append([]float32(nil), y...)
+		Axpy(a, x, y)
+		naiveAxpy(a, x, y2)
+		return bitsEqual(y, y2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddMatchesNaive(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw % 67)
+		x := randSlice(rng, n)
+		y := randSlice(rng, n)
+		y2 := append([]float32(nil), y...)
+		Add(x, y)
+		naiveAdd(x, y2)
+		return bitsEqual(y, y2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDotMatchesNaive(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw % 67)
+		x := randSlice(rng, n)
+		y := randSlice(rng, n)
+		return math.Float32bits(Dot(x, y)) == math.Float32bits(naiveDot(x, y))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAxpyDotMatchesNaive(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw % 67)
+		g := randSlice(rng, n)
+		w := randSlice(rng, n)
+		gw := randSlice(rng, n)
+		a := float32(rng.NormFloat64())
+		gw2 := append([]float32(nil), gw...)
+		got := AxpyDot(a, g, w, gw)
+		want := naiveAxpyDot(a, g, w, gw2)
+		return math.Float32bits(got) == math.Float32bits(want) && bitsEqual(gw, gw2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGemmMatchesNaive(t *testing.T) {
+	f := func(seed int64, mRaw, kRaw, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := int(mRaw%6) + 1
+		k := int(kRaw%17) + 1
+		n := int(nRaw%17) + 1
+		x := randSlice(rng, m*k)
+		w := randSlice(rng, k*n)
+		out := randSlice(rng, m*n) // accumulate on top of existing values
+		out2 := append([]float32(nil), out...)
+		Gemm(m, k, n, x, w, out)
+		naiveGemm(m, k, n, x, w, out2)
+		return bitsEqual(out, out2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDrainMatchesNaive(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw % 67)
+		dst := randSlice(rng, n)
+		src := randSlice(rng, n)
+		dst2 := append([]float32(nil), dst...)
+		src2 := append([]float32(nil), src...)
+		Drain(dst, src)
+		naiveDrain(dst2, src2)
+		return bitsEqual(dst, dst2) && bitsEqual(src, src2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDrainClearsSource(t *testing.T) {
+	src := []float32{1, 2, 3}
+	dst := []float32{10, 20, 30}
+	Drain(dst, src)
+	for i, v := range src {
+		if v != 0 {
+			t.Fatalf("src[%d] = %v after Drain", i, v)
+		}
+	}
+	if dst[0] != 11 || dst[1] != 22 || dst[2] != 33 {
+		t.Fatalf("dst = %v after Drain", dst)
+	}
+}
+
+func TestScratchFloatsZeroedAcrossReset(t *testing.T) {
+	s := NewScratch()
+	for round := 0; round < 3; round++ {
+		s.Reset()
+		a := s.Floats(16)
+		for i := range a {
+			if a[i] != 0 {
+				t.Fatalf("round %d: Floats returned dirty memory at %d: %v", round, i, a[i])
+			}
+			a[i] = float32(i + round) // dirty it for the next round
+		}
+	}
+}
+
+func TestScratchTensorReuse(t *testing.T) {
+	s := NewScratch()
+	t1 := s.Tensor(2, 3, 4)
+	if t1.B != 2 || t1.L != 3 || t1.C != 4 || len(t1.Data) != 24 {
+		t.Fatalf("bad tensor shape %d/%d/%d len %d", t1.B, t1.L, t1.C, len(t1.Data))
+	}
+	for i := range t1.Data {
+		t1.Data[i] = 7
+	}
+	s.Reset()
+	t2 := s.Tensor(2, 3, 4)
+	for i, v := range t2.Data {
+		if v != 0 {
+			t.Fatalf("reused tensor not zeroed at %d: %v", i, v)
+		}
+	}
+}

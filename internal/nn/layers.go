@@ -20,6 +20,7 @@ type Embedding struct {
 	Vocab, Dim int
 	Table      *Param
 	lastTokens [][]int32
+	scratch    *Scratch
 }
 
 // NewEmbedding builds a Vocab x Dim embedding.
@@ -29,15 +30,21 @@ func NewEmbedding(rng *rand.Rand, vocab, dim int) *Embedding {
 	return e
 }
 
+// SetScratch attaches a per-batch temporary arena (nil detaches).
+func (e *Embedding) SetScratch(s *Scratch) { e.scratch = s }
+
 // Forward embeds a batch of token sequences (all the same length).
 func (e *Embedding) Forward(tokens [][]int32) *Tensor {
 	e.lastTokens = tokens
 	b := len(tokens)
 	l := len(tokens[0])
-	out := NewTensor(b, l, e.Dim)
+	out := alloc(e.scratch, b, l, e.Dim)
+	dim := e.Dim
+	table := e.Table.W
 	for bi, seq := range tokens {
+		row := out.Data[bi*l*dim : (bi+1)*l*dim]
 		for li, tok := range seq {
-			copy(out.Row(bi, li), e.Table.W[int(tok)*e.Dim:int(tok)*e.Dim+e.Dim])
+			copy(row[li*dim:li*dim+dim], table[int(tok)*dim:int(tok)*dim+dim])
 		}
 	}
 	return out
@@ -45,13 +52,11 @@ func (e *Embedding) Forward(tokens [][]int32) *Tensor {
 
 // Backward scatters gradients into the embedding table.
 func (e *Embedding) Backward(dy *Tensor) {
+	dim := e.Dim
+	grad := e.Table.G
 	for bi, seq := range e.lastTokens {
 		for li, tok := range seq {
-			g := e.Table.G[int(tok)*e.Dim : int(tok)*e.Dim+e.Dim]
-			row := dy.Row(bi, li)
-			for i := range g {
-				g[i] += row[i]
-			}
+			Add(dy.Row(bi, li), grad[int(tok)*dim:int(tok)*dim+dim])
 		}
 	}
 }
@@ -67,6 +72,7 @@ type Conv1D struct {
 	In, Out, K int
 	W, B       *Param
 	lastX      *Tensor
+	scratch    *Scratch
 }
 
 // NewConv1D builds a convolution layer.
@@ -76,11 +82,15 @@ func NewConv1D(rng *rand.Rand, in, out, k int) *Conv1D {
 	return c
 }
 
+// SetScratch attaches a per-batch temporary arena (nil detaches).
+func (c *Conv1D) SetScratch(s *Scratch) { c.scratch = s }
+
 // Forward implements Layer.
 func (c *Conv1D) Forward(x *Tensor, _ bool) *Tensor {
 	c.lastX = x
-	out := NewTensor(x.B, x.L, c.Out)
+	out := alloc(c.scratch, x.B, x.L, c.Out)
 	half := c.K / 2
+	nOut := c.Out
 	for b := 0; b < x.B; b++ {
 		for t := 0; t < x.L; t++ {
 			dst := out.Row(b, t)
@@ -90,24 +100,17 @@ func (c *Conv1D) Forward(x *Tensor, _ bool) *Tensor {
 					continue
 				}
 				row := x.Row(b, src)
-				w := c.W.W[k*c.In*c.Out:]
+				w := c.W.W[k*c.In*nOut:]
 				// Weight layout: [k][in][out] for a contiguous inner
 				// loop over output channels.
-				for in := 0; in < c.In; in++ {
-					xv := row[in]
+				for in, xv := range row {
 					if xv == 0 {
 						continue
 					}
-					ws := w[in*c.Out : in*c.Out+c.Out]
-					for o := range dst {
-						dst[o] += xv * ws[o]
-					}
+					Axpy(xv, w[in*nOut:in*nOut+nOut], dst)
 				}
 			}
-			bias := c.B.W
-			for o := range dst {
-				dst[o] += bias[o]
-			}
+			Add(c.B.W, dst)
 		}
 	}
 	return out
@@ -116,14 +119,13 @@ func (c *Conv1D) Forward(x *Tensor, _ bool) *Tensor {
 // Backward implements Layer.
 func (c *Conv1D) Backward(dy *Tensor) *Tensor {
 	x := c.lastX
-	dx := NewTensor(x.B, x.L, x.C)
+	dx := alloc(c.scratch, x.B, x.L, x.C)
 	half := c.K / 2
+	nOut := c.Out
 	for b := 0; b < x.B; b++ {
 		for t := 0; t < x.L; t++ {
 			g := dy.Row(b, t)
-			for o, gv := range g {
-				c.B.G[o] += gv
-			}
+			Add(g, c.B.G)
 			for k := 0; k < c.K; k++ {
 				src := t + k - half
 				if src < 0 || src >= x.L {
@@ -131,17 +133,10 @@ func (c *Conv1D) Backward(dy *Tensor) *Tensor {
 				}
 				xrow := x.Row(b, src)
 				dxrow := dx.Row(b, src)
-				wOff := k * c.In * c.Out
-				for in := 0; in < c.In; in++ {
-					ws := c.W.W[wOff+in*c.Out : wOff+in*c.Out+c.Out]
-					gs := c.W.G[wOff+in*c.Out : wOff+in*c.Out+c.Out]
-					xv := xrow[in]
-					var acc float32
-					for o, gv := range g {
-						gs[o] += gv * xv
-						acc += gv * ws[o]
-					}
-					dxrow[in] += acc
+				wOff := k * c.In * nOut
+				for in, xv := range xrow {
+					off := wOff + in*nOut
+					dxrow[in] += AxpyDot(xv, g, c.W.W[off:off+nOut], c.W.G[off:off+nOut])
 				}
 			}
 		}
@@ -156,12 +151,16 @@ func (c *Conv1D) Params() []*Param { return []*Param{c.W, c.B} }
 // width), the paper's aggressive history compressor. A trailing partial
 // window is summed as-is (ceil division).
 type SumPool struct {
-	Width int
-	lastL int
+	Width   int
+	lastL   int
+	scratch *Scratch
 }
 
 // NewSumPool builds a sum-pooling layer.
 func NewSumPool(width int) *SumPool { return &SumPool{Width: width} }
+
+// SetScratch attaches a per-batch temporary arena (nil detaches).
+func (s *SumPool) SetScratch(sc *Scratch) { s.scratch = sc }
 
 // OutLen returns the pooled length for an input of length l.
 func (s *SumPool) OutLen(l int) int { return (l + s.Width - 1) / s.Width }
@@ -169,14 +168,10 @@ func (s *SumPool) OutLen(l int) int { return (l + s.Width - 1) / s.Width }
 // Forward implements Layer.
 func (s *SumPool) Forward(x *Tensor, _ bool) *Tensor {
 	s.lastL = x.L
-	out := NewTensor(x.B, s.OutLen(x.L), x.C)
+	out := alloc(s.scratch, x.B, s.OutLen(x.L), x.C)
 	for b := 0; b < x.B; b++ {
 		for t := 0; t < x.L; t++ {
-			dst := out.Row(b, t/s.Width)
-			src := x.Row(b, t)
-			for c := range dst {
-				dst[c] += src[c]
-			}
+			Add(x.Row(b, t), out.Row(b, t/s.Width))
 		}
 	}
 	return out
@@ -184,11 +179,10 @@ func (s *SumPool) Forward(x *Tensor, _ bool) *Tensor {
 
 // Backward implements Layer.
 func (s *SumPool) Backward(dy *Tensor) *Tensor {
-	dx := NewTensor(dy.B, s.lastL, dy.C)
+	dx := alloc(s.scratch, dy.B, s.lastL, dy.C)
 	for b := 0; b < dy.B; b++ {
 		for t := 0; t < s.lastL; t++ {
-			src := dy.Row(b, t/s.Width)
-			copy(dx.Row(b, t), src)
+			copy(dx.Row(b, t), dy.Row(b, t/s.Width))
 		}
 	}
 	return dx
@@ -202,6 +196,7 @@ type Linear struct {
 	In, Out int
 	W, B    *Param
 	lastX   *Tensor
+	scratch *Scratch
 }
 
 // NewLinear builds a fully-connected layer.
@@ -211,47 +206,33 @@ func NewLinear(rng *rand.Rand, in, out int) *Linear {
 	return l
 }
 
+// SetScratch attaches a per-batch temporary arena (nil detaches).
+func (l *Linear) SetScratch(s *Scratch) { l.scratch = s }
+
 // Forward implements Layer.
 func (l *Linear) Forward(x *Tensor, _ bool) *Tensor {
 	l.lastX = x
-	out := NewTensor(x.B, 1, l.Out)
+	out := alloc(l.scratch, x.B, 1, l.Out)
 	for b := 0; b < x.B; b++ {
-		src := x.Row(b, 0)
-		dst := out.Row(b, 0)
-		copy(dst, l.B.W)
-		for in, xv := range src {
-			if xv == 0 {
-				continue
-			}
-			ws := l.W.W[in*l.Out : in*l.Out+l.Out]
-			for o := range dst {
-				dst[o] += xv * ws[o]
-			}
-		}
+		copy(out.Row(b, 0), l.B.W)
 	}
+	Gemm(x.B, l.In, l.Out, x.Data, l.W.W, out.Data)
 	return out
 }
 
 // Backward implements Layer.
 func (l *Linear) Backward(dy *Tensor) *Tensor {
 	x := l.lastX
-	dx := NewTensor(x.B, 1, l.In)
+	dx := alloc(l.scratch, x.B, 1, l.In)
+	nOut := l.Out
 	for b := 0; b < x.B; b++ {
 		g := dy.Row(b, 0)
 		src := x.Row(b, 0)
 		dst := dx.Row(b, 0)
-		for o, gv := range g {
-			l.B.G[o] += gv
-		}
+		Add(g, l.B.G)
 		for in, xv := range src {
-			ws := l.W.W[in*l.Out : in*l.Out+l.Out]
-			gs := l.W.G[in*l.Out : in*l.Out+l.Out]
-			var acc float32
-			for o, gv := range g {
-				gs[o] += gv * xv
-				acc += gv * ws[o]
-			}
-			dst[in] = acc
+			off := in * nOut
+			dst[in] = AxpyDot(xv, g, l.W.W[off:off+nOut], l.W.G[off:off+nOut])
 		}
 	}
 	return dx
@@ -261,15 +242,22 @@ func (l *Linear) Backward(dy *Tensor) *Tensor {
 func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
 
 // ReLU is the rectified linear activation.
-type ReLU struct{ lastX *Tensor }
+type ReLU struct {
+	lastX   *Tensor
+	scratch *Scratch
+}
+
+// SetScratch attaches a per-batch temporary arena (nil detaches).
+func (r *ReLU) SetScratch(s *Scratch) { r.scratch = s }
 
 // Forward implements Layer.
 func (r *ReLU) Forward(x *Tensor, _ bool) *Tensor {
 	r.lastX = x
-	out := NewTensor(x.B, x.L, x.C)
+	out := alloc(r.scratch, x.B, x.L, x.C)
+	dst := out.Data[:len(x.Data)]
 	for i, v := range x.Data {
 		if v > 0 {
-			out.Data[i] = v
+			dst[i] = v
 		}
 	}
 	return out
@@ -277,10 +265,12 @@ func (r *ReLU) Forward(x *Tensor, _ bool) *Tensor {
 
 // Backward implements Layer.
 func (r *ReLU) Backward(dy *Tensor) *Tensor {
-	dx := NewTensor(dy.B, dy.L, dy.C)
+	dx := alloc(r.scratch, dy.B, dy.L, dy.C)
+	dst := dx.Data[:len(r.lastX.Data)]
+	dyd := dy.Data[:len(r.lastX.Data)]
 	for i, v := range r.lastX.Data {
 		if v > 0 {
-			dx.Data[i] = dy.Data[i]
+			dst[i] = dyd[i]
 		}
 	}
 	return dx
@@ -291,13 +281,20 @@ func (r *ReLU) Params() []*Param { return nil }
 
 // Tanh is the hyperbolic-tangent activation, used by Mini-BranchNet to
 // bound activations for quantization.
-type Tanh struct{ lastY *Tensor }
+type Tanh struct {
+	lastY   *Tensor
+	scratch *Scratch
+}
+
+// SetScratch attaches a per-batch temporary arena (nil detaches).
+func (t *Tanh) SetScratch(s *Scratch) { t.scratch = s }
 
 // Forward implements Layer.
 func (t *Tanh) Forward(x *Tensor, _ bool) *Tensor {
-	out := NewTensor(x.B, x.L, x.C)
+	out := alloc(t.scratch, x.B, x.L, x.C)
+	dst := out.Data[:len(x.Data)]
 	for i, v := range x.Data {
-		out.Data[i] = float32(math.Tanh(float64(v)))
+		dst[i] = float32(math.Tanh(float64(v)))
 	}
 	t.lastY = out
 	return out
@@ -305,9 +302,11 @@ func (t *Tanh) Forward(x *Tensor, _ bool) *Tensor {
 
 // Backward implements Layer.
 func (t *Tanh) Backward(dy *Tensor) *Tensor {
-	dx := NewTensor(dy.B, dy.L, dy.C)
+	dx := alloc(t.scratch, dy.B, dy.L, dy.C)
+	dst := dx.Data[:len(t.lastY.Data)]
+	dyd := dy.Data[:len(t.lastY.Data)]
 	for i, y := range t.lastY.Data {
-		dx.Data[i] = dy.Data[i] * (1 - y*y)
+		dst[i] = dyd[i] * (1 - y*y)
 	}
 	return dx
 }

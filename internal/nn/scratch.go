@@ -1,0 +1,82 @@
+package nn
+
+// Scratch is a bump arena for per-batch temporaries (activations,
+// gradients, per-channel sums). A trainer owns one Scratch per
+// forward/backward pipeline and calls Reset at the start of every training
+// step; every Tensor/Floats allocation made since the previous Reset is
+// recycled, so steady-state training allocates nothing per batch.
+//
+// Lifetime rules:
+//   - A buffer returned by Tensor/Floats is valid until the next Reset.
+//     Callers that cache activations between Forward and Backward (every
+//     layer does) must therefore Reset per step, never mid-step.
+//   - A Scratch is single-goroutine. Concurrent pipelines (the sharded
+//     trainer's per-shard model replicas) each own a private Scratch.
+//   - Layers with a nil scratch fall back to NewTensor, so standalone
+//     layer use keeps working without an arena.
+type Scratch struct {
+	slabs   [][]float32
+	headers []*Tensor
+	nSlab   int
+	nHeader int
+}
+
+// NewScratch returns an empty arena.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// Reset recycles every buffer handed out since the previous Reset.
+func (s *Scratch) Reset() {
+	s.nSlab = 0
+	s.nHeader = 0
+}
+
+// Floats returns a zeroed []float32 of length n, valid until Reset.
+func (s *Scratch) Floats(n int) []float32 {
+	if s.nSlab < len(s.slabs) && cap(s.slabs[s.nSlab]) >= n {
+		buf := s.slabs[s.nSlab][:n]
+		s.nSlab++
+		clear(buf)
+		return buf
+	}
+	buf := make([]float32, n)
+	if s.nSlab < len(s.slabs) {
+		s.slabs[s.nSlab] = buf
+	} else {
+		s.slabs = append(s.slabs, buf)
+	}
+	s.nSlab++
+	return buf
+}
+
+// Tensor returns a zeroed [b, l, c] tensor backed by the arena, valid
+// until Reset. The header itself is pooled too.
+func (s *Scratch) Tensor(b, l, c int) *Tensor {
+	var t *Tensor
+	if s.nHeader < len(s.headers) {
+		t = s.headers[s.nHeader]
+	} else {
+		t = &Tensor{}
+		s.headers = append(s.headers, t)
+	}
+	s.nHeader++
+	t.Data = s.Floats(b * l * c)
+	t.B, t.L, t.C = b, l, c
+	return t
+}
+
+// alloc returns a zeroed tensor from the arena, or a fresh heap tensor
+// when the layer has no arena attached.
+func alloc(s *Scratch, b, l, c int) *Tensor {
+	if s == nil {
+		return NewTensor(b, l, c)
+	}
+	return s.Tensor(b, l, c)
+}
+
+// floats returns a zeroed []float32 from the arena or the heap.
+func floats(s *Scratch, n int) []float32 {
+	if s == nil {
+		return make([]float32, n)
+	}
+	return s.Floats(n)
+}

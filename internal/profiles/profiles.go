@@ -1,0 +1,51 @@
+// Package profiles wires the -cpuprofile/-memprofile flags of the
+// command-line tools to runtime/pprof.
+package profiles
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling (if cpu is non-empty) and arranges a heap
+// snapshot (if mem is non-empty); the returned stop function flushes
+// both and is safe to call when neither was requested. Fatal exits skip
+// the flush — profile a run that completes normally.
+func Start(cpu, mem string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		cpuFile, err = os.Create(cpu)
+		if err != nil {
+			return nil, fmt.Errorf("creating -cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			return nil, fmt.Errorf("starting CPU profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				log.Printf("closing -cpuprofile: %v", err)
+			}
+		}
+		if mem == "" {
+			return
+		}
+		f, err := os.Create(mem)
+		if err != nil {
+			log.Printf("creating -memprofile: %v", err)
+			return
+		}
+		runtime.GC() // up-to-date heap statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Printf("writing -memprofile: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Printf("closing -memprofile: %v", err)
+		}
+	}, nil
+}
