@@ -24,6 +24,15 @@ go test -short -race ./...
 # bit-identical to the layered reference.
 go test -race -run 'TestParallelTrainBitIdentical|TestShardedStep|TestFused|TestEmbConv' ./internal/branchnet
 
+# Crash-safety gate: the checkpoint chaos suite (kill matrix, torn
+# tails, bit flips — reduced sweeps under -short above, full sweeps and
+# the serve reload regression here) plus a short fuzz smoke of both
+# untrusted read paths, so the "no torn or corrupt snapshot is ever
+# accepted" invariant is re-proven on every PR.
+go test -race ./internal/checkpoint ./internal/faults ./internal/serve
+go test -fuzz FuzzReadCheckpoint -fuzztime 10s ./internal/checkpoint
+go test -fuzz FuzzReadModels -fuzztime 10s ./internal/engine
+
 # Benchmark smoke gate: one iteration of every kernel and train-step
 # benchmark, so the perf harness can't silently rot. Throughput numbers
 # from -benchtime=1x are meaningless; this only checks they still run.

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// The end-to-end crash tests re-exec this test binary as branchnet-bench:
+// with the env var set, TestMain runs main() against the test's own
+// arguments instead of the test suite, so the subprocess under SIGKILL is
+// the real CLI — flag parsing, signal handling, checkpoint threading,
+// table printing and all.
+func TestMain(m *testing.M) {
+	if os.Getenv("BRANCHNET_BENCH_E2E") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// benchArgs is the one invocation every E2E leg runs: a real (micro-scale)
+// Table IV regeneration, which trains two model families on leela and
+// prints their final metrics to stdout.
+func benchArgs(dir string) []string {
+	return []string{
+		"-mode", "micro", "-benchmarks", "leela", "-table", "4",
+		"-parallel", "1", "-checkpoint-dir", dir,
+	}
+}
+
+func benchCmd(dir string, stdout, stderr *bytes.Buffer) *exec.Cmd {
+	cmd := exec.Command(os.Args[0], benchArgs(dir)...)
+	cmd.Env = append(os.Environ(), "BRANCHNET_BENCH_E2E=1")
+	cmd.Stdout = stdout
+	cmd.Stderr = stderr
+	return cmd
+}
+
+// runBench runs the suite to completion and returns its stdout — the
+// rendered tables, with all timing chatter on stderr.
+func runBench(t *testing.T, dir string) []byte {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	cmd := benchCmd(dir, &stdout, &stderr)
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("branchnet-bench %v: %v\nstderr:\n%s", benchArgs(dir), err, stderr.String())
+	}
+	return stdout.Bytes()
+}
+
+// interruptBench starts the suite, waits for the first checkpoint file to
+// land in dir, and delivers sig. It returns the process's exit error (nil
+// if it exited 0) and its stderr.
+func interruptBench(t *testing.T, dir string, sig syscall.Signal) (error, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	cmd := benchCmd(dir, &stdout, &stderr)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+
+	deadline := time.After(4 * time.Minute)
+	for {
+		found := false
+		filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err == nil && !d.IsDir() && filepath.Ext(path) == ".ckpt" {
+				found = true
+			}
+			return nil
+		})
+		if found {
+			break
+		}
+		select {
+		case err := <-exited:
+			t.Fatalf("suite finished (err=%v) before any checkpoint appeared\nstderr:\n%s", err, stderr.String())
+		case <-deadline:
+			cmd.Process.Kill()
+			t.Fatalf("no checkpoint file appeared in %s\nstderr:\n%s", dir, stderr.String())
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	if err := cmd.Process.Signal(sig); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-exited:
+		return err, stderr.String()
+	case <-deadline:
+		cmd.Process.Kill()
+		t.Fatal("suite did not exit after signal")
+		return nil, ""
+	}
+}
+
+// TestBenchKillResumeBitIdentical is the suite-level crash-safety
+// acceptance test: SIGKILL branchnet-bench mid-training — no handler, no
+// cleanup, exactly a crash — then rerun the same invocation over the same
+// checkpoint directory and require the resumed run's rendered tables to
+// match an uninterrupted golden run byte for byte. A second rerun over the
+// now-complete directory must reproduce them again (from snapshots alone,
+// without retraining).
+func TestBenchKillResumeBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end training test")
+	}
+	golden := runBench(t, t.TempDir())
+
+	dir := t.TempDir()
+	err, stderr := interruptBench(t, dir, syscall.SIGKILL)
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ProcessState.ExitCode() != -1 {
+		t.Fatalf("SIGKILLed suite exited err=%v, want signal death\nstderr:\n%s", err, stderr)
+	}
+
+	resumed := runBench(t, dir)
+	if !bytes.Equal(golden, resumed) {
+		t.Errorf("resumed run differs from golden\n--- golden ---\n%s--- resumed ---\n%s", golden, resumed)
+	}
+	again := runBench(t, dir)
+	if !bytes.Equal(golden, again) {
+		t.Errorf("completed-directory rerun differs from golden\n--- golden ---\n%s--- rerun ---\n%s", golden, again)
+	}
+}
+
+// TestBenchSigtermCheckpointsAndExitsResumable covers the graceful leg:
+// SIGTERM must make the suite persist final snapshots, report itself
+// stopped with exit status 3, and leave a directory a plain rerun resumes
+// from. (Byte-identity of the resumed output is TestBenchKillResume's
+// job; this leg pins the signal contract.)
+func TestBenchSigtermCheckpointsAndExitsResumable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end training test")
+	}
+	dir := t.TempDir()
+	err, stderr := interruptBench(t, dir, syscall.SIGTERM)
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ProcessState.ExitCode() != 3 {
+		t.Fatalf("SIGTERMed suite exited err=%v, want exit status 3\nstderr:\n%s", err, stderr)
+	}
+	if want := "rerun with the same flags to resume"; !bytes.Contains([]byte(stderr), []byte(want)) {
+		t.Errorf("stderr does not mention the resume hint %q:\n%s", want, stderr)
+	}
+
+	var stdout, errbuf bytes.Buffer
+	cmd := benchCmd(dir, &stdout, &errbuf)
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("resume after SIGTERM failed: %v\nstderr:\n%s", err, errbuf.String())
+	}
+	if want := "Table IV"; !bytes.Contains(stdout.Bytes(), []byte(want)) {
+		t.Errorf("resumed run printed no %q table:\n%s", want, stdout.String())
+	}
+}

@@ -18,16 +18,22 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"branchnet/internal/bench"
+	"branchnet/internal/branchnet"
 	"branchnet/internal/experiments"
+	"branchnet/internal/faults"
 	"branchnet/internal/profiles"
 )
 
@@ -47,7 +53,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("branchnet-bench: ")
 
-	mode := flag.String("mode", "quick", "experiment scale: quick or full")
+	mode := flag.String("mode", "quick", "experiment scale: quick, full, or micro (smoke)")
 	fig := flag.Int("fig", 0, "figure to regenerate (1,3,4,9,10,11,12,13)")
 	table := flag.Int("table", 0, "table to regenerate (1,2,3,4)")
 	all := flag.Bool("all", false, "regenerate every table and figure")
@@ -56,9 +62,17 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker-pool width for per-benchmark fan-out and the -all figure suite (0 = GOMAXPROCS)")
 	benchTrain := flag.Bool("bench-train", false, "measure train-step throughput and write -bench-out")
 	benchOut := flag.String("bench-out", "BENCH_train.json", "output file for -bench-train")
+	checkpointDir := flag.String("checkpoint-dir", "", "directory for crash-safe training snapshots; rerunning the same invocation over it skips finished work and resumes bit-identical")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "mid-epoch snapshot cadence in optimizer steps (0 = epoch boundaries only; needs -checkpoint-dir)")
+	faultSpec := flag.String("faults", "", "deterministic fault-injection spec, e.g. 'checkpoint.rename:kill@3;seed=1' (chaos testing)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	injector, err := faults.Parse(*faultSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	stopProfiles, err := profiles.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -75,6 +89,8 @@ func main() {
 		m = experiments.Quick()
 	case "full":
 		m = experiments.Full()
+	case "micro":
+		m = experiments.Micro()
 	default:
 		log.Fatalf("unknown mode %q", *mode)
 	}
@@ -89,6 +105,24 @@ func main() {
 	}
 	ctx := experiments.NewContext(m)
 	ctx.Parallel = *parallel
+	ctx.CheckpointDir = *checkpointDir
+	ctx.CheckpointEvery = *checkpointEvery
+	ctx.Faults = injector
+
+	// SIGTERM/SIGINT request a graceful stop: in-flight branch trainings
+	// persist a final snapshot, the suite unwinds, and the process exits
+	// resumable (status 3).
+	var stop atomic.Bool
+	ctx.Stop = &stop
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	go func() {
+		s := <-sigc
+		log.Printf("received %s: checkpointing and stopping", s)
+		stop.Store(true)
+		signal.Stop(sigc) // a second signal kills immediately
+	}()
+
 	width := *parallel
 	if width <= 0 {
 		width = runtime.GOMAXPROCS(0)
@@ -187,6 +221,21 @@ func main() {
 			run(fmt.Sprintf("table %d", i), tables[i])
 		}
 		fmt.Fprintln(os.Stderr, "hint: use -fig N, -table 4 or -all to run the training experiments")
+	}
+
+	// A training run that stopped or failed renders incomplete tables
+	// above; the exit status is what distinguishes them from a real run.
+	if err := ctx.TrainErr(); err != nil {
+		stopProfiles()
+		if errors.Is(err, branchnet.ErrStopped) {
+			if *checkpointDir != "" {
+				log.Printf("stopped; state checkpointed in %s — rerun with the same flags to resume", *checkpointDir)
+			} else {
+				log.Printf("stopped (no -checkpoint-dir: progress discarded)")
+			}
+			os.Exit(3)
+		}
+		log.Fatalf("training: %v", err)
 	}
 }
 

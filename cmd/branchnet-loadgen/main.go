@@ -79,15 +79,8 @@ func main() {
 			log.Fatalf("-write-synth needs -synth > 0")
 		}
 		ms := serve.SyntheticModels(tr, *synth, 1)
-		f, err := os.Create(*writeSynth)
-		if err != nil {
-			log.Fatalf("creating %s: %v", *writeSynth, err)
-		}
-		if err := engine.WriteModels(f, ms); err != nil {
+		if err := engine.WriteModelsFile(*writeSynth, ms, nil); err != nil {
 			log.Fatalf("writing models: %v", err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatalf("closing %s: %v", *writeSynth, err)
 		}
 		log.Printf("wrote %d synthetic models to %s", len(ms), *writeSynth)
 		return

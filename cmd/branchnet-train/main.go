@@ -10,15 +10,20 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"branchnet/internal/bench"
 	"branchnet/internal/branchnet"
 	"branchnet/internal/engine"
+	"branchnet/internal/faults"
 	"branchnet/internal/hybrid"
 	"branchnet/internal/predictor"
 	"branchnet/internal/profiles"
@@ -74,9 +79,17 @@ func main() {
 	trainLen := flag.Int("trainlen", 300000, "branches per training input trace")
 	evalLen := flag.Int("evallen", 150000, "branches per validation/test trace")
 	out := flag.String("out", "", "write the attached quantized models to this .bnm file")
+	checkpointDir := flag.String("checkpoint-dir", "", "directory for crash-safe per-branch snapshots; rerunning with the same directory resumes and finishes bit-identical")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "mid-epoch snapshot cadence in optimizer steps (0 = epoch boundaries only; needs -checkpoint-dir)")
+	faultSpec := flag.String("faults", "", "deterministic fault-injection spec, e.g. 'checkpoint.rename:kill@3;seed=1' (chaos testing)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	injector, err := faults.Parse(*faultSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	stopProfiles, err := profiles.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -108,9 +121,36 @@ func main() {
 	cfg.MaxModels = *maxModels
 	cfg.Train.Epochs = *epochs
 	cfg.Train.MaxExamples = *examples
+	cfg.CheckpointDir = *checkpointDir
+	cfg.CheckpointEvery = *checkpointEvery
+	cfg.Faults = injector
+
+	// SIGTERM/SIGINT request a graceful stop: in-flight branch trainings
+	// persist a final snapshot, then the process exits resumable.
+	var stop atomic.Bool
+	cfg.Stop = &stop
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	go func() {
+		s := <-sigc
+		log.Printf("received %s: checkpointing and stopping", s)
+		stop.Store(true)
+		signal.Stop(sigc) // a second signal kills immediately
+	}()
 
 	start = time.Now()
-	models := branchnet.TrainOffline(cfg, trainTraces, validTrace, newBase)
+	models, err := branchnet.TrainOfflineChecked(cfg, trainTraces, validTrace, newBase, nil)
+	if errors.Is(err, branchnet.ErrStopped) {
+		if *checkpointDir != "" {
+			log.Printf("stopped after %s; state checkpointed in %s — rerun with the same flags to resume", time.Since(start).Round(time.Millisecond), *checkpointDir)
+		} else {
+			log.Printf("stopped after %s (no -checkpoint-dir: progress discarded)", time.Since(start).Round(time.Millisecond))
+		}
+		os.Exit(3)
+	}
+	if err != nil {
+		log.Fatalf("offline training: %v", err)
+	}
 	log.Printf("offline training done in %s: %d models attached", time.Since(start).Round(time.Millisecond), len(models))
 	for _, m := range models {
 		form := "float"
@@ -135,15 +175,8 @@ func main() {
 		if len(ems) == 0 {
 			log.Printf("-out: no quantized models to write (big/tarsa models are float-only)")
 		} else {
-			f, err := os.Create(*out)
-			if err != nil {
-				log.Fatalf("creating %s: %v", *out, err)
-			}
-			if err := engine.WriteModels(f, ems); err != nil {
+			if err := engine.WriteModelsFile(*out, ems, injector); err != nil {
 				log.Fatalf("writing models: %v", err)
-			}
-			if err := f.Close(); err != nil {
-				log.Fatal(err)
 			}
 			log.Printf("wrote %d quantized models to %s", len(ems), *out)
 		}

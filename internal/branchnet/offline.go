@@ -1,12 +1,20 @@
 package branchnet
 
 import (
+	"bytes"
+	"errors"
+	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"branchnet/internal/checkpoint"
 	"branchnet/internal/engine"
+	"branchnet/internal/faults"
 	"branchnet/internal/predictor"
 	"branchnet/internal/trace"
 )
@@ -49,6 +57,25 @@ type OfflineConfig struct {
 	// (0 = GOMAXPROCS). The paper notes models train in parallel on GPUs.
 	Parallel int
 	Train    TrainOpts
+
+	// CheckpointDir, when set, makes the pipeline crash-safe: each
+	// branch's in-progress training state streams to
+	// <dir>/branch-<pc>.train.ckpt on the CheckpointEvery cadence, and its
+	// finished result (metrics + deployable weights, or a rejection
+	// marker) to <dir>/branch-<pc>.ckpt. A rerun over the same directory
+	// skips finished branches, resumes interrupted ones mid-epoch, and
+	// finishes bit-identical to an uninterrupted run. Callers enabling it
+	// must use TrainOfflineChecked, which surfaces checkpoint I/O errors.
+	CheckpointDir string
+	// CheckpointEvery is the mid-epoch snapshot cadence in optimizer steps
+	// (0 = epoch boundaries only).
+	CheckpointEvery int
+	// Stop requests a graceful halt (e.g. on SIGTERM): in-flight branch
+	// trainings persist a snapshot and the pipeline returns ErrStopped.
+	Stop *atomic.Bool
+	// Faults injects deterministic I/O faults into the checkpoint paths
+	// (fault-injection tests only).
+	Faults *faults.Injector
 }
 
 // DefaultOfflineConfig returns CPU-budget defaults for the given knobs.
@@ -152,6 +179,26 @@ func TrainOffline(cfg OfflineConfig, trainTraces []*trace.Trace, validTrace *tra
 // context) pass a shared ValidEval so step 1's full validation pass runs
 // once per (baseline, trace) pair instead of once per training run.
 func TrainOfflineWith(cfg OfflineConfig, trainTraces []*trace.Trace, validTrace *trace.Trace, newBaseline func() predictor.Predictor, valid *ValidEval) []*Attached {
+	out, err := TrainOfflineChecked(cfg, trainTraces, validTrace, newBaseline, valid)
+	if err != nil {
+		// Unreachable without cfg.CheckpointDir/Stop; callers that enable
+		// crash safety must use TrainOfflineChecked and handle the error.
+		panic("branchnet: TrainOffline cannot surface checkpoint errors, use TrainOfflineChecked: " + err.Error())
+	}
+	return out
+}
+
+// TrainOfflineChecked is TrainOfflineWith with crash-safe resume: with
+// cfg.CheckpointDir set, per-branch progress persists across process
+// deaths (see OfflineConfig.CheckpointDir) and the pipeline surfaces
+// checkpoint I/O errors instead of panicking. It returns ErrStopped when
+// cfg.Stop was raised after all in-flight branches checkpointed.
+func TrainOfflineChecked(cfg OfflineConfig, trainTraces []*trace.Trace, validTrace *trace.Trace, newBaseline func() predictor.Predictor, valid *ValidEval) ([]*Attached, error) {
+	if cfg.CheckpointDir != "" {
+		if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
+			return nil, fmt.Errorf("branchnet: checkpoint dir: %w", err)
+		}
+	}
 	// Step 1: find the hard-to-predict branches on the validation set.
 	if valid == nil {
 		valid = EvalValidation(newBaseline, validTrace)
@@ -178,7 +225,7 @@ func TrainOfflineWith(cfg OfflineConfig, trainTraces []*trace.Trace, validTrace 
 		cands = cands[:cfg.TopBranches]
 	}
 	if len(cands) == 0 {
-		return nil
+		return nil, nil
 	}
 
 	// Extract datasets for every candidate in one pass per trace.
@@ -215,6 +262,21 @@ func TrainOfflineWith(cfg OfflineConfig, trainTraces []*trace.Trace, validTrace 
 		par = runtime.GOMAXPROCS(0)
 	}
 	results := make([]*Attached, len(cands))
+	confFP := offlineConfigFingerprint(cfg)
+	var failMu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		failMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		failMu.Unlock()
+	}
+	aborted := func() bool {
+		failMu.Lock()
+		defer failMu.Unlock()
+		return firstErr != nil
+	}
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, par)
 	for i, c := range cands {
@@ -228,6 +290,9 @@ func TrainOfflineWith(cfg OfflineConfig, trainTraces []*trace.Trace, validTrace 
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if aborted() {
+				return
+			}
 			// Register this branch trainer in the shared training budget
 			// so nested intra-batch shard workers (Model.Train) see the
 			// remaining capacity instead of fanning out on top of the
@@ -238,16 +303,65 @@ func TrainOfflineWith(cfg OfflineConfig, trainTraces []*trace.Trace, validTrace 
 
 			opts := cfg.Train
 			opts.Seed = cfg.Train.Seed + int64(c.pc) // decorrelate per branch
+			var resultPath, trainPath string
+			var fp trainFingerprint
+			if cfg.CheckpointDir != "" {
+				resultPath = filepath.Join(cfg.CheckpointDir, fmt.Sprintf("branch-%016x.ckpt", c.pc))
+				trainPath = filepath.Join(cfg.CheckpointDir, fmt.Sprintf("branch-%016x.train.ckpt", c.pc))
+				fp = snapshotFingerprint(c.pc, opts, ds)
+				st, err := loadBranchSnapshot(resultPath, fp, confFP, cfg.Faults)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if st != nil {
+					if st.rejected {
+						return // trained before, failed quantization: keep rejecting
+					}
+					a, err := attachedFromSnapshot(cfg, c.pc, opts.Seed, st)
+					if err != nil {
+						fail(err)
+						return
+					}
+					results[i] = a
+					return
+				}
+				opts.Checkpoint = &TrainCheckpoint{
+					Path:         trainPath,
+					EveryBatches: cfg.CheckpointEvery,
+					Stop:         cfg.Stop,
+					Faults:       cfg.Faults,
+				}
+			}
+			if cfg.Stop != nil && cfg.Stop.Load() {
+				fail(ErrStopped)
+				return
+			}
 			m := New(cfg.Knobs, c.pc, opts.Seed)
-			m.Train(ds, opts)
+			if _, err := m.TrainCheckpointed(ds, opts); err != nil {
+				fail(err)
+				return
+			}
 
 			a := &Attached{PC: c.pc, Knobs: cfg.Knobs, Float: m}
+			rejected := false
 			if cfg.Quantize {
 				em, err := m.Quantize(ds.Subsample(3500, opts.Seed))
 				if err != nil {
-					return
+					rejected = true
+				} else {
+					a.Engine = em
 				}
-				a.Engine = em
+			}
+			if rejected {
+				if resultPath != "" {
+					if err := saveBranchSnapshot(resultPath, fp, confFP, nil, true, cfg.Faults); err != nil {
+						fail(err)
+						return
+					}
+					os.Remove(trainPath)
+				}
+				return
 			}
 			// Validation accuracy of the deployable form, measured against
 			// the baseline on exactly the same extracted examples. The
@@ -288,10 +402,20 @@ func TrainOfflineWith(cfg OfflineConfig, trainTraces []*trace.Trace, validTrace 
 			// Improvement scales to the branch's full validation
 			// execution count (the extracted set may be capped).
 			a.Improvement = (a.ValidAccuracy - a.BaseAccuracy) * float64(c.execs)
+			if resultPath != "" {
+				if err := saveBranchSnapshot(resultPath, fp, confFP, a, false, cfg.Faults); err != nil {
+					fail(err)
+					return
+				}
+				os.Remove(trainPath)
+			}
 			results[i] = a
 		}(i, c, ds, vds)
 	}
 	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
 
 	var attached []*Attached
 	for _, a := range results {
@@ -310,5 +434,100 @@ func TrainOfflineWith(cfg OfflineConfig, trainTraces []*trace.Trace, validTrace 
 	if cfg.MaxModels > 0 && len(attached) > cfg.MaxModels {
 		attached = attached[:cfg.MaxModels]
 	}
-	return attached
+	return attached, nil
+}
+
+// offlineConfigFingerprint pins a per-branch result snapshot to everything
+// outside TrainOpts that shapes it: the model architecture and whether the
+// deployable form is quantized. (The attach-filter thresholds are applied
+// after loading, so they may change between runs without invalidating
+// snapshots.)
+func offlineConfigFingerprint(cfg OfflineConfig) string {
+	return fmt.Sprintf("knobs=%+v|quantize=%v", cfg.Knobs, cfg.Quantize)
+}
+
+// snapshotFingerprint computes the training fingerprint the way
+// TrainCheckpointed does internally: shard count normalized, dataset
+// digested after the training subsample.
+func snapshotFingerprint(pc uint64, opts TrainOpts, ds *Dataset) trainFingerprint {
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = DefaultTrainShards
+	}
+	if shards > opts.BatchSize {
+		shards = opts.BatchSize
+	}
+	if opts.MaxExamples > 0 && len(ds.Examples) > 0 {
+		ds = ds.Subsample(opts.MaxExamples, opts.Seed)
+	}
+	return newTrainFingerprint(pc, opts, shards, ds)
+}
+
+// loadBranchSnapshot reads a finished-branch snapshot, treating a missing
+// file as "not trained yet" and anything damaged or foreign as an error.
+func loadBranchSnapshot(path string, fp trainFingerprint, confFP string, inj *faults.Injector) (*branchSnapshot, error) {
+	version, payload, err := checkpoint.Read(path, branchSnapshotKind, inj)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if version != branchSnapshotVersion {
+		return nil, fmt.Errorf("branchnet: branch snapshot %s: unsupported version %d (want %d)", path, version, branchSnapshotVersion)
+	}
+	st, err := decodeBranchSnapshot(payload, fp, confFP)
+	if err != nil {
+		return nil, fmt.Errorf("%w (%s)", err, path)
+	}
+	return st, nil
+}
+
+// saveBranchSnapshot persists a branch's finished result (or its
+// rejection) atomically. a is nil when rejected.
+func saveBranchSnapshot(path string, fp trainFingerprint, confFP string, a *Attached, rejected bool, inj *faults.Injector) error {
+	st := &branchSnapshot{fp: fp, config: confFP, rejected: rejected}
+	if !rejected {
+		st.validAccuracy = a.ValidAccuracy
+		st.baseAccuracy = a.BaseAccuracy
+		st.improvement = a.Improvement
+		st.gainZ = a.GainZ
+		st.weights = encodeWeights(a.Float)
+		if a.Engine != nil {
+			var buf bytes.Buffer
+			if err := engine.WriteModels(&buf, []*engine.Model{a.Engine}); err != nil {
+				return fmt.Errorf("branchnet: branch snapshot %s: %w", path, err)
+			}
+			st.engine = buf.Bytes()
+		}
+	}
+	return checkpoint.Write(path, branchSnapshotKind, branchSnapshotVersion, encodeBranchSnapshot(st), inj)
+}
+
+// attachedFromSnapshot reconstructs the Attached result a prior run
+// persisted: a fresh model of the same architecture with the stored
+// weights (and quantized engine form) loaded in.
+func attachedFromSnapshot(cfg OfflineConfig, pc uint64, seed int64, st *branchSnapshot) (*Attached, error) {
+	m := New(cfg.Knobs, pc, seed)
+	if err := restoreWeights(m, st.weights); err != nil {
+		return nil, fmt.Errorf("branchnet: branch snapshot %#x: %w", pc, err)
+	}
+	a := &Attached{
+		PC: pc, Knobs: cfg.Knobs, Float: m,
+		ValidAccuracy: st.validAccuracy,
+		BaseAccuracy:  st.baseAccuracy,
+		Improvement:   st.improvement,
+		GainZ:         st.gainZ,
+	}
+	if len(st.engine) > 0 {
+		ms, err := engine.ReadModels(bytes.NewReader(st.engine))
+		if err != nil {
+			return nil, fmt.Errorf("branchnet: branch snapshot %#x: engine blob: %w", pc, err)
+		}
+		if len(ms) != 1 {
+			return nil, fmt.Errorf("branchnet: branch snapshot %#x: engine blob holds %d models, want 1", pc, len(ms))
+		}
+		a.Engine = ms[0]
+	}
+	return a, nil
 }

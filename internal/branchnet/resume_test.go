@@ -1,0 +1,453 @@
+package branchnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"branchnet/internal/faults"
+	"branchnet/internal/gshare"
+	"branchnet/internal/predictor"
+	"branchnet/internal/trace"
+)
+
+// resumeOpts builds the shared training configuration for the resume
+// tests: small enough to retrain many times in a kill sweep, but with
+// multiple batches per epoch and multiple epochs so snapshots land both
+// mid-epoch and at epoch boundaries.
+func resumeOpts(ck *TrainCheckpoint) TrainOpts {
+	return TrainOpts{
+		Epochs:     2,
+		BatchSize:  32,
+		LR:         0.01,
+		Seed:       3,
+		Shards:     2,
+		Workers:    1,
+		Checkpoint: ck,
+	}
+}
+
+func resumeFixture() (Knobs, *Dataset) {
+	k := MiniQuick(1024)
+	return k, trainDeterminismDataset(128, k.WindowTokens(), k.PCBits, 99)
+}
+
+// assertModelsBitIdentical fails unless the two models carry bit-for-bit
+// equal weights, Adam moments, and batch-norm running statistics.
+func assertModelsBitIdentical(t *testing.T, label string, a, b *Model) {
+	t.Helper()
+	ap, bp := a.Params(), b.Params()
+	if len(ap) != len(bp) {
+		t.Fatalf("%s: param count %d != %d", label, len(ap), len(bp))
+	}
+	for i := range ap {
+		am, av := ap[i].Moments()
+		bm, bv := bp[i].Moments()
+		for j := range ap[i].W {
+			if ap[i].W[j] != bp[i].W[j] {
+				t.Fatalf("%s: param %d weight %d diverged: %v != %v", label, i, j, ap[i].W[j], bp[i].W[j])
+			}
+			if am[j] != bm[j] || av[j] != bv[j] {
+				t.Fatalf("%s: param %d adam moment %d diverged", label, i, j)
+			}
+		}
+	}
+	ab, bb := a.batchNorms(), b.batchNorms()
+	for i := range ab {
+		for c := 0; c < ab[i].C; c++ {
+			if ab[i].RunMean[c] != bb[i].RunMean[c] || ab[i].RunVar[c] != bb[i].RunVar[c] {
+				t.Fatalf("%s: batchnorm %d ch %d running stats diverged", label, i, c)
+			}
+		}
+	}
+}
+
+// TestCheckpointedTrainingIsBitIdenticalToPlain proves that enabling
+// checkpointing — snapshot after every batch — perturbs nothing: the
+// final weights, optimizer state, and loss equal an uncheckpointed run
+// bit for bit.
+func TestCheckpointedTrainingIsBitIdenticalToPlain(t *testing.T) {
+	k, ds := resumeFixture()
+
+	golden := New(k, 7, 3)
+	goldenLoss := golden.Train(ds, resumeOpts(nil))
+
+	ckpt := New(k, 7, 3)
+	path := filepath.Join(t.TempDir(), "train.ckpt")
+	loss, err := ckpt.TrainCheckpointed(ds, resumeOpts(&TrainCheckpoint{Path: path, EveryBatches: 1}))
+	if err != nil {
+		t.Fatalf("checkpointed run failed: %v", err)
+	}
+	if loss != goldenLoss {
+		t.Fatalf("loss diverged: checkpointed %v != plain %v", loss, goldenLoss)
+	}
+	assertModelsBitIdentical(t, "checkpointed vs plain", ckpt, golden)
+
+	// A re-run against the completed snapshot must short-circuit: the
+	// stored weights come back and the reported loss is unchanged.
+	again := New(k, 7, 3)
+	lossAgain, err := again.TrainCheckpointed(ds, resumeOpts(&TrainCheckpoint{Path: path}))
+	if err != nil {
+		t.Fatalf("re-run against done snapshot failed: %v", err)
+	}
+	if lossAgain != goldenLoss {
+		t.Fatalf("done-snapshot loss %v != %v", lossAgain, goldenLoss)
+	}
+	assertModelsBitIdentical(t, "done snapshot vs plain", again, golden)
+}
+
+// TestKillDuringSnapshotThenResumeBitIdentical is the core crash-safety
+// contract: SIGKILL (simulated by a kill-class injected fault, which
+// unwinds with no cleanup) landing on the k-th snapshot write leaves
+// either the old or the new snapshot on disk; a fresh process resuming
+// from it finishes with weights, moments, statistics, and loss
+// bit-identical to a never-interrupted run. The sweep walks kill points
+// across the whole run until the rule no longer fires, so every
+// snapshot write — mid-epoch, epoch boundary, and final — is killed at
+// least once.
+func TestKillDuringSnapshotThenResumeBitIdentical(t *testing.T) {
+	k, ds := resumeFixture()
+
+	golden := New(k, 7, 3)
+	goldenLoss := golden.Train(ds, resumeOpts(nil))
+
+	// The rename is the commit point and runs once per snapshot, so the
+	// sweep over it covers every snapshot site; a second sweep over the
+	// chunked payload writes (strided — there are hundreds) covers kills
+	// inside the temp file body.
+	sweeps := []struct {
+		point  string
+		stride int
+	}{
+		{"checkpoint.rename", 1},
+		{"checkpoint.write", 13},
+	}
+	if testing.Short() {
+		sweeps[0].stride = 3
+		sweeps[1].stride = 61
+	}
+	for _, sweep := range sweeps {
+		for kill := 1; ; kill += sweep.stride {
+			name := fmt.Sprintf("%s@%d", sweep.point, kill)
+			inj := faults.MustParse(fmt.Sprintf("%s:kill@%d;seed=1", sweep.point, kill))
+			path := filepath.Join(t.TempDir(), "train.ckpt")
+
+			victim := New(k, 7, 3)
+			_, err := victim.TrainCheckpointed(ds, resumeOpts(&TrainCheckpoint{
+				Path: path, EveryBatches: 1, Faults: inj,
+			}))
+			if inj.Fired(sweep.point) == 0 {
+				if err != nil {
+					t.Fatalf("%s: error without the fault firing: %v", name, err)
+				}
+				break // past the last operation of an uninterrupted run
+			}
+			if err == nil {
+				t.Fatalf("%s: kill fired but training reported success", name)
+			}
+			if !faults.Killed(err) {
+				t.Fatalf("%s: expected a kill-class error, got: %v", name, err)
+			}
+
+			resumed := New(k, 7, 3)
+			loss, err := resumed.TrainCheckpointed(ds, resumeOpts(&TrainCheckpoint{Path: path, EveryBatches: 1}))
+			if err != nil {
+				t.Fatalf("%s: resume failed: %v", name, err)
+			}
+			if loss != goldenLoss {
+				t.Fatalf("%s: resumed loss %v != golden %v", name, loss, goldenLoss)
+			}
+			assertModelsBitIdentical(t, name, resumed, golden)
+		}
+	}
+}
+
+// TestStopCheckpointsAndResumesBitIdentical exercises the graceful path
+// (SIGTERM → Stop flag): training returns ErrStopped after persisting a
+// snapshot, and a resumed run finishes bit-identical to an uninterrupted
+// one.
+func TestStopCheckpointsAndResumesBitIdentical(t *testing.T) {
+	k, ds := resumeFixture()
+
+	golden := New(k, 7, 3)
+	goldenLoss := golden.Train(ds, resumeOpts(nil))
+
+	var stop atomic.Bool
+	stop.Store(true) // stop at the first opportunity: after batch one
+
+	path := filepath.Join(t.TempDir(), "train.ckpt")
+	victim := New(k, 7, 3)
+	_, err := victim.TrainCheckpointed(ds, resumeOpts(&TrainCheckpoint{
+		Path: path, Stop: &stop,
+	}))
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("expected ErrStopped, got: %v", err)
+	}
+	if _, statErr := os.Stat(path); statErr != nil {
+		t.Fatalf("stop did not persist a snapshot: %v", statErr)
+	}
+
+	resumed := New(k, 7, 3)
+	loss, err := resumed.TrainCheckpointed(ds, resumeOpts(&TrainCheckpoint{Path: path}))
+	if err != nil {
+		t.Fatalf("resume failed: %v", err)
+	}
+	if loss != goldenLoss {
+		t.Fatalf("resumed loss %v != golden %v", loss, goldenLoss)
+	}
+	assertModelsBitIdentical(t, "stop+resume", resumed, golden)
+}
+
+// TestResumeRejectsCorruptSnapshot flips one byte of a valid snapshot:
+// the resume path must surface a checkpoint error rather than silently
+// retraining over (or blending in) damaged state.
+func TestResumeRejectsCorruptSnapshot(t *testing.T) {
+	k, ds := resumeFixture()
+
+	var stop atomic.Bool
+	stop.Store(true)
+	path := filepath.Join(t.TempDir(), "train.ckpt")
+	m := New(k, 7, 3)
+	if _, err := m.TrainCheckpointed(ds, resumeOpts(&TrainCheckpoint{Path: path, Stop: &stop})); !errors.Is(err, ErrStopped) {
+		t.Fatalf("seeding snapshot: %v", err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x10
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = New(k, 7, 3).TrainCheckpointed(ds, resumeOpts(&TrainCheckpoint{Path: path}))
+	if err == nil {
+		t.Fatal("corrupt snapshot accepted silently")
+	}
+
+	// The same rejection must hold when the damage is injected on the
+	// read path (bit rot between a good write and the resume).
+	good := filepath.Join(t.TempDir(), "train.ckpt")
+	stop.Store(true)
+	if _, err := New(k, 7, 3).TrainCheckpointed(ds, resumeOpts(&TrainCheckpoint{Path: good, Stop: &stop})); !errors.Is(err, ErrStopped) {
+		t.Fatalf("seeding snapshot: %v", err)
+	}
+	inj := faults.MustParse("checkpoint.read:corrupt@1;seed=7")
+	_, err = New(k, 7, 3).TrainCheckpointed(ds, resumeOpts(&TrainCheckpoint{Path: good, Faults: inj}))
+	if err == nil {
+		t.Fatal("corrupt-on-read snapshot accepted silently")
+	}
+}
+
+// TestResumeRejectsForeignSnapshot checks the fingerprint guard: a
+// snapshot from a different seed, dataset, or branch must be rejected
+// with a contextual error, never resumed into the wrong run.
+func TestResumeRejectsForeignSnapshot(t *testing.T) {
+	k, ds := resumeFixture()
+
+	var stop atomic.Bool
+	stop.Store(true)
+	path := filepath.Join(t.TempDir(), "train.ckpt")
+	if _, err := New(k, 7, 3).TrainCheckpointed(ds, resumeOpts(&TrainCheckpoint{Path: path, Stop: &stop})); !errors.Is(err, ErrStopped) {
+		t.Fatalf("seeding snapshot: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*TrainOpts, **Dataset, **Model)
+	}{
+		{"different seed", func(o *TrainOpts, _ **Dataset, _ **Model) { o.Seed = 4 }},
+		{"different epochs", func(o *TrainOpts, _ **Dataset, _ **Model) { o.Epochs = 3 }},
+		{"different lr", func(o *TrainOpts, _ **Dataset, _ **Model) { o.LR = 0.02 }},
+		{"different branch", func(_ *TrainOpts, _ **Dataset, m **Model) { *m = New(k, 8, 3) }},
+		{"different dataset", func(_ *TrainOpts, d **Dataset, _ **Model) {
+			*d = trainDeterminismDataset(128, k.WindowTokens(), k.PCBits, 100)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := resumeOpts(&TrainCheckpoint{Path: path})
+			m := New(k, 7, 3)
+			d := ds
+			tc.mutate(&opts, &d, &m)
+			if _, err := m.TrainCheckpointed(d, opts); err == nil {
+				t.Fatal("foreign snapshot accepted silently")
+			}
+		})
+	}
+}
+
+// learnableTrace interleaves one branch that copies a fair-coin filler's
+// outcome from three records earlier (history-predictable, so BranchNet
+// learns it while a pattern-table baseline cannot generalize over the
+// random history) with biased fillers. It gives the offline pipeline a
+// branch that actually attaches.
+const learnPC = 0xa000
+
+func learnableTrace(seed int64, records int) *trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	tr := &trace.Trace{}
+	for len(tr.Records) < records {
+		coin := rng.Float64() < 0.5
+		tr.Records = append(tr.Records, trace.Record{PC: 0x200, Taken: coin})
+		for f := 1; f < 3; f++ {
+			tr.Records = append(tr.Records, trace.Record{PC: uint64(0x200 + f*0x10), Taken: rng.Float64() < 0.95})
+		}
+		tr.Records = append(tr.Records, trace.Record{PC: learnPC, Taken: coin})
+	}
+	return tr
+}
+
+func offlineResumeCfg() OfflineConfig {
+	cfg := DefaultOfflineConfig(MiniQuick(256))
+	cfg.TopBranches = 2 // the coin filler and the branch that copies it
+	cfg.MaxModels = 2
+	cfg.Quantize = false
+	cfg.MinImprovement = 0
+	cfg.MinAccuracyGain = 0
+	cfg.MinGainZ = 0
+	cfg.Parallel = 1
+	cfg.Train.Epochs = 2
+	cfg.Train.MaxExamples = 400
+	return cfg
+}
+
+// assertAttachedBitIdentical compares two offline-pipeline outputs: same
+// branches in the same order, bit-equal metrics, and bit-equal deployable
+// weights. Optimizer moments are deliberately out of scope — a result
+// snapshot stores only the deployable state.
+func assertAttachedBitIdentical(t *testing.T, label string, got, want []*Attached) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: attached %d models, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.PC != w.PC {
+			t.Fatalf("%s: model %d is branch %#x, want %#x", label, i, g.PC, w.PC)
+		}
+		if g.ValidAccuracy != w.ValidAccuracy || g.BaseAccuracy != w.BaseAccuracy ||
+			g.Improvement != w.Improvement || g.GainZ != w.GainZ {
+			t.Fatalf("%s: branch %#x metrics diverged: %+v vs %+v", label, g.PC, *g, *w)
+		}
+		gp, wp := g.Float.Params(), w.Float.Params()
+		for pi := range wp {
+			for j := range wp[pi].W {
+				if gp[pi].W[j] != wp[pi].W[j] {
+					t.Fatalf("%s: branch %#x param %d weight %d diverged", label, g.PC, pi, j)
+				}
+			}
+		}
+		gb, wb := g.Float.batchNorms(), w.Float.batchNorms()
+		for bi := range wb {
+			for c := 0; c < wb[bi].C; c++ {
+				if gb[bi].RunMean[c] != wb[bi].RunMean[c] || gb[bi].RunVar[c] != wb[bi].RunVar[c] {
+					t.Fatalf("%s: branch %#x batchnorm %d diverged", label, g.PC, bi)
+				}
+			}
+		}
+		if (g.Engine == nil) != (w.Engine == nil) {
+			t.Fatalf("%s: branch %#x engine presence diverged", label, g.PC)
+		}
+	}
+}
+
+// TestOfflineCheckpointResumeBitIdentical drives the whole offline
+// pipeline through kill-resume cycles: a simulated SIGKILL lands on the
+// k-th snapshot commit, a rerun over the same checkpoint directory picks
+// up the survivors, and the final attached set is bit-identical to an
+// uninterrupted run. The final rerun over the completed directory must
+// load every branch from its result snapshot without writing anything.
+func TestOfflineCheckpointResumeBitIdentical(t *testing.T) {
+	train := []*trace.Trace{learnableTrace(11, 8000)}
+	valid := learnableTrace(22, 8000)
+	newBase := func() predictor.Predictor { return gshare.Default4KB() }
+
+	golden, err := TrainOfflineChecked(offlineResumeCfg(), train, valid, newBase, nil)
+	if err != nil {
+		t.Fatalf("golden run failed: %v", err)
+	}
+	if len(golden) == 0 {
+		t.Fatal("fixture trains no attachable model; the test would be vacuous")
+	}
+
+	for _, kill := range []uint64{1, 2, 3} {
+		dir := t.TempDir()
+		c := offlineResumeCfg()
+		c.CheckpointDir = dir
+		c.CheckpointEvery = 2
+		c.Faults = faults.MustParse(fmt.Sprintf("checkpoint.rename:kill@%d;seed=1", kill))
+		_, err := TrainOfflineChecked(c, train, valid, newBase, nil)
+		if c.Faults.Fired("checkpoint.rename") == 0 {
+			t.Fatalf("kill@%d: fixture too small, rename %d never happened", kill, kill)
+		}
+		if err == nil || !faults.Killed(err) {
+			t.Fatalf("kill@%d: expected a kill-class error, got: %v", kill, err)
+		}
+
+		r := offlineResumeCfg()
+		r.CheckpointDir = dir
+		r.CheckpointEvery = 2
+		resumed, err := TrainOfflineChecked(r, train, valid, newBase, nil)
+		if err != nil {
+			t.Fatalf("kill@%d: resume failed: %v", kill, err)
+		}
+		assertAttachedBitIdentical(t, fmt.Sprintf("kill@%d", kill), resumed, golden)
+
+		// The directory is now complete: another rerun must serve every
+		// branch from its result snapshot — zero checkpoint writes.
+		probe := faults.MustParse("unused.point:slow@1;seed=1")
+		again := offlineResumeCfg()
+		again.CheckpointDir = dir
+		again.Faults = probe
+		out, err := TrainOfflineChecked(again, train, valid, newBase, nil)
+		if err != nil {
+			t.Fatalf("kill@%d: completed-dir rerun failed: %v", kill, err)
+		}
+		assertAttachedBitIdentical(t, fmt.Sprintf("kill@%d rerun", kill), out, golden)
+		if n := probe.Ops("checkpoint.write"); n != 0 {
+			t.Fatalf("kill@%d: completed-dir rerun performed %d checkpoint writes, want 0", kill, n)
+		}
+		if n := probe.Ops("checkpoint.read"); n == 0 {
+			t.Fatal("completed-dir rerun read no snapshots — resume path not exercised")
+		}
+	}
+}
+
+// TestOfflineStopResumes exercises the graceful-halt path at the pipeline
+// level: Stop raised before training begins persists nothing but errors
+// with ErrStopped, and a subsequent run over the same directory completes
+// with the golden result.
+func TestOfflineStopResumes(t *testing.T) {
+	train := []*trace.Trace{learnableTrace(11, 8000)}
+	valid := learnableTrace(22, 8000)
+	newBase := func() predictor.Predictor { return gshare.Default4KB() }
+
+	golden, err := TrainOfflineChecked(offlineResumeCfg(), train, valid, newBase, nil)
+	if err != nil {
+		t.Fatalf("golden run failed: %v", err)
+	}
+
+	dir := t.TempDir()
+	var stop atomic.Bool
+	stop.Store(true)
+	c := offlineResumeCfg()
+	c.CheckpointDir = dir
+	c.Stop = &stop
+	if _, err := TrainOfflineChecked(c, train, valid, newBase, nil); !errors.Is(err, ErrStopped) {
+		t.Fatalf("expected ErrStopped, got: %v", err)
+	}
+
+	r := offlineResumeCfg()
+	r.CheckpointDir = dir
+	resumed, err := TrainOfflineChecked(r, train, valid, newBase, nil)
+	if err != nil {
+		t.Fatalf("resume failed: %v", err)
+	}
+	assertAttachedBitIdentical(t, "stop+resume", resumed, golden)
+}

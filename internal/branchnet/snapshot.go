@@ -1,0 +1,532 @@
+package branchnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"math/rand"
+)
+
+// snapshot.go holds the binary codecs behind crash-safe training resume:
+// the mid-training snapshot (weights + Adam moments + RNG stream position
+// + epoch/shard cursor, written by TrainCheckpointed) and the per-branch
+// result snapshot (metrics + deployable weights, written by the offline
+// pipeline). Both travel inside internal/checkpoint's CRC-guarded
+// envelope; the codecs here only define the payloads.
+//
+// Every floating-point value is stored as its exact IEEE-754 bit pattern,
+// because the whole point of resuming is that an interrupted-then-resumed
+// run finishes bit-identical to an uninterrupted one. Decoding validates
+// every length against the live model's shape and returns wrapped,
+// field-contextual errors — a snapshot from a different architecture,
+// configuration, or dataset is rejected, never silently blended in.
+
+const (
+	trainSnapshotKind    = "branchnet-train"
+	trainSnapshotVersion = 1
+
+	branchSnapshotKind    = "branchnet-branch"
+	branchSnapshotVersion = 1
+)
+
+// trainFingerprint pins a training snapshot to the exact run that wrote
+// it: the branch, the seed, every option that changes the arithmetic
+// (Workers deliberately excluded — it is proven not to), and a digest of
+// the subsampled dataset.
+type trainFingerprint struct {
+	pc          uint64
+	seed        int64
+	epochs      int
+	batchSize   int
+	lrBits      uint32
+	maxExamples int
+	shards      int
+	dsLen       int
+	dsDigest    uint32
+}
+
+func newTrainFingerprint(pc uint64, opts TrainOpts, shards int, ds *Dataset) trainFingerprint {
+	return trainFingerprint{
+		pc:          pc,
+		seed:        opts.Seed,
+		epochs:      opts.Epochs,
+		batchSize:   opts.BatchSize,
+		lrBits:      math.Float32bits(opts.LR),
+		maxExamples: opts.MaxExamples,
+		shards:      shards,
+		dsLen:       len(ds.Examples),
+		dsDigest:    datasetDigest(ds),
+	}
+}
+
+// datasetDigest summarizes the (post-subsample) training set: labels and
+// extraction counters, which together pin both content and order.
+func datasetDigest(ds *Dataset) uint32 {
+	h := crc32.NewIEEE()
+	var buf [17]byte
+	for i := range ds.Examples {
+		e := &ds.Examples[i]
+		binary.LittleEndian.PutUint64(buf[0:], e.Count)
+		binary.LittleEndian.PutUint64(buf[8:], e.Occurrence)
+		buf[16] = 0
+		if e.Taken {
+			buf[16] = 1
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum32()
+}
+
+// trainSnapshot is the decoded form of a mid-training checkpoint.
+type trainSnapshot struct {
+	fp   trainFingerprint
+	done bool
+
+	epoch     int
+	nextStart int
+	shuffled  bool // current epoch's reshuffle already applied to order
+	rngDraws  uint64
+	adamSteps int
+
+	epochLoss float64
+	batches   int
+	lastLoss  float32
+
+	order []int
+}
+
+// snapWriter appends fields to a payload buffer.
+type snapWriter struct{ buf []byte }
+
+func (w *snapWriter) uvarint(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
+func (w *snapWriter) varint(v int64)   { w.buf = binary.AppendVarint(w.buf, v) }
+func (w *snapWriter) u32(v uint32)     { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *snapWriter) u64(v uint64)     { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *snapWriter) f32(v float32)    { w.u32(math.Float32bits(v)) }
+func (w *snapWriter) f64(v float64)    { w.u64(math.Float64bits(v)) }
+func (w *snapWriter) bool(v bool) {
+	b := byte(0)
+	if v {
+		b = 1
+	}
+	w.buf = append(w.buf, b)
+}
+func (w *snapWriter) f32s(vs []float32) {
+	w.uvarint(uint64(len(vs)))
+	for _, v := range vs {
+		w.f32(v)
+	}
+}
+func (w *snapWriter) bytes(p []byte) {
+	w.uvarint(uint64(len(p)))
+	w.buf = append(w.buf, p...)
+}
+
+// snapReader consumes fields, remembering the first error with the name
+// of the field that failed.
+type snapReader struct {
+	data []byte
+	err  error
+}
+
+func (r *snapReader) fail(field string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("branchnet: snapshot field %q: truncated or malformed", field)
+	}
+}
+
+func (r *snapReader) uvarint(field string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data)
+	if n <= 0 {
+		r.fail(field)
+		return 0
+	}
+	r.data = r.data[n:]
+	return v
+}
+
+func (r *snapReader) varint(field string) int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.data)
+	if n <= 0 {
+		r.fail(field)
+		return 0
+	}
+	r.data = r.data[n:]
+	return v
+}
+
+func (r *snapReader) u32(field string) uint32 {
+	if r.err != nil || len(r.data) < 4 {
+		r.fail(field)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.data)
+	r.data = r.data[4:]
+	return v
+}
+
+func (r *snapReader) u64(field string) uint64 {
+	if r.err != nil || len(r.data) < 8 {
+		r.fail(field)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.data)
+	r.data = r.data[8:]
+	return v
+}
+
+func (r *snapReader) f32(field string) float32 { return math.Float32frombits(r.u32(field)) }
+func (r *snapReader) f64(field string) float64 { return math.Float64frombits(r.u64(field)) }
+
+func (r *snapReader) bool(field string) bool {
+	if r.err != nil || len(r.data) < 1 {
+		r.fail(field)
+		return false
+	}
+	v := r.data[0]
+	r.data = r.data[1:]
+	return v == 1
+}
+
+// f32sInto fills dst from the stream, requiring the stored length to
+// match dst exactly (shape guard).
+func (r *snapReader) f32sInto(field string, dst []float32) {
+	n := r.uvarint(field + " length")
+	if r.err != nil {
+		return
+	}
+	if n != uint64(len(dst)) {
+		r.err = fmt.Errorf("branchnet: snapshot field %q: stored length %d does not match model shape %d", field, n, len(dst))
+		return
+	}
+	for i := range dst {
+		dst[i] = r.f32(field)
+	}
+}
+
+func (r *snapReader) bytes(field string) []byte {
+	n := r.uvarint(field + " length")
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.data)) {
+		r.fail(field)
+		return nil
+	}
+	out := r.data[:n]
+	r.data = r.data[n:]
+	return out
+}
+
+// appendFingerprint / readFingerprint bracket every snapshot payload.
+func (w *snapWriter) fingerprint(fp trainFingerprint) {
+	w.uvarint(fp.pc)
+	w.varint(fp.seed)
+	w.uvarint(uint64(fp.epochs))
+	w.uvarint(uint64(fp.batchSize))
+	w.u32(fp.lrBits)
+	w.uvarint(uint64(fp.maxExamples))
+	w.uvarint(uint64(fp.shards))
+	w.uvarint(uint64(fp.dsLen))
+	w.u32(fp.dsDigest)
+}
+
+func (r *snapReader) fingerprint() trainFingerprint {
+	return trainFingerprint{
+		pc:          r.uvarint("pc"),
+		seed:        r.varint("seed"),
+		epochs:      int(r.uvarint("epochs")),
+		batchSize:   int(r.uvarint("batch size")),
+		lrBits:      r.u32("learning rate"),
+		maxExamples: int(r.uvarint("max examples")),
+		shards:      int(r.uvarint("shards")),
+		dsLen:       int(r.uvarint("dataset length")),
+		dsDigest:    r.u32("dataset digest"),
+	}
+}
+
+// checkFingerprint rejects a snapshot written by a different run shape.
+func checkFingerprint(got, want trainFingerprint) error {
+	describe := func(f trainFingerprint) string {
+		return fmt.Sprintf("pc=%#x seed=%d epochs=%d batch=%d lr=%#x max=%d shards=%d ds=%d/%#x",
+			f.pc, f.seed, f.epochs, f.batchSize, f.lrBits, f.maxExamples, f.shards, f.dsLen, f.dsDigest)
+	}
+	if got != want {
+		return fmt.Errorf("branchnet: snapshot fingerprint mismatch: snapshot {%s} vs run {%s}", describe(got), describe(want))
+	}
+	return nil
+}
+
+// appendModelState writes the model's learned state: every parameter's
+// weights plus Adam moments, and every batch norm's running statistics.
+func appendModelState(w *snapWriter, m *Model, adamSteps int) {
+	ps := m.Params()
+	w.uvarint(uint64(adamSteps))
+	w.uvarint(uint64(len(ps)))
+	for _, p := range ps {
+		mo, vo := p.Moments()
+		w.f32s(p.W)
+		w.f32s(mo)
+		w.f32s(vo)
+	}
+	bns := m.batchNorms()
+	w.uvarint(uint64(len(bns)))
+	for _, bn := range bns {
+		w.f32s(bn.RunMean)
+		w.f32s(bn.RunVar)
+	}
+}
+
+// restoreModelState reads the learned state back into a freshly
+// constructed model of the same architecture, returning the Adam clock.
+func restoreModelState(r *snapReader, m *Model) (adamSteps int) {
+	adamSteps = int(r.uvarint("adam steps"))
+	ps := m.Params()
+	n := r.uvarint("param count")
+	if r.err == nil && n != uint64(len(ps)) {
+		r.err = fmt.Errorf("branchnet: snapshot field \"param count\": stored %d does not match model's %d", n, len(ps))
+		return
+	}
+	for i, p := range ps {
+		mo, vo := p.Moments()
+		r.f32sInto(fmt.Sprintf("param %d weights", i), p.W)
+		r.f32sInto(fmt.Sprintf("param %d adam m", i), mo)
+		r.f32sInto(fmt.Sprintf("param %d adam v", i), vo)
+	}
+	bns := m.batchNorms()
+	bc := r.uvarint("batchnorm count")
+	if r.err == nil && bc != uint64(len(bns)) {
+		r.err = fmt.Errorf("branchnet: snapshot field \"batchnorm count\": stored %d does not match model's %d", bc, len(bns))
+		return
+	}
+	for i, bn := range bns {
+		r.f32sInto(fmt.Sprintf("batchnorm %d running mean", i), bn.RunMean)
+		r.f32sInto(fmt.Sprintf("batchnorm %d running var", i), bn.RunVar)
+	}
+	return adamSteps
+}
+
+// encodeTrainSnapshot serializes the full mid-training state.
+func encodeTrainSnapshot(st *trainSnapshot, m *Model) []byte {
+	w := &snapWriter{}
+	w.fingerprint(st.fp)
+	w.bool(st.done)
+	w.uvarint(uint64(st.epoch))
+	w.uvarint(uint64(st.nextStart))
+	w.bool(st.shuffled)
+	w.uvarint(st.rngDraws)
+	w.f64(st.epochLoss)
+	w.uvarint(uint64(st.batches))
+	w.f32(st.lastLoss)
+	w.uvarint(uint64(len(st.order)))
+	for _, v := range st.order {
+		w.uvarint(uint64(v))
+	}
+	appendModelState(w, m, st.adamSteps)
+	return w.buf
+}
+
+// decodeTrainSnapshot validates the payload against the live run (model
+// shape and fingerprint) and restores the model's learned state in place.
+// On any error the caller must discard the model: it may be partially
+// overwritten.
+func decodeTrainSnapshot(payload []byte, m *Model, want trainFingerprint) (*trainSnapshot, error) {
+	r := &snapReader{data: payload}
+	st := &trainSnapshot{}
+	st.fp = r.fingerprint()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if err := checkFingerprint(st.fp, want); err != nil {
+		return nil, err
+	}
+	st.done = r.bool("done flag")
+	st.epoch = int(r.uvarint("epoch"))
+	st.nextStart = int(r.uvarint("batch cursor"))
+	st.shuffled = r.bool("shuffled flag")
+	st.rngDraws = r.uvarint("rng draws")
+	st.epochLoss = r.f64("epoch loss")
+	st.batches = int(r.uvarint("batch count"))
+	st.lastLoss = r.f32("last loss")
+	n := r.uvarint("order length")
+	if r.err == nil && !st.done && n != uint64(want.dsLen) {
+		return nil, fmt.Errorf("branchnet: snapshot field \"order length\": stored %d does not match dataset length %d", n, want.dsLen)
+	}
+	st.order = make([]int, 0, n)
+	for i := uint64(0); i < n; i++ {
+		v := r.uvarint("order entry")
+		if r.err == nil && v >= uint64(want.dsLen) {
+			return nil, fmt.Errorf("branchnet: snapshot field \"order entry\": index %d out of range for dataset length %d", v, want.dsLen)
+		}
+		st.order = append(st.order, int(v))
+	}
+	st.adamSteps = restoreModelState(r, m)
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.data) != 0 {
+		return nil, fmt.Errorf("branchnet: snapshot has %d bytes of trailing garbage", len(r.data))
+	}
+	if st.epoch > st.fp.epochs || st.nextStart > st.fp.dsLen {
+		return nil, fmt.Errorf("branchnet: snapshot cursor epoch=%d start=%d out of range for epochs=%d n=%d",
+			st.epoch, st.nextStart, st.fp.epochs, st.fp.dsLen)
+	}
+	return st, nil
+}
+
+// branchSnapshot is the decoded per-branch offline result: the trained
+// branch's measured metrics plus its deployable state. rejected marks a
+// branch that trained but failed quantization (resume must not retrain
+// it, and must keep rejecting it).
+type branchSnapshot struct {
+	fp       trainFingerprint
+	config   string // offline-config fingerprint (knobs + filter settings)
+	rejected bool
+
+	validAccuracy float64
+	baseAccuracy  float64
+	improvement   float64
+	gainZ         float64
+
+	weights []byte // appendModelState blob (float model)
+	engine  []byte // engine.WriteModels bytes (empty for float-only)
+}
+
+func encodeBranchSnapshot(st *branchSnapshot) []byte {
+	w := &snapWriter{}
+	w.fingerprint(st.fp)
+	w.bytes([]byte(st.config))
+	w.bool(st.rejected)
+	w.f64(st.validAccuracy)
+	w.f64(st.baseAccuracy)
+	w.f64(st.improvement)
+	w.f64(st.gainZ)
+	w.bytes(st.weights)
+	w.bytes(st.engine)
+	return w.buf
+}
+
+func decodeBranchSnapshot(payload []byte, want trainFingerprint, wantConfig string) (*branchSnapshot, error) {
+	r := &snapReader{data: payload}
+	st := &branchSnapshot{}
+	st.fp = r.fingerprint()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if err := checkFingerprint(st.fp, want); err != nil {
+		return nil, err
+	}
+	st.config = string(r.bytes("config fingerprint"))
+	if r.err == nil && st.config != wantConfig {
+		return nil, fmt.Errorf("branchnet: snapshot field \"config fingerprint\": snapshot %q vs run %q", st.config, wantConfig)
+	}
+	st.rejected = r.bool("rejected flag")
+	st.validAccuracy = r.f64("validation accuracy")
+	st.baseAccuracy = r.f64("baseline accuracy")
+	st.improvement = r.f64("improvement")
+	st.gainZ = r.f64("gain z-score")
+	st.weights = r.bytes("weights blob")
+	st.engine = r.bytes("engine model blob")
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.data) != 0 {
+		return nil, fmt.Errorf("branchnet: snapshot has %d bytes of trailing garbage", len(r.data))
+	}
+	return st, nil
+}
+
+// encodeWeights captures just the deployable state of a trained model
+// (weights + batch-norm statistics, no optimizer moments) for the
+// per-branch result snapshot.
+func encodeWeights(m *Model) []byte {
+	w := &snapWriter{}
+	ps := m.Params()
+	w.uvarint(uint64(len(ps)))
+	for _, p := range ps {
+		w.f32s(p.W)
+	}
+	bns := m.batchNorms()
+	w.uvarint(uint64(len(bns)))
+	for _, bn := range bns {
+		w.f32s(bn.RunMean)
+		w.f32s(bn.RunVar)
+	}
+	return w.buf
+}
+
+// restoreWeights loads an encodeWeights blob into a freshly constructed
+// model of the same architecture.
+func restoreWeights(m *Model, blob []byte) error {
+	r := &snapReader{data: blob}
+	ps := m.Params()
+	n := r.uvarint("param count")
+	if r.err == nil && n != uint64(len(ps)) {
+		return fmt.Errorf("branchnet: weights blob: stored %d params, model has %d", n, len(ps))
+	}
+	for i, p := range ps {
+		r.f32sInto(fmt.Sprintf("param %d weights", i), p.W)
+	}
+	bns := m.batchNorms()
+	bc := r.uvarint("batchnorm count")
+	if r.err == nil && bc != uint64(len(bns)) {
+		return fmt.Errorf("branchnet: weights blob: stored %d batchnorms, model has %d", bc, len(bns))
+	}
+	for i, bn := range bns {
+		r.f32sInto(fmt.Sprintf("batchnorm %d running mean", i), bn.RunMean)
+		r.f32sInto(fmt.Sprintf("batchnorm %d running var", i), bn.RunVar)
+	}
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.data) != 0 {
+		return fmt.Errorf("branchnet: weights blob has %d bytes of trailing garbage", len(r.data))
+	}
+	m.invalidateInfer()
+	return nil
+}
+
+// countingSource wraps a rand.Source, counting every state advance so a
+// snapshot can record the RNG stream position and resume can fast-forward
+// to it. It deliberately does NOT implement rand.Source64: the standard
+// source's Uint64 burns two Int63 state advances internally, which would
+// make "draws" ambiguous. Without Uint64, rand.Rand composes every method
+// from Int63, so one count is always exactly one state advance and
+// discard reproduces the stream regardless of which mix of rand.Rand
+// methods consumed the originals.
+type countingSource struct {
+	src   rand.Source
+	draws uint64
+}
+
+func newCountingSource(seed int64) *countingSource {
+	return &countingSource{src: rand.NewSource(seed)}
+}
+
+func (c *countingSource) Int63() int64 {
+	c.draws++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Seed(s int64) {
+	c.src.Seed(s)
+	c.draws = 0
+}
+
+// discard fast-forwards the stream to an absolute draw position.
+func (c *countingSource) discard(target uint64) error {
+	if target < c.draws {
+		return fmt.Errorf("branchnet: snapshot rng position %d is behind the live stream (%d draws)", target, c.draws)
+	}
+	for c.draws < target {
+		c.Int63()
+	}
+	return nil
+}

@@ -1,9 +1,15 @@
 package branchnet
 
 import (
+	"errors"
+	"fmt"
 	"math/rand"
+	"os"
 	"sync"
+	"sync/atomic"
 
+	"branchnet/internal/checkpoint"
+	"branchnet/internal/faults"
 	"branchnet/internal/nn"
 )
 
@@ -38,7 +44,39 @@ type TrainOpts struct {
 	// fan-out under TrainOffline can't oversubscribe), 1 forces inline
 	// execution, N > 1 uses exactly min(N, Shards) workers.
 	Workers int
+
+	// Checkpoint enables crash-safe snapshots of the training state
+	// (weights, Adam moments, RNG stream position, epoch/batch cursor).
+	// Callers that set it must use TrainCheckpointed, which surfaces
+	// snapshot I/O errors instead of panicking.
+	Checkpoint *TrainCheckpoint
 }
+
+// TrainCheckpoint configures crash-safe training snapshots. Snapshots are
+// written atomically (internal/checkpoint) at every epoch boundary, every
+// EveryBatches optimizer steps, and on a Stop request; resuming from one
+// produces final weights, statistics, and loss bit-identical to an
+// uninterrupted run (TestTrainCheckpointResumeBitIdentical).
+type TrainCheckpoint struct {
+	// Path is the snapshot file. An existing valid snapshot at Path
+	// resumes the run; a damaged or mismatched one is a wrapped error.
+	Path string
+	// EveryBatches additionally snapshots every N optimizer steps
+	// (0 = epoch boundaries only).
+	EveryBatches int
+	// Stop, when set true (e.g. by a SIGTERM handler), makes training
+	// write a final snapshot after the in-flight batch and return
+	// ErrStopped.
+	Stop *atomic.Bool
+	// Faults threads the deterministic fault-injection plan into every
+	// snapshot I/O operation (tests only; nil in production).
+	Faults *faults.Injector
+}
+
+// ErrStopped is returned by TrainCheckpointed (and the offline pipeline)
+// when a Stop request interrupted training after a final snapshot: the
+// run is resumable, not failed.
+var ErrStopped = errors.New("branchnet: training stopped by request; state checkpointed")
 
 // DefaultTrainOpts are the CPU-budget defaults used by the quick
 // experiment mode.
@@ -284,14 +322,38 @@ func (ts *trainState) reduceStats(b int) {
 // step, so training with any Workers value — including fully serial — is
 // bit-identical.
 func (m *Model) Train(ds *Dataset, opts TrainOpts) float32 {
+	loss, err := m.TrainCheckpointed(ds, opts)
+	if err != nil {
+		// Unreachable without opts.Checkpoint; callers that enable
+		// checkpointing must use TrainCheckpointed and handle the error.
+		panic("branchnet: Train cannot surface checkpoint errors, use TrainCheckpointed: " + err.Error())
+	}
+	return loss
+}
+
+// TrainCheckpointed is Train with crash-safe resume. With
+// opts.Checkpoint set, the full training state — weights, Adam moments,
+// batch-norm running statistics, RNG stream position, the shuffled
+// example order, and the epoch/batch cursor — is snapshotted atomically
+// on the configured cadence; a run that finds a valid snapshot at the
+// checkpoint path continues from it and finishes bit-identical to an
+// uninterrupted run. A damaged, torn, or mismatched snapshot is a
+// wrapped, field-contextual error — never silently ignored. A Stop
+// request writes a final snapshot and returns ErrStopped.
+func (m *Model) TrainCheckpointed(ds *Dataset, opts TrainOpts) (float32, error) {
 	m.invalidateInfer()
 	if len(ds.Examples) == 0 {
-		return 0
+		return 0, nil
 	}
 	if opts.MaxExamples > 0 {
 		ds = ds.Subsample(opts.MaxExamples, opts.Seed)
 	}
-	rng := rand.New(rand.NewSource(opts.Seed + 17))
+	// The counting source records the RNG stream position (one count per
+	// state advance), which the snapshot stores and resume fast-forwards
+	// to — bit-exactness on the time axis requires replaying the shuffle
+	// and sliding-pooling draws from the exact same stream offset.
+	src := newCountingSource(opts.Seed + 17)
+	rng := rand.New(src)
 	opt := nn.NewAdam(m.Params(), opts.LR)
 
 	shards := opts.Shards
@@ -318,17 +380,55 @@ func (m *Model) Train(ds *Dataset, opts TrainOpts) float32 {
 
 	n := len(ds.Examples)
 	order := rng.Perm(n)
+
+	ck := opts.Checkpoint
+	if ck != nil && ck.Path == "" {
+		ck = nil
+	}
+	var fp trainFingerprint
+	startEpoch, startAt := 0, 0
+	skipShuffle := false
+	var lastLoss float32
+	var epochLoss float64
+	batches := 0
+	if ck != nil {
+		fp = newTrainFingerprint(m.PC, opts, shards, ds)
+		st, err := loadTrainSnapshot(ck, m, fp)
+		if err != nil {
+			return 0, err
+		}
+		if st != nil {
+			opt.SetSteps(st.adamSteps)
+			if err := src.discard(st.rngDraws); err != nil {
+				return 0, err
+			}
+			if st.done {
+				return st.lastLoss, nil
+			}
+			copy(order, st.order)
+			startEpoch, startAt = st.epoch, st.nextStart
+			skipShuffle = st.shuffled
+			epochLoss, batches = st.epochLoss, st.batches
+			lastLoss = st.lastLoss
+		}
+	}
+
 	ts.batch = make([]Example, 0, opts.BatchSize)
 	ts.shifts = make([]int, 0, opts.BatchSize)
 	maxPool := m.Knobs.MaxPool()
 
-	var lastLoss float32
-	for epoch := 0; epoch < opts.Epochs; epoch++ {
-		// Reshuffle each epoch.
-		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
-		var epochLoss float64
-		batches := 0
-		for start := 0; start < n; start += opts.BatchSize {
+	steps := 0 // optimizer steps since (re)start, for the snapshot cadence
+	for epoch := startEpoch; epoch < opts.Epochs; epoch++ {
+		if skipShuffle {
+			// Resuming mid-epoch: the snapshot's order already includes
+			// this epoch's reshuffle (and its RNG draws are behind us).
+			skipShuffle = false
+		} else {
+			// Reshuffle each epoch.
+			rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+			epochLoss, batches = 0, 0
+		}
+		for start := startAt; start < n; start += opts.BatchSize {
 			end := start + opts.BatchSize
 			if end > n {
 				end = n
@@ -343,12 +443,82 @@ func (m *Model) Train(ds *Dataset, opts TrainOpts) float32 {
 			opt.Step(len(ts.batch))
 			epochLoss += float64(batchLoss) / float64(len(ts.batch))
 			batches++
+			steps++
+			if ck == nil || end >= n {
+				continue
+			}
+			stop := ck.Stop != nil && ck.Stop.Load()
+			if stop || (ck.EveryBatches > 0 && steps%ck.EveryBatches == 0) {
+				st := &trainSnapshot{
+					fp: fp, epoch: epoch, nextStart: end, shuffled: true,
+					rngDraws: src.draws, adamSteps: opt.Steps(),
+					epochLoss: epochLoss, batches: batches, lastLoss: lastLoss,
+					order: order,
+				}
+				if err := writeTrainSnapshot(ck, m, st); err != nil {
+					return lastLoss, err
+				}
+				if stop {
+					return lastLoss, ErrStopped
+				}
+			}
 		}
+		startAt = 0
 		if batches > 0 {
 			lastLoss = float32(epochLoss / float64(batches))
 		}
+		if ck != nil && epoch+1 < opts.Epochs {
+			// Epoch-boundary snapshot, cursor normalized to the start of
+			// the next epoch (its reshuffle not yet drawn).
+			st := &trainSnapshot{
+				fp: fp, epoch: epoch + 1, nextStart: 0, shuffled: false,
+				rngDraws: src.draws, adamSteps: opt.Steps(), lastLoss: lastLoss,
+				order: order,
+			}
+			if err := writeTrainSnapshot(ck, m, st); err != nil {
+				return lastLoss, err
+			}
+			if ck.Stop != nil && ck.Stop.Load() {
+				return lastLoss, ErrStopped
+			}
+		}
 	}
-	return lastLoss
+	if ck != nil {
+		st := &trainSnapshot{
+			fp: fp, done: true, epoch: opts.Epochs,
+			rngDraws: src.draws, adamSteps: opt.Steps(), lastLoss: lastLoss,
+		}
+		if err := writeTrainSnapshot(ck, m, st); err != nil {
+			return lastLoss, err
+		}
+	}
+	return lastLoss, nil
+}
+
+// loadTrainSnapshot reads and validates the snapshot at ck.Path,
+// restoring the model's learned state in place. A missing file means a
+// fresh run (nil, nil); anything unreadable, damaged, or from a different
+// run shape is an error.
+func loadTrainSnapshot(ck *TrainCheckpoint, m *Model, fp trainFingerprint) (*trainSnapshot, error) {
+	version, payload, err := checkpoint.Read(ck.Path, trainSnapshotKind, ck.Faults)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if version != trainSnapshotVersion {
+		return nil, fmt.Errorf("branchnet: train snapshot %s: unsupported version %d (want %d)", ck.Path, version, trainSnapshotVersion)
+	}
+	st, err := decodeTrainSnapshot(payload, m, fp)
+	if err != nil {
+		return nil, fmt.Errorf("%w (%s)", err, ck.Path)
+	}
+	return st, nil
+}
+
+func writeTrainSnapshot(ck *TrainCheckpoint, m *Model, st *trainSnapshot) error {
+	return checkpoint.Write(ck.Path, trainSnapshotKind, trainSnapshotVersion, encodeTrainSnapshot(st, m), ck.Faults)
 }
 
 // Accuracy evaluates the model on a dataset (inference mode, precise

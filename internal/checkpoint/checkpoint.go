@@ -1,0 +1,223 @@
+// Package checkpoint provides crash-safe snapshot files for the offline
+// training pipeline: versioned, CRC-guarded envelopes written atomically
+// via temp-file + fsync + rename, so a process killed at any instant
+// leaves either the previous snapshot or the new one — never a torn file.
+//
+// The envelope ("BNCK") carries a kind tag (which state machine the
+// payload belongs to), a caller-owned payload version, the payload bytes,
+// and an IEEE CRC-32 over everything before it. Read rejects truncation,
+// trailing garbage, kind/version confusion, and any bit flip, each with a
+// wrapped, field-contextual error — a corrupted snapshot is never accepted
+// silently and never panics (see FuzzReadCheckpoint).
+//
+// Every filesystem operation is threaded through an optional
+// faults.Injector (nil in production) at named points — <base>.create,
+// <base>.write, <base>.sync, <base>.rename, <base>.dirsync, <base>.read —
+// which is what lets the chaos suite kill the writer after the k-th
+// operation for every k and assert the invariant above. Transient injected
+// errors are retried with bounded backoff (faults.Retry); permanent ones
+// fail fast; kill-class errors return immediately *without cleanup*, so
+// the on-disk state tests observe is exactly what a SIGKILL would leave.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"branchnet/internal/faults"
+)
+
+var envelopeMagic = [4]byte{'B', 'N', 'C', 'K'}
+
+// maxKindLen bounds the kind tag so a corrupt length field cannot force a
+// large allocation before the CRC is even checked.
+const maxKindLen = 256
+
+// retryAttempts/retryBase are the shared bounded-backoff policy for
+// transient I/O faults (see faults.Retry).
+const (
+	retryAttempts = 3
+	retryBase     = time.Millisecond
+)
+
+// writeChunk is the unit the atomic writer hands to the filesystem: small
+// enough that the fault matrix can kill between any two chunks of a
+// real snapshot, large enough not to matter for throughput.
+const writeChunk = 4096
+
+// Encode assembles the envelope bytes for a payload.
+func Encode(kind string, version uint64, payload []byte) []byte {
+	buf := make([]byte, 0, len(envelopeMagic)+2*binary.MaxVarintLen64+len(kind)+len(payload)+4)
+	buf = append(buf, envelopeMagic[:]...)
+	buf = binary.AppendUvarint(buf, version)
+	buf = binary.AppendUvarint(buf, uint64(len(kind)))
+	buf = append(buf, kind...)
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// Decode parses an envelope, validating magic, kind, CRC, and exact
+// length. It returns the payload version and bytes, or a wrapped error
+// naming the field that failed.
+func Decode(data []byte, kind string) (uint64, []byte, error) {
+	if len(data) < len(envelopeMagic)+4 {
+		return 0, nil, fmt.Errorf("checkpoint: %d bytes is too short for an envelope", len(data))
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.ChecksumIEEE(body); got != sum {
+		return 0, nil, fmt.Errorf("checkpoint: crc mismatch: computed %#x, stored %#x (torn or corrupt snapshot)", got, sum)
+	}
+	if [4]byte(body[:4]) != envelopeMagic {
+		return 0, nil, errors.New("checkpoint: bad magic, not a BNCK snapshot")
+	}
+	rest := body[4:]
+	version, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return 0, nil, errors.New("checkpoint: reading version: truncated varint")
+	}
+	rest = rest[n:]
+	kindLen, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return 0, nil, errors.New("checkpoint: reading kind length: truncated varint")
+	}
+	rest = rest[n:]
+	if kindLen > maxKindLen || kindLen > uint64(len(rest)) {
+		return 0, nil, fmt.Errorf("checkpoint: implausible kind length %d", kindLen)
+	}
+	gotKind := string(rest[:kindLen])
+	rest = rest[kindLen:]
+	if gotKind != kind {
+		return 0, nil, fmt.Errorf("checkpoint: kind mismatch: snapshot holds %q, caller wants %q", gotKind, kind)
+	}
+	payLen, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return 0, nil, errors.New("checkpoint: reading payload length: truncated varint")
+	}
+	rest = rest[n:]
+	if payLen != uint64(len(rest)) {
+		return 0, nil, fmt.Errorf("checkpoint: payload length %d does not match the %d bytes present (truncated or trailing garbage)", payLen, len(rest))
+	}
+	return version, rest, nil
+}
+
+// Write atomically replaces path with an envelope snapshot of payload.
+// A crash (real or injected kill) at any point leaves either the previous
+// file or the complete new one.
+func Write(path, kind string, version uint64, payload []byte, inj *faults.Injector) error {
+	return WriteAtomic(path, Encode(kind, version, payload), "checkpoint", inj)
+}
+
+// WriteAtomic writes data to path via temp-file + fsync + rename + parent
+// fsync. base names the fault-injection points (<base>.create and so on)
+// so checkpoint snapshots and model files inject independently. Transient
+// faults are retried (bounded, backoff); kill-class faults return
+// immediately with no cleanup, leaving the temp file exactly as a crashed
+// process would.
+func WriteAtomic(path string, data []byte, base string, inj *faults.Injector) error {
+	err := faults.Retry(retryAttempts, retryBase, func() error {
+		return writeOnce(path, data, base, inj)
+	})
+	if err != nil {
+		return fmt.Errorf("checkpoint: writing %s: %w", path, err)
+	}
+	return nil
+}
+
+// TempPath returns the temp file the atomic writer stages into. The name
+// is deterministic (one writer per path at a time), so crash tests — and
+// resume paths cleaning up after a crash — can find the debris.
+func TempPath(path string) string { return path + ".tmp" }
+
+// writeOnce is a single atomic-replace attempt. On non-kill failure it
+// removes the temp file before returning, so a retry starts clean; on
+// kill-class failure it returns with the filesystem untouched past the
+// point of death.
+func writeOnce(path string, data []byte, base string, inj *faults.Injector) error {
+	tmp := TempPath(path)
+	if err := inj.Op(base + ".create"); err != nil {
+		return fmt.Errorf("creating temp file: %w", err)
+	}
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("creating temp file: %w", err)
+	}
+	cleanup := func(err error) error {
+		f.Close()
+		if !faults.Killed(err) {
+			os.Remove(tmp)
+		}
+		return err
+	}
+	for off := 0; off < len(data); off += writeChunk {
+		end := off + writeChunk
+		if end > len(data) {
+			end = len(data)
+		}
+		if _, err := inj.Write(base+".write", f, data[off:end]); err != nil {
+			return cleanup(fmt.Errorf("writing temp file: %w", err))
+		}
+	}
+	if err := inj.Op(base + ".sync"); err != nil {
+		return cleanup(fmt.Errorf("syncing temp file: %w", err))
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(fmt.Errorf("syncing temp file: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		if !faults.Killed(err) {
+			os.Remove(tmp)
+		}
+		return fmt.Errorf("closing temp file: %w", err)
+	}
+	if err := inj.Op(base + ".rename"); err != nil {
+		if !faults.Killed(err) {
+			os.Remove(tmp)
+		}
+		return fmt.Errorf("renaming into place: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("renaming into place: %w", err)
+	}
+	if err := inj.Op(base + ".dirsync"); err != nil {
+		// The rename already happened; a crash here loses only the
+		// directory-entry durability, not atomicity. Kill-class must still
+		// unwind as death; other faults surface so the caller knows the
+		// snapshot may not survive power loss.
+		return fmt.Errorf("syncing directory: %w", err)
+	}
+	if dir, derr := os.Open(filepath.Dir(path)); derr == nil {
+		// Best-effort on filesystems that reject directory fsync.
+		dir.Sync() //nolint:errcheck
+		dir.Close()
+	}
+	return nil
+}
+
+// Read loads and validates an envelope snapshot. Missing files return an
+// error satisfying errors.Is(err, os.ErrNotExist) so resume paths can
+// distinguish "no snapshot yet" from "snapshot damaged". Corrupt-on-read
+// faults are caught by the CRC like real media corruption.
+func Read(path, kind string, inj *faults.Injector) (version uint64, payload []byte, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, nil, fmt.Errorf("checkpoint: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	data, err := io.ReadAll(inj.Reader("checkpoint.read", f))
+	if err != nil {
+		return 0, nil, fmt.Errorf("checkpoint: reading %s: %w", path, err)
+	}
+	version, payload, err = Decode(data, kind)
+	if err != nil {
+		return 0, nil, fmt.Errorf("%w (%s)", err, path)
+	}
+	return version, payload, nil
+}

@@ -1,0 +1,162 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"branchnet/internal/faults"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.ckpt")
+	payload := []byte("per-branch training state")
+	if err := Write(path, "test-state", 3, payload, nil); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	version, got, err := Read(path, "test-state", nil)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if version != 3 || !bytes.Equal(got, payload) {
+		t.Fatalf("Read = v%d %q, want v3 %q", version, got, payload)
+	}
+	if _, err := os.Stat(TempPath(path)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("temp file left behind after a clean write: %v", err)
+	}
+}
+
+func TestReadMissingFileIsNotExist(t *testing.T) {
+	_, _, err := Read(filepath.Join(t.TempDir(), "absent.ckpt"), "k", nil)
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("err = %v, want os.ErrNotExist in the chain", err)
+	}
+}
+
+func TestReadRejectsKindMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.ckpt")
+	if err := Write(path, "train-state", 1, []byte("x"), nil); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := Read(path, "suite-progress", nil)
+	if err == nil || !strings.Contains(err.Error(), "kind mismatch") {
+		t.Fatalf("err = %v, want a kind-mismatch rejection", err)
+	}
+}
+
+func TestDecodeRejectsDamage(t *testing.T) {
+	env := Encode("k", 7, []byte("payload bytes here"))
+	cases := []struct {
+		name string
+		data []byte
+		want string // substring of the field-contextual error
+	}{
+		{"empty", nil, "too short"},
+		{"magic only", env[:4], "too short"},
+		{"truncated tail", env[:len(env)-5], "crc mismatch"},
+		{"torn half", env[:len(env)/2], "crc mismatch"},
+		{"trailing garbage", append(append([]byte{}, env...), 0xEE), "crc mismatch"},
+		{"wrong magic", append([]byte("XXXX"), env[4:]...), "crc mismatch"},
+	}
+	for _, tc := range cases {
+		_, _, err := Decode(tc.data, "k")
+		if err == nil {
+			t.Errorf("%s: Decode accepted damaged bytes", tc.name)
+			continue
+		}
+		if !strings.HasPrefix(err.Error(), "checkpoint:") || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want checkpoint-prefixed error containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestDecodeRejectsEveryBitFlip(t *testing.T) {
+	env := Encode("k", 1, []byte("bit flips must never decode"))
+	for i := range env {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte{}, env...)
+			mut[i] ^= 1 << bit
+			if _, _, err := Decode(mut, "k"); err == nil {
+				t.Fatalf("flip byte %d bit %d: Decode accepted corrupt envelope", i, bit)
+			}
+		}
+	}
+}
+
+func TestReadRejectsCorruptOnRead(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.ckpt")
+	if err := Write(path, "k", 1, []byte("media corruption is caught by crc"), nil); err != nil {
+		t.Fatal(err)
+	}
+	inj := faults.MustParse("checkpoint.read:corrupt@1;seed=5")
+	_, _, err := Read(path, "k", inj)
+	if err == nil || !strings.Contains(err.Error(), "crc mismatch") {
+		t.Fatalf("err = %v, want crc rejection of corrupt read", err)
+	}
+	if inj.Fired("checkpoint.read") == 0 {
+		t.Fatal("corrupt fault never fired")
+	}
+}
+
+func TestWriteRetriesTransientFaults(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.ckpt")
+	inj := faults.MustParse("checkpoint.write:fail@1")
+	if err := Write(path, "k", 1, []byte("retried"), inj); err != nil {
+		t.Fatalf("Write with one transient fault should retry and succeed: %v", err)
+	}
+	if _, got, err := Read(path, "k", nil); err != nil || string(got) != "retried" {
+		t.Fatalf("Read after retry: %q, %v", got, err)
+	}
+}
+
+func TestWriteFailsFastOnENOSPC(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.ckpt")
+	inj := faults.MustParse("checkpoint.sync:enospc")
+	err := Write(path, "k", 1, []byte("doomed"), inj)
+	if !errors.Is(err, faults.ErrNoSpace) {
+		t.Fatalf("err = %v, want ErrNoSpace", err)
+	}
+	if got := inj.Ops("checkpoint.sync"); got != 1 {
+		t.Fatalf("sync attempted %d times, want fail-fast single attempt", got)
+	}
+	if _, serr := os.Stat(TempPath(path)); !errors.Is(serr, os.ErrNotExist) {
+		t.Fatalf("temp file not cleaned up after permanent failure: %v", serr)
+	}
+	if _, serr := os.Stat(path); !errors.Is(serr, os.ErrNotExist) {
+		t.Fatalf("destination exists after failed first write: %v", serr)
+	}
+}
+
+func TestWriteSurvivesStaleTempDebris(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.ckpt")
+	// A previous crash left a half-written temp file behind.
+	if err := os.WriteFile(TempPath(path), []byte("debris from a dead process"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(path, "k", 2, []byte("fresh"), nil); err != nil {
+		t.Fatalf("Write over stale temp: %v", err)
+	}
+	if _, got, err := Read(path, "k", nil); err != nil || string(got) != "fresh" {
+		t.Fatalf("Read = %q, %v", got, err)
+	}
+}
+
+func TestSlowFaultOnlyDelays(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.ckpt")
+	inj := faults.MustParse("checkpoint.write:slow")
+	var slept int
+	inj.SetSleep(func(time.Duration) { slept++ })
+	if err := Write(path, "k", 1, []byte("slow but sure"), inj); err != nil {
+		t.Fatalf("Write under slow I/O: %v", err)
+	}
+	if slept == 0 {
+		t.Fatal("slow fault never delayed a write")
+	}
+	if _, got, err := Read(path, "k", nil); err != nil || string(got) != "slow but sure" {
+		t.Fatalf("Read = %q, %v", got, err)
+	}
+}

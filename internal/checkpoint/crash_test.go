@@ -1,0 +1,208 @@
+package checkpoint
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"branchnet/internal/faults"
+)
+
+// crashPayloads are the before/after snapshot contents of every crash
+// scenario. new is several write chunks long so the kill matrix can die
+// between chunks of a single snapshot, not just between snapshots.
+func crashPayloads(t *testing.T) (old, new []byte) {
+	t.Helper()
+	old = bytes.Repeat([]byte("OLD-snapshot-epoch-3|"), 40)
+	size := 4 * writeChunk
+	if testing.Short() {
+		size = writeChunk + writeChunk/2 // reduced k range for the CI budget
+	}
+	new = bytes.Repeat([]byte{0xA5}, size)
+	for i := range new {
+		new[i] = byte(i * 2654435761)
+	}
+	return old, new
+}
+
+// runCrash installs the old snapshot, attempts to overwrite it under the
+// given fault spec, and returns the write error plus the directory path.
+func runCrash(t *testing.T, spec string) (dir string, writeErr error, inj *faults.Injector) {
+	t.Helper()
+	dir = t.TempDir()
+	path := filepath.Join(dir, "state.ckpt")
+	old, fresh := crashPayloads(t)
+	if err := Write(path, "crash-test", 1, old, nil); err != nil {
+		t.Fatalf("seeding old snapshot: %v", err)
+	}
+	inj = faults.MustParse(spec)
+	return dir, Write(path, "crash-test", 2, fresh, inj), inj
+}
+
+// assertIntact reads the snapshot back and requires it to be exactly the
+// old or exactly the new payload — the atomicity invariant. It returns
+// which one survived.
+func assertIntact(t *testing.T, dir string) (generation uint64) {
+	t.Helper()
+	old, fresh := crashPayloads(t)
+	version, got, err := Read(filepath.Join(dir, "state.ckpt"), "crash-test", nil)
+	if err != nil {
+		t.Fatalf("snapshot unreadable after crash: %v", err)
+	}
+	switch {
+	case version == 1 && bytes.Equal(got, old):
+		return 1
+	case version == 2 && bytes.Equal(got, fresh):
+		return 2
+	default:
+		t.Fatalf("snapshot is neither the old nor the new payload: version %d, %d bytes", version, len(got))
+		return 0
+	}
+}
+
+// TestCrashMatrix sweeps kill-after-operation-k over every filesystem
+// operation of the atomic writer (create, each chunked write, sync,
+// rename, dirsync) and asserts that a resume sees either the old snapshot
+// or the new one, bit-exact — never a torn file, never silence. The sweep
+// is driven by the injector's own operation counters, so adding an
+// operation to the writer automatically extends the matrix.
+func TestCrashMatrix(t *testing.T) {
+	points := []string{
+		"checkpoint.create",
+		"checkpoint.write",
+		"checkpoint.sync",
+		"checkpoint.rename",
+		"checkpoint.dirsync",
+	}
+	for _, point := range points {
+		point := point
+		t.Run(strings.TrimPrefix(point, "checkpoint."), func(t *testing.T) {
+			sawOld, sawNew := false, false
+			for k := uint64(1); ; k++ {
+				dir, err, inj := runCrash(t, fmt.Sprintf("%s:kill@%d", point, k))
+				if inj.Fired(point) == 0 {
+					// The writer performed fewer than k operations at this
+					// point: the write ran to completion and the matrix for
+					// this point is exhausted.
+					if err != nil {
+						t.Fatalf("k=%d: fault never fired yet write failed: %v", k, err)
+					}
+					if assertIntact(t, dir) != 2 {
+						t.Fatalf("k=%d: clean write did not install the new snapshot", k)
+					}
+					break
+				}
+				if !faults.Killed(err) {
+					t.Fatalf("k=%d: err = %v, want kill-class", k, err)
+				}
+				if assertIntact(t, dir) == 2 {
+					sawNew = true
+				} else {
+					sawOld = true
+				}
+				if k > 64 {
+					t.Fatal("matrix runaway: writer performs more operations than plausible")
+				}
+			}
+			// Sanity on the sweep itself: dying before the rename must
+			// preserve the old snapshot at least once; only rename/dirsync
+			// deaths may expose the new one.
+			if !sawOld && point != "checkpoint.dirsync" {
+				t.Errorf("%s: no kill point preserved the old snapshot", point)
+			}
+			switch point {
+			case "checkpoint.create", "checkpoint.write", "checkpoint.sync":
+				if sawNew {
+					t.Errorf("%s: killed before rename but the new snapshot appeared", point)
+				}
+			case "checkpoint.dirsync":
+				if !sawNew {
+					t.Errorf("%s: killed after rename but the new snapshot is missing", point)
+				}
+			}
+		})
+	}
+}
+
+// TestCrashTornWrite kills the writer mid-chunk for each chunk index: the
+// temp file keeps a torn tail, the destination must stay the old
+// snapshot, and the torn temp itself must be rejected by Read.
+func TestCrashTornWrite(t *testing.T) {
+	for k := uint64(1); ; k++ {
+		dir, err, inj := runCrash(t, fmt.Sprintf("checkpoint.write:torn@%d", k))
+		if inj.Fired("checkpoint.write") == 0 {
+			break
+		}
+		if !faults.Killed(err) {
+			t.Fatalf("k=%d: err = %v, want kill-class", k, err)
+		}
+		if assertIntact(t, dir) != 1 {
+			t.Fatalf("k=%d: torn write replaced the destination", k)
+		}
+		tmp := TempPath(filepath.Join(dir, "state.ckpt"))
+		if _, serr := os.Stat(tmp); serr != nil {
+			t.Fatalf("k=%d: crash left no temp debris to reject: %v", k, serr)
+		}
+		if _, _, rerr := Read(tmp, "crash-test", nil); rerr == nil {
+			t.Fatalf("k=%d: Read accepted the torn temp file", k)
+		}
+		if k > 64 {
+			t.Fatal("matrix runaway")
+		}
+	}
+}
+
+// TestCrashBitFlipCorruption flips one bit at a spread of byte offsets in
+// a written snapshot and requires Read to reject every mutant with a
+// wrapped checkpoint error.
+func TestCrashBitFlipCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.ckpt")
+	_, fresh := crashPayloads(t)
+	if err := Write(path, "crash-test", 2, fresh, nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := len(data)/64 + 1
+	if testing.Short() {
+		step = len(data)/16 + 1
+	}
+	for off := 0; off < len(data); off += step {
+		mut := append([]byte{}, data...)
+		mut[off] ^= 0x10
+		if werr := os.WriteFile(path, mut, 0o644); werr != nil {
+			t.Fatal(werr)
+		}
+		_, _, rerr := Read(path, "crash-test", nil)
+		if rerr == nil {
+			t.Fatalf("offset %d: Read accepted a bit-flipped snapshot", off)
+		}
+		if !strings.HasPrefix(rerr.Error(), "checkpoint:") {
+			t.Fatalf("offset %d: error lacks package context: %v", off, rerr)
+		}
+	}
+}
+
+// TestCrashKillThenRetryResumes pins the recovery sequence end to end: a
+// kill mid-write leaves debris, and the very next Write — the resumed
+// process — must succeed over that debris and install the new snapshot.
+func TestCrashKillThenRetryResumes(t *testing.T) {
+	dir, err, _ := runCrash(t, "checkpoint.write:torn@1")
+	if !faults.Killed(err) {
+		t.Fatalf("setup kill failed: %v", err)
+	}
+	path := filepath.Join(dir, "state.ckpt")
+	_, fresh := crashPayloads(t)
+	if err := Write(path, "crash-test", 2, fresh, nil); err != nil {
+		t.Fatalf("resumed write over crash debris: %v", err)
+	}
+	if assertIntact(t, dir) != 2 {
+		t.Fatal("resumed write did not install the new snapshot")
+	}
+}

@@ -1,0 +1,43 @@
+package checkpoint
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCheckpoint feeds arbitrary bytes to the envelope decoder,
+// mirroring engine.FuzzReadModels: resume paths read whatever the
+// filesystem gives them after a crash, so Decode must never panic, never
+// accept damage silently, and always wrap errors with package context.
+// The corpus seeds cover the three states a crash can leave: a valid
+// snapshot, a truncated (torn) one, and a CRC-mismatched (corrupt) one.
+// Crashers found during development land as regression seeds under
+// testdata/fuzz/FuzzReadCheckpoint.
+func FuzzReadCheckpoint(f *testing.F) {
+	valid := Encode("train-state", 2, []byte("weights|moments|rng|cursor"))
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2]) // torn tail
+	corrupt := append([]byte{}, valid...)
+	corrupt[len(corrupt)/3] ^= 0x40 // CRC mismatch
+	f.Add(corrupt)
+	f.Add(Encode("", 0, nil))
+	f.Add([]byte("BNCK"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		version, payload, err := Decode(data, "train-state")
+		if err != nil {
+			if !strings.HasPrefix(err.Error(), "checkpoint:") {
+				t.Fatalf("error missing package context: %v", err)
+			}
+			return
+		}
+		// Accepted bytes must re-encode to exactly the input: the envelope
+		// has no redundant encodings, so acceptance implies a canonical,
+		// CRC-consistent snapshot.
+		if !bytes.Equal(Encode("train-state", version, payload), data) {
+			t.Fatalf("decoded envelope does not re-encode canonically (v%d, %d payload bytes)", version, len(payload))
+		}
+	})
+}

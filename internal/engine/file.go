@@ -1,0 +1,42 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+
+	"branchnet/internal/checkpoint"
+	"branchnet/internal/faults"
+)
+
+// WriteModelsFile atomically replaces path with the BNM1 encoding of
+// models, via the shared temp-file + fsync + rename writer. A crash (or
+// injected kill) at any instant leaves either the previous file or the
+// complete new one — never a torn model file for branchnet-serve's hot
+// reload to ingest. The fault-injection points are "models.create",
+// "models.write", "models.sync", "models.rename", "models.dirsync"; inj
+// is nil in production.
+func WriteModelsFile(path string, models []*Model, inj *faults.Injector) error {
+	var buf bytes.Buffer
+	if err := WriteModels(&buf, models); err != nil {
+		return fmt.Errorf("engine: encoding %s: %w", path, err)
+	}
+	return checkpoint.WriteAtomic(path, buf.Bytes(), "models", inj)
+}
+
+// ReadModelsFile reads a BNM1 model file, threading reads through the
+// "models.read" fault-injection point so media corruption between write
+// and load is testable. Missing files satisfy errors.Is(err,
+// os.ErrNotExist).
+func ReadModelsFile(path string, inj *faults.Injector) ([]*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("engine: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	ms, err := ReadModels(inj.Reader("models.read", f))
+	if err != nil {
+		return nil, fmt.Errorf("%w (%s)", err, path)
+	}
+	return ms, nil
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"branchnet/internal/branchnet"
+)
+
+func tinyOfflineCfg() branchnet.OfflineConfig {
+	cfg := branchnet.DefaultOfflineConfig(branchnet.MiniQuick(256))
+	cfg.TopBranches = 2
+	cfg.MaxModels = 2
+	cfg.Train.Epochs = 1
+	cfg.Train.MaxExamples = 300
+	return cfg
+}
+
+// TestTrainOfflineRecordsStopThenResumes pins the context-level resume
+// contract: a stopped training run surfaces branchnet.ErrStopped through
+// TrainErr (not through the figure-rendering paths, which keep working on
+// partial model sets), and a fresh context over the same checkpoint
+// directory completes cleanly, leaving its snapshots under the
+// <benchmark>/<baseline>/<tag> family directory.
+func TestTrainOfflineRecordsStopThenResumes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	m := cacheMode()
+	c := NewContext(m)
+	c.CheckpointDir = t.TempDir()
+	var stop atomic.Bool
+	stop.Store(true)
+	c.Stop = &stop
+	p := c.Programs()[0]
+
+	if models := c.TrainOffline(tinyOfflineCfg(), p, "tage64", "unit"); models != nil {
+		t.Fatalf("stopped training returned %d models, want none", len(models))
+	}
+	if err := c.TrainErr(); !errors.Is(err, branchnet.ErrStopped) {
+		t.Fatalf("TrainErr = %v, want branchnet.ErrStopped", err)
+	}
+
+	c2 := NewContext(m)
+	c2.CheckpointDir = c.CheckpointDir
+	c2.TrainOffline(tinyOfflineCfg(), p, "tage64", "unit")
+	if err := c2.TrainErr(); err != nil {
+		t.Fatalf("TrainErr after clean resume = %v, want nil", err)
+	}
+	dir := filepath.Join(c.CheckpointDir, p.Name, "tage64", "unit")
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no snapshots under %s (err=%v)", dir, err)
+	}
+}

@@ -14,12 +14,14 @@ package experiments
 
 import (
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"branchnet/internal/bench"
 	"branchnet/internal/branchnet"
+	"branchnet/internal/faults"
 	"branchnet/internal/hybrid"
 	"branchnet/internal/predictor"
 	"branchnet/internal/tage"
@@ -97,6 +99,28 @@ func Full() Mode {
 	return m
 }
 
+// Micro returns the smallest mode: a two-benchmark smoke scale used by the
+// package's own tests and by end-to-end suite tests (crash/resume) that
+// need a real training run in seconds, not minutes.
+func Micro() Mode {
+	m := Quick()
+	m.Name = "micro"
+	m.TestLen = 60000
+	m.ValidLen = 60000
+	m.TrainLen = 150000
+	m.TopBranches = 6
+	m.MaxModels = 5
+	m.BigTrain.Epochs = 2
+	m.BigTrain.MaxExamples = 2500
+	m.MiniTrain.Epochs = 3
+	m.MiniTrain.MaxExamples = 3000
+	m.Fig1Counts = []int{2, 5}
+	m.Benchmarks = []string{"leela", "gcc"}
+	m.MiniBudgets = []int{1024, 256}
+	m.Fig12Fracs = []float64{0.25, 1}
+	return m
+}
+
 // Context carries the mode plus per-process caches. Every cache is
 // single-flight: concurrent callers asking for the same key block on one
 // computation instead of duplicating it, so figures may fan out across a
@@ -108,7 +132,26 @@ type Context struct {
 	// Table* functions (0 = GOMAXPROCS).
 	Parallel int
 
+	// CheckpointDir enables crash-safe resume for every training run in
+	// the suite: per-branch progress persists under
+	// <dir>/<benchmark>/<baseline>/<family>/, so rerunning over the same
+	// directory skips finished branches, resumes interrupted ones
+	// mid-epoch, and reproduces final metrics bit-identically. Failures on
+	// these paths are recorded and reported by TrainErr.
+	CheckpointDir string
+	// CheckpointEvery is the mid-epoch snapshot cadence in optimizer
+	// steps (0 = epoch boundaries only).
+	CheckpointEvery int
+	// Stop requests a graceful suite halt (e.g. on SIGTERM): in-flight
+	// trainings persist a final snapshot, and TrainErr reports
+	// branchnet.ErrStopped.
+	Stop *atomic.Bool
+	// Faults injects deterministic I/O faults into the checkpoint paths
+	// (fault-injection tests only).
+	Faults *faults.Injector
+
 	mu         sync.Mutex
+	trainErr   error
 	traces     map[string]*flight[*trace.Trace]
 	bigCache   map[string]*flight[[]*branchnet.Attached]
 	miniCache  map[string]*flight[[]*branchnet.Attached]
@@ -359,12 +402,47 @@ func (c *Context) BaselineValid(p *bench.Program, baseline string) *branchnet.Va
 	})
 }
 
+// TrainErr returns the first error any training run in this context hit
+// (branchnet.ErrStopped after a graceful stop, or a checkpoint I/O
+// failure). Experiments keep rendering with whatever models trained, so
+// suite drivers must check this after the run to distinguish "complete"
+// from "interrupted, resumable".
+func (c *Context) TrainErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.trainErr
+}
+
+func (c *Context) recordTrainErr(err error) {
+	c.mu.Lock()
+	if c.trainErr == nil {
+		c.trainErr = err
+	}
+	c.mu.Unlock()
+}
+
 // TrainOffline runs the offline pipeline against the named baseline with
-// the context's cached traces and shared validation evaluation.
-func (c *Context) TrainOffline(cfg branchnet.OfflineConfig, p *bench.Program, baseline string) []*branchnet.Attached {
-	return branchnet.TrainOfflineWith(cfg, c.TrainTraces(p), c.ValidTrace(p),
+// the context's cached traces and shared validation evaluation. The tag
+// names the model family for checkpoint placement: with CheckpointDir
+// set, this run's per-branch snapshots live under
+// <dir>/<benchmark>/<baseline>/<tag>/ and must be unique per distinct
+// training configuration. On a training error (including a graceful
+// stop) it records the error for TrainErr and returns no models.
+func (c *Context) TrainOffline(cfg branchnet.OfflineConfig, p *bench.Program, baseline, tag string) []*branchnet.Attached {
+	if c.CheckpointDir != "" {
+		cfg.CheckpointDir = filepath.Join(c.CheckpointDir, p.Name, baseline, tag)
+		cfg.CheckpointEvery = c.CheckpointEvery
+		cfg.Faults = c.Faults
+	}
+	cfg.Stop = c.Stop
+	models, err := branchnet.TrainOfflineChecked(cfg, c.TrainTraces(p), c.ValidTrace(p),
 		func() predictor.Predictor { return newBaseline(baseline) },
 		c.BaselineValid(p, baseline))
+	if err != nil {
+		c.recordTrainErr(err)
+		return nil
+	}
+	return models
 }
 
 // BigModels trains (and caches) Big-BranchNet models for a benchmark
@@ -376,7 +454,7 @@ func (c *Context) BigModels(p *bench.Program, baseline string, maxModels int) []
 		cfg.TopBranches = c.Mode.TopBranches
 		cfg.MaxModels = c.Mode.TopBranches // keep the full ranked pool; callers cut
 		cfg.Train = c.Mode.BigTrain
-		return c.TrainOffline(cfg, p, baseline)
+		return c.TrainOffline(cfg, p, baseline, "big")
 	})
 	if maxModels > 0 && len(cached) > maxModels {
 		return cached[:maxModels]
@@ -393,6 +471,6 @@ func (c *Context) MiniModels(p *bench.Program, baseline string, budget int) []*b
 		cfg.TopBranches = c.Mode.TopBranches
 		cfg.MaxModels = c.Mode.TopBranches
 		cfg.Train = c.Mode.MiniTrain
-		return c.TrainOffline(cfg, p, baseline)
+		return c.TrainOffline(cfg, p, baseline, fmt.Sprintf("mini%d", budget))
 	})
 }

@@ -6,26 +6,9 @@ import (
 	"testing"
 )
 
-// microMode is a minimal configuration so the whole figure suite runs in
-// CI time; the cached context is shared across tests.
-func microMode() Mode {
-	m := Quick()
-	m.Name = "micro"
-	m.TestLen = 60000
-	m.ValidLen = 60000
-	m.TrainLen = 150000
-	m.TopBranches = 6
-	m.MaxModels = 5
-	m.BigTrain.Epochs = 2
-	m.BigTrain.MaxExamples = 2500
-	m.MiniTrain.Epochs = 3
-	m.MiniTrain.MaxExamples = 3000
-	m.Fig1Counts = []int{2, 5}
-	m.Benchmarks = []string{"leela", "gcc"}
-	m.MiniBudgets = []int{1024, 256}
-	m.Fig12Fracs = []float64{0.25, 1}
-	return m
-}
+// microMode is the package's Micro smoke configuration; the cached
+// context is shared across tests.
+func microMode() Mode { return Micro() }
 
 var (
 	microCtx  *Context

@@ -121,7 +121,7 @@ func Fig11(c *Context) ([]Fig11Row, Table) {
 		tarsaCfg := tarsa.Float(true)
 		tarsaCfg.TopBranches = c.Mode.TopBranches
 		tarsaCfg.Train = c.Mode.BigTrain
-		tarsaModels := c.TrainOffline(tarsaCfg, p, "tage64")
+		tarsaModels := c.TrainOffline(tarsaCfg, p, "tage64", "tarsa")
 		record(TarsaFloat, tarsaModels, func() predictor.Predictor {
 			return hybrid.New(newBaseline("tage64"), tarsaModels, "")
 		})

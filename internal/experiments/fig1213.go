@@ -40,7 +40,7 @@ func Fig12(c *Context) ([]Fig12Point, Table) {
 			if cfg.Train.MaxExamples < 50 {
 				cfg.Train.MaxExamples = 50
 			}
-			models = c.TrainOffline(cfg, p, "tage64")
+			models = c.TrainOffline(cfg, p, "tage64", fmt.Sprintf("fig12-frac%g", frac))
 		}
 		mpki, _ := c.EvalHybrid(p, "tage64", models)
 		red := (baseMPKI - mpki) / baseMPKI

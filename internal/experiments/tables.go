@@ -152,7 +152,7 @@ func TableIV(c *Context) ([]TableIVRow, Table) {
 	cfg.MaxModels = c.Mode.MaxModels
 	cfg.Train = c.Mode.MiniTrain
 	cfg.Quantize = false // keep float models; quantize manually below
-	miniModels := c.TrainOffline(cfg, p, "tage64")
+	miniModels := c.TrainOffline(cfg, p, "tage64", "tableiv-minifloat")
 
 	// Step 2: Big restricted to the same branches Mini predicts.
 	miniPCs := make(map[uint64]bool, len(miniModels))

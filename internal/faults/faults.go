@@ -1,0 +1,374 @@
+// Package faults is a deterministic fault-injection substrate for the I/O
+// paths that must survive crashes: checkpoint snapshots and model files.
+//
+// A fault plan is parsed from a compact spec (the cmds' -faults flag, the
+// chaos tests' tables) and threaded — as a nil-safe *Injector — through
+// every filesystem operation of internal/checkpoint and the atomic model
+// writer in internal/engine. Each operation names its injection point
+// ("checkpoint.write", "models.rename", ...) and the plan decides, purely
+// from per-point operation counters and a fixed seed, whether that exact
+// operation fails, tears, stalls, or corrupts. The same spec therefore
+// reproduces the same failure at the same instant on every run, which is
+// what makes kill-matrix chaos tests (kill after write k, for every k)
+// possible at all.
+//
+// Fault classes split into two recovery families:
+//
+//   - transient (Fail, Slow): the operation may succeed if retried; writers
+//     retry these with bounded backoff (see Retry).
+//   - permanent (ENOSPC, Corrupt) and process death (Kill, Torn): retrying
+//     cannot help; writers fail fast with wrapped context, and kill-class
+//     errors additionally skip all cleanup so the filesystem is left
+//     exactly as a SIGKILL at that instant would leave it.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Class enumerates the injectable failure modes.
+type Class int
+
+const (
+	// Fail makes the operation return a transient I/O error (retryable).
+	Fail Class = iota
+	// Torn writes only the first half of the buffer, then reports the
+	// process as killed: the bytes already hit the file, the rest never
+	// will, and no cleanup code runs — a crash mid-write.
+	Torn
+	// ENOSPC makes the operation return a permanent no-space error.
+	ENOSPC
+	// Corrupt flips one seeded-pseudorandom bit in the data read.
+	Corrupt
+	// Slow delays the operation (transient class; exercises timeouts and
+	// retry budgets without failing anything).
+	Slow
+	// Kill reports the process as killed before the operation runs: the
+	// operation has no effect and no cleanup code runs afterwards.
+	Kill
+)
+
+var className = map[string]Class{
+	"fail":    Fail,
+	"torn":    Torn,
+	"enospc":  ENOSPC,
+	"corrupt": Corrupt,
+	"slow":    Slow,
+	"kill":    Kill,
+}
+
+// Sentinel errors, matchable with errors.Is through any number of
+// fmt.Errorf %w wrappings.
+var (
+	// ErrInjected tags every error produced by an Injector.
+	ErrInjected = errors.New("injected fault")
+	// ErrTransient tags retryable injected errors (the Fail class).
+	ErrTransient = fmt.Errorf("transient I/O error: %w", ErrInjected)
+	// ErrNoSpace tags permanent no-space errors (the ENOSPC class).
+	ErrNoSpace = fmt.Errorf("no space left on device: %w", ErrInjected)
+	// ErrKilled tags simulated process death (Kill and Torn classes).
+	// Code that sees it must return immediately without cleanup: the
+	// process it models no longer exists.
+	ErrKilled = fmt.Errorf("process killed: %w", ErrInjected)
+)
+
+// Transient reports whether err is worth retrying (bounded, with backoff).
+// Only the Fail class qualifies; everything else is permanent or fatal.
+func Transient(err error) bool { return errors.Is(err, ErrTransient) }
+
+// Killed reports whether err models process death. Callers must unwind
+// without cleanup so tests observe the exact post-crash filesystem.
+func Killed(err error) bool { return errors.Is(err, ErrKilled) }
+
+// rule is one parsed "point:class@nth" clause.
+type rule struct {
+	point string
+	class Class
+	// nth is the 1-based operation index at the point that triggers the
+	// fault; 0 means every operation.
+	nth uint64
+	// count bounds how many times the rule may fire (0 = unbounded; only
+	// meaningful with nth == 0).
+	count uint64
+}
+
+// Injector is a parsed fault plan. The zero value and the nil pointer are
+// valid no-op injectors, so production paths thread a nil *Injector at
+// zero cost. All methods are safe for concurrent use: the per-point
+// operation counters are guarded by a mutex (checkpoint writers run from
+// many training goroutines at once).
+type Injector struct {
+	mu    sync.Mutex
+	rules []rule
+	ops   map[string]uint64 // operations seen per point
+	fired map[int]uint64    // firings per rule index
+	rng   *rand.Rand        // seeds corrupt-bit selection
+	sleep func(time.Duration)
+}
+
+// Parse builds an Injector from a spec: semicolon-separated clauses
+//
+//	point:class[@nth]
+//
+// where class is fail|torn|enospc|corrupt|slow|kill and nth is the 1-based
+// operation index at that point ("checkpoint.write:kill@3" kills the
+// process at the third checkpoint write). Omitting @nth fires on every
+// operation at the point. An optional trailing "seed=N" clause seeds the
+// corrupt-bit selector (default 1). An empty spec yields a nil (no-op)
+// injector.
+func Parse(spec string) (*Injector, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	in := &Injector{
+		ops:   make(map[string]uint64),
+		fired: make(map[int]uint64),
+		sleep: time.Sleep,
+	}
+	seed := int64(1)
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(clause, "seed="); ok {
+			v, err := strconv.ParseInt(rest, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad seed %q: %w", rest, err)
+			}
+			seed = v
+			continue
+		}
+		point, action, ok := strings.Cut(clause, ":")
+		if !ok || point == "" {
+			return nil, fmt.Errorf("faults: clause %q is not point:class[@nth]", clause)
+		}
+		name, nthStr, hasNth := strings.Cut(action, "@")
+		class, ok := className[name]
+		if !ok {
+			return nil, fmt.Errorf("faults: clause %q: unknown class %q (want fail|torn|enospc|corrupt|slow|kill)", clause, name)
+		}
+		r := rule{point: point, class: class}
+		if hasNth {
+			n, err := strconv.ParseUint(nthStr, 10, 64)
+			if err != nil || n == 0 {
+				return nil, fmt.Errorf("faults: clause %q: nth must be a positive integer", clause)
+			}
+			r.nth = n
+		}
+		in.rules = append(in.rules, r)
+	}
+	if len(in.rules) == 0 {
+		return nil, nil
+	}
+	in.rng = rand.New(rand.NewSource(seed))
+	return in, nil
+}
+
+// MustParse is Parse for specs known valid at compile time (tests).
+func MustParse(spec string) *Injector {
+	in, err := Parse(spec)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// SetSleep replaces the Slow class's sleeper (tests observe the delay
+// instead of paying it).
+func (in *Injector) SetSleep(f func(time.Duration)) {
+	if in != nil {
+		in.sleep = f
+	}
+}
+
+// match advances the point's operation counter and returns the class of
+// the rule firing on this operation, if any.
+func (in *Injector) match(point string) (Class, bool) {
+	if in == nil {
+		return 0, false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.ops[point]++
+	n := in.ops[point]
+	for i, r := range in.rules {
+		if r.point != point {
+			continue
+		}
+		if r.nth != 0 && r.nth != n {
+			continue
+		}
+		in.fired[i]++
+		return r.class, true
+	}
+	return 0, false
+}
+
+// errFor converts a matched class into its injected error (nil for Slow,
+// which only delays).
+func (in *Injector) errFor(point string, class Class) error {
+	switch class {
+	case Fail:
+		return fmt.Errorf("faults: %s: %w", point, ErrTransient)
+	case ENOSPC:
+		return fmt.Errorf("faults: %s: %w", point, ErrNoSpace)
+	case Kill, Torn:
+		return fmt.Errorf("faults: %s: %w", point, ErrKilled)
+	case Slow:
+		in.sleep(time.Millisecond)
+		return nil
+	default:
+		return fmt.Errorf("faults: %s: %w", point, ErrInjected)
+	}
+}
+
+// Op consults the plan before a unitary filesystem operation (create,
+// sync, rename, remove) at the named point. A nil error means proceed.
+func (in *Injector) Op(point string) error {
+	class, ok := in.match(point)
+	if !ok {
+		return nil
+	}
+	return in.errFor(point, class)
+}
+
+// Write consults the plan for one write of p at the named point and
+// performs it on w. Torn faults write the first half of p before
+// reporting the process killed, so the on-disk state matches a crash
+// mid-write.
+func (in *Injector) Write(point string, w io.Writer, p []byte) (int, error) {
+	class, ok := in.match(point)
+	if !ok {
+		return w.Write(p)
+	}
+	switch class {
+	case Torn:
+		n, err := w.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, fmt.Errorf("faults: %s: torn after %d/%d bytes: %w", point, n, len(p), ErrKilled)
+	case Slow:
+		in.sleep(time.Millisecond)
+		return w.Write(p)
+	default:
+		return 0, in.errFor(point, class)
+	}
+}
+
+// Read consults the plan for one read at the named point and performs it
+// on r. Corrupt faults flip one seeded-pseudorandom bit in the bytes
+// returned, modeling silent media corruption that only checksums catch.
+func (in *Injector) Read(point string, r io.Reader, p []byte) (int, error) {
+	class, ok := in.match(point)
+	if !ok {
+		return r.Read(p)
+	}
+	switch class {
+	case Corrupt:
+		n, err := r.Read(p)
+		if n > 0 {
+			in.mu.Lock()
+			bit := in.rng.Intn(n * 8)
+			in.mu.Unlock()
+			p[bit/8] ^= 1 << (bit % 8)
+		}
+		return n, err
+	case Slow:
+		in.sleep(time.Millisecond)
+		return r.Read(p)
+	default:
+		return 0, in.errFor(point, class)
+	}
+}
+
+// Writer wraps w so every Write goes through the plan at the named point.
+func (in *Injector) Writer(point string, w io.Writer) io.Writer {
+	if in == nil {
+		return w
+	}
+	return &faultWriter{in: in, point: point, w: w}
+}
+
+// Reader wraps r so every Read goes through the plan at the named point.
+func (in *Injector) Reader(point string, r io.Reader) io.Reader {
+	if in == nil {
+		return r
+	}
+	return &faultReader{in: in, point: point, r: r}
+}
+
+type faultWriter struct {
+	in    *Injector
+	point string
+	w     io.Writer
+}
+
+func (fw *faultWriter) Write(p []byte) (int, error) { return fw.in.Write(fw.point, fw.w, p) }
+
+type faultReader struct {
+	in    *Injector
+	point string
+	r     io.Reader
+}
+
+func (fr *faultReader) Read(p []byte) (int, error) { return fr.in.Read(fr.point, fr.r, p) }
+
+// Fired returns how many operations at point have matched a rule, for
+// tests asserting an injection point was actually exercised.
+func (in *Injector) Fired(point string) uint64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var total uint64
+	for i, r := range in.rules {
+		if r.point == point {
+			total += in.fired[i]
+		}
+	}
+	return total
+}
+
+// Ops returns how many operations have been observed at point (matched or
+// not): the counter chaos tests sweep kill@k over.
+func (in *Injector) Ops(point string) uint64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.ops[point]
+}
+
+// Retry runs op with bounded retries for transient injected errors:
+// attempts tries with backoff doubling from base between them. Permanent
+// and kill-class errors return immediately. This is the single retry
+// policy every checkpoint/model writer shares, so the taxonomy in the
+// package comment is enforced in one place.
+func Retry(attempts int, base time.Duration, op func() error) error {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(base << (i - 1))
+		}
+		err = op()
+		if err == nil || !Transient(err) {
+			return err
+		}
+	}
+	return fmt.Errorf("faults: retries exhausted after %d attempts: %w", attempts, err)
+}

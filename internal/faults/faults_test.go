@@ -1,0 +1,211 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseRejectsBadSpecs(t *testing.T) {
+	for _, spec := range []string{
+		"nocolon",
+		":fail",
+		"p:unknownclass",
+		"p:fail@0",
+		"p:fail@x",
+		"seed=notanumber",
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) = nil error, want rejection", spec)
+		}
+	}
+}
+
+func TestParseEmptyIsNoop(t *testing.T) {
+	for _, spec := range []string{"", "  ", ";;"} {
+		in, err := Parse(spec)
+		if err != nil || in != nil {
+			t.Errorf("Parse(%q) = %v, %v; want nil, nil", spec, in, err)
+		}
+	}
+	// A nil injector passes every operation through untouched.
+	var in *Injector
+	if err := in.Op("p"); err != nil {
+		t.Fatalf("nil injector Op: %v", err)
+	}
+	var buf bytes.Buffer
+	if _, err := in.Write("p", &buf, []byte("abc")); err != nil || buf.String() != "abc" {
+		t.Fatalf("nil injector Write: %q, %v", buf.String(), err)
+	}
+}
+
+func TestFailNthCounting(t *testing.T) {
+	in := MustParse("p:fail@3")
+	var buf bytes.Buffer
+	for i := 1; i <= 5; i++ {
+		_, err := in.Write("p", &buf, []byte("x"))
+		if i == 3 {
+			if !Transient(err) {
+				t.Fatalf("write %d: err = %v, want transient", i, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("write %d: unexpected err %v", i, err)
+		}
+	}
+	if buf.String() != "xxxx" {
+		t.Fatalf("buffer = %q, want the 4 non-failed writes", buf.String())
+	}
+	if got := in.Fired("p"); got != 1 {
+		t.Fatalf("Fired = %d, want 1", got)
+	}
+	if got := in.Ops("p"); got != 5 {
+		t.Fatalf("Ops = %d, want 5", got)
+	}
+}
+
+func TestTornWriteLeavesPrefixAndKills(t *testing.T) {
+	in := MustParse("p:torn@1")
+	var buf bytes.Buffer
+	n, err := in.Write("p", &buf, []byte("0123456789"))
+	if !Killed(err) {
+		t.Fatalf("err = %v, want kill-class", err)
+	}
+	if n != 5 || buf.String() != "01234" {
+		t.Fatalf("wrote %d bytes %q, want the 5-byte prefix", n, buf.String())
+	}
+}
+
+func TestENOSPCIsPermanent(t *testing.T) {
+	in := MustParse("p:enospc")
+	err := in.Op("p")
+	if !errors.Is(err, ErrNoSpace) || Transient(err) || Killed(err) {
+		t.Fatalf("err = %v, want permanent ErrNoSpace", err)
+	}
+	if !strings.Contains(err.Error(), "p") {
+		t.Fatalf("error %q lacks the injection-point context", err)
+	}
+}
+
+func TestKillBeforeOp(t *testing.T) {
+	in := MustParse("p:kill@2")
+	if err := in.Op("p"); err != nil {
+		t.Fatalf("op 1: %v", err)
+	}
+	if err := in.Op("p"); !Killed(err) {
+		t.Fatalf("op 2: err = %v, want kill-class", err)
+	}
+}
+
+func TestCorruptFlipsExactlyOneSeededBit(t *testing.T) {
+	orig := []byte("deterministic corruption")
+	read := func(seed string) []byte {
+		in := MustParse("p:corrupt@1" + seed)
+		got := make([]byte, len(orig))
+		n, err := in.Read("p", bytes.NewReader(orig), got)
+		if err != nil || n != len(orig) {
+			t.Fatalf("read: %d, %v", n, err)
+		}
+		return got
+	}
+	a, b := read(";seed=7"), read(";seed=7")
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed produced different corruption: %x vs %x", a, b)
+	}
+	diff := 0
+	for i := range a {
+		for bit := 0; bit < 8; bit++ {
+			if (a[i]^orig[i])&(1<<bit) != 0 {
+				diff++
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corrupt flipped %d bits, want exactly 1", diff)
+	}
+}
+
+func TestSlowDelaysWithoutFailing(t *testing.T) {
+	in := MustParse("p:slow@1")
+	var slept time.Duration
+	in.SetSleep(func(d time.Duration) { slept += d })
+	var buf bytes.Buffer
+	if _, err := in.Write("p", &buf, []byte("ok")); err != nil {
+		t.Fatalf("slow write failed: %v", err)
+	}
+	if slept == 0 {
+		t.Fatal("slow fault did not invoke the sleeper")
+	}
+	if buf.String() != "ok" {
+		t.Fatalf("buffer = %q, want the write to land", buf.String())
+	}
+}
+
+func TestWrappedStreamsCountPerPoint(t *testing.T) {
+	in := MustParse("w:fail@2;r:corrupt@1")
+	var buf bytes.Buffer
+	w := in.Writer("w", &buf)
+	if _, err := w.Write([]byte("a")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if _, err := w.Write([]byte("b")); !Transient(err) {
+		t.Fatalf("write 2: err = %v, want transient", err)
+	}
+	r := in.Reader("r", bytes.NewReader([]byte{0x00}))
+	p := make([]byte, 1)
+	if _, err := r.Read(p); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if p[0] == 0 {
+		t.Fatal("corrupt read left the byte untouched")
+	}
+}
+
+func TestRetryPolicy(t *testing.T) {
+	// Transient faults are retried and eventually succeed.
+	in := MustParse("p:fail@1")
+	calls := 0
+	err := Retry(3, time.Microsecond, func() error {
+		calls++
+		return in.Op("p")
+	})
+	if err != nil || calls != 2 {
+		t.Fatalf("transient retry: err=%v calls=%d, want success on attempt 2", err, calls)
+	}
+
+	// Permanent faults fail fast: exactly one attempt.
+	in = MustParse("p:enospc")
+	calls = 0
+	err = Retry(3, time.Microsecond, func() error {
+		calls++
+		return in.Op("p")
+	})
+	if !errors.Is(err, ErrNoSpace) || calls != 1 {
+		t.Fatalf("permanent retry: err=%v calls=%d, want fail-fast", err, calls)
+	}
+
+	// Kill-class errors fail fast too (the process is gone).
+	in = MustParse("p:kill")
+	calls = 0
+	err = Retry(3, time.Microsecond, func() error {
+		calls++
+		return in.Op("p")
+	})
+	if !Killed(err) || calls != 1 {
+		t.Fatalf("kill retry: err=%v calls=%d, want fail-fast", err, calls)
+	}
+
+	// An always-transient fault exhausts the budget with a wrapped error.
+	in = MustParse("p:fail")
+	calls = 0
+	err = Retry(3, time.Microsecond, func() error {
+		calls++
+		return in.Op("p")
+	})
+	if err == nil || calls != 3 || !strings.Contains(err.Error(), "retries exhausted") {
+		t.Fatalf("exhausted retry: err=%v calls=%d", err, calls)
+	}
+}

@@ -24,6 +24,15 @@ func NewAdam(params []*Param, lr float32) *Adam {
 	}
 }
 
+// Steps returns the bias-correction clock t: the number of optimizer
+// steps taken so far.
+func (a *Adam) Steps() int { return a.t }
+
+// SetSteps restores the bias-correction clock when resuming training from
+// a checkpoint. The moment vectors live in the Params (see
+// Param.Moments), so clock plus moments is the optimizer's entire state.
+func (a *Adam) SetSteps(t int) { a.t = t }
+
 // Step applies one update from the accumulated gradients (scaled by
 // 1/batchSize) and clears them.
 func (a *Adam) Step(batchSize int) {

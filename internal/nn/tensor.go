@@ -67,6 +67,11 @@ func NewParam(n int) *Param {
 	}
 }
 
+// Moments exposes the Adam first/second moment vectors so training
+// checkpoints can capture and restore the full optimizer state. Outside a
+// snapshot/restore the slices belong to the optimizer.
+func (p *Param) Moments() (m, v []float32) { return p.m, p.v }
+
 // ZeroGrad clears the accumulated gradient.
 func (p *Param) ZeroGrad() {
 	for i := range p.G {

@@ -16,12 +16,12 @@ package serve
 
 import (
 	"fmt"
-	"os"
 	"sync/atomic"
 	"time"
 
 	"branchnet/internal/branchnet"
 	"branchnet/internal/engine"
+	"branchnet/internal/faults"
 	"branchnet/internal/hybrid"
 )
 
@@ -113,6 +113,9 @@ type Registry struct {
 	// goroutine) after a retired version has drained and its tables have
 	// been dropped. Tests use it to observe drain-then-release ordering.
 	OnRelease func(*ModelSet)
+	// Faults threads deterministic I/O faults into LoadFiles reads
+	// (fault-injection tests only; nil in production).
+	Faults *faults.Injector
 }
 
 // NewRegistry returns a registry serving the empty model set (version 0).
@@ -164,14 +167,9 @@ func (r *Registry) retire(old *ModelSet) {
 func (r *Registry) LoadFiles(paths []string) (*ModelSet, error) {
 	var models []*branchnet.Attached
 	for _, path := range paths {
-		f, err := os.Open(path)
+		ms, err := engine.ReadModelsFile(path, r.Faults)
 		if err != nil {
-			return nil, fmt.Errorf("serve: opening model file: %w", err)
-		}
-		ms, err := engine.ReadModels(f)
-		f.Close()
-		if err != nil {
-			return nil, fmt.Errorf("serve: %s: %w", path, err)
+			return nil, fmt.Errorf("serve: %w", err)
 		}
 		models = append(models, branchnet.FromEngine(ms)...)
 	}
