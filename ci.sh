@@ -33,6 +33,14 @@ go test -race ./internal/checkpoint ./internal/faults ./internal/serve
 go test -fuzz FuzzReadCheckpoint -fuzztime 10s ./internal/checkpoint
 go test -fuzz FuzzReadModels -fuzztime 10s ./internal/engine
 
+# Observability gates: the obscheck hygiene test (no raw log.Print*
+# outside internal/obs — CLIs log through slog) and the overhead gate
+# (instrumented inference/training must stay within noise of the
+# uninstrumented cost; the hooks are one atomic pointer load when
+# disabled, one extra atomic add when enabled).
+go test -run TestNoRawLogPrintOutsideObs -count=1 ./internal/obs/obscheck
+go test -run 'TestObsOverhead|TestObsHooks' -count=1 ./internal/branchnet
+
 # Benchmark smoke gate: one iteration of every kernel and train-step
 # benchmark, so the perf harness can't silently rot. Throughput numbers
 # from -benchtime=1x are meaningless; this only checks they still run.
@@ -53,6 +61,9 @@ go build -o "$smoke" ./cmd/branchnet-serve ./cmd/branchnet-loadgen
 serve_pid=$!
 "$smoke/branchnet-loadgen" -addr-file "$smoke/addr" -wait 10s \
     -bench mcf -branches 6000 -models "$smoke/models.bnm" \
-    -sessions 6 -duration 2s -json "$smoke/BENCH_serve.json"
+    -sessions 6 -duration 2s -json "$smoke/BENCH_serve.json" \
+    -metrics-out "$smoke/loadgen-metrics.json"
+# The client-side -metrics-out snapshot must exist and be non-empty.
+test -s "$smoke/loadgen-metrics.json"
 kill -TERM "$serve_pid"
 wait "$serve_pid"

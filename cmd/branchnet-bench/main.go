@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"runtime"
@@ -34,6 +35,7 @@ import (
 	"branchnet/internal/branchnet"
 	"branchnet/internal/experiments"
 	"branchnet/internal/faults"
+	"branchnet/internal/obs"
 	"branchnet/internal/profiles"
 )
 
@@ -67,7 +69,19 @@ func main() {
 	faultSpec := flag.String("faults", "", "deterministic fault-injection spec, e.g. 'checkpoint.rename:kill@3;seed=1' (chaos testing)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	metricsOut := flag.String("metrics-out", "", "write a final JSON metrics snapshot (training, caches, checkpoints, faults) to this file")
+	logf := obs.NewLogFlags()
 	flag.Parse()
+	logf.Setup("branchnet-bench")
+
+	// Per-epoch training spans and counters land on the process-wide
+	// registry, which -metrics-out snapshots at exit.
+	branchnet.EnableObs(obs.Default, obs.DefaultTracer)
+	writeMetrics := func() {
+		if err := obs.WriteMetricsFile(*metricsOut, obs.Default); err != nil {
+			slog.Error("writing -metrics-out", "err", err)
+		}
+	}
 
 	injector, err := faults.Parse(*faultSpec)
 	if err != nil {
@@ -118,7 +132,7 @@ func main() {
 	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
 	go func() {
 		s := <-sigc
-		log.Printf("received %s: checkpointing and stopping", s)
+		slog.Warn("signal received: checkpointing and stopping", "signal", s.String())
 		stop.Store(true)
 		signal.Stop(sigc) // a second signal kills immediately
 	}()
@@ -132,7 +146,7 @@ func main() {
 		start := time.Now()
 		t := f()
 		fmt.Println(t.String())
-		log.Printf("%s done in %s", name, time.Since(start).Round(time.Millisecond))
+		slog.Info("experiment done", "name", name, "elapsed", time.Since(start).Round(time.Millisecond).String())
 	}
 
 	// runAll fans the whole suite out across the worker pool; the shared
@@ -157,7 +171,7 @@ func main() {
 		for i, j := range jobs {
 			r := <-done[i]
 			fmt.Println(r.table.String())
-			log.Printf("%s done in %s", j.name, r.elapsed.Round(time.Millisecond))
+			slog.Info("experiment done", "name", j.name, "elapsed", r.elapsed.Round(time.Millisecond).String())
 		}
 	}
 
@@ -190,7 +204,7 @@ func main() {
 		if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
 			log.Fatalf("writing %s: %v", *benchOut, err)
 		}
-		log.Printf("bench-train done in %s: wrote %s", time.Since(start).Round(time.Millisecond), *benchOut)
+		slog.Info("bench-train done", "elapsed", time.Since(start).Round(time.Millisecond).String(), "out", *benchOut)
 	case *ablations:
 		run("ablations", func() experiments.Table { _, t := experiments.Ablations(ctx); return t })
 	case *all:
@@ -227,16 +241,18 @@ func main() {
 	// above; the exit status is what distinguishes them from a real run.
 	if err := ctx.TrainErr(); err != nil {
 		stopProfiles()
+		writeMetrics()
 		if errors.Is(err, branchnet.ErrStopped) {
 			if *checkpointDir != "" {
-				log.Printf("stopped; state checkpointed in %s — rerun with the same flags to resume", *checkpointDir)
+				slog.Warn("stopped; state checkpointed — rerun with the same flags to resume", "dir", *checkpointDir)
 			} else {
-				log.Printf("stopped (no -checkpoint-dir: progress discarded)")
+				slog.Warn("stopped (no -checkpoint-dir: progress discarded)")
 			}
 			os.Exit(3)
 		}
 		log.Fatalf("training: %v", err)
 	}
+	writeMetrics()
 }
 
 // knownBenchmarks lists every name -benchmarks accepts: the SPEC-like

@@ -22,7 +22,9 @@ package main
 import (
 	"encoding/json"
 	"flag"
+	"fmt"
 	"log"
+	"log/slog"
 	"os"
 	"strings"
 	"time"
@@ -30,6 +32,7 @@ import (
 	"branchnet/internal/bench"
 	"branchnet/internal/branchnet"
 	"branchnet/internal/engine"
+	"branchnet/internal/obs"
 	"branchnet/internal/serve"
 )
 
@@ -54,7 +57,10 @@ func main() {
 	synth := flag.Int("synth", 0, "with -write-synth: number of synthetic models to build")
 	writeSynth := flag.String("write-synth", "", "profile the trace, write synthetic models as BNM1 to this file, and exit")
 	noParity := flag.Bool("no-parity", false, "skip the parity check (throughput measurement only)")
+	metricsOut := flag.String("metrics-out", "", "write a final JSON metrics snapshot of the client-side counters and latency histogram to this file")
+	logf := obs.NewLogFlags()
 	flag.Parse()
+	logf.Setup("branchnet-loadgen")
 
 	p := bench.ByName(*benchName)
 	if p == nil {
@@ -72,7 +78,7 @@ func main() {
 		log.Fatalf("unknown split %q (train, validation, test)", *split)
 	}
 	tr := p.Generate(p.Inputs(sp)[0], *branches)
-	log.Printf("trace: %s/%s, %d branches", *benchName, *split, tr.Branches())
+	slog.Info("trace generated", "bench", *benchName, "split", *split, "branches", tr.Branches())
 
 	if *writeSynth != "" {
 		if *synth <= 0 {
@@ -82,7 +88,7 @@ func main() {
 		if err := engine.WriteModelsFile(*writeSynth, ms, nil); err != nil {
 			log.Fatalf("writing models: %v", err)
 		}
-		log.Printf("wrote %d synthetic models to %s", len(ms), *writeSynth)
+		slog.Info("synthetic models written", "models", len(ms), "out", *writeSynth)
 		return
 	}
 
@@ -144,19 +150,31 @@ func main() {
 		QPS:        *qps,
 		Duration:   *duration,
 		DeadlineMS: *deadlineMS,
+		Obs:        obs.Default,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	if werr := obs.WriteMetricsFile(*metricsOut, obs.Default); werr != nil {
+		slog.Error("writing -metrics-out", "err", werr)
+	}
 
-	log.Printf("%d requests, %d predictions (%d from models) in %.2fs: %.0f req/s, %.0f pred/s",
-		rep.Requests, rep.Predictions, rep.ModelPredictions, rep.DurationSeconds, rep.QPS, rep.PredictionsPerSec)
-	log.Printf("latency: mean %.3fms p50 %.3fms p99 %.3fms; 429 retries %d, errors %d",
-		rep.LatencyMean*1e3, rep.LatencyP50*1e3, rep.LatencyP99*1e3, rep.Retries429, rep.Errors)
-	log.Printf("server: batch-size mean %.2f over %d fused calls, %d rejected",
-		rep.Server.BatchSizes.Mean, rep.Server.BatchSizes.Count, rep.Server.Rejected)
+	slog.Info("load complete",
+		"requests", rep.Requests, "predictions", rep.Predictions,
+		"model_predictions", rep.ModelPredictions,
+		"elapsed", fmt.Sprintf("%.2fs", rep.DurationSeconds),
+		"req_per_s", fmt.Sprintf("%.0f", rep.QPS),
+		"pred_per_s", fmt.Sprintf("%.0f", rep.PredictionsPerSec))
+	slog.Info("latency",
+		"mean_ms", fmt.Sprintf("%.3f", rep.LatencyMean*1e3),
+		"p50_ms", fmt.Sprintf("%.3f", rep.LatencyP50*1e3),
+		"p99_ms", fmt.Sprintf("%.3f", rep.LatencyP99*1e3),
+		"retries_429", rep.Retries429, "errors", rep.Errors)
+	slog.Info("server stats",
+		"batch_size_mean", fmt.Sprintf("%.2f", rep.Server.BatchSizes.Mean),
+		"fused_calls", rep.Server.BatchSizes.Count, "rejected", rep.Server.Rejected)
 	if expected != nil {
-		log.Printf("parity: %d mismatches of %d predictions", rep.Mismatches, rep.Predictions)
+		slog.Info("parity", "mismatches", rep.Mismatches, "predictions", rep.Predictions)
 	}
 
 	if *jsonOut != "" {
@@ -167,7 +185,7 @@ func main() {
 		if err := os.WriteFile(*jsonOut, append(b, '\n'), 0o644); err != nil {
 			log.Fatalf("writing %s: %v", *jsonOut, err)
 		}
-		log.Printf("report written to %s", *jsonOut)
+		slog.Info("report written", "out", *jsonOut)
 	}
 
 	switch {
@@ -178,5 +196,5 @@ func main() {
 	case rep.Errors != 0:
 		log.Fatalf("FAIL: %d client errors", rep.Errors)
 	}
-	log.Print("OK")
+	slog.Info("OK")
 }

@@ -7,10 +7,13 @@
 //
 //	branchnet-serve -models models.bnm [-addr :8080] [-baseline tage64]
 //
-// Endpoints: POST /v1/predict, POST /v1/reload, GET /healthz, GET /metrics,
-// GET /v1/stats. SIGHUP re-reads the -models files in place (old versions
-// drain before their tables are dropped); SIGINT/SIGTERM shut down
-// gracefully, draining in-flight batches.
+// Endpoints: POST /v1/predict, POST /v1/reload, GET /healthz, GET /metrics
+// (Prometheus text format), GET /debug/spans (recent reload/flush spans as
+// JSON), GET /v1/stats. The same /metrics and /debug/spans also mount on
+// the -pprof debug listener. SIGHUP re-reads the -models files in place
+// (old versions drain before their tables are dropped); SIGINT/SIGTERM
+// shut down gracefully, draining in-flight batches. -metrics-out writes a
+// final JSON snapshot of the metrics registry on clean shutdown.
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -27,6 +31,8 @@ import (
 	"syscall"
 	"time"
 
+	"branchnet/internal/branchnet"
+	"branchnet/internal/obs"
 	"branchnet/internal/serve"
 )
 
@@ -45,8 +51,11 @@ func main() {
 	maxSessions := flag.Int("max-sessions", 4096, "live-session limit before 429")
 	sessionTTL := flag.Duration("session-ttl", 5*time.Minute, "idle-session eviction age")
 	deadline := flag.Duration("deadline", 2*time.Second, "default per-request deadline")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty: disabled)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof (plus /metrics and /debug/spans) on this address (e.g. localhost:6060; empty: disabled)")
+	metricsOut := flag.String("metrics-out", "", "write a final JSON metrics snapshot to this file on clean shutdown")
+	logf := obs.NewLogFlags()
 	flag.Parse()
+	logf.Setup("branchnet-serve")
 
 	newBase, ok := serve.Baselines[*baseline]
 	if !ok {
@@ -70,18 +79,23 @@ func main() {
 		DefaultDeadline: *deadline,
 		ModelPaths:      paths,
 	})
+	// Model inference counters and training spans land in the server's
+	// own registry/tracer so /metrics covers the full serving path.
+	branchnet.EnableObs(s.Obs(), s.Tracer())
 	if len(paths) > 0 {
-		set, err := s.Registry().LoadFiles(paths)
+		set, err := s.Reload(paths)
 		if err != nil {
 			log.Fatalf("loading models: %v", err)
 		}
-		log.Printf("loaded %d models (version %d) from %s", set.Len(), set.Version, set.Source)
+		slog.Info("models loaded", "models", set.Len(), "version", set.Version, "source", set.Source)
 	} else {
-		log.Printf("no models given; serving %s baseline predictions only", *baseline)
+		slog.Info("no models given; serving baseline predictions only", "baseline", *baseline)
 	}
 
 	// The profiling endpoints live on their own mux and listener so they
-	// are never reachable through the prediction port.
+	// are never reachable through the prediction port. The observability
+	// read paths mount there too, for scrapes that must not share the
+	// prediction listener.
 	if *pprofAddr != "" {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -89,14 +103,16 @@ func main() {
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/metrics", s.MetricsHandler())
+		mux.Handle("/debug/spans", s.Tracer().Handler())
 		pln, err := net.Listen("tcp", *pprofAddr)
 		if err != nil {
 			log.Fatalf("pprof listen: %v", err)
 		}
-		log.Printf("pprof on http://%s/debug/pprof/", pln.Addr())
+		slog.Info("pprof listening", "url", "http://"+pln.Addr().String()+"/debug/pprof/")
 		go func() {
 			if err := http.Serve(pln, mux); err != nil {
-				log.Printf("pprof serve: %v", err)
+				slog.Warn("pprof serve stopped", "err", err)
 			}
 		}()
 	}
@@ -110,11 +126,17 @@ func main() {
 			log.Fatalf("writing -addr-file: %v", err)
 		}
 	}
-	log.Printf("serving on http://%s", ln.Addr())
+	slog.Info("serving", "url", "http://"+ln.Addr().String())
 
 	httpSrv := &http.Server{Handler: s.Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	writeMetrics := func() {
+		if err := obs.WriteMetricsFile(*metricsOut, s.Obs()); err != nil {
+			slog.Error("writing -metrics-out", "err", err)
+		}
+	}
 
 	reload := make(chan os.Signal, 1)
 	signal.Notify(reload, syscall.SIGHUP)
@@ -125,29 +147,31 @@ func main() {
 		select {
 		case <-reload:
 			if len(paths) == 0 {
-				log.Printf("SIGHUP ignored: no -models configured")
+				slog.Warn("SIGHUP ignored: no -models configured")
 				continue
 			}
-			set, err := s.Registry().LoadFiles(paths)
+			set, err := s.Reload(nil)
 			if err != nil {
-				log.Printf("reload failed, keeping current models: %v", err)
+				slog.Error("reload failed, keeping current models", "err", err)
 				continue
 			}
-			log.Printf("reloaded %d models (version %d)", set.Len(), set.Version)
+			slog.Info("models reloaded", "models", set.Len(), "version", set.Version)
 		case sig := <-quit:
-			log.Printf("%s: shutting down", sig)
+			slog.Info("shutting down", "signal", sig.String())
 			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 			if err := httpSrv.Shutdown(ctx); err != nil {
-				log.Printf("http shutdown: %v", err)
+				slog.Warn("http shutdown", "err", err)
 			}
 			cancel()
 			s.Drain()
-			log.Printf("drained; bye")
+			writeMetrics()
+			slog.Info("drained; bye")
 			return
 		case err := <-serveErr:
 			if err != nil && !errors.Is(err, http.ErrServerClosed) {
 				log.Fatalf("serve: %v", err)
 			}
+			writeMetrics()
 			return
 		}
 	}

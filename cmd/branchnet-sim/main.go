@@ -15,12 +15,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
 
 	"branchnet/internal/branchnet"
 	"branchnet/internal/engine"
 	"branchnet/internal/gshare"
 	"branchnet/internal/hybrid"
+	"branchnet/internal/obs"
 	"branchnet/internal/perceptron"
 	"branchnet/internal/pipeline"
 	"branchnet/internal/predictor"
@@ -61,7 +63,11 @@ func main() {
 	top := flag.Int("top", 5, "print the top-N mispredicting branches")
 	ipc := flag.Bool("ipc", false, "also run the two-tier pipeline IPC model")
 	modelsPath := flag.String("models", "", "attach quantized BranchNet models (.bnm from branchnet-train) as a hybrid")
+	metricsOut := flag.String("metrics-out", "", "write a final JSON metrics snapshot to this file")
+	logf := obs.NewLogFlags()
 	flag.Parse()
+	logf.Setup("branchnet-sim")
+	branchnet.EnableObs(obs.Default, obs.DefaultTracer)
 
 	if *tracePath == "" {
 		log.Fatal("-trace is required (generate one with tracegen)")
@@ -83,7 +89,7 @@ func main() {
 			log.Fatalf("reading models: %v", err)
 		}
 		p = hybrid.New(p, branchnet.FromEngine(ems), fmt.Sprintf("hybrid(%s+%d models)", *predName, len(ems)))
-		log.Printf("attached %d quantized models from %s", len(ems), *modelsPath)
+		slog.Info("models attached", "models", len(ems), "path", *modelsPath)
 	}
 	res := predictor.Evaluate(p, tr)
 	fmt.Printf("predictor:    %s (%.1f KB)\n", p.Name(), float64(p.Bits())/8192)
@@ -110,5 +116,9 @@ func main() {
 			gshare.Default4KB(), newPredictor(*predName, tr), tr)
 		fmt.Printf("pipeline:     IPC %.3f (%d redirects, %d flushes)\n",
 			r.IPC(), r.Redirects, r.Mispredicts)
+	}
+
+	if err := obs.WriteMetricsFile(*metricsOut, obs.Default); err != nil {
+		slog.Error("writing -metrics-out", "err", err)
 	}
 }

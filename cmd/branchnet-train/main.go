@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"sync/atomic"
@@ -25,6 +26,7 @@ import (
 	"branchnet/internal/engine"
 	"branchnet/internal/faults"
 	"branchnet/internal/hybrid"
+	"branchnet/internal/obs"
 	"branchnet/internal/predictor"
 	"branchnet/internal/profiles"
 	"branchnet/internal/tage"
@@ -84,7 +86,20 @@ func main() {
 	faultSpec := flag.String("faults", "", "deterministic fault-injection spec, e.g. 'checkpoint.rename:kill@3;seed=1' (chaos testing)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	metricsOut := flag.String("metrics-out", "", "write a final JSON metrics snapshot (epochs, checkpoints, faults) to this file")
+	logf := obs.NewLogFlags()
 	flag.Parse()
+	logf.Setup("branchnet-train")
+
+	// Per-epoch spans and train/checkpoint counters land on the
+	// process-wide registry, snapshotted by -metrics-out at exit.
+	branchnet.EnableObs(obs.Default, obs.DefaultTracer)
+	writeMetrics := func() {
+		if err := obs.WriteMetricsFile(*metricsOut, obs.Default); err != nil {
+			slog.Error("writing -metrics-out", "err", err)
+		}
+	}
+	defer writeMetrics()
 
 	injector, err := faults.Parse(*faultSpec)
 	if err != nil {
@@ -114,7 +129,7 @@ func main() {
 		part := p.Generate(in, *evalLen/len(p.Inputs(bench.Validation)))
 		validTrace.Records = append(validTrace.Records, part.Records...)
 	}
-	log.Printf("traces generated in %s", time.Since(start).Round(time.Millisecond))
+	slog.Info("traces generated", "elapsed", time.Since(start).Round(time.Millisecond).String())
 
 	cfg := branchnet.DefaultOfflineConfig(knobs)
 	cfg.TopBranches = *topBranches
@@ -133,7 +148,7 @@ func main() {
 	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
 	go func() {
 		s := <-sigc
-		log.Printf("received %s: checkpointing and stopping", s)
+		slog.Warn("signal received: checkpointing and stopping", "signal", s.String())
 		stop.Store(true)
 		signal.Stop(sigc) // a second signal kills immediately
 	}()
@@ -142,16 +157,19 @@ func main() {
 	models, err := branchnet.TrainOfflineChecked(cfg, trainTraces, validTrace, newBase, nil)
 	if errors.Is(err, branchnet.ErrStopped) {
 		if *checkpointDir != "" {
-			log.Printf("stopped after %s; state checkpointed in %s — rerun with the same flags to resume", time.Since(start).Round(time.Millisecond), *checkpointDir)
+			slog.Warn("stopped; state checkpointed — rerun with the same flags to resume",
+				"elapsed", time.Since(start).Round(time.Millisecond).String(), "dir", *checkpointDir)
 		} else {
-			log.Printf("stopped after %s (no -checkpoint-dir: progress discarded)", time.Since(start).Round(time.Millisecond))
+			slog.Warn("stopped (no -checkpoint-dir: progress discarded)",
+				"elapsed", time.Since(start).Round(time.Millisecond).String())
 		}
+		writeMetrics()
 		os.Exit(3)
 	}
 	if err != nil {
 		log.Fatalf("offline training: %v", err)
 	}
-	log.Printf("offline training done in %s: %d models attached", time.Since(start).Round(time.Millisecond), len(models))
+	slog.Info("offline training done", "elapsed", time.Since(start).Round(time.Millisecond).String(), "models", len(models))
 	for _, m := range models {
 		form := "float"
 		if m.Engine != nil {
@@ -161,7 +179,7 @@ func main() {
 			m.PC, m.BaseAccuracy, m.ValidAccuracy, m.Improvement, form)
 	}
 	if len(models) == 0 {
-		log.Printf("no branch cleared the improvement threshold (this is the expected outcome for gcc/omnetpp-like profiles)")
+		slog.Info("no branch cleared the improvement threshold (this is the expected outcome for gcc/omnetpp-like profiles)")
 		return
 	}
 
@@ -173,12 +191,12 @@ func main() {
 			}
 		}
 		if len(ems) == 0 {
-			log.Printf("-out: no quantized models to write (big/tarsa models are float-only)")
+			slog.Warn("-out: no quantized models to write (big/tarsa models are float-only)")
 		} else {
 			if err := engine.WriteModelsFile(*out, ems, injector); err != nil {
 				log.Fatalf("writing models: %v", err)
 			}
-			log.Printf("wrote %d quantized models to %s", len(ems), *out)
+			slog.Info("models written", "models", len(ems), "out", *out)
 		}
 	}
 

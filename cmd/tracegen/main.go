@@ -13,9 +13,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
 
 	"branchnet/internal/bench"
+	"branchnet/internal/obs"
 	"branchnet/internal/simpoint"
 	"branchnet/internal/trace"
 )
@@ -31,7 +33,9 @@ func main() {
 	out := flag.String("out", "", "output trace file (default <bench>-<split>.bnt)")
 	simpoints := flag.Int("simpoints", 0, "select up to K SimPoint regions instead of the full trace")
 	list := flag.Bool("list", false, "list benchmarks and inputs")
+	logf := obs.NewLogFlags()
 	flag.Parse()
+	logf.Setup("tracegen")
 
 	if *list {
 		for _, p := range append(bench.All(), bench.NoisyHistory()) {
@@ -69,17 +73,19 @@ func main() {
 	in := ins[*input]
 
 	tr := p.Generate(in, *branches)
-	log.Printf("generated %s/%s: %d branches, %d instructions, %d static branches",
-		p.Name, in.Name, tr.Branches(), tr.Instructions(), trace.NewProfile(tr).StaticBranches())
+	slog.Info("trace generated", "bench", p.Name, "input", in.Name,
+		"branches", tr.Branches(), "instructions", tr.Instructions(),
+		"static_branches", trace.NewProfile(tr).StaticBranches())
 
 	if *simpoints > 0 {
 		cfg := simpoint.DefaultConfig()
 		cfg.K = *simpoints
 		regions := simpoint.Select(tr, cfg)
-		log.Printf("selected %d SimPoint regions:", len(regions))
+		slog.Info("SimPoint regions selected", "regions", len(regions))
 		merged := &trace.Trace{}
 		for _, r := range regions {
-			log.Printf("  records [%d,%d) weight %.3f", r.Start, r.End, r.Weight)
+			slog.Debug("SimPoint region", "start", r.Start, "end", r.End,
+				"weight", fmt.Sprintf("%.3f", r.Weight))
 			merged.Records = append(merged.Records, tr.Records[r.Start:r.End]...)
 		}
 		tr = merged
@@ -96,5 +102,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("wrote %s (%d records, %.1f KB)", path, tr.Branches(), float64(fi.Size())/1024)
+	slog.Info("trace written", "path", path, "records", tr.Branches(),
+		"kb", fmt.Sprintf("%.1f", float64(fi.Size())/1024))
 }

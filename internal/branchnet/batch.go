@@ -10,6 +10,9 @@ package branchnet
 // evaluation). Models are read-only after training, so PredictBatch is
 // safe to call concurrently with itself and with Predict.
 func (a *Attached) PredictBatch(hists [][]uint32, branchCounts []uint64, out []bool) {
+	if h := hooks.Load(); h != nil {
+		h.inferBatch.Add(uint64(len(hists)))
+	}
 	if a.Engine != nil {
 		a.Engine.PredictBatch(hists, branchCounts, out)
 		return

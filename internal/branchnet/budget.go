@@ -42,3 +42,11 @@ func releaseTrainTokens(n int) {
 		<-trainTokens
 	}
 }
+
+// TrainBudgetInUse reports how many worker-budget tokens are currently
+// held — the training stack's instantaneous parallelism beyond the one
+// goroutine each trainer always has.
+func TrainBudgetInUse() int { return len(trainTokens) }
+
+// TrainBudgetCap reports the total worker budget.
+func TrainBudgetCap() int { return cap(trainTokens) }

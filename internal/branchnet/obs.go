@@ -1,0 +1,51 @@
+package branchnet
+
+import (
+	"sync/atomic"
+
+	"branchnet/internal/obs"
+)
+
+// obsHooks is the resolved instrumentation for the training and inference
+// hot paths: metric pointers looked up once at EnableObs so the
+// instrumented code pays one atomic pointer load plus one atomic add per
+// event, and nothing at all (a single nil check) while disabled. The
+// default is disabled — library users who never call EnableObs get the
+// uninstrumented cost, which the overhead-gate benchmark holds to within
+// noise of the pre-instrumentation baseline.
+type obsHooks struct {
+	trainEpochs   *obs.Counter
+	trainExamples *obs.Counter
+	trainResumes  *obs.Counter
+	inferBatch    *obs.Counter
+	offlineTrain  *obs.Counter
+	tracer        *obs.Tracer
+}
+
+var hooks atomic.Pointer[obsHooks]
+
+// EnableObs turns on training/inference instrumentation against reg and
+// tracer: per-epoch spans and loss/throughput attrs under a
+// "branchnet.train" parent, epoch/example/resume counters, fused-batch
+// prediction counts, and worker-budget utilization gauges. A nil tracer
+// enables metrics only. Predictions and trained weights are unaffected —
+// the hooks observe, they never branch the computation.
+func EnableObs(reg *obs.Registry, tracer *obs.Tracer) {
+	reg.GaugeFunc("branchnet_train_workers_busy", func() int64 {
+		return int64(TrainBudgetInUse())
+	})
+	reg.GaugeFunc("branchnet_train_workers_cap", func() int64 {
+		return int64(TrainBudgetCap())
+	})
+	hooks.Store(&obsHooks{
+		trainEpochs:   reg.Counter("branchnet_train_epochs_total"),
+		trainExamples: reg.Counter("branchnet_train_examples_total"),
+		trainResumes:  reg.Counter("branchnet_train_resumes_total"),
+		inferBatch:    reg.Counter("branchnet_infer_batch_predictions_total"),
+		offlineTrain:  reg.Counter("branchnet_offline_branches_total"),
+		tracer:        tracer,
+	})
+}
+
+// DisableObs returns the package to its uninstrumented default.
+func DisableObs() { hooks.Store(nil) }

@@ -1,0 +1,177 @@
+package branchnet
+
+import (
+	"testing"
+	"time"
+
+	"branchnet/internal/engine"
+	"branchnet/internal/obs"
+)
+
+// timeOp returns the best-of-trials wall time of fn over its inner
+// repetitions. Minimum-of-trials is the standard way to strip scheduler
+// noise from a microbenchmark so a ratio gate doesn't flake.
+func timeOp(trials int, fn func()) time.Duration {
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < trials; i++ {
+		start := time.Now()
+		fn()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// TestObsOverheadPredictBatch is the near-zero-cost gate on the inference
+// hot path: PredictBatch with instrumentation enabled must stay within a
+// small factor of the uninstrumented cost. The per-flush cost of the hooks
+// is one atomic pointer load plus one atomic add over a whole batch, so a
+// real regression (per-item locking, allocation) blows well past the
+// bound while timer noise does not — hence best-of-trials on both sides
+// and a deliberately generous 1.25x limit on an already-microsecond op.
+func TestObsOverheadPredictBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing gate; skipped in -short")
+	}
+	em := engine.Synthetic(0x400000, 7)
+	a := &Attached{PC: em.PC, Engine: em}
+	hists := testHistories(256, em.Window(), em.PCBits)
+	counts := make([]uint64, len(hists))
+	out := make([]bool, len(hists))
+
+	const reps = 50
+	run := func() {
+		for r := 0; r < reps; r++ {
+			a.PredictBatch(hists, counts, out)
+		}
+	}
+
+	DisableObs()
+	run() // warm caches before either measurement
+	off := timeOp(9, run)
+
+	EnableObs(obs.NewRegistry(), obs.NewTracer(64))
+	defer DisableObs()
+	on := timeOp(9, run)
+
+	ratio := float64(on) / float64(off)
+	t.Logf("PredictBatch: disabled=%v enabled=%v ratio=%.3f", off, on, ratio)
+	if ratio > 1.25 {
+		t.Errorf("instrumented PredictBatch is %.2fx the uninstrumented cost (limit 1.25x)", ratio)
+	}
+}
+
+// TestObsOverheadTrain gates the training loop the same way: the hooks add
+// one pointer load per epoch plus one span per epoch, which is noise
+// against hundreds of optimizer steps.
+func TestObsOverheadTrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing gate; skipped in -short")
+	}
+	k := MiniQuick(1024)
+	ds := benchTrainDataset(512, k.WindowTokens(), k.PCBits, 3)
+	opts := DefaultTrainOpts()
+	opts.Epochs = 2
+
+	run := func() {
+		m := New(k, 0x40, 7)
+		m.Train(ds, opts)
+	}
+
+	DisableObs()
+	run()
+	off := timeOp(5, run)
+
+	EnableObs(obs.NewRegistry(), obs.NewTracer(64))
+	defer DisableObs()
+	on := timeOp(5, run)
+
+	ratio := float64(on) / float64(off)
+	t.Logf("Train: disabled=%v enabled=%v ratio=%.3f", off, on, ratio)
+	if ratio > 1.25 {
+		t.Errorf("instrumented training is %.2fx the uninstrumented cost (limit 1.25x)", ratio)
+	}
+}
+
+// TestObsHooksCountTraining pins what the hooks record, not just what they
+// cost: one epoch counter tick per epoch, the full example count, batch
+// prediction totals, and train/epoch spans in the tracer.
+func TestObsHooksCountTraining(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(64)
+	EnableObs(reg, tr)
+	defer DisableObs()
+
+	k := MiniQuick(1024)
+	ds := benchTrainDataset(128, k.WindowTokens(), k.PCBits, 3)
+	opts := DefaultTrainOpts()
+	opts.Epochs = 3
+	m := New(k, 0x40, 7)
+	m.Train(ds, opts)
+
+	if got := reg.Counter("branchnet_train_epochs_total").Value(); got != 3 {
+		t.Errorf("train_epochs_total = %d, want 3", got)
+	}
+	if got := reg.Counter("branchnet_train_examples_total").Value(); got != 3*128 {
+		t.Errorf("train_examples_total = %d, want %d", got, 3*128)
+	}
+
+	em := engine.Synthetic(0x400000, 7)
+	a := &Attached{PC: em.PC, Engine: em}
+	hists := testHistories(32, em.Window(), em.PCBits)
+	a.PredictBatch(hists, make([]uint64, len(hists)), make([]bool, len(hists)))
+	if got := reg.Counter("branchnet_infer_batch_predictions_total").Value(); got != 32 {
+		t.Errorf("infer_batch_predictions_total = %d, want 32", got)
+	}
+
+	var trainSpans, epochSpans int
+	for _, sp := range tr.Spans(0) {
+		switch sp.Name {
+		case "branchnet.train":
+			trainSpans++
+			if sp.Attrs["examples"] != "128" {
+				t.Errorf("train span examples attr = %q, want 128", sp.Attrs["examples"])
+			}
+		case "epoch":
+			epochSpans++
+			if _, ok := sp.Attrs["examples_per_sec"]; !ok {
+				t.Error("epoch span missing examples_per_sec attr")
+			}
+		}
+	}
+	if trainSpans != 1 || epochSpans != 3 {
+		t.Errorf("spans: train=%d epoch=%d, want 1 and 3", trainSpans, epochSpans)
+	}
+
+	snap := reg.Snapshot()
+	if _, ok := snap.Gauges["branchnet_train_workers_cap"]; !ok {
+		t.Error("worker-cap gauge not registered by EnableObs")
+	}
+}
+
+// benchPredictBatch is the testing.B form of the overhead comparison:
+// run with -bench 'PredictBatchObs' to get ns/op with hooks off vs on.
+func benchPredictBatch(b *testing.B) {
+	em := engine.Synthetic(0x400000, 7)
+	a := &Attached{PC: em.PC, Engine: em}
+	hists := testHistories(256, em.Window(), em.PCBits)
+	counts := make([]uint64, len(hists))
+	out := make([]bool, len(hists))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.PredictBatch(hists, counts, out)
+	}
+}
+
+func BenchmarkPredictBatchObsOff(b *testing.B) {
+	DisableObs()
+	benchPredictBatch(b)
+}
+
+func BenchmarkPredictBatchObsOn(b *testing.B) {
+	EnableObs(obs.NewRegistry(), obs.NewTracer(64))
+	defer DisableObs()
+	benchPredictBatch(b)
+}

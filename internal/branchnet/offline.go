@@ -15,6 +15,7 @@ import (
 	"branchnet/internal/checkpoint"
 	"branchnet/internal/engine"
 	"branchnet/internal/faults"
+	"branchnet/internal/obs"
 	"branchnet/internal/predictor"
 	"branchnet/internal/trace"
 )
@@ -293,6 +294,14 @@ func TrainOfflineChecked(cfg OfflineConfig, trainTraces []*trace.Trace, validTra
 			if aborted() {
 				return
 			}
+			h := hooks.Load()
+			var sp *obs.Span
+			if h != nil {
+				sp = h.tracer.Start("offline.branch").
+					SetAttr("pc", fmt.Sprintf("%#x", c.pc)).
+					SetInt("examples", int64(len(ds.Examples)))
+				defer sp.Finish()
+			}
 			// Register this branch trainer in the shared training budget
 			// so nested intra-batch shard workers (Model.Train) see the
 			// remaining capacity instead of fanning out on top of the
@@ -315,6 +324,7 @@ func TrainOfflineChecked(cfg OfflineConfig, trainTraces []*trace.Trace, validTra
 					return
 				}
 				if st != nil {
+					sp.SetAttr("resumed", "true")
 					if st.rejected {
 						return // trained before, failed quantization: keep rejecting
 					}
@@ -337,6 +347,9 @@ func TrainOfflineChecked(cfg OfflineConfig, trainTraces []*trace.Trace, validTra
 				fail(ErrStopped)
 				return
 			}
+			if h != nil {
+				h.offlineTrain.Inc()
+			}
 			m := New(cfg.Knobs, c.pc, opts.Seed)
 			if _, err := m.TrainCheckpointed(ds, opts); err != nil {
 				fail(err)
@@ -354,6 +367,7 @@ func TrainOfflineChecked(cfg OfflineConfig, trainTraces []*trace.Trace, validTra
 				}
 			}
 			if rejected {
+				sp.SetAttr("rejected", "true")
 				if resultPath != "" {
 					if err := saveBranchSnapshot(resultPath, fp, confFP, nil, true, cfg.Faults); err != nil {
 						fail(err)

@@ -7,10 +7,12 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"branchnet/internal/checkpoint"
 	"branchnet/internal/faults"
 	"branchnet/internal/nn"
+	"branchnet/internal/obs"
 )
 
 // DefaultTrainShards is the number of gradient-accumulation shards each
@@ -381,6 +383,18 @@ func (m *Model) TrainCheckpointed(ds *Dataset, opts TrainOpts) (float32, error) 
 	n := len(ds.Examples)
 	order := rng.Perm(n)
 
+	// Instrumentation is a single atomic pointer load here; with no
+	// EnableObs call every per-epoch block below is one nil check.
+	h := hooks.Load()
+	var trainSpan *obs.Span
+	if h != nil {
+		trainSpan = h.tracer.Start("branchnet.train").
+			SetAttr("pc", fmt.Sprintf("%#x", m.PC)).
+			SetInt("examples", int64(n)).
+			SetInt("epochs", int64(opts.Epochs))
+		defer trainSpan.Finish()
+	}
+
 	ck := opts.Checkpoint
 	if ck != nil && ck.Path == "" {
 		ck = nil
@@ -398,6 +412,10 @@ func (m *Model) TrainCheckpointed(ds *Dataset, opts TrainOpts) (float32, error) 
 			return 0, err
 		}
 		if st != nil {
+			if h != nil {
+				h.trainResumes.Inc()
+				trainSpan.SetInt("resume_epoch", int64(st.epoch))
+			}
 			opt.SetSteps(st.adamSteps)
 			if err := src.discard(st.rngDraws); err != nil {
 				return 0, err
@@ -419,6 +437,10 @@ func (m *Model) TrainCheckpointed(ds *Dataset, opts TrainOpts) (float32, error) 
 
 	steps := 0 // optimizer steps since (re)start, for the snapshot cadence
 	for epoch := startEpoch; epoch < opts.Epochs; epoch++ {
+		var epochStart time.Time
+		if h != nil {
+			epochStart = time.Now()
+		}
 		if skipShuffle {
 			// Resuming mid-epoch: the snapshot's order already includes
 			// this epoch's reshuffle (and its RNG draws are behind us).
@@ -466,6 +488,17 @@ func (m *Model) TrainCheckpointed(ds *Dataset, opts TrainOpts) (float32, error) 
 		startAt = 0
 		if batches > 0 {
 			lastLoss = float32(epochLoss / float64(batches))
+		}
+		if h != nil {
+			h.trainEpochs.Inc()
+			h.trainExamples.Add(uint64(n))
+			sp := trainSpan.StartChild("epoch").
+				SetInt("epoch", int64(epoch)).
+				SetFloat("loss", float64(lastLoss))
+			if secs := time.Since(epochStart).Seconds(); secs > 0 {
+				sp.SetFloat("examples_per_sec", float64(n)/secs)
+			}
+			sp.Finish()
 		}
 		if ck != nil && epoch+1 < opts.Epochs {
 			// Epoch-boundary snapshot, cursor normalized to the start of

@@ -31,9 +31,21 @@ import (
 	"time"
 
 	"branchnet/internal/faults"
+	"branchnet/internal/obs"
 )
 
 var envelopeMagic = [4]byte{'B', 'N', 'C', 'K'}
+
+// Snapshot I/O counters on the process-wide registry. Checkpoint writes
+// are cold (snapshot cadence, not per-batch), so these record
+// unconditionally; failures count only genuine errors — a missing file on
+// Read is "no snapshot yet", not a failure.
+var (
+	writesTotal        = obs.Default.Counter("checkpoint_writes_total")
+	writeFailuresTotal = obs.Default.Counter("checkpoint_write_failures_total")
+	readsTotal         = obs.Default.Counter("checkpoint_reads_total")
+	readFailuresTotal  = obs.Default.Counter("checkpoint_read_failures_total")
+)
 
 // maxKindLen bounds the kind tag so a corrupt length field cannot force a
 // large allocation before the CRC is even checked.
@@ -125,8 +137,10 @@ func WriteAtomic(path string, data []byte, base string, inj *faults.Injector) er
 		return writeOnce(path, data, base, inj)
 	})
 	if err != nil {
+		writeFailuresTotal.Inc()
 		return fmt.Errorf("checkpoint: writing %s: %w", path, err)
 	}
+	writesTotal.Inc()
 	return nil
 }
 
@@ -208,16 +222,22 @@ func writeOnce(path string, data []byte, base string, inj *faults.Injector) erro
 func Read(path, kind string, inj *faults.Injector) (version uint64, payload []byte, err error) {
 	f, err := os.Open(path)
 	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			readFailuresTotal.Inc()
+		}
 		return 0, nil, fmt.Errorf("checkpoint: opening %s: %w", path, err)
 	}
 	defer f.Close()
 	data, err := io.ReadAll(inj.Reader("checkpoint.read", f))
 	if err != nil {
+		readFailuresTotal.Inc()
 		return 0, nil, fmt.Errorf("checkpoint: reading %s: %w", path, err)
 	}
 	version, payload, err = Decode(data, kind)
 	if err != nil {
+		readFailuresTotal.Inc()
 		return 0, nil, fmt.Errorf("%w (%s)", err, path)
 	}
+	readsTotal.Inc()
 	return version, payload, nil
 }

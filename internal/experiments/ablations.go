@@ -28,6 +28,7 @@ type AblationResult struct {
 //   - removing all hidden layers keeps the (linear) count comparison
 //     learnable but gives up margin on harder compositions.
 func Ablations(c *Context) ([]AblationResult, Table) {
+	defer c.Span("experiments.ablations")()
 	base := branchnet.BigKnobsScaled()
 
 	variants := []struct {

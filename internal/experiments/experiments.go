@@ -23,9 +23,19 @@ import (
 	"branchnet/internal/branchnet"
 	"branchnet/internal/faults"
 	"branchnet/internal/hybrid"
+	"branchnet/internal/obs"
 	"branchnet/internal/predictor"
 	"branchnet/internal/tage"
 	"branchnet/internal/trace"
+)
+
+// Single-flight cache traffic on the process-wide registry. Every lookup
+// through any context cache (traces, models, evaluations) counts exactly
+// once; a bench -metrics-out snapshot of a suite run shows how much work
+// the sharing actually saved.
+var (
+	cacheHits   = obs.Default.Counter("experiments_cache_hits_total")
+	cacheMisses = obs.Default.Counter("experiments_cache_misses_total")
 )
 
 // Mode scales the experiments. Quick fits a CPU test run; Full uses larger
@@ -178,6 +188,11 @@ func flightDo[T any](mu *sync.Mutex, m map[string]*flight[T], key string, fn fun
 		m[key] = f
 	}
 	mu.Unlock()
+	if ok {
+		cacheHits.Inc()
+	} else {
+		cacheMisses.Inc()
+	}
 	f.once.Do(func() { f.val = fn() })
 	return f.val
 }
@@ -198,6 +213,15 @@ func NewContext(mode Mode) *Context {
 		evalCache:  make(map[string]*flight[evalResult]),
 		validCache: make(map[string]*flight[*branchnet.ValidEval]),
 	}
+}
+
+// Span opens a span for one figure/table regeneration on the
+// process-wide tracer and returns its finisher, for use as
+// `defer c.Span("experiments.fig9")()`. The mode name rides along as an
+// attribute so a /debug/spans dump distinguishes quick from full runs.
+func (c *Context) Span(name string) func() {
+	sp := obs.DefaultTracer.Start(name).SetAttr("mode", c.Mode.Name)
+	return func() { sp.Finish() }
 }
 
 // parallelism returns the worker-pool width.

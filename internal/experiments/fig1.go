@@ -18,6 +18,7 @@ type Fig1Result struct {
 // diminishing returns; gcc/omnetpp-like benchmarks show little avoidable
 // MPKI at any count.
 func Fig1(c *Context) ([]Fig1Result, Table) {
+	defer c.Span("experiments.fig1")()
 	counts := c.Mode.Fig1Counts
 	progs := c.Programs()
 	results := make([]Fig1Result, len(progs))

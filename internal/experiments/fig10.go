@@ -20,6 +20,7 @@ type Fig10Branch struct {
 // Expected shape: many improved branches reach ~98-100% under BranchNet
 // while MTAGE-SC stays far lower on the same branches.
 func Fig10(c *Context) (map[string][]Fig10Branch, Table) {
+	defer c.Span("experiments.fig10")()
 	out := make(map[string][]Fig10Branch)
 	t := Table{
 		Title:  fmt.Sprintf("Fig. 10 — most-improved branches, MTAGE-SC vs Big-BranchNet (%s mode)", c.Mode.Name),

@@ -57,6 +57,7 @@ func simOn(newLate func() predictor.Predictor, traces []*trace.Trace) (mpki, ipc
 // benchmarks. Paper averages: iso-storage -5.5% MPKI/+0.6% IPC;
 // iso-latency -9.6% MPKI/+1.3% IPC.
 func Fig11(c *Context) ([]Fig11Row, Table) {
+	defer c.Span("experiments.fig11")()
 	scaleN, scaleD := c.Mode.SlotScaleNum, c.Mode.SlotScaleDen
 	isoLat := hybrid.IsoLatency32KB().Scale(scaleN, scaleD)
 	isoSto := hybrid.IsoStorage8KB().Scale(scaleN, scaleD)

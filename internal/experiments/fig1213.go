@@ -19,6 +19,7 @@ type Fig12Point struct {
 // (leela-like). Expected shape: MPKI reduction grows with training data and
 // saturates.
 func Fig12(c *Context) ([]Fig12Point, Table) {
+	defer c.Span("experiments.fig12")()
 	p := bench.ByName("leela")
 	baseMPKI, _ := c.EvalBaseline(p, "tage64")
 
@@ -73,6 +74,7 @@ type Fig13Point struct {
 // uses the same budget. Expected shape: monotone improvement with budget,
 // diminishing returns.
 func Fig13(c *Context) ([]Fig13Point, Table) {
+	defer c.Span("experiments.fig13")()
 	slots := hybrid.IsoLatency32KB().Scale(c.Mode.SlotScaleNum, c.Mode.SlotScaleDen).TotalSlots()
 	var points []Fig13Point
 	t := Table{

@@ -59,6 +59,7 @@ func (m *manualCNN) Bits() int    { return 0 }
 // Paper: TAGE-SC-L and Multiperspective Perceptron reach ~81%, barely above
 // the 78% always-not-taken bias, while the manual CNN is 100% accurate.
 func Fig3(c *Context) Table {
+	defer c.Span("experiments.fig3")()
 	prog := bench.NoisyHistory()
 	tr := prog.Generate(bench.NoisyInput("fig3", 4242, 5, 10, 0.5), c.Mode.TestLen)
 
@@ -105,6 +106,7 @@ type Fig4Result struct {
 // exposed); set (3) — diverse alpha and N — generalizes across every
 // alpha.
 func Fig4(c *Context) ([]Fig4Result, Table) {
+	defer c.Span("experiments.fig4")()
 	prog := bench.NoisyHistory()
 	knobs := branchnet.BigKnobsScaled()
 	window := knobs.WindowTokens()

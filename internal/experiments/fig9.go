@@ -19,6 +19,7 @@ type Fig9Result struct {
 // xalancbmk and exchange2 barely move; ablations show most of MTAGE-SC's
 // edge comes from its global components.
 func Fig9(c *Context) ([]Fig9Result, Table) {
+	defer c.Span("experiments.fig9")()
 	progs := c.Programs()
 	results := make([]Fig9Result, len(progs))
 	c.runIndexed(len(progs), func(i int) {

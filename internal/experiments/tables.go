@@ -123,6 +123,7 @@ type TableIVRow struct {
 // 25.1 -> 20.0 -> 18.7 -> 15.7 %). Expected shape: monotone decrease, with
 // convolution quantization the cheapest step.
 func TableIV(c *Context) ([]TableIVRow, Table) {
+	defer c.Span("experiments.tableIV")()
 	p := bench.ByName("leela")
 	tests := c.TestTraces(p)
 	baseMPKI, _ := c.EvalBaseline(p, "tage64")

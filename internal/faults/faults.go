@@ -31,6 +31,18 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"branchnet/internal/obs"
+)
+
+// Injection accounting on the process-wide registry: how many operations
+// consulted a plan and how many actually fired, by point. Chaos runs and
+// the bench -metrics-out snapshot use these to prove an injection plan
+// was exercised rather than silently mis-spelled.
+var (
+	opsTotal     = obs.Default.Counter("faults_ops_total")
+	firedTotal   = obs.Default.Counter("faults_fired_total")
+	firedByPoint = obs.Default.LabeledCounter("faults_fired_by_point", "point")
 )
 
 // Class enumerates the injectable failure modes.
@@ -197,9 +209,9 @@ func (in *Injector) match(point string) (Class, bool) {
 		return 0, false
 	}
 	in.mu.Lock()
-	defer in.mu.Unlock()
 	in.ops[point]++
 	n := in.ops[point]
+	matched := -1
 	for i, r := range in.rules {
 		if r.point != point {
 			continue
@@ -208,9 +220,17 @@ func (in *Injector) match(point string) (Class, bool) {
 			continue
 		}
 		in.fired[i]++
-		return r.class, true
+		matched = i
+		break
 	}
-	return 0, false
+	in.mu.Unlock()
+	opsTotal.Inc()
+	if matched < 0 {
+		return 0, false
+	}
+	firedTotal.Inc()
+	firedByPoint.With(point).Inc()
+	return in.rules[matched].class, true
 }
 
 // errFor converts a matched class into its injected error (nil for Slow,

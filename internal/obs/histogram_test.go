@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// sortQuantile is the reference implementation the histogram estimate is
+// checked against: sort every observation and index the rank directly.
+func sortQuantile(vals []float64, q float64) float64 {
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	idx := int(math.Ceil(q*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return s[idx]
+}
+
+// bucketFor returns the upper bound of the bucket a value lands in (the
+// resolution limit of any fixed-bucket quantile).
+func bucketFor(bounds []float64, v float64) float64 {
+	for _, b := range bounds {
+		if v <= b {
+			return b
+		}
+	}
+	return bounds[len(bounds)-1]
+}
+
+func TestHistogramQuantileAgainstSortReference(t *testing.T) {
+	bounds := ExpBounds(1e-4, 1.5, 32)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		h := NewHistogram(bounds...)
+		n := 100 + rng.Intn(5000)
+		vals := make([]float64, n)
+		for i := range vals {
+			// Log-uniform over the bucket range plus some overflow values.
+			vals[i] = 1e-4 * math.Pow(1.5, rng.Float64()*34)
+			h.Observe(vals[i])
+		}
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			got := h.Quantile(q)
+			exact := sortQuantile(vals, q)
+			// The estimate must land inside the exact value's bucket (or
+			// one adjacent, for ranks that straddle a bucket edge).
+			lo := bucketFor(bounds, exact) / (1.5 * 1.5)
+			hi := bucketFor(bounds, exact) * 1.5
+			if got < lo || got > hi {
+				t.Fatalf("trial %d q=%g: estimate %g outside bucket envelope [%g, %g] of exact %g",
+					trial, q, got, lo, hi, exact)
+			}
+		}
+	}
+}
+
+func TestHistogramQuantileExactInBucket(t *testing.T) {
+	h := NewHistogram(1, 2, 4, 8)
+	// 10 observations all in the (2,4] bucket: every quantile interpolates
+	// inside it.
+	for i := 0; i < 10; i++ {
+		h.Observe(3)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.99} {
+		got := h.Quantile(q)
+		if got < 2 || got > 4 {
+			t.Fatalf("q=%g: got %g, want within (2,4]", q, got)
+		}
+	}
+	if got := h.Quantile(0.5); math.Abs(got-3) > 1 {
+		t.Fatalf("p50 of constant-3 observations = %g, want near 3", got)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := NewHistogram(1, 2)
+	h.Observe(100)
+	if got := h.Quantile(0.99); got != 2 {
+		t.Fatalf("overflow quantile = %g, want largest bound 2", got)
+	}
+	s := h.Snapshot()
+	if s.Buckets[len(s.Buckets)-1] != 1 {
+		t.Fatalf("overflow bucket count = %d, want 1", s.Buckets[len(s.Buckets)-1])
+	}
+}
+
+func TestHistogramCountSumMean(t *testing.T) {
+	h := NewHistogram(ExpBounds(1, 2, 10)...)
+	var want float64
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+		want += float64(i)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d, want 100", h.Count())
+	}
+	if math.Abs(h.Sum()-want) > 1e-9 {
+		t.Fatalf("sum = %g, want %g", h.Sum(), want)
+	}
+	if math.Abs(h.Mean()-want/100) > 1e-9 {
+		t.Fatalf("mean = %g, want %g", h.Mean(), want/100)
+	}
+}
+
+func TestHistogramEmptyIsZero(t *testing.T) {
+	h := NewHistogram(1, 2, 3)
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestExpBoundsShape(t *testing.T) {
+	b := ExpBounds(1, 2, 5)
+	want := []float64{1, 2, 4, 8, 16}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("ExpBounds[%d] = %g, want %g", i, b[i], want[i])
+		}
+	}
+}

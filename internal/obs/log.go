@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"flag"
+	"log/slog"
+	"os"
+)
+
+// LogFlags holds the shared -quiet/-v structured-log level flags every
+// CLI registers before flag.Parse and applies right after:
+//
+//	logf := obs.NewLogFlags()
+//	flag.Parse()
+//	logf.Setup("branchnet-bench")
+//
+// Setup installs a log/slog text handler on stderr as the default
+// logger: -quiet raises the level to WARN (errors and surprises only),
+// -v lowers it to DEBUG, and the default is INFO. Every record carries a
+// prog attribute so interleaved multi-process logs (serve + loadgen in
+// the CI smoke test) stay attributable.
+type LogFlags struct {
+	quiet   *bool
+	verbose *bool
+}
+
+// NewLogFlags registers -quiet and -v on the default flag set.
+func NewLogFlags() *LogFlags {
+	return &LogFlags{
+		quiet:   flag.Bool("quiet", false, "log warnings and errors only"),
+		verbose: flag.Bool("v", false, "log debug detail"),
+	}
+}
+
+// Setup installs the slog default logger at the selected level. Call
+// after flag.Parse.
+func (lf *LogFlags) Setup(prog string) {
+	level := slog.LevelInfo
+	if *lf.quiet {
+		level = slog.LevelWarn
+	}
+	if *lf.verbose {
+		level = slog.LevelDebug
+	}
+	SetupLogs(prog, level)
+}
+
+// SetupLogs installs the slog default logger: a text handler on stderr
+// at the given level, timestamps dropped (these are operator-facing CLI
+// logs, not aggregated server logs), every record tagged with prog.
+func SetupLogs(prog string, level slog.Level) {
+	h := slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{
+		Level: level,
+		ReplaceAttr: func(groups []string, a slog.Attr) slog.Attr {
+			if a.Key == slog.TimeKey && len(groups) == 0 {
+				return slog.Attr{}
+			}
+			return a
+		},
+	})
+	slog.SetDefault(slog.New(h).With("prog", prog))
+}

@@ -1,0 +1,201 @@
+// Package obs is the repo-wide observability core: a named metrics
+// registry (atomic counters, gauges, fixed-bucket histograms, labeled
+// counters), lightweight span tracing over a lock-free ring buffer, a
+// render-time runtime sampler (heap, GC, goroutines), Prometheus
+// text-format and JSON exposition, and a structured-log (log/slog) setup
+// shared by every CLI.
+//
+// The package is dependency-free (stdlib only) and allocation-conscious:
+// recording on a counter, gauge, or histogram is one or two atomic
+// operations with no locks and no allocation, so hot paths — every served
+// prediction, every batch flush, every optimizer step — can stay
+// instrumented at all times. Registry lookups (Counter, Gauge, Histogram)
+// take a mutex and are meant for setup time: resolve metrics once, keep
+// the pointers. Span recording allocates (one Span and its attrs), so it
+// belongs on epoch/figure/flush granularity, not per-prediction.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value (queue depth, live sessions).
+type Gauge struct{ v atomic.Int64 }
+
+// Add moves the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bound histogram with atomic buckets. Bounds are
+// bucket upper limits in ascending order; an implicit +Inf bucket catches
+// the overflow. Observe, Count, Sum are wait-free; Mean and Quantile read
+// a best-effort snapshot (buckets may be mid-update, which skews a
+// quantile by at most the in-flight observations).
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// NewHistogram builds a histogram over the given bucket upper bounds,
+// which are sorted and de-duplicated. At least one bound is required.
+func NewHistogram(bounds ...float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	uniq := bs[:1]
+	for _, b := range bs[1:] {
+		if b != uniq[len(uniq)-1] {
+			uniq = append(uniq, b)
+		}
+	}
+	return &Histogram{bounds: uniq, buckets: make([]atomic.Uint64, len(uniq)+1)}
+}
+
+// ExpBounds returns n bucket bounds growing geometrically from start by
+// factor — the usual shape for latencies and batch sizes.
+func ExpBounds(start, factor float64, n int) []float64 {
+	bounds := make([]float64, n)
+	v := start
+	for i := range bounds {
+		bounds[i] = v
+		v *= factor
+	}
+	return bounds
+}
+
+// DefaultLatencyBounds returns the shared request-latency bucket grid
+// (50µs growing 1.5x for 32 buckets, topping out near 15s). The serving
+// daemon's server-side histogram and the load generator's client-side
+// histogram both use it, so their reported quantiles come from the same
+// implementation on the same grid — any residual skew between them is
+// real network/queueing time, not measurement disagreement.
+func DefaultLatencyBounds() []float64 { return ExpBounds(50e-6, 1.5, 32) }
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// First bound >= v; values above every bound land in the +Inf bucket.
+	idx := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Mean returns the average observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Quantile returns an estimate of the q-quantile (0 < q <= 1), linearly
+// interpolated within the containing bucket. Observations in the overflow
+// bucket report the largest bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	rank := q * float64(n)
+	var cum uint64
+	lo := 0.0
+	for i, b := range h.bounds {
+		c := h.buckets[i].Load()
+		if float64(cum+c) >= rank && c > 0 {
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + frac*(b-lo)
+		}
+		cum += c
+		lo = b
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram for JSON
+// reports.
+type HistogramSnapshot struct {
+	Bounds  []float64 `json:"bounds"`
+	Buckets []uint64  `json:"buckets"` // per-bucket counts; last is +Inf overflow
+	Count   uint64    `json:"count"`
+	Sum     float64   `json:"sum"`
+	Mean    float64   `json:"mean"`
+	P50     float64   `json:"p50"`
+	P99     float64   `json:"p99"`
+}
+
+// Snapshot captures the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds:  append([]float64(nil), h.bounds...),
+		Buckets: make([]uint64, len(h.buckets)),
+		Count:   h.Count(),
+		Sum:     h.Sum(),
+		Mean:    h.Mean(),
+		P50:     h.Quantile(0.50),
+		P99:     h.Quantile(0.99),
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// WriteMetric renders the histogram in the Prometheus text form
+// (cumulative _bucket series plus _sum and _count).
+func (h *Histogram) WriteMetric(w io.Writer, name string) {
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, trimFloat(bound), cum)
+	}
+	cum += h.buckets[len(h.buckets)-1].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, h.Sum())
+	fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+}
+
+func trimFloat(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.6f", v), "0"), ".")
+}

@@ -1,0 +1,114 @@
+// Package obscheck is a repo-hygiene gate, not a library: its only test
+// walks cmd/ and internal/ and fails if any non-test file logs through raw
+// log.Print/Printf/Println instead of the structured slog setup in
+// internal/obs. log.Fatal* stays allowed — it is the CLI exit path, and
+// slog has no equivalent that also terminates the process.
+package obscheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// bannedLogCalls are the unstructured log-package entry points every CLI
+// and library has been migrated off.
+var bannedLogCalls = map[string]bool{
+	"Print":   true,
+	"Printf":  true,
+	"Println": true,
+}
+
+func repoRoot(t *testing.T) string {
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("runtime.Caller failed")
+	}
+	// internal/obs/obscheck/obscheck_test.go -> repo root is three up.
+	return filepath.Dir(filepath.Dir(filepath.Dir(filepath.Dir(file))))
+}
+
+func TestNoRawLogPrintOutsideObs(t *testing.T) {
+	root := repoRoot(t)
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("repo root detection failed (%s has no go.mod): %v", root, err)
+	}
+
+	var violations []string
+	for _, top := range []string{"cmd", "internal"} {
+		err := filepath.WalkDir(filepath.Join(root, top), func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				// The obs package itself is the logging layer; tests may
+				// exercise log however they like.
+				if d.Name() == "obs" && top == "internal" {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			violations = append(violations, checkFile(t, path)...)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("walking %s: %v", top, err)
+		}
+	}
+	for _, v := range violations {
+		t.Errorf("raw log call (use slog via internal/obs, or log.Fatal* for exits): %s", v)
+	}
+}
+
+// checkFile parses one Go file and returns "file:line: log.X" for each
+// banned call through the standard log package.
+func checkFile(t *testing.T, path string) []string {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		t.Fatalf("parsing %s: %v", path, err)
+	}
+	// Resolve what identifier the "log" package is imported as (skip files
+	// that don't import it at all).
+	logName := ""
+	for _, imp := range f.Imports {
+		if strings.Trim(imp.Path.Value, `"`) == "log" {
+			logName = "log"
+			if imp.Name != nil {
+				logName = imp.Name.Name
+			}
+		}
+	}
+	if logName == "" || logName == "_" {
+		return nil
+	}
+	var out []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || pkg.Name != logName || !bannedLogCalls[sel.Sel.Name] {
+			return true
+		}
+		pos := fset.Position(call.Pos())
+		rel, _ := filepath.Rel(repoRoot(t), pos.Filename)
+		out = append(out, fmt.Sprintf("%s:%d: %s.%s", rel, pos.Line, logName, sel.Sel.Name))
+		return true
+	})
+	return out
+}

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exposition format byte-for-byte:
+// name-sorted output, cumulative histogram buckets with trimmed le=
+// bounds, a +Inf overflow series, and one line per observed label value.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("branchnet_requests_total").Add(12)
+	r.Gauge("branchnet_queue_depth").Set(3)
+	r.GaugeFunc("branchnet_model_set_version", func() int64 { return 2 })
+	h := r.Histogram("branchnet_batch_size", 1, 2, 4)
+	h.Observe(1)
+	h.Observe(2)
+	h.Observe(2)
+	h.Observe(100) // overflow
+	lc := r.LabeledCounter("branchnet_reload_failures_total", "class")
+	lc.With("parse").Add(2)
+	lc.With("not_found").Inc()
+	r.Histogram("frac_seconds", 0.0005, 0.25).Observe(0.1)
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+
+	want := strings.Join([]string{
+		`branchnet_batch_size_bucket{le="1"} 1`,
+		`branchnet_batch_size_bucket{le="2"} 3`,
+		`branchnet_batch_size_bucket{le="4"} 3`,
+		`branchnet_batch_size_bucket{le="+Inf"} 4`,
+		`branchnet_batch_size_sum 105`,
+		`branchnet_batch_size_count 4`,
+		`branchnet_model_set_version 2`,
+		`branchnet_queue_depth 3`,
+		`branchnet_reload_failures_total{class="not_found"} 1`,
+		`branchnet_reload_failures_total{class="parse"} 2`,
+		`branchnet_requests_total 12`,
+		`frac_seconds_bucket{le="0.0005"} 0`,
+		`frac_seconds_bucket{le="0.25"} 1`,
+		`frac_seconds_bucket{le="+Inf"} 1`,
+		`frac_seconds_sum 0.1`,
+		`frac_seconds_count 1`,
+	}, "\n") + "\n"
+
+	if got := b.String(); got != want {
+		t.Errorf("Prometheus exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestWritePrometheusEmptyLabeledFamilyIsAbsent(t *testing.T) {
+	r := NewRegistry()
+	r.LabeledCounter("errs_total", "class") // registered, never observed
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if b.Len() != 0 {
+		t.Fatalf("unobserved labeled family should render nothing, got %q", b.String())
+	}
+}

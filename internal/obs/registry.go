@@ -1,0 +1,332 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+)
+
+// Registry is a named metrics registry. Registration (Counter, Gauge,
+// Histogram, LabeledCounter, GaugeFunc) is idempotent and mutex-guarded —
+// asking for an existing name returns the existing metric — while the
+// returned metrics themselves stay lock-free. Register once at setup,
+// keep the pointers, record forever.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	gaugeFuncs map[string]func() int64
+	hists      map[string]*Histogram
+	labeled    map[string]*LabeledCounter
+}
+
+// Default is the process-wide registry: the training stack, checkpoint
+// layer, fault injector, and experiments runner all register here, and
+// every CLI's -metrics-out writes its snapshot. The serving daemon uses
+// its own per-server registry instead so concurrent servers (tests) never
+// collide.
+var Default = NewRegistry()
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		gaugeFuncs: make(map[string]func() int64),
+		hists:      make(map[string]*Histogram),
+		labeled:    make(map[string]*LabeledCounter),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		r.checkFree(name, "counter")
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		r.checkFree(name, "gauge")
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers (or replaces) a callback gauge sampled at render
+// time — the mechanism behind the runtime sampler and the worker-pool
+// utilization gauges. The callback must be safe for concurrent use.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.gaugeFuncs[name]; !ok {
+		r.checkFree(name, "gauge func")
+	}
+	r.gaugeFuncs[name] = fn
+}
+
+// Histogram returns the named histogram, creating it over the given
+// bucket bounds on first use (later calls ignore the bounds and return
+// the existing histogram).
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		r.checkFree(name, "histogram")
+		h = NewHistogram(bounds...)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// LabeledCounter returns the named labeled counter family, creating it
+// with the given label key on first use.
+func (r *Registry) LabeledCounter(name, label string) *LabeledCounter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	lc, ok := r.labeled[name]
+	if !ok {
+		r.checkFree(name, "labeled counter")
+		lc = &LabeledCounter{name: name, label: label, children: make(map[string]*Counter)}
+		r.labeled[name] = lc
+	}
+	return lc
+}
+
+// checkFree panics when name is already registered under a different
+// metric kind — a programming error that would otherwise silently shadow
+// one metric with another. Callers hold r.mu.
+func (r *Registry) checkFree(name, kind string) {
+	_, c := r.counters[name]
+	_, g := r.gauges[name]
+	_, f := r.gaugeFuncs[name]
+	_, h := r.hists[name]
+	_, l := r.labeled[name]
+	if c || g || f || h || l {
+		panic(fmt.Sprintf("obs: metric %q already registered as a different kind (want %s)", name, kind))
+	}
+}
+
+// LabeledCounter is a family of counters keyed by one label value
+// (error class, injection point). Child lookup takes a read lock; hold
+// the returned *Counter when the label value is hot.
+type LabeledCounter struct {
+	name, label string
+	mu          sync.RWMutex
+	children    map[string]*Counter
+}
+
+// With returns the child counter for the given label value, creating it
+// on first use.
+func (lc *LabeledCounter) With(value string) *Counter {
+	lc.mu.RLock()
+	c := lc.children[value]
+	lc.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	if c = lc.children[value]; c == nil {
+		c = &Counter{}
+		lc.children[value] = c
+	}
+	return c
+}
+
+// Total sums every child counter.
+func (lc *LabeledCounter) Total() uint64 {
+	lc.mu.RLock()
+	defer lc.mu.RUnlock()
+	var total uint64
+	for _, c := range lc.children {
+		total += c.Value()
+	}
+	return total
+}
+
+// Values returns a copy of the per-label counts.
+func (lc *LabeledCounter) Values() map[string]uint64 {
+	lc.mu.RLock()
+	defer lc.mu.RUnlock()
+	out := make(map[string]uint64, len(lc.children))
+	for v, c := range lc.children {
+		out[v] = c.Value()
+	}
+	return out
+}
+
+// RegistrySnapshot is a point-in-time JSON form of a registry — the
+// -metrics-out payload every CLI can emit on exit, shaped like the other
+// BENCH_* reports (one self-describing JSON object).
+type RegistrySnapshot struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Labeled    map[string]map[string]uint64 `json:"labeled,omitempty"`
+}
+
+// Snapshot captures every registered metric. Callback gauges are sampled
+// now; counters and histograms are best-effort consistent (writers never
+// stop).
+func (r *Registry) Snapshot() RegistrySnapshot {
+	r.mu.Lock()
+	counters := make([]namedCounter, 0, len(r.counters))
+	for n, c := range r.counters {
+		counters = append(counters, namedCounter{n, c})
+	}
+	gauges := make([]namedGauge, 0, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges = append(gauges, namedGauge{n, g})
+	}
+	funcs := make(map[string]func() int64, len(r.gaugeFuncs))
+	for n, f := range r.gaugeFuncs {
+		funcs[n] = f
+	}
+	hists := make([]namedHist, 0, len(r.hists))
+	for n, h := range r.hists {
+		hists = append(hists, namedHist{n, h})
+	}
+	labeled := make([]*LabeledCounter, 0, len(r.labeled))
+	for _, lc := range r.labeled {
+		labeled = append(labeled, lc)
+	}
+	r.mu.Unlock()
+
+	snap := RegistrySnapshot{
+		Counters:   make(map[string]uint64, len(counters)),
+		Gauges:     make(map[string]int64, len(gauges)+len(funcs)),
+		Histograms: make(map[string]HistogramSnapshot, len(hists)),
+		Labeled:    make(map[string]map[string]uint64, len(labeled)),
+	}
+	for _, c := range counters {
+		snap.Counters[c.name] = c.c.Value()
+	}
+	for _, g := range gauges {
+		snap.Gauges[g.name] = g.g.Value()
+	}
+	for n, f := range funcs {
+		snap.Gauges[n] = f()
+	}
+	for _, h := range hists {
+		snap.Histograms[h.name] = h.h.Snapshot()
+	}
+	for _, lc := range labeled {
+		snap.Labeled[lc.name] = lc.Values()
+	}
+	return snap
+}
+
+type namedCounter struct {
+	name string
+	c    *Counter
+}
+type namedGauge struct {
+	name string
+	g    *Gauge
+}
+type namedHist struct {
+	name string
+	h    *Histogram
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format, in deterministic (name-sorted) order. Labeled
+// counters render one line per observed label value; families with no
+// observations yet render nothing (absent-until-first-event, the
+// Prometheus idiom).
+func (r *Registry) WritePrometheus(w io.Writer) {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms)+len(snap.Labeled))
+	for n := range snap.Counters {
+		names = append(names, n)
+	}
+	for n := range snap.Gauges {
+		names = append(names, n)
+	}
+	for n := range snap.Histograms {
+		names = append(names, n)
+	}
+	for n := range snap.Labeled {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	r.mu.Lock()
+	hists := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = h
+	}
+	labelKeys := make(map[string]string, len(r.labeled))
+	for n, lc := range r.labeled {
+		labelKeys[n] = lc.label
+	}
+	r.mu.Unlock()
+
+	for _, n := range names {
+		if v, ok := snap.Counters[n]; ok {
+			fmt.Fprintf(w, "%s %d\n", n, v)
+			continue
+		}
+		if v, ok := snap.Gauges[n]; ok {
+			fmt.Fprintf(w, "%s %d\n", n, v)
+			continue
+		}
+		if h, ok := hists[n]; ok {
+			h.WriteMetric(w, n)
+			continue
+		}
+		if children, ok := snap.Labeled[n]; ok {
+			label := labelKeys[n]
+			values := make([]string, 0, len(children))
+			for v := range children {
+				values = append(values, v)
+			}
+			sort.Strings(values)
+			for _, v := range values {
+				fmt.Fprintf(w, "%s{%s=%q} %d\n", n, label, v, children[v])
+			}
+		}
+	}
+}
+
+// PrometheusHandler serves the registry as text-format /metrics.
+func (r *Registry) PrometheusHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		r.WritePrometheus(w)
+	})
+}
+
+// WriteMetricsFile writes the registry snapshot as indented JSON to path.
+// An empty path is a no-op, so CLIs can call it unconditionally with
+// their -metrics-out flag value.
+func WriteMetricsFile(path string, r *Registry) error {
+	if path == "" {
+		return nil
+	}
+	b, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: encoding metrics snapshot: %w", err)
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return fmt.Errorf("obs: writing metrics snapshot: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrentUse hammers one registry from many goroutines —
+// registration races, recording races, render races — and then checks the
+// totals against the single-threaded oracle. Run under -race this is the
+// package's data-race gate.
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 8
+	const iters = 2000
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Every goroutine resolves the same names: registration must be
+			// idempotent and the returned pointers shared.
+			c := r.Counter("reqs_total")
+			ga := r.Gauge("depth")
+			h := r.Histogram("lat_seconds", 0.001, 0.01, 0.1, 1)
+			lc := r.LabeledCounter("errs_total", "class")
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				ga.Add(1)
+				ga.Add(-1)
+				h.Observe(0.005)
+				lc.With("parse").Inc()
+				if i%2 == 0 {
+					lc.With("not_found").Inc()
+				}
+			}
+		}()
+	}
+	// Concurrent readers: snapshots and Prometheus rendering must never
+	// tear or race against the writers.
+	var readers sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 2; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = r.Snapshot()
+					r.WritePrometheus(discard{})
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	const total = goroutines * iters
+	if got := r.Counter("reqs_total").Value(); got != total {
+		t.Errorf("counter = %d, want %d", got, total)
+	}
+	if got := r.Gauge("depth").Value(); got != 0 {
+		t.Errorf("gauge = %d, want 0", got)
+	}
+	if got := r.Histogram("lat_seconds").Count(); got != total {
+		t.Errorf("histogram count = %d, want %d", got, total)
+	}
+	lc := r.LabeledCounter("errs_total", "class")
+	if got := lc.With("parse").Value(); got != total {
+		t.Errorf("labeled[parse] = %d, want %d", got, total)
+	}
+	if got := lc.With("not_found").Value(); got != total/2 {
+		t.Errorf("labeled[not_found] = %d, want %d", got, total/2)
+	}
+	if got := lc.Total(); got != total+total/2 {
+		t.Errorf("labeled total = %d, want %d", got, total+total/2)
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+func TestRegistryKindCollisionPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering gauge over existing counter name should panic")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestRegistrySnapshotAndGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(7)
+	r.Gauge("g").Set(-3)
+	r.GaugeFunc("gf", func() int64 { return 42 })
+	r.Histogram("h", 1, 2).Observe(1.5)
+	r.LabeledCounter("l", "k").With("v").Add(9)
+
+	s := r.Snapshot()
+	if s.Counters["c"] != 7 {
+		t.Errorf("counter snapshot = %d, want 7", s.Counters["c"])
+	}
+	if s.Gauges["g"] != -3 || s.Gauges["gf"] != 42 {
+		t.Errorf("gauge snapshots = %v, want g=-3 gf=42", s.Gauges)
+	}
+	if s.Histograms["h"].Count != 1 {
+		t.Errorf("histogram snapshot count = %d, want 1", s.Histograms["h"].Count)
+	}
+	if s.Labeled["l"]["v"] != 9 {
+		t.Errorf("labeled snapshot = %v, want l[v]=9", s.Labeled)
+	}
+}
+
+func TestWriteMetricsFile(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("written_total").Add(3)
+
+	if err := WriteMetricsFile("", r); err != nil {
+		t.Fatalf("empty path should be a no-op, got %v", err)
+	}
+
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	if err := WriteMetricsFile(path, r); err != nil {
+		t.Fatalf("WriteMetricsFile: %v", err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading snapshot: %v", err)
+	}
+	var snap RegistrySnapshot
+	if err := json.Unmarshal(b, &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if snap.Counters["written_total"] != 3 {
+		t.Errorf("round-tripped counter = %d, want 3", snap.Counters["written_total"])
+	}
+}

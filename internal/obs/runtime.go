@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memStatsCache throttles runtime.ReadMemStats (a stop-the-world-ish
+// call) so render-time sampling from /metrics scrapes or snapshot writes
+// never pays it more than once per second no matter how many gauges read
+// from it.
+type memStatsCache struct {
+	mu   sync.Mutex
+	at   time.Time
+	stat runtime.MemStats
+}
+
+func (c *memStatsCache) read() *runtime.MemStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if now := time.Now(); now.Sub(c.at) >= time.Second {
+		runtime.ReadMemStats(&c.stat)
+		c.at = now
+	}
+	return &c.stat
+}
+
+// RegisterRuntimeMetrics adds the runtime sampler's gauges to r: heap in
+// use, cumulative GC pause time and cycle count, and live goroutines.
+// Sampling happens at render time (each /metrics scrape or snapshot),
+// with the MemStats read throttled to once per second — no background
+// goroutine, zero cost while nobody is looking. Idempotent: registering
+// twice replaces the callbacks.
+func RegisterRuntimeMetrics(r *Registry) {
+	cache := &memStatsCache{}
+	r.GaugeFunc("runtime_goroutines", func() int64 {
+		return int64(runtime.NumGoroutine())
+	})
+	r.GaugeFunc("runtime_heap_alloc_bytes", func() int64 {
+		return int64(cache.read().HeapAlloc)
+	})
+	r.GaugeFunc("runtime_heap_objects", func() int64 {
+		return int64(cache.read().HeapObjects)
+	})
+	r.GaugeFunc("runtime_gc_pause_total_ns", func() int64 {
+		return int64(cache.read().PauseTotalNs)
+	})
+	r.GaugeFunc("runtime_gc_cycles_total", func() int64 {
+		return int64(cache.read().NumGC)
+	})
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one timed operation: a training epoch, a figure regeneration, a
+// batch flush, a model reload. Spans carry parent/child IDs (a flat trace
+// tree, no context plumbing) and small string attrs. A span is mutated
+// only by its owning goroutine until End, which publishes it into the
+// tracer's ring; after End it is read-only.
+type Span struct {
+	ID     uint64            `json:"id"`
+	Parent uint64            `json:"parent,omitempty"`
+	Name   string            `json:"name"`
+	Start  int64             `json:"start_unix_ns"`
+	End    int64             `json:"end_unix_ns"`
+	Attrs  map[string]string `json:"attrs,omitempty"`
+
+	tracer *Tracer
+}
+
+// Tracer records finished spans into a fixed-size lock-free ring buffer:
+// End is one atomic increment plus one atomic pointer store, so tracing
+// never blocks the traced path, and the last N spans are always
+// exportable as JSON. Old spans are overwritten silently — the ring is a
+// flight recorder, not a log.
+//
+// A nil *Tracer (and the nil *Span every method then returns) is a valid
+// disabled tracer: Start/StartChild/SetAttr/Finish are no-ops, so
+// instrumented code needs no enabled-check beyond carrying the pointer.
+type Tracer struct {
+	ring   []atomic.Pointer[Span]
+	mask   uint64
+	pos    atomic.Uint64 // next write slot (total spans ever finished)
+	nextID atomic.Uint64
+}
+
+// DefaultTracer is the process-wide tracer behind the training and
+// experiments instrumentation, sized for a full -all suite run.
+var DefaultTracer = NewTracer(1024)
+
+// NewTracer returns a tracer keeping the last n finished spans (n is
+// rounded up to a power of two, minimum 16).
+func NewTracer(n int) *Tracer {
+	size := 16
+	for size < n {
+		size <<= 1
+	}
+	return &Tracer{ring: make([]atomic.Pointer[Span], size), mask: uint64(size - 1)}
+}
+
+// Start opens a root span.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{
+		ID:     t.nextID.Add(1),
+		Name:   name,
+		Start:  time.Now().UnixNano(),
+		tracer: t,
+	}
+}
+
+// StartChild opens a span parented under s.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	child := s.tracer.Start(name)
+	child.Parent = s.ID
+	return child
+}
+
+// SetAttr attaches a string attribute and returns s for chaining. Call
+// only before Finish.
+func (s *Span) SetAttr(key, value string) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.Attrs == nil {
+		s.Attrs = make(map[string]string, 4)
+	}
+	s.Attrs[key] = value
+	return s
+}
+
+// SetInt is SetAttr for integer values.
+func (s *Span) SetInt(key string, value int64) *Span {
+	return s.SetAttr(key, strconv.FormatInt(value, 10))
+}
+
+// SetFloat is SetAttr for float values.
+func (s *Span) SetFloat(key string, value float64) *Span {
+	return s.SetAttr(key, strconv.FormatFloat(value, 'g', 6, 64))
+}
+
+// Finish stamps the end time and publishes the span into the tracer's
+// ring, overwriting the oldest entry once the ring is full.
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	s.End = time.Now().UnixNano()
+	t := s.tracer
+	idx := t.pos.Add(1) - 1
+	t.ring[idx&t.mask].Store(s)
+}
+
+// Spans returns up to max of the most recently finished spans, oldest
+// first. The read is best-effort under concurrent writers: a slot being
+// overwritten mid-read yields either the old or the new span, never a
+// torn one (slots are atomic pointers).
+func (t *Tracer) Spans(max int) []*Span {
+	if t == nil {
+		return nil
+	}
+	end := t.pos.Load()
+	n := uint64(len(t.ring))
+	if end < n {
+		n = end
+	}
+	if max > 0 && uint64(max) < n {
+		n = uint64(max)
+	}
+	out := make([]*Span, 0, n)
+	for i := end - n; i < end; i++ {
+		if sp := t.ring[i&t.mask].Load(); sp != nil {
+			out = append(out, sp)
+		}
+	}
+	// Concurrent wraparound can leave IDs out of order; present a stable
+	// oldest-first view.
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// spansPage is the /debug/spans JSON document.
+type spansPage struct {
+	Count int     `json:"count"`
+	Spans []*Span `json:"spans"`
+}
+
+// Handler serves the last spans as JSON (the /debug/spans endpoint). The
+// optional ?n= query bounds the count (default: the whole ring).
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		max := 0
+		if q := r.URL.Query().Get("n"); q != "" {
+			if v, err := strconv.Atoi(q); err == nil && v > 0 {
+				max = v
+			}
+		}
+		spans := t.Spans(max)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(spansPage{Count: len(spans), Spans: spans}) //nolint:errcheck // client gone is fine
+	})
+}

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func TestTracerRingWraparound(t *testing.T) {
+	tr := NewTracer(16) // exact power of two: ring size 16
+	const total = 40    // wraps the ring 2.5 times
+	for i := 0; i < total; i++ {
+		tr.Start(fmt.Sprintf("span-%d", i)).Finish()
+	}
+	spans := tr.Spans(0)
+	if len(spans) != 16 {
+		t.Fatalf("got %d spans after wraparound, want ring size 16", len(spans))
+	}
+	// Only the newest 16 survive, oldest first.
+	for i, sp := range spans {
+		want := fmt.Sprintf("span-%d", total-16+i)
+		if sp.Name != want {
+			t.Errorf("spans[%d] = %q, want %q", i, sp.Name, want)
+		}
+		if sp.End < sp.Start {
+			t.Errorf("spans[%d] end %d before start %d", i, sp.End, sp.Start)
+		}
+	}
+}
+
+func TestTracerRoundsUpToPowerOfTwo(t *testing.T) {
+	tr := NewTracer(20) // rounds up to 32
+	for i := 0; i < 100; i++ {
+		tr.Start("s").Finish()
+	}
+	if got := len(tr.Spans(0)); got != 32 {
+		t.Fatalf("ring kept %d spans, want 32 (20 rounded up)", got)
+	}
+}
+
+func TestTracerSpansMaxBound(t *testing.T) {
+	tr := NewTracer(16)
+	for i := 0; i < 10; i++ {
+		tr.Start(fmt.Sprintf("s%d", i)).Finish()
+	}
+	spans := tr.Spans(3)
+	if len(spans) != 3 {
+		t.Fatalf("Spans(3) returned %d", len(spans))
+	}
+	if spans[2].Name != "s9" {
+		t.Fatalf("last of Spans(3) = %q, want newest s9", spans[2].Name)
+	}
+}
+
+func TestSpanParentAndAttrs(t *testing.T) {
+	tr := NewTracer(16)
+	root := tr.Start("root").SetAttr("mode", "test").SetInt("n", 7).SetFloat("loss", 0.25)
+	child := root.StartChild("child")
+	child.Finish()
+	root.Finish()
+
+	spans := tr.Spans(0)
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	// Spans sorts by ID: the root (opened first) precedes the child even
+	// though the child finished first.
+	r, c := spans[0], spans[1]
+	if c.Parent != r.ID {
+		t.Errorf("child parent = %d, want root id %d", c.Parent, r.ID)
+	}
+	if r.Attrs["mode"] != "test" || r.Attrs["n"] != "7" || r.Attrs["loss"] != "0.25" {
+		t.Errorf("root attrs = %v", r.Attrs)
+	}
+}
+
+// TestNilTracerIsDisabled is the contract instrumented code relies on: a
+// nil tracer (and the nil spans it hands out) must be safe through the
+// whole span API.
+func TestNilTracerIsDisabled(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("x")
+	sp.SetAttr("k", "v").SetInt("i", 1).SetFloat("f", 2)
+	sp.StartChild("y").Finish()
+	sp.Finish()
+	if got := tr.Spans(10); got != nil {
+		t.Fatalf("nil tracer Spans = %v, want nil", got)
+	}
+}
+
+func TestTracerConcurrentFinish(t *testing.T) {
+	tr := NewTracer(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Start("w").SetInt("i", int64(i)).Finish()
+			}
+		}()
+	}
+	// Concurrent reader while writers wrap the ring.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			for _, sp := range tr.Spans(0) {
+				if sp.Name != "w" {
+					t.Errorf("unexpected span %q", sp.Name)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := len(tr.Spans(0)); got != 32 {
+		t.Fatalf("ring holds %d spans, want 32", got)
+	}
+}
+
+func TestSpanHandler(t *testing.T) {
+	tr := NewTracer(16)
+	for i := 0; i < 5; i++ {
+		tr.Start("h").Finish()
+	}
+	srv := httptest.NewServer(tr.Handler())
+	defer srv.Close()
+
+	for _, tc := range []struct {
+		query string
+		want  int
+	}{{"", 5}, {"?n=2", 2}, {"?n=bogus", 5}} {
+		resp, err := srv.Client().Get(srv.URL + tc.query)
+		if err != nil {
+			t.Fatalf("GET %q: %v", tc.query, err)
+		}
+		var page struct {
+			Count int     `json:"count"`
+			Spans []*Span `json:"spans"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+			t.Fatalf("decoding %q: %v", tc.query, err)
+		}
+		resp.Body.Close()
+		if page.Count != tc.want || len(page.Spans) != tc.want {
+			t.Errorf("GET %q: count=%d len=%d, want %d", tc.query, page.Count, len(page.Spans), tc.want)
+		}
+	}
+}

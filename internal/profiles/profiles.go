@@ -4,7 +4,7 @@ package profiles
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -29,7 +29,7 @@ func Start(cpu, mem string) (stop func(), err error) {
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
 			if err := cpuFile.Close(); err != nil {
-				log.Printf("closing -cpuprofile: %v", err)
+				slog.Warn("closing -cpuprofile", "err", err)
 			}
 		}
 		if mem == "" {
@@ -37,15 +37,15 @@ func Start(cpu, mem string) (stop func(), err error) {
 		}
 		f, err := os.Create(mem)
 		if err != nil {
-			log.Printf("creating -memprofile: %v", err)
+			slog.Warn("creating -memprofile", "err", err)
 			return
 		}
 		runtime.GC() // up-to-date heap statistics
 		if err := pprof.WriteHeapProfile(f); err != nil {
-			log.Printf("writing -memprofile: %v", err)
+			slog.Warn("writing -memprofile", "err", err)
 		}
 		if err := f.Close(); err != nil {
-			log.Printf("closing -memprofile: %v", err)
+			slog.Warn("closing -memprofile", "err", err)
 		}
 	}, nil
 }

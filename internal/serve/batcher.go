@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"branchnet/internal/branchnet"
+	"branchnet/internal/obs"
 	"branchnet/internal/serve/stats"
 )
 
@@ -55,6 +56,7 @@ type Batcher struct {
 	queueDepth *stats.Gauge
 	expired    *stats.Counter
 	flushes    *stats.Counter
+	tracer     *obs.Tracer
 
 	closed   atomic.Bool
 	stop     chan struct{}
@@ -64,7 +66,8 @@ type Batcher struct {
 // NewBatcher starts a batcher. maxBatch bounds the items per flush,
 // maxDelay the wait for stragglers after the first item arrives, and
 // queueLen the number of queued submissions admitted before ErrQueueFull.
-func NewBatcher(maxBatch int, maxDelay time.Duration, queueLen int, st *Stats) *Batcher {
+// A nil tracer disables flush spans.
+func NewBatcher(maxBatch int, maxDelay time.Duration, queueLen int, st *Stats, tracer *obs.Tracer) *Batcher {
 	if maxBatch < 1 {
 		maxBatch = 1
 	}
@@ -76,9 +79,10 @@ func NewBatcher(maxBatch int, maxDelay time.Duration, queueLen int, st *Stats) *
 		maxBatch:   maxBatch,
 		maxDelay:   maxDelay,
 		batchSizes: st.BatchSizes,
-		queueDepth: &st.QueueDepth,
-		expired:    &st.Expired,
-		flushes:    &st.Flushes,
+		queueDepth: st.QueueDepth,
+		expired:    st.Expired,
+		flushes:    st.Flushes,
+		tracer:     tracer,
 		stop:       make(chan struct{}),
 		loopDone:   make(chan struct{}),
 	}
@@ -182,9 +186,11 @@ type group struct {
 }
 
 func (b *Batcher) flush(jobs []*job) {
+	sp := b.tracer.Start("serve.flush").SetInt("jobs", int64(len(jobs)))
 	b.queueDepth.Add(-int64(len(jobs)))
 	groups := make(map[*branchnet.Attached]*group)
 	live := jobs[:0]
+	items := 0
 	for _, j := range jobs {
 		if j.ctx != nil && j.ctx.Err() != nil {
 			// The submitter already gave up; don't spend inference on it.
@@ -193,6 +199,7 @@ func (b *Batcher) flush(jobs []*job) {
 			continue
 		}
 		live = append(live, j)
+		items += len(j.items)
 		for _, it := range j.items {
 			g := groups[it.Model]
 			if g == nil {
@@ -216,4 +223,5 @@ func (b *Batcher) flush(jobs []*job) {
 	for _, j := range live {
 		close(j.done)
 	}
+	sp.SetInt("items", int64(items)).SetInt("models", int64(len(groups))).Finish()
 }

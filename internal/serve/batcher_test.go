@@ -25,7 +25,7 @@ func batchItems(m *branchnet.Attached, n int) ([]BatchItem, []bool) {
 }
 
 func TestBatcherClosedRejects(t *testing.T) {
-	b := NewBatcher(8, time.Millisecond, 8, newStats())
+	b := NewBatcher(8, time.Millisecond, 8, newStats(), nil)
 	b.Close()
 	items, _ := batchItems(batcherModel(0x10), 1)
 	if err := b.Submit(context.Background(), items); !errors.Is(err, ErrClosed) {
@@ -43,9 +43,9 @@ func TestBatcherQueueFull(t *testing.T) {
 		maxBatch:   8,
 		maxDelay:   time.Millisecond,
 		batchSizes: st.BatchSizes,
-		queueDepth: &st.QueueDepth,
-		expired:    &st.Expired,
-		flushes:    &st.Flushes,
+		queueDepth: st.QueueDepth,
+		expired:    st.Expired,
+		flushes:    st.Flushes,
 		stop:       make(chan struct{}),
 		loopDone:   make(chan struct{}),
 	}
@@ -73,7 +73,7 @@ func TestBatcherQueueFull(t *testing.T) {
 
 func TestBatcherExpiredJobSkipped(t *testing.T) {
 	st := newStats()
-	b := NewBatcher(1<<20, 50*time.Millisecond, 8, st)
+	b := NewBatcher(1<<20, 50*time.Millisecond, 8, st, nil)
 	defer b.Close()
 	m := batcherModel(0x30)
 
@@ -95,7 +95,7 @@ func TestBatcherExpiredJobSkipped(t *testing.T) {
 func TestBatcherFusesAcrossSubmissions(t *testing.T) {
 	st := newStats()
 	// A generous straggler window so both submissions land in one flush.
-	b := NewBatcher(1<<20, 200*time.Millisecond, 8, st)
+	b := NewBatcher(1<<20, 200*time.Millisecond, 8, st, nil)
 	m := batcherModel(0x40)
 
 	itemsA, outA := batchItems(m, 2)

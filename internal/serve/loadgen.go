@@ -13,6 +13,7 @@ import (
 	"branchnet/internal/branchnet"
 	"branchnet/internal/engine"
 	"branchnet/internal/hybrid"
+	"branchnet/internal/obs"
 	"branchnet/internal/predictor"
 	"branchnet/internal/serve/stats"
 	"branchnet/internal/trace"
@@ -109,6 +110,10 @@ type LoadConfig struct {
 	DeadlineMS int64
 	// Client overrides the HTTP client (default: 10s timeout).
 	Client *http.Client
+	// Obs, when non-nil, registers the client-side histogram and counters
+	// (loadgen_request_seconds, loadgen_requests_total, ...) so a
+	// -metrics-out snapshot carries the run.
+	Obs *obs.Registry
 }
 
 // LoadReport summarizes a RunLoad.
@@ -126,6 +131,13 @@ type LoadReport struct {
 	LatencyMean       float64 `json:"latency_mean_seconds"`
 	LatencyP50        float64 `json:"latency_p50_seconds"`
 	LatencyP99        float64 `json:"latency_p99_seconds"`
+	// Latency is the full client-side histogram behind the summary
+	// quantiles above. Client and server histograms share one bucket
+	// layout (obs.DefaultLatencyBounds) and one quantile implementation,
+	// so BENCH_serve.json and the server's /metrics disagree only by what
+	// they measure — the client side additionally includes network and
+	// HTTP overhead, so its quantiles upper-bound the server's.
+	Latency stats.Snapshot `json:"latency"`
 	// Server is the server's own /v1/stats snapshot at the end of the run.
 	Server StatsSnapshot `json:"server"`
 }
@@ -163,7 +175,13 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		client = &http.Client{Timeout: 10 * time.Second}
 	}
 
-	latency := stats.NewHistogram(stats.ExpBounds(50e-6, 1.5, 32)...)
+	// The client-side latency histogram uses the same bucket layout as
+	// the server's branchnet_request_seconds, so the two sides' quantiles
+	// are computed identically and differ only by network+HTTP overhead.
+	latency := stats.NewHistogram(obs.DefaultLatencyBounds()...)
+	if cfg.Obs != nil {
+		latency = cfg.Obs.Histogram("loadgen_request_seconds", obs.DefaultLatencyBounds()...)
+	}
 	workers := make([]loadWorker, cfg.Sessions)
 	start := time.Now()
 	stopAt := time.Time{}
@@ -218,6 +236,14 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	rep.LatencyMean = latency.Mean()
 	rep.LatencyP50 = latency.Quantile(0.50)
 	rep.LatencyP99 = latency.Quantile(0.99)
+	rep.Latency = latency.Snapshot()
+	if cfg.Obs != nil {
+		cfg.Obs.Counter("loadgen_requests_total").Add(rep.Requests)
+		cfg.Obs.Counter("loadgen_predictions_total").Add(rep.Predictions)
+		cfg.Obs.Counter("loadgen_mismatches_total").Add(rep.Mismatches)
+		cfg.Obs.Counter("loadgen_retries_429_total").Add(rep.Retries429)
+		cfg.Obs.Counter("loadgen_errors_total").Add(rep.Errors)
+	}
 
 	if err := fetchJSON(client, cfg.BaseURL+"/v1/stats", &rep.Server); err != nil {
 		return rep, fmt.Errorf("serve: fetching server stats: %w", err)

@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"branchnet/internal/obs"
+)
+
+// parseProm parses the Prometheus text exposition into a map keyed by the
+// full series (name plus label set, exactly as rendered).
+func parseProm(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	out := make(map[string]float64)
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("unparseable metrics line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	return out
+}
+
+func getBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestServeMetricsMatchStatsJSON is the exposition-agreement gate: after a
+// parity load run, /metrics (Prometheus text) and /v1/stats (JSON) must
+// describe the same counters — they are two renderings of one registry,
+// and any drift means a metric was double-registered or shadowed.
+func TestServeMetricsMatchStatsJSON(t *testing.T) {
+	tr := testTrace(2000)
+	models := testModels(tr, 3)
+	_, ts := newTestServer(t, Config{}, models)
+
+	clientReg := obs.NewRegistry()
+	rep, err := RunLoad(LoadConfig{
+		BaseURL:  ts.URL,
+		Trace:    tr,
+		Expected: ExpectedPredictions(testBaseline, models, tr),
+		Sessions: 4,
+		Chunk:    64,
+		Obs:      clientReg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mismatches != 0 {
+		t.Fatalf("parity broken: %d mismatches", rep.Mismatches)
+	}
+
+	// The load is done and the server idle, so both exposition reads see
+	// the same settled registry state.
+	prom := parseProm(t, getBody(t, ts.URL+"/metrics"))
+	var st StatsSnapshot
+	if err := json.Unmarshal([]byte(getBody(t, ts.URL+"/v1/stats")), &st); err != nil {
+		t.Fatalf("/v1/stats: %v", err)
+	}
+
+	for _, tc := range []struct {
+		series string
+		want   float64
+	}{
+		{"branchnet_requests_total", float64(st.Requests)},
+		{"branchnet_predictions_total", float64(st.Predictions)},
+		{"branchnet_model_predictions_total", float64(st.ModelPredictions)},
+		{"branchnet_batch_flushes_total", float64(st.Flushes)},
+		{"branchnet_sessions_created_total", float64(st.SessionsCreated)},
+		{"branchnet_batch_size_count", float64(st.BatchSizes.Count)},
+		{"branchnet_batch_size_sum", st.BatchSizes.Sum},
+		{"branchnet_request_seconds_count", float64(st.Latency.Count)},
+		{"branchnet_model_set_version", 1},
+	} {
+		got, ok := prom[tc.series]
+		if !ok {
+			t.Errorf("/metrics missing series %s", tc.series)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%s: /metrics says %g, /v1/stats says %g", tc.series, got, tc.want)
+		}
+	}
+	if st.Requests == 0 || st.BatchSizes.Count == 0 {
+		t.Fatal("stats empty after load; agreement test is vacuous")
+	}
+
+	// Client- and server-side latency histograms share bucket layout and
+	// quantile code; the client side additionally measures network and
+	// HTTP overhead, so its aggregates must upper-bound the server's.
+	if rep.Latency.Count != st.Latency.Count {
+		t.Errorf("client observed %d requests, server %d", rep.Latency.Count, st.Latency.Count)
+	}
+	if len(rep.Latency.Bounds) != len(st.Latency.Bounds) {
+		t.Errorf("client/server bucket layouts differ: %d vs %d bounds",
+			len(rep.Latency.Bounds), len(st.Latency.Bounds))
+	}
+	if rep.Latency.Mean < st.Latency.Mean {
+		t.Errorf("client mean latency %g below server-side %g; client must include server time",
+			rep.Latency.Mean, st.Latency.Mean)
+	}
+
+	// The client registry carries the same run for -metrics-out snapshots.
+	cs := clientReg.Snapshot()
+	if cs.Counters["loadgen_requests_total"] != rep.Requests {
+		t.Errorf("client registry requests = %d, report says %d",
+			cs.Counters["loadgen_requests_total"], rep.Requests)
+	}
+
+	// /debug/spans serves the flight recorder; a load run must have left
+	// flush spans with item counts.
+	var page struct {
+		Count int `json:"count"`
+		Spans []struct {
+			Name  string            `json:"name"`
+			End   int64             `json:"end_unix_ns"`
+			Attrs map[string]string `json:"attrs"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(getBody(t, ts.URL+"/debug/spans")), &page); err != nil {
+		t.Fatalf("/debug/spans: %v", err)
+	}
+	flushes := 0
+	for _, sp := range page.Spans {
+		if sp.Name == "serve.flush" {
+			flushes++
+			if sp.End == 0 {
+				t.Error("published flush span has no end time")
+			}
+			if _, ok := sp.Attrs["items"]; !ok {
+				t.Error("flush span missing items attr")
+			}
+		}
+	}
+	if flushes == 0 {
+		t.Fatalf("no serve.flush spans in /debug/spans (%d spans total)", page.Count)
+	}
+}
+
+// TestReloadFailureClasses drives the reload path through each failure
+// class and checks both the JSON and Prometheus views of the counter.
+func TestReloadFailureClasses(t *testing.T) {
+	s, ts := newTestServer(t, Config{}, nil)
+
+	if _, err := s.Reload([]string{filepath.Join(t.TempDir(), "missing.bnm")}); err == nil {
+		t.Fatal("reload of a missing file succeeded")
+	}
+	corrupt := filepath.Join(t.TempDir(), "corrupt.bnm")
+	if err := os.WriteFile(corrupt, []byte("not a model file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Reload([]string{corrupt}); err == nil {
+		t.Fatal("reload of a corrupt file succeeded")
+	}
+	if _, err := s.Reload(nil); err == nil {
+		t.Fatal("reload with no configured paths succeeded")
+	}
+
+	var st StatsSnapshot
+	if err := json.Unmarshal([]byte(getBody(t, ts.URL+"/v1/stats")), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ReloadFailures != 3 {
+		t.Fatalf("reload_failures = %d, want 3", st.ReloadFailures)
+	}
+	if st.ReloadFailuresByClass["not_found"] != 1 || st.ReloadFailuresByClass["parse"] != 2 {
+		t.Fatalf("reload failure classes = %v, want not_found:1 parse:2", st.ReloadFailuresByClass)
+	}
+
+	prom := parseProm(t, getBody(t, ts.URL+"/metrics"))
+	if prom[`branchnet_reload_failures_total{class="not_found"}`] != 1 {
+		t.Errorf("/metrics not_found class = %g, want 1", prom[`branchnet_reload_failures_total{class="not_found"}`])
+	}
+	if prom[`branchnet_reload_failures_total{class="parse"}`] != 2 {
+		t.Errorf("/metrics parse class = %g, want 2", prom[`branchnet_reload_failures_total{class="parse"}`])
+	}
+}

@@ -4,14 +4,15 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
-	"fmt"
 	"io"
+	"io/fs"
 	"net/http"
-	"strings"
 	"sync/atomic"
 	"time"
 
+	"branchnet/internal/faults"
 	"branchnet/internal/gshare"
+	"branchnet/internal/obs"
 	"branchnet/internal/predictor"
 	"branchnet/internal/serve/stats"
 	"branchnet/internal/tage"
@@ -106,56 +107,83 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Stats aggregates the daemon's lock-free metrics; /metrics renders it as
-// text, /v1/stats as JSON.
+// Stats aggregates the daemon's lock-free metrics, all registered in one
+// obs.Registry; /metrics renders the registry as Prometheus text,
+// /v1/stats as JSON. The metric pointers are resolved once at
+// construction — hot paths record with single atomic operations, exactly
+// the pre-registry contract.
 type Stats struct {
-	Requests         stats.Counter
-	Predictions      stats.Counter
-	ModelPredictions stats.Counter
-	Rejected         stats.Counter // 429s (queue, inflight, or session cap)
-	Expired          stats.Counter // deadline hit while queued
-	Errors           stats.Counter // malformed requests, reload failures
-	Reloads          stats.Counter
-	Flushes          stats.Counter
-	SessionsCreated  stats.Counter
-	SessionsEvicted  stats.Counter
+	Requests         *stats.Counter
+	Predictions      *stats.Counter
+	ModelPredictions *stats.Counter
+	Rejected         *stats.Counter // 429s (queue, inflight, or session cap)
+	Expired          *stats.Counter // deadline hit while queued
+	Errors           *stats.Counter // malformed requests, reload failures
+	Reloads          *stats.Counter
+	ReloadFailures   *stats.LabeledCounter // by error class (not_found, injected, parse)
+	Flushes          *stats.Counter
+	SessionsCreated  *stats.Counter
+	SessionsEvicted  *stats.Counter
 
-	QueueDepth stats.Gauge
-	Inflight   stats.Gauge
-	Sessions   stats.Gauge
+	QueueDepth *stats.Gauge
+	Inflight   *stats.Gauge
+	Sessions   *stats.Gauge
 
 	BatchSizes *stats.Histogram // coalesced items per fused model call
 	Latency    *stats.Histogram // per-request service time, seconds
+
+	reg *obs.Registry
 }
 
 func newStats() *Stats {
+	reg := obs.NewRegistry()
+	obs.RegisterRuntimeMetrics(reg)
 	return &Stats{
-		BatchSizes: stats.NewHistogram(1, 2, 4, 8, 16, 32, 64, 128, 256),
-		Latency:    stats.NewHistogram(stats.ExpBounds(100e-6, 2, 16)...), // 100µs .. ~3.3s
+		Requests:         reg.Counter("branchnet_requests_total"),
+		Predictions:      reg.Counter("branchnet_predictions_total"),
+		ModelPredictions: reg.Counter("branchnet_model_predictions_total"),
+		Rejected:         reg.Counter("branchnet_rejected_total"),
+		Expired:          reg.Counter("branchnet_expired_total"),
+		Errors:           reg.Counter("branchnet_errors_total"),
+		Reloads:          reg.Counter("branchnet_reloads_total"),
+		ReloadFailures:   reg.LabeledCounter("branchnet_reload_failures_total", "class"),
+		Flushes:          reg.Counter("branchnet_batch_flushes_total"),
+		SessionsCreated:  reg.Counter("branchnet_sessions_created_total"),
+		SessionsEvicted:  reg.Counter("branchnet_sessions_evicted_total"),
+		QueueDepth:       reg.Gauge("branchnet_queue_depth"),
+		Inflight:         reg.Gauge("branchnet_inflight"),
+		Sessions:         reg.Gauge("branchnet_sessions"),
+		BatchSizes:       reg.Histogram("branchnet_batch_size", 1, 2, 4, 8, 16, 32, 64, 128, 256),
+		Latency:          reg.Histogram("branchnet_request_seconds", obs.DefaultLatencyBounds()...),
+		reg:              reg,
 	}
 }
 
-// StatsSnapshot is the JSON form served by /v1/stats.
+// StatsSnapshot is the JSON form served by /v1/stats. The pre-registry
+// fields keep their names and shape; reload-failure accounting is
+// additive, so loadgen/parity runs can assert on failure classes.
 type StatsSnapshot struct {
-	Requests         uint64         `json:"requests"`
-	Predictions      uint64         `json:"predictions"`
-	ModelPredictions uint64         `json:"model_predictions"`
-	Rejected         uint64         `json:"rejected"`
-	Expired          uint64         `json:"expired"`
-	Errors           uint64         `json:"errors"`
-	Reloads          uint64         `json:"reloads"`
-	Flushes          uint64         `json:"flushes"`
-	SessionsCreated  uint64         `json:"sessions_created"`
-	SessionsEvicted  uint64         `json:"sessions_evicted"`
-	QueueDepth       int64          `json:"queue_depth"`
-	Inflight         int64          `json:"inflight"`
-	Sessions         int64          `json:"sessions"`
-	BatchSizes       stats.Snapshot `json:"batch_sizes"`
-	Latency          stats.Snapshot `json:"latency_seconds"`
+	Requests              uint64            `json:"requests"`
+	Predictions           uint64            `json:"predictions"`
+	ModelPredictions      uint64            `json:"model_predictions"`
+	Rejected              uint64            `json:"rejected"`
+	Expired               uint64            `json:"expired"`
+	Errors                uint64            `json:"errors"`
+	Reloads               uint64            `json:"reloads"`
+	ReloadFailures        uint64            `json:"reload_failures"`
+	ReloadFailuresByClass map[string]uint64 `json:"reload_failures_by_class,omitempty"`
+	Flushes               uint64            `json:"flushes"`
+	SessionsCreated       uint64            `json:"sessions_created"`
+	SessionsEvicted       uint64            `json:"sessions_evicted"`
+	QueueDepth            int64             `json:"queue_depth"`
+	Inflight              int64             `json:"inflight"`
+	Sessions              int64             `json:"sessions"`
+	BatchSizes            stats.Snapshot    `json:"batch_sizes"`
+	Latency               stats.Snapshot    `json:"latency_seconds"`
 }
 
 func (s *Stats) snapshot() StatsSnapshot {
-	return StatsSnapshot{
+	snap := StatsSnapshot{
 		Requests:         s.Requests.Value(),
 		Predictions:      s.Predictions.Value(),
 		ModelPredictions: s.ModelPredictions.Value(),
@@ -163,6 +191,7 @@ func (s *Stats) snapshot() StatsSnapshot {
 		Expired:          s.Expired.Value(),
 		Errors:           s.Errors.Value(),
 		Reloads:          s.Reloads.Value(),
+		ReloadFailures:   s.ReloadFailures.Total(),
 		Flushes:          s.Flushes.Value(),
 		SessionsCreated:  s.SessionsCreated.Value(),
 		SessionsEvicted:  s.SessionsEvicted.Value(),
@@ -172,6 +201,10 @@ func (s *Stats) snapshot() StatsSnapshot {
 		BatchSizes:       s.BatchSizes.Snapshot(),
 		Latency:          s.Latency.Snapshot(),
 	}
+	if by := s.ReloadFailures.Values(); len(by) > 0 {
+		snap.ReloadFailuresByClass = by
+	}
+	return snap
 }
 
 // Server is the BranchNet inference service. Create with New, expose via
@@ -183,6 +216,7 @@ type Server struct {
 	batcher  *Batcher
 	sessions *sessionStore
 	stats    *Stats
+	tracer   *obs.Tracer
 	mux      *http.ServeMux
 
 	inflight  atomic.Int64
@@ -195,21 +229,27 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	st := newStats()
+	tracer := obs.NewTracer(512)
 	s := &Server{
 		cfg:       cfg,
 		registry:  NewRegistry(),
 		stats:     st,
+		tracer:    tracer,
 		sessions:  newSessionStore(cfg.MaxSessions, cfg.SessionTTL, cfg.NewBaseline, st),
-		batcher:   NewBatcher(cfg.MaxBatch, cfg.MaxDelay, cfg.QueueLen, st),
+		batcher:   NewBatcher(cfg.MaxBatch, cfg.MaxDelay, cfg.QueueLen, st, tracer),
 		mux:       http.NewServeMux(),
 		sweepStop: make(chan struct{}),
 		sweepDone: make(chan struct{}),
 	}
+	st.reg.GaugeFunc("branchnet_model_set_version", func() int64 {
+		return s.registry.Current().Version
+	})
 	s.mux.HandleFunc("/v1/predict", s.handlePredict)
 	s.mux.HandleFunc("/v1/reload", s.handleReload)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.Handle("/metrics", s.MetricsHandler())
+	s.mux.Handle("/debug/spans", tracer.Handler())
 	go s.sweeper()
 	return s
 }
@@ -222,6 +262,17 @@ func (s *Server) Registry() *Registry { return s.registry }
 
 // Stats returns the server's metrics.
 func (s *Server) Stats() *Stats { return s.stats }
+
+// Obs returns the server's metrics registry (Prometheus + JSON views of
+// everything in Stats, plus runtime gauges).
+func (s *Server) Obs() *obs.Registry { return s.stats.reg }
+
+// Tracer returns the server's span tracer (reloads and batch flushes).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// MetricsHandler serves the registry in Prometheus text format — mounted
+// at /metrics on the main mux and reusable on a debug/pprof mux.
+func (s *Server) MetricsHandler() http.Handler { return s.stats.reg.PrometheusHandler() }
 
 // Drain completes graceful shutdown after the HTTP listener has stopped
 // accepting: the micro-batcher drains its in-flight and queued batches,
@@ -397,6 +448,49 @@ type ReloadResponse struct {
 	Source  string `json:"source"`
 }
 
+// reloadErrorClass buckets a model-load error for the
+// branchnet_reload_failures_total{class=...} counter: missing files,
+// injected faults (chaos tests), and everything else (corrupt or
+// malformed model data) stay distinguishable to loadgen/parity
+// assertions without string-matching error text.
+func reloadErrorClass(err error) string {
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		return "not_found"
+	case errors.Is(err, faults.ErrInjected):
+		return "injected"
+	default:
+		return "parse"
+	}
+}
+
+// Reload swaps in the models at paths (or the configured paths when
+// empty), tracing the attempt and counting failures by error class. It
+// is the single reload entry point shared by /v1/reload and the
+// daemon's SIGHUP handler.
+func (s *Server) Reload(paths []string) (*ModelSet, error) {
+	if len(paths) == 0 {
+		paths = s.cfg.ModelPaths
+	}
+	sp := s.tracer.Start("serve.reload").SetInt("paths", int64(len(paths)))
+	if len(paths) == 0 {
+		err := errors.New("no model paths configured or given")
+		s.stats.ReloadFailures.With("parse").Inc()
+		sp.SetAttr("error", err.Error()).Finish()
+		return nil, err
+	}
+	set, err := s.registry.LoadFiles(paths)
+	if err != nil {
+		class := reloadErrorClass(err)
+		s.stats.ReloadFailures.With(class).Inc()
+		sp.SetAttr("error_class", class).Finish()
+		return nil, err
+	}
+	s.stats.Reloads.Inc()
+	sp.SetInt("version", set.Version).SetInt("models", int64(set.Len())).Finish()
+	return set, nil
+}
+
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST required"})
@@ -409,22 +503,12 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{"bad request body: " + err.Error()})
 		return
 	}
-	paths := req.Paths
-	if len(paths) == 0 {
-		paths = s.cfg.ModelPaths
-	}
-	if len(paths) == 0 {
-		s.stats.Errors.Inc()
-		writeJSON(w, http.StatusBadRequest, errorResponse{"no model paths configured or given"})
-		return
-	}
-	set, err := s.registry.LoadFiles(paths)
+	set, err := s.Reload(req.Paths)
 	if err != nil {
 		s.stats.Errors.Inc()
 		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
 		return
 	}
-	s.stats.Reloads.Inc()
 	writeJSON(w, http.StatusOK, ReloadResponse{Version: set.Version, Models: set.Len(), Source: set.Source})
 }
 
@@ -448,43 +532,4 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.stats.snapshot())
-}
-
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	snap := s.stats
-	var b strings.Builder
-	counters := []struct {
-		name string
-		c    *stats.Counter
-	}{
-		{"branchnet_requests_total", &snap.Requests},
-		{"branchnet_predictions_total", &snap.Predictions},
-		{"branchnet_model_predictions_total", &snap.ModelPredictions},
-		{"branchnet_rejected_total", &snap.Rejected},
-		{"branchnet_expired_total", &snap.Expired},
-		{"branchnet_errors_total", &snap.Errors},
-		{"branchnet_reloads_total", &snap.Reloads},
-		{"branchnet_batch_flushes_total", &snap.Flushes},
-		{"branchnet_sessions_created_total", &snap.SessionsCreated},
-		{"branchnet_sessions_evicted_total", &snap.SessionsEvicted},
-	}
-	for _, c := range counters {
-		fmt.Fprintf(&b, "%s %d\n", c.name, c.c.Value())
-	}
-	gauges := []struct {
-		name string
-		g    *stats.Gauge
-	}{
-		{"branchnet_queue_depth", &snap.QueueDepth},
-		{"branchnet_inflight", &snap.Inflight},
-		{"branchnet_sessions", &snap.Sessions},
-	}
-	for _, g := range gauges {
-		fmt.Fprintf(&b, "%s %d\n", g.name, g.g.Value())
-	}
-	fmt.Fprintf(&b, "branchnet_model_set_version %d\n", s.registry.Current().Version)
-	snap.BatchSizes.WriteMetric(&b, "branchnet_batch_size")
-	snap.Latency.WriteMetric(&b, "branchnet_request_seconds")
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	w.Write([]byte(b.String())) //nolint:errcheck
 }

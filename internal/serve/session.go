@@ -58,9 +58,9 @@ func newSessionStore(max int, ttl time.Duration, newBase func() predictor.Predic
 		max:     max,
 		ttl:     ttl,
 		newBase: newBase,
-		live:    &st.Sessions,
-		created: &st.SessionsCreated,
-		evicted: &st.SessionsEvicted,
+		live:    st.Sessions,
+		created: st.SessionsCreated,
+		evicted: st.SessionsEvicted,
 	}
 }
 

@@ -1,181 +1,32 @@
-// Package stats provides the lock-free counters, gauges, and histograms
-// behind the serving daemon's /metrics endpoint. Hot paths — every
-// prediction, every batch flush — record with single atomic operations and
-// no locks; readers assemble snapshots without stopping writers. The
-// histograms are fixed-bucket (Prometheus-style cumulative-at-render), so
-// Observe is one atomic add after a binary search over a few bounds.
+// Package stats is the serving daemon's historical metrics surface, now
+// backed by the repo-wide observability core in internal/obs. The types
+// here are aliases: the lock-free hot-path contract (single atomic
+// operations per record, no locks, readers never stop writers) and the
+// stats JSON shape are unchanged, but the implementations live in obs so
+// serve, the training stack, and the experiments runner share one metric
+// substrate and one Prometheus exposition.
 package stats
 
-import (
-	"fmt"
-	"math"
-	"sort"
-	"strings"
-	"sync/atomic"
-)
+import "branchnet/internal/obs"
 
 // Counter is a monotonically increasing atomic counter.
-type Counter struct{ v atomic.Uint64 }
-
-// Add increments the counter by n.
-func (c *Counter) Add(n uint64) { c.v.Add(n) }
-
-// Inc increments the counter by one.
-func (c *Counter) Inc() { c.v.Add(1) }
-
-// Value returns the current count.
-func (c *Counter) Value() uint64 { return c.v.Load() }
+type Counter = obs.Counter
 
 // Gauge is an atomic instantaneous value (queue depth, live sessions).
-type Gauge struct{ v atomic.Int64 }
+type Gauge = obs.Gauge
 
-// Add moves the gauge by delta (negative to decrease).
-func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+// Histogram is a fixed-bound histogram with atomic buckets.
+type Histogram = obs.Histogram
 
-// Set replaces the gauge value.
-func (g *Gauge) Set(v int64) { g.v.Store(v) }
-
-// Value returns the current value.
-func (g *Gauge) Value() int64 { return g.v.Load() }
-
-// Histogram is a fixed-bound histogram with atomic buckets. Bounds are
-// bucket upper limits in ascending order; an implicit +Inf bucket catches
-// the overflow. Observe, Count, Sum are wait-free; Mean and Quantile read
-// a best-effort snapshot (buckets may be mid-update, which skews a
-// quantile by at most the in-flight observations).
-type Histogram struct {
-	bounds  []float64
-	buckets []atomic.Uint64
-	count   atomic.Uint64
-	sumBits atomic.Uint64 // float64 bits, CAS-updated
-}
-
-// NewHistogram builds a histogram over the given bucket upper bounds,
-// which are sorted and de-duplicated. At least one bound is required.
-func NewHistogram(bounds ...float64) *Histogram {
-	if len(bounds) == 0 {
-		panic("stats: histogram needs at least one bucket bound")
-	}
-	bs := append([]float64(nil), bounds...)
-	sort.Float64s(bs)
-	uniq := bs[:1]
-	for _, b := range bs[1:] {
-		if b != uniq[len(uniq)-1] {
-			uniq = append(uniq, b)
-		}
-	}
-	return &Histogram{bounds: uniq, buckets: make([]atomic.Uint64, len(uniq)+1)}
-}
-
-// ExpBounds returns n bucket bounds growing geometrically from start by
-// factor — the usual shape for latencies and batch sizes.
-func ExpBounds(start, factor float64, n int) []float64 {
-	bounds := make([]float64, n)
-	v := start
-	for i := range bounds {
-		bounds[i] = v
-		v *= factor
-	}
-	return bounds
-}
-
-// Observe records one value.
-func (h *Histogram) Observe(v float64) {
-	// First bound >= v; values above every bound land in the +Inf bucket.
-	idx := sort.SearchFloat64s(h.bounds, v)
-	h.buckets[idx].Add(1)
-	h.count.Add(1)
-	for {
-		old := h.sumBits.Load()
-		new := math.Float64bits(math.Float64frombits(old) + v)
-		if h.sumBits.CompareAndSwap(old, new) {
-			return
-		}
-	}
-}
-
-// Count returns the number of observations.
-func (h *Histogram) Count() uint64 { return h.count.Load() }
-
-// Sum returns the sum of all observed values.
-func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
-
-// Mean returns the average observation (0 when empty).
-func (h *Histogram) Mean() float64 {
-	n := h.Count()
-	if n == 0 {
-		return 0
-	}
-	return h.Sum() / float64(n)
-}
-
-// Quantile returns an estimate of the q-quantile (0 < q <= 1), linearly
-// interpolated within the containing bucket. Observations in the overflow
-// bucket report the largest bound.
-func (h *Histogram) Quantile(q float64) float64 {
-	n := h.Count()
-	if n == 0 {
-		return 0
-	}
-	rank := q * float64(n)
-	var cum uint64
-	lo := 0.0
-	for i, b := range h.bounds {
-		c := h.buckets[i].Load()
-		if float64(cum+c) >= rank && c > 0 {
-			frac := (rank - float64(cum)) / float64(c)
-			if frac < 0 {
-				frac = 0
-			}
-			return lo + frac*(b-lo)
-		}
-		cum += c
-		lo = b
-	}
-	return h.bounds[len(h.bounds)-1]
-}
+// LabeledCounter is a counter family keyed by one label value.
+type LabeledCounter = obs.LabeledCounter
 
 // Snapshot is a point-in-time copy of a histogram for JSON reports.
-type Snapshot struct {
-	Bounds  []float64 `json:"bounds"`
-	Buckets []uint64  `json:"buckets"` // per-bucket counts; last is +Inf overflow
-	Count   uint64    `json:"count"`
-	Sum     float64   `json:"sum"`
-	Mean    float64   `json:"mean"`
-	P50     float64   `json:"p50"`
-	P99     float64   `json:"p99"`
-}
+type Snapshot = obs.HistogramSnapshot
 
-// Snapshot captures the histogram's current state.
-func (h *Histogram) Snapshot() Snapshot {
-	s := Snapshot{
-		Bounds:  append([]float64(nil), h.bounds...),
-		Buckets: make([]uint64, len(h.buckets)),
-		Count:   h.Count(),
-		Sum:     h.Sum(),
-		Mean:    h.Mean(),
-		P50:     h.Quantile(0.50),
-		P99:     h.Quantile(0.99),
-	}
-	for i := range h.buckets {
-		s.Buckets[i] = h.buckets[i].Load()
-	}
-	return s
-}
+// NewHistogram builds a histogram over the given bucket upper bounds.
+func NewHistogram(bounds ...float64) *Histogram { return obs.NewHistogram(bounds...) }
 
-// WriteMetric renders the histogram in a Prometheus-flavoured text form.
-func (h *Histogram) WriteMetric(b *strings.Builder, name string) {
-	var cum uint64
-	for i, bound := range h.bounds {
-		cum += h.buckets[i].Load()
-		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, trimFloat(bound), cum)
-	}
-	cum += h.buckets[len(h.buckets)-1].Load()
-	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
-	fmt.Fprintf(b, "%s_sum %g\n", name, h.Sum())
-	fmt.Fprintf(b, "%s_count %d\n", name, h.Count())
-}
-
-func trimFloat(v float64) string {
-	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.6f", v), "0"), ".")
-}
+// ExpBounds returns n bucket bounds growing geometrically from start by
+// factor.
+func ExpBounds(start, factor float64, n int) []float64 { return obs.ExpBounds(start, factor, n) }
