@@ -33,6 +33,15 @@ go test -race ./internal/checkpoint ./internal/faults ./internal/serve
 go test -fuzz FuzzReadCheckpoint -fuzztime 10s ./internal/checkpoint
 go test -fuzz FuzzReadModels -fuzztime 10s ./internal/engine
 
+# Bit-sliced engine gate: the packed fast path must stay bit-identical to
+# the scalar oracle — property tests under the race detector (packing is
+# lazy and shared across serving goroutines) plus a short fuzz over model
+# shape x history x sliding phase, and the quantization boundary
+# regressions that feed the engine its thresholds and pool codes.
+go test -race -count=1 -run 'TestPacked|TestPredictBatch|TestGramHash' ./internal/engine
+go test -fuzz FuzzPredictPacked -fuzztime 10s ./internal/engine
+go test -count=1 -run 'TestFoldThresholdBoundary|TestCalibrationMatchesRuntimeWindows|TestTernarize' ./internal/branchnet
+
 # Observability gates: the obscheck hygiene test (no raw log.Print*
 # outside internal/obs — CLIs log through slog) and the overhead gate
 # (instrumented inference/training must stay within noise of the

@@ -5,10 +5,15 @@
 //	branchnet-bench [-mode quick|full] [-parallel N] [-fig 1|3|4|9|10|11|12|13] [-table 1|2|3|4]
 //	branchnet-bench -all
 //	branchnet-bench -bench-train [-bench-out BENCH_train.json]
+//	branchnet-bench -bench-serve [-serve-out BENCH_serve.json] [-bench-reps N]
 //
 // -bench-train measures train-step throughput (examples/s, ns/step,
 // allocs/op) for the standard model configurations and writes the numbers
 // — with speedups against the recorded seed trainer — to -bench-out.
+// -bench-serve measures PredictBatch inference throughput (preds/s,
+// best of -bench-reps runs) at the paper's table geometries and writes
+// the numbers — with speedups against the recorded scalar evaluator —
+// to -serve-out.
 // -cpuprofile/-memprofile capture runtime/pprof profiles of any mode.
 //
 // Without -fig/-table/-all it prints the static tables (I, II, III), which
@@ -64,6 +69,9 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker-pool width for per-benchmark fan-out and the -all figure suite (0 = GOMAXPROCS)")
 	benchTrain := flag.Bool("bench-train", false, "measure train-step throughput and write -bench-out")
 	benchOut := flag.String("bench-out", "BENCH_train.json", "output file for -bench-train")
+	benchServe := flag.Bool("bench-serve", false, "measure PredictBatch serving throughput and write -serve-out")
+	serveOut := flag.String("serve-out", "BENCH_serve.json", "output file for -bench-serve")
+	benchReps := flag.Int("bench-reps", 9, "best-of repetition count for -bench-serve (rejects shared-machine noise)")
 	checkpointDir := flag.String("checkpoint-dir", "", "directory for crash-safe training snapshots; rerunning the same invocation over it skips finished work and resumes bit-identical")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "mid-epoch snapshot cadence in optimizer steps (0 = epoch boundaries only; needs -checkpoint-dir)")
 	faultSpec := flag.String("faults", "", "deterministic fault-injection spec, e.g. 'checkpoint.rename:kill@3;seed=1' (chaos testing)")
@@ -193,6 +201,18 @@ func main() {
 	}
 
 	switch {
+	case *benchServe:
+		start := time.Now()
+		report, tbl := experiments.ServeBench(*benchReps)
+		fmt.Println(tbl.String())
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			log.Fatalf("encoding %s: %v", *serveOut, err)
+		}
+		if err := os.WriteFile(*serveOut, append(data, '\n'), 0o644); err != nil {
+			log.Fatalf("writing %s: %v", *serveOut, err)
+		}
+		slog.Info("bench-serve done", "elapsed", time.Since(start).Round(time.Millisecond).String(), "out", *serveOut)
 	case *benchTrain:
 		start := time.Now()
 		report, tbl := experiments.TrainBench()

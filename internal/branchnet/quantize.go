@@ -83,37 +83,13 @@ func (m *Model) Quantize(calib *Dataset) (*engine.Model, error) {
 
 	// Step 2: calibrate per-channel statistics of the binarized window
 	// sums, then build the pool-code tables.
-	type chStat struct{ n, sum, sq float64 }
-	stats := make([][]chStat, len(em.Slices))
-	for si := range stats {
-		stats[si] = make([]chStat, em.Slices[si].Spec.Channels)
-	}
+	hists := make([][]uint32, len(calib.Examples))
 	for ei := range calib.Examples {
-		hist := calib.Examples[ei].History
-		for si := range em.Slices {
-			s := &em.Slices[si]
-			spec := s.Spec
-			for w := 0; w < spec.Windows(); w++ {
-				start := w * spec.PoolWidth
-				end := start + spec.PoolWidth
-				if end > spec.Hist {
-					end = spec.Hist
-				}
-				sums := make([]int, spec.Channels)
-				for t := start; t < end; t++ {
-					lut := s.ConvLUT[engine.GramHash(hist, t, spec.ConvWidth, spec.HashBits)]
-					for c := range sums {
-						sums[c] += int(lut[c])
-					}
-				}
-				for c := range sums {
-					st := &stats[si][c]
-					st.n++
-					st.sum += float64(sums[c])
-					st.sq += float64(sums[c]) * float64(sums[c])
-				}
-			}
-		}
+		hists[ei] = calib.Examples[ei].History
+	}
+	stats := make([][]chStat, len(em.Slices))
+	for si := range em.Slices {
+		stats[si] = calibWindowStats(&em.Slices[si], hists)
 	}
 	levels := float64(int(1)<<q) - 1
 	for si := range em.Slices {
@@ -261,7 +237,7 @@ func (m *Model) Quantize(calib *Dataset) (*engine.Model, error) {
 		// z = a*sum(w*u) + (bias - sum(w)); integer sum uses quantized
 		// weights: sum(W*u) >= (t - bias + sumW) / (a*sw).
 		tInt := (t - float64(lin1.B.W[nIdx]) + sumW) / (a * sw)
-		em.Thresh[nIdx] = int64(math.Ceil(tInt))
+		em.Thresh[nIdx] = foldThreshold(tInt, em.Flip[nIdx])
 	}
 
 	// Final layer LUT over binarized hidden patterns.
@@ -278,6 +254,62 @@ func (m *Model) Quantize(calib *Dataset) (*engine.Model, error) {
 		em.FinalLUT[p] = z >= 0
 	}
 	return em, nil
+}
+
+// chStat carries the running first and second moments of one channel's
+// binarized window sums during calibration.
+type chStat struct{ n, sum, sq float64 }
+
+// calibWindowStats accumulates the per-channel moments of the binarized
+// window sums slice s produces over the calibration histories. Window
+// placement must match the runtime evaluator: sliding slices shift by
+// branchCount % PoolWidth at inference, so calibration cycles one phase
+// per example (covering every runtime alignment at flat cost), while
+// precise slices always run phase 0 with a clamped partial tail.
+// engine.SliceSpec.WindowBounds is the shared source of truth for both.
+func calibWindowStats(s *engine.Slice, hists [][]uint32) []chStat {
+	spec := s.Spec
+	stats := make([]chStat, spec.Channels)
+	sums := make([]int, spec.Channels)
+	for ei, hist := range hists {
+		phase := 0
+		if !spec.Precise {
+			phase = ei % spec.PoolWidth
+		}
+		for w := 0; w < spec.Windows(); w++ {
+			start, end := spec.WindowBounds(w, phase)
+			for c := range sums {
+				sums[c] = 0
+			}
+			for t := start; t < end; t++ {
+				lut := s.ConvLUT[engine.GramHash(hist, t, spec.ConvWidth, spec.HashBits)]
+				for c := range sums {
+					sums[c] += int(lut[c])
+				}
+			}
+			for c := range sums {
+				st := &stats[c]
+				st.n++
+				st.sum += float64(sums[c])
+				st.sq += float64(sums[c]) * float64(sums[c])
+			}
+		}
+	}
+	return stats
+}
+
+// foldThreshold rounds the real-valued integer-domain threshold tInt to
+// the engine's Thresh. The engine evaluates bit = (S >= Thresh), inverted
+// when flip is set, while the batch-norm condition is S >= tInt for
+// positive gamma and S <= tInt for negative gamma (equality included in
+// both: the fold point is gamma*(z-mean)/std+beta >= 0). Hence Ceil for
+// the direct comparison, and Floor+1 for the flipped one — Ceil there
+// would drop the S == tInt equality boundary whenever tInt is integral.
+func foldThreshold(tInt float64, flip bool) int64 {
+	if flip {
+		return int64(math.Floor(tInt)) + 1
+	}
+	return int64(math.Ceil(tInt))
 }
 
 // QuantizeConvOnly applies only the convolution binarization (Table IV's

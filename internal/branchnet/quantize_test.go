@@ -1,10 +1,100 @@
 package branchnet
 
 import (
+	"math"
 	"testing"
 
 	"branchnet/internal/bench"
+	"branchnet/internal/engine"
 )
+
+// TestFoldThresholdBoundary is the regression test for the flipped-
+// comparison off-by-one: the engine evaluates bit = (S >= Thresh), XOR
+// Flip, while the batch-norm fold demands S >= tInt for positive gamma
+// and S <= tInt for negative gamma (equality on both sides). The old
+// code used Ceil for both directions, which drops the S == tInt boundary
+// whenever tInt is integral and gamma is negative.
+func TestFoldThresholdBoundary(t *testing.T) {
+	for _, tInt := range []float64{-6, -2.5, -0.3, 0, 0.49, 1, 5, 5.3, 7.999} {
+		for _, flip := range []bool{false, true} {
+			th := foldThreshold(tInt, flip)
+			lo := int64(math.Floor(tInt)) - 2
+			hi := int64(math.Ceil(tInt)) + 2
+			for S := lo; S <= hi; S++ {
+				bit := S >= th
+				if flip {
+					bit = !bit
+				}
+				// The condition the fold must reproduce exactly.
+				want := float64(S) >= tInt
+				if flip {
+					want = float64(S) <= tInt
+				}
+				if bit != want {
+					t.Errorf("tInt=%v flip=%v S=%d: engine bit %v, batch-norm condition %v (Thresh=%d)",
+						tInt, flip, S, bit, want, th)
+				}
+			}
+		}
+	}
+}
+
+// TestCalibrationMatchesRuntimeWindows is the regression test for the
+// calibration/runtime window-alignment mismatch: sliding slices shift
+// their pooling windows by branchCount % PoolWidth at inference, but the
+// old calibration pass only ever sampled phase 0 (and clamped windows at
+// the history length, which the sliding runtime does not do). A single-
+// channel conv-width-1 slice over a constant history makes the mismatch
+// exact: every phase-0 window sums to +P, while any non-zero phase's
+// last window reads zero-pad tokens and sums lower.
+func TestCalibrationMatchesRuntimeWindows(t *testing.T) {
+	spec := engine.SliceSpec{Hist: 4, Channels: 1, PoolWidth: 2, ConvWidth: 1, Precise: false, HashBits: 6}
+	lut := make([][]int8, 1<<spec.HashBits)
+	for g := range lut {
+		lut[g] = []int8{-1}
+	}
+	const tokA = 5
+	hashA := engine.GramHash([]uint32{tokA}, 0, spec.ConvWidth, spec.HashBits)
+	if hashZ := engine.GramHash(nil, 0, spec.ConvWidth, spec.HashBits); hashZ == hashA {
+		t.Fatalf("degenerate fixture: token %d collides with the zero-pad token under %d hash bits", tokA, spec.HashBits)
+	}
+	lut[hashA] = []int8{1}
+	s := &engine.Slice{Spec: spec, ConvLUT: lut}
+
+	// Two identical histories: calibration must sample phases 0 and 1.
+	hist := []uint32{tokA, tokA, tokA, tokA}
+	stats := calibWindowStats(s, [][]uint32{hist, hist})
+	if len(stats) != 1 {
+		t.Fatalf("got %d channel stats, want 1", len(stats))
+	}
+	st := stats[0]
+
+	// Runtime truth via the engine's own window placement: for each
+	// phase the runtime can run at, every window's binarized sum.
+	var n, sum, sq float64
+	for phase := 0; phase < spec.PoolWidth; phase++ {
+		for w := 0; w < spec.Windows(); w++ {
+			start, end := spec.WindowBounds(w, phase)
+			acc := 0
+			for tp := start; tp < end; tp++ {
+				acc += int(s.ConvLUT[engine.GramHash(hist, tp, spec.ConvWidth, spec.HashBits)][0])
+			}
+			n++
+			sum += float64(acc)
+			sq += float64(acc) * float64(acc)
+		}
+	}
+	if st.n != n || st.sum != sum || st.sq != sq {
+		t.Fatalf("calibration moments (n=%v sum=%v sq=%v) != runtime distribution (n=%v sum=%v sq=%v)",
+			st.n, st.sum, st.sq, n, sum, sq)
+	}
+	// And the concrete mismatch the old code produced: phase-0-only
+	// calibration sees a constant +2 sum (mean 2, variance 0); the true
+	// phase-mixed distribution does not.
+	if mean := st.sum / st.n; mean == 2 {
+		t.Fatalf("calibration mean %v matches the phase-0-only distribution; sliding phases are not being sampled", mean)
+	}
+}
 
 func TestMiniPresetsFitBudgets(t *testing.T) {
 	for _, budget := range []int{2048, 1024, 512, 256} {

@@ -1,6 +1,10 @@
 package branchnet
 
-import "math"
+import (
+	"fmt"
+	"math"
+	"strings"
+)
 
 // Ternarize quantizes the model's weights in place to {-s, 0, +s} per
 // layer, the scheme of Tarsa et al.'s deployable CNN ("Tarsa-Ternary"):
@@ -8,35 +12,56 @@ import "math"
 // layer's mean magnitude. Batch-norm parameters are left floating (they
 // fold into thresholds in hardware). The model remains evaluable through
 // the normal float path; only its weight precision has degraded.
-func (m *Model) Ternarize() {
+//
+// A layer whose every weight lands in the dead zone (or was already all
+// zero) is zero-filled — it contributes nothing to the deployable model
+// — and reported in the returned error so callers can surface the
+// degenerate training run instead of silently serving it. The model is
+// still fully ternarized and evaluable when an error is returned.
+func (m *Model) Ternarize() error {
 	m.invalidateInfer()
-	for _, s := range m.slices {
+	var dead []string
+	tern := func(name string, w []float32) {
+		if len(w) == 0 {
+			return
+		}
+		if ternarize(w) == 0 {
+			dead = append(dead, name)
+		}
+	}
+	for i, s := range m.slices {
 		if s.emb != nil {
-			ternarize(s.emb.Table.W)
+			tern(fmt.Sprintf("slice%d.emb", i), s.emb.Table.W)
 		}
 		if s.conv != nil {
-			ternarize(s.conv.W.W)
+			tern(fmt.Sprintf("slice%d.conv", i), s.conv.W.W)
 		}
 		if s.table != nil {
-			ternarize(s.table.Table.W)
+			tern(fmt.Sprintf("slice%d.table", i), s.table.Table.W)
 		}
 	}
-	for _, blk := range m.fc {
-		ternarize(blk.lin.W.W)
+	for i, blk := range m.fc {
+		tern(fmt.Sprintf("fc%d", i), blk.lin.W.W)
 	}
-	ternarize(m.out.W.W)
+	tern("out", m.out.W.W)
+	if len(dead) > 0 {
+		return fmt.Errorf("branchnet: ternarize zero-filled layers with no weight outside the dead zone: %s",
+			strings.Join(dead, ", "))
+	}
+	return nil
 }
 
 // ternarize maps w to {-s, 0, +s} with the standard 0.7*mean|w| dead zone
 // (Li & Liu's ternary weight networks), s = mean magnitude of the kept
-// weights.
-func ternarize(w []float32) {
+// weights. It returns the number of weights kept at +-s; zero means the
+// whole layer was zero-filled.
+func ternarize(w []float32) int {
 	var sum float64
 	for _, v := range w {
 		sum += math.Abs(float64(v))
 	}
 	if len(w) == 0 || sum == 0 {
-		return
+		return 0
 	}
 	delta := 0.7 * sum / float64(len(w))
 	var keptSum float64
@@ -48,7 +73,14 @@ func ternarize(w []float32) {
 		}
 	}
 	if kept == 0 {
-		return
+		// Unreachable in exact arithmetic (0.7*mean cannot dominate every
+		// |w| at once), but float accumulation can get here. The dead zone
+		// then swallows the whole layer: zero-fill rather than silently
+		// keeping float weights in a "ternarized" model.
+		for i := range w {
+			w[i] = 0
+		}
+		return 0
 	}
 	s := float32(keptSum / float64(kept))
 	for i, v := range w {
@@ -61,4 +93,5 @@ func ternarize(w []float32) {
 			w[i] = 0
 		}
 	}
+	return kept
 }

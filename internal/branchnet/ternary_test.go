@@ -1,0 +1,97 @@
+package branchnet
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTernarizeLayerValues pins the per-layer mapping: kept weights snap
+// to the layer's +-s, the dead zone maps to exactly zero, and the kept
+// count is reported.
+func TestTernarizeLayerValues(t *testing.T) {
+	w := []float32{1.0, -1.2, 0.01, -0.02, 0.9}
+	kept := ternarize(w)
+	if kept != 3 {
+		t.Fatalf("kept = %d, want 3", kept)
+	}
+	s := w[0]
+	if s <= 0 {
+		t.Fatalf("scale s = %v, want > 0", s)
+	}
+	want := []float32{s, -s, 0, 0, s}
+	for i := range w {
+		if w[i] != want[i] {
+			t.Fatalf("w[%d] = %v, want %v (w=%v)", i, w[i], want[i], w)
+		}
+	}
+	if ternarize(nil) != 0 {
+		t.Fatal("empty layer must report zero kept weights")
+	}
+	if ternarize(make([]float32, 8)) != 0 {
+		t.Fatal("all-zero layer must report zero kept weights")
+	}
+}
+
+// TestTernarizeSurfacesDeadLayers is the regression test for the silent
+// no-op: a model with an all-zero weight layer used to "ternarize" into
+// a model that still carried the layer unchanged with no indication; now
+// Ternarize names the dead layer in its error while the rest of the
+// model is still quantized in place.
+func TestTernarizeSurfacesDeadLayers(t *testing.T) {
+	k := MiniQuick(2048)
+	m := New(k, 0x40, 1)
+
+	// Kill the output layer: every weight into the dead zone's trivial
+	// case (all zero).
+	outW := m.out.W.W
+	for i := range outW {
+		outW[i] = 0
+	}
+
+	err := m.Ternarize()
+	if err == nil {
+		t.Fatal("Ternarize must report the all-zero layer")
+	}
+	if !strings.Contains(err.Error(), "out") {
+		t.Fatalf("error should name the dead layer %q: %v", "out", err)
+	}
+
+	// The dead layer is zero-filled and every other layer is still
+	// ternary: each weight slice holds at most the values {-s, 0, +s}.
+	check := func(name string, w []float32) {
+		t.Helper()
+		vals := map[float32]bool{}
+		for _, v := range w {
+			if v != 0 {
+				vals[v] = true
+			}
+		}
+		if len(vals) > 2 {
+			t.Errorf("%s: %d distinct non-zero magnitudes after Ternarize, want <= 2", name, len(vals))
+		}
+	}
+	for _, s := range m.slices {
+		if s.emb != nil {
+			check("emb", s.emb.Table.W)
+		}
+		if s.conv != nil {
+			check("conv", s.conv.W.W)
+		}
+		if s.table != nil {
+			check("table", s.table.Table.W)
+		}
+	}
+	for _, blk := range m.fc {
+		check("fc", blk.lin.W.W)
+	}
+	for _, v := range m.out.W.W {
+		if v != 0 {
+			t.Fatalf("dead output layer must stay zero-filled, found %v", v)
+		}
+	}
+
+	// A healthy model ternarizes without complaint.
+	if err := New(k, 0x41, 2).Ternarize(); err != nil {
+		t.Fatalf("healthy model: %v", err)
+	}
+}

@@ -1,0 +1,56 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// mini2KBSpecs aliases the exported deployable 2KB geometry; the test
+// files predate the export and keep the shorter local name.
+func mini2KBSpecs() []SliceSpec { return Mini2KBSpecs() }
+
+// benchBatch builds a deterministic batch of histories for a model.
+func benchBatch(m *Model, n int) ([][]uint32, []uint64, []bool) {
+	rng := rand.New(rand.NewSource(11))
+	w := m.Window()
+	hists := make([][]uint32, n)
+	counts := make([]uint64, n)
+	for i := range hists {
+		h := make([]uint32, w)
+		for j := range h {
+			h[j] = rng.Uint32() & 0x1fff
+		}
+		hists[i] = h
+		counts[i] = uint64(rng.Intn(1024))
+	}
+	return hists, counts, make([]bool, n)
+}
+
+func benchPredictBatch(b *testing.B, m *Model, batch int) {
+	hists, counts, out := benchBatch(m, batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PredictBatch(hists, counts, out)
+	}
+	b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "preds/s")
+}
+
+func BenchmarkPredictBatchMini2KB(b *testing.B) {
+	m := SyntheticSpec(0x40, 7, mini2KBSpecs(), 10, 4)
+	for _, batch := range []int{1, 16, 64} {
+		b.Run(fmt.Sprintf("batch%d", batch), func(b *testing.B) {
+			benchPredictBatch(b, m, batch)
+		})
+	}
+}
+
+func BenchmarkPredictBatchSmall(b *testing.B) {
+	m := Synthetic(0x40, 7)
+	for _, batch := range []int{1, 64} {
+		b.Run(fmt.Sprintf("batch%d", batch), func(b *testing.B) {
+			benchPredictBatch(b, m, batch)
+		})
+	}
+}

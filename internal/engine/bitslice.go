@@ -1,0 +1,625 @@
+// Bit-sliced fast path: the production evaluator behind Predict and
+// PredictBatch.
+//
+// The scalar oracle walks every pooled window token by token: hash the
+// K-gram, fetch a []int8 row, and add each channel's ±1 into a per-channel
+// sum. The packed form evaluates the same model the way the hardware of
+// Section V-B would:
+//
+//   - each ConvLUT row packs into one uint64 sign word (bit c set iff
+//     channel c's binarized output is +1), so a window's C channel
+//     contributions arrive as a single load;
+//   - per-channel window sums come from a carry-save-adder popcount
+//     network: the window's sign words ripple into log2(P)+1 count
+//     bit-planes (two boolean word ops per word amortized, counting all
+//     C <= 64 channels at once), and channel c's count is read back as
+//     bit c of each plane;
+//   - gram hashes are computed once per prediction per (K, h) hash group
+//     and shared by every slice in the group (the Mini presets use one
+//     group for all five slices), with four interleaved hash chains so
+//     the serially-dependent mix steps of neighboring positions overlap;
+//   - the q-bit W1·features dot product folds into per-feature
+//     partial-sum tables where the table fits a fixed budget: feature i
+//     holding code u contributes the precomputed int32 row
+//     fcTab[i][u][0..hidden) — a lookup and adds, no multiplies.
+//
+// Everything is integer arithmetic on the same tables, so the packed path
+// is exactly — not approximately — the scalar function; property and fuzz
+// tests pin bit-identical agreement across random models, histories, and
+// phases. The packed form is built lazily on first prediction behind a
+// per-model atomic pointer (the pattern of the float model's folded infer
+// state) and scratch buffers are pooled, so the serving hot loop is
+// allocation-free.
+package engine
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// maxPackedChannels is the widest slice the packer accepts: one channel
+// per bit of a sign word.
+const maxPackedChannels = 64
+
+// maxCountPlanes bounds the CSA accumulator depth: window widths are
+// capped at 2^16 tokens by the decoder, whose counts fit 17 bit-planes.
+const maxCountPlanes = 17
+
+// fcTabMaxEntries caps the folded classifier table at 2 MiB of packed
+// lane words per model; wider models keep the multiply loop.
+const fcTabMaxEntries = 1 << 18
+
+// fcMaxWords caps the packed classifier row width: every neuron's lane
+// must fit in at most four uint64 words so the summing loop can keep its
+// accumulators in registers.
+const fcMaxWords = 4
+
+// hashGroup is one distinct (ConvWidth, HashBits) pair shared by one or
+// more slices: its gram hashes are computed once per prediction.
+type hashGroup struct {
+	convK int
+	bits  uint
+	span  int // history positions hashed per prediction
+}
+
+// winDesc is one pooled window's placement before the phase shift.
+type winDesc struct {
+	start int32 // w * PoolWidth; the runtime adds the sliding phase
+	width int32 // PoolWidth, or the precise tail's partial width
+}
+
+// packedSlice is the bit-sliced form of one Slice.
+type packedSlice struct {
+	spec  SliceSpec
+	group int
+	// signs[g] bit c is set iff ConvLUT[g][c] == +1.
+	signs []uint64
+	// spread[g], for slices of at most 8 channels and pooling width at
+	// most 255, is signs[g] pre-spread into byte lanes (channel c's sign
+	// bit in byte 7-c), so a window sums grams with one add per token.
+	spread []uint64
+	wins   []winDesc
+	// lastEnd is the phase-0 end of the final window: the slice touches
+	// hash positions [phase, phase+lastEnd).
+	lastEnd int32
+	// poolFlat holds the PoolCode rows flattened at stride poolStride
+	// (= 2*PoolWidth+1), one indirection instead of two per feature.
+	poolFlat   []uint8
+	poolStride int
+}
+
+// packedModel is the bit-sliced form of a whole Model.
+type packedModel struct {
+	ok     bool // false: model not packable, scalar path serves it
+	slices []packedSlice
+	groups []hashGroup
+
+	features int
+	hidden   int
+	tokLen   int // padded token buffer length (max group span + K)
+
+	// Classifier tables: thresh/flip/finalLUT alias the model's slices.
+	// fcLane, when non-nil, holds the folded partial sums lane-packed
+	// [feature][code][word]: every hidden neuron's bias-shifted product
+	// w1[n][i]*code occupies one laneBits-wide lane, so a feature's
+	// contribution to all neurons is fcWords contiguous word adds.
+	// w1 is the multiply fallback.
+	w1       [][]int16
+	thresh   []int64
+	flip     []bool
+	finalLUT []bool
+	fcLane   []uint64
+	fcWords  int
+	laneBits uint
+	laneMask uint64
+	lanesPW  int   // lanes per word
+	biasTot  int64 // per-lane bias to subtract: features * max|term|
+	maxCode  int
+
+	scratch sync.Pool // of *packedScratch
+}
+
+// packedScratch holds every per-prediction buffer of the packed path.
+type packedScratch struct {
+	tok      []uint64  // pre-biased history tokens (token + hashMix)
+	hashes   [][]int32 // per hash group, one gram hash per position
+	need     []int32   // per hash group, positions reached at this phase
+	features []uint8
+	planes   [maxCountPlanes]uint64
+}
+
+// packedState returns the bit-sliced form, building it on first use, or
+// nil for models the packer rejects. Readers load the per-model atomic
+// pointer without locking; the mutex only serializes the one-time build.
+func (m *Model) packedState() *packedModel {
+	if p := m.packed.Load(); p != nil {
+		if !p.ok {
+			return nil
+		}
+		return p
+	}
+	m.packedMu.Lock()
+	defer m.packedMu.Unlock()
+	if p := m.packed.Load(); p != nil {
+		if !p.ok {
+			return nil
+		}
+		return p
+	}
+	p := m.buildPacked()
+	m.packed.Store(p)
+	if !p.ok {
+		return nil
+	}
+	return p
+}
+
+// buildPacked packs the model's tables, or returns ok=false for shapes
+// the bit-sliced form cannot hold (the scalar oracle then serves them).
+func (m *Model) buildPacked() *packedModel {
+	p := &packedModel{
+		features: m.Features(),
+		hidden:   len(m.W1),
+		w1:       m.W1,
+		thresh:   m.Thresh,
+		flip:     m.Flip,
+		finalLUT: m.FinalLUT,
+	}
+	groupOf := map[hashGroup]int{}
+	for si := range m.Slices {
+		s := &m.Slices[si]
+		spec := s.Spec
+		if spec.Channels > maxPackedChannels || spec.PoolWidth > 1<<16 ||
+			len(s.ConvLUT) != 1<<spec.HashBits || len(s.PoolCode) < spec.Channels {
+			return p // ok=false
+		}
+		for c := 0; c < spec.Channels; c++ {
+			// The flattened pool layout needs uniform full-range rows; the
+			// scalar path serves anything else.
+			if len(s.PoolCode[c]) != 2*spec.PoolWidth+1 {
+				return p
+			}
+		}
+		// Positions the slice can touch: [0, Hist) for precise pooling,
+		// [0, Hist+P-1) across all sliding phases.
+		span := spec.Hist
+		if !spec.Precise {
+			span = spec.Windows()*spec.PoolWidth + spec.PoolWidth - 1
+		}
+		key := hashGroup{convK: spec.ConvWidth, bits: spec.HashBits}
+		gi, seen := groupOf[key]
+		if !seen {
+			gi = len(p.groups)
+			groupOf[key] = gi
+			p.groups = append(p.groups, key)
+		}
+		if span > p.groups[gi].span {
+			p.groups[gi].span = span
+		}
+		ps := packedSlice{spec: spec, group: gi}
+		ps.signs = make([]uint64, len(s.ConvLUT))
+		for g, row := range s.ConvLUT {
+			if len(row) < spec.Channels {
+				return p
+			}
+			var w uint64
+			for c := 0; c < spec.Channels; c++ {
+				switch row[c] {
+				case 1:
+					w |= 1 << uint(c)
+				case -1:
+				default:
+					// Not a sign table; the scalar sum semantics have no
+					// packed equivalent.
+					return p
+				}
+			}
+			ps.signs[g] = w
+		}
+		if spec.Channels <= 8 && spec.PoolWidth <= 255 {
+			ps.spread = make([]uint64, len(ps.signs))
+			for g, sg := range ps.signs {
+				ps.spread[g] = sg * 0x8040201008040201 >> 7 & 0x0101010101010101
+			}
+		}
+		ps.wins = make([]winDesc, spec.Windows())
+		for w := range ps.wins {
+			start, end := spec.WindowBounds(w, 0)
+			ps.wins[w] = winDesc{start: int32(start), width: int32(end - start)}
+			ps.lastEnd = int32(end)
+		}
+		ps.poolStride = 2*spec.PoolWidth + 1
+		ps.poolFlat = make([]uint8, spec.Channels*ps.poolStride)
+		for c := 0; c < spec.Channels; c++ {
+			copy(ps.poolFlat[c*ps.poolStride:(c+1)*ps.poolStride], s.PoolCode[c])
+		}
+		p.slices = append(p.slices, ps)
+	}
+	for gi := range p.groups {
+		if n := p.groups[gi].span + p.groups[gi].convK; n > p.tokLen {
+			p.tokLen = n
+		}
+	}
+	p.buildFCTab()
+	p.ok = true
+	return p
+}
+
+// buildFCTab folds W1 into lane-packed per-feature partial-sum rows when
+// the model's ranges allow it. Each neuron's product w1[n][i]*code is
+// stored bias-shifted (+M, with M = max|w|*maxCode, so lanes stay
+// non-negative) in a laneBits-wide lane; laneBits is sized so the sum of
+// all features' biased terms cannot carry across lanes. Lane arithmetic
+// is therefore exact — subtracting the accumulated bias features*M
+// reproduces the scalar int64 accumulation bit for bit.
+func (p *packedModel) buildFCTab() {
+	maxCode := 0
+	for si := range p.slices {
+		for _, u := range p.slices[si].poolFlat {
+			if int(u) > maxCode {
+				maxCode = int(u)
+			}
+		}
+	}
+	p.maxCode = maxCode
+	if p.hidden == 0 || p.features == 0 {
+		return
+	}
+	maxW := 0
+	for n := range p.w1 {
+		// Ragged weight rows keep the multiply loop, whose range-driven
+		// iteration reproduces the scalar semantics exactly.
+		if len(p.w1[n]) != p.features {
+			return
+		}
+		for _, w := range p.w1[n] {
+			a := int(w)
+			if a < 0 {
+				a = -a
+			}
+			if a > maxW {
+				maxW = a
+			}
+		}
+	}
+	m := maxW * maxCode // max |term| per feature
+	// Smallest lane that the worst-case biased sum features*(2M) cannot
+	// overflow into the next lane.
+	laneBits := uint(bits.Len(uint(p.features * 2 * m)))
+	if laneBits == 0 {
+		laneBits = 1
+	}
+	if laneBits > 32 {
+		return
+	}
+	lpw := int(64 / laneBits)
+	nW := (p.hidden + lpw - 1) / lpw
+	codes := maxCode + 1
+	entries := p.features * codes * nW
+	if nW > fcMaxWords || entries > fcTabMaxEntries {
+		return
+	}
+	tab := make([]uint64, entries)
+	for i := 0; i < p.features; i++ {
+		for u := 0; u <= maxCode; u++ {
+			row := tab[(i*codes+u)*nW : (i*codes+u+1)*nW]
+			for n := 0; n < p.hidden; n++ {
+				term := int(p.w1[n][i])*u + m // in [0, 2M]
+				row[n/lpw] |= uint64(term) << (uint(n%lpw) * laneBits)
+			}
+		}
+	}
+	p.fcLane = tab
+	p.fcWords = nW
+	p.laneBits = laneBits
+	p.laneMask = uint64(1)<<laneBits - 1
+	p.lanesPW = lpw
+	p.biasTot = int64(p.features) * int64(m)
+}
+
+func (p *packedModel) getScratch() *packedScratch {
+	if sc, _ := p.scratch.Get().(*packedScratch); sc != nil {
+		return sc
+	}
+	sc := &packedScratch{
+		tok:      make([]uint64, p.tokLen),
+		features: make([]uint8, p.features),
+	}
+	sc.hashes = make([][]int32, len(p.groups))
+	sc.need = make([]int32, len(p.groups))
+	for gi := range p.groups {
+		sc.hashes[gi] = make([]int32, p.groups[gi].span)
+	}
+	return sc
+}
+
+func (p *packedModel) putScratch(sc *packedScratch) { p.scratch.Put(sc) }
+
+const hashMix = 0x9e3779b97f4a7c15
+
+// hashSeed is hashMix behind a package variable: with a constant seed the
+// compiler reassociates every chain step's xor around the constant and
+// re-materializes it per step (two extra instructions in the hottest loop
+// of the engine); an opaque initial value keeps the chain in its natural
+// six-instruction form.
+var hashSeed = uint64(hashMix)
+
+// hashPositions fills dst[t] with GramHash(window, t, k, bits) for every
+// position at once. The per-position mix chain is serially dependent, so
+// four chains run interleaved to keep the ALUs fed; tok is the pre-biased
+// token buffer (each entry is token+hashMix, with hashMix itself as the
+// zero padding, len(tok) >= len(dst)+k-1), which folds one add out of
+// every mix step and makes the inner loop branch- and bounds-check-free
+// while matching GramHash's zero-for-out-of-range token rule exactly.
+func hashPositions(dst []int32, tok []uint64, k int, hashBits uint) {
+	mask := uint64(1)<<hashBits - 1
+	if k == 7 {
+		// The full Mini presets all use K=7; a branch-free unrolled body
+		// lets the compiler keep the four chains' sliding token window in
+		// registers.
+		hashPositions7(dst, tok, mask)
+		return
+	}
+	t := 0
+	for ; t+4 <= len(dst); t += 4 {
+		h0 := hashSeed
+		h1 := hashSeed
+		h2 := hashSeed
+		h3 := hashSeed
+		w := tok[t : t+4+k : t+4+k]
+		// The four chains read a sliding 4-token register window, so each
+		// mix step issues one load instead of four.
+		a, b, c, d := w[0], w[1], w[2], w[3]
+		for j := 0; j < k; j++ {
+			h0 = mix(h0, a)
+			h1 = mix(h1, b)
+			h2 = mix(h2, c)
+			h3 = mix(h3, d)
+			a, b, c, d = b, c, d, w[j+4]
+		}
+		dst[t] = int32((h0 ^ (h0 >> 29)) & mask)
+		dst[t+1] = int32((h1 ^ (h1 >> 29)) & mask)
+		dst[t+2] = int32((h2 ^ (h2 >> 29)) & mask)
+		dst[t+3] = int32((h3 ^ (h3 >> 29)) & mask)
+	}
+	for ; t < len(dst); t++ {
+		h := hashSeed
+		for j := 0; j < k; j++ {
+			h = mix(h, tok[t+j])
+		}
+		dst[t] = int32((h ^ (h >> 29)) & mask)
+	}
+}
+
+// mix is one GramHash step over a pre-biased token (token + hashMix).
+func mix(h, tokP uint64) uint64 { return h ^ (tokP + (h << 6) + (h >> 2)) }
+
+// hashPositions7 is hashPositions for K=7, the four chains fully unrolled.
+func hashPositions7(dst []int32, tok []uint64, mask uint64) {
+	t := 0
+	for ; t+4 <= len(dst); t += 4 {
+		w := tok[t : t+11 : t+11]
+		h0 := mix(hashSeed, w[0])
+		h1 := mix(hashSeed, w[1])
+		h2 := mix(hashSeed, w[2])
+		h3 := mix(hashSeed, w[3])
+		h0, h1, h2, h3 = mix(h0, w[1]), mix(h1, w[2]), mix(h2, w[3]), mix(h3, w[4])
+		h0, h1, h2, h3 = mix(h0, w[2]), mix(h1, w[3]), mix(h2, w[4]), mix(h3, w[5])
+		h0, h1, h2, h3 = mix(h0, w[3]), mix(h1, w[4]), mix(h2, w[5]), mix(h3, w[6])
+		h0, h1, h2, h3 = mix(h0, w[4]), mix(h1, w[5]), mix(h2, w[6]), mix(h3, w[7])
+		h0, h1, h2, h3 = mix(h0, w[5]), mix(h1, w[6]), mix(h2, w[7]), mix(h3, w[8])
+		h0, h1, h2, h3 = mix(h0, w[6]), mix(h1, w[7]), mix(h2, w[8]), mix(h3, w[9])
+		dst[t] = int32((h0 ^ (h0 >> 29)) & mask)
+		dst[t+1] = int32((h1 ^ (h1 >> 29)) & mask)
+		dst[t+2] = int32((h2 ^ (h2 >> 29)) & mask)
+		dst[t+3] = int32((h3 ^ (h3 >> 29)) & mask)
+	}
+	for ; t < len(dst); t++ {
+		h := hashSeed
+		for j := 0; j < 7; j++ {
+			h = mix(h, tok[t+j])
+		}
+		dst[t] = int32((h ^ (h >> 29)) & mask)
+	}
+}
+
+// predict evaluates one history on the packed tables using the caller's
+// scratch. It computes exactly predictScalar(hist, branchCount).
+func (p *packedModel) predict(hist []uint32, branchCount uint64, sc *packedScratch) bool {
+	// Positions reached at this prediction's phases: the span covers the
+	// worst-case phase, so hashing (and token staging) can stop at the
+	// furthest window end any slice actually reaches.
+	need := sc.need
+	for gi := range need {
+		need[gi] = 0
+	}
+	fill := 0
+	for si := range p.slices {
+		s := &p.slices[si]
+		e := int32(s.spec.Phase(branchCount)) + s.lastEnd
+		if e > need[s.group] {
+			need[s.group] = e
+			if f := int(e) + p.groups[s.group].convK - 1; f > fill {
+				fill = f
+			}
+		}
+	}
+	if fill > p.tokLen {
+		fill = p.tokLen
+	}
+	// Pre-biased token window: each entry carries the +hashMix of its mix
+	// step, so out-of-range positions (which GramHash reads as token zero)
+	// pad with hashMix itself, and no position indexes past tokLen.
+	n := len(hist)
+	if n > fill {
+		n = fill
+	}
+	head := sc.tok[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		head[i] = uint64(hist[i]) + hashMix
+		head[i+1] = uint64(hist[i+1]) + hashMix
+		head[i+2] = uint64(hist[i+2]) + hashMix
+		head[i+3] = uint64(hist[i+3]) + hashMix
+	}
+	for ; i < n; i++ {
+		head[i] = uint64(hist[i]) + hashMix
+	}
+	tail := sc.tok[n:fill]
+	for i := range tail {
+		tail[i] = hashMix
+	}
+	for gi := range p.groups {
+		g := &p.groups[gi]
+		hashPositions(sc.hashes[gi][:need[gi]], sc.tok, g.convK, g.bits)
+	}
+	f := 0
+	features := sc.features
+	for si := range p.slices {
+		s := &p.slices[si]
+		spec := s.spec
+		hashes := sc.hashes[s.group]
+		sgMask := len(s.signs) - 1 // len is 1<<HashBits; masking proves bounds
+		phase := spec.Phase(branchCount)
+		channels := spec.Channels
+		poolFlat := s.poolFlat
+		stride := s.poolStride
+		for _, win := range s.wins {
+			start := phase + int(win.start)
+			width := int(win.width)
+			hw := hashes[start : start+width]
+			if spread := s.spread; spread != nil {
+				// Byte-lane accumulator: each gram's (<=8) sign bits were
+				// pre-spread into 8-bit lanes at pack time (channel c in
+				// byte 7-c), so a token is one lookup and one lane-parallel
+				// add — branchless, fixed cost. Two accumulators break the
+				// add chain's serial dependency; counts fit the lanes
+				// because PoolWidth <= 255 gates the spread table.
+				var acc0, acc1, acc2, acc3 uint64
+				t := 0
+				for ; t+4 <= len(hw); t += 4 {
+					acc0 += spread[int(hw[t])&sgMask]
+					acc1 += spread[int(hw[t+1])&sgMask]
+					acc2 += spread[int(hw[t+2])&sgMask]
+					acc3 += spread[int(hw[t+3])&sgMask]
+				}
+				for ; t < len(hw); t++ {
+					acc0 += spread[int(hw[t])&sgMask]
+				}
+				acc := acc0 + acc1 + acc2 + acc3
+				// Walk the lanes top byte first (channel 0 lives in byte
+				// 7), shifting left by a byte per channel: two cheap ops
+				// instead of a variable shift and mask.
+				off := spec.PoolWidth - width
+				for c := 0; c < channels; c++ {
+					ones := int(acc >> 56)
+					acc <<= 8
+					features[f] = poolFlat[off+2*ones]
+					off += stride
+					f++
+				}
+				continue
+			}
+			// General form (wide slices): carry-save-adder popcount
+			// network. Each packed word ripples into log2(width)+1 count
+			// bit-planes at a fixed depth (no data-dependent branches);
+			// all C<=64 channels accumulate simultaneously, and channel
+			// c's +1 count reads back as bit c of each plane.
+			signs := s.signs
+			nPlanes := bits.Len(uint(width))
+			planes := sc.planes[:nPlanes]
+			for l := range planes {
+				planes[l] = 0
+			}
+			for _, hv := range hw {
+				carry := signs[int(hv)&sgMask]
+				for l := range planes {
+					planes[l], carry = planes[l]^carry, planes[l]&carry
+				}
+			}
+			off := spec.PoolWidth - width
+			for c := 0; c < channels; c++ {
+				ones := 0
+				for l := 0; l < nPlanes; l++ {
+					ones |= int(planes[l]>>uint(c)&1) << uint(l)
+				}
+				features[f] = poolFlat[off+2*ones]
+				off += stride
+				f++
+			}
+		}
+	}
+	return p.classify(features, sc)
+}
+
+// classify evaluates the folded FC layer and final LUT, preferring the
+// lane-packed partial-sum tables when they were built.
+func (p *packedModel) classify(features []uint8, sc *packedScratch) bool {
+	pattern := 0
+	if p.fcLane != nil {
+		// Sum each feature's contiguous row of lane words into register
+		// accumulators; lanes cannot carry into each other by construction.
+		codes := p.maxCode + 1
+		tab := p.fcLane
+		nW := p.fcWords
+		var acc [fcMaxWords]uint64
+		base := 0
+		switch nW {
+		case 1:
+			for _, u := range features {
+				acc[0] += tab[base+int(u)]
+				base += codes
+			}
+		case 2:
+			for _, u := range features {
+				idx := base + 2*int(u)
+				acc[0] += tab[idx]
+				acc[1] += tab[idx+1]
+				base += 2 * codes
+			}
+		case 3:
+			for _, u := range features {
+				idx := base + 3*int(u)
+				acc[0] += tab[idx]
+				acc[1] += tab[idx+1]
+				acc[2] += tab[idx+2]
+				base += 3 * codes
+			}
+		default:
+			for _, u := range features {
+				idx := base + 4*int(u)
+				acc[0] += tab[idx]
+				acc[1] += tab[idx+1]
+				acc[2] += tab[idx+2]
+				acc[3] += tab[idx+3]
+				base += 4 * codes
+			}
+		}
+		lpw := p.lanesPW
+		for n := 0; n < p.hidden; n++ {
+			lane := acc[n/lpw] >> (uint(n%lpw) * p.laneBits) & p.laneMask
+			bit := int64(lane)-p.biasTot >= p.thresh[n]
+			if p.flip[n] {
+				bit = !bit
+			}
+			if bit {
+				pattern |= 1 << n
+			}
+		}
+		return p.finalLUT[pattern]
+	}
+	for n := range p.w1 {
+		var a int64
+		for i, w := range p.w1[n] {
+			a += int64(w) * int64(features[i])
+		}
+		bit := a >= p.thresh[n]
+		if p.flip[n] {
+			bit = !bit
+		}
+		if bit {
+			pattern |= 1 << n
+		}
+	}
+	return p.finalLUT[pattern]
+}

@@ -1,0 +1,312 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randModelChannels is randModel with a caller-chosen channel range, so
+// the equivalence suite can reach the CSA wide-slice path (channels > 8)
+// and the unpackable fallback (channels > 64).
+func randModelChannels(rng *rand.Rand, minCh, maxCh int) *Model {
+	m := randModel(rng)
+	for i := range m.Slices {
+		s := &m.Slices[i]
+		ch := minCh + rng.Intn(maxCh-minCh+1)
+		s.Spec.Channels = ch
+		for g := range s.ConvLUT {
+			row := make([]int8, ch)
+			for c := range row {
+				row[c] = int8(rng.Intn(2)*2 - 1)
+			}
+			s.ConvLUT[g] = row
+		}
+		s.PoolCode = make([][]uint8, ch)
+		for c := range s.PoolCode {
+			tbl := make([]uint8, 2*s.Spec.PoolWidth+1)
+			for j := range tbl {
+				tbl[j] = uint8(rng.Intn(8))
+			}
+			s.PoolCode[c] = tbl
+		}
+	}
+	// Rebuild the classifier for the new feature width.
+	f := m.Features()
+	hidden := len(m.W1)
+	m.W1 = nil
+	for n := 0; n < hidden; n++ {
+		row := make([]int16, f)
+		for i := range row {
+			row[i] = int16(rng.Intn(15) - 7)
+		}
+		m.W1 = append(m.W1, row)
+	}
+	return m
+}
+
+// checkPackedMatchesScalar compares the packed fast path against the
+// scalar oracle over a battery of histories and phases and fails on the
+// first divergence.
+func checkPackedMatchesScalar(t *testing.T, m *Model, rng *rand.Rand, trials int) {
+	t.Helper()
+	w := m.Window()
+	maxP := 1
+	for i := range m.Slices {
+		if p := m.Slices[i].Spec.PoolWidth; p > maxP {
+			maxP = p
+		}
+	}
+	for trial := 0; trial < trials; trial++ {
+		// Sweep history lengths around the interesting boundaries: empty,
+		// shorter than the window (zero padding), exact, and oversized.
+		histLen := rng.Intn(w + 8)
+		switch trial % 4 {
+		case 0:
+			histLen = w
+		case 1:
+			histLen = 0
+		}
+		hist := make([]uint32, histLen)
+		for i := range hist {
+			hist[i] = rng.Uint32() & 0x1fff
+		}
+		// Cover every sliding phase plus arbitrary counters.
+		bc := uint64(trial % maxP)
+		if trial%3 == 0 {
+			bc = rng.Uint64()
+		}
+		got := m.Predict(hist, bc)
+		want := m.predictScalar(hist, bc)
+		if got != want {
+			t.Fatalf("trial %d: packed=%v scalar=%v (histLen=%d bc=%d)", trial, got, want, histLen, bc)
+		}
+	}
+}
+
+// TestPackedMatchesScalar pins the bit-sliced fast path bit-identical to
+// the scalar oracle across random models, histories, phases, and partial
+// precise windows — the same contract that held fused-vs-layered and
+// quantized-vs-reference in earlier PRs.
+func TestPackedMatchesScalar(t *testing.T) {
+	packable := 0
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randModel(rng)
+		if m.packedState() != nil {
+			packable++
+		}
+		checkPackedMatchesScalar(t, m, rng, 40)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+	if packable == 0 {
+		t.Fatal("no generated model took the packed path; the test is vacuous")
+	}
+}
+
+// TestPackedMatchesScalarWideChannels drives the CSA popcount path
+// (channels > 8, beyond the byte-lane fast case) and the unpackable
+// fallback (channels > 64) through the same equivalence contract.
+func TestPackedMatchesScalarWideChannels(t *testing.T) {
+	cases := []struct {
+		name         string
+		minCh, maxCh int
+		wantPacked   bool
+	}{
+		{"csa-9-16", 9, 16, true},
+		{"csa-33-64", 33, 64, true},
+		{"unpackable-65-70", 65, 70, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(0); seed < 10; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				m := randModelChannels(rng, tc.minCh, tc.maxCh)
+				if got := m.packedState() != nil; got != tc.wantPacked {
+					t.Fatalf("seed %d: packedState presence = %v, want %v", seed, got, tc.wantPacked)
+				}
+				checkPackedMatchesScalar(t, m, rng, 30)
+			}
+		})
+	}
+}
+
+// TestPackedMatchesScalarMiniGeometry runs the equivalence check on the
+// exact table shapes of the deployable 2KB Mini preset, covering every
+// sliding phase of the widest pooling window.
+func TestPackedMatchesScalarMiniGeometry(t *testing.T) {
+	m := SyntheticSpec(0x77, 13, mini2KBSpecs(), 10, 4)
+	if m.packedState() == nil {
+		t.Fatal("mini geometry must be packable")
+	}
+	rng := rand.New(rand.NewSource(5))
+	w := m.Window()
+	for phase := uint64(0); phase < 48; phase++ {
+		hist := make([]uint32, w)
+		for i := range hist {
+			hist[i] = rng.Uint32() & 0x1fff
+		}
+		if m.Predict(hist, phase) != m.predictScalar(hist, phase) {
+			t.Fatalf("phase %d: packed diverges from scalar", phase)
+		}
+	}
+	checkPackedMatchesScalar(t, m, rng, 100)
+}
+
+// TestPackedUnpackableShapes pins that the packer rejects (and the scalar
+// oracle serves) tables the bit-sliced form cannot hold.
+func TestPackedUnpackableShapes(t *testing.T) {
+	mutate := map[string]struct {
+		mut   func(*Model)
+		serve bool // tables stay well-formed: the fallback must serve them
+	}{
+		"non-sign conv entry": {func(m *Model) { m.Slices[0].ConvLUT[0][0] = 0 }, true},
+		// A truncated pool row is malformed for the scalar oracle too (it
+		// panics once a sum indexes past it); the packer must reject it so
+		// the two paths cannot silently disagree on partial reads.
+		"short pool row": {func(m *Model) {
+			m.Slices[0].PoolCode[0] = m.Slices[0].PoolCode[0][:1]
+		}, false},
+	}
+	for name, tc := range mutate {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			m := randModel(rng)
+			tc.mut(m)
+			if m.packedState() != nil {
+				t.Fatal("mutated model must be unpackable")
+			}
+			if tc.serve {
+				hists, counts, out := benchBatch(m, 4)
+				m.PredictBatch(hists, counts, out)
+			}
+		})
+	}
+}
+
+// TestPredictBatchAllocationFree asserts the serving hot loop allocates
+// nothing on the packed path once the lazy pack and scratch pool are warm,
+// and only the two hoisted buffers per call on the scalar fallback.
+func TestPredictBatchAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector defeats sync.Pool reuse")
+	}
+	m := SyntheticSpec(0x40, 7, mini2KBSpecs(), 10, 4)
+	hists, counts, out := benchBatch(m, 16)
+	m.PredictBatch(hists, counts, out) // warm the packed tables + scratch
+	if avg := testing.AllocsPerRun(20, func() {
+		m.PredictBatch(hists, counts, out)
+	}); avg != 0 {
+		t.Fatalf("packed PredictBatch allocates %.1f objects per call, want 0", avg)
+	}
+
+	un := SyntheticSpec(0x41, 9, mini2KBSpecs(), 10, 4)
+	un.Slices[0].ConvLUT[0][0] = 0 // force the scalar fallback
+	hists, counts, out = benchBatch(un, 16)
+	un.PredictBatch(hists, counts, out)
+	if avg := testing.AllocsPerRun(20, func() {
+		un.PredictBatch(hists, counts, out)
+	}); avg > 2 {
+		t.Fatalf("scalar-fallback PredictBatch allocates %.1f objects per call, want <= 2 (hoisted scratch)", avg)
+	}
+}
+
+// TestGramHashZeroPadding pins the zero-padding rule: token positions at
+// or past len(window) hash exactly as literal zero tokens.
+func TestGramHashZeroPadding(t *testing.T) {
+	window := []uint32{9, 8, 7}
+	for k := 1; k <= 8; k++ {
+		for tpos := 0; tpos < 6; tpos++ {
+			padded := make([]uint32, tpos+k)
+			copy(padded, window)
+			got := GramHash(window, tpos, k, 10)
+			want := GramHash(padded, tpos, k, 10)
+			if got != want {
+				t.Fatalf("t=%d k=%d: short-window hash %d != zero-padded hash %d", tpos, k, got, want)
+			}
+		}
+	}
+	// An empty window must hash like an all-zero one.
+	if GramHash(nil, 0, 4, 10) != GramHash(make([]uint32, 4), 0, 4, 10) {
+		t.Fatal("nil window must hash as zeros")
+	}
+}
+
+// FuzzPredictPacked fuzzes model shape, history, and counter together:
+// the packed path must neither panic (PoolCode indexing stays in bounds
+// for any sum a window can produce) nor diverge from the scalar oracle.
+func FuzzPredictPacked(f *testing.F) {
+	f.Add(int64(1), uint16(64), uint64(0))
+	f.Add(int64(2), uint16(0), uint64(47))
+	f.Add(int64(3), uint16(600), uint64(1<<40))
+	f.Fuzz(func(t *testing.T, seed int64, histLen uint16, bc uint64) {
+		rng := rand.New(rand.NewSource(seed))
+		m := randModel(rng)
+		hist := make([]uint32, int(histLen)%1024)
+		for i := range hist {
+			hist[i] = rng.Uint32()
+		}
+		if got, want := m.Predict(hist, bc), m.predictScalar(hist, bc); got != want {
+			t.Fatalf("packed=%v scalar=%v (seed=%d histLen=%d bc=%d)", got, want, seed, len(hist), bc)
+		}
+	})
+}
+
+// TestPredictBatchMatchesPredict pins the batch form bit-identical to
+// item-at-a-time Predict for mixed histories and counters.
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		m := randModel(rng)
+		n := 1 + rng.Intn(32)
+		hists := make([][]uint32, n)
+		counts := make([]uint64, n)
+		for i := range hists {
+			h := make([]uint32, rng.Intn(m.Window()+4))
+			for j := range h {
+				h[j] = rng.Uint32() & 0x1fff
+			}
+			hists[i] = h
+			counts[i] = rng.Uint64()
+		}
+		out := make([]bool, n)
+		m.PredictBatch(hists, counts, out)
+		for i := range hists {
+			if want := m.Predict(hists[i], counts[i]); out[i] != want {
+				t.Fatalf("seed %d item %d: batch=%v predict=%v", seed, i, out[i], want)
+			}
+		}
+	}
+}
+
+func TestPackedConcurrentPredict(t *testing.T) {
+	m := SyntheticSpec(0x99, 3, mini2KBSpecs(), 10, 4)
+	hists, counts, out := benchBatch(m, 8)
+	m.PredictBatch(hists, counts, out)
+	want := append([]bool(nil), out...)
+	done := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		go func() {
+			o := make([]bool, len(want))
+			for r := 0; r < 50; r++ {
+				m.PredictBatch(hists, counts, o)
+				for i := range o {
+					if o[i] != want[i] {
+						done <- fmt.Errorf("concurrent batch diverged at item %d", i)
+						return
+					}
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

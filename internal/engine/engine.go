@@ -20,7 +20,18 @@
 // sliding-pooling window alignment (Optimization 3), which is derived from
 // the global branch counter exactly as a free-running hardware pointer
 // would be.
+//
+// Prediction runs on a bit-sliced fast path (bitslice.go) that evaluates
+// the binarized convolutions as wide boolean operations over packed sign
+// words, mirroring how the hardware would; the straightforward scalar
+// evaluator below is retained as the oracle the fast path is pinned
+// bit-identical to.
 package engine
+
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // SliceSpec describes one feature slice of a quantized model.
 type SliceSpec struct {
@@ -42,6 +53,31 @@ func (s SliceSpec) Windows() int {
 	return s.Hist / s.PoolWidth
 }
 
+// Phase returns the sliding-pooling window offset the free-running branch
+// counter dictates: zero for precise slices, branchCount mod P otherwise.
+func (s SliceSpec) Phase(branchCount uint64) int {
+	if s.Precise {
+		return 0
+	}
+	return int(branchCount % uint64(s.PoolWidth))
+}
+
+// WindowBounds returns the token range [start, end) pooled window w covers
+// under the given sliding phase. Precise slices clamp the newest (partial)
+// window at the history length; sliding windows are always full-width and
+// may extend past Hist into the alignment slack the model's Window()
+// reserves. This is the single source of truth for window placement: the
+// runtime evaluators and the quantization calibration pass (which must see
+// the same sum distribution the engine produces) both use it.
+func (s SliceSpec) WindowBounds(w, phase int) (start, end int) {
+	start = phase + w*s.PoolWidth
+	end = start + s.PoolWidth
+	if s.Precise && end > s.Hist {
+		end = s.Hist // partial last precise window
+	}
+	return start, end
+}
+
 // Slice holds one slice's tables.
 type Slice struct {
 	Spec SliceSpec
@@ -53,6 +89,11 @@ type Slice struct {
 }
 
 // Model is a fully quantized Mini-BranchNet for one static branch.
+//
+// A model's tables are read-only once predictions begin: the first
+// Predict/PredictBatch lazily packs them into the bit-sliced form and
+// caches it behind an atomic pointer, so mutating tables afterwards would
+// desynchronize the two representations.
 type Model struct {
 	PC        uint64
 	QuantBits uint
@@ -71,6 +112,13 @@ type Model struct {
 	// FinalLUT[pattern] is the prediction for each binarized hidden
 	// pattern (bit n of pattern = hidden neuron n's output).
 	FinalLUT []bool
+
+	// packed caches the bit-sliced fast path, built on first prediction
+	// (same lazy-atomic pattern as the float model's folded infer state).
+	// A cached value with ok=false records that the model cannot be
+	// packed (e.g. more than 64 channels) and the scalar path serves it.
+	packed   atomic.Pointer[packedModel]
+	packedMu sync.Mutex
 }
 
 // Window returns the number of history tokens the model consumes: the
@@ -98,7 +146,8 @@ func (m *Model) Features() int {
 }
 
 // GramHash must match branchnet.gramHash: it hashes the K tokens
-// window[t..t+K-1] to HashBits bits.
+// window[t..t+K-1] to HashBits bits. Tokens at positions past the end of
+// window hash as zero (the engine's zero-padded history).
 func GramHash(window []uint32, t, k int, bits uint) int {
 	var h uint64 = 0x9e3779b97f4a7c15
 	for j := 0; j < k; j++ {
@@ -119,8 +168,13 @@ func GramHash(window []uint32, t, k int, bits uint) int {
 // hist must hold at least MaxHistory+MaxPool tokens; shorter histories are
 // zero-padded.
 func (m *Model) Predict(hist []uint32, branchCount uint64) bool {
-	features := m.ExtractFeatures(hist, branchCount)
-	return m.classify(features)
+	if p := m.packedState(); p != nil {
+		sc := p.getScratch()
+		out := p.predict(hist, branchCount, sc)
+		p.putScratch(sc)
+		return out
+	}
+	return m.predictScalar(hist, branchCount)
 }
 
 // PredictBatch evaluates the model on a batch of independent history
@@ -128,15 +182,48 @@ func (m *Model) Predict(hist []uint32, branchCount uint64) bool {
 // out[i]. The engine is integer-only and per-item evaluation is exactly
 // Predict, so the batch form is bit-identical to len(hists) Predict calls;
 // it exists so the serving micro-batcher can coalesce concurrent requests
-// into one call that shares the feature scratch buffer across the batch.
-// The model's tables are read-only, so PredictBatch is safe to call
-// concurrently.
+// into one call that shares the packed tables and scratch buffers across
+// the batch. The model's tables are read-only, so PredictBatch is safe to
+// call concurrently; steady-state batches on the packed path allocate
+// nothing (the scratch is pooled).
 func (m *Model) PredictBatch(hists [][]uint32, branchCounts []uint64, out []bool) {
+	if p := m.packedState(); p != nil {
+		sc := p.getScratch()
+		for i := range hists {
+			out[i] = p.predict(hists[i], branchCounts[i], sc)
+		}
+		p.putScratch(sc)
+		return
+	}
+	// Unpackable models (e.g. >64 channels) run the scalar path with the
+	// per-call buffers hoisted out of the item loop.
 	features := make([]uint8, m.Features())
+	sums := make([]int, m.maxChannels())
 	for i := range hists {
-		m.extractFeaturesInto(features, hists[i], branchCounts[i])
+		m.extractFeaturesInto(features, sums, hists[i], branchCounts[i])
 		out[i] = m.classify(features)
 	}
+}
+
+// predictScalar is the straightforward table-walking evaluator. It is the
+// oracle the packed path is property-tested bit-identical against, and
+// the serving fallback for models the packer rejects.
+func (m *Model) predictScalar(hist []uint32, branchCount uint64) bool {
+	features := make([]uint8, m.Features())
+	sums := make([]int, m.maxChannels())
+	m.extractFeaturesInto(features, sums, hist, branchCount)
+	return m.classify(features)
+}
+
+// maxChannels returns the widest slice's channel count.
+func (m *Model) maxChannels() int {
+	max := 0
+	for i := range m.Slices {
+		if c := m.Slices[i].Spec.Channels; c > max {
+			max = c
+		}
+	}
+	return max
 }
 
 // classify runs the fully-connected layer and the final lookup table over
@@ -164,43 +251,36 @@ func (m *Model) classify(features []uint8) bool {
 // calibration passes of the quantization pipeline.
 func (m *Model) ExtractFeatures(hist []uint32, branchCount uint64) []uint8 {
 	features := make([]uint8, m.Features())
-	m.extractFeaturesInto(features, hist, branchCount)
+	m.extractFeaturesInto(features, make([]int, m.maxChannels()), hist, branchCount)
 	return features
 }
 
 // extractFeaturesInto is ExtractFeatures writing into a caller-owned
-// buffer of length m.Features().
-func (m *Model) extractFeaturesInto(features []uint8, hist []uint32, branchCount uint64) {
+// buffer of length m.Features(), using sums (length >= the widest slice's
+// channel count) as window-sum scratch.
+func (m *Model) extractFeaturesInto(features []uint8, sums []int, hist []uint32, branchCount uint64) {
 	f := 0
-	sums := make([]int, 0, 16)
 	for si := range m.Slices {
 		s := &m.Slices[si]
 		spec := s.Spec
-		offset := 0
-		if !spec.Precise {
-			offset = int(branchCount % uint64(spec.PoolWidth))
-		}
+		phase := spec.Phase(branchCount)
 		windows := spec.Windows()
 		for w := 0; w < windows; w++ {
-			sums = sums[:0]
-			for c := 0; c < spec.Channels; c++ {
-				sums = append(sums, 0)
+			ws := sums[:spec.Channels]
+			for c := range ws {
+				ws[c] = 0
 			}
-			start := offset + w*spec.PoolWidth
-			end := start + spec.PoolWidth
-			if spec.Precise && end > spec.Hist {
-				end = spec.Hist // partial last precise window
-			}
+			start, end := spec.WindowBounds(w, phase)
 			for t := start; t < end; t++ {
 				lut := s.ConvLUT[GramHash(hist, t, spec.ConvWidth, spec.HashBits)]
-				for c := range sums {
-					sums[c] += int(lut[c])
+				for c := range ws {
+					ws[c] += int(lut[c])
 				}
 			}
 			// Feature order matches the float model's flatten: windows
 			// outer, channels inner.
-			for c := range sums {
-				features[f] = s.PoolCode[c][sums[c]+spec.PoolWidth]
+			for c := range ws {
+				features[f] = s.PoolCode[c][ws[c]+spec.PoolWidth]
 				f++
 			}
 		}

@@ -1,0 +1,8 @@
+//go:build race
+
+package engine
+
+// raceEnabled reports that the race detector is active: its sync.Pool
+// instrumentation defeats scratch reuse, so allocation-count assertions
+// are skipped under -race.
+const raceEnabled = true

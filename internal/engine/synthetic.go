@@ -9,6 +9,32 @@ package engine
 // models, which is what lets a load generator and a server reconstruct the
 // same parity oracle independently.
 func Synthetic(pc uint64, seed uint64) *Model {
+	specs := []SliceSpec{
+		{Hist: 12, Channels: 2, PoolWidth: 3, ConvWidth: 3, HashBits: 5, Precise: true},
+		{Hist: 24, Channels: 2, PoolWidth: 6, ConvWidth: 3, HashBits: 5, Precise: false},
+	}
+	return SyntheticSpec(pc, seed, specs, 4, 2)
+}
+
+// Mini2KBSpecs mirrors branchnet.Mini(2048).EngineSpecs(): the deployable
+// 2KB Mini-BranchNet geometry (sliding histories rounded down to whole
+// pooling windows). Kept literal here so the engine benchmarks and the
+// serving-throughput harness don't depend on the training package.
+func Mini2KBSpecs() []SliceSpec {
+	return []SliceSpec{
+		{Hist: 37, Channels: 4, PoolWidth: 3, ConvWidth: 7, Precise: true, HashBits: 8},
+		{Hist: 71, Channels: 3, PoolWidth: 6, ConvWidth: 7, Precise: true, HashBits: 8},
+		{Hist: 132, Channels: 3, PoolWidth: 12, ConvWidth: 7, Precise: false, HashBits: 8},
+		{Hist: 264, Channels: 2, PoolWidth: 24, ConvWidth: 7, Precise: false, HashBits: 8},
+		{Hist: 528, Channels: 2, PoolWidth: 48, ConvWidth: 7, Precise: false, HashBits: 8},
+	}
+}
+
+// SyntheticSpec is Synthetic at an arbitrary geometry: it fills the given
+// slice specs, hidden width, and quantization depth with the same
+// deterministic generator, so serving benchmarks can measure models with
+// the exact table shapes of the paper's Mini presets without training one.
+func SyntheticSpec(pc, seed uint64, specs []SliceSpec, hidden int, quantBits uint) *Model {
 	rng := seed*0x9e3779b97f4a7c15 + pc | 1
 	next := func() uint64 {
 		rng ^= rng << 13
@@ -16,12 +42,7 @@ func Synthetic(pc uint64, seed uint64) *Model {
 		rng ^= rng << 17
 		return rng
 	}
-	const quantBits = 2
 	m := &Model{PC: pc, QuantBits: quantBits, PCBits: 12}
-	specs := []SliceSpec{
-		{Hist: 12, Channels: 2, PoolWidth: 3, ConvWidth: 3, HashBits: 5, Precise: true},
-		{Hist: 24, Channels: 2, PoolWidth: 6, ConvWidth: 3, HashBits: 5, Precise: false},
-	}
 	for _, spec := range specs {
 		s := Slice{Spec: spec}
 		s.ConvLUT = make([][]int8, 1<<spec.HashBits)
@@ -53,7 +74,6 @@ func Synthetic(pc uint64, seed uint64) *Model {
 		}
 		m.Slices = append(m.Slices, s)
 	}
-	const hidden = 4
 	features := m.Features()
 	for n := 0; n < hidden; n++ {
 		row := make([]int16, features)

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"os"
 
 	"branchnet/internal/branchnet"
 	"branchnet/internal/gshare"
@@ -130,7 +131,9 @@ func Fig11(c *Context) ([]Fig11Row, Table) {
 			tarsaModels = tarsaModels[:tarsa.MaxBranches]
 		}
 		for _, m := range tarsaModels {
-			m.Float.Ternarize()
+			if err := m.Float.Ternarize(); err != nil {
+				fmt.Fprintf(os.Stderr, "fig11: pc %#x: %v\n", m.PC, err)
+			}
 		}
 		record(TarsaTernary, tarsaModels, func() predictor.Predictor {
 			return hybrid.New(newBaseline("tage64"), tarsaModels, "")

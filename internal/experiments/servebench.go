@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"branchnet/internal/engine"
+)
+
+// The serving micro-benchmark mirrors the testing.B harness in
+// internal/engine/bench_test.go: deterministic synthetic models at the
+// paper's table geometries, deterministic history batches, preds/s as
+// the headline metric. It lives here (rather than only in the _test
+// file) so cmd/branchnet-bench can emit BENCH_serve.json and track the
+// inference-throughput trajectory across PRs.
+
+// serveBenchSeed holds the preds/s recorded on the pre-bit-slicing
+// scalar evaluator (per-gram hashing and per-channel window sums in
+// nested loops) with the identical harness — histories from seed 11,
+// batch layouts below. Speedups in ServeBench are relative to these.
+type serveBenchSeed struct{ predsPerSec float64 }
+
+// serveBenchCases are the measured configurations: the deployable 2KB
+// Mini geometry (the paper's Table II budget point) at the batch sizes
+// the serving batcher produces, and the small smoke-test geometry.
+// batch64 is the honest steady-state number; batch1 re-runs one history
+// every iteration, so the CPU's own branch predictor learns the model's
+// data-dependent branches and inflates the scalar baseline.
+var serveBenchCases = []struct {
+	name  string
+	model func() *engine.Model
+	batch int
+	seed  serveBenchSeed
+}{
+	{"mini-2kb", mini2KBModel, 1, serveBenchSeed{predsPerSec: 31387}},
+	{"mini-2kb", mini2KBModel, 16, serveBenchSeed{predsPerSec: 31442}},
+	{"mini-2kb", mini2KBModel, 64, serveBenchSeed{predsPerSec: 36216}},
+	{"small", smallModel, 1, serveBenchSeed{predsPerSec: 1160393}},
+	{"small", smallModel, 64, serveBenchSeed{predsPerSec: 1472558}},
+}
+
+func mini2KBModel() *engine.Model {
+	return engine.SyntheticSpec(0x40, 7, engine.Mini2KBSpecs(), 10, 4)
+}
+
+func smallModel() *engine.Model { return engine.Synthetic(0x40, 7) }
+
+// ServeBenchResult is one measured PredictBatch configuration alongside
+// its recorded seed baseline.
+type ServeBenchResult struct {
+	Name        string  `json:"name"`
+	Batch       int     `json:"batch"`
+	PredsPerSec float64 `json:"preds_per_sec"`
+	NsPerPred   float64 `json:"ns_per_pred"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+
+	SeedPredsPerSec float64 `json:"seed_preds_per_sec"`
+	// Speedup is preds/s over the seed scalar evaluator (>1 means the
+	// bit-sliced engine is faster).
+	Speedup float64 `json:"speedup_preds_per_sec"`
+}
+
+// ServeBenchReport is the BENCH_serve.json payload.
+type ServeBenchReport struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Reps is the best-of repetition count behind every number: shared
+	// machines jitter throughput by tens of percent, and the maximum
+	// over reps estimates the unloaded-machine rate both for the seed
+	// measurements and for these.
+	Reps  int                `json:"reps"`
+	Cases []ServeBenchResult `json:"cases"`
+}
+
+// serveBenchBatch builds the deterministic history batch the seed
+// numbers were recorded with (seed 11, 13-bit tokens, counters < 1024).
+func serveBenchBatch(m *engine.Model, n int) ([][]uint32, []uint64, []bool) {
+	rng := rand.New(rand.NewSource(11))
+	w := m.Window()
+	hists := make([][]uint32, n)
+	counts := make([]uint64, n)
+	for i := range hists {
+		h := make([]uint32, w)
+		for j := range h {
+			h[j] = rng.Uint32() & 0x1fff
+		}
+		hists[i] = h
+		counts[i] = uint64(rng.Intn(1024))
+	}
+	return hists, counts, make([]bool, n)
+}
+
+// ServeBench measures PredictBatch throughput for every benchmark
+// configuration, best-of-reps, and reports it against the recorded seed
+// numbers.
+func ServeBench(reps int) (ServeBenchReport, Table) {
+	if reps < 1 {
+		reps = 1
+	}
+	report := ServeBenchReport{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Reps:       reps,
+	}
+	tbl := Table{
+		Title:  fmt.Sprintf("Serving throughput (PredictBatch, best of %d reps)", reps),
+		Header: []string{"model", "batch", "preds/s", "ns/pred", "allocs/op", "speedup"},
+		Notes: []string{
+			"speedups are against the scalar evaluator recorded in internal/experiments/servebench.go",
+			"batch64 is the honest steady-state metric; batch1 lets the host CPU's branch predictor memorize the single history",
+		},
+	}
+	for _, c := range serveBenchCases {
+		m := c.model()
+		hists, counts, out := serveBenchBatch(m, c.batch)
+		m.PredictBatch(hists, counts, out) // warm lazy packing outside the timer
+		r := ServeBenchResult{
+			Name:            c.name,
+			Batch:           c.batch,
+			SeedPredsPerSec: c.seed.predsPerSec,
+		}
+		for rep := 0; rep < reps; rep++ {
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					m.PredictBatch(hists, counts, out)
+				}
+			})
+			if secs := res.T.Seconds(); secs > 0 {
+				if pps := float64(res.N*c.batch) / secs; pps > r.PredsPerSec {
+					r.PredsPerSec = pps
+					r.NsPerPred = float64(res.T.Nanoseconds()) / float64(res.N*c.batch)
+					r.AllocsPerOp = res.AllocsPerOp()
+				}
+			}
+		}
+		if c.seed.predsPerSec > 0 {
+			r.Speedup = r.PredsPerSec / c.seed.predsPerSec
+		}
+		report.Cases = append(report.Cases, r)
+		tbl.AddRow(c.name,
+			fmt.Sprintf("%d", c.batch),
+			fmt.Sprintf("%.0f", r.PredsPerSec),
+			fmt.Sprintf("%.0f", r.NsPerPred),
+			fmt.Sprintf("%d", r.AllocsPerOp),
+			fmt.Sprintf("%.2fx", r.Speedup),
+		)
+	}
+	return report, tbl
+}

@@ -61,6 +61,12 @@ type Batcher struct {
 	closed   atomic.Bool
 	stop     chan struct{}
 	loopDone chan struct{}
+
+	// flushOut is the collector goroutine's private prediction buffer,
+	// reused across flushes so the steady-state hot path stays off the
+	// allocator (PredictBatch itself is allocation-free on the packed
+	// engine path).
+	flushOut []bool
 }
 
 // NewBatcher starts a batcher. maxBatch bounds the items per flush,
@@ -212,7 +218,10 @@ func (b *Batcher) flush(jobs []*job) {
 		}
 	}
 	for m, g := range groups {
-		out := make([]bool, len(g.hists))
+		if cap(b.flushOut) < len(g.hists) {
+			b.flushOut = make([]bool, len(g.hists))
+		}
+		out := b.flushOut[:len(g.hists)]
 		m.PredictBatch(g.hists, g.counts, out)
 		for i, dst := range g.outs {
 			*dst = out[i]

@@ -20,6 +20,9 @@
 package tarsa
 
 import (
+	"fmt"
+	"os"
+
 	"branchnet/internal/branchnet"
 	"branchnet/internal/predictor"
 	"branchnet/internal/trace"
@@ -58,7 +61,11 @@ func TrainTernary(cfg branchnet.OfflineConfig, trainTraces []*trace.Trace, valid
 	// which is where the accuracy loss shows up — matching the paper's
 	// Fig. 11 ordering (Tarsa-Float > Tarsa-Ternary).
 	for _, m := range models {
-		m.Float.Ternarize()
+		if err := m.Float.Ternarize(); err != nil {
+			// The model is still ternary (dead layers were zero-filled);
+			// flag the degenerate training run rather than dropping it.
+			fmt.Fprintf(os.Stderr, "tarsa: pc %#x: %v\n", m.PC, err)
+		}
 	}
 	return models
 }
