@@ -32,6 +32,7 @@ go test -race -run 'TestParallelTrainBitIdentical|TestShardedStep|TestFused|Test
 go test -race ./internal/checkpoint ./internal/faults ./internal/serve
 go test -fuzz FuzzReadCheckpoint -fuzztime 10s ./internal/checkpoint
 go test -fuzz FuzzReadModels -fuzztime 10s ./internal/engine
+go test -fuzz FuzzDecodeSessionState -fuzztime 10s ./internal/serve
 
 # Bit-sliced engine gate: the packed fast path must stay bit-identical to
 # the scalar oracle — property tests under the race detector (packing is
@@ -76,3 +77,31 @@ serve_pid=$!
 test -s "$smoke/loadgen-metrics.json"
 kill -TERM "$serve_pid"
 wait "$serve_pid"
+
+# Cluster smoke test: two replicas behind the consistent-hash gateway,
+# Zipf-skewed cluster load, and one replica SIGTERMed mid-run. The
+# drain-grace replica flips to draining, the gateway migrates its
+# sessions to the survivor, and the killed replica exits once it owns
+# nothing. The loadgen exits non-zero on any parity mismatch or if the
+# gateway reports zero migrated sessions (-expect-migrated), so the
+# "failover is invisible to correctness" invariant is CI-enforced.
+go build -o "$smoke" ./cmd/branchnet-gateway
+"$smoke/branchnet-serve" -addr 127.0.0.1:0 -addr-file "$smoke/r1.addr" \
+    -models "$smoke/models.bnm" -drain-grace 10s &
+r1_pid=$!
+"$smoke/branchnet-serve" -addr 127.0.0.1:0 -addr-file "$smoke/r2.addr" \
+    -models "$smoke/models.bnm" -drain-grace 10s &
+r2_pid=$!
+"$smoke/branchnet-gateway" -addr 127.0.0.1:0 -addr-file "$smoke/gw.addr" \
+    -replicas "@$smoke/r1.addr,@$smoke/r2.addr" -health-interval 100ms &
+gw_pid=$!
+"$smoke/branchnet-loadgen" -addr-file "$smoke/gw.addr" -wait 10s \
+    -bench mcf -branches 6000 -models "$smoke/models.bnm" \
+    -cluster -sessions 8 -duration 2s \
+    -kill-after 700ms -kill-pid "$r1_pid" -expect-migrated \
+    -json "$smoke/BENCH_gateway.json"
+wait "$r1_pid" # drained replica exits on its own once it owns no sessions
+# SIGINT skips the survivor's drain-grace (no gateway left to migrate to).
+kill -TERM "$gw_pid"
+kill -INT "$r2_pid"
+wait "$gw_pid" "$r2_pid"

@@ -1,0 +1,170 @@
+// Command branchnet-gateway fronts a fleet of branchnet-serve replicas:
+// it routes /v1/predict by consistent-hashing the session id onto a
+// replica (strict session affinity — each session's history ring and
+// baseline live on exactly one replica), health-checks the fleet, fans
+// /v1/reload out, and migrates serializable session state off draining
+// or dying replicas so clients never observe a prediction divergence.
+//
+// Usage:
+//
+//	branchnet-gateway -replicas http://127.0.0.1:8601,http://127.0.0.1:8602 \
+//	    [-addr :9090] [-health-interval 500ms]
+//
+// Replica entries of the form @path are read from path (an -addr-file
+// written by branchnet-serve), polled briefly so both sides can start
+// together in scripts.
+//
+// Endpoints: POST /v1/predict (proxied with affinity), POST /v1/reload
+// (fan-out), POST /v1/drain {"replica": url} (drain + migrate one
+// replica), GET /healthz, GET /v1/stats, GET /metrics, GET /debug/spans.
+// SIGHUP fans a reload across the fleet; SIGINT/SIGTERM shut down.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"branchnet/internal/gateway"
+	"branchnet/internal/obs"
+)
+
+// resolveReplica turns one -replicas entry into a base URL. An entry
+// starting with '@' names an -addr-file to poll (the daemon writes it
+// after binding).
+func resolveReplica(entry string, wait time.Duration) (string, error) {
+	if !strings.HasPrefix(entry, "@") {
+		if !strings.Contains(entry, "://") {
+			entry = "http://" + entry
+		}
+		return strings.TrimSuffix(entry, "/"), nil
+	}
+	path := entry[1:]
+	deadline := time.Now().Add(wait)
+	for {
+		b, err := os.ReadFile(path)
+		if addr := strings.TrimSpace(string(b)); err == nil && addr != "" {
+			return "http://" + addr, nil
+		}
+		if !time.Now().Before(deadline) {
+			if err == nil {
+				err = errors.New("file is empty")
+			}
+			return "", err
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("branchnet-gateway: ")
+
+	addr := flag.String("addr", "127.0.0.1:9090", "listen address (port 0 picks a free port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening (for scripted startups)")
+	replicas := flag.String("replicas", "", "comma-separated branchnet-serve base URLs (or @addr-file entries)")
+	wait := flag.Duration("wait", 5*time.Second, "how long to wait for @addr-file replica entries to appear")
+	healthInterval := flag.Duration("health-interval", 500*time.Millisecond, "replica /healthz probe period")
+	failThreshold := flag.Int("fail-threshold", 3, "consecutive probe failures before a replica is marked down")
+	routeBudget := flag.Duration("route-budget", 5*time.Second, "per-request budget across 429 backoff and drain re-routes")
+	sessionTTL := flag.Duration("session-ttl", 5*time.Minute, "idle session-pin eviction age")
+	metricsOut := flag.String("metrics-out", "", "write a final JSON metrics snapshot to this file on clean shutdown")
+	logf := obs.NewLogFlags()
+	flag.Parse()
+	logf.Setup("branchnet-gateway")
+
+	var urls []string
+	for _, entry := range strings.Split(*replicas, ",") {
+		if entry = strings.TrimSpace(entry); entry == "" {
+			continue
+		}
+		url, err := resolveReplica(entry, *wait)
+		if err != nil {
+			log.Fatalf("resolving replica %q: %v", entry, err)
+		}
+		urls = append(urls, url)
+	}
+	if len(urls) == 0 {
+		log.Fatal("at least one -replicas entry is required")
+	}
+
+	g, err := gateway.New(gateway.Config{
+		Replicas:       urls,
+		HealthInterval: *healthInterval,
+		FailThreshold:  *failThreshold,
+		RouteBudget:    *routeBudget,
+		SessionTTL:     *sessionTTL,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	slog.Info("fronting fleet", "replicas", len(urls))
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			log.Fatalf("writing -addr-file: %v", err)
+		}
+	}
+	slog.Info("gateway listening", "url", "http://"+ln.Addr().String())
+
+	httpSrv := &http.Server{Handler: g.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	writeMetrics := func() {
+		if err := obs.WriteMetricsFile(*metricsOut, g.Obs()); err != nil {
+			slog.Error("writing -metrics-out", "err", err)
+		}
+	}
+
+	reload := make(chan os.Signal, 1)
+	signal.Notify(reload, syscall.SIGHUP)
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, os.Interrupt, syscall.SIGTERM)
+
+	for {
+		select {
+		case <-reload:
+			slog.Info("SIGHUP: fanning reload across the fleet")
+			req, _ := http.NewRequest(http.MethodPost, "http://"+ln.Addr().String()+"/v1/reload", strings.NewReader("{}"))
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				slog.Error("reload fan-out failed", "err", err)
+				continue
+			}
+			resp.Body.Close()
+			slog.Info("reload fanned out", "status", resp.StatusCode)
+		case sig := <-quit:
+			slog.Info("shutting down", "signal", sig.String())
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			if err := httpSrv.Shutdown(ctx); err != nil {
+				slog.Warn("http shutdown", "err", err)
+			}
+			cancel()
+			g.Close()
+			writeMetrics()
+			slog.Info("bye")
+			return
+		case err := <-serveErr:
+			if err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Fatalf("serve: %v", err)
+			}
+			writeMetrics()
+			return
+		}
+	}
+}

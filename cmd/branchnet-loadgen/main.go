@@ -29,11 +29,16 @@ import (
 	"strings"
 	"time"
 
+	"syscall"
+
 	"branchnet/internal/bench"
 	"branchnet/internal/branchnet"
 	"branchnet/internal/engine"
+	"branchnet/internal/experiments"
 	"branchnet/internal/obs"
+	"branchnet/internal/predictor"
 	"branchnet/internal/serve"
+	"branchnet/internal/trace"
 )
 
 func main() {
@@ -58,6 +63,13 @@ func main() {
 	writeSynth := flag.String("write-synth", "", "profile the trace, write synthetic models as BNM1 to this file, and exit")
 	noParity := flag.Bool("no-parity", false, "skip the parity check (throughput measurement only)")
 	metricsOut := flag.String("metrics-out", "", "write a final JSON metrics snapshot of the client-side counters and latency histogram to this file")
+	cluster := flag.Bool("cluster", false, "cluster mode: drive a branchnet-gateway fleet with Zipf-skewed workload popularity (requires -duration; -addr points at the gateway)")
+	workloads := flag.Int("workloads", 4, "cluster mode: trace segments used as distinct workloads")
+	zipfS := flag.Float64("zipf", 1.2, "cluster mode: Zipf skew exponent for workload popularity")
+	killAfter := flag.Duration("kill-after", 0, "cluster mode: SIGTERM the -kill-pid replica this long into the run (0: no kill)")
+	killPID := flag.Int("kill-pid", 0, "cluster mode: replica process id to SIGTERM at -kill-after")
+	expectMigrated := flag.Bool("expect-migrated", false, "cluster mode: fail unless the gateway reports sessions_migrated > 0")
+	mergeBench := flag.String("merge-bench", "", "cluster mode: merge the cluster result into this BENCH_serve.json file")
 	logf := obs.NewLogFlags()
 	flag.Parse()
 	logf.Setup("branchnet-loadgen")
@@ -141,6 +153,29 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if *cluster {
+		runCluster(clusterOpts{
+			baseURL:        baseURL,
+			trace:          tr,
+			newBase:        newBase,
+			attached:       attached,
+			workloads:      *workloads,
+			zipfS:          *zipfS,
+			sessions:       *sessions,
+			chunk:          *chunk,
+			duration:       *duration,
+			deadlineMS:     *deadlineMS,
+			noParity:       *noParity,
+			killAfter:      *killAfter,
+			killPID:        *killPID,
+			expectMigrated: *expectMigrated,
+			jsonOut:        *jsonOut,
+			mergeBench:     *mergeBench,
+			metricsOut:     *metricsOut,
+		})
+		return
+	}
+
 	rep, err := serve.RunLoad(serve.LoadConfig{
 		BaseURL:    baseURL,
 		Trace:      tr,
@@ -197,4 +232,165 @@ func main() {
 		log.Fatalf("FAIL: %d client errors", rep.Errors)
 	}
 	slog.Info("OK")
+}
+
+type clusterOpts struct {
+	baseURL        string
+	trace          *trace.Trace
+	newBase        func() predictor.Predictor
+	attached       []*branchnet.Attached
+	workloads      int
+	zipfS          float64
+	sessions       int
+	chunk          int
+	duration       time.Duration
+	deadlineMS     int64
+	noParity       bool
+	killAfter      time.Duration
+	killPID        int
+	expectMigrated bool
+	jsonOut        string
+	mergeBench     string
+	metricsOut     string
+}
+
+// runCluster drives a branchnet-gateway fleet: Zipf-skewed workload
+// popularity over trace segments, full parity checking through the
+// gateway's routing and migration, and an optional mid-run SIGTERM of one
+// replica (the failover smoke). Client errors do NOT fail the run —
+// a killed replica produces 502s by design and the affected passes are
+// abandoned; what must hold is zero parity mismatches on everything that
+// WAS served, plus (with -expect-migrated) a nonzero migrated count.
+func runCluster(o clusterOpts) {
+	if o.duration <= 0 {
+		log.Fatal("-cluster requires -duration > 0")
+	}
+	wls := serve.MakeClusterWorkloads(o.newBase, o.attached, o.trace, o.workloads)
+	if o.noParity {
+		for i := range wls {
+			wls[i].Expected = nil
+		}
+	}
+	var kill func()
+	if o.killAfter > 0 {
+		if o.killPID <= 0 {
+			log.Fatal("-kill-after requires -kill-pid")
+		}
+		pid := o.killPID
+		kill = func() {
+			slog.Info("killing replica", "pid", pid)
+			if err := syscall.Kill(pid, syscall.SIGTERM); err != nil {
+				slog.Error("kill failed", "pid", pid, "err", err)
+			}
+		}
+	}
+	rep, err := serve.RunClusterLoad(serve.ClusterLoadConfig{
+		BaseURL:    o.baseURL,
+		Workloads:  wls,
+		ZipfS:      o.zipfS,
+		Sessions:   o.sessions,
+		Chunk:      o.chunk,
+		Duration:   o.duration,
+		DeadlineMS: o.deadlineMS,
+		KillAfter:  o.killAfter,
+		Kill:       kill,
+		Obs:        obs.Default,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if werr := obs.WriteMetricsFile(o.metricsOut, obs.Default); werr != nil {
+		slog.Error("writing -metrics-out", "err", werr)
+	}
+
+	slog.Info("cluster load complete",
+		"requests", rep.Requests, "predictions", rep.Predictions,
+		"passes", rep.Passes, "elapsed", fmt.Sprintf("%.2fs", rep.DurationSeconds),
+		"req_per_s", fmt.Sprintf("%.0f", rep.QPS),
+		"pred_per_s", fmt.Sprintf("%.0f", rep.PredictionsPerSec))
+	slog.Info("latency",
+		"mean_ms", fmt.Sprintf("%.3f", rep.LatencyMean*1e3),
+		"p50_ms", fmt.Sprintf("%.3f", rep.LatencyP50*1e3),
+		"p99_ms", fmt.Sprintf("%.3f", rep.LatencyP99*1e3),
+		"retries_429", rep.Retries429, "errors", rep.Errors)
+	slog.Info("gateway",
+		"migrated", rep.SessionsMigrated, "lost", rep.SessionsLost,
+		"failovers", rep.Failovers, "rebalances", rep.RingRebalances,
+		"upstream_429", rep.Upstream429, "upstream_errors", rep.UpstreamErrors)
+	for _, wl := range rep.Workloads {
+		slog.Info("workload", "name", wl.Name, "sessions", wl.Sessions,
+			"passes", wl.Passes, "predictions", wl.Predictions, "mismatches", wl.Mismatches)
+	}
+	if !o.noParity {
+		slog.Info("parity", "mismatches", rep.Mismatches, "predictions", rep.Predictions)
+	}
+
+	if o.jsonOut != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatalf("encoding report: %v", err)
+		}
+		if err := os.WriteFile(o.jsonOut, append(b, '\n'), 0o644); err != nil {
+			log.Fatalf("writing %s: %v", o.jsonOut, err)
+		}
+		slog.Info("report written", "out", o.jsonOut)
+	}
+	if o.mergeBench != "" {
+		if err := mergeClusterCase(o.mergeBench, o, rep); err != nil {
+			log.Fatalf("merging %s: %v", o.mergeBench, err)
+		}
+		slog.Info("cluster case merged", "out", o.mergeBench)
+	}
+
+	switch {
+	case rep.Predictions == 0:
+		log.Fatal("FAIL: no predictions served")
+	case rep.Mismatches != 0:
+		log.Fatalf("FAIL: %d parity mismatches", rep.Mismatches)
+	case o.expectMigrated && rep.SessionsMigrated == 0:
+		log.Fatal("FAIL: expected migrated sessions, gateway reports none")
+	}
+	slog.Info("OK")
+}
+
+// mergeClusterCase records the cluster result in a BENCH_serve.json file
+// alongside the micro-bench cases.
+func mergeClusterCase(path string, o clusterOpts, rep *serve.ClusterLoadReport) error {
+	var bench experiments.ServeBenchReport
+	if b, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(b, &bench); err != nil {
+			return fmt.Errorf("parsing existing report: %w", err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	replicas := 0
+	var gw struct {
+		Replicas []json.RawMessage `json:"replicas"`
+	}
+	if json.Unmarshal(rep.Gateway, &gw) == nil {
+		replicas = len(gw.Replicas)
+	}
+	bench.Cluster = &experiments.ClusterCase{
+		Replicas:          replicas,
+		Sessions:          o.sessions,
+		Workloads:         len(rep.Workloads),
+		ZipfS:             o.zipfS,
+		DurationSeconds:   rep.DurationSeconds,
+		Requests:          rep.Requests,
+		Predictions:       rep.Predictions,
+		PredictionsPerSec: rep.PredictionsPerSec,
+		Mismatches:        rep.Mismatches,
+		Retries429:        rep.Retries429,
+		Errors:            rep.Errors,
+		SessionsMigrated:  rep.SessionsMigrated,
+		SessionsLost:      rep.SessionsLost,
+		Failovers:         rep.Failovers,
+		KilledReplica:     o.killAfter > 0,
+	}
+	b, err := json.MarshalIndent(&bench, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }

@@ -53,6 +53,7 @@ func main() {
 	deadline := flag.Duration("deadline", 2*time.Second, "default per-request deadline")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof (plus /metrics and /debug/spans) on this address (e.g. localhost:6060; empty: disabled)")
 	metricsOut := flag.String("metrics-out", "", "write a final JSON metrics snapshot to this file on clean shutdown")
+	drainGrace := flag.Duration("drain-grace", 0, "on SIGTERM, enter the draining state (healthz 503, no new sessions, exports still served) and wait up to this long for a gateway to migrate sessions off before shutting down (0: shut down immediately)")
 	logf := obs.NewLogFlags()
 	flag.Parse()
 	logf.Setup("branchnet-serve")
@@ -157,6 +158,19 @@ func main() {
 			}
 			slog.Info("models reloaded", "models", set.Len(), "version", set.Version)
 		case sig := <-quit:
+			if *drainGrace > 0 && sig == syscall.SIGTERM {
+				// Readiness flips first: /healthz answers 503 "draining" and
+				// new sessions are refused strictly before any connection is
+				// shut down, which is the gateway's window to migrate the
+				// sessions this replica still owns.
+				s.BeginDrain()
+				slog.Info("draining", "sessions", s.SessionCount(), "grace", drainGrace.String())
+				drainDeadline := time.Now().Add(*drainGrace)
+				for s.SessionCount() > 0 && time.Now().Before(drainDeadline) {
+					time.Sleep(20 * time.Millisecond)
+				}
+				slog.Info("drain window over", "sessions_remaining", s.SessionCount())
+			}
 			slog.Info("shutting down", "signal", sig.String())
 			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 			if err := httpSrv.Shutdown(ctx); err != nil {

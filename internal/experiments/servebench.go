@@ -73,6 +73,30 @@ type ServeBenchReport struct {
 	// measurements and for these.
 	Reps  int                `json:"reps"`
 	Cases []ServeBenchResult `json:"cases"`
+	// Cluster, when present, records the gateway cluster smoke: a
+	// branchnet-gateway fleet under Zipf-skewed load with a replica
+	// SIGTERMed mid-run, asserting prediction parity survives session
+	// migration (branchnet-loadgen -cluster -merge-bench writes it).
+	Cluster *ClusterCase `json:"cluster,omitempty"`
+}
+
+// ClusterCase is the recorded cluster smoke result.
+type ClusterCase struct {
+	Replicas          int     `json:"replicas"`
+	Sessions          int     `json:"sessions"`
+	Workloads         int     `json:"workloads"`
+	ZipfS             float64 `json:"zipf_s"`
+	DurationSeconds   float64 `json:"duration_seconds"`
+	Requests          uint64  `json:"requests"`
+	Predictions       uint64  `json:"predictions"`
+	PredictionsPerSec float64 `json:"predictions_per_sec"`
+	Mismatches        uint64  `json:"mismatches"`
+	Retries429        uint64  `json:"retries_429"`
+	Errors            uint64  `json:"errors"`
+	SessionsMigrated  uint64  `json:"sessions_migrated"`
+	SessionsLost      uint64  `json:"sessions_lost"`
+	Failovers         uint64  `json:"failovers"`
+	KilledReplica     bool    `json:"killed_replica"`
 }
 
 // serveBenchBatch builds the deterministic history batch the seed

@@ -1,0 +1,905 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"branchnet/internal/obs"
+	"branchnet/internal/serve"
+)
+
+// Config tunes the gateway. Zero values select the defaults noted per
+// field.
+type Config struct {
+	// Replicas are the branchnet-serve base URLs the gateway fronts
+	// (e.g. "http://127.0.0.1:8601"). At least one is required.
+	Replicas []string
+	// VNodes is the consistent-hash virtual-node count per replica
+	// (default DefaultVNodes).
+	VNodes int
+	// HealthInterval is the /healthz probe period (default 500ms).
+	HealthInterval time.Duration
+	// FailThreshold is how many consecutive failed probes or connections
+	// mark a replica down (default 3).
+	FailThreshold int
+	// RouteBudget bounds one request's total time in the gateway across
+	// 429 backoff waits and drain re-routes (default 5s).
+	RouteBudget time.Duration
+	// SessionTTL evicts gateway session pins idle longer than this
+	// (default 5m; <0 disables). It should be at least the replicas' own
+	// session TTL — a pin outliving the server session is harmless, the
+	// reverse re-routes a live session.
+	SessionTTL time.Duration
+	// Client is the upstream HTTP client (default: 10s timeout).
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.VNodes <= 0 {
+		c.VNodes = DefaultVNodes
+	}
+	if c.HealthInterval == 0 {
+		c.HealthInterval = 500 * time.Millisecond
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.RouteBudget <= 0 {
+		c.RouteBudget = 5 * time.Second
+	}
+	if c.SessionTTL == 0 {
+		c.SessionTTL = 5 * time.Minute
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	return c
+}
+
+// gwSession is one session's routing pin. Its mutex serializes the data
+// path against migration: a predict holds it across the upstream call, a
+// migration holds it across export+import, so state can never be moved
+// mid-request and a request can never hit a replica that no longer owns
+// the session.
+type gwSession struct {
+	mu sync.Mutex
+	// replica holds the owning replica URL ("" = not yet pinned). Logical
+	// transitions happen with mu held; the value itself is stored
+	// atomically so sessionsOn can snapshot pins without acquiring every
+	// session lock (which in-flight predicts hold across upstream calls).
+	replica  atomic.Value
+	lastUsed time.Time
+	// lost marks that the owning replica died with the session state on
+	// it. The next request for the id gets one 410 — serving it from a
+	// fresh replica with a 200 would silently fork the session's history —
+	// after which the id starts over as a fresh session.
+	lost bool
+}
+
+// owner reads the session's current pin.
+func (s *gwSession) owner() string {
+	url, _ := s.replica.Load().(string)
+	return url
+}
+
+// setOwner updates the pin; callers hold s.mu.
+func (s *gwSession) setOwner(url string) { s.replica.Store(url) }
+
+// Gateway fronts a fleet of branchnet-serve replicas: consistent-hash
+// session routing with strict affinity, health-driven failover, drain
+// orchestration, and reload fan-out. Create with New, expose Handler,
+// stop with Close.
+type Gateway struct {
+	cfg    Config
+	client *http.Client
+
+	mu       sync.Mutex
+	replicas map[string]*replica
+	ring     *Ring
+	sessions map[string]*gwSession
+
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	mux    *http.ServeMux
+
+	requests       *obs.Counter
+	rerouted       *obs.Counter
+	failovers      *obs.Counter
+	migrated       *obs.Counter
+	lost           *obs.Counter
+	rebalances     *obs.Counter
+	upstream429    *obs.Counter
+	upstreamErrors *obs.Counter
+	routes         *obs.LabeledCounter
+	inflight       *obs.LabeledGauge
+	upstreamSec    *obs.Histogram
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New builds a gateway over cfg.Replicas (all presumed healthy until the
+// first probe corrects that) and starts its health loop.
+func New(cfg Config) (*Gateway, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Replicas) == 0 {
+		return nil, fmt.Errorf("gateway: at least one replica URL is required")
+	}
+	reg := obs.NewRegistry()
+	obs.RegisterRuntimeMetrics(reg)
+	g := &Gateway{
+		cfg:      cfg,
+		client:   cfg.Client,
+		replicas: make(map[string]*replica),
+		ring:     NewRing(cfg.VNodes),
+		sessions: make(map[string]*gwSession),
+		reg:      reg,
+		tracer:   obs.NewTracer(512),
+		mux:      http.NewServeMux(),
+
+		requests:       reg.Counter("gateway_requests_total"),
+		rerouted:       reg.Counter("gateway_rerouted_total"),
+		failovers:      reg.Counter("gateway_failovers_total"),
+		migrated:       reg.Counter("gateway_sessions_migrated_total"),
+		lost:           reg.Counter("gateway_sessions_lost_total"),
+		rebalances:     reg.Counter("gateway_ring_rebalances_total"),
+		upstream429:    reg.Counter("gateway_upstream_429_total"),
+		upstreamErrors: reg.Counter("gateway_upstream_errors_total"),
+		routes:         reg.LabeledCounter("gateway_routes_total", "replica"),
+		inflight:       reg.LabeledGauge("gateway_replica_inflight", "replica"),
+		upstreamSec:    reg.Histogram("gateway_upstream_seconds", obs.DefaultLatencyBounds()...),
+
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	for _, url := range cfg.Replicas {
+		if g.replicas[url] != nil {
+			return nil, fmt.Errorf("gateway: duplicate replica URL %q", url)
+		}
+		g.replicas[url] = &replica{
+			url:      url,
+			inflight: g.inflight.With(url),
+			routed:   g.routes.With(url),
+		}
+		g.ring.Add(url)
+	}
+	reg.GaugeFunc("gateway_ready_replicas", func() int64 {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		return int64(g.ring.Len())
+	})
+	reg.GaugeFunc("gateway_sessions", func() int64 {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		return int64(len(g.sessions))
+	})
+	g.mux.HandleFunc("/v1/predict", g.handlePredict)
+	g.mux.HandleFunc("/v1/reload", g.handleReload)
+	g.mux.HandleFunc("/v1/drain", g.handleDrain)
+	g.mux.HandleFunc("/v1/stats", g.handleStats)
+	g.mux.HandleFunc("/healthz", g.handleHealthz)
+	g.mux.Handle("/metrics", reg.PrometheusHandler())
+	g.mux.Handle("/debug/spans", g.tracer.Handler())
+	go g.healthLoop()
+	return g, nil
+}
+
+// Handler returns the gateway's HTTP handler tree.
+func (g *Gateway) Handler() http.Handler { return g.mux }
+
+// Obs returns the gateway's metrics registry.
+func (g *Gateway) Obs() *obs.Registry { return g.reg }
+
+// Tracer returns the gateway's span tracer (health transitions,
+// migrations, reload fan-outs).
+func (g *Gateway) Tracer() *obs.Tracer { return g.tracer }
+
+// Close stops the health loop. It does not touch the replicas.
+func (g *Gateway) Close() {
+	close(g.stop)
+	<-g.done
+}
+
+// session returns the pin entry for id, creating it on first sight.
+func (g *Gateway) session(id string) *gwSession {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s := g.sessions[id]
+	if s == nil {
+		s = &gwSession{}
+		g.sessions[id] = s
+	}
+	return s
+}
+
+// route picks the ring owner for a NEW session (or a re-pin after loss).
+// Empty when no replica is accepting new sessions.
+func (g *Gateway) route(id string) string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.ring.Lookup(id)
+}
+
+func (g *Gateway) replicaFor(url string) *replica {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.replicas[url]
+}
+
+func (g *Gateway) stateOf(url string) ReplicaState {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if rep := g.replicas[url]; rep != nil {
+		return rep.state
+	}
+	return StateDown
+}
+
+// forward proxies one POST body to a replica path, returning the full
+// response. The per-replica inflight gauge brackets the call and the
+// upstream latency histogram observes it.
+func (g *Gateway) forward(rep *replica, path string, body []byte) (int, http.Header, []byte, error) {
+	rep.inflight.Add(1)
+	defer rep.inflight.Add(-1)
+	start := time.Now()
+	resp, err := g.client.Post(rep.url+path, "application/json", bytes.NewReader(body))
+	g.upstreamSec.Observe(time.Since(start).Seconds())
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return resp.StatusCode, resp.Header, respBody, nil
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone is fine
+}
+
+// relay copies an upstream response to the client verbatim, preserving
+// the backpressure headers so Retry-After hints survive the hop.
+func relay(w http.ResponseWriter, status int, hdr http.Header, body []byte) {
+	if ct := hdr.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	for _, h := range []string{"Retry-After", serve.RetryAfterMsHeader} {
+		if v := hdr.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(status)
+	w.Write(body) //nolint:errcheck // client gone is fine
+}
+
+// maxPredictBody bounds a proxied predict request.
+const maxPredictBody = 8 << 20
+
+// handlePredict routes one predict request with strict session affinity:
+// a pinned session always goes to its owner (migration moves the pin
+// under the session lock, never the data path); an unpinned session goes
+// to its ring owner. Per-replica Retry-After backoff is honored before
+// and after forwarding, and a replica discovered draining on the data
+// path is retired from the ring immediately rather than on the next
+// probe.
+func (g *Gateway) handlePredict(w http.ResponseWriter, r *http.Request) {
+	g.requests.Inc()
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST required"})
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxPredictBody))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"reading body: " + err.Error()})
+		return
+	}
+	var req struct {
+		Session string `json:"session"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"bad request body: " + err.Error()})
+		return
+	}
+	if req.Session == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"session is required"})
+		return
+	}
+
+	sess := g.session(req.Session)
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	sess.lastUsed = time.Now()
+
+	deadline := time.Now().Add(g.cfg.RouteBudget)
+	for {
+		if sess.lost {
+			// The failover sweep recorded the owner's death since this
+			// session's last request. Report the loss exactly once; the id
+			// is fresh again afterwards.
+			sess.lost = false
+			writeJSON(w, http.StatusGone, errorResponse{"session lost: owning replica went down"})
+			return
+		}
+		target := sess.owner()
+		if target != "" && g.stateOf(target) == StateDown {
+			// The owner died and this request beat the failover sweep to the
+			// session. Serving the id from a fresh replica would silently
+			// fork its history (a 200 carrying diverging predictions), so
+			// the loss is made loud: unpin, count it, answer 410. The next
+			// use of the id starts fresh.
+			sess.setOwner("")
+			g.lost.Inc()
+			writeJSON(w, http.StatusGone, errorResponse{"session lost: owning replica " + target + " is down"})
+			return
+		}
+		fresh := target == ""
+		if fresh {
+			target = g.route(req.Session)
+			if target == "" {
+				writeJSON(w, http.StatusServiceUnavailable, errorResponse{"no ready replicas"})
+				return
+			}
+		}
+		rep := g.replicaFor(target)
+		if rep == nil { // replica table never shrinks, but be defensive
+			writeJSON(w, http.StatusBadGateway, errorResponse{"unknown replica " + target})
+			return
+		}
+		// Honor the replica's standing Retry-After window before adding load.
+		if d := rep.backoff(); d > 0 {
+			if time.Now().Add(d).After(deadline) {
+				w.Header().Set("Retry-After", "1")
+				writeJSON(w, http.StatusTooManyRequests, errorResponse{"replica backpressure exceeds route budget"})
+				return
+			}
+			time.Sleep(d)
+		}
+		status, hdr, respBody, err := g.forward(rep, "/v1/predict", body)
+		if err != nil {
+			g.upstreamErrors.Inc()
+			g.noteConnFailure(target)
+			writeJSON(w, http.StatusBadGateway, errorResponse{"upstream " + target + ": " + err.Error()})
+			return
+		}
+		rep.routed.Inc()
+		switch {
+		case status == http.StatusTooManyRequests:
+			g.upstream429.Inc()
+			hint := serve.ParseRetryAfter(hdr)
+			if hint <= 0 {
+				hint = 5 * time.Millisecond
+			}
+			rep.setBackoff(hint)
+			if time.Now().Add(hint).After(deadline) {
+				relay(w, status, hdr, respBody) // hand the hint to the client
+				return
+			}
+			time.Sleep(hint)
+			// Affinity is mandatory: a 429 retries the SAME replica.
+			continue
+		case status == http.StatusServiceUnavailable && fresh:
+			// The replica began draining before the health loop noticed.
+			// Retire it now and re-route; existing sessions are unaffected
+			// (they keep being served while migration runs).
+			g.rerouted.Inc()
+			if g.markDraining(target) {
+				go g.migrateFrom(target)
+			}
+			if time.Now().After(deadline) {
+				relay(w, status, hdr, respBody)
+				return
+			}
+			continue
+		case status == http.StatusOK:
+			sess.setOwner(target)
+			relay(w, status, hdr, respBody)
+			return
+		default:
+			relay(w, status, hdr, respBody)
+			return
+		}
+	}
+}
+
+// noteConnFailure counts a data-path connection failure against the
+// replica, so a hard-killed replica is detected at request speed instead
+// of probe speed. Crossing the threshold triggers the same down
+// transition the health loop would take.
+func (g *Gateway) noteConnFailure(url string) {
+	g.mu.Lock()
+	rep := g.replicas[url]
+	if rep == nil || rep.state == StateDown {
+		g.mu.Unlock()
+		return
+	}
+	rep.fails++
+	down := rep.fails >= g.cfg.FailThreshold
+	if down {
+		rep.state = StateDown
+		if g.ring.Remove(url) {
+			g.rebalances.Inc()
+		}
+	}
+	g.mu.Unlock()
+	if down {
+		go g.failoverDead(url)
+	}
+}
+
+// markDraining transitions a healthy replica to draining and pulls it
+// from the ring. It reports whether THIS call made the transition — the
+// caller that wins starts the migration, everyone else stands down.
+func (g *Gateway) markDraining(url string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	rep := g.replicas[url]
+	if rep == nil || rep.state != StateHealthy {
+		return false
+	}
+	rep.state = StateDraining
+	if g.ring.Remove(url) {
+		g.rebalances.Inc()
+	}
+	return true
+}
+
+// sessionsOn snapshots the ids currently pinned to url.
+func (g *Gateway) sessionsOn(url string) []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ids := make([]string, 0, 16)
+	for id, s := range g.sessions {
+		// The pin may move after this snapshot; migrateFrom re-checks
+		// under s.mu before acting on it.
+		if s.owner() == url {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// migrateFrom moves every session pinned to a draining replica onto its
+// new ring owner: export-and-remove from the source (GET
+// /v1/sessions/{id}?remove=1 — after which the source no longer owns the
+// id), import the BNSS blob on the destination, re-pin. Each session
+// moves under its own lock, so the data path observes either the old
+// owner with state intact or the new owner with state intact — never the
+// gap in between. Sessions whose journal was dropped (409) or that hit
+// any transfer error are counted lost and unpinned; their next request
+// starts fresh on a healthy replica.
+func (g *Gateway) migrateFrom(url string) (migrated, lost int) {
+	sp := g.tracer.Start("gateway.migrate").SetAttr("replica", url)
+	defer func() {
+		sp.SetInt("migrated", int64(migrated)).SetInt("lost", int64(lost)).Finish()
+		g.failovers.Inc()
+	}()
+	for _, id := range g.sessionsOn(url) {
+		sess := g.session(id)
+		sess.mu.Lock()
+		if sess.owner() != url { // moved or re-pinned since the snapshot
+			sess.mu.Unlock()
+			continue
+		}
+		if dest, ok := g.moveSession(id, url); ok {
+			sess.setOwner(dest)
+			migrated++
+			g.migrated.Inc()
+		} else {
+			sess.setOwner("")
+			lost++
+			g.lost.Inc()
+		}
+		sess.mu.Unlock()
+	}
+	return migrated, lost
+}
+
+// moveSession transfers one session url -> its new ring owner, returning
+// the destination on success.
+func (g *Gateway) moveSession(id, url string) (string, bool) {
+	resp, err := g.client.Get(url + "/v1/sessions/" + id + "?remove=1")
+	if err != nil {
+		g.upstreamErrors.Inc()
+		return "", false
+	}
+	blob, readErr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if readErr != nil || resp.StatusCode != http.StatusOK {
+		return "", false
+	}
+	dest := g.route(id)
+	if dest == "" {
+		return "", false
+	}
+	post, err := g.client.Post(dest+"/v1/sessions", "application/octet-stream", bytes.NewReader(blob))
+	if err != nil {
+		g.upstreamErrors.Inc()
+		return "", false
+	}
+	io.Copy(io.Discard, post.Body) //nolint:errcheck
+	post.Body.Close()
+	if post.StatusCode != http.StatusOK {
+		return "", false
+	}
+	return dest, true
+}
+
+// failoverDead unpins every session owned by a dead replica. Their state
+// is unreachable, so they are all counted lost and flagged: the next
+// request for each id gets one 410 (clients mid-stream must learn their
+// history is gone — see gwSession.lost), then the id starts fresh.
+func (g *Gateway) failoverDead(url string) {
+	sp := g.tracer.Start("gateway.failover").SetAttr("replica", url)
+	n := 0
+	for _, id := range g.sessionsOn(url) {
+		sess := g.session(id)
+		sess.mu.Lock()
+		if sess.owner() == url {
+			sess.setOwner("")
+			sess.lost = true
+			n++
+			g.lost.Inc()
+		}
+		sess.mu.Unlock()
+	}
+	g.failovers.Inc()
+	sp.SetInt("lost", int64(n)).Finish()
+}
+
+// healthLoop probes every replica each HealthInterval and applies state
+// transitions: healthy replicas join the ring, draining ones leave it and
+// get their sessions migrated, dead ones leave it and get their sessions
+// failed over. It also sweeps idle session pins.
+func (g *Gateway) healthLoop() {
+	defer close(g.done)
+	tick := time.NewTicker(g.cfg.HealthInterval)
+	defer tick.Stop()
+	lastSweep := time.Now()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case now := <-tick.C:
+			for _, url := range g.replicaURLs() {
+				g.probe(url)
+			}
+			if g.cfg.SessionTTL > 0 && now.Sub(lastSweep) > g.cfg.SessionTTL/4 {
+				g.sweepSessions(now)
+				lastSweep = now
+			}
+		}
+	}
+}
+
+func (g *Gateway) replicaURLs() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	urls := make([]string, 0, len(g.replicas))
+	for u := range g.replicas {
+		urls = append(urls, u)
+	}
+	sort.Strings(urls)
+	return urls
+}
+
+// probe checks one replica's /healthz and applies the resulting state
+// transition.
+func (g *Gateway) probe(url string) {
+	resp, err := g.client.Get(url + "/healthz")
+	var status string
+	code := 0
+	if err == nil {
+		code = resp.StatusCode
+		var hr struct {
+			Status string `json:"status"`
+		}
+		json.NewDecoder(resp.Body).Decode(&hr) //nolint:errcheck // body shape is advisory
+		resp.Body.Close()
+		status = hr.Status
+	}
+
+	g.mu.Lock()
+	rep := g.replicas[url]
+	if rep == nil {
+		g.mu.Unlock()
+		return
+	}
+	prev := rep.state
+	var migrate, failover bool
+	switch {
+	case err != nil || code >= 500 && status != "draining":
+		rep.fails++
+		if rep.fails >= g.cfg.FailThreshold && prev != StateDown {
+			rep.state = StateDown
+			if g.ring.Remove(url) {
+				g.rebalances.Inc()
+			}
+			failover = true
+		}
+	case code == http.StatusOK:
+		rep.fails = 0
+		if prev != StateHealthy {
+			rep.state = StateHealthy
+			if g.ring.Add(url) {
+				g.rebalances.Inc()
+			}
+		}
+	case status == "draining":
+		rep.fails = 0
+		if prev == StateHealthy {
+			rep.state = StateDraining
+			if g.ring.Remove(url) {
+				g.rebalances.Inc()
+			}
+			migrate = true
+		}
+	}
+	cur := rep.state
+	g.mu.Unlock()
+
+	if cur != prev {
+		g.tracer.Start("gateway.health").
+			SetAttr("replica", url).
+			SetAttr("from", prev.String()).
+			SetAttr("to", cur.String()).
+			Finish()
+	}
+	if migrate {
+		g.migrateFrom(url)
+	}
+	if failover {
+		g.failoverDead(url)
+	}
+}
+
+func (g *Gateway) sweepSessions(now time.Time) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for id, s := range g.sessions {
+		if s.mu.TryLock() {
+			idle := now.Sub(s.lastUsed) > g.cfg.SessionTTL
+			s.mu.Unlock()
+			if idle {
+				delete(g.sessions, id)
+			}
+		}
+	}
+}
+
+// ReplicaStatus is one replica's row in health and stats responses.
+type ReplicaStatus struct {
+	URL      string `json:"url"`
+	State    string `json:"state"`
+	Inflight int64  `json:"inflight"`
+	Routed   uint64 `json:"routed"`
+}
+
+func (g *Gateway) replicaStatuses() []ReplicaStatus {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]ReplicaStatus, 0, len(g.replicas))
+	for _, rep := range g.replicas {
+		out = append(out, ReplicaStatus{
+			URL:      rep.url,
+			State:    rep.state.String(),
+			Inflight: rep.inflight.Value(),
+			Routed:   rep.routed.Value(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}
+
+// HealthResponse is the gateway's /healthz reply: 200 while at least one
+// replica accepts new sessions, 503 otherwise.
+type HealthResponse struct {
+	Status   string          `json:"status"`
+	Ready    int             `json:"ready"`
+	Replicas []ReplicaStatus `json:"replicas"`
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	g.mu.Lock()
+	ready := g.ring.Len()
+	g.mu.Unlock()
+	resp := HealthResponse{Status: "ok", Ready: ready, Replicas: g.replicaStatuses()}
+	code := http.StatusOK
+	if ready == 0 {
+		resp.Status = "down"
+		code = http.StatusServiceUnavailable
+	} else if len(resp.Replicas) > ready {
+		resp.Status = "degraded"
+	}
+	writeJSON(w, code, resp)
+}
+
+// StatsSnapshot is the gateway's /v1/stats JSON.
+type StatsSnapshot struct {
+	Requests         uint64                `json:"requests"`
+	Rerouted         uint64                `json:"rerouted"`
+	Failovers        uint64                `json:"failovers"`
+	SessionsMigrated uint64                `json:"sessions_migrated"`
+	SessionsLost     uint64                `json:"sessions_lost"`
+	RingRebalances   uint64                `json:"ring_rebalances"`
+	Upstream429      uint64                `json:"upstream_429"`
+	UpstreamErrors   uint64                `json:"upstream_errors"`
+	Sessions         int                   `json:"sessions"`
+	RouteCounts      map[string]uint64     `json:"route_counts,omitempty"`
+	Replicas         []ReplicaStatus       `json:"replicas"`
+	UpstreamLatency  obs.HistogramSnapshot `json:"upstream_latency_seconds"`
+}
+
+// Stats returns the gateway's current counters.
+func (g *Gateway) Stats() StatsSnapshot {
+	g.mu.Lock()
+	nsess := len(g.sessions)
+	g.mu.Unlock()
+	return StatsSnapshot{
+		Requests:         g.requests.Value(),
+		Rerouted:         g.rerouted.Value(),
+		Failovers:        g.failovers.Value(),
+		SessionsMigrated: g.migrated.Value(),
+		SessionsLost:     g.lost.Value(),
+		RingRebalances:   g.rebalances.Value(),
+		Upstream429:      g.upstream429.Value(),
+		UpstreamErrors:   g.upstreamErrors.Value(),
+		Sessions:         nsess,
+		RouteCounts:      g.routes.Values(),
+		Replicas:         g.replicaStatuses(),
+		UpstreamLatency:  g.upstreamSec.Snapshot(),
+	}
+}
+
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, g.Stats())
+}
+
+// ReloadFanoutResponse is the gateway's /v1/reload reply: the per-replica
+// outcome of fanning the reload across the fleet. Down replicas are
+// skipped (they will reload from disk when they come back).
+type ReloadFanoutResponse struct {
+	OK       bool                     `json:"ok"`
+	Replicas map[string]ReloadOutcome `json:"replicas"`
+}
+
+// ReloadOutcome is one replica's reload result.
+type ReloadOutcome struct {
+	OK      bool   `json:"ok"`
+	Status  int    `json:"status,omitempty"`
+	Version int64  `json:"version,omitempty"`
+	Models  int    `json:"models,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// handleReload fans POST /v1/reload out to every reachable replica. A
+// fleet must converge on one model-set: any replica failing the reload
+// flips OK false and the response carries 502 so operators see the split
+// before it becomes a parity incident.
+func (g *Gateway) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST required"})
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxPredictBody))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"reading body: " + err.Error()})
+		return
+	}
+	sp := g.tracer.Start("gateway.reload")
+	resp := ReloadFanoutResponse{OK: true, Replicas: make(map[string]ReloadOutcome)}
+	for _, url := range g.replicaURLs() {
+		if g.stateOf(url) == StateDown {
+			continue
+		}
+		rep := g.replicaFor(url)
+		status, _, respBody, err := g.forward(rep, "/v1/reload", body)
+		out := ReloadOutcome{OK: err == nil && status == http.StatusOK, Status: status}
+		if err != nil {
+			out.Error = err.Error()
+		} else {
+			var rr struct {
+				Version int64  `json:"version"`
+				Models  int    `json:"models"`
+				Error   string `json:"error"`
+			}
+			json.Unmarshal(respBody, &rr) //nolint:errcheck // advisory detail
+			out.Version, out.Models, out.Error = rr.Version, rr.Models, rr.Error
+		}
+		if !out.OK {
+			resp.OK = false
+		}
+		resp.Replicas[url] = out
+	}
+	sp.SetInt("replicas", int64(len(resp.Replicas))).Finish()
+	code := http.StatusOK
+	if !resp.OK {
+		code = http.StatusBadGateway
+	}
+	writeJSON(w, code, resp)
+}
+
+// DrainRequest is the gateway's POST /v1/drain body.
+type DrainRequest struct {
+	// Replica is the base URL of the replica to drain (must be one the
+	// gateway fronts).
+	Replica string `json:"replica"`
+}
+
+// DrainResponse reports a completed drain orchestration.
+type DrainResponse struct {
+	Replica  string `json:"replica"`
+	Migrated int    `json:"migrated"`
+	Lost     int    `json:"lost"`
+	// Remaining is how many sessions the replica still held after
+	// migration (its own count — sessions created outside this gateway).
+	Remaining int `json:"remaining"`
+}
+
+// handleDrain orchestrates draining one replica: tell the replica to
+// stop accepting new sessions, pull it from the ring, then migrate every
+// session pinned to it onto the rest of the fleet. The call returns when
+// migration is complete, so "drain through the gateway, then SIGTERM the
+// process" is a zero-loss rollout step.
+func (g *Gateway) handleDrain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST required"})
+		return
+	}
+	var req DrainRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"bad request body: " + err.Error()})
+		return
+	}
+	rep := g.replicaFor(req.Replica)
+	if rep == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{"unknown replica " + req.Replica})
+		return
+	}
+	// Flip the replica itself first: readiness must withdraw before the
+	// gateway starts moving state, so no new session lands mid-drain.
+	status, _, respBody, err := g.forward(rep, "/v1/drain", nil)
+	if err != nil || status != http.StatusOK {
+		msg := "drain request failed"
+		if err != nil {
+			msg = err.Error()
+		} else if len(respBody) > 0 {
+			msg = string(respBody)
+		}
+		writeJSON(w, http.StatusBadGateway, errorResponse{msg})
+		return
+	}
+	g.markDraining(req.Replica) // idempotent if the data path beat us here
+	migrated, lost := g.migrateFrom(req.Replica)
+
+	remaining := 0
+	if hresp, err := g.client.Get(req.Replica + "/healthz"); err == nil {
+		var hr struct {
+			Sessions int `json:"sessions"`
+		}
+		json.NewDecoder(hresp.Body).Decode(&hr) //nolint:errcheck // advisory
+		hresp.Body.Close()
+		remaining = hr.Sessions
+	}
+	writeJSON(w, http.StatusOK, DrainResponse{
+		Replica:   req.Replica,
+		Migrated:  migrated,
+		Lost:      lost,
+		Remaining: remaining,
+	})
+}

@@ -1,0 +1,491 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"branchnet/internal/bench"
+	"branchnet/internal/branchnet"
+	"branchnet/internal/engine"
+	"branchnet/internal/gshare"
+	"branchnet/internal/predictor"
+	"branchnet/internal/serve"
+	"branchnet/internal/trace"
+)
+
+func fleetBaseline() predictor.Predictor { return gshare.New(12, 12) }
+
+func fleetTrace(branches int) *trace.Trace {
+	p := bench.ByName("mcf")
+	return p.Generate(p.Inputs(bench.Test)[0], branches)
+}
+
+// fleetModels builds a fresh (but deterministic) model instance set per
+// caller, so replicas never share mutable engine state.
+func fleetModels(tr *trace.Trace, n int) []*branchnet.Attached {
+	return branchnet.FromEngine(serve.SyntheticModels(tr, n, 7))
+}
+
+type fleet struct {
+	servers []*serve.Server
+	https   []*httptest.Server
+	urls    []string
+}
+
+func newFleet(t *testing.T, n int, tr *trace.Trace, nmodels int, cfg serve.Config) *fleet {
+	t.Helper()
+	if cfg.NewBaseline == nil {
+		cfg.NewBaseline = fleetBaseline
+		cfg.BaselineName = "test-gshare"
+	}
+	f := &fleet{}
+	for i := 0; i < n; i++ {
+		s := serve.New(cfg)
+		if nmodels > 0 {
+			s.Registry().Swap(fleetModels(tr, nmodels), "test")
+		}
+		ts := httptest.NewServer(s.Handler())
+		f.servers = append(f.servers, s)
+		f.https = append(f.https, ts)
+		f.urls = append(f.urls, ts.URL)
+	}
+	t.Cleanup(func() {
+		for i := range f.servers {
+			f.https[i].Close() // idempotent; hard-kill tests close early
+			f.servers[i].Drain()
+		}
+	})
+	return f
+}
+
+func newGateway(t *testing.T, cfg Config) (*Gateway, *httptest.Server) {
+	t.Helper()
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(g.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		g.Close()
+	})
+	return g, ts
+}
+
+func postPredict(t *testing.T, baseURL, sessID string, recs []trace.Record) (*http.Response, []byte) {
+	t.Helper()
+	req := serve.PredictRequest{Session: sessID, Records: make([]serve.RecordJSON, len(recs))}
+	for i, r := range recs {
+		req.Records[i] = serve.RecordJSON{PC: r.PC, Taken: r.Taken}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(baseURL+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body) //nolint:errcheck
+	return resp, buf.Bytes()
+}
+
+// TestGatewayParity: the headline property of the tier — sessions driven
+// through the gateway produce predictions bit-identical to the in-process
+// hybrid reference, i.e. the routing layer is invisible to correctness.
+func TestGatewayParity(t *testing.T) {
+	tr := fleetTrace(3000)
+	f := newFleet(t, 3, tr, 3, serve.Config{})
+	g, gts := newGateway(t, Config{Replicas: f.urls, HealthInterval: 50 * time.Millisecond})
+
+	expected := serve.ExpectedPredictions(fleetBaseline, fleetModels(tr, 3), tr)
+	rep, err := serve.RunLoad(serve.LoadConfig{
+		BaseURL:  gts.URL,
+		Trace:    tr,
+		Expected: expected,
+		Sessions: 6,
+		Chunk:    64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mismatches != 0 {
+		t.Fatalf("%d parity mismatches through gateway", rep.Mismatches)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d client errors", rep.Errors)
+	}
+	if want := uint64(6 * len(tr.Records)); rep.Predictions != want {
+		t.Fatalf("predictions %d, want %d", rep.Predictions, want)
+	}
+	st := g.Stats()
+	if st.Requests == 0 || st.SessionsLost != 0 || st.SessionsMigrated != 0 {
+		t.Fatalf("unexpected gateway stats for a healthy run: %+v", st)
+	}
+}
+
+// TestGatewayAffinity: every request of one session lands on the same
+// replica (the session's state lives there and nowhere else).
+func TestGatewayAffinity(t *testing.T) {
+	tr := fleetTrace(100)
+	f := newFleet(t, 3, tr, 0, serve.Config{})
+	_, gts := newGateway(t, Config{Replicas: f.urls, HealthInterval: time.Hour})
+
+	for s := 0; s < 8; s++ {
+		id := fmt.Sprintf("aff-%d", s)
+		for off := 0; off < len(tr.Records); off += 20 {
+			resp, body := postPredict(t, gts.URL, id, tr.Records[off:off+20])
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("session %s chunk %d: %d %s", id, off, resp.StatusCode, body)
+			}
+		}
+	}
+	// Each session exists on exactly one replica.
+	total := 0
+	for i, s := range f.servers {
+		n := s.SessionCount()
+		t.Logf("replica %d: %d sessions", i, n)
+		total += n
+	}
+	if total != 8 {
+		t.Fatalf("fleet holds %d sessions for 8 ids — affinity broken", total)
+	}
+}
+
+// pinSessionTo creates a session through the gateway whose id
+// consistent-hashes to urls[idx] (per a reference ring over all urls)
+// and drives one chunk so the gateway records the pin, returning the id.
+func pinSessionTo(t *testing.T, gatewayURL string, urls []string, idx int, tr *trace.Trace) string {
+	t.Helper()
+	ref := NewRing(0)
+	for _, u := range urls {
+		ref.Add(u)
+	}
+	for i := 0; ; i++ {
+		id := fmt.Sprintf("pinned-%d", i)
+		if ref.Lookup(id) != urls[idx] {
+			continue
+		}
+		if resp, body := postPredict(t, gatewayURL, id, tr.Records[:16]); resp.StatusCode != http.StatusOK {
+			t.Fatalf("pinning session %q: %d %s", id, resp.StatusCode, body)
+		}
+		return id
+	}
+}
+
+// TestGatewayDrainMigratesWithParity is the tentpole end-to-end: a fleet
+// of two replicas under cluster load, one drained mid-run through the
+// gateway. Sessions must migrate (nonzero migrated, zero lost) and every
+// prediction served — before, during, and after the migration — must
+// match the in-process oracle bit-for-bit.
+func TestGatewayDrainMigratesWithParity(t *testing.T) {
+	tr := fleetTrace(2400)
+	f := newFleet(t, 2, tr, 3, serve.Config{})
+	g, gts := newGateway(t, Config{Replicas: f.urls, HealthInterval: 25 * time.Millisecond})
+
+	// Guarantee the drained replica owns at least one session at drain
+	// time: the cluster load's ids churn every pass, so whether any of
+	// them is pinned to replica 0 at that instant is luck.
+	pinned := pinSessionTo(t, gts.URL, f.urls, 0, tr)
+
+	wls := serve.MakeClusterWorkloads(fleetBaseline, fleetModels(tr, 3), tr, 3)
+	rep, err := serve.RunClusterLoad(serve.ClusterLoadConfig{
+		BaseURL:   gts.URL,
+		Workloads: wls,
+		Sessions:  8,
+		Chunk:     40,
+		Duration:  1200 * time.Millisecond,
+		KillAfter: 300 * time.Millisecond,
+		Kill: func() {
+			body, _ := json.Marshal(DrainRequest{Replica: f.urls[0]}) //nolint:errcheck
+			resp, err := http.Post(gts.URL+"/v1/drain", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Errorf("drain request: %v", err)
+				return
+			}
+			resp.Body.Close()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Predictions == 0 {
+		t.Fatal("no predictions served")
+	}
+	if rep.Mismatches != 0 {
+		t.Fatalf("%d parity mismatches across the drain", rep.Mismatches)
+	}
+	if rep.SessionsMigrated == 0 {
+		t.Fatal("drain migrated no sessions")
+	}
+	if rep.SessionsLost != 0 {
+		t.Fatalf("graceful drain lost %d sessions", rep.SessionsLost)
+	}
+	if rep.RingRebalances == 0 {
+		t.Fatal("drain did not rebalance the ring")
+	}
+	if n := f.servers[0].SessionCount(); n != 0 {
+		t.Fatalf("drained replica still owns %d sessions", n)
+	}
+	if !f.servers[0].Draining() {
+		t.Fatal("replica 0 is not draining")
+	}
+	// The pre-pinned session survived the move and keeps being served.
+	if resp, body := postPredict(t, gts.URL, pinned, tr.Records[16:32]); resp.StatusCode != http.StatusOK {
+		t.Fatalf("migrated session %q: %d %s", pinned, resp.StatusCode, body)
+	}
+	_ = g
+}
+
+// TestGatewayHardKillFailover: a replica dies without warning mid-run.
+// Its sessions' state is gone — the gateway must detect the death, count
+// the sessions lost, keep the rest of the fleet serving, and above all
+// never serve a silently-forked session: every prediction that IS served
+// still matches the oracle.
+func TestGatewayHardKillFailover(t *testing.T) {
+	tr := fleetTrace(2400)
+	f := newFleet(t, 2, tr, 3, serve.Config{})
+	g, gts := newGateway(t, Config{
+		Replicas:       f.urls,
+		HealthInterval: 20 * time.Millisecond,
+		FailThreshold:  2,
+	})
+
+	// Pin one session to the doomed replica before the storm: the cluster
+	// load's own session ids churn every pass, so whether any of them is
+	// pinned to replica 0 at the kill instant is luck — this one is not.
+	doomed := pinSessionTo(t, gts.URL, f.urls, 0, tr)
+
+	wls := serve.MakeClusterWorkloads(fleetBaseline, fleetModels(tr, 3), tr, 3)
+	rep, err := serve.RunClusterLoad(serve.ClusterLoadConfig{
+		BaseURL:   gts.URL,
+		Workloads: wls,
+		Sessions:  8,
+		Chunk:     40,
+		Duration:  1200 * time.Millisecond,
+		KillAfter: 300 * time.Millisecond,
+		Kill: func() {
+			f.https[0].CloseClientConnections()
+			f.https[0].Close()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Predictions == 0 {
+		t.Fatal("no predictions served")
+	}
+	if rep.Mismatches != 0 {
+		t.Fatalf("%d parity mismatches — a lost session was silently resurrected", rep.Mismatches)
+	}
+	if rep.SessionsLost == 0 {
+		t.Fatal("hard kill lost no sessions (kill too late, or routing never used replica 0?)")
+	}
+	if rep.Failovers == 0 {
+		t.Fatal("no failover recorded")
+	}
+	// The pre-pinned session's history died with replica 0: its next use
+	// must get the loud 410, never a quiet 200 from the survivor.
+	if resp, _ := postPredict(t, gts.URL, doomed, tr.Records[16:32]); resp.StatusCode != http.StatusGone {
+		t.Fatalf("request for lost session %q: %d, want 410", doomed, resp.StatusCode)
+	}
+	// The survivor kept the fleet alive.
+	resp, err := http.Get(gts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hr HealthResponse
+	json.NewDecoder(resp.Body).Decode(&hr) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || hr.Status != "degraded" || hr.Ready != 1 {
+		t.Fatalf("gateway health after kill: %d %+v", resp.StatusCode, hr)
+	}
+	_ = g
+}
+
+// TestGateway429RelayCarriesRetryAfter: when a replica's backpressure
+// outlasts the gateway's route budget, the 429 is relayed to the client
+// with the Retry-After hints intact (satellite: clients see the same
+// backoff contract with or without the gateway in between).
+func TestGateway429RelayCarriesRetryAfter(t *testing.T) {
+	tr := fleetTrace(40)
+	f := newFleet(t, 1, tr, 0, serve.Config{MaxSessions: 1})
+	_, gts := newGateway(t, Config{
+		Replicas:       f.urls,
+		HealthInterval: time.Hour,
+		RouteBudget:    150 * time.Millisecond,
+	})
+
+	if resp, body := postPredict(t, gts.URL, "first", tr.Records[:10]); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first session: %d %s", resp.StatusCode, body)
+	}
+	resp, _ := postPredict(t, gts.URL, "second", tr.Records[:10])
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("session over cap: %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("relayed 429 lost its Retry-After header")
+	}
+	if resp.Header.Get(serve.RetryAfterMsHeader) == "" {
+		t.Fatalf("relayed 429 lost its %s header", serve.RetryAfterMsHeader)
+	}
+}
+
+// TestGatewayReroutesNewSessionsOffDrainingReplica: the data path, not
+// just the health loop, discovers a draining replica — a new session
+// refused with 503 "draining" is re-routed to a ready replica within the
+// same request, so clients see no error at all.
+func TestGatewayReroutesNewSessionsOffDrainingReplica(t *testing.T) {
+	tr := fleetTrace(40)
+	f := newFleet(t, 2, tr, 0, serve.Config{})
+	g, gts := newGateway(t, Config{Replicas: f.urls, HealthInterval: time.Hour})
+
+	// Drain replica 0 behind the gateway's back.
+	resp, err := http.Post(f.urls[0]+"/v1/drain", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Pick ids deterministically with a reference ring: 10 that hash to
+	// the draining replica (must be re-routed) and 10 to the survivor.
+	ref := NewRing(0)
+	ref.Add(f.urls[0])
+	ref.Add(f.urls[1])
+	var ids []string
+	onDraining := 0
+	for i := 0; len(ids) < 20; i++ {
+		id := fmt.Sprintf("rr-%d", i)
+		if ref.Lookup(id) == f.urls[0] {
+			if onDraining == 10 {
+				continue
+			}
+			onDraining++
+		} else if len(ids)-onDraining == 10 {
+			continue
+		}
+		ids = append(ids, id)
+	}
+
+	for _, id := range ids {
+		resp, body := postPredict(t, gts.URL, id, tr.Records[:10])
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("session %s: %d %s", id, resp.StatusCode, body)
+		}
+	}
+	if f.servers[0].SessionCount() != 0 {
+		t.Fatal("draining replica accepted a new session")
+	}
+	if f.servers[1].SessionCount() != 20 {
+		t.Fatalf("survivor owns %d sessions, want 20", f.servers[1].SessionCount())
+	}
+	if got := g.Stats().Rerouted; got < 1 {
+		t.Fatalf("rerouted %d, want >= 1 (10 ids hash to the draining replica)", got)
+	}
+}
+
+// TestGatewayReloadFanout: one POST to the gateway converges the whole
+// fleet on a model set, and a failing replica is reported per-URL.
+func TestGatewayReloadFanout(t *testing.T) {
+	tr := fleetTrace(400)
+	f := newFleet(t, 2, tr, 0, serve.Config{})
+	_, gts := newGateway(t, Config{Replicas: f.urls, HealthInterval: time.Hour})
+
+	path := filepath.Join(t.TempDir(), "models.bnm")
+	if err := engine.WriteModelsFile(path, serve.SyntheticModels(tr, 2, 7), nil); err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(serve.ReloadRequest{Paths: []string{path}}) //nolint:errcheck
+	resp, err := http.Post(gts.URL+"/v1/reload", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fr ReloadFanoutResponse
+	if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !fr.OK || len(fr.Replicas) != 2 {
+		t.Fatalf("fan-out: %d %+v", resp.StatusCode, fr)
+	}
+	for url, out := range fr.Replicas {
+		if !out.OK || out.Models != 2 {
+			t.Fatalf("replica %s: %+v", url, out)
+		}
+	}
+
+	// A bogus path must fail loudly, per replica, with a 502 overall.
+	body, _ = json.Marshal(serve.ReloadRequest{Paths: []string{filepath.Join(t.TempDir(), "missing.bnm")}}) //nolint:errcheck
+	resp, err = http.Post(gts.URL+"/v1/reload", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway || fr.OK {
+		t.Fatalf("bad reload fan-out: %d %+v", resp.StatusCode, fr)
+	}
+}
+
+// TestGatewayObservability: the gateway exposes its own registry and
+// tracer — /metrics (Prometheus text with the per-replica inflight
+// gauge), /v1/stats (JSON), /debug/spans.
+func TestGatewayObservability(t *testing.T) {
+	tr := fleetTrace(40)
+	f := newFleet(t, 2, tr, 0, serve.Config{})
+	_, gts := newGateway(t, Config{Replicas: f.urls, HealthInterval: time.Hour})
+	if resp, _ := postPredict(t, gts.URL, "obs", tr.Records[:10]); resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict: %d", resp.StatusCode)
+	}
+
+	resp, err := http.Get(gts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	for _, want := range []string{
+		"gateway_requests_total 1",
+		"gateway_replica_inflight{replica=",
+		"gateway_routes_total{replica=",
+		"gateway_upstream_seconds_bucket",
+		"gateway_ready_replicas 2",
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	var st StatsSnapshot
+	sresp, err := http.Get(gts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if st.Requests != 1 || len(st.Replicas) != 2 || st.Sessions != 1 {
+		t.Fatalf("stats snapshot: %+v", st)
+	}
+
+	dresp, err := http.Get(gts.URL + "/debug/spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/spans: %d", dresp.StatusCode)
+	}
+}

@@ -1,0 +1,74 @@
+package gateway
+
+import (
+	"sync/atomic"
+	"time"
+
+	"branchnet/internal/obs"
+)
+
+// ReplicaState is a replica's routing state as the gateway sees it.
+type ReplicaState int32
+
+const (
+	// StateHealthy replicas are ring members: they receive new sessions
+	// and keep serving their pinned ones.
+	StateHealthy ReplicaState = iota
+	// StateDraining replicas answered /healthz with 503 "draining" (or
+	// were drained through the gateway). They are out of the ring — no new
+	// sessions — but still serve and export their existing sessions while
+	// the gateway migrates them off.
+	StateDraining
+	// StateDown replicas failed FailThreshold consecutive probes or
+	// connections. Their sessions' state is unreachable; the gateway
+	// counts them lost and re-pins the ids on next use.
+	StateDown
+)
+
+func (s ReplicaState) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateDraining:
+		return "draining"
+	case StateDown:
+		return "down"
+	}
+	return "unknown"
+}
+
+// replica is the gateway's view of one branchnet-serve instance. state
+// and fails are guarded by Gateway.mu; backoffUntil is atomic because the
+// data path reads and writes it without the gateway lock.
+type replica struct {
+	url   string
+	state ReplicaState
+	fails int // consecutive probe/connection failures
+
+	// backoffUntil (unix nanos) is set from the replica's own Retry-After
+	// hint on a 429 — per-replica admission backpressure, honored before
+	// the next forward to this replica.
+	backoffUntil atomic.Int64
+
+	inflight *obs.Gauge   // gateway_replica_inflight{replica=...}
+	routed   *obs.Counter // gateway_routes_total{replica=...}
+}
+
+// backoff returns how much of the replica's Retry-After window remains.
+func (rep *replica) backoff() time.Duration {
+	until := rep.backoffUntil.Load()
+	if until == 0 {
+		return 0
+	}
+	if d := time.Until(time.Unix(0, until)); d > 0 {
+		return d
+	}
+	return 0
+}
+
+func (rep *replica) setBackoff(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	rep.backoffUntil.Store(time.Now().Add(d).UnixNano())
+}

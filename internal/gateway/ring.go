@@ -1,0 +1,110 @@
+// Package gateway implements the branchnet fleet front-end: a
+// consistent-hash router that pins every client session to one
+// branchnet-serve replica (session affinity — each session's history ring
+// and baseline live server-side), health-checks the fleet, fans reloads
+// out, and migrates session state off draining or dying replicas.
+package gateway
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVNodes is the virtual-node count per replica. 64 vnodes keeps
+// the load spread within a few percent of even for small fleets while
+// bounding the churn of a membership change to ~1/n of the keyspace.
+const DefaultVNodes = 64
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// Ring is a consistent-hash ring with virtual nodes. Only replicas that
+// may accept NEW sessions are members — draining and down replicas are
+// removed, so fresh lookups never land on them while existing sessions
+// keep their pinned owner through the session table. Not safe for
+// concurrent use; the Gateway guards it with its own mutex.
+type Ring struct {
+	vnodes int
+	points []ringPoint // sorted by hash
+	member map[string]bool
+}
+
+// NewRing returns an empty ring with the given virtual-node count per
+// member (<= 0 selects DefaultVNodes).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	return &Ring{vnodes: vnodes, member: make(map[string]bool)}
+}
+
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s)) //nolint:errcheck // fnv never fails
+	return h.Sum64()
+}
+
+// Add inserts node's virtual points. It reports whether membership
+// changed (false when the node was already present).
+func (r *Ring) Add(node string) bool {
+	if r.member[node] {
+		return false
+	}
+	r.member[node] = true
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{ringHash(fmt.Sprintf("%s#%d", node, i)), node})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return true
+}
+
+// Remove deletes node's virtual points, reporting whether it was a
+// member. Keys that hashed to the removed node fall to their next
+// clockwise point; all other keys keep their owner — the property that
+// makes failover churn proportional to the lost replica's share only.
+func (r *Ring) Remove(node string) bool {
+	if !r.member[node] {
+		return false
+	}
+	delete(r.member, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+	return true
+}
+
+// Lookup returns the member owning key — the first virtual point at or
+// clockwise of the key's hash — or "" when the ring is empty. A given
+// (membership, key) pair always resolves identically, which is what lets
+// any gateway instance route a brand-new session without coordination.
+func (r *Ring) Lookup(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.member) }
+
+// Nodes returns the members, sorted.
+func (r *Ring) Nodes() []string {
+	out := make([]string, 0, len(r.member))
+	for n := range r.member {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

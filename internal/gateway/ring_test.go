@@ -1,0 +1,111 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("session-%d", i)
+	}
+	return keys
+}
+
+// TestRingDeterministicAcrossInsertionOrder: routing must depend only on
+// membership, never on the order replicas joined — any gateway instance
+// (or restart) resolves a new session identically.
+func TestRingDeterministicAcrossInsertionOrder(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:2", "http://c:3", "http://d:4"}
+	a := NewRing(0)
+	for _, n := range nodes {
+		a.Add(n)
+	}
+	b := NewRing(0)
+	for i := len(nodes) - 1; i >= 0; i-- {
+		b.Add(nodes[i])
+	}
+	for _, k := range ringKeys(5000) {
+		if a.Lookup(k) != b.Lookup(k) {
+			t.Fatalf("key %q: %q vs %q by insertion order", k, a.Lookup(k), b.Lookup(k))
+		}
+	}
+}
+
+// TestRingDistribution: with 64 vnodes, 4 replicas each own a reasonable
+// share of a large keyspace — no starved or overloaded replica.
+func TestRingDistribution(t *testing.T) {
+	r := NewRing(0)
+	nodes := []string{"http://a:1", "http://b:2", "http://c:3", "http://d:4"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	counts := make(map[string]int)
+	keys := ringKeys(20000)
+	for _, k := range keys {
+		counts[r.Lookup(k)]++
+	}
+	for _, n := range nodes {
+		share := float64(counts[n]) / float64(len(keys))
+		if share < 0.10 || share > 0.45 {
+			t.Errorf("node %s owns %.1f%% of keys (want 10%%-45%%)", n, share*100)
+		}
+	}
+}
+
+// TestRingRemoveMovesOnlyLostShare: removing one replica must re-home
+// only the keys it owned; everyone else's sessions stay put. This is the
+// property that keeps a failover from churning the whole fleet.
+func TestRingRemoveMovesOnlyLostShare(t *testing.T) {
+	r := NewRing(0)
+	nodes := []string{"http://a:1", "http://b:2", "http://c:3"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	keys := ringKeys(10000)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k] = r.Lookup(k)
+	}
+	if !r.Remove(nodes[0]) {
+		t.Fatal("remove of member returned false")
+	}
+	moved := 0
+	for _, k := range keys {
+		after := r.Lookup(k)
+		if after == nodes[0] {
+			t.Fatalf("key %q still maps to the removed node", k)
+		}
+		if before[k] == nodes[0] {
+			moved++
+			continue
+		}
+		if after != before[k] {
+			t.Fatalf("key %q moved from surviving %q to %q", k, before[k], after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed node owned no keys; distribution test should have caught this")
+	}
+}
+
+// TestRingMembership: Add/Remove idempotence and empty-ring lookups.
+func TestRingMembership(t *testing.T) {
+	r := NewRing(8)
+	if r.Lookup("x") != "" {
+		t.Fatal("empty ring lookup returned a node")
+	}
+	if !r.Add("n1") || r.Add("n1") {
+		t.Fatal("Add idempotence broken")
+	}
+	if got := r.Lookup("x"); got != "n1" {
+		t.Fatalf("single-node ring routed to %q", got)
+	}
+	if !r.Remove("n1") || r.Remove("n1") {
+		t.Fatal("Remove idempotence broken")
+	}
+	if r.Len() != 0 || r.Lookup("x") != "" {
+		t.Fatal("ring not empty after removal")
+	}
+}

@@ -105,6 +105,32 @@ func (h *History) Resize(window int, pcBits uint) {
 	h.ring, h.pos, h.window = ring, 0, window
 }
 
+// Snapshot captures the ring's exact state for serialization: the
+// most-recent-first token view (length Window), the token PC width, and
+// the global branch counter. RestoreHistory rebuilds an identical ring
+// from the three values — identical View output, identical Push behavior —
+// which is what lets a serving session migrate between replicas without
+// disturbing the sliding-pooling phase or the token contents (including
+// tokens still packed with a pre-reload PC width).
+func (h *History) Snapshot() (view []uint32, pcBits uint, count uint64) {
+	return h.View(nil), h.pcBits, h.count
+}
+
+// RestoreHistory reconstructs a History from a Snapshot. The returned ring
+// is bit-identical to the snapshotted one: same window, same token order,
+// same counter.
+func RestoreHistory(view []uint32, pcBits uint, count uint64) *History {
+	window := len(view)
+	if window < 1 {
+		window = 1
+	}
+	h := &History{ring: make([]uint32, window), window: window, pcBits: pcBits, count: count}
+	for i := 0; i < len(view); i++ {
+		h.ring[window-1-i] = view[i]
+	}
+	return h
+}
+
 // Geometry derives the history window and token PC width a deployment
 // needs for a model set, exactly as New sizes its ring: the largest model
 // window (minimum 1), and the models' shared PC width (12 when no model is

@@ -21,6 +21,9 @@ func TestWritePrometheusGolden(t *testing.T) {
 	lc := r.LabeledCounter("branchnet_reload_failures_total", "class")
 	lc.With("parse").Add(2)
 	lc.With("not_found").Inc()
+	lg := r.LabeledGauge("branchnet_replica_inflight", "replica")
+	lg.With("r1").Set(4)
+	lg.With("r0").Set(-1) // gauges may go negative; counters cannot
 	r.Histogram("frac_seconds", 0.0005, 0.25).Observe(0.1)
 
 	var b strings.Builder
@@ -37,6 +40,8 @@ func TestWritePrometheusGolden(t *testing.T) {
 		`branchnet_queue_depth 3`,
 		`branchnet_reload_failures_total{class="not_found"} 1`,
 		`branchnet_reload_failures_total{class="parse"} 2`,
+		`branchnet_replica_inflight{replica="r0"} -1`,
+		`branchnet_replica_inflight{replica="r1"} 4`,
 		`branchnet_requests_total 12`,
 		`frac_seconds_bucket{le="0.0005"} 0`,
 		`frac_seconds_bucket{le="0.25"} 1`,
@@ -53,6 +58,7 @@ func TestWritePrometheusGolden(t *testing.T) {
 func TestWritePrometheusEmptyLabeledFamilyIsAbsent(t *testing.T) {
 	r := NewRegistry()
 	r.LabeledCounter("errs_total", "class") // registered, never observed
+	r.LabeledGauge("inflight", "replica")   // ditto
 	var b strings.Builder
 	r.WritePrometheus(&b)
 	if b.Len() != 0 {

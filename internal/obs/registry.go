@@ -16,12 +16,13 @@ import (
 // returned metrics themselves stay lock-free. Register once at setup,
 // keep the pointers, record forever.
 type Registry struct {
-	mu         sync.Mutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	gaugeFuncs map[string]func() int64
-	hists      map[string]*Histogram
-	labeled    map[string]*LabeledCounter
+	mu            sync.Mutex
+	counters      map[string]*Counter
+	gauges        map[string]*Gauge
+	gaugeFuncs    map[string]func() int64
+	hists         map[string]*Histogram
+	labeled       map[string]*LabeledCounter
+	labeledGauges map[string]*LabeledGauge
 }
 
 // Default is the process-wide registry: the training stack, checkpoint
@@ -34,11 +35,12 @@ var Default = NewRegistry()
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters:   make(map[string]*Counter),
-		gauges:     make(map[string]*Gauge),
-		gaugeFuncs: make(map[string]func() int64),
-		hists:      make(map[string]*Histogram),
-		labeled:    make(map[string]*LabeledCounter),
+		counters:      make(map[string]*Counter),
+		gauges:        make(map[string]*Gauge),
+		gaugeFuncs:    make(map[string]func() int64),
+		hists:         make(map[string]*Histogram),
+		labeled:       make(map[string]*LabeledCounter),
+		labeledGauges: make(map[string]*LabeledGauge),
 	}
 }
 
@@ -109,6 +111,22 @@ func (r *Registry) LabeledCounter(name, label string) *LabeledCounter {
 	return lc
 }
 
+// LabeledGauge returns the named labeled gauge family, creating it with
+// the given label key on first use. The gateway uses it for per-replica
+// instantaneous values (inflight, health state) without one metric name
+// per replica.
+func (r *Registry) LabeledGauge(name, label string) *LabeledGauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	lg, ok := r.labeledGauges[name]
+	if !ok {
+		r.checkFree(name, "labeled gauge")
+		lg = &LabeledGauge{name: name, label: label, children: make(map[string]*Gauge)}
+		r.labeledGauges[name] = lg
+	}
+	return lg
+}
+
 // checkFree panics when name is already registered under a different
 // metric kind — a programming error that would otherwise silently shadow
 // one metric with another. Callers hold r.mu.
@@ -118,7 +136,8 @@ func (r *Registry) checkFree(name, kind string) {
 	_, f := r.gaugeFuncs[name]
 	_, h := r.hists[name]
 	_, l := r.labeled[name]
-	if c || g || f || h || l {
+	_, lg := r.labeledGauges[name]
+	if c || g || f || h || l || lg {
 		panic(fmt.Sprintf("obs: metric %q already registered as a different kind (want %s)", name, kind))
 	}
 }
@@ -172,14 +191,53 @@ func (lc *LabeledCounter) Values() map[string]uint64 {
 	return out
 }
 
+// LabeledGauge is a family of gauges keyed by one label value (replica
+// name). Child lookup takes a read lock; hold the returned *Gauge when
+// the label value is hot.
+type LabeledGauge struct {
+	name, label string
+	mu          sync.RWMutex
+	children    map[string]*Gauge
+}
+
+// With returns the child gauge for the given label value, creating it on
+// first use.
+func (lg *LabeledGauge) With(value string) *Gauge {
+	lg.mu.RLock()
+	g := lg.children[value]
+	lg.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	lg.mu.Lock()
+	defer lg.mu.Unlock()
+	if g = lg.children[value]; g == nil {
+		g = &Gauge{}
+		lg.children[value] = g
+	}
+	return g
+}
+
+// Values returns a copy of the per-label values.
+func (lg *LabeledGauge) Values() map[string]int64 {
+	lg.mu.RLock()
+	defer lg.mu.RUnlock()
+	out := make(map[string]int64, len(lg.children))
+	for v, g := range lg.children {
+		out[v] = g.Value()
+	}
+	return out
+}
+
 // RegistrySnapshot is a point-in-time JSON form of a registry — the
 // -metrics-out payload every CLI can emit on exit, shaped like the other
 // BENCH_* reports (one self-describing JSON object).
 type RegistrySnapshot struct {
-	Counters   map[string]uint64            `json:"counters,omitempty"`
-	Gauges     map[string]int64             `json:"gauges,omitempty"`
-	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
-	Labeled    map[string]map[string]uint64 `json:"labeled,omitempty"`
+	Counters      map[string]uint64            `json:"counters,omitempty"`
+	Gauges        map[string]int64             `json:"gauges,omitempty"`
+	Histograms    map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Labeled       map[string]map[string]uint64 `json:"labeled,omitempty"`
+	LabeledGauges map[string]map[string]int64  `json:"labeled_gauges,omitempty"`
 }
 
 // Snapshot captures every registered metric. Callback gauges are sampled
@@ -207,13 +265,18 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 	for _, lc := range r.labeled {
 		labeled = append(labeled, lc)
 	}
+	labeledGauges := make([]*LabeledGauge, 0, len(r.labeledGauges))
+	for _, lg := range r.labeledGauges {
+		labeledGauges = append(labeledGauges, lg)
+	}
 	r.mu.Unlock()
 
 	snap := RegistrySnapshot{
-		Counters:   make(map[string]uint64, len(counters)),
-		Gauges:     make(map[string]int64, len(gauges)+len(funcs)),
-		Histograms: make(map[string]HistogramSnapshot, len(hists)),
-		Labeled:    make(map[string]map[string]uint64, len(labeled)),
+		Counters:      make(map[string]uint64, len(counters)),
+		Gauges:        make(map[string]int64, len(gauges)+len(funcs)),
+		Histograms:    make(map[string]HistogramSnapshot, len(hists)),
+		Labeled:       make(map[string]map[string]uint64, len(labeled)),
+		LabeledGauges: make(map[string]map[string]int64, len(labeledGauges)),
 	}
 	for _, c := range counters {
 		snap.Counters[c.name] = c.c.Value()
@@ -229,6 +292,9 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 	}
 	for _, lc := range labeled {
 		snap.Labeled[lc.name] = lc.Values()
+	}
+	for _, lg := range labeledGauges {
+		snap.LabeledGauges[lg.name] = lg.Values()
 	}
 	return snap
 }
@@ -266,6 +332,9 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	for n := range snap.Labeled {
 		names = append(names, n)
 	}
+	for n := range snap.LabeledGauges {
+		names = append(names, n)
+	}
 	sort.Strings(names)
 
 	r.mu.Lock()
@@ -273,9 +342,12 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	for n, h := range r.hists {
 		hists[n] = h
 	}
-	labelKeys := make(map[string]string, len(r.labeled))
+	labelKeys := make(map[string]string, len(r.labeled)+len(r.labeledGauges))
 	for n, lc := range r.labeled {
 		labelKeys[n] = lc.label
+	}
+	for n, lg := range r.labeledGauges {
+		labelKeys[n] = lg.label
 	}
 	r.mu.Unlock()
 
@@ -293,6 +365,18 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 			continue
 		}
 		if children, ok := snap.Labeled[n]; ok {
+			label := labelKeys[n]
+			values := make([]string, 0, len(children))
+			for v := range children {
+				values = append(values, v)
+			}
+			sort.Strings(values)
+			for _, v := range values {
+				fmt.Fprintf(w, "%s{%s=%q} %d\n", n, label, v, children[v])
+			}
+			continue
+		}
+		if children, ok := snap.LabeledGauges[n]; ok {
 			label := labelKeys[n]
 			values := make([]string, 0, len(children))
 			for v := range children {

@@ -28,6 +28,7 @@ func TestRegistryConcurrentUse(t *testing.T) {
 			ga := r.Gauge("depth")
 			h := r.Histogram("lat_seconds", 0.001, 0.01, 0.1, 1)
 			lc := r.LabeledCounter("errs_total", "class")
+			lg := r.LabeledGauge("inflight", "replica")
 			for i := 0; i < iters; i++ {
 				c.Inc()
 				ga.Add(1)
@@ -37,6 +38,9 @@ func TestRegistryConcurrentUse(t *testing.T) {
 				if i%2 == 0 {
 					lc.With("not_found").Inc()
 				}
+				lg.With("r1").Add(1)
+				lg.With("r2").Add(1)
+				lg.With("r2").Add(-1)
 			}
 		}()
 	}
@@ -83,6 +87,10 @@ func TestRegistryConcurrentUse(t *testing.T) {
 	if got := lc.Total(); got != total+total/2 {
 		t.Errorf("labeled total = %d, want %d", got, total+total/2)
 	}
+	lgv := r.LabeledGauge("inflight", "replica").Values()
+	if lgv["r1"] != total || lgv["r2"] != 0 {
+		t.Errorf("labeled gauge values = %v, want r1=%d r2=0", lgv, total)
+	}
 }
 
 type discard struct{}
@@ -107,6 +115,7 @@ func TestRegistrySnapshotAndGaugeFunc(t *testing.T) {
 	r.GaugeFunc("gf", func() int64 { return 42 })
 	r.Histogram("h", 1, 2).Observe(1.5)
 	r.LabeledCounter("l", "k").With("v").Add(9)
+	r.LabeledGauge("lg", "k").With("v").Set(-5)
 
 	s := r.Snapshot()
 	if s.Counters["c"] != 7 {
@@ -120,6 +129,9 @@ func TestRegistrySnapshotAndGaugeFunc(t *testing.T) {
 	}
 	if s.Labeled["l"]["v"] != 9 {
 		t.Errorf("labeled snapshot = %v, want l[v]=9", s.Labeled)
+	}
+	if s.LabeledGauges["lg"]["v"] != -5 {
+		t.Errorf("labeled gauge snapshot = %v, want lg[v]=-5", s.LabeledGauges)
 	}
 }
 

@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func getHealthz(t *testing.T, baseURL string) (int, HealthResponse) {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hr HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, hr
+}
+
+// TestDrainRefusesNewServesOld: after /v1/drain, /healthz answers 503
+// "draining", a request that would create a session gets 503, but the
+// sessions the replica already owns keep being served and keep being
+// exportable — the migration window.
+func TestDrainRefusesNewServesOld(t *testing.T) {
+	tr := testTrace(400)
+	s, ts := newTestServer(t, Config{}, nil)
+
+	rec := []RecordJSON{{PC: 0x40, Taken: true}}
+	if code, _ := postPredict(t, ts.URL, PredictRequest{Session: "old", Records: rec}); code != http.StatusOK {
+		t.Fatalf("pre-drain predict: %d", code)
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/drain", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dr DrainResponse
+	if err := json.NewDecoder(resp.Body).Decode(&dr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !dr.Draining || dr.Sessions != 1 {
+		t.Fatalf("drain response: %+v", dr)
+	}
+
+	if code, hr := getHealthz(t, ts.URL); code != http.StatusServiceUnavailable || hr.Status != "draining" {
+		t.Fatalf("healthz after drain: %d %q", code, hr.Status)
+	}
+	if code, _ := postPredict(t, ts.URL, PredictRequest{Session: "new", Records: rec}); code != http.StatusServiceUnavailable {
+		t.Fatalf("new session while draining: %d, want 503", code)
+	}
+	if code, _ := postPredict(t, ts.URL, PredictRequest{Session: "old", Records: rec}); code != http.StatusOK {
+		t.Fatalf("existing session while draining: %d, want 200", code)
+	}
+	drive(t, ts.URL, "old", tr.Records[:100], 50)
+	blob := exportSession(t, ts.URL, "old", false)
+	if len(blob) == 0 {
+		t.Fatal("empty export blob")
+	}
+	if !s.Draining() {
+		t.Fatal("server does not report draining")
+	}
+
+	// Stats surface the state too (the gateway and ops dashboards key on it).
+	var snap StatsSnapshot
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if !snap.Draining {
+		t.Fatal("/v1/stats does not report draining")
+	}
+}
+
+// TestDrainReadinessFlipsBeforeFirstRefusal is the ordering regression
+// test: readiness (healthz 503) must be observable no later than the
+// first refused connection. A client hammers new sessions while the
+// server drains; the instant it sees the first 503 refusal, /healthz must
+// already answer 503 — if readiness lagged refusal, a load balancer could
+// keep routing new sessions into a replica that rejects them.
+func TestDrainReadinessFlipsBeforeFirstRefusal(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxSessions: 1 << 20}, nil)
+
+	refused := make(chan struct{})
+	stop := make(chan struct{})
+	go func() {
+		defer close(refused)
+		client := &http.Client{Timeout: 2 * time.Second}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			body, _ := json.Marshal(PredictRequest{ //nolint:errcheck
+				Session: fmt.Sprintf("hammer-%d", i),
+				Records: []RecordJSON{{PC: 0x40, Taken: true}},
+			})
+			resp, err := client.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+			if err != nil {
+				continue
+			}
+			code := resp.StatusCode
+			resp.Body.Close()
+			if code == http.StatusServiceUnavailable {
+				return // first refusal observed
+			}
+		}
+	}()
+
+	time.Sleep(20 * time.Millisecond) // let the hammer land some creations
+	s.BeginDrain()
+	select {
+	case <-refused:
+	case <-time.After(5 * time.Second):
+		close(stop)
+		t.Fatal("no refusal within 5s of BeginDrain")
+	}
+	// The first refusal has been observed; readiness must already be gone.
+	if code, hr := getHealthz(t, ts.URL); code != http.StatusServiceUnavailable || hr.Status != "draining" {
+		t.Fatalf("healthz after first refusal: %d %q, want 503 draining", code, hr.Status)
+	}
+	if s.SessionCount() == 0 {
+		t.Fatal("expected surviving sessions from before the drain")
+	}
+}

@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -193,6 +195,13 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		interval = time.Duration(float64(time.Second) * float64(cfg.Sessions) / cfg.QPS)
 	}
 
+	pc := passConfig{
+		baseURL:    cfg.BaseURL,
+		records:    cfg.Trace.Records,
+		expected:   cfg.Expected,
+		chunk:      cfg.Chunk,
+		deadlineMS: cfg.DeadlineMS,
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Sessions; w++ {
 		wg.Add(1)
@@ -205,7 +214,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 					return
 				}
 				sessID := fmt.Sprintf("lg-%d-%d", w, pass)
-				completed := runPass(client, cfg, sessID, lw, latency, stopAt, &next, interval)
+				completed := runPass(client, pc, sessID, lw, latency, stopAt, &next, interval)
 				if completed {
 					lw.passes++
 				}
@@ -251,13 +260,23 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	return rep, nil
 }
 
+// passConfig is the per-workload slice of a load config one trace pass
+// needs — RunLoad has exactly one, RunClusterLoad one per workload.
+type passConfig struct {
+	baseURL    string
+	records    []trace.Record
+	expected   []bool
+	chunk      int
+	deadlineMS int64
+}
+
 // runPass replays one full trace pass on a fresh session. It returns true
 // if the pass ran to completion (false on timeout cutoff or on a
 // non-retryable server error, which abandons the session).
-func runPass(client *http.Client, cfg LoadConfig, sessID string, lw *loadWorker,
+func runPass(client *http.Client, cfg passConfig, sessID string, lw *loadWorker,
 	latency *stats.Histogram, stopAt time.Time, next *time.Time, interval time.Duration) bool {
-	recs := cfg.Trace.Records
-	for off := 0; off < len(recs); off += cfg.Chunk {
+	recs := cfg.records
+	for off := 0; off < len(recs); off += cfg.chunk {
 		if !stopAt.IsZero() && !time.Now().Before(stopAt) {
 			return false
 		}
@@ -267,7 +286,7 @@ func runPass(client *http.Client, cfg LoadConfig, sessID string, lw *loadWorker,
 			}
 			*next = next.Add(interval)
 		}
-		end := off + cfg.Chunk
+		end := off + cfg.chunk
 		if end > len(recs) {
 			end = len(recs)
 		}
@@ -275,7 +294,7 @@ func runPass(client *http.Client, cfg LoadConfig, sessID string, lw *loadWorker,
 		req := PredictRequest{
 			Session:    sessID,
 			Records:    make([]RecordJSON, len(chunk)),
-			DeadlineMS: cfg.DeadlineMS,
+			DeadlineMS: cfg.deadlineMS,
 		}
 		for i, r := range chunk {
 			req.Records[i] = RecordJSON{PC: r.PC, Taken: r.Taken}
@@ -286,7 +305,7 @@ func runPass(client *http.Client, cfg LoadConfig, sessID string, lw *loadWorker,
 		ok := false
 		for attempt := 0; attempt < 50; attempt++ {
 			t0 := time.Now()
-			code, err := postJSON(client, cfg.BaseURL+"/v1/predict", body, &resp)
+			code, retryAfter, err := postJSON(client, cfg.baseURL+"/v1/predict", body, &resp)
 			latency.Observe(time.Since(t0).Seconds())
 			lw.requests++
 			if err == nil && code == http.StatusOK {
@@ -295,9 +314,18 @@ func runPass(client *http.Client, cfg LoadConfig, sessID string, lw *loadWorker,
 			}
 			if code == http.StatusTooManyRequests {
 				// Admission rejected the request before any session state
-				// changed; retrying the same chunk is exact.
+				// changed; retrying the same chunk is exact. The server's
+				// Retry-After hint paces the retry; without one, fall back
+				// to linear backoff.
 				lw.retries++
-				time.Sleep(time.Duration(attempt+1) * time.Millisecond)
+				backoff := retryAfter
+				if backoff <= 0 {
+					backoff = time.Duration(attempt+1) * time.Millisecond
+				}
+				if backoff > time.Second {
+					backoff = time.Second
+				}
+				time.Sleep(backoff)
 				continue
 			}
 			lw.errors++
@@ -317,9 +345,9 @@ func runPass(client *http.Client, cfg LoadConfig, sessID string, lw *loadWorker,
 				lw.modelPreds++
 			}
 		}
-		if cfg.Expected != nil {
+		if cfg.expected != nil {
 			for i := range chunk {
-				if resp.Predictions[i] != cfg.Expected[off+i] {
+				if resp.Predictions[i] != cfg.expected[off+i] {
 					lw.mismatches++
 				}
 			}
@@ -328,17 +356,307 @@ func runPass(client *http.Client, cfg LoadConfig, sessID string, lw *loadWorker,
 	return true
 }
 
-func postJSON(client *http.Client, url string, body []byte, out any) (int, error) {
+func postJSON(client *http.Client, url string, body []byte, out any) (int, time.Duration, error) {
 	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, resp.Body) //nolint:errcheck
-		return resp.StatusCode, nil
+		return resp.StatusCode, ParseRetryAfter(resp.Header), nil
 	}
-	return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
+	return resp.StatusCode, 0, json.NewDecoder(resp.Body).Decode(out)
+}
+
+// ParseRetryAfter extracts the server's backoff hint from a 429 response:
+// the millisecond-resolution Retry-After-Ms header when present, else the
+// standard whole-seconds Retry-After, else zero.
+func ParseRetryAfter(h http.Header) time.Duration {
+	if v := h.Get(RetryAfterMsHeader); v != "" {
+		if ms, err := strconv.ParseInt(v, 10, 64); err == nil && ms >= 0 {
+			return time.Duration(ms) * time.Millisecond
+		}
+	}
+	if v := h.Get("Retry-After"); v != "" {
+		if secs, err := strconv.ParseInt(v, 10, 64); err == nil && secs >= 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return 0
+}
+
+// ClusterWorkload is one replayable unit of cluster load: a trace
+// fragment and its in-process parity reference. Different workloads have
+// different branch mixes, so skewing sessions across them skews model
+// popularity across the fleet.
+type ClusterWorkload struct {
+	Name     string
+	Trace    *trace.Trace
+	Expected []bool
+}
+
+// MakeClusterWorkloads splits tr into k contiguous segments and computes
+// each segment's parity reference (a fresh baseline per segment, exactly
+// as each server session starts fresh). Segments have distinct branch
+// populations, which is what gives the Zipf assignment in RunClusterLoad
+// its skewed model popularity.
+func MakeClusterWorkloads(newBase func() predictor.Predictor, models []*branchnet.Attached, tr *trace.Trace, k int) []ClusterWorkload {
+	if k < 1 {
+		k = 1
+	}
+	if k > len(tr.Records) {
+		k = len(tr.Records)
+	}
+	out := make([]ClusterWorkload, 0, k)
+	for i := 0; i < k; i++ {
+		lo, hi := i*len(tr.Records)/k, (i+1)*len(tr.Records)/k
+		seg := &trace.Trace{Records: tr.Records[lo:hi]}
+		out = append(out, ClusterWorkload{
+			Name:     fmt.Sprintf("seg%d", i),
+			Trace:    seg,
+			Expected: ExpectedPredictions(newBase, models, seg),
+		})
+	}
+	return out
+}
+
+// ZipfShares assigns n sessions across k ranks with popularity
+// proportional to 1/(rank+1)^s — the standard skew for "a few hot models,
+// a long tail". Every rank gets at least one session when n >= k. The
+// assignment is deterministic (no RNG), so cluster runs are reproducible.
+func ZipfShares(k, n int, s float64) []int {
+	if k < 1 {
+		return nil
+	}
+	weights := make([]float64, k)
+	total := 0.0
+	for i := range weights {
+		weights[i] = 1 / math.Pow(float64(i+1), s)
+		total += weights[i]
+	}
+	shares := make([]int, k)
+	assigned := 0
+	for i := range shares {
+		shares[i] = int(float64(n) * weights[i] / total)
+		assigned += shares[i]
+	}
+	// Distribute the rounding remainder to the hottest ranks.
+	for i := 0; assigned < n; i = (i + 1) % k {
+		shares[i]++
+		assigned++
+	}
+	return shares
+}
+
+// ClusterLoadConfig drives RunClusterLoad: fleet-scale load through the
+// gateway, with Zipf-skewed workload popularity and an optional
+// mid-run replica kill.
+type ClusterLoadConfig struct {
+	// BaseURL of the gateway, e.g. "http://127.0.0.1:9090".
+	BaseURL string
+	// Workloads are the replayable units (MakeClusterWorkloads builds them
+	// from one trace). Workload 0 is the most popular.
+	Workloads []ClusterWorkload
+	// ZipfS is the popularity skew exponent (default 1.2).
+	ZipfS float64
+	// Sessions is the total number of concurrent client sessions spread
+	// across workloads (default 8).
+	Sessions int
+	// Chunk is the records sent per request (default 64).
+	Chunk int
+	// Duration bounds the run (required: cluster runs are time-bounded).
+	Duration time.Duration
+	// DeadlineMS forwards a per-request deadline.
+	DeadlineMS int64
+	// KillAfter, with Kill set, invokes Kill once this long into the run —
+	// the kill-a-replica-mid-run hook (the callback SIGTERMs or closes a
+	// replica; the harness owns the mechanism).
+	KillAfter time.Duration
+	Kill      func()
+	// Client overrides the HTTP client (default: 10s timeout).
+	Client *http.Client
+	// Obs, when non-nil, registers client-side counters and the latency
+	// histogram.
+	Obs *obs.Registry
+}
+
+// ClusterWorkloadReport aggregates one workload's sessions.
+type ClusterWorkloadReport struct {
+	Name        string `json:"name"`
+	Sessions    int    `json:"sessions"`
+	Passes      uint64 `json:"passes"`
+	Predictions uint64 `json:"predictions"`
+	Mismatches  uint64 `json:"mismatches"`
+}
+
+// GatewayStatsLite is the slice of the gateway's /v1/stats the cluster
+// report asserts on (the full snapshot rides along as raw JSON).
+type GatewayStatsLite struct {
+	SessionsMigrated uint64 `json:"sessions_migrated"`
+	SessionsLost     uint64 `json:"sessions_lost"`
+	Failovers        uint64 `json:"failovers"`
+	RingRebalances   uint64 `json:"ring_rebalances"`
+	Upstream429      uint64 `json:"upstream_429"`
+	UpstreamErrors   uint64 `json:"upstream_errors"`
+}
+
+// ClusterLoadReport summarizes a RunClusterLoad.
+type ClusterLoadReport struct {
+	Requests          uint64                  `json:"requests"`
+	Predictions       uint64                  `json:"predictions"`
+	ModelPredictions  uint64                  `json:"model_predictions"`
+	Mismatches        uint64                  `json:"mismatches"`
+	Retries429        uint64                  `json:"retries_429"`
+	Errors            uint64                  `json:"errors"`
+	Passes            uint64                  `json:"passes"`
+	DurationSeconds   float64                 `json:"duration_seconds"`
+	QPS               float64                 `json:"qps"`
+	PredictionsPerSec float64                 `json:"predictions_per_sec"`
+	LatencyMean       float64                 `json:"latency_mean_seconds"`
+	LatencyP50        float64                 `json:"latency_p50_seconds"`
+	LatencyP99        float64                 `json:"latency_p99_seconds"`
+	Workloads         []ClusterWorkloadReport `json:"workloads"`
+	GatewayStatsLite
+	// Gateway is the gateway's full /v1/stats snapshot at the end of the
+	// run, kept raw so report consumers see everything without this
+	// package importing the gateway's types.
+	Gateway json.RawMessage `json:"gateway,omitempty"`
+}
+
+// RunClusterLoad drives a gateway-fronted fleet: cfg.Sessions concurrent
+// client sessions, assigned to workloads by Zipf popularity, each
+// replaying its workload in passes on fresh session ids and verifying
+// parity bit-for-bit — through routing, backpressure, and (when Kill
+// fires) a mid-run failover. Sessions that hit a non-retryable error
+// abandon the pass (its session state is unknowable) and start a fresh
+// session, so parity accounting never blames the client for a dead
+// replica; migrated sessions, by contrast, must keep answering exactly.
+func RunClusterLoad(cfg ClusterLoadConfig) (*ClusterLoadReport, error) {
+	if len(cfg.Workloads) == 0 {
+		return nil, fmt.Errorf("serve: cluster load needs at least one workload")
+	}
+	for i := range cfg.Workloads {
+		wl := &cfg.Workloads[i]
+		if wl.Trace == nil || len(wl.Trace.Records) == 0 {
+			return nil, fmt.Errorf("serve: cluster workload %d (%s) has an empty trace", i, wl.Name)
+		}
+		if wl.Expected != nil && len(wl.Expected) != len(wl.Trace.Records) {
+			return nil, fmt.Errorf("serve: cluster workload %d (%s): %d expected for %d records",
+				i, wl.Name, len(wl.Expected), len(wl.Trace.Records))
+		}
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("serve: cluster load needs a positive duration")
+	}
+	if cfg.Sessions <= 0 {
+		cfg.Sessions = 8
+	}
+	if cfg.Chunk <= 0 {
+		cfg.Chunk = 64
+	}
+	if cfg.ZipfS == 0 {
+		cfg.ZipfS = 1.2
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	latency := stats.NewHistogram(obs.DefaultLatencyBounds()...)
+	if cfg.Obs != nil {
+		latency = cfg.Obs.Histogram("loadgen_request_seconds", obs.DefaultLatencyBounds()...)
+	}
+
+	shares := ZipfShares(len(cfg.Workloads), cfg.Sessions, cfg.ZipfS)
+	assignment := make([]int, 0, cfg.Sessions) // worker index -> workload index
+	for wl, n := range shares {
+		for i := 0; i < n; i++ {
+			assignment = append(assignment, wl)
+		}
+	}
+
+	workers := make([]loadWorker, cfg.Sessions)
+	start := time.Now()
+	stopAt := start.Add(cfg.Duration)
+	var killTimer *time.Timer
+	if cfg.Kill != nil && cfg.KillAfter > 0 {
+		killTimer = time.AfterFunc(cfg.KillAfter, cfg.Kill)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Sessions; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wl := &cfg.Workloads[assignment[w]]
+			pc := passConfig{
+				baseURL:    cfg.BaseURL,
+				records:    wl.Trace.Records,
+				expected:   wl.Expected,
+				chunk:      cfg.Chunk,
+				deadlineMS: cfg.DeadlineMS,
+			}
+			lw := &workers[w]
+			next := time.Now()
+			for pass := 0; time.Now().Before(stopAt); pass++ {
+				sessID := fmt.Sprintf("cg-%d-%d", w, pass)
+				if runPass(client, pc, sessID, lw, latency, stopAt, &next, 0) {
+					lw.passes++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if killTimer != nil {
+		killTimer.Stop()
+	}
+
+	elapsed := time.Since(start)
+	rep := &ClusterLoadReport{DurationSeconds: elapsed.Seconds()}
+	perWL := make([]ClusterWorkloadReport, len(cfg.Workloads))
+	for i := range perWL {
+		perWL[i].Name = cfg.Workloads[i].Name
+		perWL[i].Sessions = shares[i]
+	}
+	for i := range workers {
+		lw := &workers[i]
+		rep.Requests += lw.requests
+		rep.Predictions += lw.predictions
+		rep.ModelPredictions += lw.modelPreds
+		rep.Mismatches += lw.mismatches
+		rep.Retries429 += lw.retries
+		rep.Errors += lw.errors
+		rep.Passes += lw.passes
+		wl := &perWL[assignment[i]]
+		wl.Passes += lw.passes
+		wl.Predictions += lw.predictions
+		wl.Mismatches += lw.mismatches
+	}
+	rep.Workloads = perWL
+	if s := elapsed.Seconds(); s > 0 {
+		rep.QPS = float64(rep.Requests) / s
+		rep.PredictionsPerSec = float64(rep.Predictions) / s
+	}
+	rep.LatencyMean = latency.Mean()
+	rep.LatencyP50 = latency.Quantile(0.50)
+	rep.LatencyP99 = latency.Quantile(0.99)
+	if cfg.Obs != nil {
+		cfg.Obs.Counter("loadgen_requests_total").Add(rep.Requests)
+		cfg.Obs.Counter("loadgen_predictions_total").Add(rep.Predictions)
+		cfg.Obs.Counter("loadgen_mismatches_total").Add(rep.Mismatches)
+		cfg.Obs.Counter("loadgen_retries_429_total").Add(rep.Retries429)
+		cfg.Obs.Counter("loadgen_errors_total").Add(rep.Errors)
+	}
+
+	var raw json.RawMessage
+	if err := fetchJSON(client, cfg.BaseURL+"/v1/stats", &raw); err != nil {
+		return rep, fmt.Errorf("serve: fetching gateway stats: %w", err)
+	}
+	rep.Gateway = raw
+	if err := json.Unmarshal(raw, &rep.GatewayStatsLite); err != nil {
+		return rep, fmt.Errorf("serve: decoding gateway stats: %w", err)
+	}
+	return rep, nil
 }
 
 func fetchJSON(client *http.Client, url string, out any) error {

@@ -7,6 +7,7 @@ import (
 	"io"
 	"io/fs"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -50,6 +51,16 @@ type Config struct {
 	// NewBaseline constructs one runtime baseline per session (default
 	// Baselines["tage64"]).
 	NewBaseline func() predictor.Predictor
+	// BaselineName identifies the baseline preset in exported session
+	// state; import refuses blobs exported under a different name. It
+	// defaults to "tage64" when NewBaseline is nil and to "custom"
+	// otherwise — set it whenever NewBaseline is set.
+	BaselineName string
+	// JournalCap bounds the per-session replay journal that makes a
+	// session migratable (default 1<<18 records, ~4MB; negative disables
+	// journaling). A session that outgrows the cap keeps serving but can
+	// no longer be exported.
+	JournalCap int
 	// MaxBatch is the micro-batcher flush size (default 32).
 	MaxBatch int
 	// MaxDelay is how long the batcher waits for stragglers after the
@@ -79,6 +90,15 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.NewBaseline == nil {
 		c.NewBaseline = Baselines["tage64"]
+		if c.BaselineName == "" {
+			c.BaselineName = "tage64"
+		}
+	}
+	if c.BaselineName == "" {
+		c.BaselineName = "custom"
+	}
+	if c.JournalCap == 0 {
+		c.JournalCap = 1 << 18
 	}
 	if c.MaxBatch == 0 {
 		c.MaxBatch = 32
@@ -124,6 +144,8 @@ type Stats struct {
 	Flushes          *stats.Counter
 	SessionsCreated  *stats.Counter
 	SessionsEvicted  *stats.Counter
+	SessionsExported *stats.Counter // migration: state handed to another replica
+	SessionsImported *stats.Counter // migration: state received from another replica
 
 	QueueDepth *stats.Gauge
 	Inflight   *stats.Gauge
@@ -150,6 +172,8 @@ func newStats() *Stats {
 		Flushes:          reg.Counter("branchnet_batch_flushes_total"),
 		SessionsCreated:  reg.Counter("branchnet_sessions_created_total"),
 		SessionsEvicted:  reg.Counter("branchnet_sessions_evicted_total"),
+		SessionsExported: reg.Counter("branchnet_sessions_exported_total"),
+		SessionsImported: reg.Counter("branchnet_sessions_imported_total"),
 		QueueDepth:       reg.Gauge("branchnet_queue_depth"),
 		Inflight:         reg.Gauge("branchnet_inflight"),
 		Sessions:         reg.Gauge("branchnet_sessions"),
@@ -175,6 +199,9 @@ type StatsSnapshot struct {
 	Flushes               uint64            `json:"flushes"`
 	SessionsCreated       uint64            `json:"sessions_created"`
 	SessionsEvicted       uint64            `json:"sessions_evicted"`
+	SessionsExported      uint64            `json:"sessions_exported"`
+	SessionsImported      uint64            `json:"sessions_imported"`
+	Draining              bool              `json:"draining"`
 	QueueDepth            int64             `json:"queue_depth"`
 	Inflight              int64             `json:"inflight"`
 	Sessions              int64             `json:"sessions"`
@@ -195,6 +222,8 @@ func (s *Stats) snapshot() StatsSnapshot {
 		Flushes:          s.Flushes.Value(),
 		SessionsCreated:  s.SessionsCreated.Value(),
 		SessionsEvicted:  s.SessionsEvicted.Value(),
+		SessionsExported: s.SessionsExported.Value(),
+		SessionsImported: s.SessionsImported.Value(),
 		QueueDepth:       s.QueueDepth.Value(),
 		Inflight:         s.Inflight.Value(),
 		Sessions:         s.Sessions.Value(),
@@ -220,6 +249,7 @@ type Server struct {
 	mux      *http.ServeMux
 
 	inflight  atomic.Int64
+	draining  atomic.Bool
 	sweepStop chan struct{}
 	sweepDone chan struct{}
 }
@@ -235,7 +265,7 @@ func New(cfg Config) *Server {
 		registry:  NewRegistry(),
 		stats:     st,
 		tracer:    tracer,
-		sessions:  newSessionStore(cfg.MaxSessions, cfg.SessionTTL, cfg.NewBaseline, st),
+		sessions:  newSessionStore(cfg, st),
 		batcher:   NewBatcher(cfg.MaxBatch, cfg.MaxDelay, cfg.QueueLen, st, tracer),
 		mux:       http.NewServeMux(),
 		sweepStop: make(chan struct{}),
@@ -244,15 +274,42 @@ func New(cfg Config) *Server {
 	st.reg.GaugeFunc("branchnet_model_set_version", func() int64 {
 		return s.registry.Current().Version
 	})
+	st.reg.GaugeFunc("branchnet_draining", func() int64 {
+		if s.draining.Load() {
+			return 1
+		}
+		return 0
+	})
 	s.mux.HandleFunc("/v1/predict", s.handlePredict)
 	s.mux.HandleFunc("/v1/reload", s.handleReload)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/drain", s.handleDrain)
+	s.mux.HandleFunc("GET /v1/sessions", s.handleSessionList)
+	s.mux.HandleFunc("POST /v1/sessions", s.handleSessionImport)
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionExport)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.Handle("/metrics", s.MetricsHandler())
 	s.mux.Handle("/debug/spans", tracer.Handler())
 	go s.sweeper()
 	return s
 }
+
+// BeginDrain flips the server into its draining (not-ready) state:
+// /healthz answers 503 so load balancers and the gateway stop routing new
+// sessions here, predict requests that would create a session are
+// refused, and session export stays available so a gateway can migrate
+// the survivors. Existing sessions keep being served — readiness flips
+// strictly before any connection is refused, which is what gives the
+// fleet a window to move state off the replica. Idempotent.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// SessionCount returns the number of live sessions (the drain loop exits
+// early once migration has emptied the store).
+func (s *Server) SessionCount() int { return s.sessions.len() }
 
 // Handler returns the HTTP handler tree.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -337,6 +394,43 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone is fine
 }
 
+// RetryAfterMsHeader is the millisecond-resolution companion to the
+// standard Retry-After header on 429 responses. Retry-After carries whole
+// seconds (rounded up, per RFC 9110), which is too coarse for a
+// micro-batched service whose queue drains in milliseconds; clients that
+// know this service (the gateway, loadgen) prefer the -Ms header and fall
+// back to Retry-After.
+const RetryAfterMsHeader = "Retry-After-Ms"
+
+// write429 answers a 429 with backoff hints. The hint is load-derived:
+// admission and queue rejections clear in roughly a flush interval per
+// queued batch, while a full session table only clears on TTL eviction,
+// so blind client backoff stops being guesswork.
+func (s *Server) write429(w http.ResponseWriter, hint time.Duration, msg string) {
+	if hint < time.Millisecond {
+		hint = time.Millisecond
+	}
+	secs := int64((hint + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	w.Header().Set(RetryAfterMsHeader, strconv.FormatInt(int64(hint/time.Millisecond), 10))
+	s.stats.Rejected.Inc()
+	writeJSON(w, http.StatusTooManyRequests, errorResponse{msg})
+}
+
+// queueRetryHint estimates how long a rejected request should wait for
+// the admission queue to clear: one flush interval per queued batch, plus
+// one for the flush in progress.
+func (s *Server) queueRetryHint() time.Duration {
+	depth := s.stats.QueueDepth.Value()
+	if depth < 0 {
+		depth = 0
+	}
+	return time.Duration(depth+1) * s.cfg.MaxDelay
+}
+
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.stats.Requests.Inc()
@@ -350,8 +444,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	// an unbounded queue.
 	if s.inflight.Add(1) > int64(s.cfg.MaxInflight) {
 		s.inflight.Add(-1)
-		s.stats.Rejected.Inc()
-		writeJSON(w, http.StatusTooManyRequests, errorResponse{"server at capacity"})
+		s.write429(w, s.queueRetryHint(), "server at capacity")
 		return
 	}
 	defer s.inflight.Add(-1)
@@ -379,10 +472,16 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	set := s.registry.Acquire()
 	defer set.Release()
 
-	sess, err := s.sessions.get(req.Session, set)
-	if err != nil {
-		s.stats.Rejected.Inc()
-		writeJSON(w, http.StatusTooManyRequests, errorResponse{err.Error()})
+	// A draining replica refuses to grow new sessions (the gateway has
+	// already re-routed them) but keeps serving — and migrating — the
+	// sessions it still owns.
+	sess, err := s.sessions.get(req.Session, set, !s.draining.Load())
+	switch {
+	case errors.Is(err, ErrUnknownSession):
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{"draining: not accepting new sessions"})
+		return
+	case err != nil:
+		s.write429(w, time.Second, err.Error())
 		return
 	}
 	sess.mu.Lock()
@@ -408,13 +507,13 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		}
 		sess.base.Update(rec.PC, rec.Taken)
 		sess.hist.Push(rec.PC, rec.Taken)
+		sess.record(rec.PC, rec.Taken, s.cfg.JournalCap)
 	}
 	if len(items) > 0 {
 		if err := s.batcher.Submit(ctx, items); err != nil {
 			switch {
 			case errors.Is(err, ErrQueueFull):
-				s.stats.Rejected.Inc()
-				writeJSON(w, http.StatusTooManyRequests, errorResponse{err.Error()})
+				s.write429(w, s.queueRetryHint(), err.Error())
 			case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 				writeJSON(w, http.StatusGatewayTimeout, errorResponse{"deadline exceeded in inference queue"})
 			default:
@@ -512,7 +611,11 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ReloadResponse{Version: set.Version, Models: set.Len(), Source: set.Source})
 }
 
-// HealthResponse is the /healthz reply.
+// HealthResponse is the /healthz reply. Status is "ok" (200) while the
+// server accepts new sessions and "draining" (503) after BeginDrain — the
+// not-ready signal health checkers and the gateway key on. A draining
+// replica still answers /v1/predict for its existing sessions and serves
+// /v1/sessions exports; only readiness is withdrawn.
 type HealthResponse struct {
 	Status   string `json:"status"`
 	Version  int64  `json:"version"`
@@ -522,14 +625,126 @@ type HealthResponse struct {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	set := s.registry.Current()
-	writeJSON(w, http.StatusOK, HealthResponse{
+	resp := HealthResponse{
 		Status:   "ok",
 		Version:  set.Version,
 		Models:   set.Len(),
 		Sessions: s.sessions.len(),
-	})
+	}
+	code := http.StatusOK
+	if s.draining.Load() {
+		resp.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.stats.snapshot())
+	snap := s.stats.snapshot()
+	snap.Draining = s.draining.Load()
+	writeJSON(w, http.StatusOK, snap)
 }
+
+// DrainResponse is the /v1/drain reply: the sessions still owned by the
+// replica at the moment the drain state was entered.
+type DrainResponse struct {
+	Draining bool `json:"draining"`
+	Sessions int  `json:"sessions"`
+}
+
+// handleDrain (POST /v1/drain) flips the replica into its draining state.
+// The gateway calls it before migrating sessions off; the daemon's
+// SIGTERM handler takes the same path.
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST required"})
+		return
+	}
+	s.BeginDrain()
+	writeJSON(w, http.StatusOK, DrainResponse{Draining: true, Sessions: s.sessions.len()})
+}
+
+// SessionListResponse is the GET /v1/sessions reply.
+type SessionListResponse struct {
+	Sessions []string `json:"sessions"`
+	Draining bool     `json:"draining"`
+}
+
+func (s *Server) handleSessionList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, SessionListResponse{
+		Sessions: s.sessions.ids(),
+		Draining: s.draining.Load(),
+	})
+}
+
+// handleSessionExport (GET /v1/sessions/{id}) serializes one session as a
+// BNSS blob. With ?remove=1 the session is deleted after the snapshot —
+// the migration handoff: once the blob is on the wire, this replica no
+// longer owns the session, so a stray later request cannot fork its
+// state. Export works while draining (that is its whole point).
+func (s *Server) handleSessionExport(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	state, err := s.sessions.export(id, s.cfg.BaselineName, r.URL.Query().Get("remove") == "1")
+	switch {
+	case errors.Is(err, ErrUnknownSession):
+		writeJSON(w, http.StatusNotFound, errorResponse{err.Error()})
+		return
+	case errors.Is(err, ErrNotExportable):
+		writeJSON(w, http.StatusConflict, errorResponse{err.Error()})
+		return
+	case err != nil:
+		s.stats.Errors.Inc()
+		writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(EncodeSessionState(state)) //nolint:errcheck // client gone is fine
+}
+
+// SessionImportResponse is the POST /v1/sessions reply.
+type SessionImportResponse struct {
+	Session string `json:"session"`
+	Journal int    `json:"journal"`
+}
+
+// handleSessionImport (POST /v1/sessions) rebuilds a session from a BNSS
+// blob: ring restored verbatim, baseline replayed from the journal.
+// Imports are accepted even while draining is off or on another replica's
+// behalf — but never over a live session id (409) and never under a
+// different baseline preset (409): both would silently break parity.
+func (s *Server) handleSessionImport(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSessionBlobBytes))
+	if err != nil {
+		s.stats.Errors.Inc()
+		writeJSON(w, http.StatusBadRequest, errorResponse{"reading session blob: " + err.Error()})
+		return
+	}
+	state, err := DecodeSessionState(body)
+	if err != nil {
+		s.stats.Errors.Inc()
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	if err := s.sessions.importState(state, s.cfg.BaselineName); err != nil {
+		code := http.StatusConflict
+		if errors.Is(err, ErrTooManySessions) {
+			s.write429(w, time.Second, err.Error())
+			return
+		}
+		writeJSON(w, code, errorResponse{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, SessionImportResponse{Session: state.ID, Journal: len(state.Journal)})
+}
+
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.sessions.remove(r.PathValue("id")); err != nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+// maxSessionBlobBytes bounds an imported session blob: journal cap records
+// at a worst-case ~10 bytes each, plus ring and headers, with headroom.
+const maxSessionBlobBytes = 64 << 20

@@ -2,29 +2,73 @@ package serve
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
 	"branchnet/internal/hybrid"
 	"branchnet/internal/predictor"
 	"branchnet/internal/serve/stats"
+	"branchnet/internal/trace"
 )
 
 // ErrTooManySessions reports that the session table is at capacity; the
 // server maps it to 429 backpressure.
 var ErrTooManySessions = errors.New("serve: session limit reached")
 
+// ErrUnknownSession reports an export/delete of a session id the store
+// does not hold.
+var ErrUnknownSession = errors.New("serve: unknown session")
+
+// ErrNotExportable reports an export of a session whose replay journal
+// was dropped (it outgrew JournalCap), so its baseline state can no
+// longer be reconstructed bit-exactly on another replica.
+var ErrNotExportable = errors.New("serve: session journal dropped; not exportable")
+
+// ErrSessionExists reports an import over an id that is already live —
+// overwriting live state would silently fork a client's history.
+var ErrSessionExists = errors.New("serve: session already exists")
+
 // session is one client's deployment state: a private runtime baseline
 // (TAGE keeps training on every branch, as in Fig. 6) plus the shared
 // token-history ring. The mutex serializes requests for the same session —
 // the Predict/Update contract is sequential per client — while different
 // sessions proceed in parallel and meet only in the micro-batcher.
+//
+// The journal records every resolved branch the session has consumed, in
+// order. Because every baseline predictor is a deterministic state
+// machine driven only by its Predict/Update stream, the journal is an
+// exact serialization of the baseline: replaying it through a fresh
+// baseline instance reproduces the tables, histories, and RNG draws
+// bit-for-bit. That is what makes session migration (export on one
+// replica, import on another) parity-preserving without maintaining a
+// binary codec for every predictor family. Sessions that outgrow the
+// journal cap drop it and keep serving locally; they just stop being
+// migratable.
 type session struct {
 	mu       sync.Mutex
 	base     predictor.Predictor
 	hist     *hybrid.History
 	version  int64 // model-set version whose geometry the ring matches
 	lastUsed time.Time
+
+	journal        []trace.Record
+	journalDropped bool
+}
+
+// record appends one resolved branch to the replay journal, dropping the
+// journal entirely once it exceeds cap (cap <= 0 disables journaling from
+// the start). Callers hold s.mu.
+func (s *session) record(pc uint64, taken bool, cap int) {
+	if s.journalDropped {
+		return
+	}
+	if cap <= 0 || len(s.journal) >= cap {
+		s.journal = nil
+		s.journalDropped = true
+		return
+	}
+	s.journal = append(s.journal, trace.Record{PC: pc, Taken: taken})
 }
 
 // adopt re-shapes the session for a new model-set geometry after a hot
@@ -41,36 +85,47 @@ func (s *session) adopt(set *ModelSet) {
 // sessionStore tracks live sessions with a hard cap (admission control)
 // and idle-TTL eviction.
 type sessionStore struct {
-	mu      sync.Mutex
-	m       map[string]*session
-	max     int
-	ttl     time.Duration
-	newBase func() predictor.Predictor
+	mu         sync.Mutex
+	m          map[string]*session
+	max        int
+	ttl        time.Duration
+	journalCap int
+	newBase    func() predictor.Predictor
 
-	live    *stats.Gauge
-	created *stats.Counter
-	evicted *stats.Counter
+	live     *stats.Gauge
+	created  *stats.Counter
+	evicted  *stats.Counter
+	exported *stats.Counter
+	imported *stats.Counter
 }
 
-func newSessionStore(max int, ttl time.Duration, newBase func() predictor.Predictor, st *Stats) *sessionStore {
+func newSessionStore(cfg Config, st *Stats) *sessionStore {
 	return &sessionStore{
-		m:       make(map[string]*session),
-		max:     max,
-		ttl:     ttl,
-		newBase: newBase,
-		live:    st.Sessions,
-		created: st.SessionsCreated,
-		evicted: st.SessionsEvicted,
+		m:          make(map[string]*session),
+		max:        cfg.MaxSessions,
+		ttl:        cfg.SessionTTL,
+		journalCap: cfg.JournalCap,
+		newBase:    cfg.NewBaseline,
+		live:       st.Sessions,
+		created:    st.SessionsCreated,
+		evicted:    st.SessionsEvicted,
+		exported:   st.SessionsExported,
+		imported:   st.SessionsImported,
 	}
 }
 
 // get returns the named session, creating it against the given model set's
-// geometry on first use.
-func (st *sessionStore) get(id string, set *ModelSet) (*session, error) {
+// geometry on first use. When create is false a missing session returns
+// ErrUnknownSession instead (the draining path: a drained replica must
+// not grow new sessions that the gateway has already re-routed).
+func (st *sessionStore) get(id string, set *ModelSet, create bool) (*session, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	s := st.m[id]
 	if s == nil {
+		if !create {
+			return nil, ErrUnknownSession
+		}
 		if st.max > 0 && len(st.m) >= st.max {
 			return nil, ErrTooManySessions
 		}
@@ -85,6 +140,115 @@ func (st *sessionStore) get(id string, set *ModelSet) (*session, error) {
 	}
 	s.lastUsed = time.Now()
 	return s, nil
+}
+
+// lookup returns the named session without creating it.
+func (st *sessionStore) lookup(id string) *session {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.m[id]
+}
+
+// ids returns the live session ids (unordered).
+func (st *sessionStore) ids() []string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]string, 0, len(st.m))
+	for id := range st.m {
+		out = append(out, id)
+	}
+	return out
+}
+
+// export snapshots the named session's full migratable state — the exact
+// history-ring image plus the baseline replay journal — under the
+// session's own lock, so the snapshot sits on a request boundary. With
+// remove set the session is deleted afterwards (the migration handoff:
+// after a successful export-and-remove the replica no longer owns the
+// session).
+func (st *sessionStore) export(id, baseline string, remove bool) (*SessionState, error) {
+	s := st.lookup(id)
+	if s == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSession, id)
+	}
+	s.mu.Lock()
+	if s.journalDropped {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w (session %q)", ErrNotExportable, id)
+	}
+	view, pcBits, count := s.hist.Snapshot()
+	state := &SessionState{
+		ID:       id,
+		Baseline: baseline,
+		HistView: view,
+		PCBits:   pcBits,
+		Count:    count,
+		Journal:  append([]trace.Record(nil), s.journal...),
+	}
+	s.mu.Unlock()
+	if remove {
+		st.mu.Lock()
+		if st.m[id] == s {
+			delete(st.m, id)
+			st.live.Set(int64(len(st.m)))
+		}
+		st.mu.Unlock()
+	}
+	st.exported.Inc()
+	return state, nil
+}
+
+// importState rebuilds a session from an exported state: the history ring
+// is restored verbatim and the baseline is reconstructed by replaying the
+// journal through a fresh instance (Predict-then-Update per record, the
+// predictor contract), which leaves it bit-identical to the exporting
+// replica's. The session's model-set version is left unset so the first
+// request adopts the importing replica's current geometry — a no-op when
+// both replicas serve the same model files.
+func (st *sessionStore) importState(state *SessionState, baseline string) error {
+	if state.Baseline != baseline {
+		return fmt.Errorf("serve: session %q was exported against baseline %q, this replica runs %q",
+			state.ID, state.Baseline, baseline)
+	}
+	base := st.newBase()
+	for _, r := range state.Journal {
+		base.Predict(r.PC)
+		base.Update(r.PC, r.Taken)
+	}
+	s := &session{
+		base:     base,
+		hist:     hybrid.RestoreHistory(state.HistView, state.PCBits, state.Count),
+		version:  -1,
+		lastUsed: time.Now(),
+		journal:  append([]trace.Record(nil), state.Journal...),
+	}
+	if st.journalCap <= 0 || len(s.journal) >= st.journalCap {
+		s.journal, s.journalDropped = nil, true
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.m[state.ID] != nil {
+		return fmt.Errorf("%w: %q", ErrSessionExists, state.ID)
+	}
+	if st.max > 0 && len(st.m) >= st.max {
+		return ErrTooManySessions
+	}
+	st.m[state.ID] = s
+	st.live.Set(int64(len(st.m)))
+	st.imported.Inc()
+	return nil
+}
+
+// remove deletes the named session.
+func (st *sessionStore) remove(id string) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.m[id] == nil {
+		return fmt.Errorf("%w: %q", ErrUnknownSession, id)
+	}
+	delete(st.m, id)
+	st.live.Set(int64(len(st.m)))
+	return nil
 }
 
 // sweep drops sessions idle longer than the TTL. Sessions currently locked

@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"branchnet/internal/checkpoint"
+	"branchnet/internal/trace"
+)
+
+// Session-state wire format ("BNSS"): the serialized form of one serving
+// session, moved between replicas during drain/failover migration. The
+// blob is a BNCK envelope (magic, kind tag, payload version, IEEE CRC-32
+// over everything — the same crash-safe codec the checkpoint layer uses),
+// so truncation, trailing garbage, kind confusion, and any bit flip are
+// rejected with a field-contextual error before a byte of state is
+// trusted. The payload is:
+//
+//	uvarint len(id)        | id bytes
+//	uvarint len(baseline)  | baseline preset name bytes
+//	uvarint pcBits
+//	uvarint count          — the global branch counter ("last-seen cursor")
+//	uvarint window         | window x uvarint token (most-recent-first ring view)
+//	uvarint n              | n x uvarint pc | ceil(n/8) taken-bitmap bytes
+//
+// The ring view is restored verbatim (token packing included, so even a
+// pre-reload PC-width transient survives the move); the (pc, taken)
+// journal replays through a fresh baseline on import. Versioned under
+// sessionStateVersion: a future payload change bumps it and old blobs are
+// rejected loudly instead of misparsed.
+const (
+	sessionStateKind    = "serve-session"
+	sessionStateVersion = 1
+
+	// Decode-time plausibility caps: a corrupt length field must not force
+	// a large allocation even though the CRC has already passed (the CRC
+	// guards transport, these guard hostile blobs).
+	maxSessionIDLen    = 1024
+	maxBaselineNameLen = 256
+	maxSessionWindow   = 1 << 20
+)
+
+// SessionState is the migratable state of one serving session.
+type SessionState struct {
+	// ID is the session's client-chosen identifier.
+	ID string
+	// Baseline names the baseline preset the session was created under;
+	// import refuses a mismatch (replaying a tage64 journal through a
+	// gshare instance would silently break parity).
+	Baseline string
+	// HistView is the history ring's most-recent-first token view.
+	HistView []uint32
+	// PCBits is the ring's current token PC width.
+	PCBits uint
+	// Count is the global branch counter — the session's last-seen cursor,
+	// which phases the engine's sliding pooling windows.
+	Count uint64
+	// Journal is every resolved branch the session has consumed, in order
+	// (Gap unused). Replaying it through a fresh baseline reproduces the
+	// baseline state bit-for-bit.
+	Journal []trace.Record
+}
+
+// EncodeSessionState serializes st as a BNSS blob.
+func EncodeSessionState(st *SessionState) []byte {
+	n := len(st.Journal)
+	buf := make([]byte, 0, 64+len(st.ID)+len(st.Baseline)+5*len(st.HistView)+9*n+n/8+1)
+	buf = binary.AppendUvarint(buf, uint64(len(st.ID)))
+	buf = append(buf, st.ID...)
+	buf = binary.AppendUvarint(buf, uint64(len(st.Baseline)))
+	buf = append(buf, st.Baseline...)
+	buf = binary.AppendUvarint(buf, uint64(st.PCBits))
+	buf = binary.AppendUvarint(buf, st.Count)
+	buf = binary.AppendUvarint(buf, uint64(len(st.HistView)))
+	for _, tok := range st.HistView {
+		buf = binary.AppendUvarint(buf, uint64(tok))
+	}
+	buf = binary.AppendUvarint(buf, uint64(n))
+	for i := range st.Journal {
+		buf = binary.AppendUvarint(buf, st.Journal[i].PC)
+	}
+	var bits byte
+	for i := range st.Journal {
+		if st.Journal[i].Taken {
+			bits |= 1 << (i % 8)
+		}
+		if i%8 == 7 {
+			buf = append(buf, bits)
+			bits = 0
+		}
+	}
+	if n%8 != 0 {
+		buf = append(buf, bits)
+	}
+	return checkpoint.Encode(sessionStateKind, sessionStateVersion, buf)
+}
+
+// DecodeSessionState parses a BNSS blob, rejecting torn, corrupt, or
+// implausible payloads with a wrapped error naming the failing field. It
+// never panics on hostile input (see FuzzDecodeSessionState).
+func DecodeSessionState(data []byte) (*SessionState, error) {
+	version, payload, err := checkpoint.Decode(data, sessionStateKind)
+	if err != nil {
+		return nil, fmt.Errorf("serve: session state: %w", err)
+	}
+	if version != sessionStateVersion {
+		return nil, fmt.Errorf("serve: session state: payload version %d, want %d", version, sessionStateVersion)
+	}
+	d := stateDecoder{rest: payload}
+	st := &SessionState{}
+	st.ID = d.str("session id", maxSessionIDLen)
+	st.Baseline = d.str("baseline name", maxBaselineNameLen)
+	st.PCBits = uint(d.uvarint("pc bits"))
+	st.Count = d.uvarint("branch counter")
+	window := d.uvarint("history window")
+	if d.err == nil && (window == 0 || window > maxSessionWindow) {
+		d.err = fmt.Errorf("implausible history window %d", window)
+	}
+	if d.err == nil {
+		st.HistView = make([]uint32, window)
+		for i := range st.HistView {
+			tok := d.uvarint("history token")
+			if tok > 1<<32-1 {
+				d.fail("history token", fmt.Errorf("token %#x overflows uint32", tok))
+				break
+			}
+			st.HistView[i] = uint32(tok)
+		}
+	}
+	n := d.uvarint("journal length")
+	// Each journal pc takes at least one byte, so n can never legitimately
+	// exceed the bytes remaining — checked before the allocation.
+	if d.err == nil && n > uint64(len(d.rest)) {
+		d.err = fmt.Errorf("implausible journal length %d with %d bytes remaining", n, len(d.rest))
+	}
+	if d.err == nil {
+		st.Journal = make([]trace.Record, n)
+		for i := range st.Journal {
+			st.Journal[i].PC = d.uvarint("journal pc")
+		}
+		bitmap := d.bytes("journal direction bitmap", (int(n)+7)/8)
+		for i := range st.Journal {
+			if d.err == nil && bitmap[i/8]&(1<<(i%8)) != 0 {
+				st.Journal[i].Taken = true
+			}
+		}
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("serve: session state: %w", d.err)
+	}
+	if len(d.rest) != 0 {
+		return nil, fmt.Errorf("serve: session state: %d bytes of trailing garbage", len(d.rest))
+	}
+	return st, nil
+}
+
+// stateDecoder is a cursor over the payload with sticky error handling —
+// the first failing field wins and later reads become no-ops.
+type stateDecoder struct {
+	rest []byte
+	err  error
+}
+
+func (d *stateDecoder) fail(field string, err error) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%s: %w", field, err)
+	}
+}
+
+func (d *stateDecoder) uvarint(field string) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.rest)
+	if n <= 0 {
+		d.fail(field, fmt.Errorf("truncated varint"))
+		return 0
+	}
+	d.rest = d.rest[n:]
+	return v
+}
+
+func (d *stateDecoder) bytes(field string, n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(d.rest) {
+		d.fail(field, fmt.Errorf("need %d bytes, have %d", n, len(d.rest)))
+		return nil
+	}
+	b := d.rest[:n]
+	d.rest = d.rest[n:]
+	return b
+}
+
+func (d *stateDecoder) str(field string, max int) string {
+	n := d.uvarint(field + " length")
+	if d.err == nil && n > uint64(max) {
+		d.fail(field, fmt.Errorf("implausible length %d", n))
+	}
+	return string(d.bytes(field, int(n)))
+}

@@ -1,0 +1,252 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"branchnet/internal/trace"
+)
+
+// drive replays recs against one server session in fixed-size chunks and
+// returns every served prediction, failing the test on any non-200.
+func drive(t *testing.T, baseURL, sessID string, recs []trace.Record, chunk int) []bool {
+	t.Helper()
+	var preds []bool
+	for off := 0; off < len(recs); off += chunk {
+		end := off + chunk
+		if end > len(recs) {
+			end = len(recs)
+		}
+		req := PredictRequest{Session: sessID, Records: make([]RecordJSON, end-off)}
+		for i, r := range recs[off:end] {
+			req.Records[i] = RecordJSON{PC: r.PC, Taken: r.Taken}
+		}
+		code, resp := postPredict(t, baseURL, req)
+		if code != http.StatusOK {
+			t.Fatalf("predict chunk at %d: status %d", off, code)
+		}
+		preds = append(preds, resp.Predictions...)
+	}
+	return preds
+}
+
+func exportSession(t *testing.T, baseURL, sessID string, remove bool) []byte {
+	t.Helper()
+	url := baseURL + "/v1/sessions/" + sessID
+	if remove {
+		url += "?remove=1"
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("export %s: status %d: %s", sessID, resp.StatusCode, blob)
+	}
+	return blob
+}
+
+func importSession(t *testing.T, baseURL string, blob []byte) {
+	t.Helper()
+	resp, err := http.Post(baseURL+"/v1/sessions", "application/octet-stream", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("import: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// randomTrace builds a random trace over a small PC population so
+// attached models get hits.
+func randomTrace(seed int64, n int) *trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	pcs := []uint64{0x40, 0x44, 0x80, 0x100, 0x1c4, 0x210}
+	recs := make([]trace.Record, n)
+	for i := range recs {
+		recs[i] = trace.Record{PC: pcs[rng.Intn(len(pcs))], Taken: rng.Intn(2) == 0}
+	}
+	return &trace.Trace{Records: recs}
+}
+
+// TestSessionExportImportBitIdentical is the migration property test:
+// over random histories, a session exported mid-stream and imported on a
+// second server continues with predictions bit-identical to the original
+// session that never moved. Both the history ring image and the
+// journal-replayed baseline have to be exact for this to hold.
+func TestSessionExportImportBitIdentical(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			tr := randomTrace(seed, 1200)
+			_, tsA := newTestServer(t, Config{}, testModels(tr, 3))
+			_, tsB := newTestServer(t, Config{}, testModels(tr, 3))
+
+			half := len(tr.Records) / 2
+			drive(t, tsA.URL, "rt", tr.Records[:half], 97)
+
+			blob := exportSession(t, tsA.URL, "rt", false) // A keeps its copy
+			importSession(t, tsB.URL, blob)
+
+			stayed := drive(t, tsA.URL, "rt", tr.Records[half:], 97)
+			moved := drive(t, tsB.URL, "rt", tr.Records[half:], 97)
+			if !reflect.DeepEqual(stayed, moved) {
+				t.Fatalf("seed %d: migrated session diverged from the original", seed)
+			}
+		})
+	}
+}
+
+// TestSessionMigrationContinuesExactly is the end-to-end handoff: first
+// half served by A, export-and-remove, import on B, second half served by
+// B — and the concatenation matches the in-process parity reference for
+// the whole trace.
+func TestSessionMigrationContinuesExactly(t *testing.T) {
+	tr := testTrace(2000)
+	modelsA := testModels(tr, 3)
+	sA, tsA := newTestServer(t, Config{}, modelsA)
+	sB, tsB := newTestServer(t, Config{}, testModels(tr, 3))
+	expected := ExpectedPredictions(testBaseline, modelsA, tr)
+
+	half := len(tr.Records) / 2
+	first := drive(t, tsA.URL, "mig", tr.Records[:half], 64)
+
+	blob := exportSession(t, tsA.URL, "mig", true)
+	if n := sA.SessionCount(); n != 0 {
+		t.Fatalf("export?remove=1 left %d sessions on A", n)
+	}
+	importSession(t, tsB.URL, blob)
+	second := drive(t, tsB.URL, "mig", tr.Records[half:], 64)
+
+	got := append(first, second...)
+	for i := range expected {
+		if got[i] != expected[i] {
+			t.Fatalf("prediction %d diverged after migration (before/after handoff at %d)", i, half)
+		}
+	}
+	if sA.Stats().SessionsExported.Value() != 1 || sB.Stats().SessionsImported.Value() != 1 {
+		t.Fatalf("migration counters: exported=%d imported=%d, want 1/1",
+			sA.Stats().SessionsExported.Value(), sB.Stats().SessionsImported.Value())
+	}
+}
+
+// TestSessionImportRejectsBaselineMismatch: replaying a journal through a
+// different baseline family would silently break parity, so the import
+// must refuse.
+func TestSessionImportRejectsBaselineMismatch(t *testing.T) {
+	tr := testTrace(200)
+	_, tsA := newTestServer(t, Config{}, nil) // BaselineName "custom"
+	drive(t, tsA.URL, "bm", tr.Records, 64)
+	blob := exportSession(t, tsA.URL, "bm", false)
+
+	sB := New(Config{}) // defaults: tage64
+	tsB := httptest.NewServer(sB.Handler())
+	defer func() { tsB.Close(); sB.Drain() }()
+	resp, err := http.Post(tsB.URL+"/v1/sessions", "application/octet-stream", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("baseline-mismatch import: status %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestSessionImportRejectsLiveID: importing over a live session would
+// fork a client's history.
+func TestSessionImportRejectsLiveID(t *testing.T) {
+	tr := testTrace(200)
+	_, ts := newTestServer(t, Config{}, nil)
+	drive(t, ts.URL, "dup", tr.Records, 64)
+	blob := exportSession(t, ts.URL, "dup", false)
+	resp, err := http.Post(ts.URL+"/v1/sessions", "application/octet-stream", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("import over live id: status %d, want 409", resp.StatusCode)
+	}
+}
+
+func testSessionState() *SessionState {
+	return &SessionState{
+		ID:       "sess-7",
+		Baseline: "custom",
+		HistView: []uint32{9, 8, 7, 6, 5},
+		PCBits:   12,
+		Count:    99,
+		Journal: []trace.Record{
+			{PC: 0x40, Taken: true},
+			{PC: 0x44},
+			{PC: 0x1c4, Taken: true},
+		},
+	}
+}
+
+func TestSessionStateCodecRoundTrip(t *testing.T) {
+	st := testSessionState()
+	got, err := DecodeSessionState(EncodeSessionState(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st, got) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, st)
+	}
+}
+
+// TestSessionStateCodecRejects: every truncation, every flipped byte, and
+// trailing garbage must be rejected — a torn or corrupted migration blob
+// must never import as plausible state.
+func TestSessionStateCodecRejects(t *testing.T) {
+	blob := EncodeSessionState(testSessionState())
+	for n := 0; n < len(blob); n++ {
+		if _, err := DecodeSessionState(blob[:n]); err == nil {
+			t.Fatalf("truncation to %d/%d bytes accepted", n, len(blob))
+		}
+	}
+	for i := range blob {
+		mut := append([]byte(nil), blob...)
+		mut[i] ^= 0x10
+		if _, err := DecodeSessionState(mut); err == nil {
+			t.Fatalf("corrupted byte %d accepted", i)
+		}
+	}
+	if _, err := DecodeSessionState(append(append([]byte(nil), blob...), 0)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+// FuzzDecodeSessionState: the decoder must never panic on hostile bytes,
+// and anything it does accept must round-trip through the encoder.
+func FuzzDecodeSessionState(f *testing.F) {
+	f.Add(EncodeSessionState(testSessionState()))
+	f.Add(EncodeSessionState(&SessionState{ID: "x", Baseline: "tage64", HistView: []uint32{0}, PCBits: 1}))
+	f.Add([]byte{})
+	f.Add([]byte("BNCK garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := DecodeSessionState(data)
+		if err != nil {
+			return
+		}
+		st2, err := DecodeSessionState(EncodeSessionState(st))
+		if err != nil {
+			t.Fatalf("accepted blob failed to re-encode: %v", err)
+		}
+		if !reflect.DeepEqual(st, st2) {
+			t.Fatalf("re-encode changed state:\n got %+v\nwant %+v", st2, st)
+		}
+	})
+}

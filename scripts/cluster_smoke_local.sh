@@ -1,0 +1,28 @@
+#!/bin/sh
+# Local driver for the ci.sh cluster smoke: 2 replicas + gateway, one
+# replica SIGTERMed mid-run, result merged into BENCH_serve.json.
+set -eux
+smoke=$(mktemp -d)
+trap 'rm -rf "$smoke"' EXIT
+cd /root/repo
+go build -o "$smoke" ./cmd/branchnet-serve ./cmd/branchnet-loadgen ./cmd/branchnet-gateway
+"$smoke/branchnet-loadgen" -bench mcf -branches 6000 -synth 3 -write-synth "$smoke/models.bnm"
+"$smoke/branchnet-serve" -addr 127.0.0.1:0 -addr-file "$smoke/r1.addr" \
+    -models "$smoke/models.bnm" -drain-grace 10s &
+r1_pid=$!
+"$smoke/branchnet-serve" -addr 127.0.0.1:0 -addr-file "$smoke/r2.addr" \
+    -models "$smoke/models.bnm" -drain-grace 10s &
+r2_pid=$!
+"$smoke/branchnet-gateway" -addr 127.0.0.1:0 -addr-file "$smoke/gw.addr" \
+    -replicas "@$smoke/r1.addr,@$smoke/r2.addr" -health-interval 100ms &
+gw_pid=$!
+"$smoke/branchnet-loadgen" -addr-file "$smoke/gw.addr" -wait 10s \
+    -bench mcf -branches 6000 -models "$smoke/models.bnm" \
+    -cluster -sessions 8 -duration 2s \
+    -kill-after 700ms -kill-pid "$r1_pid" -expect-migrated \
+    -json "$smoke/BENCH_gateway.json" -merge-bench /root/repo/BENCH_serve.json
+wait "$r1_pid"
+# SIGINT skips the survivor's drain-grace (no gateway left to migrate to).
+kill -TERM "$gw_pid"
+kill -INT "$r2_pid"
+wait "$gw_pid" "$r2_pid"
