@@ -33,6 +33,14 @@ go test -race ./internal/checkpoint ./internal/faults ./internal/serve
 go test -fuzz FuzzReadCheckpoint -fuzztime 10s ./internal/checkpoint
 go test -fuzz FuzzReadModels -fuzztime 10s ./internal/engine
 go test -fuzz FuzzDecodeSessionState -fuzztime 10s ./internal/serve
+go test -fuzz FuzzReadTrace -fuzztime 10s ./internal/trace
+go test -fuzz FuzzStoreIndex -fuzztime 10s ./internal/branchnet
+
+# Streaming-pipeline gate: the stream-extracted example store and the
+# windowed-shuffle trainer must stay bit-identical to the in-memory
+# oracle (dataset pins, worker-count independence, fixed-seed train
+# comparison, checkpoint/resume on the streamed path).
+go test -race -count=1 -run 'TestExtractStream|TestStreamDataset|TestStoreRejects|TestTrainStream' ./internal/branchnet
 
 # Bit-sliced engine gate: the packed fast path must stay bit-identical to
 # the scalar oracle — property tests under the race detector (packing is
@@ -51,9 +59,10 @@ go test -count=1 -run 'TestFoldThresholdBoundary|TestCalibrationMatchesRuntimeWi
 go test -run TestNoRawLogPrintOutsideObs -count=1 ./internal/obs/obscheck
 go test -run 'TestObsOverhead|TestObsHooks' -count=1 ./internal/branchnet
 
-# Benchmark smoke gate: one iteration of every kernel and train-step
-# benchmark, so the perf harness can't silently rot. Throughput numbers
-# from -benchtime=1x are meaningless; this only checks they still run.
+# Benchmark smoke gate: one iteration of every kernel, train-step, and
+# extraction benchmark, so the perf harness can't silently rot.
+# Throughput numbers from -benchtime=1x are meaningless; this only
+# checks they still run.
 go test -run xxx -bench . -benchtime 1x ./internal/nn ./internal/branchnet
 
 # Serving smoke test: build deterministic synthetic models from a trace,
@@ -105,3 +114,16 @@ wait "$r1_pid" # drained replica exits on its own once it owns no sessions
 kill -TERM "$gw_pid"
 kill -INT "$r2_pid"
 wait "$gw_pid" "$r2_pid"
+
+# Bounded-memory streaming smoke: stream a 100M-branch trace to disk,
+# stream-extract it into a sharded example store, and train two branches
+# from the store — all under a 256 MiB GOMEMLIMIT. The in-memory path
+# would need ~2.4 GB just for the decoded []Record, so completing under
+# this limit proves the whole tracegen -> ExtractStream -> TrainStream
+# pipeline runs on memory independent of trace length.
+go build -o "$smoke" ./cmd/tracegen ./cmd/branchnet-train
+GOMEMLIMIT=256MiB "$smoke/tracegen" -bench leela -split train \
+    -branches 100000000 -stream -out "$smoke/big.bnt"
+GOMEMLIMIT=256MiB "$smoke/branchnet-train" -stream-trace "$smoke/big.bnt" \
+    -store-dir "$smoke/big.store" -model mini-1kb -epochs 1 -examples 2000 \
+    -stream-pcs 0x2024,0x2700

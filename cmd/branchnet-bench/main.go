@@ -14,6 +14,9 @@
 // best of -bench-reps runs) at the paper's table geometries and writes
 // the numbers — with speedups against the recorded scalar evaluator —
 // to -serve-out.
+// -bench-extract measures streamed example-store extraction (records/s,
+// examples/s, peak live heap) against the in-memory pipeline and writes
+// the numbers — seed-relative — to -extract-out.
 // -cpuprofile/-memprofile capture runtime/pprof profiles of any mode.
 //
 // Without -fig/-table/-all it prints the static tables (I, II, III), which
@@ -71,7 +74,10 @@ func main() {
 	benchOut := flag.String("bench-out", "BENCH_train.json", "output file for -bench-train")
 	benchServe := flag.Bool("bench-serve", false, "measure PredictBatch serving throughput and write -serve-out")
 	serveOut := flag.String("serve-out", "BENCH_serve.json", "output file for -bench-serve")
-	benchReps := flag.Int("bench-reps", 9, "best-of repetition count for -bench-serve (rejects shared-machine noise)")
+	benchExtract := flag.Bool("bench-extract", false, "measure streamed vs in-memory extraction throughput and write -extract-out")
+	extractOut := flag.String("extract-out", "BENCH_extract.json", "output file for -bench-extract")
+	extractRecords := flag.Int("extract-records", 2_000_000, "trace length (branch records) for -bench-extract")
+	benchReps := flag.Int("bench-reps", 9, "best-of repetition count for -bench-serve and -bench-extract (rejects shared-machine noise)")
 	checkpointDir := flag.String("checkpoint-dir", "", "directory for crash-safe training snapshots; rerunning the same invocation over it skips finished work and resumes bit-identical")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "mid-epoch snapshot cadence in optimizer steps (0 = epoch boundaries only; needs -checkpoint-dir)")
 	faultSpec := flag.String("faults", "", "deterministic fault-injection spec, e.g. 'checkpoint.rename:kill@3;seed=1' (chaos testing)")
@@ -201,6 +207,18 @@ func main() {
 	}
 
 	switch {
+	case *benchExtract:
+		start := time.Now()
+		report, tbl := experiments.ExtractBench(*extractRecords, *benchReps)
+		fmt.Println(tbl.String())
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			log.Fatalf("encoding %s: %v", *extractOut, err)
+		}
+		if err := os.WriteFile(*extractOut, append(data, '\n'), 0o644); err != nil {
+			log.Fatalf("writing %s: %v", *extractOut, err)
+		}
+		slog.Info("bench-extract done", "elapsed", time.Since(start).Round(time.Millisecond).String(), "out", *extractOut)
 	case *benchServe:
 		start := time.Now()
 		report, tbl := experiments.ServeBench(*benchReps)

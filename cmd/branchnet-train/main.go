@@ -7,6 +7,13 @@
 //
 //	branchnet-train -bench leela -model mini-1kb
 //	branchnet-train -bench mcf -model big -models 8 -baseline mtage
+//	branchnet-train -stream-trace huge.bnt -store-dir huge.store -model mini-1kb
+//
+// -stream-trace switches to the bounded-memory pipeline: the BNT1 trace
+// is stream-extracted into a sharded example store (never decoded into
+// memory) and one model per selected branch is trained straight from
+// the store — traces far larger than RAM train on a fixed budget, with
+// results bit-identical to the in-memory trainer.
 package main
 
 import (
@@ -17,6 +24,10 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -81,6 +92,9 @@ func main() {
 	trainLen := flag.Int("trainlen", 300000, "branches per training input trace")
 	evalLen := flag.Int("evallen", 150000, "branches per validation/test trace")
 	out := flag.String("out", "", "write the attached quantized models to this .bnm file")
+	streamTrace := flag.String("stream-trace", "", "streaming mode: extract this BNT1 trace into an example store and train from it on bounded memory (bypasses the in-memory offline pipeline)")
+	storeDir := flag.String("store-dir", "", "example-store directory for -stream-trace (a valid store there is reused; default <trace>.store)")
+	streamPCs := flag.String("stream-pcs", "", "comma-separated branch PCs to train in streaming mode, hex accepted (default: the -top most-executed branches)")
 	checkpointDir := flag.String("checkpoint-dir", "", "directory for crash-safe per-branch snapshots; rerunning with the same directory resumes and finishes bit-identical")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "mid-epoch snapshot cadence in optimizer steps (0 = epoch boundaries only; needs -checkpoint-dir)")
 	faultSpec := flag.String("faults", "", "deterministic fault-injection spec, e.g. 'checkpoint.rename:kill@3;seed=1' (chaos testing)")
@@ -112,11 +126,46 @@ func main() {
 	}
 	defer stopProfiles()
 
+	knobs := knobsFor(*model)
+
+	// SIGTERM/SIGINT request a graceful stop in both modes: in-flight
+	// branch trainings persist a final snapshot, then the process exits
+	// resumable.
+	var stop atomic.Bool
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	go func() {
+		s := <-sigc
+		slog.Warn("signal received: checkpointing and stopping", "signal", s.String())
+		stop.Store(true)
+		signal.Stop(sigc) // a second signal kills immediately
+	}()
+
+	if *streamTrace != "" {
+		code := runStream(streamConfig{
+			tracePath: *streamTrace,
+			storeDir:  *storeDir,
+			pcsSpec:   *streamPCs,
+			knobs:     knobs,
+			top:       *topBranches,
+			epochs:    *epochs,
+			examples:  *examples,
+			ckDir:     *checkpointDir,
+			ckEvery:   *checkpointEvery,
+			stop:      &stop,
+			faults:    injector,
+		})
+		writeMetrics()
+		if code != 0 {
+			os.Exit(code)
+		}
+		return
+	}
+
 	p := bench.ByName(*benchName)
 	if p == nil {
 		log.Fatalf("unknown benchmark %q", *benchName)
 	}
-	knobs := knobsFor(*model)
 	newBase := baselineFor(*baseline)
 
 	start := time.Now()
@@ -140,18 +189,7 @@ func main() {
 	cfg.CheckpointEvery = *checkpointEvery
 	cfg.Faults = injector
 
-	// SIGTERM/SIGINT request a graceful stop: in-flight branch trainings
-	// persist a final snapshot, then the process exits resumable.
-	var stop atomic.Bool
 	cfg.Stop = &stop
-	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
-	go func() {
-		s := <-sigc
-		slog.Warn("signal received: checkpointing and stopping", "signal", s.String())
-		stop.Store(true)
-		signal.Stop(sigc) // a second signal kills immediately
-	}()
 
 	start = time.Now()
 	models, err := branchnet.TrainOfflineChecked(cfg, trainTraces, validTrace, newBase, nil)
@@ -210,4 +248,170 @@ func main() {
 		fmt.Printf("test %-12s baseline MPKI %.3f -> hybrid %.3f (%.1f%% reduction)\n",
 			in.Name, baseMPKI, hybMPKI, 100*(baseMPKI-hybMPKI)/baseMPKI)
 	}
+}
+
+// streamConfig carries the -stream-trace mode's inputs.
+type streamConfig struct {
+	tracePath string
+	storeDir  string
+	pcsSpec   string
+	knobs     branchnet.Knobs
+	top       int
+	epochs    int
+	examples  int
+	ckDir     string
+	ckEvery   int
+	stop      *atomic.Bool
+	faults    *faults.Injector
+}
+
+// parsePCs splits a comma-separated PC list (hex or decimal).
+func parsePCs(spec string) []uint64 {
+	var pcs []uint64
+	for _, f := range strings.Split(spec, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		pc, err := strconv.ParseUint(f, 0, 64)
+		if err != nil {
+			log.Fatalf("-stream-pcs: bad PC %q: %v", f, err)
+		}
+		pcs = append(pcs, pc)
+	}
+	return pcs
+}
+
+// profileStream streams the trace once, counting every branch's
+// executions, and returns the n most-executed PCs with their counts.
+func profileStream(path string, n int) ([]uint64, map[uint64]uint64) {
+	r, err := trace.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer r.Close()
+	freq := map[uint64]uint64{}
+	var records uint64
+	for r.Next() {
+		freq[r.Record().PC]++
+		records++
+	}
+	if err := r.Err(); err != nil {
+		log.Fatalf("profiling %s: %v", path, err)
+	}
+	pcs := make([]uint64, 0, len(freq))
+	for pc := range freq {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool {
+		if freq[pcs[i]] != freq[pcs[j]] {
+			return freq[pcs[i]] > freq[pcs[j]]
+		}
+		return pcs[i] < pcs[j]
+	})
+	if len(pcs) > n {
+		pcs = pcs[:n]
+	}
+	counts := make(map[uint64]uint64, len(pcs))
+	for _, pc := range pcs {
+		counts[pc] = freq[pc]
+	}
+	slog.Info("trace profiled", "records", records, "static_branches", len(freq), "selected", len(pcs))
+	return pcs, counts
+}
+
+// runStream is the -stream-trace pipeline: extract the trace into a
+// sharded example store (or reuse a valid one) and train one model per
+// branch straight from the store. Memory stays bounded by the
+// extraction block budget and the trainer's prefetch window — never by
+// the trace length. Returns the process exit code (3 = stopped but
+// resumable, matching the offline pipeline).
+func runStream(cfg streamConfig) int {
+	window := cfg.knobs.WindowTokens()
+	storeDir := cfg.storeDir
+	if storeDir == "" {
+		storeDir = cfg.tracePath + ".store"
+	}
+
+	start := time.Now()
+	st, err := branchnet.OpenStore(storeDir)
+	if err == nil {
+		slog.Info("existing store reused", "dir", storeDir, "branches", len(st.PCs()))
+	} else {
+		if !errors.Is(err, os.ErrNotExist) {
+			log.Fatalf("opening store %s: %v (delete the directory to re-extract)", storeDir, err)
+		}
+		pcs := parsePCs(cfg.pcsSpec)
+		var counts map[uint64]uint64
+		if len(pcs) == 0 {
+			pcs, counts = profileStream(cfg.tracePath, cfg.top)
+		}
+		st, err = branchnet.ExtractStreamFile(cfg.tracePath, pcs, window, cfg.knobs.PCBits, storeDir,
+			branchnet.StoreOpts{MaxPerPC: cfg.examples, Counts: counts})
+		if err != nil {
+			log.Fatalf("streaming extraction: %v", err)
+		}
+		slog.Info("trace extracted", "dir", storeDir, "branches", len(st.PCs()),
+			"elapsed", time.Since(start).Round(time.Millisecond).String())
+	}
+	defer st.Close()
+	if st.Window() != window || st.PCBits() != cfg.knobs.PCBits {
+		log.Fatalf("store %s holds window %d / pc bits %d examples; model needs %d / %d (delete the store or match -model)",
+			storeDir, st.Window(), st.PCBits(), window, cfg.knobs.PCBits)
+	}
+
+	opts := branchnet.DefaultTrainOpts()
+	opts.Epochs = cfg.epochs
+	opts.MaxExamples = cfg.examples
+	if cfg.ckDir != "" {
+		if err := os.MkdirAll(cfg.ckDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Train the requested PCs (all stored branches by default; an
+	// explicit -stream-pcs list narrows a reused store to a subset).
+	trainPCs := st.PCs()
+	if want := parsePCs(cfg.pcsSpec); len(want) > 0 {
+		trainPCs = nil
+		for _, pc := range want {
+			if st.NumExamples(pc) == 0 {
+				log.Fatalf("store %s holds no examples for pc %#x (delete the store to re-extract)", storeDir, pc)
+			}
+			trainPCs = append(trainPCs, pc)
+		}
+	}
+
+	start = time.Now()
+	trained := 0
+	for _, pc := range trainPCs {
+		sd, err := st.Dataset(pc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		o := opts
+		if cfg.ckDir != "" {
+			o.Checkpoint = &branchnet.TrainCheckpoint{
+				Path:         filepath.Join(cfg.ckDir, fmt.Sprintf("stream-%x.ckpt", pc)),
+				EveryBatches: cfg.ckEvery,
+				Stop:         cfg.stop,
+				Faults:       cfg.faults,
+			}
+		}
+		m := branchnet.New(cfg.knobs, pc, opts.Seed)
+		loss, err := m.TrainStream(sd, o)
+		if errors.Is(err, branchnet.ErrStopped) {
+			slog.Warn("stopped; state checkpointed — rerun with the same flags to resume",
+				"dir", cfg.ckDir, "elapsed", time.Since(start).Round(time.Millisecond).String())
+			return 3
+		}
+		if err != nil {
+			log.Fatalf("training %#x from store: %v", pc, err)
+		}
+		fmt.Printf("  pc=%#06x examples %d loss %.4f\n", pc, sd.Len(), loss)
+		trained++
+	}
+	slog.Info("streamed training done", "branches", trained,
+		"elapsed", time.Since(start).Round(time.Millisecond).String())
+	return 0
 }

@@ -32,6 +32,7 @@ func main() {
 	branches := flag.Int("branches", 500000, "branch records to generate")
 	out := flag.String("out", "", "output trace file (default <bench>-<split>.bnt)")
 	simpoints := flag.Int("simpoints", 0, "select up to K SimPoint regions instead of the full trace")
+	stream := flag.Bool("stream", false, "stream records to the output file with O(1) memory (for traces too big for RAM; incompatible with -simpoints)")
 	list := flag.Bool("list", false, "list benchmarks and inputs")
 	logf := obs.NewLogFlags()
 	flag.Parse()
@@ -71,6 +72,34 @@ func main() {
 		log.Fatalf("input index %d out of range (split has %d inputs)", *input, len(ins))
 	}
 	in := ins[*input]
+
+	if *stream {
+		if *simpoints > 0 {
+			log.Fatal("-stream cannot be combined with -simpoints (region selection needs the whole trace)")
+		}
+		path := *out
+		if path == "" {
+			path = fmt.Sprintf("%s-%s.bnt", p.Name, *split)
+		}
+		w, err := trace.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		records, err := p.GenerateStream(w, in, *branches)
+		if err == nil {
+			err = w.Close()
+		}
+		if err != nil {
+			log.Fatalf("streaming %s: %v", path, err)
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		slog.Info("trace streamed", "path", path, "records", records,
+			"kb", fmt.Sprintf("%.1f", float64(fi.Size())/1024))
+		return
+	}
 
 	tr := p.Generate(in, *branches)
 	slog.Info("trace generated", "bench", p.Name, "input", in.Name,

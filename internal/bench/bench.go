@@ -98,6 +98,19 @@ func (p *Program) Generate(in Input, branches int) *trace.Trace {
 	return col.Trace()
 }
 
+// GenerateStream is Generate writing straight into a streamed BNT1
+// encoder: the same program, seeding, and record sequence (a streamed
+// trace decodes bit-identical to Generate's), but O(1) memory no matter
+// how many branches are requested. Returns the record count.
+func (p *Program) GenerateStream(w *trace.Writer, in Input, branches int) (uint64, error) {
+	sc := trace.NewStreamCollector(w, branches)
+	c := &Ctx{E: sc, Rng: rand.New(rand.NewSource(mix(in.Seed, int64(len(p.Name)))))}
+	for !sc.Full() {
+		p.run(c, in)
+	}
+	return w.Records(), w.Flush()
+}
+
 // Run executes one unit of the program against an arbitrary emitter (used by
 // the pipeline model to drive cycle simulation without materializing a
 // trace).

@@ -2,6 +2,7 @@ package branchnet
 
 import (
 	"math/rand"
+	"sort"
 
 	"branchnet/internal/trace"
 )
@@ -56,37 +57,26 @@ func Extract(tr *trace.Trace, pcs []uint64, window int, pcBits uint) map[uint64]
 
 // ExtractCapped is Extract with an optional per-branch example cap
 // (maxPerPC <= 0 means unlimited). When a branch executes more often than
-// the cap, its dynamic instances are sampled at a deterministic stride so
-// the kept examples still span the whole trace. Capping bounds both memory
-// (window tokens per example) and downstream training cost.
+// the cap, its dynamic instances are sampled deterministically and evenly
+// so exactly maxPerPC kept examples span the whole trace. Capping bounds
+// both memory (window tokens per example) and downstream training cost.
 func ExtractCapped(tr *trace.Trace, pcs []uint64, window int, pcBits uint, maxPerPC int) map[uint64]*Dataset {
 	want := make(map[uint64]*Dataset, len(pcs))
-	stride := make(map[uint64]int, len(pcs))
+	total := make(map[uint64]uint64, len(pcs))
 	seen := make(map[uint64]int, len(pcs))
 	if maxPerPC > 0 {
-		// Pre-count executions to derive per-branch sampling strides.
-		counts := make(map[uint64]uint64, len(pcs))
+		// Pre-count executions so sampling knows each branch's span.
 		for _, pc := range pcs {
-			counts[pc] = 0
+			total[pc] = 0
 		}
 		for i := range tr.Records {
-			if _, ok := counts[tr.Records[i].PC]; ok {
-				counts[tr.Records[i].PC]++
+			if _, ok := total[tr.Records[i].PC]; ok {
+				total[tr.Records[i].PC]++
 			}
-		}
-		for pc, n := range counts {
-			s := int(n) / maxPerPC
-			if s < 1 {
-				s = 1
-			}
-			stride[pc] = s
 		}
 	}
 	for _, pc := range pcs {
 		want[pc] = &Dataset{PC: pc, Window: window}
-		if maxPerPC <= 0 {
-			stride[pc] = 1
-		}
 	}
 	ring := make([]uint32, window)
 	pos := 0 // next write slot; ring[pos-1] is the most recent token
@@ -94,7 +84,7 @@ func ExtractCapped(tr *trace.Trace, pcs []uint64, window int, pcBits uint, maxPe
 		r := &tr.Records[i]
 		if ds, ok := want[r.PC]; ok {
 			seen[r.PC]++
-			if (seen[r.PC]-1)%stride[r.PC] == 0 &&
+			if keepSampled(uint64(seen[r.PC]-1), total[r.PC], maxPerPC) &&
 				(maxPerPC <= 0 || len(ds.Examples) < maxPerPC) {
 				hist := make([]uint32, window)
 				for j := 0; j < window; j++ {
@@ -121,6 +111,25 @@ func ExtractCapped(tr *trace.Trace, pcs []uint64, window int, pcBits uint, maxPe
 	return want
 }
 
+// keepSampled reports whether the j-th dynamic occurrence (0-based) of
+// a branch with n total occurrences is kept under a maxPerPC cap.
+// Occurrences map onto maxPerPC equal buckets and each bucket keeps its
+// first occurrence, so exactly min(n, maxPerPC) examples are kept and
+// they span the whole trace. The old integer stride (n/maxPerPC,
+// rounded down) under-strided whenever maxPerPC did not divide n —
+// e.g. n=150, cap=100 gave stride 1 and kept only the *first* 100
+// occurrences, violating the documented span contract; rounding the
+// stride up instead would restore the span but keep as few as half the
+// cap (n=150, cap=100, stride 2 keeps 75). Bucketed selection fixes the
+// span without giving up examples.
+func keepSampled(j, n uint64, maxPerPC int) bool {
+	c := uint64(maxPerPC)
+	if maxPerPC <= 0 || n <= c {
+		return true
+	}
+	return j == 0 || j*c/n != (j-1)*c/n
+}
+
 // Merge concatenates datasets for the same branch (e.g. across the traces
 // of several training inputs). Count/Occurrence stay relative to each
 // example's source trace, so merged sets are suitable for training but not
@@ -143,22 +152,30 @@ func Merge(sets ...*Dataset) *Dataset {
 // without replacement (deterministically from seed). The original order is
 // preserved for the kept examples.
 func (d *Dataset) Subsample(n int, seed int64) *Dataset {
-	if len(d.Examples) <= n {
+	keep := subsampleIndices(len(d.Examples), n, seed)
+	if keep == nil {
 		return d
 	}
-	rng := rand.New(rand.NewSource(seed))
-	keep := rng.Perm(len(d.Examples))[:n]
-	mask := make([]bool, len(d.Examples))
+	out := &Dataset{PC: d.PC, Window: d.Window, Examples: make([]Example, 0, len(keep))}
 	for _, i := range keep {
-		mask[i] = true
-	}
-	out := &Dataset{PC: d.PC, Window: d.Window, Examples: make([]Example, 0, n)}
-	for i, e := range d.Examples {
-		if mask[i] {
-			out.Examples = append(out.Examples, e)
-		}
+		out.Examples = append(out.Examples, d.Examples[i])
 	}
 	return out
+}
+
+// subsampleIndices returns the ascending source indices kept by a
+// deterministic uniform subsample of max out of n, or nil when nothing
+// is dropped (max <= 0 means unlimited). Dataset.Subsample and the
+// streaming trainer share it, so both pipelines keep exactly the same
+// examples for a given seed — part of the bit-identity contract.
+func subsampleIndices(n, max int, seed int64) []int {
+	if max <= 0 || n <= max {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	keep := rng.Perm(n)[:max]
+	sort.Ints(keep)
+	return keep
 }
 
 // Split partitions the dataset into two parts with the first receiving

@@ -1,0 +1,81 @@
+package branchnet
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"branchnet/internal/trace"
+)
+
+// Extraction benchmarks: the streamed trace->store pipeline against the
+// in-memory decode-then-extract pipeline over the same records. Run by
+// the ci.sh -benchtime=1x smoke gate so the streaming path can't rot;
+// real numbers live in BENCH_extract.json (branchnet-bench
+// -bench-extract).
+
+const (
+	extractBenchRecords = 200_000
+	extractBenchWindow  = 64
+	extractBenchPCBits  = 10
+	extractBenchCap     = 2000
+)
+
+var extractBenchPCs = []uint64{0x400, 0x404, 0x1000, 0x2008, 0xfff0}
+
+// extractBenchTrace writes the shared benchmark trace once per process.
+func extractBenchTrace(b *testing.B) string {
+	b.Helper()
+	path := filepath.Join(b.TempDir(), "bench.bnt")
+	if err := storeTestTrace(11, extractBenchRecords).WriteFile(path); err != nil {
+		b.Fatal(err)
+	}
+	return path
+}
+
+func BenchmarkExtractStream(b *testing.B) {
+	path := extractBenchTrace(b)
+	counts := make(map[uint64]uint64)
+	r, err := trace.Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for r.Next() {
+		counts[r.Record().PC]++
+	}
+	if err := r.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dir := filepath.Join(b.TempDir(), "store")
+		st, err := ExtractStreamFile(path, extractBenchPCs, extractBenchWindow,
+			extractBenchPCBits, dir,
+			StoreOpts{MaxPerPC: extractBenchCap, Counts: counts})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := st.Close(); err != nil {
+			b.Fatal(err)
+		}
+		os.RemoveAll(dir)
+	}
+	b.SetBytes(int64(extractBenchRecords))
+}
+
+func BenchmarkExtractCapped(b *testing.B) {
+	path := extractBenchTrace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := trace.ReadFile(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sets := ExtractCapped(tr, extractBenchPCs, extractBenchWindow,
+			extractBenchPCBits, extractBenchCap)
+		if len(sets) == 0 {
+			b.Fatal("no datasets extracted")
+		}
+	}
+	b.SetBytes(int64(extractBenchRecords))
+}

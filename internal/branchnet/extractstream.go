@@ -1,0 +1,419 @@
+package branchnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"branchnet/internal/checkpoint"
+	"branchnet/internal/obs"
+	"branchnet/internal/trace"
+)
+
+// ExtractStream is the streaming counterpart of ExtractCapped: it runs
+// the same single-pass token-ring extraction over a trace iterator and
+// spills examples into a sharded on-disk store at dir instead of
+// materializing datasets, so extraction memory is O(pcs x block) no
+// matter how long the trace is. The store it returns is open for
+// reading; stored datasets are bit-identical to what ExtractCapped
+// would have produced from the same records (pinned by tests).
+//
+// Per-branch capping needs the branch execution counts up front (a
+// single-pass iterator cannot know each branch's span in advance), so
+// opts.MaxPerPC > 0 requires opts.Counts; ExtractStreamFile runs the
+// counting pass itself.
+//
+// Shard files are written by parallel per-shard writers drawing from
+// the shared training worker budget (opts.Workers); file contents are
+// bit-identical for any worker count, because each branch is owned by
+// one shard and runs reach it in extraction order.
+func ExtractStream(r *trace.Reader, pcs []uint64, window int, pcBits uint, dir string, opts StoreOpts) (*Store, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("branchnet: ExtractStream: window must be positive, got %d", window)
+	}
+	if opts.MaxPerPC > 0 && opts.Counts == nil {
+		return nil, fmt.Errorf("branchnet: ExtractStream: MaxPerPC needs pre-counted executions (use ExtractStreamFile or provide Counts)")
+	}
+	sw, err := newStoreWriter(dir, window, pcBits, pcs, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	h := hooks.Load()
+	var span *obs.Span
+	if h != nil && h.tracer != nil {
+		span = h.tracer.Start("branchnet.extract").
+			SetInt("pcs", int64(len(pcs))).
+			SetInt("window", int64(window))
+	}
+
+	total := make(map[uint64]uint64, len(pcs))
+	seen := make(map[uint64]int, len(pcs))
+	written := make(map[uint64]int, len(pcs))
+	for _, pc := range pcs {
+		if opts.MaxPerPC > 0 {
+			total[pc] = opts.Counts[pc]
+		} else {
+			total[pc] = 0
+		}
+	}
+
+	ring := make([]uint32, window)
+	pos := 0
+	var records, examples uint64
+	for r.Next() {
+		rec := r.Record()
+		if _, ok := total[rec.PC]; ok {
+			seen[rec.PC]++
+			if keepSampled(uint64(seen[rec.PC]-1), total[rec.PC], opts.MaxPerPC) &&
+				(opts.MaxPerPC <= 0 || written[rec.PC] < opts.MaxPerPC) {
+				written[rec.PC]++
+				examples++
+				sw.append(rec.PC, records, uint64(seen[rec.PC]-1), rec.Taken, ring, pos)
+			}
+		}
+		ring[pos] = trace.Token(rec.PC, rec.Taken, pcBits)
+		pos++
+		if pos == window {
+			pos = 0
+		}
+		records++
+	}
+	if h != nil {
+		h.extractRecords.Add(records)
+		h.extractExamples.Add(examples)
+	}
+	if span != nil {
+		span.SetInt("records", int64(records)).SetInt("examples", int64(examples))
+		defer span.Finish()
+	}
+	if err := r.Err(); err != nil {
+		sw.abort()
+		return nil, err
+	}
+	return sw.finish()
+}
+
+// ExtractStreamFile streams the BNT1 trace at tracePath into a store at
+// dir. With a per-branch cap it makes two passes: one to count each
+// branch's executions (fixing the sampling pattern), one to extract.
+func ExtractStreamFile(tracePath string, pcs []uint64, window int, pcBits uint, dir string, opts StoreOpts) (*Store, error) {
+	if opts.MaxPerPC > 0 && opts.Counts == nil {
+		r, err := trace.Open(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		counts, err := CountExecutions(r, pcs)
+		r.Close()
+		if err != nil {
+			return nil, err
+		}
+		opts.Counts = counts
+	}
+	r, err := trace.Open(tracePath)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return ExtractStream(r, pcs, window, pcBits, dir, opts)
+}
+
+// CountExecutions streams the remainder of r, counting executions of
+// the requested branches (the pre-pass behind per-branch capping).
+func CountExecutions(r *trace.Reader, pcs []uint64) (map[uint64]uint64, error) {
+	counts := make(map[uint64]uint64, len(pcs))
+	for _, pc := range pcs {
+		counts[pc] = 0
+	}
+	for r.Next() {
+		if _, ok := counts[r.Record().PC]; ok {
+			counts[r.Record().PC]++
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return counts, nil
+}
+
+// pcBuf accumulates one branch's pending run: encoded meta and history
+// columns plus the running content digest (updated at append time, so
+// it is independent of flush scheduling).
+type pcBuf struct {
+	shard int
+	meta  []byte
+	hist  []byte
+	n     int
+
+	total  int
+	digest uint32
+}
+
+// runMsg hands a completed run (ownership of the buffers included) to a
+// shard writer; the writer returns the buffers to the pool.
+type runMsg struct {
+	shard int
+	pc    uint64
+	n     int
+	meta  []byte
+	hist  []byte
+}
+
+// shardRun records where a run landed inside its shard file.
+type shardRun struct {
+	pc  uint64
+	off int64
+	n   int
+}
+
+// shardFile is one shard under construction.
+type shardFile struct {
+	f    *os.File
+	off  int64
+	runs []shardRun
+	err  error
+}
+
+// storeWriter drives streaming extraction output: per-branch run
+// buffers, per-shard files, and (optionally) parallel writer
+// goroutines. It is used by exactly one producer goroutine.
+type storeWriter struct {
+	dir    string
+	window int
+	pcBits uint
+	block  int
+
+	perPC  map[uint64]*pcBuf
+	pcs    []uint64
+	shards []*shardFile
+
+	chans   []chan runMsg
+	wg      sync.WaitGroup
+	tokens  int
+	pool    sync.Pool
+	aborted bool
+}
+
+func newStoreWriter(dir string, window int, pcBits uint, pcs []uint64, opts StoreOpts) (*storeWriter, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("branchnet: store dir: %w", err)
+	}
+	nshards := opts.shards()
+	sw := &storeWriter{
+		dir:    dir,
+		window: window,
+		pcBits: pcBits,
+		block:  opts.blockExamples(),
+		perPC:  make(map[uint64]*pcBuf, len(pcs)),
+	}
+	sw.pool.New = func() any { return &runMsg{} }
+	for _, pc := range pcs {
+		if _, ok := sw.perPC[pc]; ok {
+			continue
+		}
+		sw.perPC[pc] = &pcBuf{shard: shardFor(pc, nshards)}
+		sw.pcs = append(sw.pcs, pc)
+	}
+	sort.Slice(sw.pcs, func(i, j int) bool { return sw.pcs[i] < sw.pcs[j] })
+	for s := 0; s < nshards; s++ {
+		f, err := os.Create(filepath.Join(dir, shardName(s)))
+		if err != nil {
+			sw.abort()
+			return nil, fmt.Errorf("branchnet: creating shard: %w", err)
+		}
+		hdr := shardHeader(s, window, pcBits)
+		sf := &shardFile{f: f}
+		if _, err := f.Write(hdr); err != nil {
+			sf.err = err
+		}
+		sf.off = int64(len(hdr))
+		sw.shards = append(sw.shards, sf)
+	}
+
+	// Writer fan-out: 0 draws opportunistically from the shared training
+	// budget (so extraction nested under a training pipeline degrades to
+	// inline writes instead of oversubscribing), 1 forces inline, N > 1
+	// uses min(N, shards) dedicated writers. Shard bytes are identical
+	// either way.
+	writers := 0
+	switch {
+	case opts.Workers == 0:
+		writers = acquireTrainTokens(nshards)
+		sw.tokens = writers
+	case opts.Workers > 1:
+		writers = min(opts.Workers, nshards)
+	}
+	for w := 0; w < writers; w++ {
+		ch := make(chan runMsg, 2)
+		sw.chans = append(sw.chans, ch)
+		sw.wg.Add(1)
+		go func(ch chan runMsg) {
+			defer sw.wg.Done()
+			for msg := range ch {
+				sw.writeRun(msg)
+				sw.pool.Put(&runMsg{meta: msg.meta[:0], hist: msg.hist[:0]})
+			}
+		}(ch)
+	}
+	return sw, nil
+}
+
+// append encodes one example (meta + the ring's window tokens, most
+// recent first) into its branch's pending run, spilling the run when it
+// reaches the block size.
+func (sw *storeWriter) append(pc, count, occurrence uint64, taken bool, ring []uint32, pos int) {
+	b := sw.perPC[pc]
+	if b.meta == nil {
+		msg := sw.pool.Get().(*runMsg)
+		b.meta, b.hist = msg.meta, msg.hist
+	}
+	var m [storeMetaBytes]byte
+	binary.LittleEndian.PutUint64(m[0:], count)
+	binary.LittleEndian.PutUint64(m[8:], occurrence)
+	if taken {
+		m[16] = 1
+	}
+	b.meta = append(b.meta, m[:]...)
+	b.digest = crc32.Update(b.digest, crc32.IEEETable, m[:])
+	window := sw.window
+	for j := 0; j < window; j++ {
+		idx := pos - 1 - j
+		if idx < 0 {
+			idx += window
+		}
+		b.hist = binary.LittleEndian.AppendUint32(b.hist, ring[idx])
+	}
+	b.n++
+	b.total++
+	if b.n >= sw.block {
+		sw.flush(pc, b)
+	}
+}
+
+// flush hands the branch's pending run to its shard writer (or writes
+// it inline when no writers are up) and resets the buffer.
+func (sw *storeWriter) flush(pc uint64, b *pcBuf) {
+	if b.n == 0 {
+		return
+	}
+	msg := runMsg{shard: b.shard, pc: pc, n: b.n, meta: b.meta, hist: b.hist}
+	b.meta, b.hist, b.n = nil, nil, 0
+	if len(sw.chans) > 0 {
+		sw.chans[msg.shard%len(sw.chans)] <- msg
+		return
+	}
+	sw.writeRun(msg)
+	sw.pool.Put(&runMsg{meta: msg.meta[:0], hist: msg.hist[:0]})
+}
+
+// writeRun appends a run's columns and CRC to its shard file and
+// records its location. Errors are sticky per shard; later runs for a
+// failed shard are discarded (the first error surfaces at finish).
+func (sw *storeWriter) writeRun(msg runMsg) {
+	sf := sw.shards[msg.shard]
+	if sf.err != nil {
+		return
+	}
+	crc := crc32.ChecksumIEEE(msg.meta)
+	crc = crc32.Update(crc, crc32.IEEETable, msg.hist)
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc)
+	off := sf.off
+	for _, chunk := range [][]byte{msg.meta, msg.hist, tail[:]} {
+		if _, err := sf.f.Write(chunk); err != nil {
+			sf.err = err
+			return
+		}
+		sf.off += int64(len(chunk))
+	}
+	sf.runs = append(sf.runs, shardRun{pc: msg.pc, off: off, n: msg.n})
+	storeRunsWritten.Inc()
+	storeBytesWritten.Add(uint64(sf.off - off))
+}
+
+// drain stops the writer goroutines and releases budget tokens.
+func (sw *storeWriter) drain() {
+	for _, ch := range sw.chans {
+		close(ch)
+	}
+	sw.wg.Wait()
+	sw.chans = nil
+	if sw.tokens > 0 {
+		releaseTrainTokens(sw.tokens)
+		sw.tokens = 0
+	}
+}
+
+// abort tears the writer down after a producer-side error, leaving the
+// directory without an index (an indexless directory is not a store).
+func (sw *storeWriter) abort() {
+	if sw.aborted {
+		return
+	}
+	sw.aborted = true
+	sw.drain()
+	for _, sf := range sw.shards {
+		if sf != nil && sf.f != nil {
+			sf.f.Close()
+		}
+	}
+}
+
+// finish flushes every pending run (in ascending-pc order, so file
+// layout is deterministic), syncs and closes the shards, writes the
+// index atomically, and returns the opened store.
+func (sw *storeWriter) finish() (*Store, error) {
+	if sw.aborted {
+		return nil, errStoreClosed
+	}
+	for _, pc := range sw.pcs {
+		sw.flush(pc, sw.perPC[pc])
+	}
+	sw.drain()
+
+	st := &Store{
+		window: sw.window,
+		pcBits: sw.pcBits,
+		byPC:   map[uint64]*pcEntry{},
+	}
+	for _, pc := range sw.pcs {
+		b := sw.perPC[pc]
+		st.pcs = append(st.pcs, pc)
+		st.byPC[pc] = &pcEntry{pc: pc, shard: b.shard, n: b.total, digest: b.digest}
+	}
+	var firstErr error
+	for i, sf := range sw.shards {
+		if sf.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("branchnet: writing shard %d: %w", i, sf.err)
+		}
+		if err := sf.f.Sync(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("branchnet: syncing shard %d: %w", i, err)
+		}
+		if err := sf.f.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("branchnet: closing shard %d: %w", i, err)
+		}
+		st.sizes = append(st.sizes, sf.off)
+		for _, run := range sf.runs {
+			e := st.byPC[run.pc]
+			cum := 0
+			if len(e.runs) > 0 {
+				last := e.runs[len(e.runs)-1]
+				cum = last.cum + last.n
+			}
+			e.runs = append(e.runs, runRef{off: run.off, n: run.n, cum: cum})
+		}
+	}
+	sw.aborted = true
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	payload := encodeStoreIndex(st)
+	if err := checkpoint.Write(filepath.Join(sw.dir, storeIndexName), storeIndexKind, storeIndexVersion, payload, nil); err != nil {
+		return nil, err
+	}
+	return OpenStore(sw.dir)
+}

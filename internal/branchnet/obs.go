@@ -14,12 +14,14 @@ import (
 // uninstrumented cost, which the overhead-gate benchmark holds to within
 // noise of the pre-instrumentation baseline.
 type obsHooks struct {
-	trainEpochs   *obs.Counter
-	trainExamples *obs.Counter
-	trainResumes  *obs.Counter
-	inferBatch    *obs.Counter
-	offlineTrain  *obs.Counter
-	tracer        *obs.Tracer
+	trainEpochs     *obs.Counter
+	trainExamples   *obs.Counter
+	trainResumes    *obs.Counter
+	inferBatch      *obs.Counter
+	offlineTrain    *obs.Counter
+	extractRecords  *obs.Counter
+	extractExamples *obs.Counter
+	tracer          *obs.Tracer
 }
 
 var hooks atomic.Pointer[obsHooks]
@@ -38,12 +40,14 @@ func EnableObs(reg *obs.Registry, tracer *obs.Tracer) {
 		return int64(TrainBudgetCap())
 	})
 	hooks.Store(&obsHooks{
-		trainEpochs:   reg.Counter("branchnet_train_epochs_total"),
-		trainExamples: reg.Counter("branchnet_train_examples_total"),
-		trainResumes:  reg.Counter("branchnet_train_resumes_total"),
-		inferBatch:    reg.Counter("branchnet_infer_batch_predictions_total"),
-		offlineTrain:  reg.Counter("branchnet_offline_branches_total"),
-		tracer:        tracer,
+		trainEpochs:     reg.Counter("branchnet_train_epochs_total"),
+		trainExamples:   reg.Counter("branchnet_train_examples_total"),
+		trainResumes:    reg.Counter("branchnet_train_resumes_total"),
+		inferBatch:      reg.Counter("branchnet_infer_batch_predictions_total"),
+		offlineTrain:    reg.Counter("branchnet_offline_branches_total"),
+		extractRecords:  reg.Counter("branchnet_extract_records_total"),
+		extractExamples: reg.Counter("branchnet_extract_examples_total"),
+		tracer:          tracer,
 	})
 }
 

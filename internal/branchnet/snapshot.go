@@ -23,8 +23,13 @@ import (
 // configuration, or dataset is rejected, never silently blended in.
 
 const (
-	trainSnapshotKind    = "branchnet-train"
-	trainSnapshotVersion = 1
+	trainSnapshotKind = "branchnet-train"
+	// Version 2 added the example-source digest to the fingerprint (a
+	// streamed run's checkpoint must never resume against a different
+	// store, or against the in-memory pipeline). Version-1 snapshots are
+	// rejected, which for a crash-safety feature is the correct failure
+	// mode: retrain rather than risk silently blending run shapes.
+	trainSnapshotVersion = 2
 
 	branchSnapshotKind    = "branchnet-branch"
 	branchSnapshotVersion = 1
@@ -32,8 +37,9 @@ const (
 
 // trainFingerprint pins a training snapshot to the exact run that wrote
 // it: the branch, the seed, every option that changes the arithmetic
-// (Workers deliberately excluded — it is proven not to), and a digest of
-// the subsampled dataset.
+// (Workers deliberately excluded — it is proven not to), a digest of
+// the subsampled training selection, and — for streamed runs — the
+// shape digest of the example store the run trained from.
 type trainFingerprint struct {
 	pc          uint64
 	seed        int64
@@ -44,9 +50,14 @@ type trainFingerprint struct {
 	shards      int
 	dsLen       int
 	dsDigest    uint32
+	srcDigest   uint32 // Store.Digest for streamed runs, 0 for in-memory
 }
 
 func newTrainFingerprint(pc uint64, opts TrainOpts, shards int, ds *Dataset) trainFingerprint {
+	return makeTrainFingerprint(pc, opts, shards, len(ds.Examples), datasetDigest(ds), 0)
+}
+
+func makeTrainFingerprint(pc uint64, opts TrainOpts, shards, n int, dsDigest, srcDigest uint32) trainFingerprint {
 	return trainFingerprint{
 		pc:          pc,
 		seed:        opts.Seed,
@@ -55,8 +66,9 @@ func newTrainFingerprint(pc uint64, opts TrainOpts, shards int, ds *Dataset) tra
 		lrBits:      math.Float32bits(opts.LR),
 		maxExamples: opts.MaxExamples,
 		shards:      shards,
-		dsLen:       len(ds.Examples),
-		dsDigest:    datasetDigest(ds),
+		dsLen:       n,
+		dsDigest:    dsDigest,
+		srcDigest:   srcDigest,
 	}
 }
 
@@ -64,18 +76,25 @@ func newTrainFingerprint(pc uint64, opts TrainOpts, shards int, ds *Dataset) tra
 // extraction counters, which together pin both content and order.
 func datasetDigest(ds *Dataset) uint32 {
 	h := crc32.NewIEEE()
-	var buf [17]byte
+	var buf [storeMetaBytes]byte
 	for i := range ds.Examples {
-		e := &ds.Examples[i]
-		binary.LittleEndian.PutUint64(buf[0:], e.Count)
-		binary.LittleEndian.PutUint64(buf[8:], e.Occurrence)
-		buf[16] = 0
-		if e.Taken {
-			buf[16] = 1
-		}
+		encodeExampleMeta(buf[:], &ds.Examples[i])
 		h.Write(buf[:])
 	}
 	return h.Sum32()
+}
+
+// encodeExampleMeta writes an example's 17-byte meta record (count,
+// occurrence, taken) — the unit both datasetDigest and the example
+// store's meta column hash, which is why stored digests can stand in
+// for in-memory dataset digests.
+func encodeExampleMeta(buf []byte, e *Example) {
+	binary.LittleEndian.PutUint64(buf[0:], e.Count)
+	binary.LittleEndian.PutUint64(buf[8:], e.Occurrence)
+	buf[16] = 0
+	if e.Taken {
+		buf[16] = 1
+	}
 }
 
 // trainSnapshot is the decoded form of a mid-training checkpoint.
@@ -236,6 +255,7 @@ func (w *snapWriter) fingerprint(fp trainFingerprint) {
 	w.uvarint(uint64(fp.shards))
 	w.uvarint(uint64(fp.dsLen))
 	w.u32(fp.dsDigest)
+	w.u32(fp.srcDigest)
 }
 
 func (r *snapReader) fingerprint() trainFingerprint {
@@ -249,14 +269,15 @@ func (r *snapReader) fingerprint() trainFingerprint {
 		shards:      int(r.uvarint("shards")),
 		dsLen:       int(r.uvarint("dataset length")),
 		dsDigest:    r.u32("dataset digest"),
+		srcDigest:   r.u32("source digest"),
 	}
 }
 
 // checkFingerprint rejects a snapshot written by a different run shape.
 func checkFingerprint(got, want trainFingerprint) error {
 	describe := func(f trainFingerprint) string {
-		return fmt.Sprintf("pc=%#x seed=%d epochs=%d batch=%d lr=%#x max=%d shards=%d ds=%d/%#x",
-			f.pc, f.seed, f.epochs, f.batchSize, f.lrBits, f.maxExamples, f.shards, f.dsLen, f.dsDigest)
+		return fmt.Sprintf("pc=%#x seed=%d epochs=%d batch=%d lr=%#x max=%d shards=%d ds=%d/%#x src=%#x",
+			f.pc, f.seed, f.epochs, f.batchSize, f.lrBits, f.maxExamples, f.shards, f.dsLen, f.dsDigest, f.srcDigest)
 	}
 	if got != want {
 		return fmt.Errorf("branchnet: snapshot fingerprint mismatch: snapshot {%s} vs run {%s}", describe(got), describe(want))

@@ -1,0 +1,567 @@
+package branchnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"branchnet/internal/checkpoint"
+	"branchnet/internal/obs"
+)
+
+// The example store is the on-disk counterpart of Dataset: extraction
+// spills examples into a directory of sharded column files so training
+// can consume traces far larger than RAM. A store directory holds
+//
+//	shard-NNNN.bns   example shards ("BNS1")
+//	index.bnx        the store index (BNCK envelope, internal/checkpoint)
+//
+// Every static branch is owned by exactly one shard (shard = hash(pc) %
+// shards), and within a shard a branch's examples are laid out as
+// contiguous *runs* in trace order. A run is a column block:
+//
+//	meta    n x 17 bytes   (count u64 LE | occurrence u64 LE | taken byte)
+//	history n x window x 4 bytes (u32 LE tokens, most recent first)
+//	crc     u32 LE         (IEEE CRC-32 over the meta and history columns)
+//
+// The 17-byte meta record is bit-identical to the record datasetDigest
+// hashes, so a branch's stored meta digest equals datasetDigest of the
+// equivalent in-memory dataset — the property the training fingerprint
+// and the bit-identity tests lean on. Splitting meta from history lets
+// subsampling and digesting read 17 bytes per example instead of the
+// full history row.
+//
+// The index file maps each branch to its shard, total example count,
+// meta digest, and run table (absolute column offsets), plus every
+// shard's expected size; it rides the same CRC-guarded BNCK envelope as
+// training checkpoints and is written atomically, so a killed extraction
+// never leaves a readable-but-wrong store — without an index the
+// directory is not a store. Random access to example i of a branch is
+// O(log runs) + two preads; Verify re-reads every run against its CRC.
+
+const (
+	storeIndexKind    = "branchnet-exstore"
+	storeIndexVersion = 1
+
+	storeFormatVersion = 1
+	// storeMetaBytes is the per-example meta record size (count,
+	// occurrence, taken) — the same layout datasetDigest hashes.
+	storeMetaBytes = 17
+
+	// DefaultStoreShards and DefaultBlockExamples are the StoreOpts
+	// defaults: a handful of shard files so writers parallelize, and
+	// runs large enough that sequential consumers read ~100 KiB blocks.
+	DefaultStoreShards   = 4
+	DefaultBlockExamples = 256
+)
+
+// Shard-store I/O metrics on the process-wide registry (same pattern as
+// internal/checkpoint): runs/bytes written by extraction, examples/bytes
+// fetched by the windowed shuffle reader. Fetch increments once per
+// Fetch call, not per example.
+var (
+	storeRunsWritten     = obs.Default.Counter("exstore_runs_written_total")
+	storeBytesWritten    = obs.Default.Counter("exstore_bytes_written_total")
+	storeExamplesFetched = obs.Default.Counter("exstore_examples_fetched_total")
+	storeBytesFetched    = obs.Default.Counter("exstore_bytes_fetched_total")
+)
+
+// storeIndexName is the index file inside a store directory.
+const storeIndexName = "index.bnx"
+
+var shardMagic = [4]byte{'B', 'N', 'S', '1'}
+
+// shardName returns the file name of shard s.
+func shardName(s int) string { return fmt.Sprintf("shard-%04d.bns", s) }
+
+// shardHeader encodes a shard file's self-identifying header.
+func shardHeader(shard, window int, pcBits uint) []byte {
+	buf := append([]byte{}, shardMagic[:]...)
+	buf = binary.AppendUvarint(buf, storeFormatVersion)
+	buf = binary.AppendUvarint(buf, uint64(shard))
+	buf = binary.AppendUvarint(buf, uint64(window))
+	buf = binary.AppendUvarint(buf, uint64(pcBits))
+	return buf
+}
+
+// runRef locates one run of a branch inside its shard: the absolute
+// offset of the meta column, the example count, and the cumulative
+// example index of the run's first example.
+type runRef struct {
+	off int64
+	n   int
+	cum int
+}
+
+// pcEntry is one branch's index entry.
+type pcEntry struct {
+	pc     uint64
+	shard  int
+	n      int
+	digest uint32 // datasetDigest-compatible CRC over the meta column
+	runs   []runRef
+}
+
+// StoreOpts configure streaming extraction into a store.
+type StoreOpts struct {
+	// Shards is the number of shard files (0 = DefaultStoreShards).
+	// Each branch is owned by one shard; more shards mean more parallel
+	// writers but no change to file contents per shard.
+	Shards int
+	// BlockExamples is the run size extraction buffers per branch
+	// before spilling (0 = DefaultBlockExamples). Peak extraction
+	// memory is roughly pcs x BlockExamples x (17 + 4 x window) bytes.
+	BlockExamples int
+	// Workers bounds the shard-writer goroutines: 0 draws from the
+	// shared training budget (nested use degrades to inline writes),
+	// 1 forces inline writes on the extraction goroutine, N > 1 uses
+	// min(N, Shards) writers. Contents are worker-count independent.
+	Workers int
+	// MaxPerPC caps examples per branch with the same deterministic
+	// even sampling as ExtractCapped (0 = unlimited). ExtractStream
+	// needs Counts to honor it; ExtractStreamFile pre-counts itself.
+	MaxPerPC int
+	// Counts are the per-branch execution counts of the trace,
+	// required by ExtractStream when MaxPerPC > 0 (a single-pass
+	// iterator cannot know each branch's span in advance).
+	Counts map[uint64]uint64
+}
+
+func (o StoreOpts) shards() int {
+	if o.Shards <= 0 {
+		return DefaultStoreShards
+	}
+	return o.Shards
+}
+
+func (o StoreOpts) blockExamples() int {
+	if o.BlockExamples <= 0 {
+		return DefaultBlockExamples
+	}
+	return o.BlockExamples
+}
+
+// shardFor assigns a branch to a shard (splitmix64 finalizer, so nearby
+// PCs spread instead of clustering).
+func shardFor(pc uint64, shards int) int {
+	z := pc + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int((z ^ (z >> 31)) % uint64(shards))
+}
+
+// Store is a read handle on an extracted example store. It is safe for
+// concurrent use: fetches go through pread (no shared file cursor).
+type Store struct {
+	dir    string
+	window int
+	pcBits uint
+	digest uint32
+
+	files []*os.File
+	sizes []int64
+	pcs   []uint64
+	byPC  map[uint64]*pcEntry
+}
+
+// OpenStore opens a store directory, validating the index envelope
+// (CRC), every shard's header, and every shard's size against the
+// index. Content CRCs are checked run-by-run by Verify, not here — open
+// stays O(index), independent of store size.
+func OpenStore(dir string) (*Store, error) {
+	_, payload, err := checkpoint.Read(filepath.Join(dir, storeIndexName), storeIndexKind, nil)
+	if err != nil {
+		return nil, fmt.Errorf("branchnet: store %s: %w", dir, err)
+	}
+	s, err := decodeStoreIndex(payload)
+	if err != nil {
+		return nil, fmt.Errorf("branchnet: store %s: %w", dir, err)
+	}
+	s.dir = dir
+	for i := range s.sizes {
+		f, err := os.Open(filepath.Join(dir, shardName(i)))
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("branchnet: store %s: %w", dir, err)
+		}
+		s.files = append(s.files, f)
+		fi, err := f.Stat()
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("branchnet: store %s: %w", dir, err)
+		}
+		if fi.Size() != s.sizes[i] {
+			s.Close()
+			return nil, fmt.Errorf("branchnet: store %s: shard %d is %d bytes, index expects %d (truncated or foreign shard)",
+				dir, i, fi.Size(), s.sizes[i])
+		}
+		want := shardHeader(i, s.window, s.pcBits)
+		got := make([]byte, len(want))
+		if _, err := f.ReadAt(got, 0); err != nil {
+			s.Close()
+			return nil, fmt.Errorf("branchnet: store %s: shard %d header: %w", dir, i, err)
+		}
+		if string(got) != string(want) {
+			s.Close()
+			return nil, fmt.Errorf("branchnet: store %s: shard %d header mismatch (wrong shard, window, or pc bits)", dir, i)
+		}
+	}
+	return s, nil
+}
+
+// Close releases the shard file handles.
+func (s *Store) Close() error {
+	var first error
+	for _, f := range s.files {
+		if f == nil {
+			continue
+		}
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.files = nil
+	return first
+}
+
+// Window returns the history length (tokens per example).
+func (s *Store) Window() int { return s.window }
+
+// PCBits returns the token PC width examples were extracted with.
+func (s *Store) PCBits() uint { return s.pcBits }
+
+// Digest is the store-shape digest covering geometry plus every
+// branch's example count and meta digest; the training fingerprint
+// includes it so a checkpoint never resumes against a different store.
+func (s *Store) Digest() uint32 { return s.digest }
+
+// PCs lists the stored branches in ascending order.
+func (s *Store) PCs() []uint64 { return append([]uint64(nil), s.pcs...) }
+
+// NumExamples returns a branch's stored example count (0 if absent).
+func (s *Store) NumExamples(pc uint64) int {
+	if e := s.byPC[pc]; e != nil {
+		return e.n
+	}
+	return 0
+}
+
+// Dataset returns a streaming ExampleSource over one branch's examples.
+func (s *Store) Dataset(pc uint64) (*StreamDataset, error) {
+	e := s.byPC[pc]
+	if e == nil {
+		return nil, fmt.Errorf("branchnet: store %s holds no branch %#x", s.dir, pc)
+	}
+	return &StreamDataset{s: s, e: e}, nil
+}
+
+// ReadDataset materializes a branch's full dataset in memory — the
+// bridge back to the in-memory pipeline (and the bit-identity tests).
+func (s *Store) ReadDataset(pc uint64) (*Dataset, error) {
+	sd, err := s.Dataset(pc)
+	if err != nil {
+		return nil, err
+	}
+	idx := make([]int, sd.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	out := &Dataset{PC: pc, Window: s.window, Examples: make([]Example, len(idx))}
+	if err := sd.Fetch(idx, out.Examples); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Verify re-reads every run of every branch and checks its CRC,
+// returning the first corruption found. Cost is one full sequential
+// pass over the shard files.
+func (s *Store) Verify() error {
+	for _, pc := range s.pcs {
+		e := s.byPC[pc]
+		f := s.files[e.shard]
+		var buf []byte
+		for ri, run := range e.runs {
+			size := run.n*storeMetaBytes + run.n*4*s.window
+			if cap(buf) < size+4 {
+				buf = make([]byte, size+4)
+			}
+			b := buf[:size+4]
+			if _, err := f.ReadAt(b, run.off); err != nil {
+				return fmt.Errorf("branchnet: store %s: pc %#x run %d: %w", s.dir, pc, ri, err)
+			}
+			want := binary.LittleEndian.Uint32(b[size:])
+			if got := crc32.ChecksumIEEE(b[:size]); got != want {
+				return fmt.Errorf("branchnet: store %s: pc %#x run %d: crc mismatch: computed %#x, stored %#x (corrupt run)",
+					s.dir, pc, ri, got, want)
+			}
+		}
+	}
+	return nil
+}
+
+// StreamDataset is an ExampleSource over one branch of a Store.
+type StreamDataset struct {
+	s *Store
+	e *pcEntry
+}
+
+// PC returns the branch address.
+func (d *StreamDataset) PC() uint64 { return d.e.pc }
+
+// Len returns the number of stored examples.
+func (d *StreamDataset) Len() int { return d.e.n }
+
+// Window returns the history length (tokens per example).
+func (d *StreamDataset) Window() int { return d.s.window }
+
+// StoreDigest returns the owning store's shape digest.
+func (d *StreamDataset) StoreDigest() uint32 { return d.s.digest }
+
+// locate maps a global example index to its run and local offset.
+func (d *StreamDataset) locate(i int) (runRef, int, error) {
+	if i < 0 || i >= d.e.n {
+		return runRef{}, 0, fmt.Errorf("branchnet: example index %d out of range [0,%d)", i, d.e.n)
+	}
+	runs := d.e.runs
+	k := sort.Search(len(runs), func(k int) bool { return runs[k].cum > i }) - 1
+	return runs[k], i - runs[k].cum, nil
+}
+
+// fetchJob pairs a requested example index with its destination slot,
+// so fetches can sort by disk position and still fill dst in request
+// order.
+type fetchJob struct {
+	idx int // example index within the branch
+	k   int // destination slot in dst
+}
+
+// Fetch fills dst[k] with example indices[k] for every k. Requests are
+// internally sorted into ascending disk order and adjacent examples are
+// coalesced into single reads, so a shuffled window of requests costs
+// near-sequential I/O. dst[k].History is reused when it already has
+// window capacity.
+func (d *StreamDataset) Fetch(indices []int, dst []Example) error {
+	if len(indices) != len(dst) {
+		return fmt.Errorf("branchnet: Fetch: %d indices but %d destinations", len(indices), len(dst))
+	}
+	jobs := make([]fetchJob, len(indices))
+	for k, idx := range indices {
+		jobs[k] = fetchJob{idx: idx, k: k}
+	}
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].idx < jobs[b].idx })
+	window := d.s.window
+	f := d.s.files[d.e.shard]
+	var bytesRead uint64
+	var metaBuf, histBuf []byte
+	for lo := 0; lo < len(jobs); {
+		run, local, err := d.locate(jobs[lo].idx)
+		if err != nil {
+			return err
+		}
+		// Extend the segment while indices stay consecutive in this run.
+		hi := lo + 1
+		for hi < len(jobs) &&
+			jobs[hi].idx == jobs[hi-1].idx+1 &&
+			jobs[hi].idx < run.cum+run.n {
+			hi++
+		}
+		n := jobs[hi-1].idx - jobs[lo].idx + 1
+		if cap(metaBuf) < n*storeMetaBytes {
+			metaBuf = make([]byte, n*storeMetaBytes)
+		}
+		mb := metaBuf[:n*storeMetaBytes]
+		if _, err := f.ReadAt(mb, run.off+int64(local)*storeMetaBytes); err != nil {
+			return fmt.Errorf("branchnet: store %s: pc %#x meta read: %w", d.s.dir, d.e.pc, err)
+		}
+		if cap(histBuf) < n*4*window {
+			histBuf = make([]byte, n*4*window)
+		}
+		hb := histBuf[:n*4*window]
+		histBase := run.off + int64(run.n)*storeMetaBytes
+		if _, err := f.ReadAt(hb, histBase+int64(local)*4*int64(window)); err != nil {
+			return fmt.Errorf("branchnet: store %s: pc %#x history read: %w", d.s.dir, d.e.pc, err)
+		}
+		bytesRead += uint64(len(mb) + len(hb))
+		for j := 0; j < n; j++ {
+			e := &dst[jobs[lo+j].k]
+			m := mb[j*storeMetaBytes:]
+			e.Count = binary.LittleEndian.Uint64(m)
+			e.Occurrence = binary.LittleEndian.Uint64(m[8:])
+			e.Taken = m[16] == 1
+			if cap(e.History) < window {
+				e.History = make([]uint32, window)
+			}
+			e.History = e.History[:window]
+			h := hb[j*4*window:]
+			for t := 0; t < window; t++ {
+				e.History[t] = binary.LittleEndian.Uint32(h[4*t:])
+			}
+		}
+		lo = hi
+	}
+	storeExamplesFetched.Add(uint64(len(indices)))
+	storeBytesFetched.Add(bytesRead)
+	return nil
+}
+
+// MetaDigest hashes the 17-byte meta records of the examples at indices
+// (in the given order) — exactly what datasetDigest computes for the
+// same examples of an in-memory dataset. History columns are not read.
+func (d *StreamDataset) MetaDigest(indices []int) (uint32, error) {
+	h := crc32.NewIEEE()
+	var buf [storeMetaBytes]byte
+	for _, idx := range indices {
+		run, local, err := d.locate(idx)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := d.s.files[d.e.shard].ReadAt(buf[:], run.off+int64(local)*storeMetaBytes); err != nil {
+			return 0, fmt.Errorf("branchnet: store %s: pc %#x meta read: %w", d.s.dir, d.e.pc, err)
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum32(), nil
+}
+
+// FullDigest returns the stored meta digest over all of the branch's
+// examples (identical to MetaDigest over 0..Len-1, but free).
+func (d *StreamDataset) FullDigest() uint32 { return d.e.digest }
+
+// encodeStoreIndex serializes the index payload: geometry, shard sizes,
+// and the per-branch run tables.
+func encodeStoreIndex(s *Store) []byte {
+	w := &snapWriter{}
+	w.uvarint(storeFormatVersion)
+	w.uvarint(uint64(s.window))
+	w.uvarint(uint64(s.pcBits))
+	w.uvarint(uint64(len(s.sizes)))
+	for _, sz := range s.sizes {
+		w.uvarint(uint64(sz))
+	}
+	w.uvarint(uint64(len(s.pcs)))
+	for _, pc := range s.pcs {
+		e := s.byPC[pc]
+		w.uvarint(pc)
+		w.uvarint(uint64(e.shard))
+		w.uvarint(uint64(e.n))
+		w.u32(e.digest)
+		w.uvarint(uint64(len(e.runs)))
+		prev := int64(0)
+		for _, r := range e.runs {
+			w.varint(r.off - prev) // delta-encoded offsets stay small
+			w.uvarint(uint64(r.n))
+			prev = r.off
+		}
+	}
+	return w.buf
+}
+
+// decodeStoreIndex parses and validates an index payload, rebuilding
+// the cumulative run tables and the store digest. Structural
+// inconsistencies (runs past the shard size, counts that do not add up,
+// out-of-range shards) are errors — the fuzzer drives this path.
+func decodeStoreIndex(payload []byte) (*Store, error) {
+	r := &snapReader{data: payload}
+	if v := r.uvarint("store format version"); r.err == nil && v != storeFormatVersion {
+		return nil, fmt.Errorf("branchnet: store index: unsupported format version %d (want %d)", v, storeFormatVersion)
+	}
+	s := &Store{byPC: map[uint64]*pcEntry{}}
+	s.window = int(r.uvarint("window"))
+	s.pcBits = uint(r.uvarint("pc bits"))
+	if r.err == nil && (s.window <= 0 || s.window > 1<<20) {
+		return nil, fmt.Errorf("branchnet: store index: implausible window %d", s.window)
+	}
+	if r.err == nil && s.pcBits > 64 {
+		return nil, fmt.Errorf("branchnet: store index: implausible pc bits %d", s.pcBits)
+	}
+	nshards := int(r.uvarint("shard count"))
+	if r.err == nil && (nshards <= 0 || nshards > 1<<16) {
+		return nil, fmt.Errorf("branchnet: store index: implausible shard count %d", nshards)
+	}
+	for i := 0; i < nshards && r.err == nil; i++ {
+		s.sizes = append(s.sizes, int64(r.uvarint("shard size")))
+	}
+	npcs := int(r.uvarint("pc count"))
+	if r.err != nil {
+		return nil, r.err
+	}
+	if npcs < 0 || npcs > 1<<24 {
+		return nil, fmt.Errorf("branchnet: store index: implausible pc count %d", npcs)
+	}
+	var prevPC uint64
+	for i := 0; i < npcs; i++ {
+		e := &pcEntry{}
+		e.pc = r.uvarint("pc")
+		e.shard = int(r.uvarint("pc shard"))
+		e.n = int(r.uvarint("pc example count"))
+		e.digest = r.u32("pc digest")
+		nruns := int(r.uvarint("pc run count"))
+		if r.err != nil {
+			return nil, r.err
+		}
+		if i > 0 && e.pc <= prevPC {
+			return nil, fmt.Errorf("branchnet: store index: pcs not strictly ascending at %#x", e.pc)
+		}
+		prevPC = e.pc
+		if e.shard < 0 || e.shard >= nshards {
+			return nil, fmt.Errorf("branchnet: store index: pc %#x in shard %d of %d", e.pc, e.shard, nshards)
+		}
+		if nruns < 0 || nruns > 1<<24 || e.n < 0 {
+			return nil, fmt.Errorf("branchnet: store index: pc %#x: implausible run table (%d runs, %d examples)", e.pc, nruns, e.n)
+		}
+		headerLen := int64(len(shardHeader(e.shard, s.window, s.pcBits)))
+		total, prevOff := 0, int64(0)
+		for ri := 0; ri < nruns; ri++ {
+			off := prevOff + r.varint("run offset delta")
+			n := int(r.uvarint("run example count"))
+			if r.err != nil {
+				return nil, r.err
+			}
+			runBytes := int64(n)*storeMetaBytes + int64(n)*4*int64(s.window) + 4
+			if n <= 0 || off < headerLen || off+runBytes > s.sizes[e.shard] {
+				return nil, fmt.Errorf("branchnet: store index: pc %#x run %d out of bounds (off %d, %d examples, shard size %d)",
+					e.pc, ri, off, n, s.sizes[e.shard])
+			}
+			e.runs = append(e.runs, runRef{off: off, n: n, cum: total})
+			total += n
+			prevOff = off
+		}
+		if total != e.n {
+			return nil, fmt.Errorf("branchnet: store index: pc %#x: runs hold %d examples, entry claims %d", e.pc, total, e.n)
+		}
+		s.pcs = append(s.pcs, e.pc)
+		s.byPC[e.pc] = e
+	}
+	if len(r.data) != 0 {
+		return nil, fmt.Errorf("branchnet: store index has %d bytes of trailing garbage", len(r.data))
+	}
+	s.digest = storeDigest(s)
+	return s, nil
+}
+
+// storeDigest condenses the store shape — geometry plus every branch's
+// count and content digest — into the u32 the training fingerprint
+// carries.
+func storeDigest(s *Store) uint32 {
+	h := crc32.NewIEEE()
+	var buf [20]byte
+	binary.LittleEndian.PutUint64(buf[0:], uint64(s.window))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(s.pcBits))
+	h.Write(buf[:16])
+	for _, pc := range s.pcs {
+		e := s.byPC[pc]
+		binary.LittleEndian.PutUint64(buf[0:], pc)
+		binary.LittleEndian.PutUint64(buf[8:], uint64(e.n))
+		binary.LittleEndian.PutUint32(buf[16:], e.digest)
+		h.Write(buf[:20])
+	}
+	return h.Sum32()
+}
+
+// errStoreClosed guards writer misuse after Close.
+var errStoreClosed = errors.New("branchnet: store writer already closed")

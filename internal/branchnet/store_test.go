@@ -1,0 +1,387 @@
+package branchnet
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"branchnet/internal/trace"
+)
+
+// storeTestTrace builds a deterministic trace mixing several branch PCs
+// with uneven execution frequencies, so capping and striding paths all
+// get exercised.
+func storeTestTrace(seed int64, records int) *trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	tr := &trace.Trace{}
+	pcs := []uint64{0x400, 0x404, 0x1000, 0x2008, 0xfff0}
+	for len(tr.Records) < records {
+		pc := pcs[rng.Intn(len(pcs))]
+		// 0x400 executes ~3x as often as the others.
+		if rng.Intn(2) == 0 {
+			pc = 0x400
+		}
+		tr.Records = append(tr.Records, trace.Record{
+			PC:    pc,
+			Taken: rng.Intn(3) != 0,
+			Gap:   uint32(rng.Intn(9)),
+		})
+	}
+	return tr
+}
+
+// extractToStore writes tr to a temp BNT1 file and stream-extracts it.
+func extractToStore(t *testing.T, tr *trace.Trace, pcs []uint64, window int, pcBits uint, opts StoreOpts) *Store {
+	t.Helper()
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.bnt")
+	if err := tr.WriteFile(tracePath); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ExtractStreamFile(tracePath, pcs, window, pcBits, filepath.Join(dir, "store"), opts)
+	if err != nil {
+		t.Fatalf("ExtractStreamFile: %v", err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+// TestExtractStreamMatchesExtract is the tentpole bit-identity pin:
+// stream-extracted datasets must be byte-for-byte what the in-memory
+// ExtractCapped produces from the same records, for both the uncapped
+// and the capped/strided paths, and the stored per-branch digest must
+// equal datasetDigest of the equivalent in-memory dataset.
+func TestExtractStreamMatchesExtract(t *testing.T) {
+	tr := storeTestTrace(7, 6000)
+	pcs := []uint64{0x400, 0x404, 0x1000, 0x2008, 0xfff0, 0xdead} // 0xdead never executes
+	const window, pcBits = 24, 10
+	for _, maxPerPC := range []int{0, 100} {
+		want := ExtractCapped(tr, pcs, window, pcBits, maxPerPC)
+		st := extractToStore(t, tr, pcs, window, pcBits, StoreOpts{
+			Shards:        3,
+			BlockExamples: 64, // force multiple runs per branch
+			MaxPerPC:      maxPerPC,
+		})
+		if st.Window() != window || st.PCBits() != pcBits {
+			t.Fatalf("store geometry %d/%d, want %d/%d", st.Window(), st.PCBits(), window, pcBits)
+		}
+		for _, pc := range pcs {
+			got, err := st.ReadDataset(pc)
+			if err != nil {
+				t.Fatalf("cap=%d pc=%#x: %v", maxPerPC, pc, err)
+			}
+			w := want[pc]
+			if len(got.Examples) != len(w.Examples) {
+				t.Fatalf("cap=%d pc=%#x: %d streamed examples, want %d", maxPerPC, pc, len(got.Examples), len(w.Examples))
+			}
+			if len(w.Examples) > 0 && !reflect.DeepEqual(got.Examples, w.Examples) {
+				t.Fatalf("cap=%d pc=%#x: streamed dataset differs from in-memory extraction", maxPerPC, pc)
+			}
+			sd, err := st.Dataset(pc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sd.FullDigest() != datasetDigest(w) {
+				t.Fatalf("cap=%d pc=%#x: stored digest %#x != datasetDigest %#x", maxPerPC, pc, sd.FullDigest(), datasetDigest(w))
+			}
+		}
+		if err := st.Verify(); err != nil {
+			t.Fatalf("cap=%d: Verify: %v", maxPerPC, err)
+		}
+	}
+}
+
+// TestExtractStreamWorkerIndependence pins that shard file contents (and
+// hence the store digest) do not depend on the writer fan-out.
+func TestExtractStreamWorkerIndependence(t *testing.T) {
+	tr := storeTestTrace(13, 4000)
+	pcs := []uint64{0x400, 0x404, 0x1000, 0x2008, 0xfff0}
+	const window, pcBits = 16, 10
+	var ref *Store
+	var refBytes [][]byte
+	for _, workers := range []int{1, 2, 8} {
+		st := extractToStore(t, tr, pcs, window, pcBits, StoreOpts{
+			Shards:        3,
+			BlockExamples: 32,
+			Workers:       workers,
+		})
+		var files [][]byte
+		for s := 0; s < 3; s++ {
+			b, err := os.ReadFile(filepath.Join(st.dir, shardName(s)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			files = append(files, b)
+		}
+		if ref == nil {
+			ref, refBytes = st, files
+			continue
+		}
+		if st.Digest() != ref.Digest() {
+			t.Fatalf("workers=%d: digest %#x differs from workers=1 digest %#x", workers, st.Digest(), ref.Digest())
+		}
+		for s := range files {
+			if !bytes.Equal(files[s], refBytes[s]) {
+				t.Fatalf("workers=%d: shard %d bytes differ from workers=1", workers, s)
+			}
+		}
+	}
+}
+
+// TestExtractCappedEvenSampling is the regression test for the capped
+// sampling bug: with 150 executions and a cap of 100, the old
+// floor-division stride (150/100 = 1) kept only the *first* 100
+// occurrences — the kept examples no longer spanned the trace.
+// Bucketed selection keeps exactly 100 examples whose occurrences run
+// from the first to the last sixth of the trace.
+func TestExtractCappedEvenSampling(t *testing.T) {
+	tr := &trace.Trace{}
+	const pc, n, cap = uint64(0x500), 150, 100
+	for i := 0; i < n; i++ {
+		tr.Records = append(tr.Records, trace.Record{PC: pc, Taken: i%2 == 0})
+	}
+	ds := ExtractCapped(tr, []uint64{pc}, 4, 8, cap)[pc]
+	if len(ds.Examples) != cap {
+		t.Fatalf("kept %d examples, want exactly the cap %d", len(ds.Examples), cap)
+	}
+	if first := ds.Examples[0].Occurrence; first != 0 {
+		t.Fatalf("first kept occurrence %d, want 0", first)
+	}
+	if last := ds.Examples[len(ds.Examples)-1].Occurrence; last != 149 {
+		t.Fatalf("last kept occurrence %d does not span the trace (want 149)", last)
+	}
+	// Even spread: no gap between kept occurrences may exceed
+	// ceil(n/cap) = 2.
+	for i := 1; i < len(ds.Examples); i++ {
+		if gap := ds.Examples[i].Occurrence - ds.Examples[i-1].Occurrence; gap > 2 {
+			t.Fatalf("gap %d between kept occurrences %d and %d (max 2)",
+				gap, ds.Examples[i-1].Occurrence, ds.Examples[i].Occurrence)
+		}
+	}
+	// keepSampled keeps everything when the branch fits under the cap.
+	for j := uint64(0); j < 100; j++ {
+		if !keepSampled(j, 100, cap) {
+			t.Fatalf("keepSampled(%d, 100, %d) = false, want true (n <= cap)", j, cap)
+		}
+		if !keepSampled(j, 0, 0) {
+			t.Fatalf("keepSampled(%d, 0, 0) = false, want true (uncapped)", j)
+		}
+	}
+	// Exactly cap examples kept for a range of awkward n.
+	for _, total := range []uint64{101, 149, 150, 151, 199, 200, 1000, 12345} {
+		kept := 0
+		for j := uint64(0); j < total; j++ {
+			if keepSampled(j, total, cap) {
+				kept++
+			}
+		}
+		if kept != cap {
+			t.Fatalf("keepSampled kept %d of %d, want exactly %d", kept, total, cap)
+		}
+	}
+}
+
+// TestStreamDatasetFetchAndMetaDigest exercises random-access reads: a
+// shuffled index set must come back in request order, matching the
+// in-memory dataset, and MetaDigest over any index order must equal
+// datasetDigest of the same selection.
+func TestStreamDatasetFetchAndMetaDigest(t *testing.T) {
+	tr := storeTestTrace(21, 3000)
+	pcs := []uint64{0x400, 0x1000}
+	const window, pcBits = 12, 10
+	want := Extract(tr, pcs, window, pcBits)
+	st := extractToStore(t, tr, pcs, window, pcBits, StoreOpts{Shards: 2, BlockExamples: 16})
+	for _, pc := range pcs {
+		sd, err := st.Dataset(pc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := want[pc]
+		if sd.Len() != len(w.Examples) {
+			t.Fatalf("pc %#x: Len %d, want %d", pc, sd.Len(), len(w.Examples))
+		}
+		rng := rand.New(rand.NewSource(99))
+		idx := rng.Perm(sd.Len())[:sd.Len()/2]
+		dst := make([]Example, len(idx))
+		if err := sd.Fetch(idx, dst); err != nil {
+			t.Fatal(err)
+		}
+		sel := &Dataset{PC: pc, Window: window}
+		for k, i := range idx {
+			if !reflect.DeepEqual(dst[k], w.Examples[i]) {
+				t.Fatalf("pc %#x: fetched example %d (index %d) mismatches in-memory", pc, k, i)
+			}
+			sel.Examples = append(sel.Examples, w.Examples[i])
+		}
+		md, err := sd.MetaDigest(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if md != datasetDigest(sel) {
+			t.Fatalf("pc %#x: MetaDigest %#x != datasetDigest %#x over same selection", pc, md, datasetDigest(sel))
+		}
+		// Out-of-range indices must error, not read garbage.
+		if err := sd.Fetch([]int{sd.Len()}, make([]Example, 1)); err == nil {
+			t.Fatal("Fetch past the end must error")
+		}
+		if err := sd.Fetch([]int{-1}, make([]Example, 1)); err == nil {
+			t.Fatal("Fetch of negative index must error")
+		}
+	}
+}
+
+// TestStoreRejectsCorruption flips bytes in the shard and index files
+// and checks the CRC envelopes catch it: index damage fails OpenStore,
+// shard-size mismatches fail OpenStore, and in-place content damage
+// fails Verify.
+func TestStoreRejectsCorruption(t *testing.T) {
+	tr := storeTestTrace(31, 2000)
+	pcs := []uint64{0x400, 0x1000}
+	st := extractToStore(t, tr, pcs, 8, 10, StoreOpts{Shards: 2, BlockExamples: 16})
+	dir := st.dir
+	st.Close()
+
+	flip := func(path string, off int64) func() {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off < 0 {
+			off += int64(len(b))
+		}
+		orig := b[off]
+		b[off] ^= 0xff
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return func() {
+			b[off] = orig
+			if err := os.WriteFile(path, b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Pristine store opens and verifies.
+	good, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := good.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	good.Close()
+
+	// Index damage is caught by the BNCK envelope CRC.
+	undo := flip(filepath.Join(dir, storeIndexName), -5)
+	if _, err := OpenStore(dir); err == nil {
+		t.Fatal("corrupt index accepted")
+	}
+	undo()
+
+	// A truncated shard fails the size check at open.
+	shardPath := filepath.Join(dir, shardName(0))
+	orig, err := os.ReadFile(shardPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(shardPath, orig[:len(orig)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(dir); err == nil {
+		t.Fatal("truncated shard accepted")
+	}
+	if err := os.WriteFile(shardPath, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// In-place content damage passes open but fails Verify.
+	undo = flip(shardPath, int64(len(orig)/2))
+	damaged, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("size-preserving damage should pass open, got %v", err)
+	}
+	if err := damaged.Verify(); err == nil {
+		t.Fatal("Verify accepted corrupt run contents")
+	}
+	damaged.Close()
+	undo()
+
+	// A header byte flip is caught at open.
+	undo = flip(shardPath, 2)
+	if _, err := OpenStore(dir); err == nil {
+		t.Fatal("shard header damage accepted")
+	}
+	undo()
+
+	// A directory without an index is not a store.
+	if err := os.Remove(filepath.Join(dir, storeIndexName)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(dir); err == nil {
+		t.Fatal("indexless directory accepted as a store")
+	}
+}
+
+// TestExtractStreamRequiresCountsForCap pins the API contract: a
+// single-pass extraction cannot honor MaxPerPC without pre-counted
+// executions.
+func TestExtractStreamRequiresCountsForCap(t *testing.T) {
+	tr := storeTestTrace(41, 100)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.bnt")
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	r, err := trace.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	_, err = ExtractStream(r, []uint64{0x400}, 8, 10, filepath.Join(dir, "s"), StoreOpts{MaxPerPC: 10})
+	if err == nil {
+		t.Fatal("ExtractStream with MaxPerPC but no Counts must error")
+	}
+}
+
+// FuzzStoreIndex drives the index decoder with arbitrary payloads: it
+// must never panic, and any accepted payload must re-encode to an
+// equivalent index (round-trip property).
+func FuzzStoreIndex(f *testing.F) {
+	// Seed with a real index from a tiny extraction.
+	tr := storeTestTrace(51, 500)
+	dir := f.TempDir()
+	if err := tr.WriteFile(filepath.Join(dir, "t.bnt")); err != nil {
+		f.Fatal(err)
+	}
+	st, err := ExtractStreamFile(filepath.Join(dir, "t.bnt"), []uint64{0x400, 0x1000}, 8, 10, filepath.Join(dir, "s"), StoreOpts{Shards: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	seed := encodeStoreIndex(st)
+	st.Close()
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])
+	f.Add(append(append([]byte{}, seed...), 0x01))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		s, err := decodeStoreIndex(payload)
+		if err != nil {
+			return
+		}
+		again, err := decodeStoreIndex(encodeStoreIndex(s))
+		if err != nil {
+			t.Fatalf("re-encode of accepted index rejected: %v", err)
+		}
+		if again.digest != s.digest {
+			t.Fatalf("round trip changed store digest: %#x != %#x", again.digest, s.digest)
+		}
+		if len(again.pcs) != len(s.pcs) || again.window != s.window || again.pcBits != s.pcBits {
+			t.Fatal("round trip changed index shape")
+		}
+	})
+}

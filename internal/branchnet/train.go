@@ -343,12 +343,37 @@ func (m *Model) Train(ds *Dataset, opts TrainOpts) float32 {
 // wrapped, field-contextual error — never silently ignored. A Stop
 // request writes a final snapshot and returns ErrStopped.
 func (m *Model) TrainCheckpointed(ds *Dataset, opts TrainOpts) (float32, error) {
+	return m.trainFromSource(memSource{ds}, opts, 0)
+}
+
+// trainFromSource is the trainer core shared by the in-memory and
+// streamed pipelines. It sees examples only through an ExampleSource
+// and consumes its RNG stream in an access-pattern-independent order
+// (subsample, initial permutation, then per-epoch shuffle and
+// per-example pooling shifts), so the training trajectory is
+// bit-identical whether examples live in RAM or in a sharded on-disk
+// store — the property the streamed-vs-in-memory pins lock down.
+// srcDigest (the store shape digest for streamed runs, 0 in-memory)
+// joins the checkpoint fingerprint so a snapshot never resumes against
+// a different source.
+func (m *Model) trainFromSource(esrc ExampleSource, opts TrainOpts, srcDigest uint32) (float32, error) {
 	m.invalidateInfer()
-	if len(ds.Examples) == 0 {
+	total := esrc.Len()
+	if total == 0 {
 		return 0, nil
 	}
-	if opts.MaxExamples > 0 {
-		ds = ds.Subsample(opts.MaxExamples, opts.Seed)
+	// The training subsample draws from its own seeded stream (exactly
+	// Dataset.Subsample); keep maps train indices to source indices.
+	keep := subsampleIndices(total, opts.MaxExamples, opts.Seed)
+	n := total
+	if keep != nil {
+		n = len(keep)
+	}
+	srcIndex := func(i int) int {
+		if keep == nil {
+			return i
+		}
+		return keep[i]
 	}
 	// The counting source records the RNG stream position (one count per
 	// state advance), which the snapshot stores and resume fast-forwards
@@ -380,7 +405,6 @@ func (m *Model) TrainCheckpointed(ds *Dataset, opts TrainOpts) (float32, error) 
 		defer releaseTrainTokens(extra)
 	}
 
-	n := len(ds.Examples)
 	order := rng.Perm(n)
 
 	// Instrumentation is a single atomic pointer load here; with no
@@ -406,7 +430,11 @@ func (m *Model) TrainCheckpointed(ds *Dataset, opts TrainOpts) (float32, error) 
 	var epochLoss float64
 	batches := 0
 	if ck != nil {
-		fp = newTrainFingerprint(m.PC, opts, shards, ds)
+		digest, err := sourceDigest(esrc, keep, n)
+		if err != nil {
+			return 0, err
+		}
+		fp = makeTrainFingerprint(m.PC, opts, shards, n, digest, srcDigest)
 		st, err := loadTrainSnapshot(ck, m, fp)
 		if err != nil {
 			return 0, err
@@ -431,7 +459,23 @@ func (m *Model) TrainCheckpointed(ds *Dataset, opts TrainOpts) (float32, error) 
 		}
 	}
 
-	ts.batch = make([]Example, 0, opts.BatchSize)
+	// Examples are fetched in prefetch windows of the shuffled order: the
+	// permutation is known up front, so each window is one Fetch whose
+	// indices the source sorts and coalesces into near-sequential reads.
+	// Peak example memory is the window, not the dataset — the knob that
+	// lets streamed training run on a fixed budget. Fetching never
+	// consumes the training RNG, so windowing cannot shift the draw
+	// stream.
+	prefetch := opts.BatchSize * streamPrefetchBatches
+	if prefetch > n {
+		prefetch = n
+	}
+	if prefetch < opts.BatchSize {
+		prefetch = opts.BatchSize
+	}
+	win := make([]Example, prefetch)
+	fetchIdx := make([]int, prefetch)
+	winStart, winEnd := 0, 0 // train-index range currently loaded in win
 	ts.shifts = make([]int, 0, opts.BatchSize)
 	maxPool := m.Knobs.MaxPool()
 
@@ -450,15 +494,29 @@ func (m *Model) TrainCheckpointed(ds *Dataset, opts TrainOpts) (float32, error) 
 			rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
 			epochLoss, batches = 0, 0
 		}
+		winStart, winEnd = 0, 0 // order (re)shuffled: window contents are stale
 		for start := startAt; start < n; start += opts.BatchSize {
 			end := start + opts.BatchSize
 			if end > n {
 				end = n
 			}
-			ts.batch = ts.batch[:0]
+			if start < winStart || end > winEnd {
+				w := start + prefetch
+				if w > n {
+					w = n
+				}
+				fi := fetchIdx[:w-start]
+				for k, idx := range order[start:w] {
+					fi[k] = srcIndex(idx)
+				}
+				if err := esrc.Fetch(fi, win[:w-start]); err != nil {
+					return lastLoss, err
+				}
+				winStart, winEnd = start, w
+			}
+			ts.batch = win[start-winStart : end-winStart]
 			ts.shifts = ts.shifts[:0]
-			for _, idx := range order[start:end] {
-				ts.batch = append(ts.batch, ds.Examples[idx])
+			for range ts.batch {
 				ts.shifts = append(ts.shifts, rng.Intn(maxPool))
 			}
 			batchLoss := ts.step()

@@ -1,0 +1,101 @@
+package branchnet
+
+import (
+	"fmt"
+	"hash/crc32"
+)
+
+// streamPrefetchBatches is how many mini-batches of shuffled examples
+// the trainer fetches from its ExampleSource per window. Larger windows
+// give the store's coalescing sort more indices to merge into
+// sequential reads; peak example memory during streamed training is
+// BatchSize x streamPrefetchBatches examples.
+const streamPrefetchBatches = 16
+
+// ExampleSource abstracts where a branch's training examples live: in
+// memory (a Dataset) or in a sharded on-disk example store. The trainer
+// core only sees this interface, which is what makes streamed and
+// in-memory training bit-identical — same examples, same order, same
+// RNG draws, different I/O.
+type ExampleSource interface {
+	// Len returns the number of examples.
+	Len() int
+	// Window returns the history length (tokens per example).
+	Window() int
+	// Fetch fills dst[k] with example indices[k] for every k; it may
+	// reorder its I/O internally but must fill dst in request order,
+	// reusing dst History buffers when they have capacity.
+	Fetch(indices []int, dst []Example) error
+	// MetaDigest hashes the 17-byte meta records (count, occurrence,
+	// taken) of the examples at indices, in the given order — the same
+	// digest datasetDigest computes for an in-memory selection.
+	MetaDigest(indices []int) (uint32, error)
+}
+
+// memSource adapts a Dataset to ExampleSource (the in-memory trainer
+// path; Fetch copies slice headers, histories stay shared).
+type memSource struct{ ds *Dataset }
+
+func (s memSource) Len() int    { return len(s.ds.Examples) }
+func (s memSource) Window() int { return s.ds.Window }
+
+func (s memSource) Fetch(indices []int, dst []Example) error {
+	if len(indices) != len(dst) {
+		return fmt.Errorf("branchnet: Fetch: %d indices but %d destinations", len(indices), len(dst))
+	}
+	for k, i := range indices {
+		if i < 0 || i >= len(s.ds.Examples) {
+			return fmt.Errorf("branchnet: example index %d out of range [0,%d)", i, len(s.ds.Examples))
+		}
+		dst[k] = s.ds.Examples[i]
+	}
+	return nil
+}
+
+func (s memSource) MetaDigest(indices []int) (uint32, error) {
+	h := crc32.NewIEEE()
+	var buf [storeMetaBytes]byte
+	for _, i := range indices {
+		if i < 0 || i >= len(s.ds.Examples) {
+			return 0, fmt.Errorf("branchnet: example index %d out of range [0,%d)", i, len(s.ds.Examples))
+		}
+		encodeExampleMeta(buf[:], &s.ds.Examples[i])
+		h.Write(buf[:])
+	}
+	return h.Sum32(), nil
+}
+
+// FullDigest short-circuits the all-examples digest (== datasetDigest).
+func (s memSource) FullDigest() uint32 { return datasetDigest(s.ds) }
+
+// sourceDigest computes the fingerprint digest of the training
+// selection: the kept indices in ascending order, or — when nothing was
+// subsampled — every example, using the source's precomputed full
+// digest when it has one (a store answers from its index, no I/O).
+func sourceDigest(src ExampleSource, keep []int, n int) (uint32, error) {
+	if keep == nil {
+		if fd, ok := src.(interface{ FullDigest() uint32 }); ok {
+			return fd.FullDigest(), nil
+		}
+		keep = make([]int, n)
+		for i := range keep {
+			keep[i] = i
+		}
+	}
+	return src.MetaDigest(keep)
+}
+
+// TrainStream is TrainCheckpointed over a stored branch: the trainer
+// core runs unchanged, fetching shuffled examples from the store in
+// prefetch windows instead of holding the dataset in memory, and is
+// bit-identical to training on Store.ReadDataset(pc) under the same
+// options (pinned by TestTrainStreamMatchesInMemory). The checkpoint
+// fingerprint additionally covers the store's shape digest, so a
+// streamed snapshot never resumes against a different store — nor
+// against an in-memory run, whose source digest is zero.
+func (m *Model) TrainStream(sd *StreamDataset, opts TrainOpts) (float32, error) {
+	if sd.PC() != m.PC {
+		return 0, fmt.Errorf("branchnet: TrainStream: model is for %#x but stored dataset is for %#x", m.PC, sd.PC())
+	}
+	return m.trainFromSource(sd, opts, sd.StoreDigest())
+}

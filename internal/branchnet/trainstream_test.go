@@ -1,0 +1,128 @@
+package branchnet
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// streamFixture extracts learnableTrace both in memory and into an
+// example store, returning the matched pair for the bit-identity pins.
+func streamFixture(t *testing.T, maxPerPC int) (Knobs, *Dataset, *StreamDataset) {
+	t.Helper()
+	k := MiniQuick(1024)
+	tr := learnableTrace(5, 4000)
+	window := k.WindowTokens()
+	ds := ExtractCapped(tr, []uint64{learnPC}, window, k.PCBits, maxPerPC)[learnPC]
+
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.bnt")
+	if err := tr.WriteFile(tracePath); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ExtractStreamFile(tracePath, []uint64{learnPC}, window, k.PCBits,
+		filepath.Join(dir, "store"), StoreOpts{Shards: 2, BlockExamples: 32, MaxPerPC: maxPerPC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	sd, err := st.Dataset(learnPC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, ds, sd
+}
+
+// TestTrainStreamMatchesInMemory is the tentpole training pin: a model
+// trained from the on-disk store — shuffled examples fetched in
+// prefetch windows — must finish with weights, optimizer state, and
+// loss bit-identical to one trained from the in-memory dataset under
+// the same options, across subsampling, sharding, and capped
+// extraction.
+func TestTrainStreamMatchesInMemory(t *testing.T) {
+	cases := []struct {
+		name     string
+		maxPerPC int
+		opts     TrainOpts
+	}{
+		{"plain", 0, TrainOpts{Epochs: 2, BatchSize: 32, LR: 0.01, Seed: 3}},
+		{"subsampled", 0, TrainOpts{Epochs: 2, BatchSize: 32, LR: 0.01, Seed: 4, MaxExamples: 300}},
+		{"sharded", 0, TrainOpts{Epochs: 2, BatchSize: 32, LR: 0.01, Seed: 5, Shards: 2, Workers: 2}},
+		{"capped-extraction", 200, TrainOpts{Epochs: 2, BatchSize: 16, LR: 0.01, Seed: 6}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			k, ds, sd := streamFixture(t, tc.maxPerPC)
+			mem := New(k, learnPC, 3)
+			memLoss := mem.Train(ds, tc.opts)
+
+			str := New(k, learnPC, 3)
+			strLoss, err := str.TrainStream(sd, tc.opts)
+			if err != nil {
+				t.Fatalf("TrainStream: %v", err)
+			}
+			if memLoss != strLoss {
+				t.Fatalf("loss diverged: in-memory %v != streamed %v", memLoss, strLoss)
+			}
+			assertModelsBitIdentical(t, "streamed vs in-memory", str, mem)
+		})
+	}
+}
+
+// TestTrainStreamCheckpointResume pins crash-safe streamed training:
+// checkpointing every batch perturbs nothing, a finished snapshot
+// short-circuits the re-run, and the snapshot's fingerprint refuses to
+// resume an in-memory run (the source digest differs).
+func TestTrainStreamCheckpointResume(t *testing.T) {
+	k, ds, sd := streamFixture(t, 0)
+	opts := TrainOpts{Epochs: 2, BatchSize: 32, LR: 0.01, Seed: 3}
+
+	golden := New(k, learnPC, 3)
+	goldenLoss, err := golden.TrainStream(sd, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "stream.ckpt")
+	ckOpts := opts
+	ckOpts.Checkpoint = &TrainCheckpoint{Path: path, EveryBatches: 1}
+	ckpt := New(k, learnPC, 3)
+	loss, err := ckpt.TrainStream(sd, ckOpts)
+	if err != nil {
+		t.Fatalf("checkpointed streamed run failed: %v", err)
+	}
+	if loss != goldenLoss {
+		t.Fatalf("loss diverged: checkpointed %v != plain %v", loss, goldenLoss)
+	}
+	assertModelsBitIdentical(t, "checkpointed streamed vs plain", ckpt, golden)
+
+	// A re-run against the completed snapshot must short-circuit.
+	again := New(k, learnPC, 3)
+	doneOpts := opts
+	doneOpts.Checkpoint = &TrainCheckpoint{Path: path}
+	lossAgain, err := again.TrainStream(sd, doneOpts)
+	if err != nil {
+		t.Fatalf("re-run against done snapshot failed: %v", err)
+	}
+	if lossAgain != goldenLoss {
+		t.Fatalf("done-snapshot loss %v != %v", lossAgain, goldenLoss)
+	}
+	assertModelsBitIdentical(t, "done snapshot vs plain", again, golden)
+
+	// The same examples through the in-memory path carry source digest 0:
+	// the streamed snapshot must be rejected, not silently resumed.
+	foreign := New(k, learnPC, 3)
+	_, err = foreign.TrainCheckpointed(ds, doneOpts)
+	if err == nil || !strings.Contains(err.Error(), "fingerprint mismatch") {
+		t.Fatalf("in-memory run resumed a streamed snapshot (err=%v)", err)
+	}
+}
+
+// TestTrainStreamRejectsWrongBranch pins the PC guard.
+func TestTrainStreamRejectsWrongBranch(t *testing.T) {
+	k, _, sd := streamFixture(t, 0)
+	m := New(k, 0x1234, 3)
+	if _, err := m.TrainStream(sd, TrainOpts{Epochs: 1, BatchSize: 8, LR: 0.01, Seed: 1}); err == nil {
+		t.Fatal("TrainStream accepted a stored dataset for a different branch")
+	}
+}

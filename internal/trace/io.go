@@ -3,8 +3,6 @@ package trace
 import (
 	"bufio"
 	"encoding/binary"
-	"errors"
-	"fmt"
 	"io"
 	"os"
 )
@@ -13,7 +11,8 @@ import (
 // can be generated once by cmd/tracegen and replayed by cmd/branchnet-sim.
 //
 //	magic   [4]byte  "BNT1"
-//	count   uvarint  number of records
+//	count   uvarint  number of records, or 2^64-1 for "unknown, read to
+//	                 EOF" (streamed traces, see Writer)
 //	records count times:
 //	    pcDelta  varint   (pc - previous pc, zig-zag encoded by binary.PutVarint)
 //	    meta     uvarint  (gap << 1 | taken)
@@ -58,44 +57,18 @@ func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 	return written, bw.Flush()
 }
 
-// ReadTrace decodes a trace written by WriteTo.
+// ReadTrace decodes a trace written by WriteTo (or by a streaming
+// Writer) into memory. The header count is treated as untrusted: initial
+// capacity is clamped (a crafted 13-byte file can otherwise request a
+// ~24 GiB allocation) and the slice grows as records actually decode.
+// Traces beyond the in-memory cap return ErrTooLarge — use Reader to
+// stream them.
 func ReadTrace(r io.Reader) (*Trace, error) {
-	br := bufio.NewReader(r)
-	var m [4]byte
-	if _, err := io.ReadFull(br, m[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
-	}
-	if m != magic {
-		return nil, errors.New("trace: bad magic, not a BNT1 trace")
-	}
-	count, err := binary.ReadUvarint(br)
+	rd, err := NewReader(r)
 	if err != nil {
-		return nil, fmt.Errorf("trace: reading count: %w", err)
+		return nil, err
 	}
-	const maxRecords = 1 << 30
-	if count > maxRecords {
-		return nil, fmt.Errorf("trace: implausible record count %d", count)
-	}
-	t := &Trace{Records: make([]Record, 0, count)}
-	prevPC := uint64(0)
-	for i := uint64(0); i < count; i++ {
-		d, err := binary.ReadVarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("trace: record %d pc: %w", i, err)
-		}
-		meta, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("trace: record %d meta: %w", i, err)
-		}
-		pc := uint64(int64(prevPC) + d)
-		t.Records = append(t.Records, Record{
-			PC:    pc,
-			Taken: meta&1 == 1,
-			Gap:   uint32(meta >> 1),
-		})
-		prevPC = pc
-	}
-	return t, nil
+	return readAll(rd)
 }
 
 // WriteFile writes the trace to path, creating or truncating it.

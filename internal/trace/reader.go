@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Reader is a streaming iterator over a BNT1 trace: it decodes one record
+// at a time in O(1) memory, never materializing a []Record, which is what
+// lets extraction and simulation walk traces far larger than RAM.
+//
+// Usage:
+//
+//	r, err := trace.Open(path)
+//	defer r.Close()
+//	for r.Next() {
+//	    rec := r.Record()
+//	    ...
+//	}
+//	if err := r.Err(); err != nil { ... }
+//
+// Next returns false at the end of the trace or on the first decode error;
+// the two are distinguished by Err. A reader over a counted trace stops
+// after exactly the declared number of records; a reader over a streamed
+// trace (unknown count, see NewWriter) stops at a clean EOF on a record
+// boundary and treats mid-record truncation as an error.
+type Reader struct {
+	br     *bufio.Reader
+	closer io.Closer
+
+	counted bool
+	count   uint64 // declared record count (counted traces only)
+
+	read   uint64
+	prevPC uint64
+	rec    Record
+	err    error
+}
+
+// streamingCount is the count-field sentinel for traces whose record count
+// was unknown at header time (streaming writers): readers consume records
+// until EOF. The sentinel is deliberately the one value an in-memory trace
+// can never declare, and pre-streaming readers reject it as implausible
+// rather than misdecoding the file.
+const streamingCount = ^uint64(0)
+
+// maxPreallocRecords clamps how much a decoder pre-allocates from the
+// untrusted header count: a crafted 13-byte header can declare up to 2^30
+// records (a ~24 GiB allocation request) while supplying none of them, so
+// capacity beyond this grows incrementally as records actually arrive.
+const maxPreallocRecords = 1 << 20
+
+// NewReader starts a streaming decode of a BNT1 trace from r. The header
+// (magic and count) is read immediately; record decoding is incremental.
+func NewReader(r io.Reader) (*Reader, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReaderSize(r, 1<<16)
+	}
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, errors.New("trace: bad magic, not a BNT1 trace")
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading count: %w", err)
+	}
+	rd := &Reader{br: br}
+	if count == streamingCount {
+		return rd, nil
+	}
+	const maxRecords = 1 << 40 // a counted trace beyond a trillion branches is a corrupt header
+	if count > maxRecords {
+		return nil, fmt.Errorf("trace: implausible record count %d", count)
+	}
+	rd.counted = true
+	rd.count = count
+	return rd, nil
+}
+
+// Open starts a streaming decode of the trace file at path. The caller
+// must Close the reader.
+func Open(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := NewReader(bufio.NewReaderSize(f, 1<<16))
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r.closer = f
+	return r, nil
+}
+
+// Counted reports whether the trace header declared a record count.
+func (r *Reader) Counted() bool { return r.counted }
+
+// Count returns the declared record count of a counted trace (0 for
+// streamed traces, whose length is only known once Next returns false).
+func (r *Reader) Count() uint64 {
+	if !r.counted {
+		return 0
+	}
+	return r.count
+}
+
+// Read reports how many records have been decoded so far.
+func (r *Reader) Read() uint64 { return r.read }
+
+// Next decodes the next record, returning false at the end of the trace
+// or on the first error (see Err).
+func (r *Reader) Next() bool {
+	if r.err != nil {
+		return false
+	}
+	if r.counted && r.read >= r.count {
+		return false
+	}
+	d, err := binary.ReadVarint(r.br)
+	if err != nil {
+		if !r.counted && err == io.EOF {
+			return false // clean end of a streamed trace
+		}
+		r.err = fmt.Errorf("trace: record %d pc: %w", r.read, err)
+		return false
+	}
+	meta, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		r.err = fmt.Errorf("trace: record %d meta: %w", r.read, err)
+		return false
+	}
+	pc := uint64(int64(r.prevPC) + d)
+	r.rec = Record{PC: pc, Taken: meta&1 == 1, Gap: uint32(meta >> 1)}
+	r.prevPC = pc
+	r.read++
+	return true
+}
+
+// Record returns the record decoded by the last successful Next. The
+// returned value is overwritten by the following Next call.
+func (r *Reader) Record() Record { return r.rec }
+
+// Err returns the first decode error, or nil after a clean end of trace.
+// A counted trace that ends before its declared count is an error.
+func (r *Reader) Err() error { return r.err }
+
+// Close releases the underlying file (no-op for readers over plain
+// io.Readers).
+func (r *Reader) Close() error {
+	if r.closer == nil {
+		return nil
+	}
+	c := r.closer
+	r.closer = nil
+	return c.Close()
+}

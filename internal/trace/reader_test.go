@@ -1,0 +1,249 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// randomTrace builds a deterministic pseudo-random trace exercising
+// negative PC deltas, zero gaps, and repeated PCs.
+func randomTrace(n int, seed int64) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	tr := &Trace{}
+	pcs := []uint64{0x400, 0x7f8, 0x1000, 0x40, 0xfffff0}
+	for i := 0; i < n; i++ {
+		tr.Records = append(tr.Records, Record{
+			PC:    pcs[rng.Intn(len(pcs))] + 4*uint64(rng.Intn(8)),
+			Taken: rng.Intn(2) == 1,
+			Gap:   uint32(rng.Intn(30)),
+		})
+	}
+	return tr
+}
+
+func TestReaderMatchesReadTrace(t *testing.T) {
+	tr := randomTrace(5000, 1)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	whole, err := ReadTrace(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if !reflect.DeepEqual(whole.Records, tr.Records) {
+		t.Fatal("ReadTrace round trip mismatch")
+	}
+
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	if !r.Counted() || r.Count() != uint64(len(tr.Records)) {
+		t.Fatalf("Counted=%v Count=%d, want counted %d", r.Counted(), r.Count(), len(tr.Records))
+	}
+	var got []Record
+	for r.Next() {
+		got = append(got, r.Record())
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("Reader: %v", err)
+	}
+	if !reflect.DeepEqual(got, tr.Records) {
+		t.Fatal("streaming Reader decodes differently from ReadTrace")
+	}
+}
+
+func TestStreamedWriterRoundTrip(t *testing.T) {
+	tr := randomTrace(3000, 2)
+	path := filepath.Join(t.TempDir(), "stream.bnt")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range tr.Records {
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Records() != uint64(len(tr.Records)) {
+		t.Fatalf("Records() = %d, want %d", w.Records(), len(tr.Records))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The streamed file must decode identically via both paths.
+	whole, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile of streamed trace: %v", err)
+	}
+	if !reflect.DeepEqual(whole.Records, tr.Records) {
+		t.Fatal("ReadFile round trip of streamed trace mismatch")
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Counted() {
+		t.Fatal("streamed trace must not report a counted header")
+	}
+	i := 0
+	for r.Next() {
+		if r.Record() != tr.Records[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, r.Record(), tr.Records[i])
+		}
+		i++
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if i != len(tr.Records) {
+		t.Fatalf("decoded %d records, want %d", i, len(tr.Records))
+	}
+}
+
+func TestStreamCollectorMatchesCollector(t *testing.T) {
+	emit := func(e Emitter) {
+		e.Instr(7)
+		e.Branch(0x400, true)
+		e.Branch(0x404, false)
+		e.Instr(3)
+		e.Instr(2)
+		e.Branch(0x7f8, true)
+		for i := 0; i < 100; i++ {
+			e.Instr(1)
+			e.Branch(0x1000+4*uint64(i%3), i%2 == 0)
+		}
+	}
+	col := NewCollector(50)
+	emit(col)
+	want := col.Trace()
+
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewStreamCollector(w, 50)
+	emit(sc)
+	if !sc.Full() {
+		t.Fatal("stream collector should be full at its limit")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Records, want.Records) {
+		t.Fatal("StreamCollector trace differs from Collector trace")
+	}
+}
+
+// TestReadTraceHeaderCountUntrusted crafts a tiny file whose header
+// declares a huge record count. Decoding must fail on truncation without
+// honoring the count as an allocation size (the old decoder pre-allocated
+// make([]Record, 0, count) — ~24 GiB for count 2^30 — before reading a
+// single record).
+func TestReadTraceHeaderCountUntrusted(t *testing.T) {
+	var buf []byte
+	buf = append(buf, magic[:]...)
+	buf = binary.AppendUvarint(buf, 1<<30) // plausible but absurd for a 13-byte file
+	if _, err := ReadTrace(bytes.NewReader(buf)); err == nil {
+		t.Fatal("truncated trace with huge declared count must error")
+	}
+	// Counts beyond the in-memory cap are rejected at the header.
+	buf = append([]byte{}, magic[:]...)
+	buf = binary.AppendUvarint(buf, 1<<35)
+	if _, err := ReadTrace(bytes.NewReader(buf)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("count 2^35 should be ErrTooLarge, got %v", err)
+	}
+	// Way-beyond-plausible counts fail even for streaming readers.
+	buf = append([]byte{}, magic[:]...)
+	buf = binary.AppendUvarint(buf, 1<<50)
+	if _, err := NewReader(bytes.NewReader(buf)); err == nil {
+		t.Fatal("count 2^50 should be rejected at the header")
+	}
+}
+
+func TestCountedTraceTruncationIsError(t *testing.T) {
+	tr := randomTrace(100, 3)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{len(data) - 1, len(data) / 2, 6} {
+		if cut < 0 || cut >= len(data) {
+			continue
+		}
+		if _, err := ReadTrace(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncation at %d of %d accepted", cut, len(data))
+		}
+	}
+}
+
+func FuzzReadTrace(f *testing.F) {
+	// Valid counted and streamed encodings plus damaged variants.
+	tr := randomTrace(64, 4)
+	var counted bytes.Buffer
+	tr.WriteTo(&counted) //nolint:errcheck
+	f.Add(counted.Bytes())
+	var streamed bytes.Buffer
+	w, _ := NewWriter(&streamed)
+	for _, rec := range tr.Records {
+		w.Append(rec) //nolint:errcheck
+	}
+	w.Flush() //nolint:errcheck
+	f.Add(streamed.Bytes())
+	f.Add([]byte("BNT1"))
+	f.Add(append([]byte("BNT1"), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01))
+	f.Add(counted.Bytes()[:counted.Len()/2])
+	f.Add(append(counted.Bytes(), 0xde, 0xad))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Neither decoder may panic; when both succeed they must agree,
+		// and a successful decode must re-encode to a decodable trace
+		// with identical records (round-trip property).
+		whole, wErr := ReadTrace(bytes.NewReader(data))
+		r, rErr := NewReader(bytes.NewReader(data))
+		if rErr == nil {
+			var got []Record
+			for r.Next() && len(got) <= 1<<20 {
+				got = append(got, r.Record())
+			}
+			if wErr == nil {
+				if r.Err() != nil {
+					t.Fatalf("ReadTrace accepted but Reader failed: %v", r.Err())
+				}
+				if !reflect.DeepEqual(got, whole.Records) && !(len(got) == 0 && len(whole.Records) == 0) {
+					t.Fatal("Reader and ReadTrace disagree on accepted input")
+				}
+			}
+		}
+		if wErr != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if _, err := whole.WriteTo(&buf); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		again, err := ReadTrace(&buf)
+		if err != nil {
+			t.Fatalf("decode of re-encode: %v", err)
+		}
+		if !reflect.DeepEqual(again.Records, whole.Records) && !(len(again.Records) == 0 && len(whole.Records) == 0) {
+			t.Fatal("round trip changed records")
+		}
+	})
+}

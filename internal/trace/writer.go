@@ -1,0 +1,179 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Writer encodes a BNT1 trace record-by-record in O(1) memory, so
+// workload generators can emit traces far larger than RAM. Because the
+// BNT1 count field precedes the records and a streaming writer cannot
+// know it in advance, the header carries the streaming sentinel (see
+// streamingCount) and readers consume records until EOF.
+type Writer struct {
+	bw     *bufio.Writer
+	closer io.Closer
+	n      uint64
+	prevPC uint64
+	err    error
+}
+
+// NewWriter starts a streamed BNT1 encoding to w (header written
+// immediately). The caller must Close (or at least Flush) the writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	k := binary.PutUvarint(buf[:], streamingCount)
+	if _, err := bw.Write(buf[:k]); err != nil {
+		return nil, err
+	}
+	return &Writer{bw: bw}, nil
+}
+
+// Create starts a streamed BNT1 encoding to a new file at path.
+func Create(path string) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w, err := NewWriter(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	w.closer = f
+	return w, nil
+}
+
+// Append encodes one record. Errors are sticky and also returned by
+// Close, so hot loops may ignore them per record.
+func (w *Writer) Append(r Record) error {
+	if w.err != nil {
+		return w.err
+	}
+	var buf [2 * binary.MaxVarintLen64]byte
+	k := binary.PutVarint(buf[:], int64(r.PC)-int64(w.prevPC))
+	meta := uint64(r.Gap) << 1
+	if r.Taken {
+		meta |= 1
+	}
+	k += binary.PutUvarint(buf[k:], meta)
+	if _, err := w.bw.Write(buf[:k]); err != nil {
+		w.err = err
+		return err
+	}
+	w.prevPC = r.PC
+	w.n++
+	return nil
+}
+
+// Records reports how many records have been appended.
+func (w *Writer) Records() uint64 { return w.n }
+
+// Flush drains the buffer to the underlying writer.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.err = err
+	}
+	return w.err
+}
+
+// Close flushes and closes the underlying file (if any), returning the
+// first error seen by any operation.
+func (w *Writer) Close() error {
+	err := w.Flush()
+	if w.closer != nil {
+		c := w.closer
+		w.closer = nil
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// StreamCollector adapts a Writer to the Emitter interface with the same
+// gap accounting and branch-count limit as Collector, so workload
+// generators can stream straight to disk instead of materializing a
+// Trace. Write errors are sticky on the underlying Writer and surface at
+// Close.
+type StreamCollector struct {
+	w   *Writer
+	gap uint32
+	// Limit, when non-zero, stops collection after Limit branch records.
+	Limit int
+}
+
+// NewStreamCollector wraps w with an optional branch-count limit
+// (limit <= 0 means unlimited).
+func NewStreamCollector(w *Writer, limit int) *StreamCollector {
+	return &StreamCollector{w: w, Limit: limit}
+}
+
+// Branch implements Emitter.
+func (c *StreamCollector) Branch(pc uint64, taken bool) {
+	if c.Full() {
+		return
+	}
+	c.w.Append(Record{PC: pc, Taken: taken, Gap: c.gap}) //nolint:errcheck // sticky, surfaced at Close
+	c.gap = 0
+}
+
+// Instr implements Emitter.
+func (c *StreamCollector) Instr(n int) {
+	if c.Full() || n <= 0 {
+		return
+	}
+	c.gap += uint32(n)
+}
+
+// Full reports whether the collector reached its branch limit.
+func (c *StreamCollector) Full() bool {
+	return c.Limit > 0 && c.w.Records() >= uint64(c.Limit)
+}
+
+// Records reports how many branch records have been written.
+func (c *StreamCollector) Records() uint64 { return c.w.Records() }
+
+// ErrTooLarge is returned by ReadTrace for traces that exceed the
+// in-memory record cap; streaming consumers (trace.Reader) have no such
+// limit.
+var ErrTooLarge = errors.New("trace: too many records for an in-memory trace")
+
+// maxInMemoryRecords caps ReadTrace materialization (2^30 records is
+// ~24 GiB of Record structs — anything bigger must stream).
+const maxInMemoryRecords = 1 << 30
+
+// readAll drains a Reader into an in-memory Trace, growing the slice
+// incrementally: the initial capacity trusts the header count only up to
+// maxPreallocRecords, so a crafted header cannot force a huge allocation.
+func readAll(r *Reader) (*Trace, error) {
+	if r.Counted() && r.Count() > maxInMemoryRecords {
+		return nil, fmt.Errorf("%w (header declares %d)", ErrTooLarge, r.Count())
+	}
+	capHint := r.Count()
+	if capHint > maxPreallocRecords {
+		capHint = maxPreallocRecords
+	}
+	t := &Trace{Records: make([]Record, 0, capHint)}
+	for r.Next() {
+		if len(t.Records) >= maxInMemoryRecords {
+			return nil, fmt.Errorf("%w (limit %d)", ErrTooLarge, maxInMemoryRecords)
+		}
+		t.Records = append(t.Records, r.Record())
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
