@@ -36,6 +36,15 @@ go test -fuzz FuzzDecodeSessionState -fuzztime 10s ./internal/serve
 go test -fuzz FuzzReadTrace -fuzztime 10s ./internal/trace
 go test -fuzz FuzzStoreIndex -fuzztime 10s ./internal/branchnet
 
+# Online-adaptation gate: the full adapt suite under the race detector
+# (promotion hot-swaps race the prediction path by design — the rollback
+# pressure test and the phase-shift e2e both need an adversarial
+# scheduler), plus fuzz smokes of its two untrusted on-disk artifacts,
+# the reservoir segments and the promotion journal.
+go test -race -count=1 ./internal/adapt
+go test -fuzz FuzzAdaptReservoir -fuzztime 10s ./internal/adapt
+go test -fuzz FuzzAdaptJournal -fuzztime 10s ./internal/adapt
+
 # Streaming-pipeline gate: the stream-extracted example store and the
 # windowed-shuffle trainer must stay bit-identical to the in-memory
 # oracle (dataset pins, worker-count independence, fixed-seed train
@@ -114,6 +123,21 @@ wait "$r1_pid" # drained replica exits on its own once it owns no sessions
 kill -TERM "$gw_pid"
 kill -INT "$r2_pid"
 wait "$gw_pid" "$r2_pid"
+
+# Adaptation smoke test: an adaptation-enabled replica driven through
+# the noisy-history phase shift. The loadgen exits non-zero unless each
+# phase produces a gated promotion (z >= 3; noise-only drift stays
+# blocked), the final version-pinned parity pass is bit-exact, and the
+# retrained model beats the frozen phase-A control on the shifted branch.
+"$smoke/branchnet-serve" -addr 127.0.0.1:0 -addr-file "$smoke/adapt.addr" \
+    -baseline gshare -adapt -adapt-sync -adapt-dir "$smoke/adapt-state" \
+    -adapt-sustain 128 -adapt-min-examples 384 -adapt-cooldown 512 &
+adapt_pid=$!
+"$smoke/branchnet-loadgen" -addr-file "$smoke/adapt.addr" -wait 10s \
+    -phase-shift -baseline gshare -branches 16000 \
+    -json "$smoke/BENCH_adapt.json"
+kill -TERM "$adapt_pid"
+wait "$adapt_pid"
 
 # Bounded-memory streaming smoke: stream a 100M-branch trace to disk,
 # stream-extract it into a sharded example store, and train two branches

@@ -64,33 +64,39 @@ func main() {
 	noParity := flag.Bool("no-parity", false, "skip the parity check (throughput measurement only)")
 	metricsOut := flag.String("metrics-out", "", "write a final JSON metrics snapshot of the client-side counters and latency histogram to this file")
 	cluster := flag.Bool("cluster", false, "cluster mode: drive a branchnet-gateway fleet with Zipf-skewed workload popularity (requires -duration; -addr points at the gateway)")
+	phaseShift := flag.Bool("phase-shift", false, "adaptation mode: replay the noisy-history microbenchmark, invert its history correlation mid-run, and require the server's online adapter to retrain through the shift (requires branchnet-serve -adapt; -branches sets the per-phase trace length)")
+	adaptPasses := flag.Int("adapt-passes", 8, "phase-shift mode: max trace replays per phase while waiting for a promotion")
+	adaptSettle := flag.Duration("adapt-settle", 5*time.Second, "phase-shift mode: post-pass wait for an asynchronous retrain to land")
 	workloads := flag.Int("workloads", 4, "cluster mode: trace segments used as distinct workloads")
 	zipfS := flag.Float64("zipf", 1.2, "cluster mode: Zipf skew exponent for workload popularity")
 	killAfter := flag.Duration("kill-after", 0, "cluster mode: SIGTERM the -kill-pid replica this long into the run (0: no kill)")
 	killPID := flag.Int("kill-pid", 0, "cluster mode: replica process id to SIGTERM at -kill-after")
 	expectMigrated := flag.Bool("expect-migrated", false, "cluster mode: fail unless the gateway reports sessions_migrated > 0")
-	mergeBench := flag.String("merge-bench", "", "cluster mode: merge the cluster result into this BENCH_serve.json file")
+	mergeBench := flag.String("merge-bench", "", "cluster/phase-shift mode: merge the result into this BENCH_serve.json file")
 	logf := obs.NewLogFlags()
 	flag.Parse()
 	logf.Setup("branchnet-loadgen")
 
-	p := bench.ByName(*benchName)
-	if p == nil {
-		log.Fatalf("unknown benchmark %q", *benchName)
+	var tr *trace.Trace
+	if !*phaseShift {
+		p := bench.ByName(*benchName)
+		if p == nil {
+			log.Fatalf("unknown benchmark %q", *benchName)
+		}
+		var sp bench.Split
+		switch *split {
+		case "train":
+			sp = bench.Train
+		case "validation":
+			sp = bench.Validation
+		case "test":
+			sp = bench.Test
+		default:
+			log.Fatalf("unknown split %q (train, validation, test)", *split)
+		}
+		tr = p.Generate(p.Inputs(sp)[0], *branches)
+		slog.Info("trace generated", "bench", *benchName, "split", *split, "branches", tr.Branches())
 	}
-	var sp bench.Split
-	switch *split {
-	case "train":
-		sp = bench.Train
-	case "validation":
-		sp = bench.Validation
-	case "test":
-		sp = bench.Test
-	default:
-		log.Fatalf("unknown split %q (train, validation, test)", *split)
-	}
-	tr := p.Generate(p.Inputs(sp)[0], *branches)
-	slog.Info("trace generated", "bench", *benchName, "split", *split, "branches", tr.Branches())
 
 	if *writeSynth != "" {
 		if *synth <= 0 {
@@ -127,7 +133,7 @@ func main() {
 	}
 
 	var expected []bool
-	if !*noParity {
+	if !*noParity && tr != nil {
 		expected = serve.ExpectedPredictions(newBase, attached, tr)
 	}
 
@@ -151,6 +157,20 @@ func main() {
 	baseURL := "http://" + target
 	if err := serve.WaitReady(baseURL, *wait); err != nil {
 		log.Fatal(err)
+	}
+
+	if *phaseShift {
+		runPhaseShift(phaseShiftOpts{
+			baseURL:    baseURL,
+			newBase:    newBase,
+			branches:   *branches,
+			chunk:      *chunk,
+			passes:     *adaptPasses,
+			settle:     *adaptSettle,
+			jsonOut:    *jsonOut,
+			mergeBench: *mergeBench,
+		})
+		return
 	}
 
 	if *cluster {
@@ -351,6 +371,130 @@ func runCluster(o clusterOpts) {
 		log.Fatal("FAIL: expected migrated sessions, gateway reports none")
 	}
 	slog.Info("OK")
+}
+
+type phaseShiftOpts struct {
+	baseURL    string
+	newBase    func() predictor.Predictor
+	branches   int
+	chunk      int
+	passes     int
+	settle     time.Duration
+	jsonOut    string
+	mergeBench string
+}
+
+// runPhaseShift drives the online-adaptation demo: phase A replays the
+// noisy-history microbenchmark until the server's adapter cold-start
+// promotes a model for Branch B, phase B inverts the history correlation
+// (same branches, same rates, opposite rule) until drift fires and a
+// retrained model passes the z-gate, and a held-out inverted trace then
+// scores baseline vs frozen-control vs adapted — the adapted set must
+// beat the control on the shifted branch — and closes with a bit-exact
+// parity pass against the downloaded final model set.
+func runPhaseShift(o phaseShiftOpts) {
+	prog := bench.NoisyHistory()
+	phaseA := prog.Generate(bench.NoisyInput("adapt-a", 7001, 5, 10, 0.5), o.branches)
+	phaseB := prog.Generate(bench.NoisyInvertInput("adapt-b", 7002, 5, 10, 0.5), o.branches)
+	eval := prog.Generate(bench.NoisyInvertInput("adapt-eval", 7003, 5, 10, 0.5), o.branches)
+	slog.Info("phase-shift traces generated",
+		"phase_a", phaseA.Branches(), "phase_b", phaseB.Branches(), "eval", eval.Branches())
+
+	rep, err := serve.RunAdaptLoad(serve.AdaptLoadConfig{
+		BaseURL:       o.baseURL,
+		NewBaseline:   o.newBase,
+		PhaseA:        phaseA,
+		PhaseB:        phaseB,
+		Eval:          eval,
+		HardPC:        bench.NoisyPCB,
+		Chunk:         o.chunk,
+		MaxPasses:     o.passes,
+		SettleTimeout: o.settle,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	slog.Info("adaptation complete",
+		"phase_a_passes", rep.PhaseAPasses, "phase_b_passes", rep.PhaseBPasses,
+		"retrains", rep.Retrains, "promotions", rep.Promotions, "blocked", rep.Blocked,
+		"final_version", rep.FinalVersion, "models", rep.Models)
+	slog.Info("eval accuracy (held-out post-shift trace)",
+		"baseline", fmt.Sprintf("%.4f", rep.BaselineAccuracy),
+		"control", fmt.Sprintf("%.4f", rep.ControlAccuracy),
+		"adapted", fmt.Sprintf("%.4f", rep.AdaptedAccuracy))
+	slog.Info("eval accuracy (shifted branch only)",
+		"baseline", fmt.Sprintf("%.4f", rep.BaselineHardAccuracy),
+		"control", fmt.Sprintf("%.4f", rep.ControlHardAccuracy),
+		"adapted", fmt.Sprintf("%.4f", rep.AdaptedHardAccuracy))
+	slog.Info("parity", "mismatches", rep.ParityMismatches,
+		"predictions", rep.ParityPredictions, "attempts", rep.ParityAttempts)
+
+	if o.jsonOut != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatalf("encoding report: %v", err)
+		}
+		if err := os.WriteFile(o.jsonOut, append(b, '\n'), 0o644); err != nil {
+			log.Fatalf("writing %s: %v", o.jsonOut, err)
+		}
+		slog.Info("report written", "out", o.jsonOut)
+	}
+	if o.mergeBench != "" {
+		if err := mergeAdaptCase(o.mergeBench, o, phaseA.Branches(), phaseB.Branches(), eval.Branches(), rep); err != nil {
+			log.Fatalf("merging %s: %v", o.mergeBench, err)
+		}
+		slog.Info("adapt case merged", "out", o.mergeBench)
+	}
+
+	switch {
+	case rep.ParityPredictions == 0:
+		log.Fatal("FAIL: no parity predictions served")
+	case rep.ParityMismatches != 0:
+		log.Fatalf("FAIL: %d parity mismatches", rep.ParityMismatches)
+	case rep.AdaptedHardAccuracy <= rep.ControlHardAccuracy:
+		log.Fatalf("FAIL: adapted model (%.4f) does not beat the frozen control (%.4f) on the shifted branch",
+			rep.AdaptedHardAccuracy, rep.ControlHardAccuracy)
+	}
+	slog.Info("OK")
+}
+
+// mergeAdaptCase records the phase-shift adaptation result in a
+// BENCH_serve.json file alongside the micro-bench cases.
+func mergeAdaptCase(path string, o phaseShiftOpts, aRecs, bRecs, eRecs int, rep *serve.AdaptLoadReport) error {
+	var bench experiments.ServeBenchReport
+	if b, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(b, &bench); err != nil {
+			return fmt.Errorf("parsing existing report: %w", err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	bench.Adapt = &experiments.AdaptCase{
+		PhaseARecords:        aRecs,
+		PhaseBRecords:        bRecs,
+		EvalRecords:          eRecs,
+		PhaseAPasses:         rep.PhaseAPasses,
+		PhaseBPasses:         rep.PhaseBPasses,
+		Retrains:             rep.Retrains,
+		Promotions:           rep.Promotions,
+		Blocked:              rep.Blocked,
+		FinalVersion:         rep.FinalVersion,
+		Models:               rep.Models,
+		BaselineAccuracy:     rep.BaselineAccuracy,
+		ControlAccuracy:      rep.ControlAccuracy,
+		AdaptedAccuracy:      rep.AdaptedAccuracy,
+		BaselineHardAccuracy: rep.BaselineHardAccuracy,
+		ControlHardAccuracy:  rep.ControlHardAccuracy,
+		AdaptedHardAccuracy:  rep.AdaptedHardAccuracy,
+		ParityPredictions:    rep.ParityPredictions,
+		ParityMismatches:     rep.ParityMismatches,
+	}
+	b, err := json.MarshalIndent(&bench, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 // mergeClusterCase records the cluster result in a BENCH_serve.json file

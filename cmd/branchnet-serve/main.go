@@ -31,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"branchnet/internal/adapt"
 	"branchnet/internal/branchnet"
 	"branchnet/internal/obs"
 	"branchnet/internal/serve"
@@ -54,6 +55,13 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof (plus /metrics and /debug/spans) on this address (e.g. localhost:6060; empty: disabled)")
 	metricsOut := flag.String("metrics-out", "", "write a final JSON metrics snapshot to this file on clean shutdown")
 	drainGrace := flag.Duration("drain-grace", 0, "on SIGTERM, enter the draining state (healthz 503, no new sessions, exports still served) and wait up to this long for a gateway to migrate sessions off before shutting down (0: shut down immediately)")
+	adaptOn := flag.Bool("adapt", false, "enable online adaptation: shadow-train Mini models on drifting branches and hot-swap them through the z-gate (see /v1/adapt/status)")
+	adaptDir := flag.String("adapt-dir", "adapt-state", "adaptation state directory (reservoir segments, retrain checkpoints, promotion journal)")
+	adaptSync := flag.Bool("adapt-sync", false, "run retrains inline in the request that fires them (deterministic; smoke tests only)")
+	adaptWorkers := flag.Int("adapt-workers", 1, "background retrain worker pool size")
+	adaptSustain := flag.Int("adapt-sustain", 256, "consecutive drifting observations required to fire a retrain")
+	adaptMinEx := flag.Int("adapt-min-examples", 512, "sampled examples required before a retrain can fire")
+	adaptCooldown := flag.Int("adapt-cooldown", 4096, "per-branch observations between retrain verdicts")
 	logf := obs.NewLogFlags()
 	flag.Parse()
 	logf.Setup("branchnet-serve")
@@ -69,7 +77,7 @@ func main() {
 		}
 	}
 
-	s := serve.New(serve.Config{
+	cfg := serve.Config{
 		NewBaseline:     newBase,
 		MaxBatch:        *maxBatch,
 		MaxDelay:        *maxDelay,
@@ -79,10 +87,37 @@ func main() {
 		SessionTTL:      *sessionTTL,
 		DefaultDeadline: *deadline,
 		ModelPaths:      paths,
-	})
+	}
+	// The adapter must exist before the server: it is the Observer the
+	// config carries, and its model window floors the session history rings
+	// so live samples are wide enough to retrain from.
+	var adapter *adapt.Adapter
+	if *adaptOn {
+		var err error
+		adapter, err = adapt.New(adapt.Config{
+			Dir:         *adaptDir,
+			Sync:        *adaptSync,
+			Workers:     *adaptWorkers,
+			SustainN:    *adaptSustain,
+			MinExamples: *adaptMinEx,
+			CooldownObs: *adaptCooldown,
+		})
+		if err != nil {
+			log.Fatalf("adapt: %v", err)
+		}
+		cfg.Observer = adapter
+		cfg.HistoryFloor = adapter.HistoryFloor()
+	}
+	s := serve.New(cfg)
 	// Model inference counters and training spans land in the server's
 	// own registry/tracer so /metrics covers the full serving path.
 	branchnet.EnableObs(s.Obs(), s.Tracer())
+	if adapter != nil {
+		if err := adapter.Attach(s); err != nil {
+			log.Fatalf("adapt: %v", err)
+		}
+		slog.Info("online adaptation enabled", "dir", *adaptDir, "sync", *adaptSync, "workers", *adaptWorkers)
+	}
 	if len(paths) > 0 {
 		set, err := s.Reload(paths)
 		if err != nil {
@@ -178,12 +213,20 @@ func main() {
 			}
 			cancel()
 			s.Drain()
+			if adapter != nil {
+				// In-flight retrains checkpoint and stop; reservoirs persist.
+				// The next process resumes them bit-identically.
+				adapter.Close()
+			}
 			writeMetrics()
 			slog.Info("drained; bye")
 			return
 		case err := <-serveErr:
 			if err != nil && !errors.Is(err, http.ErrServerClosed) {
 				log.Fatalf("serve: %v", err)
+			}
+			if adapter != nil {
+				adapter.Close()
 			}
 			writeMetrics()
 			return

@@ -1,0 +1,554 @@
+// Package adapt closes the paper's offline-training loop online. The
+// paper (§V-E) trains BranchNet models offline and freezes them at
+// deployment; "Branch Prediction Is Not a Solved Problem" (Lin & Tarsa)
+// shows hard-to-predict branches drift across inputs and program phases,
+// so a frozen model set decays. This package runs the whole offline
+// pipeline — sample, extract, train, quantize, gate, attach — as a shadow
+// loop beside the serving daemon:
+//
+//   - it taps live prediction traffic through serve.Config.Observer,
+//     keeping a bounded sliding reservoir of (pc, history, taken)
+//     examples per tracked branch;
+//   - a per-branch drift detector compares a fast EWMA of served
+//     accuracy against a slow one (model branches) or an absolute floor
+//     (model-less candidates) and fires a retrain only on sustained
+//     degradation;
+//   - retraining spills the reservoir into a PR 8 sharded example store
+//     and runs TrainStream under a PR 4 checkpoint envelope, so an
+//     interrupted shadow retrain resumes bit-identically;
+//   - promotion goes through the same McNemar z >= MinGainZ gate the
+//     offline attach filter uses, evaluated on a held-out slice of the
+//     sampled stream against the predictions the client was actually
+//     served, and hot-swaps through the refcounted registry. Every
+//     promotion records the prior model set for one-command rollback
+//     (POST /v1/adapt/rollback), which restores it bit-exactly.
+//
+// The adapter never blocks the prediction path: Observe does O(1) state
+// updates and hands retrains to a bounded worker pool (Config.Sync runs
+// them inline for deterministic tests). Promotions are audited in an
+// append-only journal (CRC-guarded, atomically rewritten) holding the
+// exact store digest, seed, and promoted model bytes, so an offline
+// oracle can re-derive any promoted model bit-for-bit.
+package adapt
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"branchnet/internal/branchnet"
+	"branchnet/internal/faults"
+	"branchnet/internal/obs"
+	"branchnet/internal/serve"
+)
+
+// Config tunes the adapter. Zero values take the defaults noted per
+// field; Dir is required.
+type Config struct {
+	// Dir holds the adapter's on-disk state: reservoir segments, retrain
+	// checkpoints, spilled example stores, and the promotion journal.
+	Dir string
+	// Knobs is the architecture retrained models use (default
+	// QuickKnobs(); the knobs also fix the sampled history window,
+	// Knobs.WindowTokens()).
+	Knobs branchnet.Knobs
+	// Train seeds the per-branch training options (default
+	// branchnet.DefaultTrainOpts()); the per-branch seed is derived from
+	// Train.Seed, the PC, and the retrain generation.
+	Train branchnet.TrainOpts
+	// MinGainZ is the promotion gate: the McNemar z-score of the
+	// candidate-vs-served paired comparison on the holdout slice must
+	// reach it (default 3, matching the offline attach filter).
+	MinGainZ float64
+	// ReservoirCap bounds the per-branch sliding sample reservoir
+	// (default 4096 examples).
+	ReservoirCap int
+	// HoldoutFrac is the most-recent fraction of the reservoir reserved
+	// for the promotion gate and never trained on (default 0.25).
+	HoldoutFrac float64
+	// MinExamples is the reservoir size required before a retrain can
+	// fire (default 512).
+	MinExamples int
+	// FastAlpha/SlowAlpha are the EWMA decay rates of the drift
+	// detector's fast and slow accuracy estimates (defaults 0.02/0.002).
+	FastAlpha, SlowAlpha float64
+	// DriftDelta is how far the fast accuracy estimate must fall below
+	// the slow one to count as drifting, for branches with a model
+	// (default 0.05).
+	DriftDelta float64
+	// SustainN is how many consecutive drifting observations arm a
+	// retrain — the change-point filter that keeps single-burst noise
+	// from firing (default 256).
+	SustainN int
+	// BaseThreshold is the absolute served-accuracy floor below which a
+	// model-less branch becomes a retrain candidate (default 0.80).
+	BaseThreshold float64
+	// MaxTracked caps branches under history capture (default 32).
+	MaxTracked int
+	// CooldownObs is the per-branch observation count after a verdict
+	// before another retrain may fire (default 4096).
+	CooldownObs int
+	// WarmObs is the cumulative-mean warm-up length of the accuracy
+	// estimators (default 64 observations).
+	WarmObs int
+	// Workers sizes the background retrain pool (default 1); ignored
+	// under Sync.
+	Workers int
+	// Sync runs retrains inline in Observe instead of on the pool —
+	// deterministic single-threaded adaptation for tests and smoke runs.
+	Sync bool
+	// SegmentEvery persists a branch's reservoir segment every N sampled
+	// examples (default 2048; segments also persist on Close).
+	SegmentEvery int
+	// CheckpointEvery additionally snapshots retrain state every N
+	// optimizer steps (default 0 = epoch boundaries only).
+	CheckpointEvery int
+	// Faults threads deterministic I/O faults into retrain checkpoints
+	// and journal writes (tests only; nil in production).
+	Faults *faults.Injector
+}
+
+func (c Config) withDefaults() Config {
+	if c.Knobs.Name == "" {
+		c.Knobs = QuickKnobs()
+	}
+	if c.Train.Epochs == 0 {
+		c.Train = branchnet.DefaultTrainOpts()
+	}
+	if c.MinGainZ == 0 {
+		c.MinGainZ = 3
+	}
+	if c.ReservoirCap == 0 {
+		c.ReservoirCap = 4096
+	}
+	if c.HoldoutFrac == 0 {
+		c.HoldoutFrac = 0.25
+	}
+	if c.MinExamples == 0 {
+		c.MinExamples = 512
+	}
+	if c.FastAlpha == 0 {
+		c.FastAlpha = 0.02
+	}
+	if c.SlowAlpha == 0 {
+		c.SlowAlpha = 0.002
+	}
+	if c.DriftDelta == 0 {
+		c.DriftDelta = 0.05
+	}
+	if c.SustainN == 0 {
+		c.SustainN = 256
+	}
+	if c.BaseThreshold == 0 {
+		c.BaseThreshold = 0.80
+	}
+	if c.MaxTracked == 0 {
+		c.MaxTracked = 32
+	}
+	if c.CooldownObs == 0 {
+		c.CooldownObs = 4096
+	}
+	if c.WarmObs == 0 {
+		c.WarmObs = 64
+	}
+	if c.Workers == 0 {
+		c.Workers = 1
+	}
+	if c.SegmentEvery == 0 {
+		c.SegmentEvery = 2048
+	}
+	return c
+}
+
+// QuickKnobs is the default online-retraining architecture: a Mini-shaped
+// model small enough to train from a few thousand live samples in
+// seconds, with hashed 1-gram convolutions (the sum-pooled counting
+// construction that solves the noisy-history branch) and a 192-token
+// window.
+func QuickKnobs() branchnet.Knobs {
+	return branchnet.Knobs{
+		Name:         "adapt-mini-quick",
+		History:      []int{12, 24, 48, 96},
+		Channels:     []int{2, 2, 2, 2},
+		PoolWidths:   []int{2, 3, 12, 96},
+		PrecisePool:  []bool{true, true, false, false},
+		PCBits:       12,
+		ConvHashBits: 10,
+		ConvWidth:    1,
+		Hidden:       []int{8},
+		QuantBits:    4,
+		Tanh:         true,
+	}
+}
+
+// candState is the light accuracy tally kept for every observed branch
+// that is not yet tracked — the admission tier that finds cold-start
+// candidates (model-less branches the baseline serves badly).
+type candState struct {
+	n   uint64
+	acc float64
+}
+
+// branchState is one tracked branch's adaptation state. All fields are
+// guarded by Adapter.mu.
+type branchState struct {
+	pc            uint64
+	obs           uint64  // observations seen
+	fast, slow    float64 // EWMA served-accuracy estimates
+	sustain       int     // consecutive drifting observations
+	hasModel      bool    // last observation was served by an attached model
+	cooldownUntil uint64  // obs count gating the next retrain
+	res           *reservoir
+	inFlight      bool   // a retrain for this branch is running
+	gen           uint64 // committed retrain generation (attempts are gen+1)
+	retrains      uint64
+	promotions    uint64
+	blocked       uint64
+	lastZ         float64
+	sinceSeg      int // samples since last persisted segment
+}
+
+// Adapter is the online-adaptation subsystem. Create with New, hand it to
+// serve.Config.Observer (plus Config.HistoryFloor = HistoryFloor()),
+// then Attach it to the built server; Close stops the workers and
+// persists the reservoirs.
+type Adapter struct {
+	cfg    Config
+	window int
+
+	attached atomic.Bool
+	stopping atomic.Bool
+	tracked  atomic.Pointer[map[uint64]struct{}]
+
+	registry *serve.Registry
+	tracer   *obs.Tracer
+
+	mu       sync.Mutex
+	branches map[uint64]*branchState
+	cand     map[uint64]*candState
+	journal  []JournalEntry
+	rollback [][]*branchnet.Attached
+
+	work chan uint64
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	mObs             *obs.Counter
+	mSamples         *obs.Counter
+	mRetrains        *obs.Counter
+	mPromotions      *obs.Counter
+	mRollbacks       *obs.Counter
+	mFailures        *obs.Counter
+	mPersistFailures *obs.Counter
+	mBlocked         *obs.LabeledCounter
+}
+
+// New builds an adapter (inert until Attach). The returned adapter is the
+// serve.Observer to put in serve.Config before constructing the server.
+func New(cfg Config) (*Adapter, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("adapt: Config.Dir is required")
+	}
+	cfg.Knobs.Validate()
+	a := &Adapter{
+		cfg:      cfg,
+		window:   cfg.Knobs.WindowTokens(),
+		branches: make(map[uint64]*branchState),
+		cand:     make(map[uint64]*candState),
+	}
+	empty := make(map[uint64]struct{})
+	a.tracked.Store(&empty)
+	return a, nil
+}
+
+// HistoryFloor is the session history window the adapter needs captured —
+// wire it into serve.Config.HistoryFloor.
+func (a *Adapter) HistoryFloor() int { return a.window }
+
+// Attach wires the adapter into a built server: registry for hot-swaps,
+// metrics on the server's registry, the /v1/adapt endpoints, persisted
+// state from Dir, and (unless Sync) the retrain worker pool. Call once,
+// before serving traffic.
+func (a *Adapter) Attach(s *serve.Server) error {
+	if err := os.MkdirAll(a.cfg.Dir, 0o755); err != nil {
+		return fmt.Errorf("adapt: state dir: %w", err)
+	}
+	a.registry = s.Registry()
+	a.tracer = s.Tracer()
+	reg := s.Obs()
+	a.mObs = reg.Counter("adapt_observations_total")
+	a.mSamples = reg.Counter("adapt_samples_total")
+	a.mRetrains = reg.Counter("adapt_retrains_total")
+	a.mPromotions = reg.Counter("adapt_promotions_total")
+	a.mRollbacks = reg.Counter("adapt_rollbacks_total")
+	a.mFailures = reg.Counter("adapt_retrain_failures_total")
+	a.mPersistFailures = reg.Counter("adapt_persist_failures_total")
+	a.mBlocked = reg.LabeledCounter("adapt_blocked_total", "reason")
+	reg.GaugeFunc("adapt_tracked_branches", func() int64 {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		return int64(len(a.branches))
+	})
+	reg.GaugeFunc("adapt_rollback_depth", func() int64 {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		return int64(len(a.rollback))
+	})
+	s.Mount("GET /v1/adapt/status", http.HandlerFunc(a.handleStatus))
+	s.Mount("POST /v1/adapt/rollback", http.HandlerFunc(a.handleRollback))
+	s.Mount("GET /v1/adapt/models", http.HandlerFunc(a.handleModels))
+	if err := a.loadState(); err != nil {
+		return err
+	}
+	if !a.cfg.Sync {
+		a.work = make(chan uint64, 64)
+		a.stop = make(chan struct{})
+		for w := 0; w < a.cfg.Workers; w++ {
+			a.wg.Add(1)
+			go func() {
+				defer a.wg.Done()
+				for {
+					select {
+					case pc := <-a.work:
+						a.retrainBranch(pc)
+					case <-a.stop:
+						return
+					}
+				}
+			}()
+		}
+	}
+	a.attached.Store(true)
+	return nil
+}
+
+// loadState restores persisted adapter state from Dir: the promotion
+// journal (audit log + per-branch committed generations — promotions are
+// NOT re-applied to the registry; the journal is the record, retrain
+// checkpoints are the crash-safety) and the reservoir segments (so
+// sampling resumes where the previous process stopped).
+func (a *Adapter) loadState() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	entries, err := a.loadJournal()
+	if err != nil {
+		return err
+	}
+	a.journal = entries
+	for i := range entries {
+		e := &entries[i]
+		if e.Kind == JournalRollback {
+			continue
+		}
+		st := a.branches[e.PC]
+		if st == nil {
+			st = a.trackLocked(e.PC, false)
+		}
+		if e.Gen > st.gen {
+			st.gen = e.Gen
+		}
+		switch e.Kind {
+		case JournalPromote:
+			st.promotions++
+		case JournalBlocked:
+			st.blocked++
+		}
+		st.lastZ = e.Z
+	}
+	if err := a.loadReservoirsLocked(); err != nil {
+		return err
+	}
+	a.retrackLocked()
+	return nil
+}
+
+// WantHistory reports whether the adapter is sampling histories for pc.
+// Hot path: one atomic load and a map probe on an immutable set.
+func (a *Adapter) WantHistory(pc uint64) bool {
+	t := a.tracked.Load()
+	_, ok := (*t)[pc]
+	return ok
+}
+
+// retrack publishes the tracked-PC set (callers hold a.mu).
+func (a *Adapter) retrackLocked() {
+	t := make(map[uint64]struct{}, len(a.branches))
+	for pc := range a.branches {
+		t[pc] = struct{}{}
+	}
+	a.tracked.Store(&t)
+}
+
+// trackLocked begins tracking pc (callers hold a.mu). A branch enters
+// tracked state with an empty reservoir; history capture starts with the
+// next request that consults WantHistory.
+func (a *Adapter) trackLocked(pc uint64, hasModel bool) *branchState {
+	st := &branchState{
+		pc:       pc,
+		hasModel: hasModel,
+		res:      newReservoir(a.cfg.ReservoirCap),
+	}
+	a.branches[pc] = st
+	delete(a.cand, pc)
+	a.retrackLocked()
+	return st
+}
+
+// Observe implements serve.Observer: per-branch accuracy accounting,
+// reservoir sampling, and drift detection. It is called under the
+// session lock, so everything heavier than state updates is handed off.
+func (a *Adapter) Observe(session string, batch []serve.Observation) {
+	if !a.attached.Load() {
+		return
+	}
+	a.mObs.Add(uint64(len(batch)))
+	var fire, persist []uint64
+	a.mu.Lock()
+	for i := range batch {
+		o := &batch[i]
+		st := a.branches[o.PC]
+		if st == nil {
+			st = a.admitLocked(o)
+			if st == nil {
+				continue
+			}
+			// Newly tracked: history capture begins next request.
+		}
+		a.observeLocked(st, o, &fire, &persist)
+	}
+	a.mu.Unlock()
+	for _, pc := range fire {
+		a.dispatch(pc)
+	}
+	for _, pc := range persist {
+		a.persistBranch(pc)
+	}
+}
+
+// admitLocked runs the admission tier for an untracked branch: branches
+// served by an attached model are tracked immediately (drift detection
+// needs their samples); model-less branches are tracked once their
+// served accuracy settles below BaseThreshold — the cold-start
+// candidates the offline pipeline would have selected as H2P.
+func (a *Adapter) admitLocked(o *serve.Observation) *branchState {
+	if o.FromModel {
+		return a.trackLocked(o.PC, true)
+	}
+	c := a.cand[o.PC]
+	if c == nil {
+		if len(a.cand) >= maxCandidates {
+			return nil
+		}
+		c = &candState{}
+		a.cand[o.PC] = c
+	}
+	x := 0.0
+	if o.Pred == o.Taken {
+		x = 1
+	}
+	c.n++
+	if c.n <= uint64(a.cfg.WarmObs) {
+		c.acc += (x - c.acc) / float64(c.n)
+	} else {
+		c.acc += a.cfg.FastAlpha * (x - c.acc)
+	}
+	if c.n >= uint64(2*a.cfg.WarmObs) && c.acc < a.cfg.BaseThreshold &&
+		len(a.branches) < a.cfg.MaxTracked {
+		return a.trackLocked(o.PC, false)
+	}
+	return nil
+}
+
+// maxCandidates bounds the admission tier's stats map — an adversarial
+// PC stream must not grow adapter memory without bound.
+const maxCandidates = 4096
+
+// observeLocked folds one observation into a tracked branch: EWMA
+// accuracy, reservoir sampling, and the drift trigger.
+func (a *Adapter) observeLocked(st *branchState, o *serve.Observation, fire, persist *[]uint64) {
+	st.hasModel = o.FromModel
+	x := 0.0
+	if o.Pred == o.Taken {
+		x = 1
+	}
+	st.obs++
+	if st.obs <= uint64(a.cfg.WarmObs) {
+		// Cumulative mean while warming — a fixed-alpha EWMA from a cold
+		// start would take ~1/alpha observations to mean anything.
+		st.fast += (x - st.fast) / float64(st.obs)
+		st.slow = st.fast
+	} else {
+		st.fast += a.cfg.FastAlpha * (x - st.fast)
+		st.slow += a.cfg.SlowAlpha * (x - st.slow)
+	}
+
+	if o.Hist != nil && len(o.Hist) >= a.window {
+		st.res.add(o.Hist[:a.window], o.Count, o.Taken, o.Pred == o.Taken)
+		a.mSamples.Inc()
+		st.sinceSeg++
+		if st.sinceSeg >= a.cfg.SegmentEvery {
+			st.sinceSeg = 0
+			*persist = append(*persist, st.pc)
+		}
+	}
+
+	// Drift: model branches compare fast vs slow accuracy (a change
+	// point — the model got worse than it recently was); model-less
+	// branches compare against the absolute floor (the baseline never
+	// served them well). Either must sustain for SustainN consecutive
+	// observations.
+	drifting := false
+	if st.obs > uint64(a.cfg.WarmObs) {
+		if st.hasModel {
+			drifting = st.fast < st.slow-a.cfg.DriftDelta
+		} else {
+			drifting = st.fast < a.cfg.BaseThreshold
+		}
+	}
+	if drifting {
+		st.sustain++
+	} else {
+		st.sustain = 0
+	}
+	if st.sustain >= a.cfg.SustainN && !st.inFlight &&
+		st.obs >= st.cooldownUntil && st.res.len() >= a.cfg.MinExamples {
+		st.inFlight = true
+		st.sustain = 0
+		*fire = append(*fire, st.pc)
+	}
+}
+
+// dispatch hands a fired retrain to the worker pool (or runs it inline
+// under Sync). A full queue drops the attempt — the branch stays armed
+// and will re-fire once its sustain count rebuilds.
+func (a *Adapter) dispatch(pc uint64) {
+	if a.cfg.Sync {
+		a.retrainBranch(pc)
+		return
+	}
+	select {
+	case a.work <- pc:
+	default:
+		a.mu.Lock()
+		if st := a.branches[pc]; st != nil {
+			st.inFlight = false
+		}
+		a.mu.Unlock()
+	}
+}
+
+// Close stops the adapter: in-flight retrains are asked to checkpoint
+// and stop (they resume bit-identically on the next fire), the worker
+// pool exits, and every tracked branch's reservoir segment is persisted.
+func (a *Adapter) Close() {
+	a.attached.Store(false)
+	a.stopping.Store(true)
+	if a.stop != nil {
+		close(a.stop)
+		a.wg.Wait()
+	}
+	a.persistAll()
+}

@@ -1,0 +1,173 @@
+package adapt
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"testing"
+
+	"branchnet/internal/bench"
+	"branchnet/internal/branchnet"
+	"branchnet/internal/engine"
+	"branchnet/internal/gshare"
+	"branchnet/internal/predictor"
+	"branchnet/internal/serve"
+)
+
+// TestEndToEndPhaseShiftAdaptation is the deterministic adaptation e2e:
+// an in-process adaptation-enabled server is driven through the
+// noisy-history workload, then its phase-shifted variant (the hard
+// branch's correlation inverts). It asserts the full contract:
+//
+//   - sustained drift fires retrains and produces a gated promotion in
+//     each phase (cold-start, then post-shift);
+//   - the z >= 3 gate blocks the noise branches' drift — they are
+//     genuinely unpredictable, so their candidates never pass, and every
+//     promotion that did land carries z >= MinGainZ;
+//   - post-shift, the adapted model set beats the frozen phase-A control
+//     on the shifted branch (the point of adapting at all);
+//   - a version-pinned parity pass over the held-out trace matches the
+//     in-process replay bit for bit;
+//   - every promoted model is bit-identical to an offline oracle retrained
+//     from the journal entry's kept store, seed, and options — the
+//     promotion journal really is a replayable audit log.
+func TestEndToEndPhaseShiftAdaptation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full adaptation e2e")
+	}
+
+	prog := bench.NoisyHistory()
+	const branches = 16000
+	phaseA := prog.Generate(bench.NoisyInput("adapt-e2e-a", 7001, 5, 10, 0.5), branches)
+	phaseB := prog.Generate(bench.NoisyInvertInput("adapt-e2e-b", 7002, 5, 10, 0.5), branches)
+	eval := prog.Generate(bench.NoisyInvertInput("adapt-e2e-eval", 7003, 5, 10, 0.5), branches)
+
+	newBase := func() predictor.Predictor { return gshare.New(12, 12) }
+	cfg := Config{
+		Dir:          t.TempDir(),
+		Sync:         true,
+		Train:        branchnet.TrainOpts{Epochs: 3, BatchSize: 32, LR: 0.01, Seed: 1, Workers: 1},
+		WarmObs:      32,
+		SustainN:     64,
+		MinExamples:  256,
+		ReservoirCap: 512,
+		CooldownObs:  512,
+		SegmentEvery: 256,
+	}
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := serve.New(serve.Config{NewBaseline: newBase, Observer: a, HistoryFloor: a.HistoryFloor()})
+	if err := a.Attach(s); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	rep, err := serve.RunAdaptLoad(serve.AdaptLoadConfig{
+		BaseURL:     ts.URL,
+		NewBaseline: newBase,
+		PhaseA:      phaseA,
+		PhaseB:      phaseB,
+		Eval:        eval,
+		HardPC:      bench.NoisyPCB,
+		MaxPasses:   10,
+	})
+	if err != nil {
+		t.Fatalf("RunAdaptLoad: %v", err)
+	}
+
+	if rep.Promotions < 2 {
+		t.Errorf("promotions = %d, want >= 2 (cold-start + post-shift)", rep.Promotions)
+	}
+	if rep.Blocked < 1 {
+		t.Errorf("blocked = %d, want >= 1 (noise branches must be gate-blocked)", rep.Blocked)
+	}
+	if rep.ParityPredictions == 0 {
+		t.Error("parity pass made no predictions")
+	}
+	if rep.ParityMismatches != 0 {
+		t.Errorf("parity mismatches = %d over %d predictions", rep.ParityMismatches, rep.ParityPredictions)
+	}
+	if rep.AdaptedHardAccuracy <= rep.ControlHardAccuracy {
+		t.Errorf("adapted hard accuracy %.4f does not beat frozen control %.4f post-shift",
+			rep.AdaptedHardAccuracy, rep.ControlHardAccuracy)
+	}
+
+	// Journal audit: promotions only ever pass the gate, and blocked
+	// noise-drift candidates never reached it.
+	a.mu.Lock()
+	journal := append([]JournalEntry(nil), a.journal...)
+	a.mu.Unlock()
+	promotes := 0
+	for _, e := range journal {
+		switch e.Kind {
+		case JournalPromote:
+			promotes++
+			if e.Z < a.cfg.MinGainZ {
+				t.Errorf("promote entry %d (pc %#x) has z %.3f < gate %.1f", e.Seq, e.PC, e.Z, a.cfg.MinGainZ)
+			}
+		case JournalBlocked:
+			if e.Z >= a.cfg.MinGainZ {
+				t.Errorf("blocked entry %d (pc %#x) has z %.3f >= gate — should have promoted", e.Seq, e.PC, e.Z)
+			}
+		}
+	}
+	if promotes != int(rep.Promotions) {
+		t.Errorf("journal has %d promote entries, status reports %d", promotes, rep.Promotions)
+	}
+
+	// Oracle bit-identity: every promoted model must be reproducible
+	// offline from the journal entry alone — open the attempt's kept
+	// store, retrain with the recorded seed and options (no checkpoint
+	// envelope; checkpointed and plain runs are pinned bit-identical),
+	// quantize with the same calibration subsample, and compare the
+	// serialized engine bytes against the journaled ground truth.
+	for _, e := range journal {
+		if e.Kind != JournalPromote {
+			continue
+		}
+		store, err := branchnet.OpenStore(a.storeDir(e.PC, e.Gen))
+		if err != nil {
+			t.Fatalf("promote pc %#x g%d: opening kept store: %v", e.PC, e.Gen, err)
+		}
+		if d := store.Digest(); d != e.Digest {
+			store.Close()
+			t.Fatalf("promote pc %#x g%d: store digest %#x != journaled %#x", e.PC, e.Gen, d, e.Digest)
+		}
+		opts := a.cfg.Train
+		opts.Epochs = e.Epochs
+		opts.BatchSize = e.Batch
+		opts.LR = e.LR
+		opts.MaxExamples = e.MaxEx
+		opts.Seed = e.Seed
+		opts.Checkpoint = nil
+		oracle := branchnet.New(a.cfg.Knobs, e.PC, opts.Seed)
+		sd, err := store.Dataset(e.PC)
+		if err == nil {
+			_, err = oracle.TrainStream(sd, opts)
+		}
+		if err != nil {
+			store.Close()
+			t.Fatalf("promote pc %#x g%d: oracle retrain: %v", e.PC, e.Gen, err)
+		}
+		calib, err := store.ReadDataset(e.PC)
+		store.Close()
+		if err != nil {
+			t.Fatalf("promote pc %#x g%d: reading calibration set: %v", e.PC, e.Gen, err)
+		}
+		eng, err := oracle.Quantize(calib.Subsample(quantCalibExamples, opts.Seed))
+		if err != nil {
+			t.Fatalf("promote pc %#x g%d: oracle quantize: %v", e.PC, e.Gen, err)
+		}
+		var buf bytes.Buffer
+		if err := engine.WriteModels(&buf, []*engine.Model{eng}); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), e.Model) {
+			t.Errorf("promote pc %#x g%d: oracle model differs from journaled bytes (%d vs %d bytes)",
+				e.PC, e.Gen, buf.Len(), len(e.Model))
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package adapt
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"branchnet/internal/serve"
+)
+
+// fuzzReservoirSeed builds a small valid segment payload.
+func fuzzReservoirSeed() []byte {
+	r := newReservoir(4)
+	for i := 0; i < 6; i++ {
+		r.add([]uint32{uint32(i), uint32(i * 5)}, uint64(i), i%2 == 0, i%3 != 0)
+	}
+	return encodeReservoir(0x1008, 2, r.n, r.snapshot())
+}
+
+// FuzzAdaptReservoir drives the segment decoder with arbitrary payloads:
+// it must never panic, and anything it accepts must re-encode to the
+// identical bytes (the codec is canonical — decode validates every field
+// and exact length, so accept-then-reencode is the full roundtrip).
+func FuzzAdaptReservoir(f *testing.F) {
+	seed := fuzzReservoirSeed()
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2]) // truncation
+	flip := append([]byte(nil), seed...)
+	flip[len(flip)/3] ^= 0x40
+	f.Add(flip)                                    // bit flip
+	f.Add(append(append([]byte(nil), seed...), 1)) // trailing garbage
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		st, err := decodeReservoir(payload)
+		if err != nil {
+			return
+		}
+		if again := encodeReservoir(st.pc, st.window, st.appended, st.samples); !bytes.Equal(again, payload) {
+			t.Fatalf("accepted payload is not canonical: %d bytes re-encoded to %d", len(payload), len(again))
+		}
+	})
+}
+
+// fuzzJournalSeed builds a small valid journal payload.
+func fuzzJournalSeed() []byte {
+	return encodeJournal([]JournalEntry{
+		{Seq: 0, Kind: JournalPromote, PC: 0x1008, Version: 1, Gen: 1, Seed: 11, Epochs: 2,
+			Batch: 8, LR: 0.01, MaxEx: 100, Digest: 0xfeed, Trained: 96, Holdout: 32,
+			Wins: 30, Losses: 1, Z: 5.2, Model: []byte{9, 9, 9}},
+		{Seq: 1, Kind: JournalBlocked, PC: 0x1100, Gen: 1, Z: -1},
+		{Seq: 2, Kind: JournalRollback, Version: 2},
+	})
+}
+
+// FuzzAdaptJournal is the same property for the promotion journal.
+func FuzzAdaptJournal(f *testing.F) {
+	seed := fuzzJournalSeed()
+	f.Add(seed)
+	f.Add(seed[:len(seed)-1])
+	flip := append([]byte(nil), seed...)
+	flip[8] ^= 0x01
+	f.Add(flip)
+	f.Add(append(append([]byte(nil), seed...), 0xff))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		entries, err := decodeJournal(payload)
+		if err != nil {
+			return
+		}
+		if again := encodeJournal(entries); !bytes.Equal(again, payload) {
+			t.Fatalf("accepted payload is not canonical: %d bytes re-encoded to %d", len(payload), len(again))
+		}
+	})
+}
+
+// TestReservoirDecodeRejectsDamage pins the deterministic rejections the
+// fuzzer explores randomly: truncation, flag garbage, occurrence-number
+// corruption, oversized counts, and trailing bytes are all errors.
+func TestReservoirDecodeRejectsDamage(t *testing.T) {
+	seed := fuzzReservoirSeed()
+	mutate := func(f func(b []byte) []byte) []byte { return f(append([]byte(nil), seed...)) }
+	cases := map[string][]byte{
+		"empty":            {},
+		"short header":     seed[:10],
+		"truncated sample": seed[:len(seed)-3],
+		"trailing garbage": mutate(func(b []byte) []byte { return append(b, 0) }),
+		"bad flags":        mutate(func(b []byte) []byte { b[reservoirHeaderBytes+16] = 0x7; return b }),
+		"bad occurrence":   mutate(func(b []byte) []byte { b[reservoirHeaderBytes+8] ^= 0xff; return b }),
+		"zero window":      mutate(func(b []byte) []byte { b[8], b[9], b[10], b[11] = 0, 0, 0, 0; return b }),
+		"huge count":       mutate(func(b []byte) []byte { b[20], b[21], b[22], b[23] = 0xff, 0xff, 0xff, 0xff; return b }),
+	}
+	for name, payload := range cases {
+		if _, err := decodeReservoir(payload); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestJournalDecodeRejectsDamage is the journal counterpart.
+func TestJournalDecodeRejectsDamage(t *testing.T) {
+	seed := fuzzJournalSeed()
+	mutate := func(f func(b []byte) []byte) []byte { return f(append([]byte(nil), seed...)) }
+	cases := map[string][]byte{
+		"empty payload":    {},
+		"truncated":        seed[:len(seed)-1],
+		"trailing garbage": mutate(func(b []byte) []byte { return append(b, 0xff) }),
+		"unknown kind":     mutate(func(b []byte) []byte { b[12] = 9; return b }),
+		"sparse seq":       mutate(func(b []byte) []byte { b[4] = 5; return b }),
+		"promote sans model": mutate(func(b []byte) []byte {
+			// Entry 0's model length field: zero it and drop the bytes.
+			off := 4 + journalEntryMinSize - 4
+			b[off], b[off+1], b[off+2], b[off+3] = 0, 0, 0, 0
+			return append(b[:4+journalEntryMinSize], b[4+journalEntryMinSize+3:]...)
+		}),
+	}
+	for name, payload := range cases {
+		if _, err := decodeJournal(payload); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestLoadStateRejectsCorruptFiles corrupts the on-disk artifacts under
+// their CRC-guarded checkpoint envelopes: a truncated, bit-flipped, or
+// garbage-extended segment or journal must fail the restart load loudly
+// — never silently feed a wrong reservoir or audit log back in.
+func TestLoadStateRejectsCorruptFiles(t *testing.T) {
+	for _, target := range []string{"reservoir", "journal"} {
+		for _, damage := range []string{"truncate", "bitflip", "append"} {
+			t.Run(target+"/"+damage, func(t *testing.T) {
+				dir := t.TempDir()
+				cfg := Config{Dir: dir, Knobs: testKnobs(), Sync: true, WarmObs: 4, MinExamples: 1 << 30}
+				a, _ := newTestAdapter(t, cfg)
+				hist := make([]uint32, a.window)
+				for i := 0; i < 8; i++ {
+					a.Observe("s", []serve.Observation{{PC: 0x40, Taken: true, Pred: true, FromModel: true, Hist: hist, Count: uint64(i)}})
+				}
+				a.mu.Lock()
+				a.appendJournalLocked(JournalEntry{Kind: JournalBlocked, PC: 0x40, Gen: 1, Z: -1})
+				a.mu.Unlock()
+				a.Close()
+
+				pattern := "reservoir-*.seg"
+				if target == "journal" {
+					pattern = "journal.bnj"
+				}
+				paths, err := filepath.Glob(filepath.Join(dir, pattern))
+				if err != nil || len(paths) == 0 {
+					t.Fatalf("no %s file persisted (%v)", target, err)
+				}
+				b, err := os.ReadFile(paths[0])
+				if err != nil {
+					t.Fatal(err)
+				}
+				switch damage {
+				case "truncate":
+					b = b[:len(b)-7]
+				case "bitflip":
+					b[len(b)/2] ^= 0x04
+				case "append":
+					b = append(b, 0xde, 0xad)
+				}
+				if err := os.WriteFile(paths[0], b, 0o644); err != nil {
+					t.Fatal(err)
+				}
+
+				fresh, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s2 := serve.New(serve.Config{NewBaseline: testBaseline, Observer: fresh, HistoryFloor: fresh.HistoryFloor()})
+				if err := fresh.Attach(s2); err == nil {
+					fresh.Close()
+					t.Fatalf("%s %s: corrupt state accepted on restart", target, damage)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package adapt
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"branchnet/internal/engine"
+	"branchnet/internal/serve"
+)
+
+// BranchStatus is one tracked branch's view in /v1/adapt/status.
+type BranchStatus struct {
+	PC            string  `json:"pc"`
+	HasModel      bool    `json:"has_model"`
+	Observations  uint64  `json:"observations"`
+	FastAccuracy  float64 `json:"fast_accuracy"`
+	SlowAccuracy  float64 `json:"slow_accuracy"`
+	Reservoir     int     `json:"reservoir"`
+	Sustain       int     `json:"sustain"`
+	InFlight      bool    `json:"retrain_in_flight"`
+	Generation    uint64  `json:"generation"`
+	Retrains      uint64  `json:"retrains"`
+	Promotions    uint64  `json:"promotions"`
+	Blocked       uint64  `json:"blocked"`
+	LastZ         float64 `json:"last_z"`
+	CooldownUntil uint64  `json:"cooldown_until"`
+}
+
+// StatusResponse is the GET /v1/adapt/status reply: the full adaptation
+// view — model-set version, per-branch drift state, rollback depth, and
+// the journal (promote entries without their model bytes).
+type StatusResponse struct {
+	Enabled       bool           `json:"enabled"`
+	Window        int            `json:"window"`
+	Version       int64          `json:"version"`
+	Models        int            `json:"models"`
+	Source        string         `json:"source"`
+	Tracked       int            `json:"tracked"`
+	Candidates    int            `json:"candidates"`
+	RollbackDepth int            `json:"rollback_depth"`
+	Observations  uint64         `json:"observations"`
+	Samples       uint64         `json:"samples"`
+	Retrains      uint64         `json:"retrains"`
+	Promotions    uint64         `json:"promotions"`
+	Blocked       uint64         `json:"blocked"`
+	Rollbacks     uint64         `json:"rollbacks"`
+	Failures      uint64         `json:"failures"`
+	Branches      []BranchStatus `json:"branches"`
+	Journal       []JournalEntry `json:"journal"`
+}
+
+// Status builds the current adaptation view.
+func (a *Adapter) Status() StatusResponse {
+	set := a.registry.Current()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	resp := StatusResponse{
+		Enabled:       a.attached.Load(),
+		Window:        a.window,
+		Version:       set.Version,
+		Models:        set.Len(),
+		Source:        set.Source,
+		Tracked:       len(a.branches),
+		Candidates:    len(a.cand),
+		RollbackDepth: len(a.rollback),
+		Observations:  a.mObs.Value(),
+		Samples:       a.mSamples.Value(),
+		Retrains:      a.mRetrains.Value(),
+		Promotions:    a.mPromotions.Value(),
+		Blocked:       a.mBlocked.Total(),
+		Rollbacks:     a.mRollbacks.Value(),
+		Failures:      a.mFailures.Value(),
+		Journal:       append([]JournalEntry(nil), a.journal...),
+	}
+	for pc, st := range a.branches {
+		resp.Branches = append(resp.Branches, BranchStatus{
+			PC:            pcString(pc),
+			HasModel:      st.hasModel,
+			Observations:  st.obs,
+			FastAccuracy:  st.fast,
+			SlowAccuracy:  st.slow,
+			Reservoir:     st.res.len(),
+			Sustain:       st.sustain,
+			InFlight:      st.inFlight,
+			Generation:    st.gen,
+			Retrains:      st.retrains,
+			Promotions:    st.promotions,
+			Blocked:       st.blocked,
+			LastZ:         st.lastZ,
+			CooldownUntil: st.cooldownUntil,
+		})
+	}
+	sort.Slice(resp.Branches, func(i, j int) bool { return resp.Branches[i].PC < resp.Branches[j].PC })
+	return resp
+}
+
+func pcString(pc uint64) string {
+	const hexdigits = "0123456789abcdef"
+	buf := [18]byte{0: '0', 1: 'x'}
+	for i := 0; i < 16; i++ {
+		buf[2+i] = hexdigits[(pc>>(60-4*uint(i)))&0xf]
+	}
+	return string(buf[:])
+}
+
+func (a *Adapter) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, a.Status())
+}
+
+func (a *Adapter) handleRollback(w http.ResponseWriter, r *http.Request) {
+	res, err := a.Rollback()
+	if err != nil {
+		writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleModels streams the currently installed engine models as a BNM1
+// blob — what a client (loadgen's parity pass, an operator snapshotting
+// the adapted fleet) reads to evaluate the live set offline.
+func (a *Adapter) handleModels(w http.ResponseWriter, r *http.Request) {
+	set := a.registry.Acquire()
+	defer set.Release()
+	models := make([]*engine.Model, 0, set.Len())
+	for _, pc := range set.PCs {
+		if m, ok := set.Lookup(pc); ok && m.Engine != nil {
+			models = append(models, m.Engine)
+		}
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(serve.ModelVersionHeader, strconv.FormatInt(set.Version, 10))
+	if err := engine.WriteModels(w, models); err != nil {
+		// Headers are gone; nothing to do but drop the connection.
+		return
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone is fine
+}

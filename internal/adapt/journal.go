@@ -1,0 +1,189 @@
+package adapt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"branchnet/internal/checkpoint"
+)
+
+// Journal entry kinds.
+const (
+	JournalPromote  = 1 // a candidate passed the gate and was hot-swapped in
+	JournalBlocked  = 2 // a candidate failed the z-gate (or could not quantize)
+	JournalRollback = 3 // POST /v1/adapt/rollback restored the prior set
+)
+
+// JournalEntry is one audited adaptation event. Promote entries carry
+// everything needed to re-derive the promoted model offline, bit for
+// bit: the spilled store's digest, the exact training options and seed,
+// and the promoted engine model's serialized bytes (the ground truth the
+// oracle must reproduce).
+type JournalEntry struct {
+	Seq     uint64  `json:"seq"`
+	Kind    int     `json:"kind"`
+	PC      uint64  `json:"pc"`
+	Version int64   `json:"version"` // registry version after the event (0 for blocked)
+	Gen     uint64  `json:"gen"`
+	Seed    int64   `json:"seed"`
+	Epochs  int     `json:"epochs"`
+	Batch   int     `json:"batch"`
+	LR      float32 `json:"lr"`
+	MaxEx   int     `json:"max_examples"`
+	Digest  uint32  `json:"store_digest"`
+	Trained int     `json:"trained"`
+	Holdout int     `json:"holdout"`
+	Wins    int     `json:"wins"`
+	Losses  int     `json:"losses"`
+	Z       float64 `json:"z"`
+	Model   []byte  `json:"-"` // serialized engine model (promote only)
+}
+
+const (
+	journalKind = "branchnet-adapt-journal"
+
+	journalMaxEntries   = 1 << 16
+	journalMaxModel     = 16 << 20
+	journalEntryMinSize = 8 + 1 + 8 + 8 + 8 + 8 + 4 + 4 + 4 + 4 + 4 + 4 + 4 + 4 + 4 + 8 + 4
+)
+
+// encodeJournal serializes the full entry list (the journal is rewritten
+// whole on every append through the atomic checkpoint envelope — entries
+// are rare and small, and whole-file atomicity means no torn tail to
+// repair on restart).
+func encodeJournal(entries []JournalEntry) []byte {
+	size := 4
+	for i := range entries {
+		size += journalEntryMinSize + len(entries[i].Model)
+	}
+	out := make([]byte, 0, size)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(entries)))
+	for i := range entries {
+		e := &entries[i]
+		out = binary.LittleEndian.AppendUint64(out, e.Seq)
+		out = append(out, byte(e.Kind))
+		out = binary.LittleEndian.AppendUint64(out, e.PC)
+		out = binary.LittleEndian.AppendUint64(out, uint64(e.Version))
+		out = binary.LittleEndian.AppendUint64(out, e.Gen)
+		out = binary.LittleEndian.AppendUint64(out, uint64(e.Seed))
+		out = binary.LittleEndian.AppendUint32(out, uint32(e.Epochs))
+		out = binary.LittleEndian.AppendUint32(out, uint32(e.Batch))
+		out = binary.LittleEndian.AppendUint32(out, math.Float32bits(e.LR))
+		out = binary.LittleEndian.AppendUint32(out, uint32(e.MaxEx))
+		out = binary.LittleEndian.AppendUint32(out, e.Digest)
+		out = binary.LittleEndian.AppendUint32(out, uint32(e.Trained))
+		out = binary.LittleEndian.AppendUint32(out, uint32(e.Holdout))
+		out = binary.LittleEndian.AppendUint32(out, uint32(e.Wins))
+		out = binary.LittleEndian.AppendUint32(out, uint32(e.Losses))
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(e.Z))
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(e.Model)))
+		out = append(out, e.Model...)
+	}
+	return out
+}
+
+// decodeJournal parses and validates a journal payload: sequence numbers
+// must be dense, kinds known, model bytes present exactly on promote
+// entries, every count bounded, the z-score finite, and the payload
+// consumed exactly (trailing garbage is corruption, not padding).
+func decodeJournal(payload []byte) ([]JournalEntry, error) {
+	if len(payload) < 4 {
+		return nil, fmt.Errorf("adapt: journal: short header (%d bytes)", len(payload))
+	}
+	n := int(binary.LittleEndian.Uint32(payload))
+	if n > journalMaxEntries {
+		return nil, fmt.Errorf("adapt: journal: entry count %d out of range", n)
+	}
+	off := 4
+	entries := make([]JournalEntry, 0, n)
+	for i := 0; i < n; i++ {
+		if len(payload)-off < journalEntryMinSize {
+			return nil, fmt.Errorf("adapt: journal: entry %d truncated", i)
+		}
+		var e JournalEntry
+		e.Seq = binary.LittleEndian.Uint64(payload[off:])
+		e.Kind = int(payload[off+8])
+		e.PC = binary.LittleEndian.Uint64(payload[off+9:])
+		e.Version = int64(binary.LittleEndian.Uint64(payload[off+17:]))
+		e.Gen = binary.LittleEndian.Uint64(payload[off+25:])
+		e.Seed = int64(binary.LittleEndian.Uint64(payload[off+33:]))
+		e.Epochs = int(binary.LittleEndian.Uint32(payload[off+41:]))
+		e.Batch = int(binary.LittleEndian.Uint32(payload[off+45:]))
+		e.LR = math.Float32frombits(binary.LittleEndian.Uint32(payload[off+49:]))
+		e.MaxEx = int(binary.LittleEndian.Uint32(payload[off+53:]))
+		e.Digest = binary.LittleEndian.Uint32(payload[off+57:])
+		e.Trained = int(binary.LittleEndian.Uint32(payload[off+61:]))
+		e.Holdout = int(binary.LittleEndian.Uint32(payload[off+65:]))
+		e.Wins = int(binary.LittleEndian.Uint32(payload[off+69:]))
+		e.Losses = int(binary.LittleEndian.Uint32(payload[off+73:]))
+		e.Z = math.Float64frombits(binary.LittleEndian.Uint64(payload[off+77:]))
+		modelLen := int(binary.LittleEndian.Uint32(payload[off+85:]))
+		off += journalEntryMinSize
+		if e.Seq != uint64(i) {
+			return nil, fmt.Errorf("adapt: journal: entry %d has seq %d", i, e.Seq)
+		}
+		switch e.Kind {
+		case JournalPromote:
+			if modelLen == 0 {
+				return nil, fmt.Errorf("adapt: journal: promote entry %d has no model", i)
+			}
+		case JournalBlocked, JournalRollback:
+			if modelLen != 0 {
+				return nil, fmt.Errorf("adapt: journal: entry %d kind %d carries model bytes", i, e.Kind)
+			}
+		default:
+			return nil, fmt.Errorf("adapt: journal: entry %d has unknown kind %d", i, e.Kind)
+		}
+		if modelLen > journalMaxModel || modelLen > len(payload)-off {
+			return nil, fmt.Errorf("adapt: journal: entry %d model length %d out of range", i, modelLen)
+		}
+		if math.IsNaN(e.Z) || math.IsInf(e.Z, 0) {
+			return nil, fmt.Errorf("adapt: journal: entry %d has non-finite z", i)
+		}
+		if modelLen > 0 {
+			e.Model = append([]byte(nil), payload[off:off+modelLen]...)
+			off += modelLen
+		}
+		entries = append(entries, e)
+	}
+	if off != len(payload) {
+		return nil, fmt.Errorf("adapt: journal: %d trailing bytes", len(payload)-off)
+	}
+	return entries, nil
+}
+
+func (a *Adapter) journalPath() string {
+	return filepath.Join(a.cfg.Dir, "journal.bnj")
+}
+
+// appendJournalLocked records one event (callers hold a.mu). The entry
+// is sequenced, appended, and the whole journal is rewritten atomically;
+// a write failure keeps the in-memory entry (status stays truthful) and
+// counts a persist failure.
+func (a *Adapter) appendJournalLocked(e JournalEntry) {
+	e.Seq = uint64(len(a.journal))
+	a.journal = append(a.journal, e)
+	payload := encodeJournal(a.journal)
+	if err := checkpoint.Write(a.journalPath(), journalKind, uint64(len(a.journal)), payload, a.cfg.Faults); err != nil {
+		if a.mPersistFailures != nil {
+			a.mPersistFailures.Inc()
+		}
+	}
+}
+
+// loadJournal reads the persisted journal; a missing file is an empty
+// journal.
+func (a *Adapter) loadJournal() ([]JournalEntry, error) {
+	_, payload, err := checkpoint.Read(a.journalPath(), journalKind, a.cfg.Faults)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("adapt: loading journal: %w", err)
+	}
+	return decodeJournal(payload)
+}

@@ -1,0 +1,190 @@
+package adapt
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"branchnet/internal/branchnet"
+	"branchnet/internal/engine"
+	"branchnet/internal/serve"
+)
+
+// TestRollbackUnderRegistryPressure hammers the registry with concurrent
+// acquire/predict readers (the server's prediction path) while the
+// adapter promotes and rolls back model sets. It asserts the three
+// hot-swap invariants:
+//
+//  1. no reader ever observes a half-swapped version — every acquired
+//     set's (version, content) pair is internally consistent and stable;
+//  2. rolling back every promotion restores the pre-promotion
+//     predictions bit-exactly (same *Attached values, not retrained
+//     approximations);
+//  3. every retired version drains to refcount zero and is released.
+//
+// Run under -race (ci.sh does) to make the scheduler adversarial.
+func TestRollbackUnderRegistryPressure(t *testing.T) {
+	a, _ := newTestAdapter(t, Config{Knobs: testKnobs(), Sync: true})
+
+	var retiredMu sync.Mutex
+	retired := make(map[int64]bool)
+	a.registry.OnRelease = func(ms *serve.ModelSet) {
+		retiredMu.Lock()
+		retired[ms.Version] = true
+		retiredMu.Unlock()
+	}
+
+	// Seed set: what every rollback below must eventually restore.
+	pcs := []uint64{0x100, 0x200, 0x300}
+	seed := branchnet.FromEngine([]*engine.Model{
+		engine.Synthetic(pcs[0], 1),
+		engine.Synthetic(pcs[1], 2),
+	})
+	seedSet := a.registry.Swap(seed, "test-seed")
+
+	probe := make(map[uint64][]uint32)
+	for _, m := range seed {
+		h := make([]uint32, m.Window())
+		for i := range h {
+			h[i] = uint32(m.PC) + uint32(i)*7
+		}
+		probe[m.PC] = h
+	}
+	snapshot := func() map[uint64]bool {
+		set := a.registry.Acquire()
+		defer set.Release()
+		out := make(map[uint64]bool)
+		for _, pc := range set.PCs {
+			if m, ok := set.Lookup(pc); ok && probe[pc] != nil {
+				out[pc] = m.Predict(probe[pc], 5)
+			}
+		}
+		return out
+	}
+	before := snapshot()
+
+	// Readers: acquire, fingerprint, verify the version's content never
+	// changes between observations, release. This is the invariant a
+	// half-applied swap would break.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var fpMu sync.Mutex
+	fingerprints := make(map[int64]string)
+	errCh := make(chan error, 16)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				set := a.registry.Acquire()
+				fp := fmt.Sprintf("src=%s pcs=%v", set.Source, set.PCs)
+				for _, pc := range set.PCs {
+					m, ok := set.Lookup(pc)
+					if !ok || m == nil || m.Engine == nil {
+						select {
+						case errCh <- fmt.Errorf("version %d: pc %#x listed but not servable", set.Version, pc):
+						default:
+						}
+						break
+					}
+					if probe[pc] != nil {
+						m.Predict(probe[pc], 5)
+					}
+				}
+				fpMu.Lock()
+				if prev, ok := fingerprints[set.Version]; ok && prev != fp {
+					fpMu.Unlock()
+					select {
+					case errCh <- fmt.Errorf("version %d changed content: %q then %q", set.Version, prev, fp):
+					default:
+					}
+					set.Release()
+					return
+				}
+				fingerprints[set.Version] = fp
+				fpMu.Unlock()
+				set.Release()
+			}
+		}()
+	}
+
+	// Writer: six promotions cycling over three branches, then unwind
+	// them all. Each promotion journals and pushes the rollback stack
+	// exactly as a gated retrain would.
+	const promotions = 6
+	for g := 1; g <= promotions; g++ {
+		pc := pcs[g%len(pcs)]
+		a.mu.Lock()
+		st := a.branches[pc]
+		if st == nil {
+			st = a.trackLocked(pc, false)
+		}
+		a.mu.Unlock()
+		cand := &branchnet.Attached{PC: pc, Knobs: a.cfg.Knobs, Engine: engine.Synthetic(pc, uint64(10+g))}
+		a.promote(st, cand, uint64(g), branchnet.TrainOpts{}, 0, nil, nil, 9, 0)
+	}
+	depth := -1
+	for i := 0; i < promotions; i++ {
+		res, err := a.Rollback()
+		if err != nil {
+			t.Fatalf("rollback %d: %v", i, err)
+		}
+		depth = res.Depth
+	}
+	if depth != 0 {
+		t.Fatalf("rollback depth after unwinding = %d, want 0", depth)
+	}
+	if _, err := a.Rollback(); err == nil {
+		t.Fatal("rollback past the stack bottom did not error")
+	}
+
+	after := snapshot()
+	if len(after) != len(before) {
+		t.Fatalf("post-rollback set has %d probed models, want %d", len(after), len(before))
+	}
+	for pc, want := range before {
+		if after[pc] != want {
+			t.Fatalf("pc %#x: post-rollback prediction %v != pre-promotion %v", pc, after[pc], want)
+		}
+	}
+
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+
+	// Drain: every version except the live one must reach refcount zero
+	// and be released. Versions: 0 (empty) .. seed .. 6 promotes ..
+	// 6 rollbacks; the last rollback's set is current and stays live.
+	current := a.registry.Current().Version
+	wantRetired := int(current) // versions 0 .. current-1
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		retiredMu.Lock()
+		n := len(retired)
+		live := retired[current]
+		retiredMu.Unlock()
+		if live {
+			t.Fatal("current version was released while still installed")
+		}
+		if n == wantRetired {
+			break
+		}
+		if !time.Now().Before(deadline) {
+			t.Fatalf("only %d of %d retired versions drained to release", n, wantRetired)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if seedSet.Version >= current {
+		t.Fatalf("seed version %d not superseded (current %d)", seedSet.Version, current)
+	}
+}

@@ -1,0 +1,280 @@
+package adapt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"branchnet/internal/checkpoint"
+)
+
+// sample is one live-captured example: the pre-update history window
+// (most recent first, exactly the adapter's knobs window), the session's
+// global branch counter at capture (which fixes the sliding-pooling
+// phase), and both the resolved direction and whether the served
+// prediction got it right — the latter is what the promotion gate pairs
+// candidates against.
+type sample struct {
+	hist       []uint32
+	count      uint64
+	occurrence uint64 // per-branch monotonic sample number
+	taken      bool
+	servedOK   bool
+}
+
+// reservoir is a bounded sliding window over the most recent samples of
+// one branch. A plain ring (not uniform reservoir sampling) is the right
+// policy for drift adaptation: the point is to train on the *current*
+// phase, so old-phase examples must age out deterministically.
+//
+// The oldest sample's position is tracked explicitly (head) rather than
+// derived from n%cap: a restored reservoir starts with an arbitrary
+// appended count whose residue says nothing about where its linear
+// buffer begins, so deriving the slot from n would overwrite the wrong
+// sample after a restart.
+type reservoir struct {
+	cap  int
+	buf  []sample
+	head int    // oldest sample (and next overwrite slot) once buf is full
+	n    uint64 // total appended; the next sample's occurrence number
+}
+
+func newReservoir(cap int) *reservoir {
+	return &reservoir{cap: cap}
+}
+
+// add copies one sample in (the hist slice is cloned; observations do
+// not own their backing arrays past the Observe call).
+func (r *reservoir) add(hist []uint32, count uint64, taken, servedOK bool) {
+	s := sample{
+		hist:       append([]uint32(nil), hist...),
+		count:      count,
+		occurrence: r.n,
+		taken:      taken,
+		servedOK:   servedOK,
+	}
+	if len(r.buf) < r.cap {
+		r.buf = append(r.buf, s)
+	} else {
+		r.buf[r.head] = s
+		r.head = (r.head + 1) % r.cap
+	}
+	r.n++
+}
+
+// len returns the number of held samples.
+func (r *reservoir) len() int { return len(r.buf) }
+
+// snapshot returns the held samples oldest-first. The samples (and their
+// hist slices) are immutable after add, so sharing them with a snapshot
+// is safe.
+func (r *reservoir) snapshot() []sample {
+	out := make([]sample, 0, len(r.buf))
+	if len(r.buf) < r.cap {
+		return append(out, r.buf...)
+	}
+	out = append(out, r.buf[r.head:]...)
+	return append(out, r.buf[:r.head]...)
+}
+
+// restore rebuilds a reservoir from decoded segment state: the samples
+// land oldest-first in a linear buffer (head 0), and subsequent adds
+// append until cap then cycle — exactly the fresh-reservoir layout, so
+// sampling resumes where the previous process stopped.
+func (r *reservoir) restore(samples []sample, appended uint64) {
+	if len(samples) > r.cap {
+		// Persisted under a larger cap: keep the most recent cap samples.
+		samples = samples[len(samples)-r.cap:]
+	}
+	r.buf = append(r.buf[:0], samples...)
+	r.head = 0
+	r.n = appended
+}
+
+// Reservoir segment envelope: one branch's reservoir, persisted so a
+// restarted daemon resumes sampling (and can fire a retrain) without
+// rebuilding its window from scratch. The payload rides in a BNCK
+// checkpoint envelope (CRC-guarded, atomically renamed), and the decoder
+// validates exhaustively — a damaged segment is an error, never a
+// silently-wrong reservoir.
+const (
+	reservoirKind    = "branchnet-adapt-reservoir"
+	reservoirVersion = 1
+
+	reservoirMaxWindow  = 1 << 16
+	reservoirMaxSamples = 1 << 20
+
+	reservoirHeaderBytes = 8 + 4 + 8 + 4 // pc, window, appended, count
+	sampleMetaBytes      = 8 + 8 + 1     // count, occurrence, flags
+)
+
+// reservoirState is a decoded segment.
+type reservoirState struct {
+	pc       uint64
+	window   int
+	appended uint64
+	samples  []sample
+}
+
+// encodeReservoir serializes one branch's reservoir (oldest-first).
+func encodeReservoir(pc uint64, window int, appended uint64, samples []sample) []byte {
+	out := make([]byte, 0, reservoirHeaderBytes+len(samples)*(sampleMetaBytes+window*4))
+	out = binary.LittleEndian.AppendUint64(out, pc)
+	out = binary.LittleEndian.AppendUint32(out, uint32(window))
+	out = binary.LittleEndian.AppendUint64(out, appended)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(samples)))
+	for i := range samples {
+		s := &samples[i]
+		out = binary.LittleEndian.AppendUint64(out, s.count)
+		out = binary.LittleEndian.AppendUint64(out, s.occurrence)
+		var flags byte
+		if s.taken {
+			flags |= 1
+		}
+		if s.servedOK {
+			flags |= 2
+		}
+		out = append(out, flags)
+		for _, tok := range s.hist {
+			out = binary.LittleEndian.AppendUint32(out, tok)
+		}
+	}
+	return out
+}
+
+// decodeReservoir parses and validates a segment payload. Every length,
+// bound, and cross-field invariant is checked; trailing bytes are an
+// error (a truncation that lands on a sample boundary would otherwise
+// pass silently, and appended garbage must not either).
+func decodeReservoir(payload []byte) (*reservoirState, error) {
+	if len(payload) < reservoirHeaderBytes {
+		return nil, fmt.Errorf("adapt: reservoir segment: short header (%d bytes)", len(payload))
+	}
+	st := &reservoirState{
+		pc:       binary.LittleEndian.Uint64(payload[0:]),
+		window:   int(binary.LittleEndian.Uint32(payload[8:])),
+		appended: binary.LittleEndian.Uint64(payload[12:]),
+	}
+	n := int(binary.LittleEndian.Uint32(payload[20:]))
+	if st.window <= 0 || st.window > reservoirMaxWindow {
+		return nil, fmt.Errorf("adapt: reservoir segment: window %d out of range", st.window)
+	}
+	if n > reservoirMaxSamples {
+		return nil, fmt.Errorf("adapt: reservoir segment: sample count %d out of range", n)
+	}
+	if uint64(n) > st.appended {
+		return nil, fmt.Errorf("adapt: reservoir segment: %d samples held but only %d appended", n, st.appended)
+	}
+	sampleBytes := sampleMetaBytes + st.window*4
+	want := reservoirHeaderBytes + n*sampleBytes
+	if len(payload) != want {
+		return nil, fmt.Errorf("adapt: reservoir segment: %d bytes, want %d for %d samples", len(payload), want, n)
+	}
+	st.samples = make([]sample, n)
+	off := reservoirHeaderBytes
+	for i := 0; i < n; i++ {
+		s := &st.samples[i]
+		s.count = binary.LittleEndian.Uint64(payload[off:])
+		s.occurrence = binary.LittleEndian.Uint64(payload[off+8:])
+		flags := payload[off+16]
+		if flags > 3 {
+			return nil, fmt.Errorf("adapt: reservoir segment: sample %d: bad flags %#x", i, flags)
+		}
+		s.taken = flags&1 != 0
+		s.servedOK = flags&2 != 0
+		// Samples are the appended-n .. appended-1 window in order; any
+		// other occurrence numbering means corruption.
+		if want := st.appended - uint64(n) + uint64(i); s.occurrence != want {
+			return nil, fmt.Errorf("adapt: reservoir segment: sample %d: occurrence %d, want %d", i, s.occurrence, want)
+		}
+		off += sampleMetaBytes
+		s.hist = make([]uint32, st.window)
+		for j := 0; j < st.window; j++ {
+			s.hist[j] = binary.LittleEndian.Uint32(payload[off:])
+			off += 4
+		}
+	}
+	return st, nil
+}
+
+// reservoirPath names a branch's segment file.
+func (a *Adapter) reservoirPath(pc uint64) string {
+	return filepath.Join(a.cfg.Dir, fmt.Sprintf("reservoir-%016x.seg", pc))
+}
+
+// persistBranch writes one branch's reservoir segment (atomic rename via
+// the checkpoint envelope). Persist failures are counted, not fatal —
+// the reservoir is an optimization over resampling after restart.
+func (a *Adapter) persistBranch(pc uint64) {
+	a.mu.Lock()
+	st := a.branches[pc]
+	if st == nil {
+		a.mu.Unlock()
+		return
+	}
+	payload := encodeReservoir(pc, a.window, st.res.n, st.res.snapshot())
+	a.mu.Unlock()
+	if err := checkpoint.Write(a.reservoirPath(pc), reservoirKind, reservoirVersion, payload, a.cfg.Faults); err != nil {
+		if a.mPersistFailures != nil {
+			a.mPersistFailures.Inc()
+		}
+	}
+}
+
+// persistAll writes every tracked branch's segment (Close path).
+func (a *Adapter) persistAll() {
+	a.mu.Lock()
+	pcs := make([]uint64, 0, len(a.branches))
+	for pc := range a.branches {
+		pcs = append(pcs, pc)
+	}
+	a.mu.Unlock()
+	for _, pc := range pcs {
+		a.persistBranch(pc)
+	}
+}
+
+// loadReservoirsLocked restores every valid segment in Dir (callers hold
+// a.mu). Segments written under different knobs (window mismatch) are
+// skipped — stale configuration, not corruption.
+func (a *Adapter) loadReservoirsLocked() error {
+	paths, err := filepath.Glob(filepath.Join(a.cfg.Dir, "reservoir-*.seg"))
+	if err != nil {
+		return err
+	}
+	for _, p := range paths {
+		_, payload, err := checkpoint.Read(p, reservoirKind, a.cfg.Faults)
+		if err != nil {
+			return fmt.Errorf("adapt: loading %s: %w", filepath.Base(p), err)
+		}
+		st, err := decodeReservoir(payload)
+		if err != nil {
+			return fmt.Errorf("adapt: loading %s: %w", filepath.Base(p), err)
+		}
+		if st.window != a.window {
+			os.Remove(p)
+			continue
+		}
+		b := a.branches[st.pc]
+		if b == nil {
+			b = a.trackLocked(st.pc, false)
+		}
+		b.res.restore(st.samples, st.appended)
+	}
+	return nil
+}
+
+// mcnemarZ is the promotion gate statistic: the normal approximation of
+// the McNemar paired test over disagreeing predictions. wins counts
+// holdout examples the candidate got right and the served prediction got
+// wrong; losses the reverse. Under the no-improvement null the statistic
+// is ~N(0,1), so requiring z >= 3 holds the per-promotion false-positive
+// rate near 0.1% — noise-only "drift" cannot buy a swap.
+func mcnemarZ(wins, losses int) float64 {
+	if wins+losses == 0 {
+		return 0
+	}
+	return float64(wins-losses) / math.Sqrt(float64(wins+losses))
+}

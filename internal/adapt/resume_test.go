@@ -1,0 +1,159 @@
+package adapt
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"branchnet/internal/branchnet"
+	"branchnet/internal/faults"
+)
+
+// resumeConfig is the shared retrain configuration for the interruption
+// tests: tiny knobs and a short run, but with multiple batches per epoch
+// and two epochs so snapshots land both mid-epoch and at the boundary.
+func resumeConfig(dir string) Config {
+	return Config{
+		Dir:             dir,
+		Knobs:           testKnobs(),
+		Train:           branchnet.TrainOpts{Epochs: 2, BatchSize: 8, LR: 0.01, Seed: 3, Shards: 2, Workers: 1},
+		CheckpointEvery: 1,
+		Sync:            true,
+		MinExamples:     64,
+		ReservoirCap:    512,
+	}
+}
+
+// fillResumeReservoir tracks pc and loads its reservoir with a
+// deterministic, trivially learnable stream (always taken, served always
+// wrong) so every completed retrain passes the z-gate and journals its
+// model bytes — the comparison point of the bit-identity checks.
+func fillResumeReservoir(a *Adapter, pc uint64, n int, seed int64) {
+	a.mu.Lock()
+	st := a.branches[pc]
+	if st == nil {
+		st = a.trackLocked(pc, false)
+	}
+	a.mu.Unlock()
+	rng := rand.New(rand.NewSource(seed))
+	hist := make([]uint32, a.window)
+	for i := 0; i < n; i++ {
+		for j := range hist {
+			hist[j] = rng.Uint32() & 0x3ff
+		}
+		a.mu.Lock()
+		st.res.add(hist, uint64(i), true, false)
+		a.mu.Unlock()
+	}
+}
+
+// promotedModel returns the model bytes of the single journal promote
+// entry, or nil when none exists yet.
+func promotedModel(a *Adapter) []byte {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i := range a.journal {
+		if a.journal[i].Kind == JournalPromote {
+			return a.journal[i].Model
+		}
+	}
+	return nil
+}
+
+// goldenRetrain runs one uninterrupted retrain and returns the promoted
+// model bytes every interrupted-and-resumed run must reproduce.
+func goldenRetrain(t *testing.T) []byte {
+	t.Helper()
+	a, _ := newTestAdapter(t, resumeConfig(t.TempDir()))
+	fillResumeReservoir(a, 0x40, 128, 7)
+	a.retrainBranch(0x40)
+	model := promotedModel(a)
+	if model == nil {
+		t.Fatal("golden retrain did not promote")
+	}
+	return model
+}
+
+// TestStopInterruptedRetrainResumesBitIdentical is the graceful-shutdown
+// path: a retrain stopped mid-run (what Close does to in-flight workers)
+// checkpoints, and the next fire — with a reservoir that has drifted in
+// the meantime — resumes the original attempt's spilled store and
+// finishes with model bytes bit-identical to the uninterrupted run.
+func TestStopInterruptedRetrainResumesBitIdentical(t *testing.T) {
+	golden := goldenRetrain(t)
+
+	a, _ := newTestAdapter(t, resumeConfig(t.TempDir()))
+	fillResumeReservoir(a, 0x40, 128, 7)
+	a.stopping.Store(true)
+	a.retrainBranch(0x40)
+	if m := promotedModel(a); m != nil {
+		t.Fatal("stopped retrain promoted anyway")
+	}
+	a.stopping.Store(false)
+
+	// The reservoir keeps sampling between the interruption and the next
+	// fire; the resumed attempt must train on its original store, not the
+	// drifted snapshot, or bit-identity is lost.
+	fillResumeReservoir(a, 0x40, 32, 99)
+
+	a.retrainBranch(0x40)
+	model := promotedModel(a)
+	if model == nil {
+		t.Fatal("resumed retrain did not promote")
+	}
+	if !bytes.Equal(model, golden) {
+		t.Fatal("resumed retrain model differs from uninterrupted run")
+	}
+}
+
+// TestKillDuringRetrainThenResumeBitIdentical sweeps kill-class faults
+// (process death with no cleanup) across the retrain's checkpoint
+// commits: whichever snapshot write the crash lands on, the next fire
+// for the branch resumes and promotes a model bit-identical to the
+// uninterrupted run. The sweep stops once a run survives to promotion
+// (the kill point moved past training onto the swallowed-error journal
+// write).
+func TestKillDuringRetrainThenResumeBitIdentical(t *testing.T) {
+	golden := goldenRetrain(t)
+
+	stride := 3
+	if testing.Short() {
+		stride = 11
+	}
+	interrupted := 0
+	for kill := 1; ; kill += stride {
+		name := fmt.Sprintf("checkpoint.rename@%d", kill)
+		cfg := resumeConfig(t.TempDir())
+		cfg.Faults = faults.MustParse(fmt.Sprintf("checkpoint.rename:kill@%d;seed=1", kill))
+		a, _ := newTestAdapter(t, cfg)
+		fillResumeReservoir(a, 0x40, 128, 7)
+
+		a.retrainBranch(0x40)
+		if a.cfg.Faults.Fired("checkpoint.rename") == 0 || promotedModel(a) != nil {
+			// Either the run finished before the kill point, or the kill
+			// landed on a post-training persist (journal/segment) write,
+			// which is absorbed as a persist failure — training state is
+			// already committed, so there is nothing left to resume.
+			break
+		}
+		interrupted++
+		if inFlight := branchInFlight(a, 0x40); inFlight {
+			t.Fatalf("%s: killed retrain left the branch in-flight", name)
+		}
+
+		a.cfg.Faults = nil
+		fillResumeReservoir(a, 0x40, 32, int64(100+kill)) // drift before the re-fire
+		a.retrainBranch(0x40)
+		model := promotedModel(a)
+		if model == nil {
+			t.Fatalf("%s: resumed retrain did not promote", name)
+		}
+		if !bytes.Equal(model, golden) {
+			t.Fatalf("%s: resumed model differs from uninterrupted run", name)
+		}
+	}
+	if interrupted == 0 {
+		t.Fatal("kill sweep never interrupted a retrain — the matrix tested nothing")
+	}
+}

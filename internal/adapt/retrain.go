@@ -1,0 +1,330 @@
+package adapt
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"branchnet/internal/branchnet"
+	"branchnet/internal/engine"
+	"branchnet/internal/obs"
+)
+
+// storeDir names the spilled example store for one retrain attempt. The
+// name is a pure function of (pc, attempt): an interrupted attempt finds
+// its own store on the next fire and resumes from its checkpoint instead
+// of re-spilling a drifted reservoir — that is what makes interrupted
+// shadow retrains resume bit-identically.
+func (a *Adapter) storeDir(pc, attempt uint64) string {
+	return filepath.Join(a.cfg.Dir, fmt.Sprintf("store-%016x-g%d", pc, attempt))
+}
+
+// ckptPath names a branch's retrain checkpoint (one in flight per branch).
+func (a *Adapter) ckptPath(pc uint64) string {
+	return filepath.Join(a.cfg.Dir, fmt.Sprintf("retrain-%016x.ckpt", pc))
+}
+
+// trainOpts derives the attempt's training options: the seed decorrelates
+// across branches and generations (the offline pipeline's per-branch
+// seed scheme, extended per attempt so a blocked candidate's successor
+// explores a different shuffle), and the checkpoint envelope makes the
+// run resumable and stoppable.
+func (a *Adapter) trainOpts(pc, attempt uint64) branchnet.TrainOpts {
+	opts := a.cfg.Train
+	opts.Seed = a.cfg.Train.Seed + int64(pc) + int64(attempt)*1_000_003
+	opts.Checkpoint = &branchnet.TrainCheckpoint{
+		Path:         a.ckptPath(pc),
+		EveryBatches: a.cfg.CheckpointEvery,
+		Stop:         &a.stopping,
+		Faults:       a.cfg.Faults,
+	}
+	return opts
+}
+
+// retrainBranch runs one shadow retrain for pc: snapshot the reservoir,
+// spill the training slice to a store (or reopen an interrupted
+// attempt's store), train under the checkpoint envelope, quantize, gate
+// on the holdout slice, and promote or block. It runs on a worker
+// goroutine (or inline under Sync) and never holds a.mu across I/O or
+// training.
+func (a *Adapter) retrainBranch(pc uint64) {
+	a.mu.Lock()
+	st := a.branches[pc]
+	if st == nil {
+		a.mu.Unlock()
+		return
+	}
+	attempt := st.gen + 1
+	st.retrains++
+	samples := st.res.snapshot()
+	a.mu.Unlock()
+
+	a.mRetrains.Inc()
+	var sp *obs.Span
+	if a.tracer != nil {
+		sp = a.tracer.Start("adapt.retrain").
+			SetAttr("pc", fmt.Sprintf("%#x", pc)).
+			SetInt("attempt", int64(attempt)).
+			SetInt("samples", int64(len(samples)))
+	}
+	outcome, z := a.retrainAttempt(st, pc, attempt, samples)
+	if sp != nil {
+		sp.SetAttr("outcome", outcome).SetFloat("z", z).Finish()
+	}
+}
+
+// retrainAttempt is the body of one attempt; it returns the outcome label
+// and gate z-score for the span.
+func (a *Adapter) retrainAttempt(st *branchState, pc, attempt uint64, samples []sample) (string, float64) {
+	nHold := int(float64(len(samples)) * a.cfg.HoldoutFrac)
+	if nHold < 1 || len(samples)-nHold < 1 {
+		a.finishAttempt(st, 0, false)
+		return "too_few_samples", 0
+	}
+	holdout := samples[len(samples)-nHold:]
+
+	dir := a.storeDir(pc, attempt)
+	store, resumed, err := a.openOrSpill(dir, pc, samples[:len(samples)-nHold])
+	if err != nil {
+		a.mFailures.Inc()
+		a.finishAttempt(st, 0, false)
+		return "spill_error", 0
+	}
+	defer store.Close()
+	_ = resumed
+
+	opts := a.trainOpts(pc, attempt)
+	m := branchnet.New(a.cfg.Knobs, pc, opts.Seed)
+	sd, err := store.Dataset(pc)
+	if err == nil {
+		_, err = m.TrainStream(sd, opts)
+	}
+	if err != nil {
+		// ErrStopped (shutdown) and injected kills leave the checkpoint
+		// and store in place; the next fire for this branch reuses the
+		// same attempt id, reopens this store, and resumes from the
+		// snapshot — finishing bit-identical to an uninterrupted run.
+		if !errors.Is(err, branchnet.ErrStopped) {
+			a.mFailures.Inc()
+		}
+		a.mu.Lock()
+		st.inFlight = false
+		a.mu.Unlock()
+		return "interrupted", 0
+	}
+	os.Remove(a.ckptPath(pc))
+
+	// Quantize with the same calibration slice the offline pipeline uses
+	// — a deterministic subsample of the training store, so the oracle
+	// can reproduce the exact engine tables.
+	calib, err := store.ReadDataset(pc)
+	if err != nil {
+		a.mFailures.Inc()
+		a.finishAttempt(st, attempt, true)
+		os.RemoveAll(dir)
+		return "store_error", 0
+	}
+	eng, err := m.Quantize(calib.Subsample(quantCalibExamples, opts.Seed))
+	if err != nil {
+		a.mBlocked.With("quantize").Inc()
+		a.blockAttempt(st, pc, attempt, opts, store.Digest(), calib.Examples, holdout, 0, 0)
+		os.RemoveAll(dir)
+		return "quantize_blocked", 0
+	}
+
+	// The promotion gate: pair the candidate against the predictions the
+	// client was actually served on the held-out (never trained on,
+	// most recent) slice. This is the offline attach filter's McNemar
+	// z >= MinGainZ test, evaluated online.
+	cand := &branchnet.Attached{PC: pc, Knobs: a.cfg.Knobs, Float: m, Engine: eng}
+	wins, losses := 0, 0
+	candRight := 0
+	for i := range holdout {
+		s := &holdout[i]
+		candOK := cand.Predict(s.hist, s.count) == s.taken
+		if candOK {
+			candRight++
+		}
+		switch {
+		case candOK && !s.servedOK:
+			wins++
+		case !candOK && s.servedOK:
+			losses++
+		}
+	}
+	z := mcnemarZ(wins, losses)
+	cand.ValidAccuracy = float64(candRight) / float64(len(holdout))
+	cand.GainZ = z
+
+	if z < a.cfg.MinGainZ {
+		a.mBlocked.With("gate").Inc()
+		a.blockAttempt(st, pc, attempt, opts, store.Digest(), calib.Examples, holdout, wins, losses)
+		os.RemoveAll(dir)
+		return "gate_blocked", z
+	}
+	a.promote(st, cand, attempt, opts, store.Digest(), calib.Examples, holdout, wins, losses)
+	return "promoted", z
+}
+
+// quantCalibExamples matches the offline pipeline's quantization
+// calibration budget.
+const quantCalibExamples = 3500
+
+// openOrSpill reopens an interrupted attempt's store or spills the
+// training samples into a fresh one.
+func (a *Adapter) openOrSpill(dir string, pc uint64, train []sample) (*branchnet.Store, bool, error) {
+	if st, err := branchnet.OpenStore(dir); err == nil {
+		if st.NumExamples(pc) > 0 {
+			return st, true, nil
+		}
+		st.Close()
+	}
+	ds := datasetOf(pc, a.window, train)
+	st, err := branchnet.WriteDatasetStore(dir, ds, a.cfg.Knobs.PCBits, branchnet.StoreOpts{Workers: 1})
+	if err != nil {
+		return nil, false, err
+	}
+	return st, false, nil
+}
+
+// datasetOf materializes samples as a training dataset.
+func datasetOf(pc uint64, window int, samples []sample) *branchnet.Dataset {
+	ds := &branchnet.Dataset{PC: pc, Window: window}
+	ds.Examples = make([]branchnet.Example, len(samples))
+	for i := range samples {
+		s := &samples[i]
+		ds.Examples[i] = branchnet.Example{
+			History:    s.hist,
+			Taken:      s.taken,
+			Count:      s.count,
+			Occurrence: s.occurrence,
+		}
+	}
+	return ds
+}
+
+// finishAttempt clears the in-flight flag and, when commit is set,
+// commits the attempt as the branch's generation with a cooldown.
+func (a *Adapter) finishAttempt(st *branchState, attempt uint64, commit bool) {
+	a.mu.Lock()
+	st.inFlight = false
+	if commit {
+		st.gen = attempt
+		st.cooldownUntil = st.obs + uint64(a.cfg.CooldownObs)
+	}
+	a.mu.Unlock()
+}
+
+// blockAttempt records a gate rejection: the attempt is committed (so
+// the next attempt gets a fresh store and seed), the branch cools down,
+// and the journal gains a blocked entry.
+func (a *Adapter) blockAttempt(st *branchState, pc, attempt uint64, opts branchnet.TrainOpts, digest uint32, trained []branchnet.Example, holdout []sample, wins, losses int) {
+	z := mcnemarZ(wins, losses)
+	a.mu.Lock()
+	st.inFlight = false
+	st.gen = attempt
+	st.cooldownUntil = st.obs + uint64(a.cfg.CooldownObs)
+	st.blocked++
+	st.lastZ = z
+	a.appendJournalLocked(JournalEntry{
+		Kind: JournalBlocked, PC: pc, Gen: attempt,
+		Seed: opts.Seed, Epochs: opts.Epochs, Batch: opts.BatchSize, LR: opts.LR, MaxEx: opts.MaxExamples,
+		Digest: digest, Trained: len(trained), Holdout: len(holdout),
+		Wins: wins, Losses: losses, Z: z,
+	})
+	a.mu.Unlock()
+}
+
+// promote hot-swaps the gated candidate into the registry: the new model
+// set is the current one with pc's model replaced (or added), the prior
+// set is pushed on the rollback stack, and the journal records the
+// promoted model's exact bytes. The swap itself is the registry's
+// drain-then-release path — in-flight requests keep the set they
+// acquired; no request ever sees a half-swapped version.
+func (a *Adapter) promote(st *branchState, cand *branchnet.Attached, attempt uint64, opts branchnet.TrainOpts, digest uint32, trained []branchnet.Example, holdout []sample, wins, losses int) {
+	var buf bytes.Buffer
+	if err := engine.WriteModels(&buf, []*engine.Model{cand.Engine}); err != nil {
+		a.mFailures.Inc()
+		a.finishAttempt(st, attempt, true)
+		return
+	}
+	z := mcnemarZ(wins, losses)
+	var sp *obs.Span
+	if a.tracer != nil {
+		sp = a.tracer.Start("adapt.promote").
+			SetAttr("pc", fmt.Sprintf("%#x", cand.PC)).
+			SetFloat("z", z)
+	}
+
+	a.mu.Lock()
+	cur := a.registry.Acquire()
+	prior := make([]*branchnet.Attached, 0, cur.Len())
+	next := make([]*branchnet.Attached, 0, cur.Len()+1)
+	for _, pc := range cur.PCs {
+		if m, ok := cur.Lookup(pc); ok {
+			prior = append(prior, m)
+			if pc != cand.PC {
+				next = append(next, m)
+			}
+		}
+	}
+	next = append(next, cand)
+	cur.Release()
+	set := a.registry.Swap(next, fmt.Sprintf("adapt:%#x:g%d", cand.PC, attempt))
+	a.rollback = append(a.rollback, prior)
+	st.inFlight = false
+	st.gen = attempt
+	st.cooldownUntil = st.obs + uint64(a.cfg.CooldownObs)
+	st.promotions++
+	st.lastZ = z
+	st.hasModel = true
+	// The fast estimator tracked the old model; let the detector re-warm
+	// against the new one instead of firing on the transition.
+	st.sustain = 0
+	st.slow = st.fast
+	a.appendJournalLocked(JournalEntry{
+		Kind: JournalPromote, PC: cand.PC, Version: set.Version, Gen: attempt,
+		Seed: opts.Seed, Epochs: opts.Epochs, Batch: opts.BatchSize, LR: opts.LR, MaxEx: opts.MaxExamples,
+		Digest: digest, Trained: len(trained), Holdout: len(holdout),
+		Wins: wins, Losses: losses, Z: z, Model: buf.Bytes(),
+	})
+	a.mu.Unlock()
+	a.mPromotions.Inc()
+	if sp != nil {
+		sp.SetInt("version", set.Version).Finish()
+	}
+}
+
+// RollbackResult reports the model set a rollback restored.
+type RollbackResult struct {
+	Version int64  `json:"version"`
+	Models  int    `json:"models"`
+	Source  string `json:"source"`
+	Depth   int    `json:"rollback_depth"` // promotions still undoable
+}
+
+// Rollback pops the most recent promotion and restores the model set it
+// replaced — the same *Attached values, so the restored version is
+// bit-exact, not a retrained approximation. Returns the restored set or
+// an error when there is nothing to roll back.
+func (a *Adapter) Rollback() (*RollbackResult, error) {
+	a.mu.Lock()
+	if len(a.rollback) == 0 {
+		a.mu.Unlock()
+		return nil, errNothingToRollback
+	}
+	prior := a.rollback[len(a.rollback)-1]
+	a.rollback = a.rollback[:len(a.rollback)-1]
+	set := a.registry.Swap(prior, "adapt:rollback")
+	// Branches whose promoted model just vanished go back to model-less
+	// tracking; their next observation resets hasModel from FromModel.
+	a.appendJournalLocked(JournalEntry{Kind: JournalRollback, Version: set.Version})
+	depth := len(a.rollback)
+	a.mu.Unlock()
+	a.mRollbacks.Inc()
+	return &RollbackResult{Version: set.Version, Models: set.Len(), Source: set.Source, Depth: depth}, nil
+}
+
+var errNothingToRollback = errors.New("adapt: no promotion to roll back")

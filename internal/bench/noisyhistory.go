@@ -96,11 +96,26 @@ func NoisyInput(name string, seed int64, nmin, nmax int, alpha float64) Input {
 	}
 }
 
+// NoisyInvertInput builds an input whose "invert" flag flips Branch B's
+// correlation with history: x counts the TAKEN instances of Branch A
+// instead of the not-taken ones. The branch populations and rates are
+// unchanged — only the direction of the history correlation flips — so
+// a model trained on the normal program keeps seeing familiar-looking
+// histories while its learned rule becomes exactly wrong. This is the
+// phase-shift workload that online adaptation must detect and retrain
+// through.
+func NoisyInvertInput(name string, seed int64, nmin, nmax int, alpha float64) Input {
+	in := NoisyInput(name, seed, nmin, nmax, alpha)
+	in.Params["invert"] = 1
+	return in
+}
+
 func runNoisyHistory(c *Ctx, in Input) {
 	nmin := int(in.Param("nmin", 5))
 	nmax := int(in.Param("nmax", 10))
 	alpha := in.Param("alpha", 0.5)
 	noise := int(in.Param("noise", noisyDefaultNoise))
+	invert := in.Param("invert", 0) != 0
 
 	n := nmin
 	if nmax > nmin {
@@ -115,8 +130,10 @@ func runNoisyHistory(c *Ctx, in Input) {
 	x := 0
 	for i := 0; i < n; i++ {
 		c.Work(2)
-		if !c.Branch(NoisyPCA, c.Bernoulli(alpha)) {
-			x++ // x increments when Branch A is not taken
+		// Normally x counts the not-taken instances of Branch A; under
+		// "invert" it counts the taken ones (see NoisyInvertInput).
+		if c.Branch(NoisyPCA, c.Bernoulli(alpha)) == invert {
+			x++
 			c.Work(1)
 		}
 		// The number of executed noise branches per call is bursty

@@ -122,6 +122,39 @@ func ExtractStreamFile(tracePath string, pcs []uint64, window int, pcBits uint, 
 	return ExtractStream(r, pcs, window, pcBits, dir, opts)
 }
 
+// WriteDatasetStore spills an in-memory dataset into a sharded example
+// store at dir, preserving every example's history window, branch
+// counter, and occurrence number bit-for-bit. It is the bridge from
+// live-sampled examples (which arrive as materialized histories, not a
+// replayable trace) to the streaming training path: the returned store's
+// StreamDataset feeds TrainStream exactly as if the examples had been
+// extracted from a trace, and the store digest pins what was trained on.
+func WriteDatasetStore(dir string, ds *Dataset, pcBits uint, opts StoreOpts) (*Store, error) {
+	if ds.Window <= 0 {
+		return nil, fmt.Errorf("branchnet: WriteDatasetStore: window must be positive, got %d", ds.Window)
+	}
+	sw, err := newStoreWriter(dir, ds.Window, pcBits, []uint64{ds.PC}, opts)
+	if err != nil {
+		return nil, err
+	}
+	// append reads the ring most-recent-first from pos-1 downward; with
+	// pos=0 the stored token j comes from ring[window-1-j], so laying the
+	// example's (already most-recent-first) history in reversed keeps the
+	// stored order identical to the in-memory one.
+	ring := make([]uint32, ds.Window)
+	for _, e := range ds.Examples {
+		if len(e.History) != ds.Window {
+			sw.abort()
+			return nil, fmt.Errorf("branchnet: WriteDatasetStore: example history %d != window %d", len(e.History), ds.Window)
+		}
+		for k, tok := range e.History {
+			ring[ds.Window-1-k] = tok
+		}
+		sw.append(ds.PC, e.Count, e.Occurrence, e.Taken, ring, 0)
+	}
+	return sw.finish()
+}
+
 // CountExecutions streams the remainder of r, counting executions of
 // the requested branches (the pre-pass behind per-branch capping).
 func CountExecutions(r *trace.Reader, pcs []uint64) (map[uint64]uint64, error) {

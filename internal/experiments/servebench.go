@@ -78,6 +78,41 @@ type ServeBenchReport struct {
 	// SIGTERMed mid-run, asserting prediction parity survives session
 	// migration (branchnet-loadgen -cluster -merge-bench writes it).
 	Cluster *ClusterCase `json:"cluster,omitempty"`
+	// Adapt, when present, records the online-adaptation phase-shift demo:
+	// a live server shadow-trains through a mid-run workload inversion and
+	// the gate-promoted retrained model must beat the frozen pre-shift
+	// control on held-out post-shift traffic (branchnet-loadgen
+	// -phase-shift -merge-bench writes it).
+	Adapt *AdaptCase `json:"adapt,omitempty"`
+}
+
+// AdaptCase is the recorded online-adaptation phase-shift result.
+type AdaptCase struct {
+	PhaseARecords int `json:"phase_a_records"`
+	PhaseBRecords int `json:"phase_b_records"`
+	EvalRecords   int `json:"eval_records"`
+	PhaseAPasses  int `json:"phase_a_passes"`
+	PhaseBPasses  int `json:"phase_b_passes"`
+
+	Retrains   uint64 `json:"retrains"`
+	Promotions uint64 `json:"promotions"`
+	Blocked    uint64 `json:"blocked"`
+
+	FinalVersion int64 `json:"final_version"`
+	Models       int   `json:"models"`
+
+	// Accuracies on the held-out post-shift trace: the baseline alone, the
+	// frozen pre-shift model set (the non-adapting control), and the final
+	// adapted set. The Hard* variants isolate the shifted branch.
+	BaselineAccuracy     float64 `json:"baseline_accuracy"`
+	ControlAccuracy      float64 `json:"control_accuracy"`
+	AdaptedAccuracy      float64 `json:"adapted_accuracy"`
+	BaselineHardAccuracy float64 `json:"baseline_hard_accuracy"`
+	ControlHardAccuracy  float64 `json:"control_hard_accuracy"`
+	AdaptedHardAccuracy  float64 `json:"adapted_hard_accuracy"`
+
+	ParityPredictions uint64 `json:"parity_predictions"`
+	ParityMismatches  uint64 `json:"parity_mismatches"`
 }
 
 // ClusterCase is the recorded cluster smoke result.

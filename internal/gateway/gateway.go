@@ -81,6 +81,12 @@ type gwSession struct {
 	// fresh replica with a 200 would silently fork the session's history —
 	// after which the id starts over as a fresh session.
 	lost bool
+	// epoch is the owning replica's session epoch at pin time (guarded by
+	// mu). If the replica later answers with a different epoch, it
+	// restarted with this session's state on it: the answer came from a
+	// process that never saw the session's history, so the session is lost
+	// even though the address stayed up the whole time.
+	epoch string
 }
 
 // owner reads the session's current pin.
@@ -114,6 +120,7 @@ type Gateway struct {
 	failovers      *obs.Counter
 	migrated       *obs.Counter
 	lost           *obs.Counter
+	epochRestarts  *obs.Counter
 	rebalances     *obs.Counter
 	upstream429    *obs.Counter
 	upstreamErrors *obs.Counter
@@ -149,6 +156,7 @@ func New(cfg Config) (*Gateway, error) {
 		failovers:      reg.Counter("gateway_failovers_total"),
 		migrated:       reg.Counter("gateway_sessions_migrated_total"),
 		lost:           reg.Counter("gateway_sessions_lost_total"),
+		epochRestarts:  reg.Counter("gateway_epoch_restarts_total"),
 		rebalances:     reg.Counter("gateway_ring_rebalances_total"),
 		upstream429:    reg.Counter("gateway_upstream_429_total"),
 		upstreamErrors: reg.Counter("gateway_upstream_errors_total"),
@@ -343,6 +351,7 @@ func (g *Gateway) handlePredict(w http.ResponseWriter, r *http.Request) {
 			// the loss is made loud: unpin, count it, answer 410. The next
 			// use of the id starts fresh.
 			sess.setOwner("")
+			sess.epoch = ""
 			g.lost.Inc()
 			writeJSON(w, http.StatusGone, errorResponse{"session lost: owning replica " + target + " is down"})
 			return
@@ -406,6 +415,28 @@ func (g *Gateway) handlePredict(w http.ResponseWriter, r *http.Request) {
 			}
 			continue
 		case status == http.StatusOK:
+			if ep := hdr.Get(serve.EpochHeader); ep != "" {
+				if g.noteEpoch(target, ep) {
+					// First contact with the restarted process happened on the
+					// data path — expire the rest of its pinned sessions too
+					// (async: this handler holds sess.mu, which expireEpoch
+					// also takes per session).
+					g.epochRestarts.Inc()
+					go g.expireEpoch(target, ep)
+				}
+				if !fresh && sess.epoch != "" && sess.epoch != ep {
+					// The owner restarted on the same address since this
+					// session was pinned. The 200 in hand came from a process
+					// that never saw the session's history — relaying it would
+					// silently fork the stream, so the loss is made loud.
+					sess.setOwner("")
+					sess.epoch = ""
+					g.lost.Inc()
+					writeJSON(w, http.StatusGone, errorResponse{"session lost: replica " + target + " restarted"})
+					return
+				}
+				sess.epoch = ep
+			}
 			sess.setOwner(target)
 			relay(w, status, hdr, respBody)
 			return
@@ -414,6 +445,56 @@ func (g *Gateway) handlePredict(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// noteEpoch records a replica's session epoch and reports whether a
+// previously recorded epoch changed — i.e. the process restarted. A
+// restart on the same address can be invisible to liveness checks (fast
+// supervisor restarts land between probes and refuse no connections),
+// but the epoch cannot lie: a new process minted a new one, and every
+// session pinned before the change lost its state.
+func (g *Gateway) noteEpoch(url, epoch string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	rep := g.replicas[url]
+	if rep == nil || rep.epoch == epoch {
+		return false
+	}
+	changed := rep.epoch != ""
+	rep.epoch = epoch
+	return changed
+}
+
+// epochOf returns the last epoch recorded for url ("" if none yet).
+func (g *Gateway) epochOf(url string) string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if rep := g.replicas[url]; rep != nil {
+		return rep.epoch
+	}
+	return ""
+}
+
+// expireEpoch marks lost every session pinned to url under an epoch
+// other than the current one. Sessions with an unknown pin epoch are
+// left alone (migrated pins adopt the destination's epoch lazily), and
+// sessions already re-pinned under the new epoch are untouched.
+func (g *Gateway) expireEpoch(url, epoch string) {
+	sp := g.tracer.Start("gateway.epoch_restart").SetAttr("replica", url).SetAttr("epoch", epoch)
+	n := 0
+	for _, id := range g.sessionsOn(url) {
+		sess := g.session(id)
+		sess.mu.Lock()
+		if sess.owner() == url && sess.epoch != "" && sess.epoch != epoch {
+			sess.setOwner("")
+			sess.epoch = ""
+			sess.lost = true
+			n++
+			g.lost.Inc()
+		}
+		sess.mu.Unlock()
+	}
+	sp.SetInt("lost", int64(n)).Finish()
 }
 
 // noteConnFailure counts a data-path connection failure against the
@@ -498,10 +579,12 @@ func (g *Gateway) migrateFrom(url string) (migrated, lost int) {
 		}
 		if dest, ok := g.moveSession(id, url); ok {
 			sess.setOwner(dest)
+			sess.epoch = g.epochOf(dest) // may be "": adopted lazily on next 200
 			migrated++
 			g.migrated.Inc()
 		} else {
 			sess.setOwner("")
+			sess.epoch = ""
 			lost++
 			g.lost.Inc()
 		}
@@ -552,6 +635,7 @@ func (g *Gateway) failoverDead(url string) {
 		sess.mu.Lock()
 		if sess.owner() == url {
 			sess.setOwner("")
+			sess.epoch = ""
 			sess.lost = true
 			n++
 			g.lost.Inc()
@@ -608,10 +692,15 @@ func (g *Gateway) probe(url string) {
 		code = resp.StatusCode
 		var hr struct {
 			Status string `json:"status"`
+			Epoch  string `json:"epoch"`
 		}
 		json.NewDecoder(resp.Body).Decode(&hr) //nolint:errcheck // body shape is advisory
 		resp.Body.Close()
 		status = hr.Status
+		if hr.Epoch != "" && g.noteEpoch(url, hr.Epoch) {
+			g.epochRestarts.Inc()
+			g.expireEpoch(url, hr.Epoch)
+		}
 	}
 
 	g.mu.Lock()
@@ -736,6 +825,7 @@ type StatsSnapshot struct {
 	Failovers        uint64                `json:"failovers"`
 	SessionsMigrated uint64                `json:"sessions_migrated"`
 	SessionsLost     uint64                `json:"sessions_lost"`
+	EpochRestarts    uint64                `json:"epoch_restarts"`
 	RingRebalances   uint64                `json:"ring_rebalances"`
 	Upstream429      uint64                `json:"upstream_429"`
 	UpstreamErrors   uint64                `json:"upstream_errors"`
@@ -756,6 +846,7 @@ func (g *Gateway) Stats() StatsSnapshot {
 		Failovers:        g.failovers.Value(),
 		SessionsMigrated: g.migrated.Value(),
 		SessionsLost:     g.lost.Value(),
+		EpochRestarts:    g.epochRestarts.Value(),
 		RingRebalances:   g.rebalances.Value(),
 		Upstream429:      g.upstream429.Value(),
 		UpstreamErrors:   g.upstreamErrors.Value(),

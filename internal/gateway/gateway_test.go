@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
@@ -309,6 +310,149 @@ func TestGatewayHardKillFailover(t *testing.T) {
 		t.Fatalf("gateway health after kill: %d %+v", resp.StatusCode, hr)
 	}
 	_ = g
+}
+
+// restartableReplica runs a serve.Server on a fixed address so a test
+// can hard-kill it (SIGKILL-equivalent: listener and connections torn
+// down, no drain) and bring a fresh process-equivalent — new epoch,
+// empty session table — back on the SAME port.
+type restartableReplica struct {
+	t    *testing.T
+	addr string
+	srv  *serve.Server
+	hs   *http.Server
+}
+
+func startReplicaOn(t *testing.T) *restartableReplica {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &restartableReplica{t: t, addr: ln.Addr().String()}
+	r.serveOn(ln)
+	t.Cleanup(r.kill)
+	return r
+}
+
+func (r *restartableReplica) serveOn(ln net.Listener) {
+	r.srv = serve.New(serve.Config{NewBaseline: fleetBaseline, BaselineName: "test-gshare"})
+	r.hs = &http.Server{Handler: r.srv.Handler()}
+	go r.hs.Serve(ln) //nolint:errcheck // closed on kill
+}
+
+func (r *restartableReplica) kill() {
+	r.hs.Close() //nolint:errcheck
+	r.srv.Drain()
+}
+
+// restart hard-kills the server and binds a brand-new one (fresh epoch,
+// no session state) to the same address — the restart blip a supervisor
+// produces faster than any liveness check can notice.
+func (r *restartableReplica) restart() {
+	r.t.Helper()
+	r.kill()
+	var ln net.Listener
+	var err error
+	for i := 0; i < 200; i++ {
+		if ln, err = net.Listen("tcp", r.addr); err == nil {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err != nil {
+		r.t.Fatalf("rebinding %s: %v", r.addr, err)
+	}
+	r.serveOn(ln)
+}
+
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestGatewayEpochRestartDataPath closes the restart-blip resurrection
+// window (DESIGN.md §11): a replica is hard-killed and restarted on the
+// same port between health probes, so the gateway never sees it down.
+// The restarted process happily answers 200 for a pinned session id —
+// creating a fresh session whose history silently forks the stream. The
+// session-epoch check on the data path must turn that 200 into a 410.
+func TestGatewayEpochRestartDataPath(t *testing.T) {
+	tr := fleetTrace(40)
+	rep := startReplicaOn(t)
+	g, gts := newGateway(t, Config{
+		Replicas:       []string{"http://" + rep.addr},
+		HealthInterval: time.Hour, // no probe will ever notice — only the data path can
+		// Fresh connections per request: a pooled keep-alive conn to the
+		// killed process would EOF first and obscure the thing under test.
+		Client: &http.Client{Transport: &http.Transport{DisableKeepAlives: true}},
+	})
+
+	if resp, body := postPredict(t, gts.URL, "victim", tr.Records[:10]); resp.StatusCode != http.StatusOK {
+		t.Fatalf("pinning session: %d %s", resp.StatusCode, body)
+	}
+	epoch1 := rep.srv.Epoch()
+	rep.restart()
+	if rep.srv.Epoch() == epoch1 {
+		t.Fatal("restarted server kept its epoch")
+	}
+
+	// Without epochs the restarted replica would answer this with a quiet
+	// 200 for a session it has never seen.
+	resp, body := postPredict(t, gts.URL, "victim", tr.Records[10:20])
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("pinned session after same-port restart: %d %s, want 410", resp.StatusCode, body)
+	}
+	// The loss is reported exactly once; the id starts over afterwards.
+	if resp, body := postPredict(t, gts.URL, "victim", tr.Records[:10]); resp.StatusCode != http.StatusOK {
+		t.Fatalf("fresh use of id after the 410: %d %s", resp.StatusCode, body)
+	}
+	st := g.Stats()
+	if st.EpochRestarts == 0 {
+		t.Fatalf("no epoch restart recorded: %+v", st)
+	}
+	if st.SessionsLost == 0 {
+		t.Fatalf("no session counted lost: %+v", st)
+	}
+}
+
+// TestGatewayEpochRestartProbePath: the health probe — not a request —
+// is first to see the restarted process. The probe's epoch comparison
+// must expire the pinned sessions so their next request gets the 410
+// without ever touching the restarted replica.
+func TestGatewayEpochRestartProbePath(t *testing.T) {
+	tr := fleetTrace(40)
+	rep := startReplicaOn(t)
+	url := "http://" + rep.addr
+	g, gts := newGateway(t, Config{
+		Replicas:       []string{url},
+		HealthInterval: 10 * time.Millisecond,
+		// Probes failing during the rebind gap must NOT mark the replica
+		// down — the point of the test is the blip liveness cannot see.
+		FailThreshold: 1 << 30,
+	})
+	waitUntil(t, "first probe to record the epoch", func() bool { return g.epochOf(url) != "" })
+
+	if resp, body := postPredict(t, gts.URL, "victim", tr.Records[:10]); resp.StatusCode != http.StatusOK {
+		t.Fatalf("pinning session: %d %s", resp.StatusCode, body)
+	}
+	rep.restart()
+	waitUntil(t, "probe to detect the epoch change", func() bool { return g.Stats().EpochRestarts >= 1 })
+
+	resp, body := postPredict(t, gts.URL, "victim", tr.Records[10:20])
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("pinned session after probed restart: %d %s, want 410", resp.StatusCode, body)
+	}
+	if st := g.Stats(); st.SessionsLost == 0 {
+		t.Fatalf("no session counted lost: %+v", st)
+	}
 }
 
 // TestGateway429RelayCarriesRetryAfter: when a replica's backpressure

@@ -37,13 +37,19 @@ func (s ReplicaState) String() string {
 	return "unknown"
 }
 
-// replica is the gateway's view of one branchnet-serve instance. state
-// and fails are guarded by Gateway.mu; backoffUntil is atomic because the
-// data path reads and writes it without the gateway lock.
+// replica is the gateway's view of one branchnet-serve instance. state,
+// fails, and epoch are guarded by Gateway.mu; backoffUntil is atomic
+// because the data path reads and writes it without the gateway lock.
 type replica struct {
 	url   string
 	state ReplicaState
 	fails int // consecutive probe/connection failures
+	// epoch is the replica process's session epoch, from its /healthz and
+	// predict responses. A change means the process restarted — even if it
+	// came back on the same address fast enough that no probe or
+	// connection ever failed — so every session pinned before the change
+	// lost its server-side state.
+	epoch string
 
 	// backoffUntil (unix nanos) is set from the replica's own Retry-After
 	// hint on a 429 — per-replica admission backpressure, honored before

@@ -1,0 +1,309 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"branchnet/internal/branchnet"
+	"branchnet/internal/engine"
+	"branchnet/internal/hybrid"
+	"branchnet/internal/obs"
+	"branchnet/internal/predictor"
+	"branchnet/internal/serve/stats"
+	"branchnet/internal/trace"
+)
+
+// AdaptLoadConfig drives RunAdaptLoad: the end-to-end phase-shift
+// adaptation demo. Phase A establishes the pre-shift behavior and lets
+// the adapter promote its first model(s); Phase B replays the shifted
+// workload (same branch population, inverted correlation) until drift
+// fires and a retrained model is promoted; Eval is the held-out
+// post-shift trace used for the frozen-vs-adapted comparison and the
+// final bit-exact parity pass.
+type AdaptLoadConfig struct {
+	// BaseURL of an adaptation-enabled server.
+	BaseURL string
+	// NewBaseline mirrors the server's session baseline — the offline
+	// evaluations and the parity reference are built with it.
+	NewBaseline func() predictor.Predictor
+	// PhaseA and PhaseB are the pre- and post-shift workloads; Eval is the
+	// held-out post-shift trace (distinct seed from PhaseB).
+	PhaseA, PhaseB, Eval *trace.Trace
+	// HardPC, when nonzero, selects the branch whose isolated accuracy the
+	// report carries alongside the whole-trace numbers (the shifted branch
+	// is a tiny fraction of the records, so whole-trace accuracy dilutes
+	// the effect being demonstrated).
+	HardPC uint64
+	// Chunk is the records per request (default 64).
+	Chunk int
+	// WantPhaseA / WantPhaseB are how many promotions each phase must
+	// produce before the run moves on (defaults 1 each; PhaseB's target is
+	// on top of PhaseA's).
+	WantPhaseA, WantPhaseB uint64
+	// MaxPasses bounds how many times each phase's trace is replayed while
+	// waiting for its promotions (default 8).
+	MaxPasses int
+	// SettleTimeout bounds the post-pass wait for an asynchronous retrain
+	// to land (default 5s; a Sync-mode adapter needs none).
+	SettleTimeout time.Duration
+	// ParityRetries is how many times the final parity pass may re-pin and
+	// retry after a concurrent promotion changed the model set mid-pass
+	// (default 3).
+	ParityRetries int
+	// Client overrides the HTTP client (default: 30s timeout — synchronous
+	// retrains run inside a predict request).
+	Client *http.Client
+}
+
+// AdaptLoadReport summarizes a RunAdaptLoad: what the adapter did, and
+// the frozen-vs-adapted comparison on the held-out post-shift trace.
+// Accuracies come from in-process hybrid replays of Eval — Baseline with
+// no models, Control with the model set downloaded at the end of Phase A
+// (what a non-adapting server would still be serving), Adapted with the
+// final set. The Hard* variants isolate HardPC.
+type AdaptLoadReport struct {
+	PhaseAPasses int `json:"phase_a_passes"`
+	PhaseBPasses int `json:"phase_b_passes"`
+
+	Promotions uint64 `json:"promotions"`
+	Retrains   uint64 `json:"retrains"`
+	Blocked    uint64 `json:"blocked"`
+
+	FinalVersion int64 `json:"final_version"`
+	Models       int   `json:"models"`
+
+	BaselineAccuracy     float64 `json:"baseline_accuracy"`
+	ControlAccuracy      float64 `json:"control_accuracy"`
+	AdaptedAccuracy      float64 `json:"adapted_accuracy"`
+	BaselineHardAccuracy float64 `json:"baseline_hard_accuracy,omitempty"`
+	ControlHardAccuracy  float64 `json:"control_hard_accuracy,omitempty"`
+	AdaptedHardAccuracy  float64 `json:"adapted_hard_accuracy,omitempty"`
+
+	ParityPredictions uint64 `json:"parity_predictions"`
+	ParityMismatches  uint64 `json:"parity_mismatches"`
+	ParityAttempts    int    `json:"parity_attempts"`
+}
+
+// adaptStatusLite is the slice of /v1/adapt/status this runner reads.
+// (The adapt package imports serve, so serve mirrors the fields rather
+// than importing the full response type.)
+type adaptStatusLite struct {
+	Enabled    bool   `json:"enabled"`
+	Version    int64  `json:"version"`
+	Models     int    `json:"models"`
+	Retrains   uint64 `json:"retrains"`
+	Promotions uint64 `json:"promotions"`
+	Blocked    uint64 `json:"blocked"`
+}
+
+func adaptStatus(client *http.Client, baseURL string) (adaptStatusLite, error) {
+	var st adaptStatusLite
+	err := fetchJSON(client, baseURL+"/v1/adapt/status", &st)
+	return st, err
+}
+
+// FetchAdaptModels downloads the server's live engine-model set from
+// /v1/adapt/models along with the registry version it was snapshotted
+// at (from the ModelVersionHeader).
+func FetchAdaptModels(client *http.Client, baseURL string) ([]*engine.Model, int64, error) {
+	resp, err := client.Get(baseURL + "/v1/adapt/models")
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, fmt.Errorf("serve: %s/v1/adapt/models: %s", baseURL, resp.Status)
+	}
+	version, err := strconv.ParseInt(resp.Header.Get(ModelVersionHeader), 10, 64)
+	if err != nil {
+		return nil, 0, fmt.Errorf("serve: /v1/adapt/models: bad %s header: %w", ModelVersionHeader, err)
+	}
+	models, err := engine.ReadModels(resp.Body)
+	if err != nil {
+		return nil, 0, fmt.Errorf("serve: reading adapt models: %w", err)
+	}
+	return models, version, nil
+}
+
+// TraceAccuracy replays tr through an in-process hybrid (the same
+// construction a server session uses) and returns its overall accuracy
+// plus the isolated accuracy of hardPC (0 when hardPC never occurs or is
+// zero).
+func TraceAccuracy(newBase func() predictor.Predictor, models []*branchnet.Attached, tr *trace.Trace, hardPC uint64) (overall, hard float64) {
+	h := hybrid.New(newBase(), models, "eval")
+	hits, hardHits, hardN := 0, 0, 0
+	for i := range tr.Records {
+		r := &tr.Records[i]
+		ok := h.Predict(r.PC) == r.Taken
+		if ok {
+			hits++
+		}
+		if hardPC != 0 && r.PC == hardPC {
+			hardN++
+			if ok {
+				hardHits++
+			}
+		}
+		h.Update(r.PC, r.Taken)
+	}
+	if len(tr.Records) > 0 {
+		overall = float64(hits) / float64(len(tr.Records))
+	}
+	if hardN > 0 {
+		hard = float64(hardHits) / float64(hardN)
+	}
+	return overall, hard
+}
+
+// drivePhase replays tr in passes (a fresh session per pass) until the
+// adapter's promotion count reaches want, waiting up to settle after
+// each pass for asynchronous retrains to land.
+func drivePhase(client *http.Client, cfg *AdaptLoadConfig, name string, tr *trace.Trace,
+	want uint64, settle time.Duration, latency *stats.Histogram) (int, error) {
+	for pass := 0; pass < cfg.MaxPasses; pass++ {
+		lw := &loadWorker{}
+		pcfg := passConfig{baseURL: cfg.BaseURL, records: tr.Records, chunk: cfg.Chunk}
+		next := time.Now()
+		if !runPass(client, pcfg, fmt.Sprintf("%s-%d", name, pass), lw, latency, time.Time{}, &next, 0) {
+			return pass + 1, fmt.Errorf("serve: adapt %s pass %d aborted (%d errors)", name, pass, lw.errors)
+		}
+		deadline := time.Now().Add(settle)
+		for {
+			st, err := adaptStatus(client, cfg.BaseURL)
+			if err != nil {
+				return pass + 1, err
+			}
+			if st.Promotions >= want {
+				return pass + 1, nil
+			}
+			if !time.Now().Before(deadline) {
+				break
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+	}
+	st, _ := adaptStatus(client, cfg.BaseURL) //nolint:errcheck // best-effort detail
+	return cfg.MaxPasses, fmt.Errorf("serve: adapt %s: %d promotions after %d passes, want %d",
+		name, st.Promotions, cfg.MaxPasses, want)
+}
+
+// RunAdaptLoad runs the full online-adaptation scenario against an
+// adaptation-enabled server: drive the pre-shift workload until the
+// adapter promotes its first model, snapshot that set as the frozen
+// control, drive the shifted workload until drift forces a gated
+// re-promotion, then evaluate frozen vs adapted on the held-out shifted
+// trace and finish with a version-pinned bit-exact parity pass.
+func RunAdaptLoad(cfg AdaptLoadConfig) (*AdaptLoadReport, error) {
+	if cfg.NewBaseline == nil {
+		return nil, fmt.Errorf("serve: adapt load needs NewBaseline")
+	}
+	for _, tr := range []struct {
+		name string
+		tr   *trace.Trace
+	}{{"PhaseA", cfg.PhaseA}, {"PhaseB", cfg.PhaseB}, {"Eval", cfg.Eval}} {
+		if tr.tr == nil || len(tr.tr.Records) == 0 {
+			return nil, fmt.Errorf("serve: adapt load needs a non-empty %s trace", tr.name)
+		}
+	}
+	if cfg.Chunk <= 0 {
+		cfg.Chunk = 64
+	}
+	if cfg.WantPhaseA == 0 {
+		cfg.WantPhaseA = 1
+	}
+	if cfg.WantPhaseB == 0 {
+		cfg.WantPhaseB = 1
+	}
+	if cfg.MaxPasses <= 0 {
+		cfg.MaxPasses = 8
+	}
+	if cfg.SettleTimeout <= 0 {
+		cfg.SettleTimeout = 5 * time.Second
+	}
+	if cfg.ParityRetries <= 0 {
+		cfg.ParityRetries = 3
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	latency := stats.NewHistogram(obs.DefaultLatencyBounds()...)
+
+	st, err := adaptStatus(client, cfg.BaseURL)
+	if err != nil {
+		return nil, fmt.Errorf("serve: adapt status: %w", err)
+	}
+	if !st.Enabled {
+		return nil, fmt.Errorf("serve: adaptation is not enabled on %s", cfg.BaseURL)
+	}
+	base := st.Promotions
+	rep := &AdaptLoadReport{}
+
+	// Phase A: cold-start promotion on the pre-shift behavior.
+	rep.PhaseAPasses, err = drivePhase(client, &cfg, "phase-a", cfg.PhaseA, base+cfg.WantPhaseA, cfg.SettleTimeout, latency)
+	if err != nil {
+		return rep, err
+	}
+	// The frozen control: what a non-adapting replica would keep serving.
+	control, _, err := FetchAdaptModels(client, cfg.BaseURL)
+	if err != nil {
+		return rep, err
+	}
+
+	// Phase B: the shift. Drift must fire and a retrained model pass the
+	// gate.
+	rep.PhaseBPasses, err = drivePhase(client, &cfg, "phase-b", cfg.PhaseB,
+		base+cfg.WantPhaseA+cfg.WantPhaseB, cfg.SettleTimeout, latency)
+	if err != nil {
+		return rep, err
+	}
+
+	st, err = adaptStatus(client, cfg.BaseURL)
+	if err != nil {
+		return rep, err
+	}
+	rep.Promotions = st.Promotions
+	rep.Retrains = st.Retrains
+	rep.Blocked = st.Blocked
+
+	rep.BaselineAccuracy, rep.BaselineHardAccuracy = TraceAccuracy(cfg.NewBaseline, nil, cfg.Eval, cfg.HardPC)
+	rep.ControlAccuracy, rep.ControlHardAccuracy = TraceAccuracy(cfg.NewBaseline, branchnet.FromEngine(control), cfg.Eval, cfg.HardPC)
+
+	// Parity: a fresh session replaying Eval must match the in-process
+	// hybrid over the downloaded set bit for bit. The set is pinned by
+	// version; if a late retrain swaps it mid-pass, re-pin and retry.
+	for attempt := 1; ; attempt++ {
+		models, version, err := FetchAdaptModels(client, cfg.BaseURL)
+		if err != nil {
+			return rep, err
+		}
+		attachedSet := branchnet.FromEngine(models)
+		expected := ExpectedPredictions(cfg.NewBaseline, attachedSet, cfg.Eval)
+		lw := &loadWorker{}
+		pcfg := passConfig{baseURL: cfg.BaseURL, records: cfg.Eval.Records, expected: expected, chunk: cfg.Chunk}
+		next := time.Now()
+		if !runPass(client, pcfg, fmt.Sprintf("adapt-parity-%d", attempt), lw, latency, time.Time{}, &next, 0) {
+			return rep, fmt.Errorf("serve: adapt parity pass aborted (%d errors)", lw.errors)
+		}
+		after, err := adaptStatus(client, cfg.BaseURL)
+		if err != nil {
+			return rep, err
+		}
+		if after.Version != version {
+			if attempt > cfg.ParityRetries {
+				return rep, fmt.Errorf("serve: adapt parity: model set kept changing (version %d -> %d after %d attempts)",
+					version, after.Version, attempt)
+			}
+			continue
+		}
+		rep.FinalVersion = version
+		rep.Models = len(models)
+		rep.AdaptedAccuracy, rep.AdaptedHardAccuracy = TraceAccuracy(cfg.NewBaseline, attachedSet, cfg.Eval, cfg.HardPC)
+		rep.ParityPredictions = lw.predictions
+		rep.ParityMismatches = lw.mismatches
+		rep.ParityAttempts = attempt
+		return rep, nil
+	}
+}

@@ -2,6 +2,8 @@ package serve
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"io"
@@ -85,6 +87,42 @@ type Config struct {
 	// ModelPaths are the BNM1 files a bare /v1/reload (and SIGHUP in the
 	// daemon) re-reads.
 	ModelPaths []string
+	// Observer, when non-nil, sees every resolved branch a predict request
+	// replays (the online-adaptation tap). Observe runs under the session
+	// lock after the request's predictions resolve, so observations for one
+	// session arrive in exact replay order.
+	Observer Observer
+	// HistoryFloor, when positive, floors each session's history-ring
+	// window (in tokens) regardless of the installed model set's geometry,
+	// so an observer can capture windows longer than the currently attached
+	// models need. Model predictions still use only their own window of
+	// most-recent tokens, so parity is unaffected.
+	HistoryFloor int
+}
+
+// Observation is one resolved branch as seen by a Config.Observer: the
+// served prediction, whether an attached model produced it, the baseline's
+// prediction, and — only for PCs the observer asked history for — the
+// pre-update history view and global branch counter (exactly what a model
+// consumed, or would have consumed, for this occurrence).
+type Observation struct {
+	PC        uint64
+	Taken     bool
+	Pred      bool     // the prediction the client was served
+	FromModel bool     // Pred came from an attached model, not the baseline
+	BasePred  bool     // the session baseline's prediction
+	Hist      []uint32 // most-recent-first, nil unless WantHistory(PC)
+	Count     uint64   // global branch counter at capture, 0 unless Hist != nil
+}
+
+// Observer taps live prediction traffic. WantHistory is called on the
+// request hot path and must be cheap; Observe is called once per request
+// under the session lock and must not block (hand off to a queue for any
+// real work). Observations and their Hist slices are owned by the
+// observer after the call.
+type Observer interface {
+	WantHistory(pc uint64) bool
+	Observe(session string, obs []Observation)
 }
 
 func (c Config) withDefaults() Config {
@@ -247,11 +285,40 @@ type Server struct {
 	stats    *Stats
 	tracer   *obs.Tracer
 	mux      *http.ServeMux
+	epoch    string
 
 	inflight  atomic.Int64
 	draining  atomic.Bool
 	sweepStop chan struct{}
 	sweepDone chan struct{}
+}
+
+// EpochHeader carries the server's epoch — a random token minted once per
+// process — on every predict response. A gateway that pinned a session to
+// a replica compares epochs across replies: a changed epoch means the
+// process restarted (losing all session state) without ever failing a
+// health probe, so the session's history must be declared lost rather than
+// silently forked against fresh state.
+const EpochHeader = "Branchnet-Epoch"
+
+// ModelVersionHeader carries the registry version a /v1/adapt/models blob
+// was snapshotted at, so a parity pass can pin exactly which version it
+// downloaded. Defined here (not in the adapt package) because both sides
+// of the protocol — the adapt handlers and this package's load/parity
+// runners — need it, and adapt already imports serve.
+const ModelVersionHeader = "Branchnet-Model-Version"
+
+// newEpoch mints a process-unique epoch token. Collisions across restarts
+// would reopen the resurrection window, so the token is 64 random bits,
+// not a counter (a restarted process has no memory of prior counters).
+func newEpoch() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; fall back to
+		// a clock-derived token rather than an empty epoch.
+		return strconv.FormatInt(time.Now().UnixNano(), 16)
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // New builds a server from cfg (zero values take defaults) with an empty
@@ -268,6 +335,7 @@ func New(cfg Config) *Server {
 		sessions:  newSessionStore(cfg, st),
 		batcher:   NewBatcher(cfg.MaxBatch, cfg.MaxDelay, cfg.QueueLen, st, tracer),
 		mux:       http.NewServeMux(),
+		epoch:     newEpoch(),
 		sweepStop: make(chan struct{}),
 		sweepDone: make(chan struct{}),
 	}
@@ -313,6 +381,15 @@ func (s *Server) SessionCount() int { return s.sessions.len() }
 
 // Handler returns the HTTP handler tree.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Epoch returns the server's process epoch (echoed on predict responses
+// and /healthz; see EpochHeader).
+func (s *Server) Epoch() string { return s.epoch }
+
+// Mount registers an extra handler on the server's mux — how optional
+// subsystems (online adaptation) attach their endpoints without the serve
+// package importing them.
+func (s *Server) Mount(pattern string, h http.Handler) { s.mux.Handle(pattern, h) }
 
 // Registry returns the model registry (for initial loads and SIGHUP).
 func (s *Server) Registry() *Registry { return s.registry }
@@ -433,6 +510,7 @@ func (s *Server) queueRetryHint() time.Duration {
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	w.Header().Set(EpochHeader, s.epoch)
 	s.stats.Requests.Inc()
 	if r.Method != http.MethodPost {
 		s.stats.Errors.Inc()
@@ -486,7 +564,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
-	sess.adopt(set)
+	sess.adopt(set, s.cfg.HistoryFloor)
 
 	// Replay the records against the session state. Baseline predictions
 	// happen inline (the baseline must see Predict before Update, as in
@@ -497,13 +575,29 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	preds := make([]bool, len(req.Records))
 	fromModel := make([]bool, len(req.Records))
 	var items []BatchItem
+	var observations []Observation
+	if s.cfg.Observer != nil {
+		observations = make([]Observation, 0, len(req.Records))
+	}
 	for i, rec := range req.Records {
 		basePred := sess.base.Predict(rec.PC)
 		preds[i] = basePred
+		var view []uint32
 		if m, ok := set.Lookup(rec.PC); ok {
 			fromModel[i] = true
-			view := sess.hist.View(make([]uint32, sess.hist.Window()))
+			view = sess.hist.View(make([]uint32, sess.hist.Window()))
 			items = append(items, BatchItem{Model: m, Hist: view, Count: sess.hist.Count(), Out: &preds[i]})
+		}
+		if observations != nil {
+			o := Observation{PC: rec.PC, Taken: rec.Taken, FromModel: fromModel[i], BasePred: basePred}
+			if s.cfg.Observer.WantHistory(rec.PC) {
+				if view == nil {
+					view = sess.hist.View(make([]uint32, sess.hist.Window()))
+				}
+				o.Hist = view
+				o.Count = sess.hist.Count()
+			}
+			observations = append(observations, o)
 		}
 		sess.base.Update(rec.PC, rec.Taken)
 		sess.hist.Push(rec.PC, rec.Taken)
@@ -522,6 +616,16 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			}
 			return
 		}
+	}
+
+	if observations != nil {
+		// Predictions have resolved; hand the completed replay slice to the
+		// observer (still under the session lock, so observations for one
+		// session arrive in exact replay order).
+		for i := range observations {
+			observations[i].Pred = preds[i]
+		}
+		s.cfg.Observer.Observe(req.Session, observations)
 	}
 
 	s.stats.Predictions.Add(uint64(len(preds)))
@@ -618,6 +722,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 // /v1/sessions exports; only readiness is withdrawn.
 type HealthResponse struct {
 	Status   string `json:"status"`
+	Epoch    string `json:"epoch"`
 	Version  int64  `json:"version"`
 	Models   int    `json:"models"`
 	Sessions int    `json:"sessions"`
@@ -627,6 +732,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	set := s.registry.Current()
 	resp := HealthResponse{
 		Status:   "ok",
+		Epoch:    s.epoch,
 		Version:  set.Version,
 		Models:   set.Len(),
 		Sessions: s.sessions.len(),

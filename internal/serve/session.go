@@ -73,13 +73,26 @@ func (s *session) record(pc uint64, taken bool, cap int) {
 
 // adopt re-shapes the session for a new model-set geometry after a hot
 // reload. The baseline and branch counter carry over; the ring keeps its
-// most recent tokens.
-func (s *session) adopt(set *ModelSet) {
+// most recent tokens. floor (Config.HistoryFloor) keeps the ring at least
+// that many tokens wide so an observer can capture longer windows than
+// the attached models use; model predictions read only their own window
+// of most-recent tokens, so a wider ring never changes them.
+func (s *session) adopt(set *ModelSet, floor int) {
 	if s.version == set.Version {
 		return
 	}
-	s.hist.Resize(set.Window(), set.PCBits())
+	s.hist.Resize(histWindow(set, floor), set.PCBits())
 	s.version = set.Version
+}
+
+// histWindow is the session ring width for a model set under a history
+// floor.
+func histWindow(set *ModelSet, floor int) int {
+	w := set.Window()
+	if floor > w {
+		w = floor
+	}
+	return w
 }
 
 // sessionStore tracks live sessions with a hard cap (admission control)
@@ -90,6 +103,7 @@ type sessionStore struct {
 	max        int
 	ttl        time.Duration
 	journalCap int
+	floor      int // Config.HistoryFloor: minimum session ring window
 	newBase    func() predictor.Predictor
 
 	live     *stats.Gauge
@@ -105,6 +119,7 @@ func newSessionStore(cfg Config, st *Stats) *sessionStore {
 		max:        cfg.MaxSessions,
 		ttl:        cfg.SessionTTL,
 		journalCap: cfg.JournalCap,
+		floor:      cfg.HistoryFloor,
 		newBase:    cfg.NewBaseline,
 		live:       st.Sessions,
 		created:    st.SessionsCreated,
@@ -131,7 +146,7 @@ func (st *sessionStore) get(id string, set *ModelSet, create bool) (*session, er
 		}
 		s = &session{
 			base:    st.newBase(),
-			hist:    hybrid.NewHistory(set.Window(), set.PCBits()),
+			hist:    hybrid.NewHistory(histWindow(set, st.floor), set.PCBits()),
 			version: set.Version,
 		}
 		st.m[id] = s
