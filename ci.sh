@@ -35,6 +35,7 @@ go test -fuzz FuzzReadModels -fuzztime 10s ./internal/engine
 go test -fuzz FuzzDecodeSessionState -fuzztime 10s ./internal/serve
 go test -fuzz FuzzReadTrace -fuzztime 10s ./internal/trace
 go test -fuzz FuzzStoreIndex -fuzztime 10s ./internal/branchnet
+go test -fuzz FuzzParseTraceHeader -fuzztime 10s ./internal/obs
 
 # Online-adaptation gate: the full adapt suite under the race detector
 # (promotion hot-swaps race the prediction path by design — the rollback
@@ -61,10 +62,13 @@ go test -fuzz FuzzPredictPacked -fuzztime 10s ./internal/engine
 go test -count=1 -run 'TestFoldThresholdBoundary|TestCalibrationMatchesRuntimeWindows|TestTernarize' ./internal/branchnet
 
 # Observability gates: the obscheck hygiene test (no raw log.Print*
-# outside internal/obs — CLIs log through slog) and the overhead gate
+# outside internal/obs — CLIs log through slog) and the overhead gates
 # (instrumented inference/training must stay within noise of the
 # uninstrumented cost; the hooks are one atomic pointer load when
-# disabled, one extra atomic add when enabled).
+# disabled, one extra atomic add when enabled). The TestObsOverhead
+# pattern also matches TestObsOverheadPredictBatchTraced — the gate that
+# a fully traced batch (span + exemplar stamp) stays within 1.25x of the
+# bare uninstrumented cost.
 go test -run TestNoRawLogPrintOutsideObs -count=1 ./internal/obs/obscheck
 go test -run 'TestObsOverhead|TestObsHooks' -count=1 ./internal/branchnet
 
@@ -113,6 +117,18 @@ r2_pid=$!
 "$smoke/branchnet-gateway" -addr 127.0.0.1:0 -addr-file "$smoke/gw.addr" \
     -replicas "@$smoke/r1.addr,@$smoke/r2.addr" -health-interval 100ms &
 gw_pid=$!
+# Fleet observability smoke (no kill — the fleet must be whole): the
+# loadgen mints a Branchnet-Trace on every 20th request, then asserts
+# that /v1/fleet/stats merges BOTH replicas (cluster counters equal to
+# the per-replica sum) and that one of its sampled traces assembles a
+# full cross-process tree from /v1/fleet/trace — the gateway route span,
+# the replica request span, and the batch-flush span it links to.
+"$smoke/branchnet-loadgen" -addr-file "$smoke/gw.addr" -wait 10s \
+    -bench mcf -branches 6000 -models "$smoke/models.bnm" \
+    -cluster -sessions 8 -duration 2s \
+    -trace-sample 20 -expect-trace \
+    -json "$smoke/BENCH_gateway_trace.json"
+# Failover run against the same fleet: one replica SIGTERMed mid-run.
 "$smoke/branchnet-loadgen" -addr-file "$smoke/gw.addr" -wait 10s \
     -bench mcf -branches 6000 -models "$smoke/models.bnm" \
     -cluster -sessions 8 -duration 2s \

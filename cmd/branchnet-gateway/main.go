@@ -77,6 +77,9 @@ func main() {
 	failThreshold := flag.Int("fail-threshold", 3, "consecutive probe failures before a replica is marked down")
 	routeBudget := flag.Duration("route-budget", 5*time.Second, "per-request budget across 429 backoff and drain re-routes")
 	sessionTTL := flag.Duration("session-ttl", 5*time.Minute, "idle session-pin eviction age")
+	traceSample := flag.Int("trace-sample", 0, "mint a distributed trace for every Nth unheadered request (0: off; client Branchnet-Trace headers always propagate)")
+	sloWindow := flag.Duration("slo-window", 10*time.Second, "window for the SLO burn-rate gauges (error ratio, p99 burn)")
+	sloP99 := flag.Duration("slo-p99", 250*time.Millisecond, "p99 latency target the slo_p99_burn gauge compares against")
 	metricsOut := flag.String("metrics-out", "", "write a final JSON metrics snapshot to this file on clean shutdown")
 	logf := obs.NewLogFlags()
 	flag.Parse()
@@ -103,6 +106,9 @@ func main() {
 		FailThreshold:  *failThreshold,
 		RouteBudget:    *routeBudget,
 		SessionTTL:     *sessionTTL,
+		TraceSample:    *traceSample,
+		SLOWindow:      *sloWindow,
+		SLOTargetP99:   *sloP99,
 	})
 	if err != nil {
 		log.Fatal(err)

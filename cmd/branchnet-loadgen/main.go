@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"log"
 	"log/slog"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -72,6 +73,8 @@ func main() {
 	killAfter := flag.Duration("kill-after", 0, "cluster mode: SIGTERM the -kill-pid replica this long into the run (0: no kill)")
 	killPID := flag.Int("kill-pid", 0, "cluster mode: replica process id to SIGTERM at -kill-after")
 	expectMigrated := flag.Bool("expect-migrated", false, "cluster mode: fail unless the gateway reports sessions_migrated > 0")
+	traceSample := flag.Int("trace-sample", 0, "mint a distributed trace (Branchnet-Trace header) on every Nth request per session (0: off)")
+	expectTrace := flag.Bool("expect-trace", false, "cluster mode: fail unless /v1/fleet/stats merges every replica and a sampled trace assembles gateway+replica+flush spans (requires -trace-sample)")
 	mergeBench := flag.String("merge-bench", "", "cluster/phase-shift mode: merge the result into this BENCH_serve.json file")
 	logf := obs.NewLogFlags()
 	flag.Parse()
@@ -189,6 +192,8 @@ func main() {
 			killAfter:      *killAfter,
 			killPID:        *killPID,
 			expectMigrated: *expectMigrated,
+			traceSample:    *traceSample,
+			expectTrace:    *expectTrace,
 			jsonOut:        *jsonOut,
 			mergeBench:     *mergeBench,
 			metricsOut:     *metricsOut,
@@ -205,6 +210,7 @@ func main() {
 		QPS:        *qps,
 		Duration:   *duration,
 		DeadlineMS: *deadlineMS,
+		TraceEvery: *traceSample,
 		Obs:        obs.Default,
 	})
 	if err != nil {
@@ -269,6 +275,8 @@ type clusterOpts struct {
 	killAfter      time.Duration
 	killPID        int
 	expectMigrated bool
+	traceSample    int
+	expectTrace    bool
 	jsonOut        string
 	mergeBench     string
 	metricsOut     string
@@ -304,6 +312,9 @@ func runCluster(o clusterOpts) {
 			}
 		}
 	}
+	if o.expectTrace && o.traceSample <= 0 {
+		log.Fatal("-expect-trace requires -trace-sample > 0")
+	}
 	rep, err := serve.RunClusterLoad(serve.ClusterLoadConfig{
 		BaseURL:    o.baseURL,
 		Workloads:  wls,
@@ -314,10 +325,27 @@ func runCluster(o clusterOpts) {
 		DeadlineMS: o.deadlineMS,
 		KillAfter:  o.killAfter,
 		Kill:       kill,
+		TraceEvery: o.traceSample,
 		Obs:        obs.Default,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	// Fleet-plane verification runs right after the load stops: the span
+	// rings are frozen, so the gateway's next scrape tick captures the
+	// newest sampled traces intact.
+	var traceErr error
+	if o.expectTrace {
+		replicas := countGatewayReplicas(o.baseURL)
+		if err := serve.VerifyFleetStats(nil, o.baseURL, replicas, 5*time.Second); err != nil {
+			traceErr = err
+		} else if err := serve.VerifyFleetTrace(nil, o.baseURL, rep.TraceIDs, 5*time.Second); err != nil {
+			traceErr = err
+		} else {
+			slog.Info("fleet plane verified",
+				"replicas", replicas, "sampled_traces", len(rep.TraceIDs))
+		}
 	}
 	if werr := obs.WriteMetricsFile(o.metricsOut, obs.Default); werr != nil {
 		slog.Error("writing -metrics-out", "err", werr)
@@ -369,8 +397,28 @@ func runCluster(o clusterOpts) {
 		log.Fatalf("FAIL: %d parity mismatches", rep.Mismatches)
 	case o.expectMigrated && rep.SessionsMigrated == 0:
 		log.Fatal("FAIL: expected migrated sessions, gateway reports none")
+	case traceErr != nil:
+		log.Fatalf("FAIL: fleet observability: %v", traceErr)
 	}
 	slog.Info("OK")
+}
+
+// countGatewayReplicas reads the fleet size from the gateway's /v1/stats
+// so -expect-trace scales its "all replicas merged" assertion without a
+// separate flag.
+func countGatewayReplicas(baseURL string) int {
+	var st struct {
+		Replicas []json.RawMessage `json:"replicas"`
+	}
+	resp, err := http.Get(baseURL + "/v1/stats")
+	if err != nil {
+		return 1
+	}
+	defer resp.Body.Close()
+	if json.NewDecoder(resp.Body).Decode(&st) != nil || len(st.Replicas) == 0 {
+		return 1
+	}
+	return len(st.Replicas)
 }
 
 type phaseShiftOpts struct {

@@ -201,13 +201,18 @@ type branchState struct {
 	hasModel      bool    // last observation was served by an attached model
 	cooldownUntil uint64  // obs count gating the next retrain
 	res           *reservoir
-	inFlight      bool   // a retrain for this branch is running
-	gen           uint64 // committed retrain generation (attempts are gen+1)
-	retrains      uint64
-	promotions    uint64
-	blocked       uint64
-	lastZ         float64
-	sinceSeg      int // samples since last persisted segment
+	inFlight      bool // a retrain for this branch is running
+	// fireTrace is the distributed-trace ID of the observation whose
+	// drift evidence fired the in-flight retrain (0 = untraced), so the
+	// resulting retrain/promotion spans join the trace of the request
+	// that tipped the detector.
+	fireTrace  uint64
+	gen        uint64 // committed retrain generation (attempts are gen+1)
+	retrains   uint64
+	promotions uint64
+	blocked    uint64
+	lastZ      float64
+	sinceSeg   int // samples since last persisted segment
 }
 
 // Adapter is the online-adaptation subsystem. Create with New, hand it to
@@ -517,6 +522,7 @@ func (a *Adapter) observeLocked(st *branchState, o *serve.Observation, fire, per
 		st.obs >= st.cooldownUntil && st.res.len() >= a.cfg.MinExamples {
 		st.inFlight = true
 		st.sustain = 0
+		st.fireTrace = o.Trace
 		*fire = append(*fire, st.pc)
 	}
 }

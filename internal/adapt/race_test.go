@@ -127,7 +127,7 @@ func TestRollbackUnderRegistryPressure(t *testing.T) {
 		}
 		a.mu.Unlock()
 		cand := &branchnet.Attached{PC: pc, Knobs: a.cfg.Knobs, Engine: engine.Synthetic(pc, uint64(10+g))}
-		a.promote(st, cand, uint64(g), branchnet.TrainOpts{}, 0, nil, nil, 9, 0)
+		a.promote(st, cand, uint64(g), branchnet.TrainOpts{}, 0, nil, nil, 9, 0, 0)
 	}
 	depth := -1
 	for i := 0; i < promotions; i++ {

@@ -59,25 +59,28 @@ func (a *Adapter) retrainBranch(pc uint64) {
 	attempt := st.gen + 1
 	st.retrains++
 	samples := st.res.snapshot()
+	trace := st.fireTrace
 	a.mu.Unlock()
 
 	a.mRetrains.Inc()
 	var sp *obs.Span
 	if a.tracer != nil {
 		sp = a.tracer.Start("adapt.retrain").
+			SetTrace(trace).
 			SetAttr("pc", fmt.Sprintf("%#x", pc)).
 			SetInt("attempt", int64(attempt)).
 			SetInt("samples", int64(len(samples)))
 	}
-	outcome, z := a.retrainAttempt(st, pc, attempt, samples)
+	outcome, z := a.retrainAttempt(st, pc, attempt, samples, trace)
 	if sp != nil {
 		sp.SetAttr("outcome", outcome).SetFloat("z", z).Finish()
 	}
 }
 
 // retrainAttempt is the body of one attempt; it returns the outcome label
-// and gate z-score for the span.
-func (a *Adapter) retrainAttempt(st *branchState, pc, attempt uint64, samples []sample) (string, float64) {
+// and gate z-score for the span. trace is the drift observation's
+// distributed-trace ID, carried through to the promotion span.
+func (a *Adapter) retrainAttempt(st *branchState, pc, attempt uint64, samples []sample, trace uint64) (string, float64) {
 	nHold := int(float64(len(samples)) * a.cfg.HoldoutFrac)
 	if nHold < 1 || len(samples)-nHold < 1 {
 		a.finishAttempt(st, 0, false)
@@ -164,7 +167,7 @@ func (a *Adapter) retrainAttempt(st *branchState, pc, attempt uint64, samples []
 		os.RemoveAll(dir)
 		return "gate_blocked", z
 	}
-	a.promote(st, cand, attempt, opts, store.Digest(), calib.Examples, holdout, wins, losses)
+	a.promote(st, cand, attempt, opts, store.Digest(), calib.Examples, holdout, wins, losses, trace)
 	return "promoted", z
 }
 
@@ -243,7 +246,7 @@ func (a *Adapter) blockAttempt(st *branchState, pc, attempt uint64, opts branchn
 // promoted model's exact bytes. The swap itself is the registry's
 // drain-then-release path — in-flight requests keep the set they
 // acquired; no request ever sees a half-swapped version.
-func (a *Adapter) promote(st *branchState, cand *branchnet.Attached, attempt uint64, opts branchnet.TrainOpts, digest uint32, trained []branchnet.Example, holdout []sample, wins, losses int) {
+func (a *Adapter) promote(st *branchState, cand *branchnet.Attached, attempt uint64, opts branchnet.TrainOpts, digest uint32, trained []branchnet.Example, holdout []sample, wins, losses int, trace uint64) {
 	var buf bytes.Buffer
 	if err := engine.WriteModels(&buf, []*engine.Model{cand.Engine}); err != nil {
 		a.mFailures.Inc()
@@ -254,6 +257,7 @@ func (a *Adapter) promote(st *branchState, cand *branchnet.Attached, attempt uin
 	var sp *obs.Span
 	if a.tracer != nil {
 		sp = a.tracer.Start("adapt.promote").
+			SetTrace(trace).
 			SetAttr("pc", fmt.Sprintf("%#x", cand.PC)).
 			SetFloat("z", z)
 	}

@@ -62,6 +62,59 @@ func TestObsOverheadPredictBatch(t *testing.T) {
 	}
 }
 
+// TestObsOverheadPredictBatchTraced extends the gate to the distributed-
+// tracing plane: a fully traced serving flush — obs hooks on, a span
+// carrying a trace ID around every batch, and an exemplar-stamping
+// ObserveTrace on the latency histogram — must still stay within 1.25x of
+// the bare uninstrumented batch. Tracing adds one ring slot write and two
+// atomic stores per BATCH, not per prediction, so the bound holds by
+// design; this test keeps it held.
+func TestObsOverheadPredictBatchTraced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing gate; skipped in -short")
+	}
+	em := engine.Synthetic(0x400000, 7)
+	a := &Attached{PC: em.PC, Engine: em}
+	hists := testHistories(256, em.Window(), em.PCBits)
+	counts := make([]uint64, len(hists))
+	out := make([]bool, len(hists))
+
+	const reps = 50
+	plain := func() {
+		for r := 0; r < reps; r++ {
+			a.PredictBatch(hists, counts, out)
+		}
+	}
+
+	DisableObs()
+	plain() // warm caches before either measurement
+	off := timeOp(9, plain)
+
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(64)
+	EnableObs(reg, tracer)
+	defer DisableObs()
+	hist := reg.Histogram("traced_batch_seconds", obs.DefaultLatencyBounds()...)
+	traceID := obs.NewTraceID()
+	traced := func() {
+		for r := 0; r < reps; r++ {
+			sp := tracer.Start("serve.request").SetTrace(traceID)
+			start := time.Now()
+			a.PredictBatch(hists, counts, out)
+			hist.ObserveTrace(time.Since(start).Seconds(), traceID)
+			sp.Finish()
+		}
+	}
+	traced()
+	on := timeOp(9, traced)
+
+	ratio := float64(on) / float64(off)
+	t.Logf("PredictBatch traced: disabled=%v traced=%v ratio=%.3f", off, on, ratio)
+	if ratio > 1.25 {
+		t.Errorf("traced PredictBatch is %.2fx the uninstrumented cost (limit 1.25x)", ratio)
+	}
+}
+
 // TestObsOverheadTrain gates the training loop the same way: the hooks add
 // one pointer load per epoch plus one span per epoch, which is noise
 // against hundreds of optimizer steps.

@@ -1,0 +1,383 @@
+package gateway
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"time"
+
+	"branchnet/internal/obs"
+)
+
+// This file is the gateway's fleet observability plane. The health loop
+// already visits every replica each HealthInterval; the plane piggybacks
+// on that cadence to scrape each live replica's metrics registry
+// (/v1/obs, the JSON sibling of /metrics) and span ring (/debug/spans),
+// caching the results per replica. From those caches it serves:
+//
+//   - /v1/fleet/stats: cluster-merged counters, per-replica quantiles and
+//     adaptation rollups, per-replica epoch/state, and SLO burn-rate
+//     numbers computed by differencing successive scrapes;
+//   - /v1/fleet/trace?id=<16-hex>: one distributed trace's span tree
+//     assembled across the gateway and every replica, sorted by start
+//     time, with flush spans pulled in through request-span links.
+//
+// Scrapes are best-effort: a replica that fails to answer keeps its
+// previous cache (the health loop separately decides its fate), and a
+// replica that never answered simply has no row.
+
+// replicaScrape is one fleet-plane observation of a replica.
+type replicaScrape struct {
+	at    time.Time
+	state ReplicaState
+	epoch string
+	obs   obs.RegistrySnapshot
+	spans []*obs.Span
+}
+
+// scrapeFleet refreshes every non-down replica's observability cache and
+// rotates the SLO comparison snapshot once it is at least SLOWindow old.
+func (g *Gateway) scrapeFleet(now time.Time) {
+	for _, url := range g.replicaURLs() {
+		if g.stateOf(url) == StateDown {
+			continue
+		}
+		sc := g.scrapeReplica(url, now)
+		if sc == nil {
+			continue
+		}
+		g.mu.Lock()
+		rep := g.replicas[url]
+		if rep != nil {
+			sc.state = rep.state
+			sc.epoch = rep.epoch
+			switch {
+			case rep.prevScrape == nil:
+				// First sight: the window is empty until the next scrape
+				// lands; gauges read 0, never garbage.
+				rep.prevScrape = sc
+				rep.nextPrev = sc
+			case now.Sub(rep.nextPrev.at) >= g.cfg.SLOWindow:
+				// The candidate aged past a full window: it becomes the
+				// comparison point and this scrape the next candidate.
+				rep.prevScrape = rep.nextPrev
+				rep.nextPrev = sc
+			}
+			rep.scrape = sc
+		}
+		g.mu.Unlock()
+	}
+}
+
+// scrapeReplica fetches one replica's registry snapshot and span ring.
+// Any failure returns nil — the caller keeps the previous cache.
+func (g *Gateway) scrapeReplica(url string, now time.Time) *replicaScrape {
+	sc := &replicaScrape{at: now}
+	resp, err := g.client.Get(url + "/v1/obs")
+	if err != nil {
+		return nil
+	}
+	err = json.NewDecoder(resp.Body).Decode(&sc.obs)
+	resp.Body.Close()
+	if err != nil {
+		return nil
+	}
+	sresp, err := g.client.Get(url + "/debug/spans")
+	if err != nil {
+		return nil
+	}
+	var page struct {
+		Spans []*obs.Span `json:"spans"`
+	}
+	err = json.NewDecoder(sresp.Body).Decode(&page)
+	sresp.Body.Close()
+	if err != nil {
+		return nil
+	}
+	sc.spans = page.Spans
+	return sc
+}
+
+// AdaptRollup summarizes one replica's (or the cluster's) online
+// adaptation state, read off the scraped adapt_* metrics.
+type AdaptRollup struct {
+	Tracked       int64  `json:"tracked"`
+	Observations  uint64 `json:"observations"`
+	Retrains      uint64 `json:"retrains"`
+	Promotions    uint64 `json:"promotions"`
+	Blocked       uint64 `json:"blocked"`
+	Rollbacks     uint64 `json:"rollbacks"`
+	Failures      uint64 `json:"failures"`
+	RollbackDepth int64  `json:"rollback_depth"`
+}
+
+func (a *AdaptRollup) add(b AdaptRollup) {
+	a.Tracked += b.Tracked
+	a.Observations += b.Observations
+	a.Retrains += b.Retrains
+	a.Promotions += b.Promotions
+	a.Blocked += b.Blocked
+	a.Rollbacks += b.Rollbacks
+	a.Failures += b.Failures
+	a.RollbackDepth += b.RollbackDepth
+}
+
+func adaptRollupOf(snap obs.RegistrySnapshot) (AdaptRollup, bool) {
+	r := AdaptRollup{
+		Tracked:       snap.Gauges["adapt_tracked_branches"],
+		Observations:  snap.Counters["adapt_observations_total"],
+		Retrains:      snap.Counters["adapt_retrains_total"],
+		Promotions:    snap.Counters["adapt_promotions_total"],
+		Rollbacks:     snap.Counters["adapt_rollbacks_total"],
+		Failures:      snap.Counters["adapt_retrain_failures_total"],
+		RollbackDepth: snap.Gauges["adapt_rollback_depth"],
+	}
+	for _, n := range snap.Labeled["adapt_blocked_total"] {
+		r.Blocked += n
+	}
+	// adapt_observations_total exists iff the adapter is attached; gauges
+	// may legitimately be zero, so key presence decides "has adaptation".
+	_, ok := snap.Counters["adapt_observations_total"]
+	return r, ok
+}
+
+// FleetReplica is one replica's row in /v1/fleet/stats.
+type FleetReplica struct {
+	URL              string                `json:"url"`
+	State            string                `json:"state"`
+	Epoch            string                `json:"epoch,omitempty"`
+	ScrapeAgeSeconds float64               `json:"scrape_age_seconds"`
+	Requests         uint64                `json:"requests"`
+	Predictions      uint64                `json:"predictions"`
+	ModelPredictions uint64                `json:"model_predictions"`
+	Rejected         uint64                `json:"rejected"`
+	Expired          uint64                `json:"expired"`
+	Errors           uint64                `json:"errors"`
+	Sessions         int64                 `json:"sessions"`
+	ModelSetVersion  int64                 `json:"model_set_version"`
+	Latency          obs.HistogramSnapshot `json:"latency_seconds"`
+	Adapt            *AdaptRollup          `json:"adapt,omitempty"`
+	Spans            int                   `json:"spans"`
+}
+
+// ClusterRollup is the cross-replica merge in /v1/fleet/stats: counters
+// are summed by name across every scraped replica (quantiles stay
+// per-replica — summed histograms of different processes are reported
+// under SLO instead, windowed).
+type ClusterRollup struct {
+	Replicas int               `json:"replicas"`
+	Scraped  int               `json:"scraped"`
+	Ready    int               `json:"ready"`
+	Sessions int64             `json:"sessions"`
+	Counters map[string]uint64 `json:"counters"`
+	Adapt    *AdaptRollup      `json:"adapt,omitempty"`
+}
+
+// SLOStatus carries the burn-rate view computed from successive scrapes:
+// everything is over the trailing window, not process lifetime, so a
+// fleet that degraded five minutes ago and recovered reads healthy now.
+type SLOStatus struct {
+	WindowSeconds    float64 `json:"window_seconds"`
+	Requests         uint64  `json:"requests"`
+	Errors           uint64  `json:"errors"` // server errors + queue-deadline expiries
+	ErrorRatioPPM    int64   `json:"error_ratio_ppm"`
+	P99Seconds       float64 `json:"p99_seconds"`
+	TargetP99Seconds float64 `json:"target_p99_seconds"`
+	// P99BurnPPM is windowed-p99 / target in parts-per-million: 1_000_000
+	// means exactly on target, above it the fleet is burning budget.
+	P99BurnPPM int64 `json:"p99_burn_ppm"`
+}
+
+// FleetStatsResponse is the /v1/fleet/stats reply.
+type FleetStatsResponse struct {
+	Cluster  ClusterRollup  `json:"cluster"`
+	SLO      SLOStatus      `json:"slo"`
+	Replicas []FleetReplica `json:"replicas"`
+	Gateway  StatsSnapshot  `json:"gateway"`
+}
+
+// FleetStats assembles the fleet view from the scrape caches.
+func (g *Gateway) FleetStats() FleetStatsResponse {
+	gwStats := g.Stats() // takes g.mu internally; resolve before locking
+	slo := g.sloStatus()
+
+	g.mu.Lock()
+	resp := FleetStatsResponse{
+		Cluster: ClusterRollup{
+			Replicas: len(g.replicas),
+			Ready:    g.ring.Len(),
+			Counters: make(map[string]uint64),
+		},
+		SLO:     slo,
+		Gateway: gwStats,
+	}
+	now := time.Now()
+	var clusterAdapt AdaptRollup
+	anyAdapt := false
+	for _, rep := range g.replicas {
+		if rep.scrape == nil {
+			continue
+		}
+		sc := rep.scrape
+		resp.Cluster.Scraped++
+		for name, v := range sc.obs.Counters {
+			resp.Cluster.Counters[name] += v
+		}
+		resp.Cluster.Sessions += sc.obs.Gauges["branchnet_sessions"]
+		row := FleetReplica{
+			URL:              rep.url,
+			State:            sc.state.String(),
+			Epoch:            sc.epoch,
+			ScrapeAgeSeconds: now.Sub(sc.at).Seconds(),
+			Requests:         sc.obs.Counters["branchnet_requests_total"],
+			Predictions:      sc.obs.Counters["branchnet_predictions_total"],
+			ModelPredictions: sc.obs.Counters["branchnet_model_predictions_total"],
+			Rejected:         sc.obs.Counters["branchnet_rejected_total"],
+			Expired:          sc.obs.Counters["branchnet_expired_total"],
+			Errors:           sc.obs.Counters["branchnet_errors_total"],
+			Sessions:         sc.obs.Gauges["branchnet_sessions"],
+			ModelSetVersion:  sc.obs.Gauges["branchnet_model_set_version"],
+			Latency:          sc.obs.Histograms["branchnet_request_seconds"],
+			Spans:            len(sc.spans),
+		}
+		if ar, ok := adaptRollupOf(sc.obs); ok {
+			row.Adapt = &ar
+			clusterAdapt.add(ar)
+			anyAdapt = true
+		}
+		resp.Replicas = append(resp.Replicas, row)
+	}
+	g.mu.Unlock()
+	if anyAdapt {
+		resp.Cluster.Adapt = &clusterAdapt
+	}
+	sort.Slice(resp.Replicas, func(i, j int) bool { return resp.Replicas[i].URL < resp.Replicas[j].URL })
+	return resp
+}
+
+// sloStatus differences each replica's current scrape against its
+// SLOWindow-old one and merges the deltas into fleet-wide burn numbers.
+func (g *Gateway) sloStatus() SLOStatus {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	slo := SLOStatus{TargetP99Seconds: g.cfg.SLOTargetP99.Seconds()}
+	var window obs.HistogramSnapshot
+	for _, rep := range g.replicas {
+		cur, prev := rep.scrape, rep.prevScrape
+		if cur == nil || prev == nil || cur == prev {
+			continue
+		}
+		if w := cur.at.Sub(prev.at).Seconds(); w > slo.WindowSeconds {
+			slo.WindowSeconds = w
+		}
+		slo.Requests += counterDelta(cur.obs.Counters, prev.obs.Counters, "branchnet_requests_total")
+		slo.Errors += counterDelta(cur.obs.Counters, prev.obs.Counters, "branchnet_errors_total")
+		slo.Errors += counterDelta(cur.obs.Counters, prev.obs.Counters, "branchnet_expired_total")
+		delta := cur.obs.Histograms["branchnet_request_seconds"].Sub(prev.obs.Histograms["branchnet_request_seconds"])
+		window = mergeHist(window, delta)
+	}
+	if slo.Requests > 0 {
+		slo.ErrorRatioPPM = int64(slo.Errors * 1_000_000 / slo.Requests)
+	}
+	slo.P99Seconds = window.Quantile(0.99)
+	if slo.TargetP99Seconds > 0 && window.Count > 0 {
+		slo.P99BurnPPM = int64(slo.P99Seconds / slo.TargetP99Seconds * 1_000_000)
+	}
+	return slo
+}
+
+// counterDelta is cur[name]-prev[name], clamped at 0 across restarts.
+func counterDelta(cur, prev map[string]uint64, name string) uint64 {
+	c, p := cur[name], prev[name]
+	if p > c {
+		return c
+	}
+	return c - p
+}
+
+// mergeHist sums two delta snapshots bucket-wise. Mismatched grids (a
+// replica on a different build) keep the larger-count operand rather than
+// fabricating a merged distribution.
+func mergeHist(a, b obs.HistogramSnapshot) obs.HistogramSnapshot {
+	if len(a.Buckets) == 0 {
+		return b
+	}
+	if len(b.Buckets) != len(a.Buckets) {
+		if b.Count > a.Count {
+			return b
+		}
+		return a
+	}
+	out := obs.HistogramSnapshot{
+		Bounds:  a.Bounds,
+		Buckets: make([]uint64, len(a.Buckets)),
+		Count:   a.Count + b.Count,
+		Sum:     a.Sum + b.Sum,
+	}
+	for i := range out.Buckets {
+		out.Buckets[i] = a.Buckets[i] + b.Buckets[i]
+	}
+	return out
+}
+
+func (g *Gateway) handleFleetStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, g.FleetStats())
+}
+
+// TraceSpan is one span of an assembled cross-process trace, annotated
+// with the process it was recorded in ("gateway" or the replica URL) —
+// the disambiguator that makes per-process span/parent IDs meaningful in
+// a merged tree.
+type TraceSpan struct {
+	Source string `json:"source"`
+	*obs.Span
+}
+
+// FleetTraceResponse is the /v1/fleet/trace reply: the trace's spans from
+// every process, sorted by start time.
+type FleetTraceResponse struct {
+	Trace string      `json:"trace"`
+	Count int         `json:"count"`
+	Spans []TraceSpan `json:"spans"`
+}
+
+// FleetTrace assembles one distributed trace from the gateway's own span
+// ring and every replica's scraped ring. Flush spans that served traced
+// requests are included through their links even though they carry no
+// trace ID themselves (see obs.FilterTrace).
+func (g *Gateway) FleetTrace(trace uint64) FleetTraceResponse {
+	resp := FleetTraceResponse{Trace: obs.FormatTraceID(trace)}
+	for _, sp := range obs.FilterTrace(g.tracer.Spans(0), trace) {
+		resp.Spans = append(resp.Spans, TraceSpan{Source: "gateway", Span: sp})
+	}
+	g.mu.Lock()
+	for _, rep := range g.replicas {
+		if rep.scrape == nil {
+			continue
+		}
+		for _, sp := range obs.FilterTrace(rep.scrape.spans, trace) {
+			resp.Spans = append(resp.Spans, TraceSpan{Source: rep.url, Span: sp})
+		}
+	}
+	g.mu.Unlock()
+	sort.SliceStable(resp.Spans, func(i, j int) bool { return resp.Spans[i].Start < resp.Spans[j].Start })
+	resp.Count = len(resp.Spans)
+	return resp
+}
+
+// handleFleetTrace serves GET /v1/fleet/trace?id=<16-hex-trace>. Unknown
+// traces answer 404 — spans may simply not have been scraped yet, so
+// clients poll until the tree is as complete as they expect.
+func (g *Gateway) handleFleetTrace(w http.ResponseWriter, r *http.Request) {
+	trace, ok := obs.ParseTraceID(r.URL.Query().Get("id"))
+	if !ok {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"id must be 16 hex digits"})
+		return
+	}
+	resp := g.FleetTrace(trace)
+	if resp.Count == 0 {
+		writeJSON(w, http.StatusNotFound, errorResponse{"no spans scraped for trace " + resp.Trace})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

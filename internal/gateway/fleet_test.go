@@ -1,0 +1,279 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"testing"
+	"time"
+
+	"branchnet/internal/obs"
+	"branchnet/internal/serve"
+)
+
+// TestGatewayBackpressure429EchoesRealBackoff is the regression test for
+// the hardcoded "Retry-After: 1": when a replica's standing backoff
+// window exceeds the route budget, the 429 must echo the replica's
+// ACTUAL remaining window — in whole seconds and in milliseconds — not a
+// fixed hint that synchronizes every client's retry.
+func TestGatewayBackpressure429EchoesRealBackoff(t *testing.T) {
+	tr := fleetTrace(40)
+	f := newFleet(t, 1, tr, 0, serve.Config{})
+	g, gts := newGateway(t, Config{
+		Replicas:       f.urls,
+		HealthInterval: time.Hour,
+		RouteBudget:    100 * time.Millisecond,
+	})
+
+	const window = 2500 * time.Millisecond
+	g.replicaFor(f.urls[0]).setBackoff(window)
+
+	resp, _ := postPredict(t, gts.URL, "bp-echo", tr.Records[:10])
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	secs, err := strconv.ParseInt(resp.Header.Get("Retry-After"), 10, 64)
+	if err != nil {
+		t.Fatalf("Retry-After %q: %v", resp.Header.Get("Retry-After"), err)
+	}
+	ms, err := strconv.ParseInt(resp.Header.Get(serve.RetryAfterMsHeader), 10, 64)
+	if err != nil {
+		t.Fatalf("%s %q: %v", serve.RetryAfterMsHeader, resp.Header.Get(serve.RetryAfterMsHeader), err)
+	}
+	// The remaining window decays between setBackoff and the check, so
+	// assert a band: well above the old hardcoded 1s/5ms, at most the set
+	// window.
+	if secs != 3 {
+		t.Errorf("Retry-After = %ds, want 3 (ceil of ~2.5s remaining)", secs)
+	}
+	if ms <= 2000 || ms > int64(window/time.Millisecond) {
+		t.Errorf("%s = %dms, want in (2000, 2500]", serve.RetryAfterMsHeader, ms)
+	}
+}
+
+// TestGatewayTracePropagation covers the cross-process tentpole in one
+// process tree: a client-minted trace rides the Branchnet-Trace header
+// through the gateway to a replica, the response header names the
+// gateway's span, and /v1/fleet/trace assembles the full tree — route
+// span, replica request span, and the batch-flush span it links to.
+func TestGatewayTracePropagation(t *testing.T) {
+	tr := fleetTrace(400)
+	f := newFleet(t, 2, tr, 3, serve.Config{})
+	_, gts := newGateway(t, Config{
+		Replicas:       f.urls,
+		HealthInterval: 25 * time.Millisecond, // also the fleet scrape cadence
+	})
+
+	traceID := obs.NewTraceID()
+	req := serve.PredictRequest{Session: "traced", Records: make([]serve.RecordJSON, 64)}
+	for i, r := range tr.Records[:64] {
+		req.Records[i] = serve.RecordJSON{PC: r.PC, Taken: r.Taken}
+	}
+	body, _ := json.Marshal(req) //nolint:errcheck
+	hreq, _ := http.NewRequest(http.MethodPost, gts.URL+"/v1/predict", bytes.NewReader(body))
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(obs.TraceHeader, obs.FormatTraceHeader(traceID, 0))
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traced predict: %d", resp.StatusCode)
+	}
+	gotTrace, gotSpan, ok := obs.ParseTraceHeader(resp.Header.Get(obs.TraceHeader))
+	if !ok || gotTrace != traceID || gotSpan == 0 {
+		t.Fatalf("response trace header = %q, want trace %s with a nonzero span",
+			resp.Header.Get(obs.TraceHeader), obs.FormatTraceID(traceID))
+	}
+
+	var lastTree FleetTraceResponse
+	waitUntil(t, "trace assembled across processes", func() bool {
+		r, err := http.Get(gts.URL + "/v1/fleet/trace?id=" + obs.FormatTraceID(traceID))
+		if err != nil || r.StatusCode != http.StatusOK {
+			if r != nil {
+				r.Body.Close()
+			}
+			return false
+		}
+		defer r.Body.Close()
+		lastTree = FleetTraceResponse{}
+		if json.NewDecoder(r.Body).Decode(&lastTree) != nil {
+			return false
+		}
+		var route, request bool
+		var flushLink uint64
+		for _, sp := range lastTree.Spans {
+			switch {
+			case sp.Source == "gateway" && sp.Name == "gateway.route":
+				route = true
+			case sp.Source != "gateway" && sp.Name == "serve.request":
+				request = true
+				flushLink = sp.Link
+			}
+		}
+		if !route || !request || flushLink == 0 {
+			return false
+		}
+		for _, sp := range lastTree.Spans {
+			if sp.Name == "serve.flush" && sp.ID == flushLink {
+				return true
+			}
+		}
+		return false
+	})
+	// Assembled order is by start time: the gateway's route span opened
+	// before the replica's request span.
+	var order []string
+	for _, sp := range lastTree.Spans {
+		if sp.Name == "gateway.route" || sp.Name == "serve.request" {
+			order = append(order, sp.Name)
+		}
+	}
+	if len(order) < 2 || order[0] != "gateway.route" {
+		t.Fatalf("span order by start time = %v, want gateway.route first", order)
+	}
+}
+
+// TestGatewayUntracedRequestGetsNoHeader: without sampling and without a
+// client header, the trace plane stays completely out of the response.
+func TestGatewayUntracedRequestGetsNoHeader(t *testing.T) {
+	tr := fleetTrace(40)
+	f := newFleet(t, 1, tr, 0, serve.Config{})
+	_, gts := newGateway(t, Config{Replicas: f.urls, HealthInterval: time.Hour})
+
+	resp, _ := postPredict(t, gts.URL, "untraced", tr.Records[:10])
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict: %d", resp.StatusCode)
+	}
+	if h := resp.Header.Get(obs.TraceHeader); h != "" {
+		t.Fatalf("untraced response carries %s: %q", obs.TraceHeader, h)
+	}
+}
+
+// TestGatewayTraceSampleMints: with TraceSample=1 every unheadered
+// request is minted a trace, visible as a response header.
+func TestGatewayTraceSampleMints(t *testing.T) {
+	tr := fleetTrace(40)
+	f := newFleet(t, 1, tr, 0, serve.Config{})
+	_, gts := newGateway(t, Config{Replicas: f.urls, HealthInterval: time.Hour, TraceSample: 1})
+
+	resp, _ := postPredict(t, gts.URL, "minted", tr.Records[:10])
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict: %d", resp.StatusCode)
+	}
+	if trace, _, ok := obs.ParseTraceHeader(resp.Header.Get(obs.TraceHeader)); !ok || trace == 0 {
+		t.Fatalf("sampled response trace header = %q, want a minted trace", resp.Header.Get(obs.TraceHeader))
+	}
+}
+
+// TestGatewayFleetStatsMergesReplicas: the fleet plane scrapes every
+// replica on the health cadence and /v1/fleet/stats serves the merged
+// view — cluster counters equal to the per-replica sum, per-replica
+// latency snapshots, and live epochs.
+func TestGatewayFleetStatsMergesReplicas(t *testing.T) {
+	tr := fleetTrace(400)
+	f := newFleet(t, 2, tr, 0, serve.Config{})
+	_, gts := newGateway(t, Config{Replicas: f.urls, HealthInterval: 25 * time.Millisecond})
+
+	// Spread sessions until both replicas served at least one request.
+	for i := 0; i < 16; i++ {
+		sess := "fs-" + strconv.Itoa(i)
+		if resp, body := postPredict(t, gts.URL, sess, tr.Records[:10]); resp.StatusCode != http.StatusOK {
+			t.Fatalf("predict %s: %d %s", sess, resp.StatusCode, body)
+		}
+	}
+
+	var fs FleetStatsResponse
+	live := 0
+	waitUntil(t, "fleet stats merged", func() bool {
+		// Keep traffic flowing on FRESH sessions: the SLO window only sees
+		// requests that land between two scrapes, and a fresh session per
+		// poll guarantees both replicas eventually serve even when the
+		// ring hashes every initial session onto one of them.
+		live++
+		postPredict(t, gts.URL, "fs-live-"+strconv.Itoa(live), tr.Records[:10])
+		r, err := http.Get(gts.URL + "/v1/fleet/stats")
+		if err != nil || r.StatusCode != http.StatusOK {
+			if r != nil {
+				r.Body.Close()
+			}
+			return false
+		}
+		defer r.Body.Close()
+		fs = FleetStatsResponse{}
+		if json.NewDecoder(r.Body).Decode(&fs) != nil {
+			return false
+		}
+		if fs.Cluster.Scraped != 2 {
+			return false
+		}
+		var sum uint64
+		served := 0
+		for _, rep := range fs.Replicas {
+			sum += rep.Requests
+			if rep.Requests > 0 {
+				served++
+			}
+		}
+		return served == 2 && fs.Cluster.Counters["branchnet_requests_total"] == sum && sum >= 16 &&
+			fs.SLO.WindowSeconds > 0
+	})
+
+	for _, rep := range fs.Replicas {
+		if rep.State != "healthy" {
+			t.Errorf("replica %s state = %q, want healthy", rep.URL, rep.State)
+		}
+		if rep.Epoch == "" {
+			t.Errorf("replica %s has no epoch", rep.URL)
+		}
+		if rep.Requests > 0 && rep.Latency.Count == 0 {
+			t.Errorf("replica %s served %d requests but latency snapshot is empty", rep.URL, rep.Requests)
+		}
+	}
+	if fs.SLO.WindowSeconds <= 0 {
+		t.Errorf("slo window = %v, want positive", fs.SLO.WindowSeconds)
+	}
+}
+
+// TestGatewaySLOGauges: the burn-rate gauges appear on /metrics and the
+// error ratio stays zero on an all-success run.
+func TestGatewaySLOGauges(t *testing.T) {
+	tr := fleetTrace(400)
+	f := newFleet(t, 1, tr, 0, serve.Config{})
+	g, gts := newGateway(t, Config{
+		Replicas:       f.urls,
+		HealthInterval: 20 * time.Millisecond,
+		SLOWindow:      50 * time.Millisecond,
+	})
+
+	waitUntil(t, "slo window has data", func() bool {
+		// Requests only count toward the window when they land between two
+		// scrapes, so keep sending while polling.
+		if resp, _ := postPredict(t, gts.URL, "slo", tr.Records[:10]); resp.StatusCode != http.StatusOK {
+			t.Fatalf("predict: %d", resp.StatusCode)
+		}
+		return g.sloStatus().Requests > 0
+	})
+	slo := g.sloStatus()
+	if slo.ErrorRatioPPM != 0 {
+		t.Errorf("error ratio = %d ppm on an all-success run", slo.ErrorRatioPPM)
+	}
+	if slo.P99Seconds <= 0 {
+		t.Errorf("windowed p99 = %g, want positive", slo.P99Seconds)
+	}
+
+	resp, err := http.Get(gts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body) //nolint:errcheck
+	for _, name := range []string{"gateway_slo_error_ratio_ppm", "gateway_slo_p99_burn_ppm"} {
+		if !bytes.Contains(buf.Bytes(), []byte(name)) {
+			t.Errorf("/metrics missing %s", name)
+		}
+	}
+}

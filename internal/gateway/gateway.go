@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,6 +38,18 @@ type Config struct {
 	// session TTL — a pin outliving the server session is harmless, the
 	// reverse re-routes a live session.
 	SessionTTL time.Duration
+	// TraceSample, when positive, mints a fresh distributed trace for one
+	// in every TraceSample predict requests that arrive without a
+	// Branchnet-Trace header (0 disables gateway-side sampling; requests
+	// that already carry a trace are always propagated).
+	TraceSample int
+	// SLOWindow is the lookback window of the SLO burn-rate gauges —
+	// successive fleet scrapes at least this far apart are differenced to
+	// get windowed error ratios and quantiles (default 10s).
+	SLOWindow time.Duration
+	// SLOTargetP99 is the per-request latency objective the p99 burn
+	// gauge compares the windowed fleet p99 against (default 250ms).
+	SLOTargetP99 time.Duration
 	// Client is the upstream HTTP client (default: 10s timeout).
 	Client *http.Client
 }
@@ -56,6 +69,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SessionTTL == 0 {
 		c.SessionTTL = 5 * time.Minute
+	}
+	if c.SLOWindow <= 0 {
+		c.SLOWindow = 10 * time.Second
+	}
+	if c.SLOTargetP99 <= 0 {
+		c.SLOTargetP99 = 250 * time.Millisecond
 	}
 	if c.Client == nil {
 		c.Client = &http.Client{Timeout: 10 * time.Second}
@@ -128,6 +147,8 @@ type Gateway struct {
 	inflight       *obs.LabeledGauge
 	upstreamSec    *obs.Histogram
 
+	traceSeq atomic.Uint64 // predict requests seen, for 1-in-N trace minting
+
 	stop chan struct{}
 	done chan struct{}
 }
@@ -188,12 +209,21 @@ func New(cfg Config) (*Gateway, error) {
 		defer g.mu.Unlock()
 		return int64(len(g.sessions))
 	})
+	reg.GaugeFunc("gateway_slo_error_ratio_ppm", func() int64 {
+		return g.sloStatus().ErrorRatioPPM
+	})
+	reg.GaugeFunc("gateway_slo_p99_burn_ppm", func() int64 {
+		return g.sloStatus().P99BurnPPM
+	})
 	g.mux.HandleFunc("/v1/predict", g.handlePredict)
 	g.mux.HandleFunc("/v1/reload", g.handleReload)
 	g.mux.HandleFunc("/v1/drain", g.handleDrain)
 	g.mux.HandleFunc("/v1/stats", g.handleStats)
+	g.mux.HandleFunc("GET /v1/fleet/stats", g.handleFleetStats)
+	g.mux.HandleFunc("GET /v1/fleet/trace", g.handleFleetTrace)
 	g.mux.HandleFunc("/healthz", g.handleHealthz)
 	g.mux.Handle("/metrics", reg.PrometheusHandler())
+	g.mux.Handle("/v1/obs", reg.JSONHandler())
 	g.mux.Handle("/debug/spans", g.tracer.Handler())
 	go g.healthLoop()
 	return g, nil
@@ -252,13 +282,24 @@ func (g *Gateway) stateOf(url string) ReplicaState {
 
 // forward proxies one POST body to a replica path, returning the full
 // response. The per-replica inflight gauge brackets the call and the
-// upstream latency histogram observes it.
-func (g *Gateway) forward(rep *replica, path string, body []byte) (int, http.Header, []byte, error) {
+// upstream latency histogram observes it (exemplar-stamped when the call
+// carries a trace). A nonzero trace is propagated to the replica as a
+// Branchnet-Trace header naming span — the gateway's route span — as the
+// remote parent.
+func (g *Gateway) forward(rep *replica, path string, body []byte, trace, span uint64) (int, http.Header, []byte, error) {
 	rep.inflight.Add(1)
 	defer rep.inflight.Add(-1)
+	req, err := http.NewRequest(http.MethodPost, rep.url+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if hdr := obs.FormatTraceHeader(trace, span); hdr != "" {
+		req.Header.Set(obs.TraceHeader, hdr)
+	}
 	start := time.Now()
-	resp, err := g.client.Post(rep.url+path, "application/json", bytes.NewReader(body))
-	g.upstreamSec.Observe(time.Since(start).Seconds())
+	resp, err := g.client.Do(req)
+	g.upstreamSec.ObserveTrace(time.Since(start).Seconds(), trace)
 	if err != nil {
 		return 0, nil, nil, err
 	}
@@ -328,6 +369,21 @@ func (g *Gateway) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Propagate an incoming trace, or mint one for a 1-in-TraceSample
+	// slice of unheadered traffic. Untraced requests skip span work
+	// entirely.
+	trace, remoteSpan, _ := obs.ParseTraceHeader(r.Header.Get(obs.TraceHeader))
+	if trace == 0 && g.cfg.TraceSample > 0 && g.traceSeq.Add(1)%uint64(g.cfg.TraceSample) == 0 {
+		trace = obs.NewTraceID()
+	}
+	var sp *obs.Span
+	if trace != 0 {
+		sp = g.tracer.Start("gateway.route").SetTrace(trace).SetRemoteParent(remoteSpan).
+			SetAttr("session", req.Session)
+		w.Header().Set(obs.TraceHeader, obs.FormatTraceHeader(trace, sp.SpanID()))
+		defer sp.Finish()
+	}
+
 	sess := g.session(req.Session)
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
@@ -372,13 +428,27 @@ func (g *Gateway) handlePredict(w http.ResponseWriter, r *http.Request) {
 		// Honor the replica's standing Retry-After window before adding load.
 		if d := rep.backoff(); d > 0 {
 			if time.Now().Add(d).After(deadline) {
-				w.Header().Set("Retry-After", "1")
+				// Echo the replica's ACTUAL remaining backoff window, in both
+				// resolutions — a hardcoded "1s" hint made every client of an
+				// overloaded fleet retry in lockstep a full second later even
+				// when the window was nearly over.
+				secs := int64((d + time.Second - 1) / time.Second)
+				if secs < 1 {
+					secs = 1
+				}
+				ms := int64(d / time.Millisecond)
+				if ms < 1 {
+					ms = 1
+				}
+				w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+				w.Header().Set(serve.RetryAfterMsHeader, strconv.FormatInt(ms, 10))
 				writeJSON(w, http.StatusTooManyRequests, errorResponse{"replica backpressure exceeds route budget"})
 				return
 			}
 			time.Sleep(d)
 		}
-		status, hdr, respBody, err := g.forward(rep, "/v1/predict", body)
+		sp.SetAttr("replica", target)
+		status, hdr, respBody, err := g.forward(rep, "/v1/predict", body, trace, sp.SpanID())
 		if err != nil {
 			g.upstreamErrors.Inc()
 			g.noteConnFailure(target)
@@ -663,6 +733,9 @@ func (g *Gateway) healthLoop() {
 			for _, url := range g.replicaURLs() {
 				g.probe(url)
 			}
+			// The fleet observability plane rides the same cadence: one
+			// metrics+spans scrape per live replica per probe round.
+			g.scrapeFleet(now)
 			if g.cfg.SessionTTL > 0 && now.Sub(lastSweep) > g.cfg.SessionTTL/4 {
 				g.sweepSessions(now)
 				lastSweep = now
@@ -899,7 +972,7 @@ func (g *Gateway) handleReload(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		rep := g.replicaFor(url)
-		status, _, respBody, err := g.forward(rep, "/v1/reload", body)
+		status, _, respBody, err := g.forward(rep, "/v1/reload", body, 0, 0)
 		out := ReloadOutcome{OK: err == nil && status == http.StatusOK, Status: status}
 		if err != nil {
 			out.Error = err.Error()
@@ -964,7 +1037,7 @@ func (g *Gateway) handleDrain(w http.ResponseWriter, r *http.Request) {
 	}
 	// Flip the replica itself first: readiness must withdraw before the
 	// gateway starts moving state, so no new session lands mid-drain.
-	status, _, respBody, err := g.forward(rep, "/v1/drain", nil)
+	status, _, respBody, err := g.forward(rep, "/v1/drain", nil, 0, 0)
 	if err != nil || status != http.StatusOK {
 		msg := "drain request failed"
 		if err != nil {

@@ -56,6 +56,14 @@ type replica struct {
 	// the next forward to this replica.
 	backoffUntil atomic.Int64
 
+	// scrape is the latest fleet-plane observability scrape (/v1/obs +
+	// /debug/spans); prevScrape is the older one the SLO burn-rate gauges
+	// difference against, and nextPrev the rotation candidate that will
+	// replace it — the two-bucket scheme that keeps the SLO window within
+	// [SLOWindow, 2*SLOWindow) instead of collapsing to one scrape tick.
+	// All guarded by Gateway.mu; nil until the first successful scrape.
+	scrape, prevScrape, nextPrev *replicaScrape
+
 	inflight *obs.Gauge   // gateway_replica_inflight{replica=...}
 	routed   *obs.Counter // gateway_routes_total{replica=...}
 }

@@ -44,7 +44,24 @@ func NewRing(vnodes int) *Ring {
 func ringHash(s string) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(s)) //nolint:errcheck // fnv never fails
-	return h.Sum64()
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer. Raw FNV-64a of strings that differ
+// only in a short numeric suffix — exactly what vnode labels ("url#0",
+// "url#1", ...) and sequential session IDs look like — produces
+// near-SEQUENTIAL hashes, so a node's 64 virtual points collapse into a
+// few tight clusters and one replica can own almost the whole keyspace
+// while sequential sessions all fall into a single band of it. Running
+// the digest through a full-avalanche finalizer decorrelates the points
+// and restores the near-even spread the vnode count is sized for.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // Add inserts node's virtual points. It reports whether membership

@@ -54,6 +54,33 @@ func TestRingDistribution(t *testing.T) {
 	}
 }
 
+// TestRingDistributionSuffixOnlyURLs is the regression test for the
+// sequential-hash collapse: raw FNV-64a of vnode labels for two URLs
+// that differ only in the port ("http://127.0.0.1:37035" vs ":42129" —
+// real httptest neighbors) produced near-sequential hashes, so one
+// replica owned >80% of the keyspace and sequential session IDs — also
+// hash-adjacent — ALL landed on it. With the mix64 finalizer both the
+// points and the keys decorrelate; each of two replicas must own a sane
+// share of a sequential-ID keyspace.
+func TestRingDistributionSuffixOnlyURLs(t *testing.T) {
+	r := NewRing(0)
+	nodes := []string{"http://127.0.0.1:37035", "http://127.0.0.1:42129"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	counts := make(map[string]int)
+	const total = 10000
+	for i := 0; i < total; i++ {
+		counts[r.Lookup(fmt.Sprintf("fs-live-%d", i))]++
+	}
+	for _, n := range nodes {
+		share := float64(counts[n]) / float64(total)
+		if share < 0.25 || share > 0.75 {
+			t.Errorf("node %s owns %.1f%% of sequential keys (want 25%%-75%%)", n, share*100)
+		}
+	}
+}
+
 // TestRingRemoveMovesOnlyLostShare: removing one replica must re-home
 // only the keys it owned; everyone else's sessions stay put. This is the
 // property that keeps a failover from churning the whole fleet.

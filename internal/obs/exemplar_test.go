@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramExemplars(t *testing.T) {
+	h := NewHistogram(0.001, 0.01, 0.1)
+
+	h.ObserveTrace(0.0005, 0xaaaa) // bucket 0
+	h.ObserveTrace(0.05, 0xbbbb)   // bucket 2
+	h.ObserveTrace(5.0, 0xcccc)    // +Inf overflow
+	h.ObserveTrace(0.0005, 0xdddd) // bucket 0 again: last writer wins
+	h.ObserveTrace(0.005, 0)       // untraced: counts, no exemplar
+	h.Observe(0.005)               // plain Observe never stamps
+
+	s := h.Snapshot()
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	want := []uint64{0xdddd, 0, 0xbbbb, 0xcccc}
+	if len(s.Exemplars) != len(want) {
+		t.Fatalf("exemplars = %v, want len %d", s.Exemplars, len(want))
+	}
+	for i, w := range want {
+		if s.Exemplars[i] != w {
+			t.Errorf("exemplars[%d] = %#x, want %#x", i, s.Exemplars[i], w)
+		}
+	}
+
+	var b strings.Builder
+	h.WriteMetric(&b, "x_seconds")
+	out := b.String()
+	for _, line := range []string{
+		`# exemplar x_seconds_bucket{le="0.001"} trace=000000000000dddd`,
+		`# exemplar x_seconds_bucket{le="0.1"} trace=000000000000bbbb`,
+		`# exemplar x_seconds_bucket{le="+Inf"} trace=000000000000cccc`,
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("prometheus text missing %q in:\n%s", line, out)
+		}
+	}
+	if strings.Contains(out, `le="0.01"} trace=`) {
+		t.Errorf("bucket with no traced observation rendered an exemplar:\n%s", out)
+	}
+}
+
+func TestHistogramSnapshotOmitsExemplarsWhenUntraced(t *testing.T) {
+	h := NewHistogram(1, 2)
+	h.Observe(0.5)
+	h.ObserveTrace(1.5, 0)
+	if s := h.Snapshot(); s.Exemplars != nil {
+		t.Fatalf("untraced histogram snapshot has exemplars %v", s.Exemplars)
+	}
+	var b strings.Builder
+	h.WriteMetric(&b, "y")
+	if strings.Contains(b.String(), "exemplar") {
+		t.Fatalf("untraced histogram rendered exemplar lines:\n%s", b.String())
+	}
+}
+
+// TestHistogramSnapshotSub pins the windowed-delta semantics the SLO
+// gauges build on.
+func TestHistogramSnapshotSub(t *testing.T) {
+	h := NewHistogram(1, 2, 4)
+	h.Observe(0.5)
+	h.Observe(1.5)
+	prev := h.Snapshot()
+	h.Observe(0.5)
+	h.Observe(3)
+	h.Observe(3)
+	cur := h.Snapshot()
+
+	win := cur.Sub(prev)
+	if win.Count != 3 {
+		t.Fatalf("window count = %d, want 3", win.Count)
+	}
+	wantBuckets := []uint64{1, 0, 2, 0}
+	for i, w := range wantBuckets {
+		if win.Buckets[i] != w {
+			t.Errorf("window bucket[%d] = %d, want %d", i, win.Buckets[i], w)
+		}
+	}
+	if win.Sum < 6.49 || win.Sum > 6.51 {
+		t.Errorf("window sum = %g, want 6.5", win.Sum)
+	}
+	if win.P99 <= 2 || win.P99 > 4 {
+		t.Errorf("window p99 = %g, want in (2, 4]", win.P99)
+	}
+
+	// A replica restart makes counters run backwards; the window clamps to
+	// the current snapshot instead of underflowing.
+	restarted := NewHistogram(1, 2, 4)
+	restarted.Observe(0.5)
+	win = restarted.Snapshot().Sub(cur)
+	if win.Count != 1 || win.Buckets[0] != 1 {
+		t.Fatalf("restart window = count %d buckets %v, want just the new snapshot", win.Count, win.Buckets)
+	}
+}

@@ -58,6 +58,12 @@ type Histogram struct {
 	buckets []atomic.Uint64
 	count   atomic.Uint64
 	sumBits atomic.Uint64 // float64 bits, CAS-updated
+	// exemplars[i] holds the trace ID of the last traced observation
+	// that landed in bucket i (0 = never). One word per bucket, last
+	// writer wins: enough to link any bucket — in particular the outlier
+	// tail — to a concrete span tree in /v1/fleet/trace, at the cost of
+	// one extra atomic store on traced observations only.
+	exemplars []atomic.Uint64
 }
 
 // NewHistogram builds a histogram over the given bucket upper bounds,
@@ -74,7 +80,11 @@ func NewHistogram(bounds ...float64) *Histogram {
 			uniq = append(uniq, b)
 		}
 	}
-	return &Histogram{bounds: uniq, buckets: make([]atomic.Uint64, len(uniq)+1)}
+	return &Histogram{
+		bounds:    uniq,
+		buckets:   make([]atomic.Uint64, len(uniq)+1),
+		exemplars: make([]atomic.Uint64, len(uniq)+1),
+	}
 }
 
 // ExpBounds returns n bucket bounds growing geometrically from start by
@@ -99,6 +109,21 @@ func DefaultLatencyBounds() []float64 { return ExpBounds(50e-6, 1.5, 32) }
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
+	h.observe(v)
+}
+
+// ObserveTrace records one value and, when trace is nonzero, stamps it as
+// the exemplar of the bucket the value landed in. The extra cost over
+// Observe is a single atomic store on traced observations and nothing on
+// untraced ones, so hot paths can call ObserveTrace unconditionally.
+func (h *Histogram) ObserveTrace(v float64, trace uint64) {
+	idx := h.observe(v)
+	if trace != 0 {
+		h.exemplars[idx].Store(trace)
+	}
+}
+
+func (h *Histogram) observe(v float64) int {
 	// First bound >= v; values above every bound land in the +Inf bucket.
 	idx := sort.SearchFloat64s(h.bounds, v)
 	h.buckets[idx].Add(1)
@@ -107,7 +132,7 @@ func (h *Histogram) Observe(v float64) {
 		old := h.sumBits.Load()
 		new := math.Float64bits(math.Float64frombits(old) + v)
 		if h.sumBits.CompareAndSwap(old, new) {
-			return
+			return idx
 		}
 	}
 }
@@ -158,11 +183,76 @@ func (h *Histogram) Quantile(q float64) float64 {
 type HistogramSnapshot struct {
 	Bounds  []float64 `json:"bounds"`
 	Buckets []uint64  `json:"buckets"` // per-bucket counts; last is +Inf overflow
-	Count   uint64    `json:"count"`
-	Sum     float64   `json:"sum"`
-	Mean    float64   `json:"mean"`
-	P50     float64   `json:"p50"`
-	P99     float64   `json:"p99"`
+	// Exemplars, when present, is parallel to Buckets: the trace ID of the
+	// last traced observation per bucket (0 = none). Omitted entirely when
+	// no bucket ever saw a traced observation.
+	Exemplars []uint64 `json:"exemplars,omitempty"`
+	Count     uint64   `json:"count"`
+	Sum       float64  `json:"sum"`
+	Mean      float64  `json:"mean"`
+	P50       float64  `json:"p50"`
+	P99       float64  `json:"p99"`
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) from the snapshot's
+// bucket counts, linearly interpolated within the containing bucket, the
+// same estimate Histogram.Quantile computes live. It exists so a delta
+// snapshot (see Sub) can report windowed quantiles.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var cum uint64
+	lo := 0.0
+	for i, b := range s.Bounds {
+		c := s.Buckets[i]
+		if float64(cum+c) >= rank && c > 0 {
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + frac*(b-lo)
+		}
+		cum += c
+		lo = b
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Sub returns the observations recorded between prev and s as a delta
+// snapshot — the windowed histogram the fleet plane's SLO gauges quantile
+// over. Counters that appear to run backwards (a restarted replica)
+// clamp to zero rather than wrapping. Mean/P50/P99 are recomputed for
+// the window; exemplars carry over from s (they are last-writer stamps,
+// not counters).
+func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{
+		Bounds:    s.Bounds,
+		Buckets:   make([]uint64, len(s.Buckets)),
+		Exemplars: s.Exemplars,
+	}
+	for i := range s.Buckets {
+		b := s.Buckets[i]
+		if i < len(prev.Buckets) && prev.Buckets[i] <= b {
+			b -= prev.Buckets[i]
+		}
+		out.Buckets[i] = b
+		out.Count += b
+	}
+	if s.Count >= prev.Count && len(prev.Buckets) == len(s.Buckets) {
+		out.Sum = s.Sum - prev.Sum
+	} else { // restart: the window is just s
+		out.Count = s.Count
+		copy(out.Buckets, s.Buckets)
+		out.Sum = s.Sum
+	}
+	if out.Count > 0 {
+		out.Mean = out.Sum / float64(out.Count)
+	}
+	out.P50 = out.Quantile(0.50)
+	out.P99 = out.Quantile(0.99)
+	return out
 }
 
 // Snapshot captures the histogram's current state.
@@ -179,6 +269,14 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	for i := range h.buckets {
 		s.Buckets[i] = h.buckets[i].Load()
 	}
+	for i := range h.exemplars {
+		if ex := h.exemplars[i].Load(); ex != 0 {
+			if s.Exemplars == nil {
+				s.Exemplars = make([]uint64, len(h.exemplars))
+			}
+			s.Exemplars[i] = ex
+		}
+	}
 	return s
 }
 
@@ -194,6 +292,21 @@ func (h *Histogram) WriteMetric(w io.Writer, name string) {
 	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
 	fmt.Fprintf(w, "%s_sum %g\n", name, h.Sum())
 	fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+	// Exemplars render as comment lines (not OpenMetrics "# {trace_id}"
+	// suffixes) so the plain text format — and its golden test — stays
+	// parseable by strict Prometheus scrapers. Nothing is emitted for
+	// histograms that never saw a traced observation.
+	for i := range h.exemplars {
+		ex := h.exemplars[i].Load()
+		if ex == 0 {
+			continue
+		}
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = trimFloat(h.bounds[i])
+		}
+		fmt.Fprintf(w, "# exemplar %s_bucket{le=%q} trace=%s\n", name, le, FormatTraceID(ex))
+	}
 }
 
 func trimFloat(v float64) string {

@@ -390,6 +390,16 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	}
 }
 
+// JSONHandler serves the registry snapshot as JSON — the machine-readable
+// sibling of /metrics that the gateway's fleet scraper consumes, so merge
+// logic works on typed numbers instead of re-parsing Prometheus text.
+func (r *Registry) JSONHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(r.Snapshot()) //nolint:errcheck // client gone is fine
+	})
+}
+
 // PrometheusHandler serves the registry as text-format /metrics.
 func (r *Registry) PrometheusHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {

@@ -15,12 +15,28 @@ import (
 // only by its owning goroutine until End, which publishes it into the
 // tracer's ring; after End it is read-only.
 type Span struct {
-	ID     uint64            `json:"id"`
-	Parent uint64            `json:"parent,omitempty"`
-	Name   string            `json:"name"`
-	Start  int64             `json:"start_unix_ns"`
-	End    int64             `json:"end_unix_ns"`
-	Attrs  map[string]string `json:"attrs,omitempty"`
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent,omitempty"`
+	// Trace is the distributed-trace identity this span belongs to (0 =
+	// untraced). Unlike ID and Parent, which are minted per-process, the
+	// trace ID crosses process boundaries via the Branchnet-Trace header,
+	// so the fleet plane can reassemble one request's span tree across
+	// loadgen, gateway, and replica. For a span whose direct cause lives
+	// in ANOTHER process (a replica request span caused by a gateway
+	// route span), Parent holds the remote sender's span ID as carried by
+	// the header — meaningful only within the span's trace, where IDs
+	// from different processes are disambiguated by source.
+	Trace uint64 `json:"trace,omitempty"`
+	// Link is the same-process ID of a span that did work on this span's
+	// behalf outside its own lifetime — concretely, the batch-flush span
+	// that executed a request span's model inferences. Links restore
+	// causality across the batching boundary, where one flush serves many
+	// requests and so can be nobody's child.
+	Link  uint64            `json:"link,omitempty"`
+	Name  string            `json:"name"`
+	Start int64             `json:"start_unix_ns"`
+	End   int64             `json:"end_unix_ns"`
+	Attrs map[string]string `json:"attrs,omitempty"`
 
 	tracer *Tracer
 }
@@ -68,14 +84,55 @@ func (t *Tracer) Start(name string) *Span {
 	}
 }
 
-// StartChild opens a span parented under s.
+// StartChild opens a span parented under s, inheriting its trace.
 func (s *Span) StartChild(name string) *Span {
 	if s == nil {
 		return nil
 	}
 	child := s.tracer.Start(name)
 	child.Parent = s.ID
+	child.Trace = s.Trace
 	return child
+}
+
+// SetTrace stamps the span's distributed-trace identity and returns s
+// for chaining. Call only before Finish.
+func (s *Span) SetTrace(trace uint64) *Span {
+	if s == nil {
+		return nil
+	}
+	s.Trace = trace
+	return s
+}
+
+// SetRemoteParent records the sending process's span ID (from a
+// Branchnet-Trace header) as this span's parent. See Span.Trace for why
+// a cross-process parent is meaningful only within a trace.
+func (s *Span) SetRemoteParent(id uint64) *Span {
+	if s == nil {
+		return nil
+	}
+	s.Parent = id
+	return s
+}
+
+// SetLink records the same-process span that served this span's work
+// (the batch-flush link). Call only before Finish.
+func (s *Span) SetLink(id uint64) *Span {
+	if s == nil {
+		return nil
+	}
+	s.Link = id
+	return s
+}
+
+// SpanID returns the span's ID (0 for a nil/disabled span), so callers
+// can hand it to a peer without a nil check.
+func (s *Span) SpanID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.ID
 }
 
 // SetAttr attaches a string attribute and returns s for chaining. Call
@@ -138,6 +195,31 @@ func (t *Tracer) Spans(max int) []*Span {
 	// Concurrent wraparound can leave IDs out of order; present a stable
 	// oldest-first view.
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// FilterTrace selects from spans (one process's flight-recorder dump)
+// the spans belonging to trace, plus every same-process span a selected
+// span Links to — the batch-flush spans that served traced requests but
+// carry no trace identity themselves, because one flush serves requests
+// from many traces. Input order is preserved; linked spans appear where
+// they sat in the dump.
+func FilterTrace(spans []*Span, trace uint64) []*Span {
+	if trace == 0 {
+		return nil
+	}
+	wanted := make(map[uint64]bool)
+	for _, sp := range spans {
+		if sp != nil && sp.Trace == trace && sp.Link != 0 {
+			wanted[sp.Link] = true
+		}
+	}
+	var out []*Span
+	for _, sp := range spans {
+		if sp != nil && (sp.Trace == trace || wanted[sp.ID]) {
+			out = append(out, sp)
+		}
+	}
 	return out
 }
 

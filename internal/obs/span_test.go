@@ -122,6 +122,109 @@ func TestTracerConcurrentFinish(t *testing.T) {
 	}
 }
 
+// TestTracerConcurrentWraparoundNotTorn hammers the ring through many
+// wraparounds with concurrent writers while readers snapshot it, and
+// checks every observed span for internal consistency: a "torn" span —
+// one whose name, trace, and attrs disagree about which writer produced
+// it — would mean a reader saw a half-published record. Publication is a
+// single atomic pointer store, so any tear is a real ring bug. Run under
+// -race this also exercises the happens-before edges.
+func TestTracerConcurrentWraparoundNotTorn(t *testing.T) {
+	tr := NewTracer(16) // tiny ring: ~1000 wraparounds over the test
+	const writers = 8
+	const perWriter = 2000
+
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := fmt.Sprintf("w%d", g)
+			for i := 0; i < perWriter; i++ {
+				tr.Start(name).
+					SetTrace(uint64(g)+1).
+					SetInt("writer", int64(g)).
+					Finish()
+			}
+		}(g)
+	}
+
+	readErr := make(chan error, 1)
+	stop := make(chan struct{})
+	go func() {
+		defer close(readErr)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			spans := tr.Spans(0)
+			for i, sp := range spans {
+				want := fmt.Sprintf("w%d", sp.Trace-1)
+				if sp.Name != want || sp.Attrs["writer"] != fmt.Sprint(sp.Trace-1) {
+					readErr <- fmt.Errorf("torn span: name=%q trace=%d attrs=%v", sp.Name, sp.Trace, sp.Attrs)
+					return
+				}
+				if sp.End < sp.Start {
+					readErr <- fmt.Errorf("span %q ends (%d) before it starts (%d)", sp.Name, sp.End, sp.Start)
+					return
+				}
+				if i > 0 && spans[i-1].ID >= sp.ID {
+					readErr <- fmt.Errorf("ordering: spans[%d].ID=%d >= spans[%d].ID=%d (want oldest first)",
+						i-1, spans[i-1].ID, i, sp.ID)
+					return
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	if err := <-readErr; err != nil {
+		t.Fatal(err)
+	}
+
+	// Quiescent ring: exactly the newest 16 spans, still oldest first.
+	spans := tr.Spans(0)
+	if len(spans) != 16 {
+		t.Fatalf("ring holds %d spans, want 16", len(spans))
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i-1].ID >= spans[i].ID {
+			t.Fatalf("final ordering: spans[%d].ID=%d >= spans[%d].ID=%d", i-1, spans[i-1].ID, i, spans[i].ID)
+		}
+	}
+}
+
+// TestFilterTrace pins the cross-process assembly rule: trace members
+// select themselves, and spans they Link to ride along even though links
+// (batch flushes) carry no trace ID of their own.
+func TestFilterTrace(t *testing.T) {
+	tr := NewTracer(16)
+	flush := tr.Start("serve.flush") // shared infrastructure span, no trace
+	flush.Finish()
+	other := tr.Start("noise").SetTrace(99)
+	other.Finish()
+	req := tr.Start("serve.request").SetTrace(7).SetLink(flush.SpanID())
+	req.Finish()
+
+	got := FilterTrace(tr.Spans(0), 7)
+	if len(got) != 2 {
+		t.Fatalf("FilterTrace kept %d spans, want 2 (request + linked flush)", len(got))
+	}
+	names := map[string]bool{}
+	for _, sp := range got {
+		names[sp.Name] = true
+	}
+	if !names["serve.request"] || !names["serve.flush"] {
+		t.Fatalf("FilterTrace kept %v", names)
+	}
+	if got := FilterTrace(tr.Spans(0), 1234); len(got) != 0 {
+		t.Fatalf("unknown trace returned %d spans", len(got))
+	}
+}
+
 func TestSpanHandler(t *testing.T) {
 	tr := NewTracer(16)
 	for i := 0; i < 5; i++ {

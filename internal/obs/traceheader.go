@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"time"
+)
+
+// TraceHeader is the HTTP header that carries trace context across
+// process hops (loadgen -> gateway -> replica). Its value is
+// "<trace>-<span>": two fixed-width 16-digit lowercase-or-uppercase hex
+// uint64s joined by a dash — the 64-bit trace identity and the sender's
+// span ID (0 when the sender keeps no local span, e.g. a sampling load
+// generator minting a fresh trace).
+//
+// The codec is deliberately forgiving in exactly one way: any value that
+// is not well-formed parses as "no trace". Tracing is advisory — a
+// malformed, truncated, or hostile header must never fail a prediction
+// request, so ParseTraceHeader has no error path, allocates nothing, and
+// does constant work regardless of input size.
+const TraceHeader = "Branchnet-Trace"
+
+// traceHeaderLen is the exact encoded length: 16 hex + '-' + 16 hex.
+const traceHeaderLen = 33
+
+// NewTraceID mints a random nonzero 64-bit trace identity. Randomness
+// (not a counter) keeps IDs unique across the many processes of a fleet
+// without coordination, the same argument as the serve epoch token.
+func NewTraceID() uint64 {
+	var b [8]byte
+	for {
+		if _, err := rand.Read(b[:]); err != nil {
+			// crypto/rand failing is effectively fatal elsewhere; a
+			// clock-derived ID keeps tracing alive rather than silent.
+			return uint64(time.Now().UnixNano()) | 1
+		}
+		if id := binary.LittleEndian.Uint64(b[:]); id != 0 {
+			return id
+		}
+	}
+}
+
+const hexDigits = "0123456789abcdef"
+
+// FormatTraceHeader renders the TraceHeader value for (trace, span).
+// A zero trace formats as "" — the no-trace value — so callers can set
+// the header unconditionally.
+func FormatTraceHeader(trace, span uint64) string {
+	if trace == 0 {
+		return ""
+	}
+	var b [traceHeaderLen]byte
+	putHex16(b[:16], trace)
+	b[16] = '-'
+	putHex16(b[17:], span)
+	return string(b[:])
+}
+
+func putHex16(dst []byte, v uint64) {
+	for i := 15; i >= 0; i-- {
+		dst[i] = hexDigits[v&0xf]
+		v >>= 4
+	}
+}
+
+// ParseTraceHeader decodes a TraceHeader value. Anything that is not
+// exactly 16 hex digits, a dash, and 16 hex digits — truncated values,
+// garbage, oversized inputs, a zero trace — returns (0, 0, false): the
+// request simply starts untraced. The parse never panics, never
+// allocates, and touches at most traceHeaderLen bytes of its input.
+func ParseTraceHeader(s string) (trace, span uint64, ok bool) {
+	if len(s) != traceHeaderLen || s[16] != '-' {
+		return 0, 0, false
+	}
+	trace, ok = parseHex16(s[:16])
+	if !ok || trace == 0 {
+		return 0, 0, false
+	}
+	span, ok = parseHex16(s[17:])
+	if !ok {
+		return 0, 0, false
+	}
+	return trace, span, true
+}
+
+func parseHex16(s string) (uint64, bool) {
+	var v uint64
+	for i := 0; i < 16; i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9':
+			v = v<<4 | uint64(c-'0')
+		case c >= 'a' && c <= 'f':
+			v = v<<4 | uint64(c-'a'+10)
+		case c >= 'A' && c <= 'F':
+			v = v<<4 | uint64(c-'A'+10)
+		default:
+			return 0, false
+		}
+	}
+	return v, true
+}
+
+// FormatTraceID renders a bare trace ID the way the fleet endpoints
+// accept it (/v1/fleet/trace?id=...): 16 lowercase hex digits.
+func FormatTraceID(trace uint64) string {
+	var b [16]byte
+	putHex16(b[:], trace)
+	return string(b[:])
+}
+
+// ParseTraceID decodes a bare 16-hex-digit trace ID ("" and malformed
+// values return 0, false).
+func ParseTraceID(s string) (uint64, bool) {
+	if len(s) != 16 {
+		return 0, false
+	}
+	v, ok := parseHex16(s)
+	if !ok || v == 0 {
+		return 0, false
+	}
+	return v, ok
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTraceHeaderRoundTrip is the codec's core property: every (trace,
+// span) pair with a nonzero trace survives Format -> Parse bit-exactly.
+func TestTraceHeaderRoundTrip(t *testing.T) {
+	// A deterministic xorshift walk covers high bits, low bits, and
+	// boundary-ish values without RNG flakiness.
+	v := uint64(0x9e3779b97f4a7c15)
+	cases := []struct{ trace, span uint64 }{
+		{1, 0},
+		{1, 1},
+		{^uint64(0), ^uint64(0)},
+		{0x00000000ffffffff, 0xffffffff00000000},
+		{0xdeadbeefcafef00d, 42},
+	}
+	for i := 0; i < 64; i++ {
+		v ^= v << 13
+		v ^= v >> 7
+		v ^= v << 17
+		cases = append(cases, struct{ trace, span uint64 }{v | 1, v >> 1})
+	}
+	for _, tc := range cases {
+		h := FormatTraceHeader(tc.trace, tc.span)
+		if len(h) != traceHeaderLen {
+			t.Fatalf("FormatTraceHeader(%#x, %#x) = %q: length %d, want %d",
+				tc.trace, tc.span, h, len(h), traceHeaderLen)
+		}
+		trace, span, ok := ParseTraceHeader(h)
+		if !ok || trace != tc.trace || span != tc.span {
+			t.Fatalf("round trip (%#x, %#x) -> %q -> (%#x, %#x, %v)",
+				tc.trace, tc.span, h, trace, span, ok)
+		}
+	}
+}
+
+func TestTraceHeaderZeroTraceFormatsEmpty(t *testing.T) {
+	if h := FormatTraceHeader(0, 12345); h != "" {
+		t.Fatalf("FormatTraceHeader(0, span) = %q, want empty", h)
+	}
+}
+
+func TestTraceHeaderUppercaseAccepted(t *testing.T) {
+	trace, span, ok := ParseTraceHeader("DEADBEEFCAFEF00D-000000000000002A")
+	if !ok || trace != 0xdeadbeefcafef00d || span != 0x2a {
+		t.Fatalf("uppercase parse = (%#x, %#x, %v)", trace, span, ok)
+	}
+}
+
+// TestTraceHeaderMalformed pins the forgiving-parse contract: every
+// malformed shape is "no trace", never an error or panic.
+func TestTraceHeaderMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"-",
+		"deadbeef",                                  // truncated
+		"deadbeefcafef00d",                          // trace only
+		"deadbeefcafef00d-",                         // dash, no span
+		"deadbeefcafef00d-0000000000000g2a",         // non-hex span
+		"deadbeefcafeg00d-000000000000002a",         // non-hex trace
+		"0000000000000000-000000000000002a",         // zero trace
+		"deadbeefcafef00d_000000000000002a",         // wrong separator
+		"deadbeefcafef00d-000000000000002a ",        // trailing byte
+		" deadbeefcafef00d-000000000000002a",        // leading byte
+		"deadbeefcafef00d-000000000000002adeadbeef", // oversized
+		"+eadbeefcafef00d-000000000000002a",         // sign prefix (strconv would take it)
+		"0xadbeefcafef00d-000000000000002a",         // 0x prefix
+		strings.Repeat("a", 1<<16),                  // huge input, constant work
+		"日本語の分散トレース原簿ヘッダ値テスト入力", // multibyte
+	}
+	for _, s := range bad {
+		if trace, span, ok := ParseTraceHeader(s); ok || trace != 0 || span != 0 {
+			t.Errorf("ParseTraceHeader(%.40q) = (%#x, %#x, %v), want (0, 0, false)", s, trace, span, ok)
+		}
+	}
+}
+
+// TestParseTraceHeaderNoAlloc pins the hot-path contract: parsing —
+// well-formed or garbage — allocates nothing. The parse runs on every
+// request at the gateway and every replica.
+func TestParseTraceHeaderNoAlloc(t *testing.T) {
+	inputs := []string{
+		"deadbeefcafef00d-000000000000002a",
+		"not-a-trace-header",
+		strings.Repeat("f", 1<<12),
+	}
+	for _, s := range inputs {
+		s := s
+		if n := testing.AllocsPerRun(100, func() { ParseTraceHeader(s) }); n != 0 {
+			t.Errorf("ParseTraceHeader(%.20q...) allocates %v per run, want 0", s, n)
+		}
+	}
+}
+
+func TestTraceIDRoundTrip(t *testing.T) {
+	for _, id := range []uint64{1, 0x2a, ^uint64(0), 0xdeadbeefcafef00d} {
+		s := FormatTraceID(id)
+		if len(s) != 16 {
+			t.Fatalf("FormatTraceID(%#x) = %q", id, s)
+		}
+		got, ok := ParseTraceID(s)
+		if !ok || got != id {
+			t.Fatalf("ParseTraceID(%q) = (%#x, %v), want %#x", s, got, ok, id)
+		}
+	}
+	for _, s := range []string{"", "0000000000000000", "deadbeef", "deadbeefcafef00d-"} {
+		if got, ok := ParseTraceID(s); ok || got != 0 {
+			t.Errorf("ParseTraceID(%q) = (%#x, %v), want reject", s, got, ok)
+		}
+	}
+}
+
+func TestNewTraceIDNonzeroAndDistinct(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := 0; i < 64; i++ {
+		id := NewTraceID()
+		if id == 0 {
+			t.Fatal("NewTraceID returned 0")
+		}
+		if seen[id] {
+			t.Fatalf("NewTraceID repeated %#x within 64 draws", id)
+		}
+		seen[id] = true
+	}
+}
+
+// FuzzParseTraceHeader hammers the forgiving-parse contract: no input may
+// panic, and every accepted input must round-trip through Format to the
+// identical string (the codec is bijective on its valid domain, modulo
+// the uppercase-input/lowercase-output canonicalization).
+func FuzzParseTraceHeader(f *testing.F) {
+	f.Add("deadbeefcafef00d-000000000000002a")
+	f.Add("DEADBEEFCAFEF00D-000000000000002A")
+	f.Add("0000000000000000-0000000000000000")
+	f.Add("")
+	f.Add("-")
+	f.Add("deadbeefcafef00d")
+	f.Add(strings.Repeat("a", 33))
+	f.Add(strings.Repeat("-", 33))
+	f.Add("ffffffffffffffff-ffffffffffffffff")
+	f.Fuzz(func(t *testing.T, s string) {
+		trace, span, ok := ParseTraceHeader(s)
+		if !ok {
+			if trace != 0 || span != 0 {
+				t.Fatalf("rejected input %q leaked values (%#x, %#x)", s, trace, span)
+			}
+			return
+		}
+		if trace == 0 {
+			t.Fatalf("accepted zero trace from %q", s)
+		}
+		if len(s) != traceHeaderLen {
+			t.Fatalf("accepted %d-byte input %q", len(s), s)
+		}
+		h := FormatTraceHeader(trace, span)
+		if !strings.EqualFold(h, s) {
+			t.Fatalf("round trip %q -> (%#x, %#x) -> %q", s, trace, span, h)
+		}
+		t2, s2, ok2 := ParseTraceHeader(h)
+		if !ok2 || t2 != trace || s2 != span {
+			t.Fatalf("reformatted %q does not re-parse: (%#x, %#x, %v)", h, t2, s2, ok2)
+		}
+	})
+}

@@ -36,7 +36,13 @@ type BatchItem struct {
 type job struct {
 	ctx   context.Context
 	items []BatchItem
-	done  chan struct{}
+	// flushSpan is the ID of the flush span that served this job's items,
+	// written by the collector before done closes (the channel close is
+	// the happens-before edge) so the submitter can Link its request span
+	// to the flush that did the work. Zero for expired jobs and disabled
+	// tracers.
+	flushSpan uint64
+	done      chan struct{}
 }
 
 // Batcher is the dynamic micro-batcher between request handlers and model
@@ -97,30 +103,33 @@ func NewBatcher(maxBatch int, maxDelay time.Duration, queueLen int, st *Stats, t
 }
 
 // Submit enqueues a request's items and blocks until every Out slot is
-// filled, the context expires, or the batcher shuts down. A full queue
-// fails immediately with ErrQueueFull — the caller turns that into 429
-// backpressure rather than letting work pile up unboundedly.
-func (b *Batcher) Submit(ctx context.Context, items []BatchItem) error {
+// filled, the context expires, or the batcher shuts down. On success it
+// returns the ID of the flush span that served the items (0 when tracing
+// is disabled), so the caller can Link its request span across the
+// batching boundary. A full queue fails immediately with ErrQueueFull —
+// the caller turns that into 429 backpressure rather than letting work
+// pile up unboundedly.
+func (b *Batcher) Submit(ctx context.Context, items []BatchItem) (uint64, error) {
 	if len(items) == 0 {
-		return nil
+		return 0, nil
 	}
 	if b.closed.Load() {
-		return ErrClosed
+		return 0, ErrClosed
 	}
 	j := &job{ctx: ctx, items: items, done: make(chan struct{})}
 	select {
 	case b.queue <- j:
 		b.queueDepth.Add(1)
 	default:
-		return ErrQueueFull
+		return 0, ErrQueueFull
 	}
 	select {
 	case <-j.done:
-		return nil
+		return j.flushSpan, nil
 	case <-ctx.Done():
 		// The collector will notice the expired context and skip the
 		// items; the caller's deadline turns into a 504, not a hang.
-		return ctx.Err()
+		return 0, ctx.Err()
 	}
 }
 
@@ -229,7 +238,9 @@ func (b *Batcher) flush(jobs []*job) {
 		b.batchSizes.Observe(float64(len(g.hists)))
 	}
 	b.flushes.Inc()
+	flushSpan := sp.SpanID()
 	for _, j := range live {
+		j.flushSpan = flushSpan
 		close(j.done)
 	}
 	sp.SetInt("items", int64(items)).SetInt("models", int64(len(groups))).Finish()

@@ -28,7 +28,7 @@ func TestBatcherClosedRejects(t *testing.T) {
 	b := NewBatcher(8, time.Millisecond, 8, newStats(), nil)
 	b.Close()
 	items, _ := batchItems(batcherModel(0x10), 1)
-	if err := b.Submit(context.Background(), items); !errors.Is(err, ErrClosed) {
+	if _, err := b.Submit(context.Background(), items); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
 	}
 }
@@ -54,14 +54,14 @@ func TestBatcherQueueFull(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	itemsA, _ := batchItems(m, 1)
 	parked := make(chan error, 1)
-	go func() { parked <- b.Submit(ctx, itemsA) }()
+	go func() { _, err := b.Submit(ctx, itemsA); parked <- err }()
 	deadline := time.Now().Add(2 * time.Second)
 	for b.queueDepth.Value() != 1 && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
 
 	itemsC, _ := batchItems(m, 1)
-	if err := b.Submit(context.Background(), itemsC); !errors.Is(err, ErrQueueFull) {
+	if _, err := b.Submit(context.Background(), itemsC); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("Submit with full queue = %v, want ErrQueueFull", err)
 	}
 
@@ -80,7 +80,7 @@ func TestBatcherExpiredJobSkipped(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel() // already expired at submission
 	items, _ := batchItems(m, 3)
-	if err := b.Submit(ctx, items); !errors.Is(err, context.Canceled) {
+	if _, err := b.Submit(ctx, items); !errors.Is(err, context.Canceled) {
 		t.Fatalf("Submit with dead context = %v, want context.Canceled", err)
 	}
 	deadline := time.Now().Add(2 * time.Second)
@@ -101,8 +101,8 @@ func TestBatcherFusesAcrossSubmissions(t *testing.T) {
 	itemsA, outA := batchItems(m, 2)
 	itemsB, outB := batchItems(m, 3)
 	done := make(chan error, 2)
-	go func() { done <- b.Submit(context.Background(), itemsA) }()
-	go func() { done <- b.Submit(context.Background(), itemsB) }()
+	go func() { _, err := b.Submit(context.Background(), itemsA); done <- err }()
+	go func() { _, err := b.Submit(context.Background(), itemsB); done <- err }()
 	for i := 0; i < 2; i++ {
 		if err := <-done; err != nil {
 			t.Fatal(err)

@@ -1,0 +1,157 @@
+package serve
+
+// Fleet-plane verification helpers for harnesses (ci.sh cluster smoke,
+// cmd/branchnet-loadgen -expect-trace). They live in serve — not gateway —
+// because gateway imports serve; the gateway responses are decoded through
+// anonymous structs so this package never sees the gateway's types.
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+	"time"
+)
+
+// VerifyFleetStats polls the gateway's /v1/fleet/stats until the cluster
+// rollup has scraped at least minReplicas replicas, each replica row shows
+// served traffic, and the cluster-merged request counter equals the sum of
+// the per-replica rows (the merge invariant: both views come from the same
+// scrape cache). Returns nil on success, the last failure after timeout.
+func VerifyFleetStats(client *http.Client, gatewayURL string, minReplicas int, timeout time.Duration) error {
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	deadline := time.Now().Add(timeout)
+	var lastErr error
+	for {
+		var fs struct {
+			Cluster struct {
+				Replicas int               `json:"replicas"`
+				Scraped  int               `json:"scraped"`
+				Counters map[string]uint64 `json:"counters"`
+			} `json:"cluster"`
+			SLO struct {
+				WindowSeconds float64 `json:"window_seconds"`
+			} `json:"slo"`
+			Replicas []struct {
+				URL      string `json:"url"`
+				State    string `json:"state"`
+				Requests uint64 `json:"requests"`
+			} `json:"replicas"`
+		}
+		err := fetchJSON(client, gatewayURL+"/v1/fleet/stats", &fs)
+		switch {
+		case err != nil:
+			lastErr = err
+		case fs.Cluster.Scraped < minReplicas:
+			lastErr = fmt.Errorf("fleet stats: scraped %d of %d replicas, want >= %d",
+				fs.Cluster.Scraped, fs.Cluster.Replicas, minReplicas)
+		default:
+			total := fs.Cluster.Counters["branchnet_requests_total"]
+			var sum uint64
+			served := 0
+			for _, rep := range fs.Replicas {
+				sum += rep.Requests
+				if rep.Requests > 0 {
+					served++
+				}
+			}
+			switch {
+			case total == 0:
+				lastErr = fmt.Errorf("fleet stats: cluster shows zero requests")
+			case served < minReplicas:
+				lastErr = fmt.Errorf("fleet stats: only %d replicas served traffic, want >= %d", served, minReplicas)
+			case total != sum:
+				lastErr = fmt.Errorf("fleet stats: cluster requests %d != per-replica sum %d", total, sum)
+			default:
+				return nil
+			}
+		}
+		if !time.Now().Before(deadline) {
+			return fmt.Errorf("serve: fleet stats not merged within %s: %w", timeout, lastErr)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// fleetTraceSpan is the slice of the gateway's /v1/fleet/trace span rows
+// that verification inspects.
+type fleetTraceSpan struct {
+	Source string `json:"source"`
+	ID     uint64 `json:"id"`
+	Name   string `json:"name"`
+	Link   uint64 `json:"link,omitempty"`
+}
+
+// VerifyFleetTrace polls the gateway's /v1/fleet/trace for the sampled
+// trace IDs (newest first — older traces age out of the replicas' span
+// rings and the gateway's scrape cache) until one assembles a full
+// cross-process tree: a gateway route span, a replica serve.request span,
+// and the serve.flush span the request links to, on the same replica.
+// Returns nil as soon as any trace satisfies all three.
+func VerifyFleetTrace(client *http.Client, gatewayURL string, traceIDs []string, timeout time.Duration) error {
+	if len(traceIDs) == 0 {
+		return fmt.Errorf("serve: no sampled trace IDs to verify")
+	}
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	deadline := time.Now().Add(timeout)
+	var lastErr error
+	for {
+		for i := len(traceIDs) - 1; i >= 0; i-- {
+			var tr struct {
+				Trace string           `json:"trace"`
+				Count int              `json:"count"`
+				Spans []fleetTraceSpan `json:"spans"`
+			}
+			endpoint := gatewayURL + "/v1/fleet/trace?id=" + url.QueryEscape(traceIDs[i])
+			if err := fetchJSON(client, endpoint, &tr); err != nil {
+				lastErr = fmt.Errorf("trace %s: %w", traceIDs[i], err)
+				continue
+			}
+			if err := checkTraceTree(tr.Spans); err != nil {
+				lastErr = fmt.Errorf("trace %s: %w", traceIDs[i], err)
+				continue
+			}
+			return nil
+		}
+		if !time.Now().Before(deadline) {
+			return fmt.Errorf("serve: no sampled trace assembled within %s: %w", timeout, lastErr)
+		}
+		time.Sleep(150 * time.Millisecond)
+	}
+}
+
+// checkTraceTree asserts the three-hop shape of an assembled trace.
+func checkTraceTree(spans []fleetTraceSpan) error {
+	haveRoute := false
+	for _, sp := range spans {
+		if sp.Source == "gateway" && sp.Name == "gateway.route" {
+			haveRoute = true
+			break
+		}
+	}
+	if !haveRoute {
+		return fmt.Errorf("no gateway.route span in %d spans", len(spans))
+	}
+	sawRequest := false
+	for _, sp := range spans {
+		if sp.Source == "gateway" || sp.Name != "serve.request" {
+			continue
+		}
+		sawRequest = true
+		if sp.Link == 0 {
+			continue // request carried no model-bound work; try another
+		}
+		for _, fl := range spans {
+			if fl.Source == sp.Source && fl.Name == "serve.flush" && fl.ID == sp.Link {
+				return nil
+			}
+		}
+	}
+	if !sawRequest {
+		return fmt.Errorf("no replica serve.request span in %d spans", len(spans))
+	}
+	return fmt.Errorf("no serve.request span with a resolvable serve.flush link in %d spans", len(spans))
+}

@@ -110,6 +110,11 @@ type LoadConfig struct {
 	Duration time.Duration
 	// DeadlineMS forwards a per-request deadline to the server.
 	DeadlineMS int64
+	// TraceEvery, when positive, mints a fresh distributed trace
+	// (Branchnet-Trace header) on every TraceEvery-th request per worker;
+	// sampled trace IDs are reported in LoadReport.TraceIDs so a harness
+	// can fetch them back from the gateway's /v1/fleet/trace.
+	TraceEvery int
 	// Client overrides the HTTP client (default: 10s timeout).
 	Client *http.Client
 	// Obs, when non-nil, registers the client-side histogram and counters
@@ -142,13 +147,22 @@ type LoadReport struct {
 	Latency stats.Snapshot `json:"latency"`
 	// Server is the server's own /v1/stats snapshot at the end of the run.
 	Server StatsSnapshot `json:"server"`
+	// TraceIDs are the sampled distributed-trace IDs (16-hex, oldest
+	// first per worker), present only when TraceEvery was set.
+	TraceIDs []string `json:"trace_ids,omitempty"`
 }
+
+// maxTracesPerWorker bounds each worker's sampled-trace memory; only the
+// newest survive, which is also what trace verification wants (older
+// traces age out of span rings and scrape caches first).
+const maxTracesPerWorker = 8
 
 // loadWorker is the per-session accumulator of one RunLoad goroutine.
 type loadWorker struct {
 	requests, predictions, modelPreds uint64
 	mismatches, retries, errors       uint64
 	passes                            uint64
+	traces                            []uint64 // sampled trace IDs, oldest first
 }
 
 // RunLoad replays cfg.Trace against a running server from cfg.Sessions
@@ -201,6 +215,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		expected:   cfg.Expected,
 		chunk:      cfg.Chunk,
 		deadlineMS: cfg.DeadlineMS,
+		traceEvery: cfg.TraceEvery,
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Sessions; w++ {
@@ -237,6 +252,9 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		rep.Retries429 += lw.retries
 		rep.Errors += lw.errors
 		rep.Passes += lw.passes
+		for _, id := range lw.traces {
+			rep.TraceIDs = append(rep.TraceIDs, obs.FormatTraceID(id))
+		}
 	}
 	if s := elapsed.Seconds(); s > 0 {
 		rep.QPS = float64(rep.Requests) / s
@@ -268,6 +286,7 @@ type passConfig struct {
 	expected   []bool
 	chunk      int
 	deadlineMS int64
+	traceEvery int // sample a distributed trace every Nth request (0 = off)
 }
 
 // runPass replays one full trace pass on a fresh session. It returns true
@@ -301,11 +320,21 @@ func runPass(client *http.Client, cfg passConfig, sessID string, lw *loadWorker,
 		}
 		body, _ := json.Marshal(req) //nolint:errcheck // plain structs
 
+		// Trace sampling: mint a fresh trace ID for every traceEvery-th
+		// request and carry it on the wire. Span zero marks the loadgen as
+		// root — the gateway's route span becomes the first real span.
+		var traceID uint64
+		traceHdr := ""
+		if cfg.traceEvery > 0 && lw.requests%uint64(cfg.traceEvery) == 0 {
+			traceID = obs.NewTraceID()
+			traceHdr = obs.FormatTraceHeader(traceID, 0)
+		}
+
 		var resp PredictResponse
 		ok := false
 		for attempt := 0; attempt < 50; attempt++ {
 			t0 := time.Now()
-			code, retryAfter, err := postJSON(client, cfg.baseURL+"/v1/predict", body, &resp)
+			code, retryAfter, err := postJSON(client, cfg.baseURL+"/v1/predict", body, traceHdr, &resp)
 			latency.Observe(time.Since(t0).Seconds())
 			lw.requests++
 			if err == nil && code == http.StatusOK {
@@ -335,6 +364,12 @@ func runPass(client *http.Client, cfg passConfig, sessID string, lw *loadWorker,
 			lw.errors++
 			return false
 		}
+		if traceID != 0 {
+			lw.traces = append(lw.traces, traceID)
+			if len(lw.traces) > maxTracesPerWorker {
+				lw.traces = lw.traces[1:]
+			}
+		}
 		if len(resp.Predictions) != len(chunk) {
 			lw.errors++
 			return false
@@ -356,8 +391,16 @@ func runPass(client *http.Client, cfg passConfig, sessID string, lw *loadWorker,
 	return true
 }
 
-func postJSON(client *http.Client, url string, body []byte, out any) (int, time.Duration, error) {
-	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+func postJSON(client *http.Client, url string, body []byte, traceHdr string, out any) (int, time.Duration, error) {
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if traceHdr != "" {
+		req.Header.Set(obs.TraceHeader, traceHdr)
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -474,6 +517,10 @@ type ClusterLoadConfig struct {
 	// replica; the harness owns the mechanism).
 	KillAfter time.Duration
 	Kill      func()
+	// TraceEvery, when positive, mints a distributed trace on every
+	// TraceEvery-th request per worker; sampled IDs land in
+	// ClusterLoadReport.TraceIDs for /v1/fleet/trace verification.
+	TraceEvery int
 	// Client overrides the HTTP client (default: 10s timeout).
 	Client *http.Client
 	// Obs, when non-nil, registers client-side counters and the latency
@@ -517,6 +564,9 @@ type ClusterLoadReport struct {
 	LatencyP50        float64                 `json:"latency_p50_seconds"`
 	LatencyP99        float64                 `json:"latency_p99_seconds"`
 	Workloads         []ClusterWorkloadReport `json:"workloads"`
+	// TraceIDs are the sampled distributed-trace IDs (16-hex), present
+	// only when TraceEvery was set. Newest per worker last.
+	TraceIDs []string `json:"trace_ids,omitempty"`
 	GatewayStatsLite
 	// Gateway is the gateway's full /v1/stats snapshot at the end of the
 	// run, kept raw so report consumers see everything without this
@@ -595,6 +645,7 @@ func RunClusterLoad(cfg ClusterLoadConfig) (*ClusterLoadReport, error) {
 				expected:   wl.Expected,
 				chunk:      cfg.Chunk,
 				deadlineMS: cfg.DeadlineMS,
+				traceEvery: cfg.TraceEvery,
 			}
 			lw := &workers[w]
 			next := time.Now()
@@ -627,6 +678,9 @@ func RunClusterLoad(cfg ClusterLoadConfig) (*ClusterLoadReport, error) {
 		rep.Retries429 += lw.retries
 		rep.Errors += lw.errors
 		rep.Passes += lw.passes
+		for _, id := range lw.traces {
+			rep.TraceIDs = append(rep.TraceIDs, obs.FormatTraceID(id))
+		}
 		wl := &perWL[assignment[i]]
 		wl.Passes += lw.passes
 		wl.Predictions += lw.predictions

@@ -107,6 +107,7 @@ type Config struct {
 // consumed, or would have consumed, for this occurrence).
 type Observation struct {
 	PC        uint64
+	Trace     uint64 // distributed-trace ID of the carrying request (0 = untraced)
 	Taken     bool
 	Pred      bool     // the prediction the client was served
 	FromModel bool     // Pred came from an attached model, not the baseline
@@ -358,6 +359,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.Handle("/metrics", s.MetricsHandler())
+	s.mux.Handle("/v1/obs", st.reg.JSONHandler())
 	s.mux.Handle("/debug/spans", tracer.Handler())
 	go s.sweeper()
 	return s
@@ -528,6 +530,19 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	defer s.inflight.Add(-1)
 	s.stats.Inflight.Set(s.inflight.Load())
 
+	// Sampled requests carry trace context from the gateway (or loadgen).
+	// Untraced requests — the overwhelming majority — take the exact
+	// pre-trace hot path: no span allocation, no extra atomics.
+	trace, remoteSpan, _ := obs.ParseTraceHeader(r.Header.Get(obs.TraceHeader))
+	var sp *obs.Span
+	if trace != 0 {
+		sp = s.tracer.Start("serve.request").SetTrace(trace).SetRemoteParent(remoteSpan)
+		// Echo the context with OUR span ID so the caller can confirm the
+		// hop landed (and tests can assert propagation end to end).
+		w.Header().Set(obs.TraceHeader, obs.FormatTraceHeader(trace, sp.SpanID()))
+		defer sp.Finish()
+	}
+
 	var req PredictRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.stats.Errors.Inc()
@@ -539,6 +554,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{"session and records are required"})
 		return
 	}
+	sp.SetAttr("session", req.Session).SetInt("records", int64(len(req.Records)))
 
 	deadline := s.cfg.DefaultDeadline
 	if req.DeadlineMS > 0 && time.Duration(req.DeadlineMS)*time.Millisecond < deadline {
@@ -589,7 +605,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			items = append(items, BatchItem{Model: m, Hist: view, Count: sess.hist.Count(), Out: &preds[i]})
 		}
 		if observations != nil {
-			o := Observation{PC: rec.PC, Taken: rec.Taken, FromModel: fromModel[i], BasePred: basePred}
+			o := Observation{PC: rec.PC, Trace: trace, Taken: rec.Taken, FromModel: fromModel[i], BasePred: basePred}
 			if s.cfg.Observer.WantHistory(rec.PC) {
 				if view == nil {
 					view = sess.hist.View(make([]uint32, sess.hist.Window()))
@@ -604,7 +620,8 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		sess.record(rec.PC, rec.Taken, s.cfg.JournalCap)
 	}
 	if len(items) > 0 {
-		if err := s.batcher.Submit(ctx, items); err != nil {
+		flushID, err := s.batcher.Submit(ctx, items)
+		if err != nil {
 			switch {
 			case errors.Is(err, ErrQueueFull):
 				s.write429(w, s.queueRetryHint(), err.Error())
@@ -616,6 +633,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			}
 			return
 		}
+		// Link the request span to the flush that ran its inferences —
+		// the cross-batching-boundary causal edge /v1/fleet/trace follows.
+		sp.SetLink(flushID)
 	}
 
 	if observations != nil {
@@ -630,7 +650,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 
 	s.stats.Predictions.Add(uint64(len(preds)))
 	s.stats.ModelPredictions.Add(uint64(len(items)))
-	s.stats.Latency.Observe(time.Since(start).Seconds())
+	s.stats.Latency.ObserveTrace(time.Since(start).Seconds(), trace)
 	writeJSON(w, http.StatusOK, PredictResponse{
 		Version:     set.Version,
 		Predictions: preds,
